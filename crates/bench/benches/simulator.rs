@@ -1,0 +1,136 @@
+//! Wall-clock benchmarks of the simulation substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use wb_benchmarks::InputSize;
+use wb_jsvm::{JsVm, JsVmConfig};
+use wb_minic::{Compiler, OptLevel};
+use wb_wasm_vm::{Instance, WasmVmConfig};
+
+fn gemm_wasm_bytes() -> (Vec<u8>, Vec<String>) {
+    let b = wb_benchmarks::suite::find("gemm").expect("gemm exists");
+    let mut c = Compiler::cheerp();
+    for (k, v) in b.defines(InputSize::S) {
+        c = c.define(&k, v);
+    }
+    let out = c.compile_wasm(b.source).expect("compiles");
+    (wb_wasm::encode_module(&out.module), out.strings)
+}
+
+fn bench_wasm_pipeline(c: &mut Criterion) {
+    let (bytes, _) = gemm_wasm_bytes();
+    let module = wb_wasm::decode_module(&bytes).expect("decodes");
+
+    let mut g = c.benchmark_group("wasm");
+    g.bench_function("decode", |b| {
+        b.iter(|| wb_wasm::decode_module(black_box(&bytes)).expect("decodes"))
+    });
+    g.bench_function("validate", |b| {
+        b.iter(|| wb_wasm::validate(black_box(&module)).expect("validates"))
+    });
+    g.bench_function("encode", |b| {
+        b.iter(|| wb_wasm::encode_module(black_box(&module)))
+    });
+    g.bench_function("interpret_gemm_s", |b| {
+        b.iter(|| {
+            let (bytes, strings) = gemm_wasm_bytes();
+            let mut inst = Instance::instantiate(
+                &bytes,
+                WasmVmConfig::reference(),
+                wb_core::host::standard_imports(strings),
+            )
+            .expect("instantiates");
+            inst.invoke("bench_main", &[]).expect("runs");
+            black_box(inst.output.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_js_pipeline(c: &mut Criterion) {
+    let b = wb_benchmarks::suite::find("gemm").expect("gemm exists");
+    let mut compiler = Compiler::cheerp();
+    for (k, v) in b.defines(InputSize::S) {
+        compiler = compiler.define(&k, v);
+    }
+    let js = compiler.compile_js(b.source).expect("compiles").source;
+
+    let mut g = c.benchmark_group("jsvm");
+    g.bench_function("parse_compile", |b| {
+        b.iter(|| wb_jsvm::compile_script(black_box(&js)).expect("compiles"))
+    });
+    g.bench_function("run_gemm_s", |b| {
+        b.iter(|| {
+            let mut vm = JsVm::new(JsVmConfig::reference());
+            vm.load(black_box(&js)).expect("loads");
+            vm.call("bench_main", &[]).expect("runs");
+            black_box(vm.output.len())
+        })
+    });
+    g.bench_function("gc_churn", |b| {
+        let src = "function churn(n) {\n\
+                     var keep = [];\n\
+                     for (var i = 0; i < n; i++) { var t = [i, i, i]; if (i % 64 === 0) keep.push(t); }\n\
+                     return keep.length;\n\
+                   }";
+        b.iter(|| {
+            let mut cfg = JsVmConfig::reference();
+            cfg.profile.gc.trigger_bytes = 64 * 1024;
+            let mut vm = JsVm::new(cfg);
+            vm.load(src).expect("loads");
+            vm.call("churn", &[wb_jsvm::JsValue::Num(20_000.0)]).expect("runs")
+        })
+    });
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let b = wb_benchmarks::suite::find("gemm").expect("gemm exists");
+    let mut g = c.benchmark_group("minic");
+    for level in [OptLevel::O0, OptLevel::O2, OptLevel::Ofast] {
+        g.bench_function(format!("compile_wasm_{}", level.name()), |bench| {
+            bench.iter(|| {
+                let mut compiler = Compiler::cheerp().opt_level(level);
+                for (k, v) in b.defines(InputSize::S) {
+                    compiler = compiler.define(&k, v.clone());
+                }
+                black_box(compiler.compile_wasm(black_box(b.source)).expect("compiles"))
+            })
+        });
+    }
+    g.bench_function("compile_js_O2", |bench| {
+        bench.iter(|| {
+            let mut compiler = Compiler::cheerp();
+            for (k, v) in b.defines(InputSize::S) {
+                compiler = compiler.define(&k, v.clone());
+            }
+            black_box(compiler.compile_js(black_box(b.source)).expect("compiles"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_host_bridge(c: &mut Criterion) {
+    // The §4.5 ping-pong, as a wall-clock bench of the VM's host bridge.
+    let mut mb = wb_wasm::ModuleBuilder::new();
+    let mut f = mb.func("nop", vec![], vec![]);
+    f.op(wb_wasm::Instr::Nop).done();
+    mb.finish_func(f, true);
+    let bytes = wb_wasm::encode_module(&mb.build());
+    c.bench_function("wasm/host_roundtrip", |b| {
+        let mut inst =
+            Instance::instantiate(&bytes, WasmVmConfig::reference(), HashMap::new())
+                .expect("instantiates");
+        b.iter(|| inst.invoke("nop", &[]).expect("runs"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wasm_pipeline,
+    bench_js_pipeline,
+    bench_compiler,
+    bench_host_bridge
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+// 3mm, manually written against the math.js-style API (Table 9).
+var MM_N = 32;
+function mk(seed) {
+  var m = mathlib.zeros(MM_N, MM_N);
+  for (var i = 0; i < MM_N; i++)
+    for (var j = 0; j < MM_N; j++)
+      mathlib.set(m, i, j, ((i * j + seed) % MM_N) / (5 * MM_N));
+  return m;
+}
+function bench_main() {
+  var A = mk(1);
+  var B = mk(2);
+  var C = mk(3);
+  var D = mk(4);
+  var E = mathlib.multiply(A, B);
+  var F = mathlib.multiply(C, D);
+  var G = mathlib.multiply(E, F);
+  console.log(mathlib.sum(G));
+}

@@ -1,0 +1,28 @@
+// covariance, manually written against the math.js-style API.
+var COV_N = 32;
+function bench_main() {
+  var data = mathlib.zeros(COV_N, COV_N);
+  for (var i = 0; i < COV_N; i++)
+    for (var j = 0; j < COV_N; j++)
+      mathlib.set(data, i, j, (i * j % COV_N) / COV_N);
+  var mean = new Array(COV_N);
+  for (var j = 0; j < COV_N; j++) {
+    var s = 0;
+    for (var i = 0; i < COV_N; i++) s = s + mathlib.get(data, i, j);
+    mean[j] = s / COV_N;
+  }
+  for (var i = 0; i < COV_N; i++)
+    for (var j = 0; j < COV_N; j++)
+      mathlib.set(data, i, j, mathlib.get(data, i, j) - mean[j]);
+  var cov = mathlib.zeros(COV_N, COV_N);
+  for (var i = 0; i < COV_N; i++)
+    for (var j = i; j < COV_N; j++) {
+      var c = 0;
+      for (var k = 0; k < COV_N; k++)
+        c = c + mathlib.get(data, k, i) * mathlib.get(data, k, j);
+      c = c / (COV_N - 1);
+      mathlib.set(cov, i, j, c);
+      mathlib.set(cov, j, i, c);
+    }
+  console.log(mathlib.sum(cov));
+}

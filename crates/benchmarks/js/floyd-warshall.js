@@ -1,0 +1,22 @@
+// floyd-warshall, manually written with arrays-of-arrays and Math.min,
+// the natural hand-written style (boxed rows, function call per cell).
+var FW_N = 32;
+function bench_main() {
+  var path = new Array(FW_N);
+  for (var i = 0; i < FW_N; i++) {
+    path[i] = new Array(FW_N);
+    for (var j = 0; j < FW_N; j++) {
+      path[i][j] = (i * j) % 7 + 1;
+      if ((i + j) % 13 === 0 || (i + j) % 7 === 0 || (i + j) % 11 === 0)
+        path[i][j] = 999;
+    }
+  }
+  for (var k = 0; k < FW_N; k++)
+    for (var i = 0; i < FW_N; i++)
+      for (var j = 0; j < FW_N; j++)
+        path[i][j] = Math.min(path[i][j], path[i][k] + path[k][j]);
+  var s = 0;
+  for (var i = 0; i < FW_N; i++)
+    for (var j = 0; j < FW_N; j++) s = s + path[i][j];
+  console.log(s);
+}

@@ -1,0 +1,46 @@
+// heat-3d via the math.js-style library: each z-slice is an object matrix
+// and every access goes through getter/setter calls — the heavyweight
+// variant of Table 9.
+var HM_N = 16;
+var HM_T = 8;
+function slice_get(s, j, k) { return mathlib.get(s, j, k); }
+function slice_set(s, j, k, v) { mathlib.set(s, j, k, v); }
+function bench_main() {
+  var n = HM_N;
+  var A = new Array(n);
+  var B = new Array(n);
+  for (var i = 0; i < n; i++) {
+    A[i] = mathlib.zeros(n, n);
+    B[i] = mathlib.zeros(n, n);
+    for (var j = 0; j < n; j++)
+      for (var k = 0; k < n; k++) {
+        slice_set(A[i], j, k, (i + j + (n - k)) * 10 / n);
+        slice_set(B[i], j, k, slice_get(A[i], j, k));
+      }
+  }
+  for (var t = 1; t <= HM_T; t++) {
+    for (var i = 1; i < n - 1; i++)
+      for (var j = 1; j < n - 1; j++)
+        for (var k = 1; k < n - 1; k++) {
+          var c = slice_get(A[i], j, k);
+          slice_set(B[i], j, k,
+            0.125 * (slice_get(A[i + 1], j, k) - 2 * c + slice_get(A[i - 1], j, k))
+          + 0.125 * (slice_get(A[i], j + 1, k) - 2 * c + slice_get(A[i], j - 1, k))
+          + 0.125 * (slice_get(A[i], j, k + 1) - 2 * c + slice_get(A[i], j, k - 1))
+          + c);
+        }
+    for (var i = 1; i < n - 1; i++)
+      for (var j = 1; j < n - 1; j++)
+        for (var k = 1; k < n - 1; k++) {
+          var c = slice_get(B[i], j, k);
+          slice_set(A[i], j, k,
+            0.125 * (slice_get(B[i + 1], j, k) - 2 * c + slice_get(B[i - 1], j, k))
+          + 0.125 * (slice_get(B[i], j + 1, k) - 2 * c + slice_get(B[i], j - 1, k))
+          + 0.125 * (slice_get(B[i], j, k + 1) - 2 * c + slice_get(B[i], j, k - 1))
+          + c);
+        }
+  }
+  var s = 0;
+  for (var i = 0; i < n; i++) s = s + mathlib.sum(A[i]);
+  console.log(s);
+}

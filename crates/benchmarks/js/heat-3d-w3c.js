@@ -1,0 +1,38 @@
+// heat-3d, hand-written "W3C style": flat typed arrays and nothing else
+// (the short 63-LOC variant of Table 9).
+var H3_N = 16;
+var H3_T = 8;
+function bench_main() {
+  var n = H3_N;
+  var A = new Float64Array(n * n * n);
+  var B = new Float64Array(n * n * n);
+  for (var i = 0; i < n; i++)
+    for (var j = 0; j < n; j++)
+      for (var k = 0; k < n; k++) {
+        A[(i * n + j) * n + k] = (i + j + (n - k)) * 10 / n;
+        B[(i * n + j) * n + k] = A[(i * n + j) * n + k];
+      }
+  for (var t = 1; t <= H3_T; t++) {
+    for (var i = 1; i < n - 1; i++)
+      for (var j = 1; j < n - 1; j++)
+        for (var k = 1; k < n - 1; k++) {
+          var c = (i * n + j) * n + k;
+          B[c] = 0.125 * (A[((i + 1) * n + j) * n + k] - 2 * A[c] + A[((i - 1) * n + j) * n + k])
+               + 0.125 * (A[(i * n + j + 1) * n + k] - 2 * A[c] + A[(i * n + j - 1) * n + k])
+               + 0.125 * (A[c + 1] - 2 * A[c] + A[c - 1])
+               + A[c];
+        }
+    for (var i = 1; i < n - 1; i++)
+      for (var j = 1; j < n - 1; j++)
+        for (var k = 1; k < n - 1; k++) {
+          var c = (i * n + j) * n + k;
+          A[c] = 0.125 * (B[((i + 1) * n + j) * n + k] - 2 * B[c] + B[((i - 1) * n + j) * n + k])
+               + 0.125 * (B[(i * n + j + 1) * n + k] - 2 * B[c] + B[(i * n + j - 1) * n + k])
+               + 0.125 * (B[c + 1] - 2 * B[c] + B[c - 1])
+               + B[c];
+        }
+  }
+  var s = 0;
+  for (var i = 0; i < n * n * n; i++) s = s + A[i];
+  console.log(s);
+}

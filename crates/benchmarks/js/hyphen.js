@@ -1,0 +1,81 @@
+// Hyphenopoly-style Liang pattern hyphenation, hand-written JS. Mirrors
+// the MiniC version byte-for-byte so both print the same counts.
+var HY_TEXTLEN = 18432;
+var HY_LANG = 0;
+var hy_rng = 0;
+
+function hy_rand() {
+  hy_rng = (Math.imul(hy_rng, 1103515245) + 12345) | 0;
+  return (hy_rng >>> 16);
+}
+function pat_hash(c1, c2, c3) {
+  return ((c1 * 31 + c2) * 31 + c3) % 1024;
+}
+function hyphenate(lang) {
+  HY_LANG = lang;
+  var text = new Uint8Array(HY_TEXTLEN);
+  var out = new Uint8Array(HY_TEXTLEN * 2);
+  var scores = new Int32Array(64);
+  var table = new Int32Array(1024);
+  hy_rng = (20210704 + HY_LANG * 977) | 0;
+  var i = 0;
+  while (i < HY_TEXTLEN) {
+    var wordlen = 3 + (hy_rand() % 9);
+    for (var k = 0; k < wordlen && i < HY_TEXTLEN; k++) {
+      text[i] = 97 + (hy_rand() % 26);
+      i = i + 1;
+    }
+    if (i < HY_TEXTLEN) { text[i] = 32; i = i + 1; }
+  }
+  hy_rng = (777 + HY_LANG * 131071) | 0;
+  for (var t = 0; t < 1024; t++) table[t] = hy_rand() % 10;
+
+  var hyphens = 0;
+  var oi = 0;
+  var wstart = 0;
+  for (var p2 = 0; p2 <= HY_TEXTLEN; p2++) {
+    var ch = p2 < HY_TEXTLEN ? text[p2] : 32;
+    if (ch === 32) {
+      var wlen = p2 - wstart;
+      if (wlen > 4 && wlen < 64) {
+        for (var p = 0; p < wlen; p++) scores[p] = 0;
+        for (var p = 1; p < wlen - 1; p++) {
+          var s = table[pat_hash(text[wstart + p - 1], text[wstart + p], text[wstart + p + 1])];
+          if (p >= 2) {
+            var s2 = table[pat_hash(text[wstart + p - 2], text[wstart + p - 1], text[wstart + p])];
+            if (s2 > s) s = s2;
+          }
+          scores[p] = s;
+        }
+        for (var p = 0; p < wlen; p++) {
+          out[oi] = text[wstart + p];
+          oi = oi + 1;
+          if (p >= 2 && p < wlen - 2 && (scores[p] % 2) === 1) {
+            out[oi] = 45;
+            oi = oi + 1;
+            hyphens = hyphens + 1;
+          }
+        }
+      } else {
+        for (var p = 0; p < wlen; p++) {
+          out[oi] = text[wstart + p];
+          oi = oi + 1;
+        }
+      }
+      out[oi] = 32;
+      oi = oi + 1;
+      wstart = p2 + 1;
+    }
+  }
+  console.log(hyphens);
+  var chk = 0;
+  for (var q = 0; q < oi; q++)
+    chk = (Math.imul(chk, 31) + out[q]) & 16777215;
+  console.log(chk);
+}
+function bench_main() {
+  hyphenate(0);
+}
+function bench_fr() {
+  hyphenate(1);
+}

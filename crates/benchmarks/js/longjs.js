@@ -1,0 +1,158 @@
+// A miniature of Long.js: 64-bit two's-complement integers represented as
+// {hi, lo} unsigned-32 pairs, with multiplication through 16-bit partial
+// products exactly like the upstream library does to avoid exceeding the
+// 2^53 safe-integer range (see dcodeIO/long.js src/long.js).
+
+function long_make(hi, lo) {
+  return { hi: hi >>> 0, lo: lo >>> 0 };
+}
+function long_from_number(n) {
+  if (n < 0) {
+    var p = long_from_number(-n);
+    return long_neg(p);
+  }
+  var hi = Math.trunc(n / 4294967296) >>> 0;
+  var lo = (n - Math.trunc(n / 4294967296) * 4294967296) >>> 0;
+  return long_make(hi, lo);
+}
+function long_is_neg(a) { return (a.hi & 0x80000000) !== 0; }
+function long_is_zero(a) { return a.hi === 0 && a.lo === 0; }
+function long_add(a, b) {
+  var a48 = a.hi >>> 16, a32 = a.hi & 65535, a16 = a.lo >>> 16, a00 = a.lo & 65535;
+  var b48 = b.hi >>> 16, b32 = b.hi & 65535, b16 = b.lo >>> 16, b00 = b.lo & 65535;
+  var c48 = 0, c32 = 0, c16 = 0, c00 = 0;
+  c00 = c00 + a00 + b00; c16 = c00 >>> 16; c00 = c00 & 65535;
+  c16 = c16 + a16 + b16; c32 = c16 >>> 16; c16 = c16 & 65535;
+  c32 = c32 + a32 + b32; c48 = c32 >>> 16; c32 = c32 & 65535;
+  c48 = (c48 + a48 + b48) & 65535;
+  return long_make((c48 << 16) | c32, (c16 << 16) | c00);
+}
+function long_not(a) {
+  return long_make(~a.hi, ~a.lo);
+}
+function long_neg(a) {
+  return long_add(long_not(a), long_make(0, 1));
+}
+function long_sub(a, b) {
+  return long_add(a, long_neg(b));
+}
+function long_mul(a, b) {
+  var a48 = a.hi >>> 16, a32 = a.hi & 65535, a16 = a.lo >>> 16, a00 = a.lo & 65535;
+  var b48 = b.hi >>> 16, b32 = b.hi & 65535, b16 = b.lo >>> 16, b00 = b.lo & 65535;
+  var c48 = 0, c32 = 0, c16 = 0, c00 = 0;
+  c00 = c00 + a00 * b00; c16 = c00 >>> 16; c00 = c00 & 65535;
+  c16 = c16 + a16 * b00; c32 = c16 >>> 16; c16 = c16 & 65535;
+  c16 = c16 + a00 * b16; c32 = c32 + (c16 >>> 16); c16 = c16 & 65535;
+  c32 = c32 + a32 * b00; c48 = c32 >>> 16; c32 = c32 & 65535;
+  c32 = c32 + a16 * b16; c48 = c48 + (c32 >>> 16); c32 = c32 & 65535;
+  c32 = c32 + a00 * b32; c48 = c48 + (c32 >>> 16); c32 = c32 & 65535;
+  c48 = (c48 + a48 * b00 + a32 * b16 + a16 * b32 + a00 * b48) & 65535;
+  return long_make((c48 << 16) | c32, (c16 << 16) | c00);
+}
+function long_shl1(a) {
+  return long_make((a.hi << 1) | (a.lo >>> 31), a.lo << 1);
+}
+function long_shl(a, n) {
+  n = n & 63;
+  if (n === 0) return a;
+  if (n < 32) return long_make((a.hi << n) | (a.lo >>> (32 - n)), a.lo << n);
+  return long_make(a.lo << (n - 32), 0);
+}
+function long_cmp_u(a, b) {
+  if ((a.hi >>> 0) !== (b.hi >>> 0)) return (a.hi >>> 0) < (b.hi >>> 0) ? -1 : 1;
+  if ((a.lo >>> 0) !== (b.lo >>> 0)) return (a.lo >>> 0) < (b.lo >>> 0) ? -1 : 1;
+  return 0;
+}
+// Unsigned 64-bit division, upstream-style: approximate the quotient in
+// floating point, multiply back, and correct — far fewer limb operations
+// than bitwise long division (see dcodeIO/long.js divide()).
+var long_rem_out = long_make(0, 0);
+function long_to_number_u(a) {
+  return (a.hi >>> 0) * 4294967296 + (a.lo >>> 0);
+}
+function long_divu(a, b) {
+  var res = long_make(0, 0);
+  var rem = a;
+  while (long_cmp_u(rem, b) >= 0) {
+    var approx = Math.floor(long_to_number_u(rem) / long_to_number_u(b));
+    if (approx < 1) approx = 1;
+    var log2 = Math.ceil(Math.log(approx) / Math.LN2);
+    var delta = log2 <= 48 ? 1 : Math.pow(2, log2 - 48);
+    var approxRes = long_from_number(approx);
+    var approxRem = long_mul(approxRes, b);
+    while (long_cmp_u(approxRem, rem) > 0) {
+      approx = approx - delta;
+      approxRes = long_from_number(approx);
+      approxRem = long_mul(approxRes, b);
+    }
+    if (long_is_zero(approxRes)) approxRes = long_make(0, 1);
+    res = long_add(res, approxRes);
+    rem = long_sub(rem, approxRem);
+  }
+  long_rem_out = rem;
+  return res;
+}
+// Small-operand fast path, like upstream divide(): when both values fit
+// a double exactly, do the division in plain JS numbers.
+function long_small(a) {
+  return (a.hi === 0 && (a.lo >>> 0) < 2147483648)
+      || ((a.hi >>> 0) === 4294967295 && (a.lo >>> 0) >= 2147483648);
+}
+function long_to_number_s(a) {
+  return (a.hi | 0) * 4294967296 + (a.lo >>> 0);
+}
+function long_div(a, b) {
+  if (long_small(a) && long_small(b)) {
+    return long_from_number(Math.trunc(long_to_number_s(a) / long_to_number_s(b)));
+  }
+  var neg = 0;
+  if (long_is_neg(a)) { a = long_neg(a); neg = 1 - neg; }
+  if (long_is_neg(b)) { b = long_neg(b); neg = 1 - neg; }
+  var q = long_divu(a, b);
+  if (neg) q = long_neg(q);
+  return q;
+}
+function long_mod(a, b) {
+  if (long_small(a) && long_small(b)) {
+    return long_from_number(long_to_number_s(a) % long_to_number_s(b));
+  }
+  var neg = long_is_neg(a);
+  if (long_is_neg(a)) a = long_neg(a);
+  if (long_is_neg(b)) b = long_neg(b);
+  long_divu(a, b);
+  var r = long_rem_out;
+  if (neg) r = long_neg(r);
+  return r;
+}
+function long_or(a, b) {
+  return long_make(a.hi | b.hi, a.lo | b.lo);
+}
+
+// ---- Table 10 drivers: n iterations of each operation -------------------
+function bench_mul(n, a, b) {
+  var av = long_from_number(a);
+  var bv = long_from_number(b);
+  var acc = long_make(0, 0);
+  for (var i = 0; i < n; i++) {
+    acc = long_or(acc, long_mul(av, bv));
+  }
+  return acc.lo;
+}
+function bench_div(n, a, b) {
+  var av = long_from_number(a);
+  var bv = long_from_number(b);
+  var acc = long_make(0, 0);
+  for (var i = 0; i < n; i++) {
+    acc = long_or(acc, long_div(av, bv));
+  }
+  return acc.lo;
+}
+function bench_mod(n, a, b) {
+  var av = long_from_number(a);
+  var bv = long_from_number(b);
+  var acc = long_make(0, 0);
+  for (var i = 0; i < n; i++) {
+    acc = long_or(acc, long_mod(av, bv));
+  }
+  return acc.lo;
+}

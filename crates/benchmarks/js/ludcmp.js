@@ -1,0 +1,41 @@
+// ludcmp, manually written with plain 2-D-style arrays (array of arrays),
+// the idiomatic hand-written JS structure.
+var LU_N = 32;
+function bench_main() {
+  var A = new Array(LU_N);
+  for (var i = 0; i < LU_N; i++) {
+    A[i] = new Array(LU_N);
+    for (var j = 0; j <= i; j++) A[i][j] = (-(j % LU_N)) / LU_N + 1;
+    for (var j = i + 1; j < LU_N; j++) A[i][j] = 0;
+    A[i][i] = A[i][i] + LU_N;
+  }
+  var b = new Array(LU_N);
+  var x = new Array(LU_N);
+  var y = new Array(LU_N);
+  for (var i = 0; i < LU_N; i++) { b[i] = (i + 1) / LU_N / 2 + 4; x[i] = 0; y[i] = 0; }
+  for (var i = 0; i < LU_N; i++) {
+    for (var j = 0; j < i; j++) {
+      var w = A[i][j];
+      for (var k = 0; k < j; k++) w = w - A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }
+    for (var j = i; j < LU_N; j++) {
+      var w = A[i][j];
+      for (var k = 0; k < i; k++) w = w - A[i][k] * A[k][j];
+      A[i][j] = w;
+    }
+  }
+  for (var i = 0; i < LU_N; i++) {
+    var w = b[i];
+    for (var j = 0; j < i; j++) w = w - A[i][j] * y[j];
+    y[i] = w;
+  }
+  for (var i = LU_N - 1; i >= 0; i--) {
+    var w = y[i];
+    for (var j = i + 1; j < LU_N; j++) w = w - A[i][j] * x[j];
+    x[i] = w / A[i][i];
+  }
+  var s = 0;
+  for (var i = 0; i < LU_N; i++) s = s + x[i];
+  console.log(s);
+}

@@ -1,0 +1,39 @@
+// A miniature math.js-style dense matrix library: object-wrapped matrices
+// backed by plain (non-typed) arrays, the representation real math.js uses.
+var mathlib = {
+  zeros: function (r, c) {
+    var data = new Array(r * c);
+    for (var i = 0; i < r * c; i++) data[i] = 0;
+    return { rows: r, cols: c, data: data };
+  },
+  get: function (m, i, j) { return m.data[i * m.cols + j]; },
+  set: function (m, i, j, v) { m.data[i * m.cols + j] = v; },
+  multiply: function (a, b) {
+    var out = mathlib.zeros(a.rows, b.cols);
+    for (var i = 0; i < a.rows; i++) {
+      for (var j = 0; j < b.cols; j++) {
+        var s = 0;
+        for (var k = 0; k < a.cols; k++) {
+          s = s + a.data[i * a.cols + k] * b.data[k * b.cols + j];
+        }
+        out.data[i * out.cols + j] = s;
+      }
+    }
+    return out;
+  },
+  add: function (a, b) {
+    var out = mathlib.zeros(a.rows, a.cols);
+    for (var i = 0; i < a.data.length; i++) out.data[i] = a.data[i] + b.data[i];
+    return out;
+  },
+  scale: function (a, f) {
+    var out = mathlib.zeros(a.rows, a.cols);
+    for (var i = 0; i < a.data.length; i++) out.data[i] = a.data[i] * f;
+    return out;
+  },
+  sum: function (a) {
+    var s = 0;
+    for (var i = 0; i < a.data.length; i++) s = s + a.data[i];
+    return s;
+  }
+};

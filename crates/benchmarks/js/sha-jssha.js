@@ -1,0 +1,56 @@
+// SHA-256 in pure JS (jsSHA-style): the full compression function written
+// out by hand over typed arrays.
+var SHAJ_ITERS = 32;
+var sha_K = new Array(64);
+function sha_init_k() {
+  // First 32 bits of the fractional parts of the cube roots of the first
+  // 64 primes, computed numerically like jsSHA's table initializer.
+  var primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+                59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131,
+                137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+                227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311];
+  for (var i = 0; i < 64; i++) {
+    var cube = Math.pow(primes[i], 1 / 3);
+    sha_K[i] = Math.floor((cube - Math.floor(cube)) * 4294967296) >>> 0;
+  }
+}
+function rotr(x, n) { return ((x >>> n) | (x << (32 - n))) >>> 0; }
+function bench_main() {
+  sha_init_k();
+  var msg = new Uint8Array(SHAJ_ITERS * 64);
+  var seed = 42;
+  for (var i = 0; i < msg.length; i++) {
+    seed = (Math.imul(seed, 69069) + 1) | 0;
+    msg[i] = (seed >>> 24) & 255;
+  }
+  var H = new Array(8);
+  H[0] = 0x6a09e667 >>> 0; H[1] = 0xbb67ae85 >>> 0; H[2] = 0x3c6ef372; H[3] = 0xa54ff53a >>> 0;
+  H[4] = 0x510e527f; H[5] = 0x9b05688c >>> 0; H[6] = 0x1f83d9ab; H[7] = 0x5be0cd19;
+  var W = new Array(64);
+  for (var base = 0; base + 64 <= msg.length; base += 64) {
+    for (var t = 0; t < 16; t++) {
+      W[t] = ((msg[base + t * 4] << 24) | (msg[base + t * 4 + 1] << 16)
+            | (msg[base + t * 4 + 2] << 8) | msg[base + t * 4 + 3]) >>> 0;
+    }
+    for (var t = 16; t < 64; t++) {
+      var s0 = (rotr(W[t - 15], 7) ^ rotr(W[t - 15], 18) ^ (W[t - 15] >>> 3)) >>> 0;
+      var s1 = (rotr(W[t - 2], 17) ^ rotr(W[t - 2], 19) ^ (W[t - 2] >>> 10)) >>> 0;
+      W[t] = (W[t - 16] + s0 + W[t - 7] + s1) >>> 0;
+    }
+    var a = H[0]; var b = H[1]; var c = H[2]; var d = H[3];
+    var e = H[4]; var f = H[5]; var g = H[6]; var h = H[7];
+    for (var t = 0; t < 64; t++) {
+      var S1 = (rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)) >>> 0;
+      var ch = ((e & f) ^ (~e & g)) >>> 0;
+      var temp1 = (h + S1 + ch + sha_K[t] + W[t]) >>> 0;
+      var S0 = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) >>> 0;
+      var maj = ((a & b) ^ (a & c) ^ (b & c)) >>> 0;
+      var temp2 = (S0 + maj) >>> 0;
+      h = g; g = f; f = e; e = (d + temp1) >>> 0;
+      d = c; c = b; b = a; a = (temp1 + temp2) >>> 0;
+    }
+    H[0] = (H[0] + a) >>> 0; H[1] = (H[1] + b) >>> 0; H[2] = (H[2] + c) >>> 0; H[3] = (H[3] + d) >>> 0;
+    H[4] = (H[4] + e) >>> 0; H[5] = (H[5] + f) >>> 0; H[6] = (H[6] + g) >>> 0; H[7] = (H[7] + h) >>> 0;
+  }
+  console.log((H[0] ^ H[1] ^ H[2] ^ H[3] ^ H[4] ^ H[5] ^ H[6] ^ H[7]) | 0);
+}

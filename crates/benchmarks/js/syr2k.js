@@ -1,0 +1,27 @@
+// syr2k, manually written against the math.js-style API:
+// C = alpha*(A*B^T + B*A^T) + beta*C expressed with whole-matrix ops,
+// as a math.js user would write it (transpose materializes a copy).
+var SK_N = 32;
+function transpose(a) {
+  var out = mathlib.zeros(a.cols, a.rows);
+  for (var i = 0; i < a.rows; i++)
+    for (var j = 0; j < a.cols; j++)
+      out.data[j * out.cols + i] = a.data[i * a.cols + j];
+  return out;
+}
+function mk(seed) {
+  var m = mathlib.zeros(SK_N, SK_N);
+  for (var i = 0; i < SK_N; i++)
+    for (var j = 0; j < SK_N; j++)
+      mathlib.set(m, i, j, ((i * j + seed) % SK_N) / SK_N);
+  return m;
+}
+function bench_main() {
+  var A = mk(1);
+  var B = mk(2);
+  var C = mk(3);
+  var t1 = mathlib.multiply(A, transpose(B));
+  var t2 = mathlib.multiply(B, transpose(A));
+  var r = mathlib.add(mathlib.scale(mathlib.add(t1, t2), 1.5), mathlib.scale(C, 1.2));
+  console.log(mathlib.sum(r));
+}

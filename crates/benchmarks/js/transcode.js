@@ -1,0 +1,44 @@
+// Single-threaded JS port of the stream transcoder (the paper's
+// node-ffmpeg side has no parallelization).
+var TC_STREAMLEN = 2097152;
+var TC_CHUNK = 4096;
+var tc_state = 0;
+var tc_in = new Uint8Array(4096);
+var tc_out = new Uint8Array(4096);
+var tc_quant = new Int32Array(256);
+
+function tc_next() {
+  tc_state = (Math.imul(tc_state, 1664525) + 1013904223) | 0;
+  return (tc_state >>> 24) & 255;
+}
+function build_tables() {
+  for (var i = 0; i < 256; i++) {
+    tc_quant[i] = ((i * 7 + (i >> 3)) % 256) | 0;
+  }
+}
+function transcode_chunk(len) {
+  var prev = 0;
+  var acc = 0;
+  for (var i = 0; i < len; i++) {
+    var v = tc_quant[tc_in[i]];
+    v = v * 2 - 128;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    var d = v - prev;
+    prev = v;
+    tc_out[i] = d & 255;
+    acc = (Math.imul(acc, 31) + tc_out[i]) & 16777215;
+  }
+  return acc;
+}
+function bench_main() {
+  build_tables();
+  tc_state = 20260706;
+  var chunks = TC_STREAMLEN / TC_CHUNK;
+  var chk = 0;
+  for (var c = 0; c < chunks; c++) {
+    for (var i = 0; i < TC_CHUNK; i++) tc_in[i] = tc_next();
+    chk = (chk ^ transcode_chunk(TC_CHUNK)) & 16777215;
+  }
+  console.log(chk);
+}

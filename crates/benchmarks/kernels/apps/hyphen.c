@@ -1,0 +1,91 @@
+/* Hyphenopoly-style Liang pattern hyphenation over generated pseudo-text.
+   LANG selects the pattern table seed (0 = en-us, 1 = fr). */
+char text[TEXTLEN];
+char out[TEXTLEN * 2];
+int scores[64];
+int pattern_table[1024];
+
+unsigned int rng_state;
+
+unsigned int next_rand() {
+  rng_state = rng_state * 1103515245u + 12345u;
+  return rng_state >> 16;
+}
+
+void gen_text() {
+  rng_state = 20210704u + (unsigned int)LANG * 977u;
+  int i = 0;
+  while (i < TEXTLEN) {
+    int wordlen = 3 + (int)(next_rand() % 9u);
+    for (int k = 0; k < wordlen && i < TEXTLEN; k++) {
+      text[i] = (char)(97 + (int)(next_rand() % 26u));
+      i = i + 1;
+    }
+    if (i < TEXTLEN) {
+      text[i] = 32;
+      i = i + 1;
+    }
+  }
+}
+
+void gen_patterns() {
+  rng_state = 777u + (unsigned int)LANG * 131071u;
+  for (int i = 0; i < 1024; i++)
+    pattern_table[i] = (int)(next_rand() % 10u);
+}
+
+int pat_hash(int c1, int c2, int c3) {
+  return ((c1 * 31 + c2) * 31 + c3) % 1024;
+}
+
+void bench_main() {
+  gen_text();
+  gen_patterns();
+  int hyphens = 0;
+  int oi = 0;
+  int wstart = 0;
+  for (int i = 0; i <= TEXTLEN; i++) {
+    int ch;
+    if (i < TEXTLEN) ch = text[i]; else ch = 32;
+    if (ch == 32) {
+      int wlen = i - wstart;
+      if (wlen > 4 && wlen < 64) {
+        /* Score every interior position with Liang-style max-of-patterns. */
+        for (int p = 0; p < wlen; p++) scores[p] = 0;
+        for (int p = 1; p < wlen - 1; p++) {
+          int h1 = pat_hash(text[wstart + p - 1], text[wstart + p], text[wstart + p + 1]);
+          int s = pattern_table[h1];
+          if (p >= 2) {
+            int h2 = pat_hash(text[wstart + p - 2], text[wstart + p - 1], text[wstart + p]);
+            if (pattern_table[h2] > s) s = pattern_table[h2];
+          }
+          scores[p] = s;
+        }
+        /* Emit the word with soft hyphens where the score is odd. */
+        for (int p = 0; p < wlen; p++) {
+          out[oi] = text[wstart + p];
+          oi = oi + 1;
+          if (p >= 2 && p < wlen - 2 && (scores[p] % 2) == 1) {
+            out[oi] = 45;
+            oi = oi + 1;
+            hyphens = hyphens + 1;
+          }
+        }
+      } else {
+        for (int p = 0; p < wlen; p++) {
+          out[oi] = text[wstart + p];
+          oi = oi + 1;
+        }
+      }
+      out[oi] = 32;
+      oi = oi + 1;
+      wstart = i + 1;
+    }
+  }
+  print_int(hyphens);
+  /* Checksum over the assembled output (the I/O-ish part). */
+  int chk = 0;
+  for (int i = 0; i < oi; i++)
+    chk = (chk * 31 + out[i]) & 16777215;
+  print_int(chk);
+}

@@ -1,0 +1,51 @@
+/* FFmpeg-style stream transcode: per-chunk table-lookup "decode" followed
+   by delta "encode". STREAMLEN bytes starting at pseudo-stream offset
+   SEED0 (so each worker stripe is deterministic and disjoint). */
+unsigned char inbuf[CHUNK];
+unsigned char outbuf[CHUNK];
+int quant_table[256];
+
+unsigned int stream_state;
+
+unsigned int stream_next() {
+  stream_state = stream_state * 1664525u + 1013904223u;
+  return stream_state >> 24;
+}
+
+void build_tables() {
+  for (int i = 0; i < 256; i++) {
+    int q = (i * 7 + (i >> 3)) % 256;
+    quant_table[i] = q;
+  }
+}
+
+int transcode_chunk(int len) {
+  int prev = 0;
+  int acc = 0;
+  for (int i = 0; i < len; i++) {
+    /* "decode": dequantize + clamp */
+    int v = quant_table[inbuf[i]];
+    v = v * 2 - 128;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    /* "encode": delta + fold */
+    int d = v - prev;
+    prev = v;
+    outbuf[i] = (unsigned char)(d & 255);
+    acc = (acc * 31 + outbuf[i]) & 16777215;
+  }
+  return acc;
+}
+
+void bench_main() {
+  build_tables();
+  stream_state = (unsigned int)SEED0;
+  int chunks = STREAMLEN / CHUNK;
+  int chk = 0;
+  for (int c = 0; c < chunks; c++) {
+    for (int i = 0; i < CHUNK; i++)
+      inbuf[i] = (unsigned char)stream_next();
+    chk = (chk ^ transcode_chunk(CHUNK)) & 16777215;
+  }
+  print_int(chk);
+}

@@ -1,0 +1,91 @@
+/* ADPCM: CCITT G.722-style adaptive differential PCM encode/decode
+   (CHStone-style, scaled by ITERS). */
+#define NSAMPLES (ITERS * 50)
+int compressed[NSAMPLES];
+int result[NSAMPLES];
+int src[NSAMPLES];
+
+int enc_valpred;
+int enc_index;
+int dec_valpred;
+int dec_index;
+
+const int indexTable[16] = {
+  -1, -1, -1, -1, 2, 4, 6, 8,
+  -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+const int stepsizeTable[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+  19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+  50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+  130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+  337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+  876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+  2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+  5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+  15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+int encode_sample(int val) {
+  int step = stepsizeTable[enc_index];
+  int diff = val - enc_valpred;
+  int sign = 0;
+  if (diff < 0) { sign = 8; diff = -diff; }
+  int delta = 0;
+  int vpdiff = step >> 3;
+  if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+  step >>= 1;
+  if (diff >= step) { delta |= 2; diff -= step; vpdiff += step; }
+  step >>= 1;
+  if (diff >= step) { delta |= 1; vpdiff += step; }
+  if (sign) enc_valpred -= vpdiff;
+  else enc_valpred += vpdiff;
+  if (enc_valpred > 32767) enc_valpred = 32767;
+  else if (enc_valpred < -32768) enc_valpred = -32768;
+  delta |= sign;
+  enc_index += indexTable[delta];
+  if (enc_index < 0) enc_index = 0;
+  if (enc_index > 88) enc_index = 88;
+  return delta;
+}
+
+int decode_sample(int delta) {
+  int step = stepsizeTable[dec_index];
+  int sign = delta & 8;
+  delta = delta & 7;
+  int vpdiff = step >> 3;
+  if (delta & 4) vpdiff += step;
+  if (delta & 2) vpdiff += step >> 1;
+  if (delta & 1) vpdiff += step >> 2;
+  if (sign) dec_valpred -= vpdiff;
+  else dec_valpred += vpdiff;
+  if (dec_valpred > 32767) dec_valpred = 32767;
+  else if (dec_valpred < -32768) dec_valpred = -32768;
+  dec_index += indexTable[delta | sign];
+  if (dec_index < 0) dec_index = 0;
+  if (dec_index > 88) dec_index = 88;
+  return dec_valpred;
+}
+
+void adpcm_main() {
+  enc_valpred = 0; enc_index = 0;
+  dec_valpred = 0; dec_index = 0;
+  for (int i = 0; i < NSAMPLES; i++)
+    src[i] = ((i * 37 + 11) % 16384) - 8192;
+  for (int i = 0; i < NSAMPLES; i++)
+    compressed[i] = encode_sample(src[i]);
+  for (int i = 0; i < NSAMPLES; i++)
+    result[i] = decode_sample(compressed[i]);
+}
+
+void bench_main() {
+  adpcm_main();
+  /* Like the upstream benchmark (Fig 7): `result` is stored but never
+     read back — the checksum uses the compressed stream and the decoder
+     state, so dead-store elimination legitimately applies to result[]. */
+  int s = dec_valpred * 31 + dec_index;
+  for (int i = 0; i < NSAMPLES; i++)
+    s = s + compressed[i];
+  print_int(s);
+}

@@ -1,0 +1,133 @@
+/* AES-128 encryption (CHStone-style), ITERS blocks in CBC-like chain. */
+unsigned char sbox[256];
+unsigned char key[16];
+unsigned char state[16];
+unsigned char roundkeys[176];
+
+unsigned int gen_state;
+
+unsigned int lcg() {
+  gen_state = gen_state * 1103515245u + 12345u;
+  return (gen_state >> 8) & 255u;
+}
+
+unsigned int xtime(unsigned int x) {
+  unsigned int r = x << 1;
+  if (x & 0x80u) r = r ^ 0x1bu;
+  return r & 0xffu;
+}
+
+unsigned int gmul(unsigned int a, unsigned int b) {
+  unsigned int p = 0;
+  for (int i = 0; i < 8; i++) {
+    if (b & 1u) p = p ^ a;
+    a = xtime(a);
+    b = b >> 1;
+  }
+  return p & 0xffu;
+}
+
+/* Build the real AES S-box: multiplicative inverse in GF(2^8) + affine map. */
+void build_sbox() {
+  for (int i = 0; i < 256; i++) {
+    unsigned int inv = 0;
+    if (i != 0) {
+      for (int c = 1; c < 256; c++) {
+        if (gmul((unsigned int)i, (unsigned int)c) == 1u) { inv = (unsigned int)c; break; }
+      }
+    }
+    unsigned int x = inv;
+    unsigned int y = x;
+    for (int k = 0; k < 4; k++) {
+      y = ((y << 1) | (y >> 7)) & 0xffu;
+      x = x ^ y;
+    }
+    sbox[i] = (unsigned char)(x ^ 0x63u);
+  }
+}
+
+void key_expansion() {
+  const int rcon_init = 1;
+  int rcon = rcon_init;
+  for (int i = 0; i < 16; i++) roundkeys[i] = key[i];
+  for (int i = 16; i < 176; i += 4) {
+    unsigned int t0 = roundkeys[i - 4];
+    unsigned int t1 = roundkeys[i - 3];
+    unsigned int t2 = roundkeys[i - 2];
+    unsigned int t3 = roundkeys[i - 1];
+    if (i % 16 == 0) {
+      unsigned int tmp = t0;
+      t0 = sbox[t1] ^ (unsigned int)rcon;
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      rcon = (int)xtime((unsigned int)rcon);
+    }
+    roundkeys[i] = (unsigned char)(roundkeys[i - 16] ^ t0);
+    roundkeys[i + 1] = (unsigned char)(roundkeys[i - 15] ^ t1);
+    roundkeys[i + 2] = (unsigned char)(roundkeys[i - 14] ^ t2);
+    roundkeys[i + 3] = (unsigned char)(roundkeys[i - 13] ^ t3);
+  }
+}
+
+void add_round_key(int round) {
+  for (int i = 0; i < 16; i++)
+    state[i] = state[i] ^ roundkeys[round * 16 + i];
+}
+
+void sub_bytes() {
+  for (int i = 0; i < 16; i++)
+    state[i] = sbox[state[i]];
+}
+
+void shift_rows() {
+  unsigned int t = state[1];
+  state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = (unsigned char)t;
+  t = state[2]; state[2] = state[10]; state[10] = (unsigned char)t;
+  t = state[6]; state[6] = state[14]; state[14] = (unsigned char)t;
+  t = state[3]; state[3] = state[15]; state[15] = state[11]; state[11] = state[7]; state[7] = (unsigned char)t;
+}
+
+void mix_columns() {
+  for (int c = 0; c < 4; c++) {
+    unsigned int a0 = state[4 * c];
+    unsigned int a1 = state[4 * c + 1];
+    unsigned int a2 = state[4 * c + 2];
+    unsigned int a3 = state[4 * c + 3];
+    state[4 * c] = (unsigned char)(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    state[4 * c + 1] = (unsigned char)(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    state[4 * c + 2] = (unsigned char)(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    state[4 * c + 3] = (unsigned char)((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void encrypt_block() {
+  add_round_key(0);
+  for (int round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+void bench_main() {
+  gen_state = 2463534242u;
+  build_sbox();
+  for (int i = 0; i < 16; i++) key[i] = (unsigned char)lcg();
+  key_expansion();
+  for (int i = 0; i < 16; i++) state[i] = (unsigned char)lcg();
+  unsigned int acc = 0;
+  for (int b = 0; b < ITERS; b++) {
+    encrypt_block();
+    for (int i = 0; i < 16; i++) {
+      acc = (acc * 31u + state[i]) & 0xffffffu;
+      /* CBC-like: next plaintext mixes the ciphertext. */
+      state[i] = (unsigned char)(state[i] ^ (unsigned char)lcg());
+    }
+  }
+  print_int((int)acc);
+}

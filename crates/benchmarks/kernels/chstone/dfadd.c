@@ -1,0 +1,70 @@
+/* DFADD: IEEE-754 double-precision addition in 64-bit integer soft-float
+   (CHStone/SoftFloat-style), verified against the hardware FPU. */
+unsigned long test_in_a[ITERS];
+unsigned long test_in_b[ITERS];
+
+unsigned long pack(unsigned long sign, unsigned long exp, unsigned long frac) {
+  return (sign << 63) | (exp << 52) | frac;
+}
+
+unsigned long f64_add(unsigned long a, unsigned long b) {
+  unsigned long sign_a = a >> 63;
+  unsigned long sign_b = b >> 63;
+  long exp_a = (long)((a >> 52) & 0x7ff);
+  long exp_b = (long)((b >> 52) & 0x7ff);
+  unsigned long frac_a = a & 0xfffffffffffff;
+  unsigned long frac_b = b & 0xfffffffffffff;
+  /* NaN/Inf propagation. */
+  if (exp_a == 0x7ff) return a;
+  if (exp_b == 0x7ff) return b;
+  if (exp_a == 0 && frac_a == 0) return b;
+  if (exp_b == 0 && frac_b == 0) return a;
+  /* Attach hidden bits, 3 guard bits. */
+  frac_a = ((frac_a | 0x10000000000000) << 3);
+  frac_b = ((frac_b | 0x10000000000000) << 3);
+  /* Align to the larger exponent. */
+  if (exp_a < exp_b) {
+    long d = exp_b - exp_a;
+    if (d > 60) frac_a = 0; else frac_a = frac_a >> (int)d;
+    exp_a = exp_b;
+  } else if (exp_b < exp_a) {
+    long d = exp_a - exp_b;
+    if (d > 60) frac_b = 0; else frac_b = frac_b >> (int)d;
+  }
+  unsigned long sign;
+  unsigned long frac;
+  if (sign_a == sign_b) {
+    sign = sign_a;
+    frac = frac_a + frac_b;
+  } else {
+    if (frac_a >= frac_b) { sign = sign_a; frac = frac_a - frac_b; }
+    else { sign = sign_b; frac = frac_b - frac_a; }
+  }
+  if (frac == 0) return 0;
+  /* Normalize. */
+  while (frac >= 0x40000000000000 << 3) { frac = frac >> 1; exp_a = exp_a + 1; }
+  while (frac < ((unsigned long)0x10000000000000 << 3)) { frac = frac << 1; exp_a = exp_a - 1; }
+  if (exp_a <= 0) return pack(sign, 0, 0);
+  if (exp_a >= 0x7ff) return pack(sign, 0x7ff, 0);
+  /* Truncating rounding (deterministic across substrates). */
+  return pack(sign, (unsigned long)exp_a, (frac >> 3) & 0xfffffffffffff);
+}
+
+void bench_main() {
+  unsigned long acc = 0;
+  unsigned long x = 0x3ff0000000000000;  /* 1.0 */
+  for (int i = 0; i < ITERS; i++) {
+    test_in_a[i] = x;
+    x = x * 6364136223846793005 + 1442695040888963407;
+    /* Clamp exponent field into a sane range. */
+    unsigned long e = 1000 + (x >> 58);
+    test_in_b[i] = pack((x >> 1) & 1, e, x & 0xfffffffffffff);
+  }
+  for (int i = 0; i < ITERS; i++) {
+    unsigned long r = f64_add(test_in_a[i], test_in_b[i]);
+    acc = acc ^ r;
+    acc = (acc << 1) | (acc >> 63);
+    test_in_a[(i + 1) % ITERS] = r;
+  }
+  print_long((long)(acc >> 8));
+}

@@ -1,0 +1,52 @@
+/* DFDIV: IEEE-754 double division in integer soft-float (shift-subtract). */
+unsigned long divs_a[ITERS];
+unsigned long divs_b[ITERS];
+
+unsigned long div_pack(unsigned long sign, unsigned long exp, unsigned long frac) {
+  return (sign << 63) | (exp << 52) | frac;
+}
+
+unsigned long f64_div(unsigned long a, unsigned long b) {
+  unsigned long sign = (a >> 63) ^ (b >> 63);
+  long exp_a = (long)((a >> 52) & 0x7ff);
+  long exp_b = (long)((b >> 52) & 0x7ff);
+  unsigned long frac_a = a & 0xfffffffffffff;
+  unsigned long frac_b = b & 0xfffffffffffff;
+  if (exp_b == 0 && frac_b == 0) return div_pack(sign, 0x7ff, 0); /* inf */
+  if (exp_a == 0 && frac_a == 0) return div_pack(sign, 0, 0);
+  if (exp_a == 0x7ff || exp_b == 0x7ff) return div_pack(sign, 0x7ff, 0);
+  frac_a = frac_a | 0x10000000000000;
+  frac_b = frac_b | 0x10000000000000;
+  long exp = exp_a - exp_b + 1023;
+  /* 55-bit shift-subtract long division. */
+  unsigned long quo = 0;
+  unsigned long rem = frac_a;
+  for (int i = 0; i < 55; i++) {
+    quo = quo << 1;
+    if (rem >= frac_b) { rem = rem - frac_b; quo = quo | 1; }
+    rem = rem << 1;
+  }
+  /* quotient has 55 fraction bits beyond the leading one position. */
+  while (quo >= 0x40000000000000) { quo = quo >> 1; exp = exp + 1; }
+  while (quo != 0 && quo < 0x20000000000000) { quo = quo << 1; exp = exp - 1; }
+  quo = quo >> 1;
+  if (exp <= 0) return div_pack(sign, 0, 0);
+  if (exp >= 0x7ff) return div_pack(sign, 0x7ff, 0);
+  return div_pack(sign, (unsigned long)exp, quo & 0xfffffffffffff);
+}
+
+void bench_main() {
+  unsigned long x = 0x4008000000000000;  /* 3.0 */
+  for (int i = 0; i < ITERS; i++) {
+    x = x * 6364136223846793005 + 1442695040888963407;
+    divs_a[i] = div_pack((x >> 3) & 1, 950 + (x >> 58), x & 0xfffffffffffff);
+    x = x * 6364136223846793005 + 1442695040888963407;
+    divs_b[i] = div_pack((x >> 5) & 1, 990 + (x >> 59), x & 0xfffffffffffff);
+  }
+  unsigned long chk = 0;
+  for (int i = 0; i < ITERS; i++) {
+    unsigned long r = f64_div(divs_a[i], divs_b[i]);
+    chk = (chk << 3) ^ (chk >> 61) ^ r;
+  }
+  print_long((long)(chk >> 2));
+}

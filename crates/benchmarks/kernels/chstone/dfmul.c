@@ -1,0 +1,58 @@
+/* DFMUL: IEEE-754 double multiplication in integer soft-float. */
+unsigned long inputs[ITERS];
+
+unsigned long mul_pack(unsigned long sign, unsigned long exp, unsigned long frac) {
+  return (sign << 63) | (exp << 52) | frac;
+}
+
+/* 64x64 -> high 64 bits, via 32-bit halves. */
+unsigned long mulhi(unsigned long a, unsigned long b) {
+  unsigned long a_lo = a & 0xffffffff;
+  unsigned long a_hi = a >> 32;
+  unsigned long b_lo = b & 0xffffffff;
+  unsigned long b_hi = b >> 32;
+  unsigned long p0 = a_lo * b_lo;
+  unsigned long p1 = a_lo * b_hi;
+  unsigned long p2 = a_hi * b_lo;
+  unsigned long p3 = a_hi * b_hi;
+  unsigned long mid = (p0 >> 32) + (p1 & 0xffffffff) + (p2 & 0xffffffff);
+  return p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+}
+
+unsigned long f64_mul(unsigned long a, unsigned long b) {
+  unsigned long sign = (a >> 63) ^ (b >> 63);
+  long exp_a = (long)((a >> 52) & 0x7ff);
+  long exp_b = (long)((b >> 52) & 0x7ff);
+  unsigned long frac_a = a & 0xfffffffffffff;
+  unsigned long frac_b = b & 0xfffffffffffff;
+  if (exp_a == 0x7ff || exp_b == 0x7ff) return mul_pack(sign, 0x7ff, 0);
+  if ((exp_a == 0 && frac_a == 0) || (exp_b == 0 && frac_b == 0))
+    return mul_pack(sign, 0, 0);
+  frac_a = frac_a | 0x10000000000000;
+  frac_b = frac_b | 0x10000000000000;
+  long exp = exp_a + exp_b - 1023;
+  /* (frac_a * frac_b) >> 52, via the high product. */
+  unsigned long hi = mulhi(frac_a << 5, frac_b << 6);
+  unsigned long frac = hi >> 1;
+  if (frac >= 0x20000000000000) { frac = frac >> 1; exp = exp + 1; }
+  if (exp <= 0) return mul_pack(sign, 0, 0);
+  if (exp >= 0x7ff) return mul_pack(sign, 0x7ff, 0);
+  return mul_pack(sign, (unsigned long)exp, frac & 0xfffffffffffff);
+}
+
+void bench_main() {
+  unsigned long x = 0x4000000000000000;  /* 2.0 */
+  for (int i = 0; i < ITERS; i++) {
+    x = x * 2862933555777941757 + 3037000493;
+    inputs[i] = mul_pack((x >> 9) & 1, 900 + (x >> 57), x & 0xfffffffffffff);
+  }
+  unsigned long acc = 0x3ff0000000000000;
+  unsigned long chk = 0;
+  for (int i = 0; i < ITERS; i++) {
+    acc = f64_mul(acc, inputs[i]);
+    chk = chk ^ acc;
+    if ((acc >> 52) == 0 || ((acc >> 52) & 0x7ff) == 0x7ff)
+      acc = 0x3ff0000000000000;
+  }
+  print_long((long)(chk >> 4));
+}

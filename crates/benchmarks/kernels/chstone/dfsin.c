@@ -1,0 +1,133 @@
+/* DFSIN: sine via Taylor series built on integer soft-float add/mul/div
+   (the CHStone structure: dfsin composes dfadd/dfmul/dfdiv). */
+unsigned long angles[ITERS];
+
+unsigned long sf_pack(unsigned long sign, unsigned long exp, unsigned long frac) {
+  return (sign << 63) | (exp << 52) | frac;
+}
+
+unsigned long sf_add(unsigned long a, unsigned long b) {
+  unsigned long sign_a = a >> 63;
+  unsigned long sign_b = b >> 63;
+  long exp_a = (long)((a >> 52) & 0x7ff);
+  long exp_b = (long)((b >> 52) & 0x7ff);
+  unsigned long frac_a = a & 0xfffffffffffff;
+  unsigned long frac_b = b & 0xfffffffffffff;
+  if (exp_a == 0x7ff) return a;
+  if (exp_b == 0x7ff) return b;
+  if (exp_a == 0 && frac_a == 0) return b;
+  if (exp_b == 0 && frac_b == 0) return a;
+  frac_a = ((frac_a | 0x10000000000000) << 3);
+  frac_b = ((frac_b | 0x10000000000000) << 3);
+  if (exp_a < exp_b) {
+    long d = exp_b - exp_a;
+    if (d > 60) frac_a = 0; else frac_a = frac_a >> (int)d;
+    exp_a = exp_b;
+  } else if (exp_b < exp_a) {
+    long d = exp_a - exp_b;
+    if (d > 60) frac_b = 0; else frac_b = frac_b >> (int)d;
+  }
+  unsigned long sign; unsigned long frac;
+  if (sign_a == sign_b) { sign = sign_a; frac = frac_a + frac_b; }
+  else if (frac_a >= frac_b) { sign = sign_a; frac = frac_a - frac_b; }
+  else { sign = sign_b; frac = frac_b - frac_a; }
+  if (frac == 0) return 0;
+  while (frac >= 0x40000000000000 << 3) { frac = frac >> 1; exp_a = exp_a + 1; }
+  while (frac < ((unsigned long)0x10000000000000 << 3)) { frac = frac << 1; exp_a = exp_a - 1; }
+  if (exp_a <= 0) return sf_pack(sign, 0, 0);
+  if (exp_a >= 0x7ff) return sf_pack(sign, 0x7ff, 0);
+  return sf_pack(sign, (unsigned long)exp_a, (frac >> 3) & 0xfffffffffffff);
+}
+
+unsigned long sf_mulhi(unsigned long a, unsigned long b) {
+  unsigned long a_lo = a & 0xffffffff;
+  unsigned long a_hi = a >> 32;
+  unsigned long b_lo = b & 0xffffffff;
+  unsigned long b_hi = b >> 32;
+  unsigned long p0 = a_lo * b_lo;
+  unsigned long p1 = a_lo * b_hi;
+  unsigned long p2 = a_hi * b_lo;
+  unsigned long p3 = a_hi * b_hi;
+  unsigned long mid = (p0 >> 32) + (p1 & 0xffffffff) + (p2 & 0xffffffff);
+  return p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+}
+
+unsigned long sf_mul(unsigned long a, unsigned long b) {
+  unsigned long sign = (a >> 63) ^ (b >> 63);
+  long exp_a = (long)((a >> 52) & 0x7ff);
+  long exp_b = (long)((b >> 52) & 0x7ff);
+  unsigned long frac_a = a & 0xfffffffffffff;
+  unsigned long frac_b = b & 0xfffffffffffff;
+  if (exp_a == 0x7ff || exp_b == 0x7ff) return sf_pack(sign, 0x7ff, 0);
+  if ((exp_a == 0 && frac_a == 0) || (exp_b == 0 && frac_b == 0))
+    return sf_pack(sign, 0, 0);
+  frac_a = frac_a | 0x10000000000000;
+  frac_b = frac_b | 0x10000000000000;
+  long exp = exp_a + exp_b - 1023;
+  unsigned long hi = sf_mulhi(frac_a << 5, frac_b << 6);
+  unsigned long frac = hi >> 1;
+  if (frac >= 0x20000000000000) { frac = frac >> 1; exp = exp + 1; }
+  if (exp <= 0) return sf_pack(sign, 0, 0);
+  if (exp >= 0x7ff) return sf_pack(sign, 0x7ff, 0);
+  return sf_pack(sign, (unsigned long)exp, frac & 0xfffffffffffff);
+}
+
+unsigned long sf_div(unsigned long a, unsigned long b) {
+  unsigned long sign = (a >> 63) ^ (b >> 63);
+  long exp_a = (long)((a >> 52) & 0x7ff);
+  long exp_b = (long)((b >> 52) & 0x7ff);
+  unsigned long frac_a = a & 0xfffffffffffff;
+  unsigned long frac_b = b & 0xfffffffffffff;
+  if (exp_b == 0 && frac_b == 0) return sf_pack(sign, 0x7ff, 0);
+  if (exp_a == 0 && frac_a == 0) return sf_pack(sign, 0, 0);
+  if (exp_a == 0x7ff || exp_b == 0x7ff) return sf_pack(sign, 0x7ff, 0);
+  frac_a = frac_a | 0x10000000000000;
+  frac_b = frac_b | 0x10000000000000;
+  long exp = exp_a - exp_b + 1023;
+  unsigned long quo = 0;
+  unsigned long rem = frac_a;
+  for (int i = 0; i < 55; i++) {
+    quo = quo << 1;
+    if (rem >= frac_b) { rem = rem - frac_b; quo = quo | 1; }
+    rem = rem << 1;
+  }
+  while (quo >= 0x40000000000000) { quo = quo >> 1; exp = exp + 1; }
+  while (quo != 0 && quo < 0x20000000000000) { quo = quo << 1; exp = exp - 1; }
+  quo = quo >> 1;
+  if (exp <= 0) return sf_pack(sign, 0, 0);
+  if (exp >= 0x7ff) return sf_pack(sign, 0x7ff, 0);
+  return sf_pack(sign, (unsigned long)exp, quo & 0xfffffffffffff);
+}
+
+/* sin(x) ≈ x - x³/3! + x⁵/5! - x⁷/7! + x⁹/9!  (x in [-1, 1]) */
+unsigned long sf_sin(unsigned long x) {
+  unsigned long x2 = sf_mul(x, x);
+  unsigned long term = x;
+  unsigned long sum = x;
+  unsigned long k = 0x4000000000000000;  /* 2.0 */
+  unsigned long one = 0x3ff0000000000000;
+  unsigned long two = 0x4000000000000000;
+  for (int n = 0; n < 5; n++) {
+    /* term *= -x² / ((2n+2)(2n+3)) */
+    unsigned long denom = sf_mul(k, sf_add(k, one));
+    term = sf_mul(term, sf_div(x2, denom));
+    term = term ^ 0x8000000000000000;  /* flip sign */
+    sum = sf_add(sum, term);
+    k = sf_add(k, two);
+  }
+  return sum;
+}
+
+void bench_main() {
+  unsigned long x = 0x3fe0000000000000;  /* 0.5 */
+  unsigned long chk = 0;
+  for (int i = 0; i < ITERS; i++) {
+    angles[i] = x;
+    unsigned long s = sf_sin(x);
+    chk = (chk << 5) ^ (chk >> 59) ^ s;
+    /* Walk the angle deterministically inside [2^-3, 2^-1]-ish. */
+    unsigned long frac = (s ^ (s >> 17)) & 0xfffffffffffff;
+    x = sf_pack(0, 1020 + (i % 3), frac);
+  }
+  print_long((long)(chk >> 6));
+}

@@ -1,0 +1,73 @@
+/* GSM: LPC analysis section of GSM 06.10 full-rate codec (CHStone-style):
+   autocorrelation + reflection coefficients via Schur recursion. */
+#define SAMPLES (ITERS * 40)
+int sop[SAMPLES];
+int L_ACF[9];
+int r_coef[8];
+
+int saturate_add(int a, int b) {
+  int s = a + b;
+  if (a > 0 && b > 0 && s < 0) return 2147483647;
+  if (a < 0 && b < 0 && s >= 0) return -2147483647 - 1;
+  return s;
+}
+
+int gsm_abs(int a) {
+  if (a < 0) { if (a == -32768) return 32767; return -a; }
+  return a;
+}
+
+int gsm_div(int num, int denum) {
+  /* 15-bit fractional division, num < denum. */
+  int div = 0;
+  int n = num;
+  for (int k = 0; k < 15; k++) {
+    div = div << 1;
+    n = n << 1;
+    if (n >= denum) { n = n - denum; div = div + 1; }
+  }
+  return div;
+}
+
+void autocorrelation() {
+  for (int k = 0; k <= 8; k++) {
+    L_ACF[k] = 0;
+    for (int i = k; i < SAMPLES; i++)
+      L_ACF[k] = saturate_add(L_ACF[k], (sop[i] * sop[i - k]) >> 10);
+  }
+}
+
+int P[9];
+int K[9];
+
+void reflection_coefficients() {
+  if (L_ACF[0] == 0) {
+    for (int i = 0; i < 8; i++) r_coef[i] = 0;
+    return;
+  }
+  for (int k = 0; k <= 8; k++) P[k] = L_ACF[k];
+  for (int k = 1; k <= 8; k++) K[k] = L_ACF[k];
+  for (int n = 0; n < 8; n++) {
+    if (P[0] <= 0) { r_coef[n] = 0; continue; }
+    int kn = gsm_div(gsm_abs(P[1]), P[0]);
+    if (P[1] > 0) kn = -kn;
+    r_coef[n] = kn;
+    /* Schur recursion update. */
+    for (int m = 0; m <= 7 - n; m++) {
+      int t = P[m + 1] + ((kn * K[m + 1]) >> 15);
+      K[m + 1] = K[m + 1] + ((kn * P[m + 1]) >> 15);
+      P[m] = t;
+    }
+  }
+}
+
+void bench_main() {
+  for (int i = 0; i < SAMPLES; i++)
+    sop[i] = ((i * 73 + 41) % 1024) - 512;
+  autocorrelation();
+  reflection_coefficients();
+  int s = 0;
+  for (int i = 0; i < 8; i++) s = s + r_coef[i] * (i + 1);
+  for (int k = 0; k <= 8; k++) s = s ^ (L_ACF[k] >> 8);
+  print_int(s);
+}

@@ -1,0 +1,84 @@
+/* MIPS: simplified MIPS R3000 interpreter running a sort program
+   (CHStone-style). */
+#define MEMSIZE 64
+int reg[32];
+int mem[MEMSIZE];
+unsigned int imem[64];
+int hi_lo;
+
+/* Encoded program: bubble-sorts mem[0..7]. Encoding:
+   op(4) | rs(5) | rt(5) | rd(5) | imm(13, signed) packed manually. */
+void load_program() {
+  /* We hand-assemble with a tiny macro-free encoding:
+     0 halt | 1 addi rt,rs,imm | 2 add rd,rs,rt | 3 lw rt,imm(rs)
+     4 sw rt,imm(rs) | 5 blt rs,rt,imm | 6 bge rs,rt,imm | 7 j imm
+     8 slt rd,rs,rt | 9 sub rd,rs,rt */
+  int pc = 0;
+  /* r1 = 0 (i) */
+  imem[pc] = (1u << 28) | (0u << 23) | (1u << 18); pc++;
+  /* outer: r2 = 0 (j) */
+  imem[pc] = (1u << 28) | (0u << 23) | (2u << 18); pc++;
+  /* inner: r3 = mem[r2], r4 = mem[r2+1] */
+  imem[pc] = (3u << 28) | (2u << 23) | (3u << 18) | 0u; pc++;
+  imem[pc] = (3u << 28) | (2u << 23) | (4u << 18) | 1u; pc++;
+  /* if r3 < r4 skip swap: blt r3, r4, +3 */
+  imem[pc] = (5u << 28) | (3u << 23) | (4u << 18) | 3u; pc++;
+  /* swap: sw r4,0(r2); sw r3,1(r2) */
+  imem[pc] = (4u << 28) | (2u << 23) | (4u << 18) | 0u; pc++;
+  imem[pc] = (4u << 28) | (2u << 23) | (3u << 18) | 1u; pc++;
+  /* j++: addi r2, r2, 1 */
+  imem[pc] = (1u << 28) | (2u << 23) | (2u << 18) | 1u; pc++;
+  /* if r2 < 7 goto inner (pc 2): blt r2, r5, -7  (r5 = 7) */
+  imem[pc] = (5u << 28) | (2u << 23) | (5u << 18) | (8191u & (unsigned int)(-7)); pc++;
+  /* i++: addi r1, r1, 1 */
+  imem[pc] = (1u << 28) | (1u << 23) | (1u << 18) | 1u; pc++;
+  /* if r1 < 7 goto outer (pc 1): blt r1, r5, -9 */
+  imem[pc] = (5u << 28) | (1u << 23) | (5u << 18) | (8191u & (unsigned int)(-9)); pc++;
+  /* halt */
+  imem[pc] = 0u;
+}
+
+void run_vm() {
+  int pc = 0;
+  int running = 1;
+  int guard = 0;
+  while (running && guard < 100000) {
+    guard = guard + 1;
+    unsigned int ins = imem[pc];
+    unsigned int op = ins >> 28;
+    int rs = (int)((ins >> 23) & 31u);
+    int rt = (int)((ins >> 18) & 31u);
+    int rd = (int)((ins >> 13) & 31u);
+    int imm = (int)(ins & 8191u);
+    if (imm >= 4096) imm = imm - 8192; /* sign-extend 13 bits */
+    pc = pc + 1;
+    switch (op) {
+      case 0: running = 0; break;
+      case 1: reg[rt] = reg[rs] + imm; break;
+      case 2: reg[rd] = reg[rs] + reg[rt]; break;
+      case 3: reg[rt] = mem[(reg[rs] + imm) % MEMSIZE]; break;
+      case 4: mem[(reg[rs] + imm) % MEMSIZE] = reg[rt]; break;
+      case 5: if (reg[rs] < reg[rt]) pc = pc + imm; break;
+      case 6: if (reg[rs] >= reg[rt]) pc = pc + imm; break;
+      case 7: pc = imm; break;
+      case 8: if (reg[rs] < reg[rt]) reg[rd] = 1; else reg[rd] = 0; break;
+      case 9: reg[rd] = reg[rs] - reg[rt]; break;
+      default: running = 0; break;
+    }
+  }
+  hi_lo = guard;
+}
+
+void bench_main() {
+  int acc = 0;
+  for (int run = 0; run < ITERS; run++) {
+    for (int i = 0; i < 32; i++) reg[i] = 0;
+    reg[5] = 7;
+    for (int i = 0; i < 8; i++) mem[i] = ((i * 97 + run * 31) % 100);
+    load_program();
+    run_vm();
+    for (int i = 0; i < 8; i++) acc = acc * 3 + mem[i];
+    acc = acc ^ hi_lo;
+  }
+  print_int(acc);
+}

@@ -1,0 +1,71 @@
+/* MOTION: MPEG-2 motion-vector decoding (CHStone-style bitstream work). */
+#define NVECS (ITERS * 16)
+unsigned char bitstream[NVECS * 4];
+int vectors[NVECS * 2];
+int bit_pos;
+
+unsigned int show_bits(int n) {
+  unsigned int v = 0;
+  for (int i = 0; i < n; i++) {
+    int p = bit_pos + i;
+    unsigned int byte = bitstream[(p >> 3) % (NVECS * 4)];
+    unsigned int bit = (byte >> (7 - (p & 7))) & 1u;
+    v = (v << 1) | bit;
+  }
+  return v;
+}
+
+void flush_bits(int n) {
+  bit_pos = bit_pos + n;
+}
+
+/* MPEG-2 motion-code VLC-like table lookup: count leading zeros then read
+   the magnitude. */
+int get_motion_code() {
+  if (show_bits(1) == 1u) {
+    flush_bits(1);
+    return 0;
+  }
+  int zeros = 0;
+  while (show_bits(1) == 0u && zeros < 10) {
+    flush_bits(1);
+    zeros = zeros + 1;
+  }
+  flush_bits(1);
+  unsigned int mag = show_bits(2);
+  flush_bits(2);
+  int code = zeros * 4 + (int)mag + 1;
+  if (show_bits(1) == 1u) code = -code;
+  flush_bits(1);
+  return code;
+}
+
+int decode_mv(int pred, int r_size, int code) {
+  int lim = 16 << r_size;
+  int vec = pred + code;
+  if (vec >= lim) vec = vec - 2 * lim;
+  else if (vec < -lim) vec = vec + 2 * lim;
+  return vec;
+}
+
+void bench_main() {
+  unsigned int seed = 123456789u;
+  for (int i = 0; i < NVECS * 4; i++) {
+    seed = seed * 1103515245u + 12345u;
+    bitstream[i] = (unsigned char)(seed >> 16);
+  }
+  bit_pos = 0;
+  int pred_x = 0;
+  int pred_y = 0;
+  for (int i = 0; i < NVECS; i++) {
+    int cx = get_motion_code();
+    int cy = get_motion_code();
+    pred_x = decode_mv(pred_x, 2, cx);
+    pred_y = decode_mv(pred_y, 1, cy);
+    vectors[i * 2] = pred_x;
+    vectors[i * 2 + 1] = pred_y;
+  }
+  int s = 0;
+  for (int i = 0; i < NVECS * 2; i++) s = s * 5 + vectors[i];
+  print_int(s);
+}

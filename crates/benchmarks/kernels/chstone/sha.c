@@ -1,0 +1,54 @@
+/* SHA: SHA-1 secure hash over a generated message (CHStone-style; the
+   message length scales with the dataset, like CHStone's in_data). */
+#define MSGLEN (ITERS * 64)
+unsigned char message[MSGLEN];
+unsigned int H[5];
+unsigned int W[80];
+
+unsigned int rotl(unsigned int x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void sha_block(int base) {
+  for (int t = 0; t < 16; t++) {
+    W[t] = ((unsigned int)message[base + t * 4] << 24)
+         | ((unsigned int)message[base + t * 4 + 1] << 16)
+         | ((unsigned int)message[base + t * 4 + 2] << 8)
+         | (unsigned int)message[base + t * 4 + 3];
+  }
+  for (int t = 16; t < 80; t++)
+    W[t] = rotl(W[t - 3] ^ W[t - 8] ^ W[t - 14] ^ W[t - 16], 1);
+  unsigned int a = H[0];
+  unsigned int b = H[1];
+  unsigned int c = H[2];
+  unsigned int d = H[3];
+  unsigned int e = H[4];
+  for (int t = 0; t < 80; t++) {
+    unsigned int f;
+    unsigned int k;
+    if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5a827999u; }
+    else if (t < 40) { f = b ^ c ^ d; k = 0x6ed9eba1u; }
+    else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8f1bbcdcu; }
+    else { f = b ^ c ^ d; k = 0xca62c1d6u; }
+    unsigned int temp = rotl(a, 5) + f + e + W[t] + k;
+    e = d; d = c; c = rotl(b, 30); b = a; a = temp;
+  }
+  H[0] = H[0] + a;
+  H[1] = H[1] + b;
+  H[2] = H[2] + c;
+  H[3] = H[3] + d;
+  H[4] = H[4] + e;
+}
+
+void bench_main() {
+  unsigned int seed = 42u;
+  for (int i = 0; i < MSGLEN; i++) {
+    seed = seed * 69069u + 1u;
+    message[i] = (unsigned char)(seed >> 24);
+  }
+  H[0] = 0x67452301u; H[1] = 0xefcdab89u; H[2] = 0x98badcfeu;
+  H[3] = 0x10325476u; H[4] = 0xc3d2e1f0u;
+  for (int base = 0; base + 64 <= MSGLEN; base += 64)
+    sha_block(base);
+  print_int((int)(H[0] ^ H[1] ^ H[2] ^ H[3] ^ H[4]));
+}

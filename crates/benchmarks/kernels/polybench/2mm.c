@@ -1,0 +1,43 @@
+/* 2mm: D = alpha*A*B*C + beta*D */
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double tmp[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)(i * (j + 1) % N) / N;
+      C[i][j] = (double)((i * (j + 3) + 1) % N) / N;
+      D[i][j] = (double)(i * (j + 2) % N) / N;
+    }
+}
+
+void kernel_2mm() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      tmp[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      D[i][j] = D[i][j] * beta;
+      for (int k = 0; k < N; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}
+
+void bench_main() {
+  init_array();
+  kernel_2mm();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s = s + D[i][j];
+  print_double(s);
+}

@@ -1,0 +1,49 @@
+/* 3mm: G = (A*B)*(C*D) */
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double E[N][N];
+double F[N][N];
+double G[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / (5 * N);
+      B[i][j] = (double)((i * (j + 1) + 2) % N) / (5 * N);
+      C[i][j] = (double)(i * (j + 3) % N) / (5 * N);
+      D[i][j] = (double)((i * (j + 2) + 2) % N) / (5 * N);
+    }
+}
+
+void kernel_3mm() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      E[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      F[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      G[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}
+
+void bench_main() {
+  init_array();
+  kernel_3mm();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s = s + G[i][j];
+  print_double(s);
+}

@@ -1,0 +1,64 @@
+/* adi: alternating-direction implicit 2D heat solver */
+double u[N][N];
+double v[N][N];
+double p[N][N];
+double q[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      u[i][j] = (double)(i + N - j) / N;
+}
+
+void kernel_adi() {
+  double DX = 1.0 / (double)N;
+  double DY = 1.0 / (double)N;
+  double DT = 1.0 / (double)TSTEPS;
+  double B1 = 2.0;
+  double B2 = 1.0;
+  double mul1 = B1 * DT / (DX * DX);
+  double mul2 = B2 * DT / (DY * DY);
+  double a = 0.0 - mul1 / 2.0;
+  double b = 1.0 + mul1;
+  double c = a;
+  double d = 0.0 - mul2 / 2.0;
+  double e = 1.0 + mul2;
+  double f = d;
+  for (int t = 1; t <= TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++) {
+      v[0][i] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = v[0][i];
+      for (int j = 1; j < N - 1; j++) {
+        p[i][j] = (0.0 - c) / (a * p[i][j - 1] + b);
+        q[i][j] = ((0.0 - d) * u[j][i - 1] + (1.0 + 2.0 * d) * u[j][i]
+                 - f * u[j][i + 1] - a * q[i][j - 1]) / (a * p[i][j - 1] + b);
+      }
+      v[N - 1][i] = 1.0;
+      for (int j = N - 2; j >= 1; j--)
+        v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+    }
+    for (int i = 1; i < N - 1; i++) {
+      u[i][0] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = u[i][0];
+      for (int j = 1; j < N - 1; j++) {
+        p[i][j] = (0.0 - f) / (d * p[i][j - 1] + e);
+        q[i][j] = ((0.0 - a) * v[i - 1][j] + (1.0 + 2.0 * a) * v[i][j]
+                 - c * v[i + 1][j] - d * q[i][j - 1]) / (d * p[i][j - 1] + e);
+      }
+      u[i][N - 1] = 1.0;
+      for (int j = N - 2; j >= 1; j--)
+        u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+    }
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_adi();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + u[i][j];
+  print_double(s);
+}

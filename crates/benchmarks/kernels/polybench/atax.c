@@ -1,0 +1,30 @@
+/* atax: y = A^T * (A * x) */
+double A[N][N];
+double x[N]; double y[N]; double tmp[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    x[i] = 1.0 + (double)i / N;
+    for (int j = 0; j < N; j++)
+      A[i][j] = (double)((i + j) % N) / (5 * N);
+  }
+}
+
+void kernel_atax() {
+  for (int i = 0; i < N; i++) y[i] = 0.0;
+  for (int i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (int j = 0; j < N; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_atax();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + y[i];
+  print_double(s);
+}

@@ -1,0 +1,31 @@
+/* bicg: biconjugate gradient kernel: q = A*p, s = A^T*r */
+double A[N][N];
+double p[N]; double r[N]; double q[N]; double s[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    p[i] = (double)(i % N) / N;
+    r[i] = (double)(i % N) / N;
+    for (int j = 0; j < N; j++)
+      A[i][j] = (double)(i * (j + 1) % N) / N;
+  }
+}
+
+void kernel_bicg() {
+  for (int i = 0; i < N; i++) s[i] = 0.0;
+  for (int i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_bicg();
+  double acc = 0.0;
+  for (int i = 0; i < N; i++) acc = acc + s[i] + q[i];
+  print_double(acc);
+}

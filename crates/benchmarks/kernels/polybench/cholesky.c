@@ -1,0 +1,37 @@
+/* cholesky: Cholesky decomposition of an SPD matrix */
+double A[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % N)) / N + 1.0;
+    for (int j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0;
+  }
+  /* Make it positive semi-definite: A = B*B^T via in-place trick. */
+  for (int i = 0; i < N; i++)
+    A[i][i] = A[i][i] + N;
+}
+
+void kernel_cholesky() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (int k = 0; k < i; k++)
+      A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_cholesky();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j <= i; j++) s = s + A[i][j];
+  print_double(s);
+}

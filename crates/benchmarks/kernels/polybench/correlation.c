@@ -1,0 +1,54 @@
+/* correlation: correlation matrix computation */
+double data[N][N];
+double corr[N][N];
+double mean[N];
+double stddev[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      data[i][j] = (double)(i * j % N) / N + (double)i / N;
+}
+
+void kernel_correlation() {
+  double float_n = (double)N;
+  double eps = 0.1;
+  for (int j = 0; j < N; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / float_n;
+  }
+  for (int j = 0; j < N; j++) {
+    stddev[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] = stddev[j] / float_n;
+    stddev[j] = sqrt(stddev[j]);
+    if (stddev[j] <= eps) stddev[j] = 1.0;
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      data[i][j] -= mean[j];
+      data[i][j] = data[i][j] / (sqrt(float_n) * stddev[j]);
+    }
+  for (int i = 0; i < N - 1; i++) {
+    corr[i][i] = 1.0;
+    for (int j = i + 1; j < N; j++) {
+      corr[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[N - 1][N - 1] = 1.0;
+}
+
+void bench_main() {
+  init_array();
+  kernel_correlation();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + corr[i][j];
+  print_double(s);
+}

@@ -1,0 +1,40 @@
+/* covariance: covariance matrix computation */
+double data[N][N];
+double cov[N][N];
+double mean[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      data[i][j] = (double)(i * j % N) / N;
+}
+
+void kernel_covariance() {
+  double float_n = (double)N;
+  for (int j = 0; j < N; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / float_n;
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      data[i][j] -= mean[j];
+  for (int i = 0; i < N; i++)
+    for (int j = i; j < N; j++) {
+      cov[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] = cov[i][j] / (float_n - 1.0);
+      cov[j][i] = cov[i][j];
+    }
+}
+
+void bench_main() {
+  init_array();
+  kernel_covariance();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + cov[i][j];
+  print_double(s);
+}

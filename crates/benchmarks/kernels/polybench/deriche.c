@@ -1,0 +1,83 @@
+/* deriche: Deriche recursive edge-detection filter */
+#define W N
+#define H N
+double imgIn[W][H];
+double imgOut[W][H];
+double y1a[W][H];
+double y2a[W][H];
+
+void init_array() {
+  for (int i = 0; i < W; i++)
+    for (int j = 0; j < H; j++)
+      imgIn[i][j] = (double)((313 * i + 991 * j) % 65536) / 65535.0;
+}
+
+void kernel_deriche() {
+  double alpha = 0.25;
+  double k = (1.0 - exp(0.0 - alpha)) * (1.0 - exp(0.0 - alpha))
+           / (1.0 + 2.0 * alpha * exp(0.0 - alpha) - exp(2.0 * alpha * (0.0 - 1.0)));
+  double a1 = k; double a5 = k;
+  double a2 = k * exp(0.0 - alpha) * (alpha - 1.0);
+  double a6 = a2;
+  double a3 = k * exp(0.0 - alpha) * (alpha + 1.0);
+  double a7 = a3;
+  double a4 = 0.0 - k * exp(0.0 - 2.0 * alpha);
+  double a8 = a4;
+  double b1 = pow(2.0, 0.0 - alpha);
+  double b2 = 0.0 - exp(0.0 - 2.0 * alpha);
+  double c1 = 1.0; double c2 = 1.0;
+
+  for (int i = 0; i < W; i++) {
+    double ym1 = 0.0; double ym2 = 0.0; double xm1 = 0.0;
+    for (int j = 0; j < H; j++) {
+      y1a[i][j] = a1 * imgIn[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      xm1 = imgIn[i][j];
+      ym2 = ym1;
+      ym1 = y1a[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++) {
+    double yp1 = 0.0; double yp2 = 0.0; double xp1 = 0.0; double xp2 = 0.0;
+    for (int j = H - 1; j >= 0; j--) {
+      y2a[i][j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+      xp2 = xp1;
+      xp1 = imgIn[i][j];
+      yp2 = yp1;
+      yp1 = y2a[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++)
+    for (int j = 0; j < H; j++)
+      imgOut[i][j] = c1 * (y1a[i][j] + y2a[i][j]);
+  for (int j = 0; j < H; j++) {
+    double tm1 = 0.0; double ym1 = 0.0; double ym2 = 0.0;
+    for (int i = 0; i < W; i++) {
+      y1a[i][j] = a5 * imgOut[i][j] + a6 * tm1 + b1 * ym1 + b2 * ym2;
+      tm1 = imgOut[i][j];
+      ym2 = ym1;
+      ym1 = y1a[i][j];
+    }
+  }
+  for (int j = 0; j < H; j++) {
+    double tp1 = 0.0; double tp2 = 0.0; double yp1 = 0.0; double yp2 = 0.0;
+    for (int i = W - 1; i >= 0; i--) {
+      y2a[i][j] = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2;
+      tp2 = tp1;
+      tp1 = imgOut[i][j];
+      yp2 = yp1;
+      yp1 = y2a[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++)
+    for (int j = 0; j < H; j++)
+      imgOut[i][j] = c2 * (y1a[i][j] + y2a[i][j]);
+}
+
+void bench_main() {
+  init_array();
+  kernel_deriche();
+  double s = 0.0;
+  for (int i = 0; i < W; i++)
+    for (int j = 0; j < H; j++) s = s + imgOut[i][j];
+  print_double(s);
+}

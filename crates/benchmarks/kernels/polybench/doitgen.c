@@ -1,0 +1,41 @@
+/* doitgen: multi-resolution analysis kernel */
+#define NQ N
+#define NR N
+#define NP N
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NP];
+
+void init_array() {
+  for (int i = 0; i < NR; i++)
+    for (int j = 0; j < NQ; j++)
+      for (int k = 0; k < NP; k++)
+        A[i][j][k] = (double)((i * j + k) % NP) / NP;
+  for (int i = 0; i < NP; i++)
+    for (int j = 0; j < NP; j++)
+      C4[i][j] = (double)(i * j % NP) / NP;
+}
+
+void kernel_doitgen() {
+  for (int r = 0; r < NR; r++)
+    for (int q = 0; q < NQ; q++) {
+      for (int p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+        for (int s = 0; s < NP; s++)
+          sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (int p = 0; p < NP; p++)
+        A[r][q][p] = sum[p];
+    }
+}
+
+void bench_main() {
+  init_array();
+  kernel_doitgen();
+  double s = 0.0;
+  for (int i = 0; i < NR; i++)
+    for (int j = 0; j < NQ; j++)
+      for (int k = 0; k < NP; k++)
+        s = s + A[i][j][k];
+  print_double(s);
+}

@@ -1,0 +1,35 @@
+/* durbin: Yule-Walker / Levinson-Durbin recursion */
+double r[N];
+double y[N];
+double z[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    r[i] = (double)(N + 1 - i) / (2 * N);
+}
+
+void kernel_durbin() {
+  double alpha = 0.0 - r[0];
+  double beta = 1.0;
+  y[0] = 0.0 - r[0];
+  for (int k = 1; k < N; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    double summ = 0.0;
+    for (int i = 0; i < k; i++)
+      summ += r[k - i - 1] * y[i];
+    alpha = 0.0 - (r[k] + summ) / beta;
+    for (int i = 0; i < k; i++)
+      z[i] = y[i] + alpha * y[k - i - 1];
+    for (int i = 0; i < k; i++)
+      y[i] = z[i];
+    y[k] = alpha;
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_durbin();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + y[i];
+  print_double(s);
+}

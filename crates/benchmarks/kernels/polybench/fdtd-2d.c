@@ -1,0 +1,41 @@
+/* fdtd-2d: 2-D finite-difference time-domain */
+double ex[N][N];
+double ey[N][N];
+double hz[N][N];
+double fict[TSTEPS];
+
+void init_array() {
+  for (int i = 0; i < TSTEPS; i++)
+    fict[i] = (double)i;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      ex[i][j] = (double)i * (j + 1) / N;
+      ey[i][j] = (double)i * (j + 2) / N;
+      hz[i][j] = (double)i * (j + 3) / N;
+    }
+}
+
+void kernel_fdtd2d() {
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int j = 0; j < N; j++)
+      ey[0][j] = fict[t];
+    for (int i = 1; i < N; i++)
+      for (int j = 0; j < N; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (int i = 0; i < N; i++)
+      for (int j = 1; j < N; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (int i = 0; i < N - 1; i++)
+      for (int j = 0; j < N - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_fdtd2d();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + hz[i][j];
+  print_double(s);
+}

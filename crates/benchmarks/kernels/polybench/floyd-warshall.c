@@ -1,0 +1,29 @@
+/* floyd-warshall: all-pairs shortest paths */
+int path[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      path[i][j] = i * j % 7 + 1;
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0)
+        path[i][j] = 999;
+    }
+}
+
+void kernel_floyd_warshall() {
+  for (int k = 0; k < N; k++)
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        path[i][j] = path[i][j] < path[i][k] + path[k][j]
+                   ? path[i][j]
+                   : path[i][k] + path[k][j];
+}
+
+void bench_main() {
+  init_array();
+  kernel_floyd_warshall();
+  int s = 0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + path[i][j];
+  print_int(s);
+}

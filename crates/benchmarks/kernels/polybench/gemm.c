@@ -1,0 +1,41 @@
+/* gemm: C = alpha*A*B + beta*C (PolyBenchC 4.2.1) */
+#define NI N
+#define NJ N
+#define NK N
+double A[NI][NK];
+double B[NK][NJ];
+double C[NI][NJ];
+
+void init_array() {
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NK; j++)
+      A[i][j] = (double)((i * j + 1) % NI) / NI;
+  for (int i = 0; i < NK; i++)
+    for (int j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * (j + 1) % NJ) / NJ;
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NJ; j++)
+      C[i][j] = (double)((i * j + 3) % NJ) / NJ;
+}
+
+void kernel_gemm() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < NI; i++) {
+    for (int j = 0; j < NJ; j++)
+      C[i][j] = C[i][j] * beta;
+    for (int k = 0; k < NK; k++)
+      for (int j = 0; j < NJ; j++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_gemm();
+  double s = 0.0;
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NJ; j++)
+      s = s + C[i][j];
+  print_double(s);
+}

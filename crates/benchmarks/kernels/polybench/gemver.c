@@ -1,0 +1,43 @@
+/* gemver: multiple matrix-vector multiplications */
+double A[N][N];
+double u1[N]; double v1[N]; double u2[N]; double v2[N];
+double w[N]; double x[N]; double y[N]; double z[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    u1[i] = (double)i / N;
+    u2[i] = (double)((i + 1) % N) / (2 * N);
+    v1[i] = (double)((i + 1) % N) / (4 * N);
+    v2[i] = (double)((i + 1) % N) / (6 * N);
+    y[i] = (double)((i + 1) % N) / (8 * N);
+    z[i] = (double)((i + 1) % N) / (9 * N);
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % N) / N;
+  }
+}
+
+void kernel_gemver() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (int i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+}
+
+void bench_main() {
+  init_array();
+  kernel_gemver();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + w[i];
+  print_double(s);
+}

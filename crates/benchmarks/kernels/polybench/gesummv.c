@@ -1,0 +1,36 @@
+/* gesummv: y = alpha*A*x + beta*B*x */
+double A[N][N];
+double B[N][N];
+double x[N]; double y[N]; double tmp[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    x[i] = (double)(i % N) / N;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)((i * j + 2) % N) / N;
+    }
+  }
+}
+
+void kernel_gesummv() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_gesummv();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + y[i];
+  print_double(s);
+}

@@ -1,0 +1,37 @@
+/* gramschmidt: modified Gram-Schmidt QR decomposition */
+double A[N][N];
+double R[N][N];
+double Q[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      A[i][j] = ((double)((i * j) % N) / N) * 100.0 + 10.0;
+}
+
+void kernel_gramschmidt() {
+  for (int k = 0; k < N; k++) {
+    double nrm = 0.0;
+    for (int i = 0; i < N; i++)
+      nrm += A[i][k] * A[i][k];
+    R[k][k] = sqrt(nrm);
+    for (int i = 0; i < N; i++)
+      Q[i][k] = A[i][k] / R[k][k];
+    for (int j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (int i = 0; i < N; i++)
+        R[k][j] += Q[i][k] * A[i][j];
+      for (int i = 0; i < N; i++)
+        A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+    }
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_gramschmidt();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + R[i][j] + Q[i][j];
+  print_double(s);
+}

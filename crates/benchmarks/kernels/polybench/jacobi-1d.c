@@ -1,0 +1,27 @@
+/* jacobi-1d: 1-D Jacobi stencil */
+double A[N];
+double B[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    A[i] = ((double)i + 2.0) / N;
+    B[i] = ((double)i + 3.0) / N;
+  }
+}
+
+void kernel_jacobi1d() {
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (int i = 1; i < N - 1; i++)
+      A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_jacobi1d();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + A[i];
+  print_double(s);
+}

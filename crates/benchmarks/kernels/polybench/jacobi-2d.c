@@ -1,0 +1,31 @@
+/* jacobi-2d: 2-D Jacobi stencil */
+double A[N][N];
+double B[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)i * (j + 2) / N;
+      B[i][j] = (double)i * (j + 3) / N;
+    }
+}
+
+void kernel_jacobi2d() {
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + B[i + 1][j] + B[i - 1][j]);
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_jacobi2d();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + A[i][j];
+  print_double(s);
+}

@@ -1,0 +1,34 @@
+/* lu: LU decomposition without pivoting */
+double A[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % N)) / N + 1.0;
+    for (int j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = A[i][i] + N;
+  }
+}
+
+void kernel_lu() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (int j = i; j < N; j++)
+      for (int k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_lu();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + A[i][j];
+  print_double(s);
+}

@@ -1,0 +1,53 @@
+/* ludcmp: LU decomposition + forward/backward substitution */
+double A[N][N];
+double b[N]; double x[N]; double y[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    x[i] = 0.0;
+    y[i] = 0.0;
+    b[i] = (double)(i + 1) / N / 2.0 + 4.0;
+    for (int j = 0; j <= i; j++)
+      A[i][j] = (double)(-(j % N)) / N + 1.0;
+    for (int j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = A[i][i] + N;
+  }
+}
+
+void kernel_ludcmp() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      double w = A[i][j];
+      for (int k = 0; k < j; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }
+    for (int j = i; j < N; j++) {
+      double w = A[i][j];
+      for (int k = 0; k < i; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w;
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    double w = b[i];
+    for (int j = 0; j < i; j++)
+      w -= A[i][j] * y[j];
+    y[i] = w;
+  }
+  for (int i = N - 1; i >= 0; i--) {
+    double w = y[i];
+    for (int j = i + 1; j < N; j++)
+      w -= A[i][j] * x[j];
+    x[i] = w / A[i][i];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_ludcmp();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + x[i];
+  print_double(s);
+}

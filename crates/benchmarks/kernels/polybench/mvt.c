@@ -1,0 +1,31 @@
+/* mvt: matrix-vector product and transpose */
+double A[N][N];
+double x1[N]; double x2[N]; double y_1[N]; double y_2[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    x1[i] = (double)(i % N) / N;
+    x2[i] = (double)((i + 1) % N) / N;
+    y_1[i] = (double)((i + 3) % N) / N;
+    y_2[i] = (double)((i + 4) % N) / N;
+    for (int j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % N) / N;
+  }
+}
+
+void kernel_mvt() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y_1[j];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y_2[j];
+}
+
+void bench_main() {
+  init_array();
+  kernel_mvt();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + x1[i] + x2[i];
+  print_double(s);
+}

@@ -1,0 +1,50 @@
+/* nussinov: RNA secondary-structure prediction (dynamic programming) */
+int seq[N];
+int table[N][N];
+
+int match(int b1, int b2) {
+  if (b1 + b2 == 3) return 1;
+  return 0;
+}
+
+int max_score(int a, int b) {
+  if (a >= b) return a;
+  return b;
+}
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    seq[i] = (i + 1) % 4;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      table[i][j] = 0;
+}
+
+void kernel_nussinov() {
+  for (int i = N - 1; i >= 0; i--) {
+    for (int j = i + 1; j < N; j++) {
+      if (j - 1 >= 0)
+        table[i][j] = max_score(table[i][j], table[i][j - 1]);
+      if (i + 1 < N)
+        table[i][j] = max_score(table[i][j], table[i + 1][j]);
+      if (j - 1 >= 0 && i + 1 < N) {
+        if (i < j - 1)
+          table[i][j] = max_score(table[i][j], table[i + 1][j - 1] + match(seq[i], seq[j]));
+        else
+          table[i][j] = max_score(table[i][j], table[i + 1][j - 1]);
+      }
+      for (int k = i + 1; k < j; k++)
+        table[i][j] = max_score(table[i][j], table[i][k] + table[k + 1][j]);
+    }
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_nussinov();
+  print_int(table[0][N - 1]);
+  int s = 0;
+  for (int i = 0; i < N; i++)
+    for (int j = i; j < N; j++) s = s + table[i][j];
+  print_int(s);
+}

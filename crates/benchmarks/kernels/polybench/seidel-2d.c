@@ -1,0 +1,26 @@
+/* seidel-2d: 2-D Gauss-Seidel stencil */
+double A[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      A[i][j] = ((double)i * (j + 2) + 2.0) / N;
+}
+
+void kernel_seidel2d() {
+  for (int t = 0; t <= TSTEPS - 1; t++)
+    for (int i = 1; i <= N - 2; i++)
+      for (int j = 1; j <= N - 2; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                 + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                 + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+}
+
+void bench_main() {
+  init_array();
+  kernel_seidel2d();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + A[i][j];
+  print_double(s);
+}

@@ -1,0 +1,40 @@
+/* symm: symmetric matrix multiply C = alpha*A*B + beta*C, A symmetric */
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      B[i][j] = (double)((i + j) % 100) / N;
+      C[i][j] = (double)((N + i - j) % 100) / N;
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j <= i; j++) {
+      A[i][j] = (double)((i + j) % 100) / N;
+      A[j][i] = A[i][j];
+    }
+}
+
+void kernel_symm() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      double temp2 = 0.0;
+      for (int k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp2 += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;
+    }
+}
+
+void bench_main() {
+  init_array();
+  kernel_symm();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + C[i][j];
+  print_double(s);
+}

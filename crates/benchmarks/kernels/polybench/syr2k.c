@@ -1,0 +1,34 @@
+/* syr2k: C = alpha*(A*B^T + B*A^T) + beta*C */
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)((i * j + 2) % N) / N;
+      C[i][j] = (double)((i * j + 3) % N) / N;
+    }
+}
+
+void kernel_syr2k() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] = C[i][j] * beta;
+    for (int k = 0; k < N; k++)
+      for (int j = 0; j <= i; j++)
+        C[i][j] = C[i][j] + A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_syr2k();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j <= i; j++) s = s + C[i][j];
+  print_double(s);
+}

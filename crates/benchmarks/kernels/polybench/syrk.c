@@ -1,0 +1,32 @@
+/* syrk: C = alpha*A*A^T + beta*C (symmetric rank-k update) */
+double A[N][N];
+double C[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      C[i][j] = (double)((i * j + 2) % N) / N;
+    }
+}
+
+void kernel_syrk() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] = C[i][j] * beta;
+    for (int k = 0; k < N; k++)
+      for (int j = 0; j <= i; j++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_syrk();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j <= i; j++) s = s + C[i][j];
+  print_double(s);
+}

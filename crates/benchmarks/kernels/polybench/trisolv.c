@@ -1,0 +1,29 @@
+/* trisolv: triangular solver Lx = b */
+double L[N][N];
+double x[N]; double b[N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    x[i] = 0.0 - 999.0;
+    b[i] = (double)i;
+    for (int j = 0; j <= i; j++)
+      L[i][j] = (double)(i + N - j + 1) * 2.0 / N;
+  }
+}
+
+void kernel_trisolv() {
+  for (int i = 0; i < N; i++) {
+    x[i] = b[i];
+    for (int j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+}
+
+void bench_main() {
+  init_array();
+  kernel_trisolv();
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s = s + x[i];
+  print_double(s);
+}

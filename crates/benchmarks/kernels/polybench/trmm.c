@@ -1,0 +1,32 @@
+/* trmm: B = alpha*A*B, A lower triangular */
+double A[N][N];
+double B[N][N];
+
+void init_array() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++)
+      A[i][j] = (double)((i + j) % N) / N;
+    A[i][i] = 1.0;
+    for (int j = 0; j < N; j++)
+      B[i][j] = (double)((N + i - j) % N) / N;
+  }
+}
+
+void kernel_trmm() {
+  double alpha = 1.5;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      for (int k = i + 1; k < N; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+}
+
+void bench_main() {
+  init_array();
+  kernel_trmm();
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) s = s + B[i][j];
+  print_double(s);
+}

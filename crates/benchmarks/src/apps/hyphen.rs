@@ -1,0 +1,62 @@
+//! Hyphenopoly analogue (§4.1.3, Table 10): Liang-style pattern
+//! hyphenation of an 18 KB text, implemented in MiniC (compiled to Wasm)
+//! and hand-written MiniJS.
+//!
+//! Both versions generate the same deterministic pseudo-text, apply the
+//! same digit-pattern table, and print the number of hyphenation points —
+//! so cross-language agreement is checkable. Per the paper, a significant
+//! share of the time goes to character shuffling ("input and output
+//! operations in which WebAssembly is not specialized"), which is why the
+//! two land close together (ratio ≈ 0.94).
+
+/// Supported languages (Table 10 rows: `en-us` and `fr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lang {
+    /// American English patterns.
+    EnUs,
+    /// French patterns.
+    Fr,
+}
+
+impl Lang {
+    /// Both languages.
+    pub const ALL: [Lang; 2] = [Lang::EnUs, Lang::Fr];
+
+    /// Table 10 row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lang::EnUs => "en-us",
+            Lang::Fr => "fr",
+        }
+    }
+
+    /// The `LANG` define value the MiniC source switches on.
+    pub fn define(self) -> u32 {
+        match self {
+            Lang::EnUs => 0,
+            Lang::Fr => 1,
+        }
+    }
+}
+
+/// Text length in bytes (the paper used 18 KB inputs).
+pub const TEXT_BYTES: u32 = 18 * 1024;
+
+/// The MiniC implementation (compiled to Wasm by the harness).
+pub const C_SOURCE: &str = include_str!("../../kernels/apps/hyphen.c");
+
+/// The hand-written MiniJS implementation.
+pub const JS_SOURCE: &str = include_str!("../../js/hyphen.js");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_present() {
+        assert!(C_SOURCE.contains("bench_main"));
+        assert!(JS_SOURCE.contains("function bench_main"));
+        assert_eq!(Lang::EnUs.define(), 0);
+        assert_eq!(Lang::Fr.name(), "fr");
+    }
+}

@@ -1,0 +1,158 @@
+//! Long.js analogue (§4.1.3, Tables 10 and 12): 64-bit integer arithmetic
+//! in both languages.
+//!
+//! * **JavaScript**: a faithful miniature of the Long.js library — values
+//!   split into 16-bit limbs to avoid double-precision overflow (the
+//!   `low`/`high` pair with 16-bit partial products, like the upstream
+//!   `src/long.js`). This is what makes the JS side execute ~10× more
+//!   arithmetic operations (Table 12).
+//! * **WebAssembly**: a hand-built module using native `i64` instructions,
+//!   like the upstream `src/wasm.wat`.
+//!
+//! Each Table 10 operation (`mul(36, -2)`, `div(-2, -2)`, `mod(36, 5)`)
+//! is driven 10,000 times by the harness.
+
+use wb_wasm::{Instr, Module, ModuleBuilder, ValType};
+
+/// The three Long.js experiments of Table 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LongOp {
+    /// `mul(36, -2)`.
+    Multiplication,
+    /// `div(-2, -2)`.
+    Division,
+    /// `mod(36, 5)`.
+    Remainder,
+}
+
+impl LongOp {
+    /// All three, Table 10 order.
+    pub const ALL: [LongOp; 3] = [LongOp::Multiplication, LongOp::Division, LongOp::Remainder];
+
+    /// Table 10 row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            LongOp::Multiplication => "multiplication",
+            LongOp::Division => "division",
+            LongOp::Remainder => "remainder",
+        }
+    }
+
+    /// The paper's input description.
+    pub fn input_desc(self) -> &'static str {
+        match self {
+            LongOp::Multiplication => "10,000 mul(36,-2)",
+            LongOp::Division => "10,000 div(-2,-2)",
+            LongOp::Remainder => "10,000 mod(36,5)",
+        }
+    }
+
+    /// Exported wasm function / JS driver function name.
+    pub fn func(self) -> &'static str {
+        match self {
+            LongOp::Multiplication => "bench_mul",
+            LongOp::Division => "bench_div",
+            LongOp::Remainder => "bench_mod",
+        }
+    }
+
+    /// Operand pair from Table 10.
+    pub fn operands(self) -> (i64, i64) {
+        match self {
+            LongOp::Multiplication => (36, -2),
+            LongOp::Division => (-2, -2),
+            LongOp::Remainder => (36, 5),
+        }
+    }
+}
+
+/// Iterations per experiment (Table 10: 10,000).
+pub const ITERATIONS: i32 = 10_000;
+
+/// Build the Wasm Long module, shaped like the upstream `wasm.wat`:
+/// each export takes the operands as **(hi, lo) i32 pairs** (JS numbers
+/// cannot carry an i64 across the boundary), reconstructs the i64s with
+/// shifts and ors, performs one native i64 operation, and returns the low
+/// half with the high half parked in an exported global — the exact
+/// instruction mix behind Table 12's Wasm rows (3 shifts + 2 ors + 1 op
+/// per call).
+pub fn wasm_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let hi_global = mb.global(ValType::I32, true, Instr::I32Const(0));
+    for op in LongOp::ALL {
+        let mut f = mb.func(
+            op.func(),
+            vec![ValType::I32, ValType::I32, ValType::I32, ValType::I32],
+            vec![ValType::I32],
+        );
+        let a64 = f.local(ValType::I64);
+        let b64 = f.local(ValType::I64);
+        let r64 = f.local(ValType::I64);
+        let arith = match op {
+            LongOp::Multiplication => Instr::I64Mul,
+            LongOp::Division => Instr::I64DivS,
+            LongOp::Remainder => Instr::I64RemS,
+        };
+        f.ops([
+            // a = (i64(a_hi) << 32) | u64(a_lo)
+            Instr::LocalGet(0),
+            Instr::I64ExtendI32S,
+            Instr::I64Const(32),
+            Instr::I64Shl,
+            Instr::LocalGet(1),
+            Instr::I64ExtendI32U,
+            Instr::I64Or,
+            Instr::LocalSet(a64),
+            // b likewise
+            Instr::LocalGet(2),
+            Instr::I64ExtendI32S,
+            Instr::I64Const(32),
+            Instr::I64Shl,
+            Instr::LocalGet(3),
+            Instr::I64ExtendI32U,
+            Instr::I64Or,
+            Instr::LocalSet(b64),
+            // r = a op b
+            Instr::LocalGet(a64),
+            Instr::LocalGet(b64),
+            arith,
+            Instr::LocalTee(r64),
+            // __hi = i32(r >> 32)
+            Instr::I64Const(32),
+            Instr::I64ShrS,
+            Instr::I32WrapI64,
+            Instr::GlobalSet(hi_global),
+            // return lo
+            Instr::LocalGet(r64),
+            Instr::I32WrapI64,
+        ])
+        .done();
+        mb.finish_func(f, true);
+    }
+    mb.build()
+}
+
+/// The Long.js-style MiniJS library plus matching bench drivers.
+pub const JS_SOURCE: &str = include_str!("../../js/longjs.js");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wasm_module_is_valid_and_exports_all_ops() {
+        let m = wasm_module();
+        wb_wasm::validate(&m).unwrap();
+        for op in LongOp::ALL {
+            assert!(m.exported_func(op.func()).is_some(), "{}", op.func());
+        }
+    }
+
+    #[test]
+    fn js_source_defines_the_library_and_drivers() {
+        assert!(JS_SOURCE.contains("function long_mul"));
+        assert!(JS_SOURCE.contains("function bench_mul"));
+        assert!(JS_SOURCE.contains("function bench_div"));
+        assert!(JS_SOURCE.contains("function bench_mod"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Real-world application analogues (§4.1.3, Table 10): Long.js,
+//! Hyphenopoly, and FFmpeg.
+
+pub mod ffmpeg;
+pub mod hyphen;
+pub mod longjs;

@@ -1,0 +1,131 @@
+//! Dataset sizes (§3.2): Extra-Small through Extra-Large, selected via
+//! `#define` injection exactly like PolyBenchC's `-D*_DATASET` flags.
+
+use std::fmt;
+
+/// The five input sizes of §3.2 / Fig 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InputSize {
+    /// Extra small (PolyBench MINI-like).
+    XS,
+    /// Small.
+    S,
+    /// Medium — the default for experiments that fix the input (§4.2).
+    M,
+    /// Large.
+    L,
+    /// Extra large.
+    XL,
+}
+
+impl InputSize {
+    /// All five, smallest first.
+    pub const ALL: [InputSize; 5] = [
+        InputSize::XS,
+        InputSize::S,
+        InputSize::M,
+        InputSize::L,
+        InputSize::XL,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputSize::XS => "Extra-small",
+            InputSize::S => "Small",
+            InputSize::M => "Medium",
+            InputSize::L => "Large",
+            InputSize::XL => "Extra-large",
+        }
+    }
+
+    /// Short code ("XS", "S", …).
+    pub fn code(self) -> &'static str {
+        match self {
+            InputSize::XS => "XS",
+            InputSize::S => "S",
+            InputSize::M => "M",
+            InputSize::L => "L",
+            InputSize::XL => "XL",
+        }
+    }
+
+    /// Index 0..5 (for scaling tables).
+    pub fn index(self) -> usize {
+        match self {
+            InputSize::XS => 0,
+            InputSize::S => 1,
+            InputSize::M => 2,
+            InputSize::L => 3,
+            InputSize::XL => 4,
+        }
+    }
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Scaling profiles: how a benchmark's dimension macros grow with size.
+/// Values are chosen so the *work* spans ~3 orders of magnitude from XS
+/// to XL (like PolyBench's MINI→EXTRALARGE) while remaining tractable for
+/// an interpreted substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scaling {
+    /// O(N³) kernels (matrix multiply family): modest N.
+    Cubic,
+    /// O(N²) kernels and O(N²)·TSTEPS stencils.
+    Quadratic,
+    /// O(N) or O(N·iter) kernels (1-D stencils, DSP, crypto blocks).
+    Linear,
+}
+
+impl Scaling {
+    /// The `N` value for a size.
+    pub fn n(self, size: InputSize) -> u32 {
+        match self {
+            Scaling::Cubic => [8, 16, 32, 64, 96][size.index()],
+            Scaling::Quadratic => [16, 40, 96, 192, 320][size.index()],
+            Scaling::Linear => [64, 256, 1024, 8192, 32768][size.index()],
+        }
+    }
+
+    /// The `TSTEPS` value for a size (stencil time loops).
+    pub fn tsteps(self, size: InputSize) -> u32 {
+        [2, 4, 8, 12, 16][size.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_ordered_and_named() {
+        assert!(InputSize::XS < InputSize::XL);
+        assert_eq!(InputSize::M.name(), "Medium");
+        assert_eq!(InputSize::L.code(), "L");
+        assert_eq!(format!("{}", InputSize::XL), "XL");
+    }
+
+    #[test]
+    fn scaling_is_monotonic() {
+        for s in [Scaling::Cubic, Scaling::Quadratic, Scaling::Linear] {
+            let mut prev = 0;
+            for size in InputSize::ALL {
+                let n = s.n(size);
+                assert!(n > prev, "{s:?} {size}");
+                prev = n;
+            }
+        }
+    }
+
+    #[test]
+    fn work_spans_orders_of_magnitude() {
+        // Cubic work ratio XL/XS ≈ (96/8)³ = 1728.
+        let w = |n: u32| (n as u64).pow(3);
+        assert!(w(Scaling::Cubic.n(InputSize::XL)) / w(Scaling::Cubic.n(InputSize::XS)) > 1000);
+    }
+}

@@ -1,0 +1,29 @@
+//! # wb-benchmarks — the study's benchmark corpus
+//!
+//! Three program sets, mirroring §4.1:
+//!
+//! 1. **41 C benchmarks** ([`suite`]): the 30 PolyBenchC 4.2.1 kernels and
+//!    11 CHStone kernels the paper evaluates, re-written in MiniC with the
+//!    same computations and five dataset sizes each (XS/S/M/L/XL). The
+//!    dataset dimensions are *scaled to simulator throughput* — the shapes
+//!    (work growth, memory growth, instruction mixes) are preserved while
+//!    absolute sizes fit an interpreted substrate; see EXPERIMENTS.md.
+//! 2. **9 manually-written MiniJS benchmarks** ([`manual_js`]; Table 9),
+//!    including mathjs-style object-matrix variants and W3C-API variants.
+//! 3. **3 real-world application analogues** ([`apps`]; Table 10):
+//!    Long.js 64-bit arithmetic, a Liang-style hyphenator, and an
+//!    FFmpeg-like stream transcoder with a WebWorker-pool model.
+//!
+//! Every C benchmark prints a checksum so the harness can verify that all
+//! backends computed the same thing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod datasets;
+pub mod manual_js;
+pub mod suite;
+
+pub use datasets::InputSize;
+pub use suite::{all_benchmarks, find, Benchmark, Category, Suite};

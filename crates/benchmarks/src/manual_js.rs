@@ -1,0 +1,105 @@
+//! Manually-written JavaScript benchmarks (§4.1.2, Table 9).
+//!
+//! Nine benchmarks chosen from PolyBenchC and CHStone, each representing
+//! one computation category, written the way real-world JS gets written:
+//! the linear-algebra ones against a math.js-style object-matrix library
+//! (`mathlib`), the crypto ones both carefully (typed arrays, Table 9's
+//! fast AES) and naively (plain arrays, Table 9's slow BLOWFISH), and the
+//! hashing one both through the W3C Web Cryptography API analogue
+//! (`crypto.sha256`) and as a jsSHA-style pure-JS implementation.
+
+/// The math.js-style matrix library shared by the `(math.js)` variants.
+pub const MATHLIB: &str = include_str!("../js/mathlib.js");
+
+/// A manually-written MiniJS benchmark (Table 9 row).
+#[derive(Debug, Clone)]
+pub struct ManualJs {
+    /// Table 9 name, e.g. `"3mm"` or `"SHA (W3C)"`.
+    pub name: &'static str,
+    /// MiniJS source (excluding [`MATHLIB`]; see [`ManualJs::full_source`]).
+    pub source: &'static str,
+    /// Whether the program needs [`MATHLIB`] prepended.
+    pub needs_mathlib: bool,
+    /// The corresponding compiled benchmark's name (for the Cheerp/Wasm
+    /// comparison columns).
+    pub counterpart: &'static str,
+}
+
+impl ManualJs {
+    /// The loadable source (mathlib prepended when needed).
+    pub fn full_source(&self) -> String {
+        if self.needs_mathlib {
+            format!("{}\n{}", MATHLIB, self.source)
+        } else {
+            self.source.to_string()
+        }
+    }
+
+    /// Source lines of code, the Table 9 `LOC` column (mathjs-dependent
+    /// programs count the library like the paper counts math.js).
+    pub fn loc(&self) -> usize {
+        self.full_source()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+}
+
+macro_rules! manual {
+    ($name:literal, $file:literal, $mathlib:literal, $counterpart:literal) => {
+        ManualJs {
+            name: $name,
+            source: include_str!(concat!("../js/", $file)),
+            needs_mathlib: $mathlib,
+            counterpart: $counterpart,
+        }
+    };
+}
+
+/// All manual benchmarks, in Table 9 order.
+pub fn all_manual() -> Vec<ManualJs> {
+    vec![
+        manual!("3mm", "3mm.js", true, "3mm"),
+        manual!("Covariance", "covariance.js", true, "covariance"),
+        manual!("Syr2k", "syr2k.js", true, "syr2k"),
+        manual!("Ludcmp", "ludcmp.js", false, "ludcmp"),
+        manual!("Floyd-warshall", "floyd-warshall.js", false, "floyd-warshall"),
+        manual!("Heat-3d (W3C)", "heat-3d-w3c.js", false, "heat-3d"),
+        manual!("Heat-3d (math.js)", "heat-3d-mathjs.js", true, "heat-3d"),
+        manual!("AES", "aes.js", false, "AES"),
+        manual!("BLOWFISH", "blowfish.js", false, "BLOWFISH"),
+        manual!("SHA (W3C)", "sha-w3c.js", false, "SHA"),
+        manual!("SHA (jsSHA)", "sha-jssha.js", false, "SHA"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_rows_nine_distinct_benchmarks() {
+        let all = all_manual();
+        assert_eq!(all.len(), 11, "Table 9 has 11 rows");
+        let mut counterparts: Vec<_> = all.iter().map(|m| m.counterpart).collect();
+        counterparts.sort_unstable();
+        counterparts.dedup();
+        assert_eq!(counterparts.len(), 9, "9 distinct benchmarks");
+    }
+
+    #[test]
+    fn every_source_has_bench_main() {
+        for m in all_manual() {
+            assert!(m.full_source().contains("function bench_main"), "{}", m.name);
+            assert!(m.loc() > 10, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn w3c_sha_is_much_shorter_than_jssha() {
+        let all = all_manual();
+        let w3c = all.iter().find(|m| m.name == "SHA (W3C)").unwrap();
+        let jssha = all.iter().find(|m| m.name == "SHA (jsSHA)").unwrap();
+        assert!(w3c.loc() * 2 < jssha.loc());
+    }
+}

@@ -1,0 +1,228 @@
+//! The 41-benchmark C corpus (Table 1): 30 PolyBenchC + 11 CHStone
+//! kernels, each with five dataset sizes selected via `-D` defines.
+
+use crate::datasets::{InputSize, Scaling};
+
+/// Which benchmark suite a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// PolyBenchC 4.2.1.
+    PolyBenchC,
+    /// CHStone 1.11.
+    CHStone,
+}
+
+impl Suite {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::PolyBenchC => "PolyBenchC",
+            Suite::CHStone => "CHStone",
+        }
+    }
+}
+
+/// Use-case category, per the paper's §4.1.1 attribution list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Data mining (covariance, correlation).
+    DataMining,
+    /// BLAS routines.
+    Blas,
+    /// Linear algebra kernels.
+    LinAlgKernel,
+    /// Linear algebra solvers.
+    LinAlgSolver,
+    /// Image/video/signal filtering.
+    Media,
+    /// Graph / dynamic programming algorithms.
+    GraphDp,
+    /// Stencils and scientific simulation.
+    Stencil,
+    /// Cryptography.
+    Crypto,
+    /// DSP / telephony codecs.
+    Dsp,
+    /// Floating-point emulation (soft-float).
+    SoftFloat,
+    /// Platform emulation.
+    Emulation,
+    /// Hashing.
+    Hash,
+}
+
+/// How a benchmark's macros derive from an [`InputSize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dims {
+    /// `N` from a [`Scaling`] profile.
+    N(Scaling),
+    /// `N` + `TSTEPS` from a [`Scaling`] profile.
+    NT(Scaling),
+    /// Custom per-size `N` table.
+    CustomN([u32; 5]),
+    /// Custom `N` table + standard `TSTEPS`.
+    CustomNT([u32; 5]),
+    /// CHStone `ITERS` table.
+    Iters([u32; 5]),
+}
+
+/// One benchmark of the 41-kernel corpus.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Table 1 name (lowercase PolyBench, uppercase CHStone).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Use-case category (§4.1.1).
+    pub category: Category,
+    /// One-line description (Table 1).
+    pub description: &'static str,
+    /// MiniC source text.
+    pub source: &'static str,
+    dims: Dims,
+}
+
+impl Benchmark {
+    /// The `-D` definitions selecting a dataset size (§3.2).
+    pub fn defines(&self, size: InputSize) -> Vec<(String, String)> {
+        match self.dims {
+            Dims::N(s) => vec![("N".into(), s.n(size).to_string())],
+            Dims::NT(s) => vec![
+                ("N".into(), s.n(size).to_string()),
+                ("TSTEPS".into(), s.tsteps(size).to_string()),
+            ],
+            Dims::CustomN(t) => vec![("N".into(), t[size.index()].to_string())],
+            Dims::CustomNT(t) => vec![
+                ("N".into(), t[size.index()].to_string()),
+                (
+                    "TSTEPS".into(),
+                    Scaling::Quadratic.tsteps(size).to_string(),
+                ),
+            ],
+            Dims::Iters(t) => vec![("ITERS".into(), t[size.index()].to_string())],
+        }
+    }
+
+    /// Source lines of code (Table 1's LOC flavor).
+    pub fn loc(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+/// CHStone iteration tables.
+const ITERS_SMALL: [u32; 5] = [2, 8, 32, 128, 512];
+const ITERS_BIG: [u32; 5] = [8, 32, 128, 1024, 4096];
+
+macro_rules! bench {
+    ($name:literal, $suite:ident, $cat:ident, $desc:literal, $file:literal, $dims:expr) => {
+        Benchmark {
+            name: $name,
+            suite: Suite::$suite,
+            category: Category::$cat,
+            description: $desc,
+            source: include_str!(concat!("../kernels/", $file)),
+            dims: $dims,
+        }
+    };
+}
+
+/// All 41 benchmarks, PolyBench first, in Table 1 order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    use Dims::*;
+    vec![
+        bench!("covariance", PolyBenchC, DataMining, "Covariance computation", "polybench/covariance.c", N(Scaling::Cubic)),
+        bench!("correlation", PolyBenchC, DataMining, "Normalized covariance computation", "polybench/correlation.c", N(Scaling::Cubic)),
+        bench!("gemm", PolyBenchC, Blas, "Generalized matrix multiplication", "polybench/gemm.c", N(Scaling::Cubic)),
+        bench!("gemver", PolyBenchC, Blas, "Multiple matrix-vector multiplication", "polybench/gemver.c", N(Scaling::Quadratic)),
+        bench!("gesummv", PolyBenchC, Blas, "Summed matrix-vector multiplication", "polybench/gesummv.c", N(Scaling::Quadratic)),
+        bench!("symm", PolyBenchC, Blas, "Symmetric matrix multiplication", "polybench/symm.c", N(Scaling::Cubic)),
+        bench!("syrk", PolyBenchC, Blas, "Symmetric rank-k update", "polybench/syrk.c", N(Scaling::Cubic)),
+        bench!("syr2k", PolyBenchC, Blas, "Symmetric rank-2k update", "polybench/syr2k.c", N(Scaling::Cubic)),
+        bench!("trmm", PolyBenchC, Blas, "Triangular matrix multiplication", "polybench/trmm.c", N(Scaling::Cubic)),
+        bench!("2mm", PolyBenchC, LinAlgKernel, "Two matrix multiplications", "polybench/2mm.c", N(Scaling::Cubic)),
+        bench!("3mm", PolyBenchC, LinAlgKernel, "Three matrix multiplications", "polybench/3mm.c", N(Scaling::Cubic)),
+        bench!("atax", PolyBenchC, LinAlgKernel, "A-transpose times A times x", "polybench/atax.c", N(Scaling::Quadratic)),
+        bench!("bicg", PolyBenchC, LinAlgKernel, "Biconjugate gradient stabilization", "polybench/bicg.c", N(Scaling::Quadratic)),
+        bench!("doitgen", PolyBenchC, LinAlgKernel, "Numerical scientific simulation", "polybench/doitgen.c", CustomN([4, 8, 12, 20, 28])),
+        bench!("mvt", PolyBenchC, LinAlgKernel, "Matrix-vector multiplication", "polybench/mvt.c", N(Scaling::Quadratic)),
+        bench!("cholesky", PolyBenchC, LinAlgSolver, "Matrix decomposition", "polybench/cholesky.c", N(Scaling::Cubic)),
+        bench!("durbin", PolyBenchC, LinAlgSolver, "Yule-Walker equations solver", "polybench/durbin.c", N(Scaling::Quadratic)),
+        bench!("gramschmidt", PolyBenchC, LinAlgSolver, "QR matrix decomposition", "polybench/gramschmidt.c", N(Scaling::Cubic)),
+        bench!("lu", PolyBenchC, LinAlgSolver, "LU matrix decomposition", "polybench/lu.c", N(Scaling::Cubic)),
+        bench!("ludcmp", PolyBenchC, LinAlgSolver, "Linear equations solver", "polybench/ludcmp.c", N(Scaling::Cubic)),
+        bench!("trisolv", PolyBenchC, LinAlgSolver, "Triangular matrix solver", "polybench/trisolv.c", N(Scaling::Quadratic)),
+        bench!("deriche", PolyBenchC, Media, "Edge detection and smoothing filter", "polybench/deriche.c", N(Scaling::Quadratic)),
+        bench!("floyd-warshall", PolyBenchC, GraphDp, "Shortest paths in graph solver", "polybench/floyd-warshall.c", N(Scaling::Cubic)),
+        bench!("nussinov", PolyBenchC, GraphDp, "RNA folding prediction", "polybench/nussinov.c", N(Scaling::Cubic)),
+        bench!("adi", PolyBenchC, Stencil, "2D heat diffusion simulation", "polybench/adi.c", CustomNT([8, 16, 32, 64, 100])),
+        bench!("fdtd-2d", PolyBenchC, Stencil, "Electric and magnetic fields simulation", "polybench/fdtd-2d.c", NT(Scaling::Quadratic)),
+        bench!("heat-3d", PolyBenchC, Stencil, "Heat equation over 3D space", "polybench/heat-3d.c", CustomNT([6, 10, 16, 24, 32])),
+        bench!("jacobi-1d", PolyBenchC, Stencil, "Jacobi-style stencil (1D)", "polybench/jacobi-1d.c", NT(Scaling::Linear)),
+        bench!("jacobi-2d", PolyBenchC, Stencil, "Jacobi-style stencil (2D)", "polybench/jacobi-2d.c", NT(Scaling::Quadratic)),
+        bench!("seidel-2d", PolyBenchC, Stencil, "Gauss-Seidel stencil (2D)", "polybench/seidel-2d.c", NT(Scaling::Quadratic)),
+        // CHStone.
+        bench!("ADPCM", CHStone, Dsp, "Speech signal processing algorithm", "chstone/adpcm.c", Iters(ITERS_SMALL)),
+        bench!("AES", CHStone, Crypto, "Cryptographic algorithm", "chstone/aes.c", Iters(ITERS_SMALL)),
+        bench!("BLOWFISH", CHStone, Crypto, "Data encryption standard", "chstone/blowfish.c", Iters(ITERS_SMALL)),
+        bench!("DFADD", CHStone, SoftFloat, "Addition for double", "chstone/dfadd.c", Iters(ITERS_BIG)),
+        bench!("DFDIV", CHStone, SoftFloat, "Division for double", "chstone/dfdiv.c", Iters(ITERS_BIG)),
+        bench!("DFMUL", CHStone, SoftFloat, "Multiplication for double", "chstone/dfmul.c", Iters(ITERS_BIG)),
+        bench!("DFSIN", CHStone, SoftFloat, "Sine function for double", "chstone/dfsin.c", Iters(ITERS_SMALL)),
+        bench!("GSM", CHStone, Dsp, "Speech signal processing algorithm", "chstone/gsm.c", Iters(ITERS_SMALL)),
+        bench!("MIPS", CHStone, Emulation, "Simplified MIPS processor", "chstone/mips.c", Iters(ITERS_SMALL)),
+        bench!("MOTION", CHStone, Media, "Motion vector decoding for MPEG-2", "chstone/motion.c", Iters(ITERS_SMALL)),
+        bench!("SHA", CHStone, Hash, "Secure hash algorithm", "chstone/sha.c", Iters(ITERS_SMALL)),
+    ]
+}
+
+/// Look up a benchmark by name (case-insensitive).
+pub fn find(name: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_41_benchmarks() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 41);
+        assert_eq!(
+            all.iter().filter(|b| b.suite == Suite::PolyBenchC).count(),
+            30
+        );
+        assert_eq!(all.iter().filter(|b| b.suite == Suite::CHStone).count(), 11);
+    }
+
+    #[test]
+    fn names_are_unique_and_sources_nonempty() {
+        let all = all_benchmarks();
+        let mut names: Vec<_> = all.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 41);
+        for b in &all {
+            assert!(b.loc() > 10, "{} too short", b.name);
+            assert!(b.source.contains("bench_main"), "{} lacks bench_main", b.name);
+        }
+    }
+
+    #[test]
+    fn defines_grow_with_size() {
+        for b in all_benchmarks() {
+            let xs: u32 = b.defines(InputSize::XS)[0].1.parse().unwrap();
+            let xl: u32 = b.defines(InputSize::XL)[0].1.parse().unwrap();
+            assert!(xl > xs, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("GEMM").is_some());
+        assert!(find("dfadd").is_some());
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! Corpus-wide differential test: every one of the 41 benchmarks must
+//! compile to all three targets and print identical checksums.
+
+use std::collections::HashMap;
+use wb_benchmarks::{all_benchmarks, InputSize};
+use wb_jsvm::{JsVm, JsVmConfig};
+use wb_minic::Compiler;
+use wb_wasm_vm::{HostCtx, HostFn, Instance, Value, WasmVmConfig};
+
+fn host_imports(strings: Vec<String>) -> HashMap<String, HostFn> {
+    let mut m: HashMap<String, HostFn> = HashMap::new();
+    m.insert(
+        "env.print_i32".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            ctx.output.push(args[0].as_i32().to_string());
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_i64".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            ctx.output.push(args[0].as_i64().to_string());
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_f64".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            let v = args[0].as_f64();
+            let s = if v == v.trunc() && v.abs() < 1e21 && !v.is_nan() {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            };
+            ctx.output.push(s);
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_str".into(),
+        Box::new(move |ctx: &mut HostCtx, args: &[Value]| {
+            let id = args[0].as_i32() as usize;
+            ctx.output.push(strings.get(id).cloned().unwrap_or_default());
+            Ok(None)
+        }),
+    );
+    for (name, f) in [
+        ("math.exp", f64::exp as fn(f64) -> f64),
+        ("math.log", f64::ln),
+        ("math.sin", f64::sin),
+        ("math.cos", f64::cos),
+        ("math.tan", f64::tan),
+        ("math.atan", f64::atan),
+    ] {
+        m.insert(
+            name.into(),
+            Box::new(move |_: &mut HostCtx, args: &[Value]| {
+                Ok(Some(Value::F64(f(args[0].as_f64()))))
+            }),
+        );
+    }
+    m.insert(
+        "math.pow".into(),
+        Box::new(|_: &mut HostCtx, args: &[Value]| {
+            Ok(Some(Value::F64(args[0].as_f64().powf(args[1].as_f64()))))
+        }),
+    );
+    m
+}
+
+#[test]
+fn all_41_benchmarks_agree_across_backends_at_xs() {
+    let mut failures = Vec::new();
+    for b in all_benchmarks() {
+        let mut compiler = Compiler::cheerp().heap_limit(256 << 20);
+        for (k, v) in b.defines(InputSize::XS) {
+            compiler = compiler.define(&k, v);
+        }
+
+        let native = match compiler.compile_native(b.source) {
+            Ok(p) => p,
+            Err(e) => {
+                failures.push(format!("{}: native compile: {e}", b.name));
+                continue;
+            }
+        };
+        let nout = match native.run("bench_main", &[]) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("{}: native run: {e}", b.name));
+                continue;
+            }
+        };
+
+        let wasm = match compiler.compile_wasm(b.source) {
+            Ok(w) => w,
+            Err(e) => {
+                failures.push(format!("{}: wasm compile: {e}", b.name));
+                continue;
+            }
+        };
+        if let Err(e) = wb_wasm::validate(&wasm.module) {
+            failures.push(format!("{}: wasm validation: {e}", b.name));
+            continue;
+        }
+        let mut inst = match Instance::from_module(
+            wasm.module,
+            WasmVmConfig::reference(),
+            host_imports(wasm.strings),
+        ) {
+            Ok(i) => i,
+            Err(e) => {
+                failures.push(format!("{}: instantiate: {e}", b.name));
+                continue;
+            }
+        };
+        if let Err(e) = inst.invoke("bench_main", &[]) {
+            failures.push(format!("{}: wasm run: {e}", b.name));
+            continue;
+        }
+
+        let js = match compiler.compile_js(b.source) {
+            Ok(j) => j,
+            Err(e) => {
+                failures.push(format!("{}: js compile: {e}", b.name));
+                continue;
+            }
+        };
+        let mut vm = JsVm::new(JsVmConfig::reference());
+        if let Err(e) = vm.load(&js.source) {
+            failures.push(format!("{}: js load: {e}", b.name));
+            continue;
+        }
+        if let Err(e) = vm.call("bench_main", &[]) {
+            failures.push(format!("{}: js run: {e}", b.name));
+            continue;
+        }
+
+        if nout.output != inst.output {
+            failures.push(format!(
+                "{}: native {:?} != wasm {:?}",
+                b.name, nout.output, inst.output
+            ));
+        }
+        if nout.output != vm.output {
+            failures.push(format!(
+                "{}: native {:?} != js {:?}",
+                b.name, nout.output, vm.output
+            ));
+        }
+        if nout.output.is_empty() {
+            failures.push(format!("{}: no output", b.name));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn medium_size_agrees_for_representative_benchmarks() {
+    // One per category, at M, at O2 and Oz.
+    for name in ["gemm", "jacobi-2d", "durbin", "floyd-warshall", "AES", "DFADD", "SHA"] {
+        let b = wb_benchmarks::suite::find(name).unwrap();
+        for level in [wb_minic::OptLevel::O2, wb_minic::OptLevel::Oz] {
+            let mut compiler = Compiler::cheerp().opt_level(level).heap_limit(256 << 20);
+            for (k, v) in b.defines(InputSize::M) {
+                compiler = compiler.define(&k, v);
+            }
+            let nout = compiler
+                .compile_native(b.source)
+                .unwrap()
+                .run("bench_main", &[])
+                .unwrap();
+            let wasm = compiler.compile_wasm(b.source).unwrap();
+            let mut inst = Instance::from_module(
+                wasm.module,
+                WasmVmConfig::reference(),
+                host_imports(wasm.strings),
+            )
+            .unwrap();
+            inst.invoke("bench_main", &[]).unwrap();
+            assert_eq!(nout.output, inst.output, "{name} at {level:?}");
+
+            let js = compiler.compile_js(b.source).unwrap();
+            let mut vm = JsVm::new(JsVmConfig::reference());
+            vm.load(&js.source).unwrap();
+            vm.call("bench_main", &[]).unwrap();
+            assert_eq!(nout.output, vm.output, "{name} at {level:?}");
+        }
+    }
+}

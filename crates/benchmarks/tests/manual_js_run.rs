@@ -1,0 +1,34 @@
+//! The manually-written JS programs must load and run in the MiniJS engine.
+
+use wb_benchmarks::manual_js::all_manual;
+use wb_jsvm::{JsVm, JsVmConfig};
+
+#[test]
+fn every_manual_benchmark_runs_and_prints() {
+    for m in all_manual() {
+        let mut vm = JsVm::new(JsVmConfig::reference());
+        vm.load(&m.full_source())
+            .unwrap_or_else(|e| panic!("{}: load failed: {e}", m.name));
+        vm.call("bench_main", &[])
+            .unwrap_or_else(|e| panic!("{}: run failed: {e}", m.name));
+        assert_eq!(vm.output.len(), 1, "{} prints one checksum", m.name);
+    }
+}
+
+#[test]
+fn variants_of_the_same_benchmark_agree() {
+    // The two heat-3d variants compute the same stencil.
+    let all = all_manual();
+    let run = |name: &str| {
+        let m = all.iter().find(|m| m.name == name).unwrap();
+        let mut vm = JsVm::new(JsVmConfig::reference());
+        vm.load(&m.full_source()).unwrap();
+        vm.call("bench_main", &[]).unwrap();
+        vm.output.clone()
+    };
+    assert_eq!(run("Heat-3d (W3C)"), run("Heat-3d (math.js)"));
+    // The two SHA variants hash the same message with SHA-256 but report
+    // different checksum foldings, so only check they both produce output.
+    assert!(!run("SHA (W3C)").is_empty());
+    assert!(!run("SHA (jsSHA)").is_empty());
+}

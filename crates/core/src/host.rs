@@ -1,0 +1,109 @@
+//! Standard host (JavaScript-side) imports for compiled Wasm modules:
+//! the `print_*` runtime and the `Math` transcendentals the Cheerp
+//! profile imports instead of compiling libm (§3.2).
+
+use std::collections::HashMap;
+use wb_wasm_vm::{HostCtx, HostFn, Value};
+
+/// Canonical float formatting shared with the JS engine's `console.log`
+/// and the native evaluator, so outputs compare byte-for-byte.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        }
+    } else if v == v.trunc() && v.abs() < 1e21 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Build the standard import set. `strings` is the compiled module's
+/// `print_str` table ([`wb_minic::WasmOutput::strings`]).
+pub fn standard_imports(strings: Vec<String>) -> HashMap<String, HostFn> {
+    let mut m: HashMap<String, HostFn> = HashMap::new();
+    m.insert(
+        "env.print_i32".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            ctx.output.push(args[0].as_i32().to_string());
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_i64".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            ctx.output.push(args[0].as_i64().to_string());
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_f64".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            ctx.output.push(fmt_f64(args[0].as_f64()));
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_str".into(),
+        Box::new(move |ctx: &mut HostCtx, args: &[Value]| {
+            let id = args[0].as_i32() as usize;
+            ctx.output.push(strings.get(id).cloned().unwrap_or_default());
+            Ok(None)
+        }),
+    );
+    for (name, f) in [
+        ("math.exp", f64::exp as fn(f64) -> f64),
+        ("math.log", f64::ln),
+        ("math.sin", f64::sin),
+        ("math.cos", f64::cos),
+        ("math.tan", f64::tan),
+        ("math.atan", f64::atan),
+    ] {
+        m.insert(
+            name.into(),
+            Box::new(move |_: &mut HostCtx, args: &[Value]| {
+                Ok(Some(Value::F64(f(args[0].as_f64()))))
+            }),
+        );
+    }
+    m.insert(
+        "math.pow".into(),
+        Box::new(|_: &mut HostCtx, args: &[Value]| {
+            Ok(Some(Value::F64(args[0].as_f64().powf(args[1].as_f64()))))
+        }),
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_matches_js_console_semantics() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(-2.5), "-2.5");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Infinity");
+    }
+
+    #[test]
+    fn import_set_is_complete() {
+        let m = standard_imports(vec![]);
+        for key in [
+            "env.print_i32",
+            "env.print_i64",
+            "env.print_f64",
+            "env.print_str",
+            "math.exp",
+            "math.pow",
+        ] {
+            assert!(m.contains_key(key), "{key}");
+        }
+    }
+}

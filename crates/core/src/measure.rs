@@ -1,0 +1,329 @@
+//! Run one program in one configuration and collect a [`Measurement`]
+//! (§3.3–3.4): virtual execution time with attribution, DevTools-model
+//! memory, code size, and instruction counts.
+
+use crate::host::standard_imports;
+use wb_env::{
+    calibration, ArithCounts, Environment, JitMode, Nanos, OpCounts, TierPolicy, Toolchain,
+    VirtualClock,
+};
+use wb_jsvm::{JsVm, JsVmConfig};
+use wb_minic::{CompileError, Compiler, OptLevel};
+use wb_wasm_vm::{Instance, Trap, WasmVmConfig};
+
+/// Everything one run produces (§3.4's two metrics plus attribution).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Total virtual time between the instrumentation timers.
+    pub time: Nanos,
+    /// Attribution breakdown (load/compile/exec/GC/grow/context switch).
+    pub clock: VirtualClock,
+    /// Reported memory, bytes — engine baseline + language-model usage
+    /// (Wasm: committed linear memory, never reclaimed; JS: live GC heap,
+    /// typed-array backing stores external), matching DevTools semantics.
+    pub memory_bytes: u64,
+    /// Artifact size in bytes (Wasm binary / JS source / native estimate).
+    pub code_size: u64,
+    /// Retired operations by class.
+    pub counts: OpCounts,
+    /// Fine-grained arithmetic profile (Table 12).
+    pub arith: ArithCounts,
+    /// Program output (checksums), for cross-backend verification.
+    pub output: Vec<String>,
+    /// JS↔Wasm boundary crossings (Wasm runs only).
+    pub context_switches: u64,
+}
+
+/// A failed run.
+#[derive(Debug)]
+pub enum RunError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// The Wasm VM trapped.
+    Trap(Trap),
+    /// The JS engine raised.
+    Js(wb_jsvm::JsError),
+    /// The native evaluator trapped.
+    Native(wb_minic::backend::native::NativeTrap),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "compile error: {e}"),
+            RunError::Trap(e) => write!(f, "wasm trap: {e}"),
+            RunError::Js(e) => write!(f, "js error: {e}"),
+            RunError::Native(e) => write!(f, "native trap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e)
+    }
+}
+
+impl From<Trap> for RunError {
+    fn from(e: Trap) -> Self {
+        RunError::Trap(e)
+    }
+}
+
+impl From<wb_jsvm::JsError> for RunError {
+    fn from(e: wb_jsvm::JsError) -> Self {
+        RunError::Js(e)
+    }
+}
+
+/// Configuration of a Wasm run: compile `source` with the toolchain at
+/// `level`, instantiate in `env`, call `entry`.
+#[derive(Debug, Clone)]
+pub struct WasmSpec<'a> {
+    /// MiniC source.
+    pub source: &'a str,
+    /// Dataset `-D` defines (§3.2).
+    pub defines: Vec<(String, String)>,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Cheerp or Emscripten.
+    pub toolchain: Toolchain,
+    /// Browser × platform.
+    pub env: Environment,
+    /// Tier configuration (Table 11 flags).
+    pub tier_policy: TierPolicy,
+    /// `cheerp-linear-heap-size` override.
+    pub heap_limit: Option<u64>,
+    /// Entry function.
+    pub entry: &'a str,
+}
+
+impl<'a> WasmSpec<'a> {
+    /// The study default: Cheerp, `-O2`, desktop Chrome, default tiers.
+    pub fn new(source: &'a str) -> Self {
+        WasmSpec {
+            source,
+            defines: Vec::new(),
+            level: OptLevel::O2,
+            toolchain: Toolchain::Cheerp,
+            env: Environment::desktop_chrome(),
+            tier_policy: TierPolicy::Default,
+            heap_limit: Some(256 << 20),
+            entry: "bench_main",
+        }
+    }
+}
+
+/// Configuration of a JS run.
+#[derive(Debug, Clone)]
+pub struct JsSpec<'a> {
+    /// MiniC source (for [`run_compiled_js`]) or MiniJS source (for
+    /// [`run_manual_js`]).
+    pub source: &'a str,
+    /// Dataset defines (compiled runs only).
+    pub defines: Vec<(String, String)>,
+    /// Optimization level (compiled runs only).
+    pub level: OptLevel,
+    /// Toolchain (compiled runs only).
+    pub toolchain: Toolchain,
+    /// Browser × platform.
+    pub env: Environment,
+    /// JIT enabled/disabled (`--no-opt`).
+    pub jit: JitMode,
+    /// Entry function.
+    pub entry: &'a str,
+}
+
+impl<'a> JsSpec<'a> {
+    /// The study default.
+    pub fn new(source: &'a str) -> Self {
+        JsSpec {
+            source,
+            defines: Vec::new(),
+            level: OptLevel::O2,
+            toolchain: Toolchain::Cheerp,
+            env: Environment::desktop_chrome(),
+            jit: JitMode::Enabled,
+            entry: "bench_main",
+        }
+    }
+}
+
+fn compiler_for(defines: &[(String, String)], level: OptLevel, toolchain: Toolchain, heap: Option<u64>) -> Compiler {
+    let mut c = Compiler::new(toolchain).opt_level(level);
+    if let Some(h) = heap {
+        c = c.heap_limit(h);
+    }
+    for (k, v) in defines {
+        c = c.define(k, v.clone());
+    }
+    c
+}
+
+/// Reported Wasm memory: engine baseline + committed linear memory, with
+/// the engine's large-heap over-commit slack (Table 6's Firefox XL
+/// crossover).
+pub fn reported_wasm_memory(env: Environment, linear_bytes: u64) -> u64 {
+    let profile = env.profile();
+    let slack_extra = if linear_bytes > calibration::GROW_SLACK_THRESHOLD_BYTES {
+        ((linear_bytes - calibration::GROW_SLACK_THRESHOLD_BYTES) as f64
+            * (profile.wasm_grow_slack - 1.0)) as u64
+    } else {
+        0
+    };
+    profile.wasm.baseline_memory_bytes + linear_bytes + slack_extra
+}
+
+/// Run a compiled-to-Wasm benchmark end to end.
+pub fn run_wasm(spec: &WasmSpec<'_>) -> Result<Measurement, RunError> {
+    let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, spec.heap_limit);
+    let out = compiler.compile_wasm(spec.source)?;
+    let profile = spec.env.profile();
+    let mut config = WasmVmConfig::for_env(&profile);
+    config.tier_policy = spec.tier_policy;
+    config.exec_overhead = calibration::toolchain_exec_overhead(spec.toolchain);
+
+    // Deployment (§3.3): the page fetches the binary and instantiates it —
+    // decode + validate + baseline compile are charged by `instantiate`.
+    let bytes = wb_wasm::encode_module(&out.module);
+    let mut inst = Instance::instantiate(&bytes, config, standard_imports(out.strings))?;
+    inst.invoke(spec.entry, &[])?;
+    let report = inst.report();
+
+    Ok(Measurement {
+        time: report.total,
+        clock: report.clock.clone(),
+        memory_bytes: reported_wasm_memory(spec.env, report.memory.linear_bytes),
+        code_size: bytes.len() as u64,
+        counts: report.counts,
+        arith: report.arith,
+        output: inst.output.clone(),
+        context_switches: report.context_switches,
+    })
+}
+
+/// Run a compiled-to-JavaScript benchmark end to end.
+pub fn run_compiled_js(spec: &JsSpec<'_>) -> Result<Measurement, RunError> {
+    let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, None);
+    let out = compiler.compile_js(spec.source)?;
+    run_js_source(&out.source, spec)
+}
+
+/// Run a manually-written MiniJS program (§4.1.2).
+pub fn run_manual_js(spec: &JsSpec<'_>) -> Result<Measurement, RunError> {
+    run_js_source(spec.source, spec)
+}
+
+fn run_js_source(js_source: &str, spec: &JsSpec<'_>) -> Result<Measurement, RunError> {
+    let profile = spec.env.profile();
+    let mut config = JsVmConfig::for_env(&profile);
+    config.jit = spec.jit;
+    let mut vm = JsVm::new(config);
+    vm.load(js_source)?;
+    vm.call(spec.entry, &[])?;
+    let report = vm.report();
+    Ok(Measurement {
+        time: report.total,
+        clock: report.clock.clone(),
+        memory_bytes: profile.js.baseline_memory_bytes + report.heap.peak_live_bytes,
+        code_size: js_source.len() as u64,
+        counts: report.counts,
+        arith: report.arith,
+        output: vm.output.clone(),
+        context_switches: 0,
+    })
+}
+
+/// Run the native (x86 control) build, Fig 6.
+pub fn run_native(
+    source: &str,
+    defines: &[(String, String)],
+    level: OptLevel,
+    entry: &str,
+) -> Result<Measurement, RunError> {
+    let compiler = compiler_for(defines, level, Toolchain::Cheerp, Some(1 << 30));
+    let prog = compiler.compile_native(source)?;
+    let out = prog.run(entry, &[]).map_err(RunError::Native)?;
+    let mut clock = VirtualClock::new();
+    clock.advance(out.exec_time, wb_env::TimeBucket::Exec);
+    Ok(Measurement {
+        time: out.exec_time,
+        clock,
+        memory_bytes: out.data_bytes,
+        code_size: prog.code_size(),
+        counts: out.counts,
+        arith: ArithCounts::default(),
+        output: out.output,
+        context_switches: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_env::{Browser, Platform};
+
+    const KERNEL: &str = "#define N 24\n\
+        double A[N][N];\n\
+        void bench_main() {\n\
+          for (int i = 0; i < N; i++)\n\
+            for (int j = 0; j < N; j++)\n\
+              A[i][j] = (double)(i * j % N) / N;\n\
+          double s = 0.0;\n\
+          for (int i = 0; i < N; i++)\n\
+            for (int j = 0; j < N; j++) s += A[i][j] * A[j][i];\n\
+          print_double(s);\n\
+        }";
+
+    #[test]
+    fn wasm_and_js_runs_agree_on_output() {
+        let w = run_wasm(&WasmSpec::new(KERNEL)).unwrap();
+        let j = run_compiled_js(&JsSpec::new(KERNEL)).unwrap();
+        assert_eq!(w.output, j.output);
+        assert!(w.time.0 > 0.0 && j.time.0 > 0.0);
+        assert!(w.code_size > 0 && j.code_size > 0);
+    }
+
+    #[test]
+    fn wasm_memory_includes_engine_baseline_plus_linear() {
+        let w = run_wasm(&WasmSpec::new(KERNEL)).unwrap();
+        let baseline = Environment::desktop_chrome().profile().wasm.baseline_memory_bytes;
+        assert!(w.memory_bytes > baseline);
+        assert!(w.memory_bytes < baseline + (1 << 20), "small kernel stays small");
+    }
+
+    #[test]
+    fn js_memory_is_flat_for_typed_array_kernels() {
+        let j = run_compiled_js(&JsSpec::new(KERNEL)).unwrap();
+        let baseline = Environment::desktop_chrome().profile().js.baseline_memory_bytes;
+        // Typed-array backing is external: reported stays near baseline.
+        assert!(j.memory_bytes < baseline + 64 * 1024, "{}", j.memory_bytes);
+    }
+
+    #[test]
+    fn environments_change_the_numbers() {
+        let chrome = run_wasm(&WasmSpec::new(KERNEL)).unwrap();
+        let mut spec = WasmSpec::new(KERNEL);
+        spec.env = Environment::new(Browser::Firefox, Platform::Desktop);
+        let firefox = run_wasm(&spec).unwrap();
+        assert_ne!(chrome.time.0, firefox.time.0);
+        assert_eq!(chrome.output, firefox.output, "results identical, time differs");
+    }
+
+    #[test]
+    fn native_control_runs() {
+        let n = run_native(KERNEL, &[], OptLevel::O2, "bench_main").unwrap();
+        let w = run_wasm(&WasmSpec::new(KERNEL)).unwrap();
+        assert_eq!(n.output, w.output);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_wasm(&WasmSpec::new(KERNEL)).unwrap();
+        let b = run_wasm(&WasmSpec::new(KERNEL)).unwrap();
+        assert_eq!(a.time.0.to_bits(), b.time.0.to_bits());
+        assert_eq!(a.memory_bytes, b.memory_bytes);
+    }
+}

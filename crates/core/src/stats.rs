@@ -1,0 +1,156 @@
+//! Statistics used throughout the paper's tables: geometric means,
+//! arithmetic means, the speedup/slowdown split of Tables 3/5, and the
+//! five-number summaries of Fig 11.
+
+/// Geometric mean of strictly positive values. Returns `None` for empty
+/// input or any non-positive value.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean. Returns `None` for empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Five-number summary (Fig 11's box-and-whisker inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Compute the five-number summary (linear interpolation quantiles).
+pub fn five_number(values: &[f64]) -> Option<FiveNumber> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let q = |p: f64| -> f64 {
+        let idx = p * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        if lo == hi {
+            v[lo]
+        } else {
+            v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+        }
+    };
+    Some(FiveNumber {
+        min: v[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: v[v.len() - 1],
+    })
+}
+
+/// The Tables 3/5 statistics: how many benchmarks sped up vs slowed down
+/// (Wasm relative to JS), with per-group geometric means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupSplit {
+    /// Benchmarks where Wasm is slower than JS (the SD columns).
+    pub slowdown_count: usize,
+    /// Geomean slowdown factor (JS time advantage) over those.
+    pub slowdown_gmean: f64,
+    /// Benchmarks where Wasm is faster (the SU columns).
+    pub speedup_count: usize,
+    /// Geomean speedup factor over those.
+    pub speedup_gmean: f64,
+    /// Geomean speedup across all benchmarks (> 1 means Wasm faster; the
+    /// paper prints slowdowns as `x↓` = 1/value).
+    pub all_gmean: f64,
+}
+
+/// Build the split from `(js_time, wasm_time)` pairs.
+pub fn speedup_split(pairs: &[(f64, f64)]) -> Option<SpeedupSplit> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let mut slowdowns = Vec::new(); // wasm/js > 1 → wasm slower
+    let mut speedups = Vec::new(); // js/wasm > 1 → wasm faster
+    let mut all = Vec::new();
+    for (js, wasm) in pairs {
+        if *js <= 0.0 || *wasm <= 0.0 {
+            return None;
+        }
+        let su = js / wasm;
+        all.push(su);
+        if su >= 1.0 {
+            speedups.push(su);
+        } else {
+            slowdowns.push(1.0 / su);
+        }
+    }
+    Some(SpeedupSplit {
+        slowdown_count: slowdowns.len(),
+        slowdown_gmean: geomean(&slowdowns).unwrap_or(1.0),
+        speedup_count: speedups.len(),
+        speedup_gmean: geomean(&speedups).unwrap_or(1.0),
+        all_gmean: geomean(&all)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[1.0, 4.0]), Some(2.0));
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[1.0, 0.0]).is_none());
+        assert!(geomean(&[1.0, -2.0]).is_none());
+        let g = geomean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let f = five_number(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.q1, 2.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.q3, 4.0);
+        assert_eq!(f.max, 5.0);
+        assert!(five_number(&[]).is_none());
+        let single = five_number(&[7.0]).unwrap();
+        assert_eq!(single.min, 7.0);
+        assert_eq!(single.max, 7.0);
+        assert_eq!(single.median, 7.0);
+    }
+
+    #[test]
+    fn speedup_split_matches_table3_semantics() {
+        // js=10/wasm=2 → 5× speedup; js=2/wasm=4 → 2× slowdown.
+        let s = speedup_split(&[(10.0, 2.0), (2.0, 4.0)]).unwrap();
+        assert_eq!(s.speedup_count, 1);
+        assert_eq!(s.slowdown_count, 1);
+        assert!((s.speedup_gmean - 5.0).abs() < 1e-12);
+        assert!((s.slowdown_gmean - 2.0).abs() < 1e-12);
+        // All-gmean: sqrt(5 × 0.5) ≈ 1.58 (wasm faster overall).
+        assert!((s.all_gmean - (5.0f64 * 0.5).sqrt()).abs() < 1e-12);
+    }
+}

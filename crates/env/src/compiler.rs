@@ -1,0 +1,135 @@
+//! Toolchain profiles: Cheerp vs Emscripten (§2.1, §4.2.2).
+//!
+//! The paper finds Emscripten-compiled Wasm runs 2.70× faster but uses
+//! 6.02× more memory than Cheerp-compiled Wasm, traced to two toolchain
+//! differences that we model directly:
+//!
+//! 1. **Initial memory / growth granularity** — Emscripten instantiates
+//!    modules with 16 MiB of linear memory, Cheerp with small heaps grown
+//!    in 64 KiB pages, so Cheerp programs pay many `memory.grow` calls;
+//! 2. **Codegen/runtime quality** — Emscripten's mature libc and codegen
+//!    produce leaner instruction sequences, modelled as a per-instruction
+//!    overhead factor on Cheerp output.
+
+use serde::{Deserialize, Serialize};
+
+/// Which simulated C→Wasm/JS toolchain compiled a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Toolchain {
+    /// Cheerp profile: standard-JS target, 64 KiB growth granularity,
+    /// 8 MiB default heap / 1 MiB default stack.
+    #[default]
+    Cheerp,
+    /// Emscripten profile: asm.js-style JS target, 16 MiB initial memory.
+    Emscripten,
+}
+
+/// JavaScript flavour a toolchain emits (§2.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JsTarget {
+    /// Standard JavaScript (Cheerp).
+    Standard,
+    /// asm.js-style typed-array code (Emscripten) — JIT-friendlier.
+    AsmJs,
+}
+
+/// Concrete parameters of a toolchain profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerProfile {
+    /// Which toolchain this profile models.
+    pub toolchain: Toolchain,
+    /// Linear memory pages (64 KiB each) requested at instantiation.
+    pub initial_memory_pages: u32,
+    /// Pages added per `memory.grow` request issued by the allocator.
+    pub grow_granularity_pages: u32,
+    /// Default heap limit in bytes (Cheerp: 8 MiB; §3.2). Programs whose
+    /// static data exceeds it must pass `cheerp-linear-heap-size`.
+    pub default_heap_bytes: u64,
+    /// Default stack limit in bytes (Cheerp: 1 MiB; §3.2).
+    pub default_stack_bytes: u64,
+    /// Relative instruction-count overhead of this toolchain's codegen
+    /// and bundled runtime (1.0 = reference; > 1 = more instructions for
+    /// the same kernel).
+    pub codegen_overhead: f64,
+    /// JavaScript flavour emitted when targeting JS.
+    pub js_target: JsTarget,
+}
+
+impl CompilerProfile {
+    /// The Cheerp profile (the paper's primary toolchain).
+    pub fn cheerp() -> Self {
+        CompilerProfile {
+            toolchain: Toolchain::Cheerp,
+            // Cheerp starts with a minimal heap and grows page by page.
+            initial_memory_pages: 2,
+            grow_granularity_pages: 1,
+            default_heap_bytes: 8 << 20,
+            default_stack_bytes: 1 << 20,
+            codegen_overhead: 1.55,
+            js_target: JsTarget::Standard,
+        }
+    }
+
+    /// The Emscripten profile (§4.2.2's comparison point).
+    pub fn emscripten() -> Self {
+        CompilerProfile {
+            toolchain: Toolchain::Emscripten,
+            // "Emscripten uses 16MB as its page size, i.e. the smallest
+            // memory that needs to be allocated for instantiating
+            // WebAssembly modules" (§4.2.2).
+            initial_memory_pages: 256,
+            grow_granularity_pages: 256,
+            default_heap_bytes: 256 << 20,
+            default_stack_bytes: 5 << 20,
+            codegen_overhead: 1.0,
+            js_target: JsTarget::AsmJs,
+        }
+    }
+
+    /// Profile for a toolchain tag.
+    pub fn of(toolchain: Toolchain) -> Self {
+        match toolchain {
+            Toolchain::Cheerp => Self::cheerp(),
+            Toolchain::Emscripten => Self::emscripten(),
+        }
+    }
+
+    /// Initial linear memory in bytes.
+    pub fn initial_memory_bytes(&self) -> u64 {
+        self.initial_memory_pages as u64 * 64 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emscripten_starts_with_16_mib() {
+        assert_eq!(
+            CompilerProfile::emscripten().initial_memory_bytes(),
+            16 << 20
+        );
+    }
+
+    #[test]
+    fn cheerp_grows_in_single_pages() {
+        let c = CompilerProfile::cheerp();
+        assert_eq!(c.grow_granularity_pages, 1);
+        assert!(c.initial_memory_bytes() < (1 << 20));
+        assert_eq!(c.default_heap_bytes, 8 << 20);
+        assert_eq!(c.default_stack_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn of_round_trips_toolchain_tag() {
+        for t in [Toolchain::Cheerp, Toolchain::Emscripten] {
+            assert_eq!(CompilerProfile::of(t).toolchain, t);
+        }
+    }
+
+    #[test]
+    fn cheerp_codegen_is_heavier_than_emscripten() {
+        assert!(CompilerProfile::cheerp().codegen_overhead > CompilerProfile::emscripten().codegen_overhead);
+    }
+}

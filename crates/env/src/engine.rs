@@ -1,0 +1,190 @@
+//! Engine profiles: the tunable parameters of the simulated JavaScript
+//! engines and WebAssembly virtual machines.
+//!
+//! §2.2 and §4.4 of the paper describe both Chrome (V8: Ignition/TurboFan
+//! for JS, Liftoff/TurboFan for Wasm) and Firefox (SpiderMonkey:
+//! Baseline/Ion for JS and Wasm, Cranelift on ARM64) as *two-tier* systems.
+//! Each profile below captures one engine's tier structure numerically.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one execution tier (baseline or optimizing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierParams {
+    /// Compilation cost, in cycles per byte (Wasm) or per bytecode op (JS)
+    /// of the function being compiled.
+    pub compile_cost_per_unit: f64,
+    /// Execution-cost multiplier relative to the reference [`crate::CostTable`].
+    /// 1.0 means "as fast as tuned native"; a baseline tier is > 1.
+    pub exec_multiplier: f64,
+}
+
+/// Which Wasm compilation tiers a browser run enables.
+///
+/// Mirrors the Chrome flags of Table 11: the default two-tier pipeline,
+/// `--liftoff --no-wasm-tier-up` (basic only) and
+/// `--no-liftoff --no-wasm-tier-up` (optimizing only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TierPolicy {
+    /// Baseline compiles first; hot functions tier up to the optimizer.
+    #[default]
+    Default,
+    /// Only the basic (baseline) compiler — the paper's "JIT disabled" Wasm setting.
+    BasicOnly,
+    /// Only the optimizing compiler — everything pays up-front compile cost.
+    OptimizingOnly,
+}
+
+/// Whether the JS JIT (optimizing compiler) is enabled.
+///
+/// `Disabled` mirrors Chrome's `--js-flags="--no-opt"` from Table 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum JitMode {
+    /// Interpreter plus optimizing JIT for hot code (browser default).
+    #[default]
+    Enabled,
+    /// Interpreter only.
+    Disabled,
+}
+
+/// WebAssembly virtual-machine profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WasmEngineProfile {
+    /// Cycles per byte to decode the binary (no parse step: §2.2.2).
+    pub decode_cost_per_byte: f64,
+    /// Cycles per byte to validate the module.
+    pub validate_cost_per_byte: f64,
+    /// Basic compiler ("Liftoff" / "Baseline").
+    pub baseline: TierParams,
+    /// Optimizing compiler ("TurboFan" / "Ion" / "Cranelift").
+    pub optimizing: TierParams,
+    /// Hotness units (calls + loop back-edges) before a function tiers up.
+    pub tier_up_threshold: u64,
+    /// Fixed cycles charged per module instantiation (engine task spawn,
+    /// IPC, compilation orchestration). Firefox's eager full-module
+    /// pipeline makes this large — the reason Wasm loses to JS at XS on
+    /// Firefox (Table 5) while winning on Chrome (Table 3).
+    pub instantiate_base: f64,
+    /// Fixed cycles per `memory.grow` request (page-table bookkeeping).
+    pub memory_grow_base: f64,
+    /// Additional cycles per 64 KiB page committed by a grow.
+    pub memory_grow_per_page: f64,
+    /// Cycles per JS↔Wasm boundary crossing (one direction).
+    pub context_switch: f64,
+    /// Engine-reserved memory attributed to an instantiated module, bytes
+    /// (DevTools shows ~2 MB on Chrome before any user data; Table 4).
+    pub baseline_memory_bytes: u64,
+}
+
+/// Garbage-collector parameters of a JS engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcParams {
+    /// Collection is triggered when allocated-since-last-GC exceeds this.
+    pub trigger_bytes: u64,
+    /// Pause cost: fixed cycles per collection.
+    pub pause_base: f64,
+    /// Pause cost: cycles per live byte traced.
+    pub pause_per_live_byte: f64,
+}
+
+/// JavaScript engine profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JsEngineProfile {
+    /// Cycles per source byte for parsing to an AST (§2.2.1).
+    pub parse_cost_per_byte: f64,
+    /// Cycles per bytecode op emitted by the bytecode compiler.
+    pub bytecode_cost_per_op: f64,
+    /// Interpreter tier: every op class runs this many times slower than
+    /// the reference table.
+    pub interp_multiplier: f64,
+    /// Optimized (JIT) tier multiplier. Near-native but above 1 for
+    /// dynamically-typed residue (shape checks, boxing on escape).
+    pub jit_multiplier: f64,
+    /// Extra multiplier applied to *typed-array* loads/stores in JIT'd
+    /// code; V8-style engines get these to near-native (1.0) while plain
+    /// object/array accesses keep paying `jit_multiplier`.
+    pub jit_typed_array_multiplier: f64,
+    /// Hotness units (invocations + loop back-edges) before JIT kicks in.
+    pub jit_threshold: u64,
+    /// JIT compilation cost in cycles per bytecode op of the function.
+    pub jit_compile_cost_per_op: f64,
+    /// Allocation fast-path cost in cycles per allocation.
+    pub alloc_cost: f64,
+    /// Garbage-collector parameters.
+    pub gc: GcParams,
+    /// Engine-reserved memory attributed to a page's JS realm, bytes
+    /// (DevTools shows ~880 KB on desktop Chrome; Table 4).
+    pub baseline_memory_bytes: u64,
+}
+
+impl WasmEngineProfile {
+    /// A mid-range default used by unit tests and examples; real
+    /// experiments resolve profiles via [`crate::Environment::profile`].
+    pub fn reference() -> Self {
+        WasmEngineProfile {
+            decode_cost_per_byte: 6.0,
+            validate_cost_per_byte: 4.0,
+            baseline: TierParams {
+                compile_cost_per_unit: 30.0,
+                exec_multiplier: 1.35,
+            },
+            optimizing: TierParams {
+                compile_cost_per_unit: 320.0,
+                exec_multiplier: 1.0,
+            },
+            tier_up_threshold: 2_000,
+            instantiate_base: 120_000.0,
+            memory_grow_base: 12_000.0,
+            memory_grow_per_page: 900.0,
+            context_switch: 250.0,
+            baseline_memory_bytes: 1_950 * 1024,
+        }
+    }
+}
+
+impl JsEngineProfile {
+    /// A mid-range default used by unit tests and examples.
+    pub fn reference() -> Self {
+        JsEngineProfile {
+            parse_cost_per_byte: 55.0,
+            bytecode_cost_per_op: 14.0,
+            interp_multiplier: 22.0,
+            jit_multiplier: 1.45,
+            jit_typed_array_multiplier: 1.05,
+            jit_threshold: 1_200,
+            jit_compile_cost_per_op: 700.0,
+            alloc_cost: 28.0,
+            gc: GcParams {
+                trigger_bytes: 1 << 20,
+                pause_base: 40_000.0,
+                pause_per_live_byte: 0.06,
+            },
+            baseline_memory_bytes: 880 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_two_tier() {
+        let w = WasmEngineProfile::reference();
+        assert!(w.baseline.exec_multiplier > w.optimizing.exec_multiplier);
+        assert!(w.baseline.compile_cost_per_unit < w.optimizing.compile_cost_per_unit);
+    }
+
+    #[test]
+    fn js_interpreter_is_much_slower_than_jit() {
+        let j = JsEngineProfile::reference();
+        assert!(j.interp_multiplier / j.jit_multiplier > 5.0);
+        assert!(j.jit_typed_array_multiplier <= j.jit_multiplier);
+    }
+
+    #[test]
+    fn policies_default_sensibly() {
+        assert_eq!(TierPolicy::default(), TierPolicy::Default);
+        assert_eq!(JitMode::default(), JitMode::Enabled);
+    }
+}

@@ -1,0 +1,185 @@
+//! The six deployment settings of §4.5: three browsers × two platforms.
+
+use crate::calibration;
+use crate::{JsEngineProfile, WasmEngineProfile};
+use serde::{Deserialize, Serialize};
+
+/// Browser family under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Browser {
+    /// Google Chrome (v79 in the paper, both platforms).
+    Chrome,
+    /// Mozilla Firefox (v71 desktop, v68 mobile).
+    Firefox,
+    /// Microsoft Edge (v79 desktop, v44 mobile).
+    Edge,
+}
+
+impl Browser {
+    /// All browsers, in the paper's presentation order.
+    pub const ALL: [Browser; 3] = [Browser::Chrome, Browser::Firefox, Browser::Edge];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Browser::Chrome => "Chrome",
+            Browser::Firefox => "Firefox",
+            Browser::Edge => "Edge",
+        }
+    }
+
+    /// The browser version evaluated by the paper on a platform.
+    pub fn version(self, platform: Platform) -> &'static str {
+        match (self, platform) {
+            (Browser::Chrome, _) => "v79",
+            (Browser::Firefox, Platform::Desktop) => "v71",
+            (Browser::Firefox, Platform::Mobile) => "v68",
+            (Browser::Edge, Platform::Desktop) => "v79",
+            (Browser::Edge, Platform::Mobile) => "v44",
+        }
+    }
+}
+
+/// Hardware platform.
+///
+/// Desktop: Intel Core i7, 16 GB, Ubuntu 18.04. Mobile: Xiaomi Mi 6
+/// (8-core ARM64, 6 GB, Android) — §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// The paper's desktop testbed.
+    Desktop,
+    /// The paper's mobile testbed.
+    Mobile,
+}
+
+impl Platform {
+    /// Both platforms.
+    pub const ALL: [Platform; 2] = [Platform::Desktop, Platform::Mobile];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Desktop => "Desktop",
+            Platform::Mobile => "Mobile",
+        }
+    }
+}
+
+/// One of the six deployment settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Environment {
+    /// Browser family.
+    pub browser: Browser,
+    /// Hardware platform.
+    pub platform: Platform,
+}
+
+impl Environment {
+    /// Shorthand constructor.
+    pub fn new(browser: Browser, platform: Platform) -> Self {
+        Environment { browser, platform }
+    }
+
+    /// Desktop Chrome — the baseline environment for most experiments.
+    pub fn desktop_chrome() -> Self {
+        Environment::new(Browser::Chrome, Platform::Desktop)
+    }
+
+    /// Desktop Firefox.
+    pub fn desktop_firefox() -> Self {
+        Environment::new(Browser::Firefox, Platform::Desktop)
+    }
+
+    /// All six environments, desktop row first (Figs 12/13 ordering).
+    pub fn all_six() -> [Environment; 6] {
+        [
+            Environment::new(Browser::Chrome, Platform::Desktop),
+            Environment::new(Browser::Firefox, Platform::Desktop),
+            Environment::new(Browser::Edge, Platform::Desktop),
+            Environment::new(Browser::Chrome, Platform::Mobile),
+            Environment::new(Browser::Firefox, Platform::Mobile),
+            Environment::new(Browser::Edge, Platform::Mobile),
+        ]
+    }
+
+    /// Display label such as `"Desktop Chrome v79"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.platform.name(),
+            self.browser.name(),
+            self.browser.version(self.platform)
+        )
+    }
+
+    /// Resolve the calibrated engine profiles for this environment.
+    pub fn profile(&self) -> EnvProfile {
+        calibration::profile_for(*self)
+    }
+}
+
+/// Fully resolved simulation parameters for one environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvProfile {
+    /// The environment this profile describes.
+    pub environment: Environment,
+    /// Nanoseconds per abstract cycle — the platform speed knob
+    /// (mobile cores run the same cycle counts slower).
+    pub cycle_time_ns: f64,
+    /// JavaScript engine parameters.
+    pub js: JsEngineProfile,
+    /// WebAssembly VM parameters.
+    pub wasm: WasmEngineProfile,
+    /// Extra slack factor the engine applies when committing grown linear
+    /// memory (Firefox over-commits slightly; visible at XL in Table 6).
+    pub wasm_grow_slack: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_environments_are_distinct() {
+        let all = Environment::all_six();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn versions_match_paper() {
+        assert_eq!(Browser::Firefox.version(Platform::Mobile), "v68");
+        assert_eq!(Browser::Edge.version(Platform::Mobile), "v44");
+        assert_eq!(Browser::Chrome.version(Platform::Desktop), "v79");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(
+            Environment::desktop_chrome().label(),
+            "Desktop Chrome v79"
+        );
+    }
+
+    #[test]
+    fn every_environment_resolves_a_profile() {
+        for env in Environment::all_six() {
+            let p = env.profile();
+            assert!(p.cycle_time_ns > 0.0);
+            assert!(p.wasm_grow_slack >= 1.0);
+            assert_eq!(p.environment, env);
+        }
+    }
+
+    #[test]
+    fn mobile_is_slower_than_desktop() {
+        for b in Browser::ALL {
+            let d = Environment::new(b, Platform::Desktop).profile();
+            let m = Environment::new(b, Platform::Mobile).profile();
+            assert!(m.cycle_time_ns > d.cycle_time_ns, "{:?}", b);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # wb-env — execution environments and the virtual-time cost model
+//!
+//! The paper measures WebAssembly and JavaScript inside six real browser
+//! environments (Chrome/Firefox/Edge × desktop/mobile). This crate is the
+//! simulation substrate that replaces those environments: it defines
+//!
+//! * [`VirtualClock`] — deterministic virtual time in nanoseconds, advanced
+//!   by instruction-category counts multiplied by calibrated costs;
+//! * [`OpClass`] / [`OpCounts`] / [`CostTable`] — the shared instruction
+//!   taxonomy both virtual machines (`wb-wasm-vm`, `wb-jsvm`) charge against;
+//! * [`Browser`], [`Platform`], [`Environment`] — the six deployment settings
+//!   of §4.5, each resolving to an [`EnvProfile`] of engine parameters;
+//! * [`WasmEngineProfile`] / [`JsEngineProfile`] — tiering, JIT, GC and
+//!   memory-accounting parameters per engine;
+//! * [`CompilerProfile`] — Cheerp vs Emscripten toolchain differences
+//!   (§4.2.2): initial linear memory, growth granularity, codegen efficiency;
+//! * [`calibration`] — every tuned constant, in one audited module.
+//!
+//! All numbers produced on top of this crate are **deterministic**: the same
+//! program in the same environment always yields the same virtual duration,
+//! so the paper's tables regenerate bit-identically across machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+mod compiler;
+mod cost;
+mod engine;
+mod environment;
+mod time;
+
+pub use compiler::{CompilerProfile, JsTarget, Toolchain};
+pub use cost::{ArithCounts, CostTable, OpClass, OpCounts, OP_CLASS_COUNT};
+pub use engine::{GcParams, JitMode, JsEngineProfile, TierParams, TierPolicy, WasmEngineProfile};
+pub use environment::{Browser, EnvProfile, Environment, Platform};
+pub use time::{Nanos, TimeBucket, VirtualClock};

@@ -1,0 +1,231 @@
+//! Deterministic virtual time.
+//!
+//! Every measurement the harness reports is expressed in virtual
+//! nanoseconds: the product of instruction-category counts and calibrated
+//! per-category costs, plus discrete events (parse, compile, tier-up, GC
+//! pauses, `memory.grow`, JS↔Wasm context switches). Using virtual rather
+//! than wall-clock time makes the whole study exactly reproducible, which
+//! the paper's browser-based methodology (five repetitions, averaging) could
+//! only approximate.
+
+use serde::{Deserialize, Serialize};
+
+/// A span of virtual time, in nanoseconds.
+///
+/// Stored as `f64` — experiment durations range from sub-microsecond
+/// microbenchmarks to the paper's ~560 s FFmpeg run, and all arithmetic on
+/// reported values is ratio-based, where `f64` precision is ample.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Nanos(pub f64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0.0);
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Nanos(ms * 1.0e6)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Nanos(us * 1.0e3)
+    }
+
+    /// This duration expressed in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1.0e6
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1.0e9
+    }
+
+    /// Ratio of this duration to `other` (`self / other`).
+    ///
+    /// Returns `f64::NAN` when `other` is zero, mirroring float division;
+    /// callers computing table ratios must not feed zero baselines.
+    pub fn ratio_to(self, other: Nanos) -> f64 {
+        self.0 / other.0
+    }
+}
+
+impl std::ops::Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<f64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: f64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl std::fmt::Display for Nanos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1.0e9 {
+            write!(f, "{:.3}s", self.0 / 1.0e9)
+        } else if self.0 >= 1.0e6 {
+            write!(f, "{:.3}ms", self.0 / 1.0e6)
+        } else if self.0 >= 1.0e3 {
+            write!(f, "{:.3}us", self.0 / 1.0e3)
+        } else {
+            write!(f, "{:.1}ns", self.0)
+        }
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// The VMs own one clock per execution and advance it as they retire
+/// instructions or hit discrete events. The clock also keeps a breakdown of
+/// where time went so experiments (e.g. the §4.5 context-switch
+/// microbenchmark) can attribute time to specific activities.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Nanos,
+    /// Time spent parsing / decoding source or bytecode.
+    pub load_time: Nanos,
+    /// Time spent in compilation (bytecode gen, baseline compile, tier-up).
+    pub compile_time: Nanos,
+    /// Time spent executing program instructions.
+    pub exec_time: Nanos,
+    /// Time spent in garbage-collection pauses.
+    pub gc_time: Nanos,
+    /// Time spent growing linear memory.
+    pub mem_grow_time: Nanos,
+    /// Time spent crossing the JS↔Wasm boundary.
+    pub context_switch_time: Nanos,
+}
+
+/// Attribution bucket for [`VirtualClock::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeBucket {
+    /// Parsing / decoding.
+    Load,
+    /// Compilation (any tier).
+    Compile,
+    /// Instruction execution.
+    Exec,
+    /// Garbage collection pauses.
+    Gc,
+    /// Linear-memory growth.
+    MemGrow,
+    /// JS↔Wasm boundary crossing.
+    ContextSwitch,
+}
+
+impl VirtualClock {
+    /// A fresh clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advance the clock by `span`, attributing it to `bucket`.
+    pub fn advance(&mut self, span: Nanos, bucket: TimeBucket) {
+        debug_assert!(span.0 >= 0.0, "virtual time must be monotonic");
+        self.now += span;
+        let slot = match bucket {
+            TimeBucket::Load => &mut self.load_time,
+            TimeBucket::Compile => &mut self.compile_time,
+            TimeBucket::Exec => &mut self.exec_time,
+            TimeBucket::Gc => &mut self.gc_time,
+            TimeBucket::MemGrow => &mut self.mem_grow_time,
+            TimeBucket::ContextSwitch => &mut self.context_switch_time,
+        };
+        *slot += span;
+    }
+
+    /// Fold another clock's accumulated time into this one.
+    ///
+    /// Used when a module execution (child clock) completes inside a page
+    /// load (parent clock).
+    pub fn absorb(&mut self, child: &VirtualClock) {
+        self.now += child.now;
+        self.load_time += child.load_time;
+        self.compile_time += child.compile_time;
+        self.exec_time += child.exec_time;
+        self.gc_time += child.gc_time;
+        self.mem_grow_time += child.mem_grow_time;
+        self.context_switch_time += child.context_switch_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_conversions_round_trip() {
+        let n = Nanos::from_millis(2.5);
+        assert!((n.as_millis() - 2.5).abs() < 1e-12);
+        assert!((n.as_secs() - 0.0025).abs() < 1e-12);
+        assert!((Nanos::from_micros(1.0).0 - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanos_arithmetic() {
+        let a = Nanos(100.0);
+        let b = Nanos(50.0);
+        assert_eq!((a + b).0, 150.0);
+        assert_eq!((a - b).0, 50.0);
+        assert_eq!((a * 2.0).0, 200.0);
+        assert_eq!(a.ratio_to(b), 2.0);
+    }
+
+    #[test]
+    fn clock_attributes_buckets() {
+        let mut c = VirtualClock::new();
+        c.advance(Nanos(10.0), TimeBucket::Load);
+        c.advance(Nanos(20.0), TimeBucket::Exec);
+        c.advance(Nanos(5.0), TimeBucket::Gc);
+        assert_eq!(c.now().0, 35.0);
+        assert_eq!(c.load_time.0, 10.0);
+        assert_eq!(c.exec_time.0, 20.0);
+        assert_eq!(c.gc_time.0, 5.0);
+        assert_eq!(c.compile_time.0, 0.0);
+    }
+
+    #[test]
+    fn clock_absorb_merges_all_buckets() {
+        let mut parent = VirtualClock::new();
+        parent.advance(Nanos(1.0), TimeBucket::Load);
+        let mut child = VirtualClock::new();
+        child.advance(Nanos(2.0), TimeBucket::Exec);
+        child.advance(Nanos(3.0), TimeBucket::ContextSwitch);
+        parent.absorb(&child);
+        assert_eq!(parent.now().0, 6.0);
+        assert_eq!(parent.exec_time.0, 2.0);
+        assert_eq!(parent.context_switch_time.0, 3.0);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Nanos(12.0)), "12.0ns");
+        assert_eq!(format!("{}", Nanos(1.5e3)), "1.500us");
+        assert_eq!(format!("{}", Nanos(2.5e6)), "2.500ms");
+        assert_eq!(format!("{}", Nanos(3.0e9)), "3.000s");
+    }
+}

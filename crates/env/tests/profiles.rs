@@ -1,0 +1,216 @@
+//! Integration tests over the calibrated environment profiles.
+//!
+//! These pin the *structural* invariants the rest of the workspace relies
+//! on: every constant finite and positive, tier orderings consistent with
+//! how the VMs interpret them, and the paper-anchored relationships between
+//! browsers/platforms that drive the table shapes.
+
+use wb_env::calibration::{
+    self, DESKTOP_CYCLE_NS, GROW_SLACK_THRESHOLD_BYTES, MOBILE_CYCLE_NS,
+};
+use wb_env::{
+    Browser, CompilerProfile, CostTable, Environment, OpClass, OpCounts, Platform, Toolchain,
+};
+
+#[test]
+fn all_six_environments_resolve_to_sane_profiles() {
+    for env in Environment::all_six() {
+        let p = calibration::profile_for(env);
+        assert_eq!(p.environment, env);
+        assert!(p.cycle_time_ns > 0.0 && p.cycle_time_ns.is_finite());
+
+        // JS engine: every cost positive and finite.
+        let js = &p.js;
+        for v in [
+            js.parse_cost_per_byte,
+            js.bytecode_cost_per_op,
+            js.interp_multiplier,
+            js.jit_multiplier,
+            js.jit_typed_array_multiplier,
+            js.jit_compile_cost_per_op,
+            js.alloc_cost,
+            js.gc.pause_base,
+            js.gc.pause_per_live_byte,
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "{}: bad JS constant {v}", env.label());
+        }
+        assert!(js.jit_threshold > 0);
+        assert!(js.gc.trigger_bytes > 0);
+        assert!(js.baseline_memory_bytes > 0);
+
+        // Wasm engine: every cost positive and finite.
+        let w = &p.wasm;
+        for v in [
+            w.decode_cost_per_byte,
+            w.validate_cost_per_byte,
+            w.baseline.compile_cost_per_unit,
+            w.baseline.exec_multiplier,
+            w.optimizing.compile_cost_per_unit,
+            w.optimizing.exec_multiplier,
+            w.instantiate_base,
+            w.memory_grow_base,
+            w.memory_grow_per_page,
+            w.context_switch,
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "{}: bad Wasm constant {v}", env.label());
+        }
+        assert!(w.tier_up_threshold > 0);
+        assert!(w.baseline_memory_bytes > 0);
+        assert!(p.wasm_grow_slack >= 1.0);
+    }
+}
+
+#[test]
+fn cycle_time_tracks_platform() {
+    for env in Environment::all_six() {
+        let p = calibration::profile_for(env);
+        let expect = match env.platform {
+            Platform::Desktop => DESKTOP_CYCLE_NS,
+            Platform::Mobile => MOBILE_CYCLE_NS,
+        };
+        assert_eq!(p.cycle_time_ns, expect, "{}", env.label());
+    }
+    assert!(MOBILE_CYCLE_NS > DESKTOP_CYCLE_NS, "mobile cores are slower");
+}
+
+#[test]
+fn wasm_tiers_trade_compile_time_for_exec_speed() {
+    // The tier-up model only makes sense if the baseline tier compiles
+    // cheaper but runs slower than the optimizing tier — in every
+    // environment.
+    for env in Environment::all_six() {
+        let w = calibration::profile_for(env).wasm;
+        assert!(
+            w.baseline.compile_cost_per_unit < w.optimizing.compile_cost_per_unit,
+            "{}: baseline must be the cheap compiler",
+            env.label()
+        );
+        assert!(
+            w.baseline.exec_multiplier > w.optimizing.exec_multiplier,
+            "{}: baseline must be the slow executor",
+            env.label()
+        );
+    }
+}
+
+#[test]
+fn js_jit_is_faster_than_interpreter_everywhere() {
+    for env in Environment::all_six() {
+        let js = calibration::profile_for(env).js;
+        assert!(
+            js.jit_multiplier < js.interp_multiplier,
+            "{}: JIT code must beat the interpreter",
+            env.label()
+        );
+        // Typed-array fast paths are at least as good as generic JIT code
+        // (this is the mechanism behind Chrome JS catching Wasm, Table 3).
+        assert!(
+            js.jit_typed_array_multiplier <= js.jit_multiplier,
+            "{}",
+            env.label()
+        );
+    }
+}
+
+#[test]
+fn firefox_startup_story_vs_chrome() {
+    // §4.3/§4.4: SpiderMonkey parses and starts JS fast but spends much more
+    // compiling Wasm up front — the driver of the Table 5 XS inversion.
+    let c = calibration::profile_for(Environment::desktop_chrome());
+    let f = calibration::profile_for(Environment::desktop_firefox());
+    assert!(f.js.parse_cost_per_byte < c.js.parse_cost_per_byte);
+    assert!(f.js.interp_multiplier < c.js.interp_multiplier);
+    assert!(f.wasm.instantiate_base > 5.0 * c.wasm.instantiate_base);
+}
+
+#[test]
+fn mobile_chrome_total_factors_match_table8() {
+    // Table 8: mobile Chrome runs JS ≈5.5× and Wasm ≈3.6× slower than
+    // desktop Chrome once the platform cycle time is folded in.
+    let desk = Environment::desktop_chrome();
+    let mob = Environment::new(Browser::Chrome, Platform::Mobile);
+    let js_total = calibration::js_speed_factor(mob) * MOBILE_CYCLE_NS
+        / (calibration::js_speed_factor(desk) * DESKTOP_CYCLE_NS);
+    let wasm_total = calibration::wasm_speed_factor(mob) * MOBILE_CYCLE_NS
+        / (calibration::wasm_speed_factor(desk) * DESKTOP_CYCLE_NS);
+    assert!((js_total - 5.48).abs() < 0.1, "JS total {js_total}");
+    assert!((wasm_total - 3.56).abs() < 0.1, "Wasm total {wasm_total}");
+}
+
+#[test]
+fn grow_slack_is_a_firefox_only_overcommit() {
+    for env in Environment::all_six() {
+        let p = calibration::profile_for(env);
+        match env.browser {
+            Browser::Firefox => assert!(p.wasm_grow_slack > 1.0, "{}", env.label()),
+            _ => assert_eq!(p.wasm_grow_slack, 1.0, "{}", env.label()),
+        }
+    }
+    assert_eq!(GROW_SLACK_THRESHOLD_BYTES, 32 << 20);
+}
+
+#[test]
+fn environment_labels_and_versions_are_distinct() {
+    let envs = Environment::all_six();
+    let mut labels: Vec<String> = envs.iter().map(|e| e.label()).collect();
+    labels.sort();
+    labels.dedup();
+    assert_eq!(labels.len(), 6, "labels must be unique");
+    for env in envs {
+        assert!(!env.browser.version(env.platform).is_empty());
+        assert!(!env.browser.name().is_empty());
+        assert!(!env.platform.name().is_empty());
+    }
+}
+
+#[test]
+fn compiler_profiles_match_the_4_2_2_setup() {
+    // §4.2.2: Cheerp starts with a tiny linear memory and grows on demand;
+    // Emscripten pre-allocates 16 MB (256 pages).
+    let cheerp = CompilerProfile::cheerp();
+    let emcc = CompilerProfile::emscripten();
+    assert!(cheerp.initial_memory_bytes() < emcc.initial_memory_bytes());
+    assert_eq!(emcc.initial_memory_bytes(), 256 * 64 * 1024);
+    assert_eq!(CompilerProfile::of(Toolchain::Cheerp).initial_memory_bytes(),
+               cheerp.initial_memory_bytes());
+    assert_eq!(CompilerProfile::of(Toolchain::Emscripten).initial_memory_bytes(),
+               emcc.initial_memory_bytes());
+    // Execution-overhead ratio ≈2.70× (§4.2.2).
+    let r = calibration::toolchain_exec_overhead(Toolchain::Cheerp)
+        / calibration::toolchain_exec_overhead(Toolchain::Emscripten);
+    assert!((r - 2.70).abs() < 0.05);
+}
+
+#[test]
+fn reference_cost_table_orders_operation_latencies() {
+    let t = CostTable::reference();
+    // Division is the expensive outlier in both domains.
+    assert!(t.cost(OpClass::IntDiv) > t.cost(OpClass::IntMul));
+    assert!(t.cost(OpClass::IntMul) > t.cost(OpClass::IntAlu));
+    assert!(t.cost(OpClass::FloatDiv) > t.cost(OpClass::FloatMul));
+    // Register traffic is cheaper than memory traffic.
+    assert!(t.cost(OpClass::Local) < t.cost(OpClass::Load));
+    assert!(t.cost(OpClass::Local) < t.cost(OpClass::Global));
+    // Calls dominate simple ALU work (drives the §4.5 boundary story).
+    assert!(t.cost(OpClass::Call) > t.cost(OpClass::IntAlu));
+    for c in OpClass::ALL {
+        assert!(t.cost(c) > 0.0 && t.cost(c).is_finite());
+    }
+}
+
+#[test]
+fn cost_cycles_is_linear_in_counts_and_multiplier() {
+    let t = CostTable::reference();
+    let mut a = OpCounts::new();
+    a.bump(OpClass::Load, 100);
+    a.bump(OpClass::FloatMul, 40);
+    let mut b = OpCounts::new();
+    b.bump(OpClass::Load, 11);
+    b.bump(OpClass::Branch, 7);
+
+    let merged = a.merged(&b);
+    let lhs = t.cycles(&merged, 1.0);
+    let rhs = t.cycles(&a, 1.0) + t.cycles(&b, 1.0);
+    assert!((lhs - rhs).abs() < 1e-9, "cycles must be additive over merge");
+    assert!((t.cycles(&a, 3.0) - 3.0 * t.cycles(&a, 1.0)).abs() < 1e-9);
+}

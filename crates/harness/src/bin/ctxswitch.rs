@@ -1,0 +1,28 @@
+//! §4.5 context-switch microbenchmark: JS↔Wasm boundary cost per call on
+//! the three desktop browsers (the paper: Firefox ≈ 0.13× of Chrome).
+
+use wb_core::apps::context_switch_bench;
+use wb_core::report::{ratio, Table};
+use wb_env::{Browser, Environment, Platform};
+use wb_harness::Cli;
+
+fn main() {
+    let cli = Cli::from_env();
+    let calls = 1_000;
+    let mut t = Table::new(
+        "§4.5: JS↔Wasm context-switch cost (desktop)",
+        &["browser", "ns per boundary crossing", "relative to Chrome"],
+    );
+    let chrome = context_switch_bench(Environment::desktop_chrome(), calls)
+        .expect("microbench runs");
+    for browser in Browser::ALL {
+        let env = Environment::new(browser, Platform::Desktop);
+        let ns = context_switch_bench(env, calls).expect("microbench runs");
+        t.row(vec![
+            browser.name().into(),
+            format!("{:.1}", ns.0),
+            ratio(ns.0 / chrome.0),
+        ]);
+    }
+    cli.emit("ctxswitch", &t);
+}

@@ -1,0 +1,57 @@
+//! Table 10: the three real-world applications — Long.js (mul/div/rem),
+//! Hyphenopoly (en-us/fr) and FFmpeg — Wasm vs JS execution time.
+
+use wb_benchmarks::apps::{ffmpeg, hyphen, longjs};
+use wb_core::apps;
+use wb_core::report::{millis, Table};
+use wb_env::Environment;
+use wb_harness::Cli;
+
+fn main() {
+    let cli = Cli::from_env();
+    let env = Environment::desktop_chrome();
+    let mut t = Table::new(
+        "Table 10: real-world applications (Chrome desktop)",
+        &["Benchmark", "Input", "WA Time (ms)", "JS Time (ms)", "Ratio"],
+    );
+
+    for op in longjs::LongOp::ALL {
+        let w = apps::longjs_wasm(op, env).expect("longjs wasm");
+        let j = apps::longjs_js(op, env).expect("longjs js");
+        t.row(vec![
+            format!("Long.js {}", op.name()),
+            op.input_desc().into(),
+            millis(w.time),
+            millis(j.time),
+            format!("{:.3}", w.time.0 / j.time.0),
+        ]);
+    }
+    for lang in hyphen::Lang::ALL {
+        let w = apps::hyphen_wasm(lang, env).expect("hyphen wasm");
+        let j = apps::hyphen_js(lang, env).expect("hyphen js");
+        assert_eq!(w.output, j.output, "hyphenation must agree");
+        t.row(vec![
+            format!("Hyphenopoly {}", lang.name()),
+            format!("{} KB generated text", hyphen::TEXT_BYTES / 1024),
+            millis(w.time),
+            millis(j.time),
+            format!("{:.3}", w.time.0 / j.time.0),
+        ]);
+    }
+    {
+        let w = apps::ffmpeg_wasm(env).expect("ffmpeg wasm");
+        let j = apps::ffmpeg_js(env).expect("ffmpeg js");
+        t.row(vec![
+            "FFmpeg mp4 to avi".into(),
+            format!(
+                "{} MB stream, {} workers",
+                ffmpeg::STREAM_BYTES / (1024 * 1024),
+                ffmpeg::WORKER_COUNT
+            ),
+            millis(w.time),
+            millis(j.time),
+            format!("{:.3}", w.time.0 / j.time.0),
+        ]);
+    }
+    cli.emit("table10", &t);
+}

@@ -1,0 +1,238 @@
+//! # wb-harness — experiment binaries
+//!
+//! One binary per paper artifact. Each prints the paper's rows as an
+//! aligned text table and writes a CSV under `results/`:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig5` | Fig 5 — Wasm/JS time & code size across `-O` levels |
+//! | `fig6` | Fig 6 — x86 control across `-O` levels |
+//! | `table2` | Table 2 — geomean opt-level ratios (JS/Wasm/x86) |
+//! | `compilers` | §4.2.2 — Cheerp vs Emscripten |
+//! | `fig9` | Fig 9 + Tables 3–6 — input-size sweep (per browser) |
+//! | `fig10` | Fig 10 — JIT on/off speedups |
+//! | `table7` | Table 7 — Wasm tier policies on Chrome & Firefox |
+//! | `fig11` | Fig 11 — five-number summaries of opt-level ratios |
+//! | `fig12_13` | Figs 12/13 + Table 8 — six environments |
+//! | `ctxswitch` | §4.5 — JS↔Wasm context-switch microbenchmark |
+//! | `table9` | Table 9 — manual JS vs Cheerp JS vs Wasm |
+//! | `table10` | Table 10 — Long.js / Hyphenopoly / FFmpeg |
+//! | `table12` | Table 12 — Long.js arithmetic operation counts |
+//!
+//! Shared flags: `--filter <substr>` restricts benchmarks, `--out <dir>`
+//! changes the CSV directory, `--quick` runs a reduced grid.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use wb_benchmarks::{Benchmark, InputSize};
+use wb_core::report::Table;
+use wb_core::{run_compiled_js, run_native, run_wasm, JsSpec, Measurement, WasmSpec};
+use wb_env::{Environment, JitMode, TierPolicy, Toolchain};
+use wb_minic::OptLevel;
+
+/// Minimal CLI flags: `--key value` / `--key=value` / bare `--flag`.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    flags: HashMap<String, String>,
+}
+
+impl Cli {
+    /// Parse from `std::env::args`.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (testable core of [`Cli::from_env`]).
+    pub fn from_args<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut flags = HashMap::new();
+        let mut args = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = args.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some((k, v)) = stripped.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else if args.peek().map(|n| !n.starts_with("--")).unwrap_or(false) {
+                    let v = args.next().expect("peeked");
+                    flags.insert(stripped.to_string(), v);
+                } else {
+                    flags.insert(stripped.to_string(), "true".to_string());
+                }
+            }
+        }
+        Cli { flags }
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Boolean flag.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    /// Benchmarks after `--filter`.
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        let all = wb_benchmarks::all_benchmarks();
+        match self.get("filter") {
+            Some(f) => all
+                .into_iter()
+                .filter(|b| b.name.to_lowercase().contains(&f.to_lowercase()))
+                .collect(),
+            None => all,
+        }
+    }
+
+    /// Input sizes: all five, or `XS,M,XL` under `--quick`.
+    pub fn sizes(&self) -> Vec<InputSize> {
+        if self.has("quick") {
+            vec![InputSize::XS, InputSize::M, InputSize::XL]
+        } else {
+            InputSize::ALL.to_vec()
+        }
+    }
+
+    /// Browser selector for fig9 (`--browser firefox`).
+    pub fn environment(&self) -> Environment {
+        match self.get("browser").map(|b| b.to_lowercase()) {
+            Some(b) if b.starts_with("fire") => {
+                Environment::new(wb_env::Browser::Firefox, wb_env::Platform::Desktop)
+            }
+            Some(b) if b.starts_with("edge") => {
+                Environment::new(wb_env::Browser::Edge, wb_env::Platform::Desktop)
+            }
+            _ => Environment::desktop_chrome(),
+        }
+    }
+
+    /// CSV output directory (`results/` by default), created on demand.
+    pub fn out_dir(&self) -> PathBuf {
+        let dir = PathBuf::from(self.get("out").unwrap_or("results"));
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        dir
+    }
+
+    /// Write a table's CSV next to printing it.
+    pub fn emit(&self, name: &str, table: &Table) {
+        println!("{}", table.render());
+        let path = self.out_dir().join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        eprintln!("[wrote {}]", path.display());
+    }
+}
+
+/// Run a closure per item on a scoped thread pool, preserving order.
+/// The VMs are single-threaded; each worker builds its own.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(items);
+    let results = std::sync::Mutex::new(Vec::<(usize, R)>::new());
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                match item {
+                    Some((i, t)) => {
+                        let r = f(t);
+                        results.lock().expect("results lock").push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("results");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One benchmark run request (a grid cell).
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Dataset size.
+    pub size: InputSize,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Toolchain.
+    pub toolchain: Toolchain,
+    /// Environment.
+    pub env: Environment,
+    /// Wasm tier policy.
+    pub tier_policy: TierPolicy,
+    /// JS JIT mode.
+    pub jit: JitMode,
+}
+
+impl Run {
+    /// Default configuration of a benchmark at a size (the study
+    /// baseline: Cheerp `-O2`, desktop Chrome, default tiers).
+    pub fn new(benchmark: Benchmark, size: InputSize) -> Self {
+        Run {
+            benchmark,
+            size,
+            level: OptLevel::O2,
+            toolchain: Toolchain::Cheerp,
+            env: Environment::desktop_chrome(),
+            tier_policy: TierPolicy::Default,
+            jit: JitMode::Enabled,
+        }
+    }
+
+    /// Execute the Wasm build.
+    pub fn wasm(&self) -> Measurement {
+        let spec = WasmSpec {
+            source: self.benchmark.source,
+            defines: self.benchmark.defines(self.size),
+            level: self.level,
+            toolchain: self.toolchain,
+            env: self.env,
+            tier_policy: self.tier_policy,
+            heap_limit: Some(256 << 20),
+            entry: "bench_main",
+        };
+        run_wasm(&spec).unwrap_or_else(|e| panic!("{} wasm: {e}", self.benchmark.name))
+    }
+
+    /// Execute the compiled-JS build.
+    pub fn js(&self) -> Measurement {
+        let spec = JsSpec {
+            source: self.benchmark.source,
+            defines: self.benchmark.defines(self.size),
+            level: self.level,
+            toolchain: self.toolchain,
+            env: self.env,
+            jit: self.jit,
+            entry: "bench_main",
+        };
+        run_compiled_js(&spec).unwrap_or_else(|e| panic!("{} js: {e}", self.benchmark.name))
+    }
+
+    /// Execute the native control build (Fig 6).
+    pub fn native(&self) -> Measurement {
+        run_native(
+            self.benchmark.source,
+            &self.benchmark.defines(self.size),
+            self.level,
+            "bench_main",
+        )
+        .unwrap_or_else(|e| panic!("{} native: {e}", self.benchmark.name))
+    }
+}

@@ -1,0 +1,147 @@
+//! Tests for the harness CLI parsing and the `Run` grid-cell helper the
+//! experiment binaries are built from.
+
+use wb_benchmarks::InputSize;
+use wb_env::{Browser, Environment, Platform};
+use wb_harness::{parallel_map, Cli, Run};
+
+// --- Cli parsing -----------------------------------------------------------
+
+#[test]
+fn parses_key_value_and_key_eq_value_and_bare_flags() {
+    let cli = Cli::from_args(["--filter", "gemm", "--out=custom", "--quick"]);
+    assert_eq!(cli.get("filter"), Some("gemm"));
+    assert_eq!(cli.get("out"), Some("custom"));
+    assert!(cli.has("quick"));
+    assert!(!cli.has("browser"));
+    assert_eq!(cli.get("missing"), None);
+}
+
+#[test]
+fn bare_flag_before_another_flag_is_boolean() {
+    // `--quick --filter x`: `--quick` must not swallow `--filter`.
+    let cli = Cli::from_args(["--quick", "--filter", "x"]);
+    assert!(cli.has("quick"));
+    assert_eq!(cli.get("quick"), Some("true"));
+    assert_eq!(cli.get("filter"), Some("x"));
+}
+
+#[test]
+fn positional_noise_without_dashes_is_ignored() {
+    let cli = Cli::from_args(["stray", "--filter", "lu"]);
+    assert_eq!(cli.get("filter"), Some("lu"));
+    assert!(!cli.has("stray"));
+}
+
+#[test]
+fn filter_restricts_benchmarks_case_insensitively() {
+    let all = Cli::from_args(Vec::<String>::new()).benchmarks();
+    assert_eq!(all.len(), 41, "paper corpus: 30 PolyBench + 11 CHStone");
+
+    let some = Cli::from_args(["--filter", "GEMM"]).benchmarks();
+    assert!(!some.is_empty() && some.len() < all.len());
+    assert!(some.iter().all(|b| b.name.contains("gemm")));
+
+    let none = Cli::from_args(["--filter", "no-such-kernel"]).benchmarks();
+    assert!(none.is_empty());
+}
+
+#[test]
+fn quick_mode_reduces_the_size_grid() {
+    let full = Cli::from_args(Vec::<String>::new()).sizes();
+    assert_eq!(full, InputSize::ALL.to_vec());
+    let quick = Cli::from_args(["--quick"]).sizes();
+    assert_eq!(quick, vec![InputSize::XS, InputSize::M, InputSize::XL]);
+}
+
+#[test]
+fn browser_flag_selects_the_environment() {
+    let default = Cli::from_args(Vec::<String>::new()).environment();
+    assert_eq!(default, Environment::desktop_chrome());
+
+    let ff = Cli::from_args(["--browser", "firefox"]).environment();
+    assert_eq!(ff, Environment::new(Browser::Firefox, Platform::Desktop));
+    // Prefix + case-insensitive, as documented.
+    let ff2 = Cli::from_args(["--browser", "Fire"]).environment();
+    assert_eq!(ff2, ff);
+
+    let edge = Cli::from_args(["--browser=edge"]).environment();
+    assert_eq!(edge, Environment::new(Browser::Edge, Platform::Desktop));
+
+    // Unknown values fall back to the study default (desktop Chrome).
+    let unknown = Cli::from_args(["--browser", "safari"]).environment();
+    assert_eq!(unknown, Environment::desktop_chrome());
+}
+
+// --- parallel_map ------------------------------------------------------------
+
+#[test]
+fn parallel_map_preserves_input_order() {
+    let items: Vec<u64> = (0..200).collect();
+    let out = parallel_map(items.clone(), |x| x * x);
+    let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn parallel_map_handles_empty_and_single_item() {
+    let empty: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+    assert!(empty.is_empty());
+    assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+}
+
+// --- Run ---------------------------------------------------------------------
+
+#[test]
+fn run_defaults_are_the_study_baseline() {
+    let b = wb_benchmarks::find("gemm").expect("gemm in corpus");
+    let run = Run::new(b, InputSize::XS);
+    assert_eq!(run.env, Environment::desktop_chrome());
+    assert_eq!(run.toolchain, wb_env::Toolchain::Cheerp);
+    assert_eq!(run.level, wb_minic::OptLevel::O2);
+    assert_eq!(run.tier_policy, wb_env::TierPolicy::Default);
+    assert_eq!(run.jit, wb_env::JitMode::Enabled);
+}
+
+#[test]
+fn run_executes_all_three_backends_with_identical_output() {
+    let b = wb_benchmarks::find("durbin").expect("durbin in corpus");
+    let run = Run::new(b, InputSize::XS);
+    let w = run.wasm();
+    let j = run.js();
+    let n = run.native();
+    assert!(!w.output.is_empty());
+    assert_eq!(w.output, j.output, "Wasm and JS must agree");
+    assert_eq!(w.output, n.output, "Wasm and native must agree");
+    // Wasm runs cross the boundary at least twice (call in, return out).
+    assert!(w.context_switches >= 2);
+    // Every backend reports positive time, memory and code size.
+    for m in [&w, &j, &n] {
+        assert!(m.time.0 > 0.0);
+        assert!(m.memory_bytes > 0);
+        assert!(m.code_size > 0);
+        assert!(m.counts.total() > 0);
+    }
+}
+
+#[test]
+fn run_grid_cell_is_deterministic() {
+    let b = wb_benchmarks::find("trisolv").expect("trisolv in corpus");
+    let run = Run::new(b, InputSize::XS);
+    let a = run.wasm();
+    let b2 = run.wasm();
+    assert_eq!(a.time.0, b2.time.0, "virtual time must be exactly reproducible");
+    assert_eq!(a.memory_bytes, b2.memory_bytes);
+    assert_eq!(a.output, b2.output);
+    assert_eq!(a.counts.total(), b2.counts.total());
+}
+
+#[test]
+fn larger_inputs_take_longer_on_every_backend() {
+    let b = wb_benchmarks::find("bicg").expect("bicg in corpus");
+    let xs = Run::new(b.clone(), InputSize::XS);
+    let m = Run::new(b, InputSize::M);
+    assert!(m.wasm().time.0 > xs.wasm().time.0);
+    assert!(m.js().time.0 > xs.js().time.0);
+    assert!(m.native().time.0 > xs.native().time.0);
+}

@@ -1,0 +1,140 @@
+//! MiniJS abstract syntax tree.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    StrictEq,
+    StrictNotEq,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    UShr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+    Typeof,
+}
+
+/// Typed-array constructors the engine supports (`new Float64Array(n)` …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypedKind {
+    F64,
+    I32,
+    U8,
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// `x = …`
+    Name(String),
+    /// `a[i] = …`
+    Index(Box<Expr>, Box<Expr>),
+    /// `a.b = …`
+    Member(Box<Expr>, String),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Undefined,
+    Name(String),
+    Array(Vec<Expr>),
+    Object(Vec<(String, Expr)>),
+    /// `function (a, b) { … }` — an anonymous function expression.
+    Function {
+        params: Vec<String>,
+        body: Vec<Stmt>,
+    },
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `f(args…)` on a plain name or any callee expression.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `obj.method(args…)` — kept distinct so the stdlib can dispatch.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    Index(Box<Expr>, Box<Expr>),
+    Member(Box<Expr>, String),
+    /// `x = v`, `a[i] += v`, … (op is `None` for plain `=`).
+    Assign {
+        target: Target,
+        op: Option<BinOp>,
+        value: Box<Expr>,
+    },
+    /// `x++` / `x--` (postfix; value semantics of the *old* value are not
+    /// relied on by our corpus, so this evaluates to the new value).
+    IncDec {
+        target: Target,
+        delta: f64,
+    },
+    /// `new Float64Array(n)` and friends.
+    NewTyped(TypedKind, Box<Expr>),
+    /// `new Array(n)`.
+    NewArray(Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var`/`let`/`const` with optional initializer.
+    Decl(String, Option<Expr>),
+    /// Expression statement.
+    Expr(Expr),
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    /// `do { … } while (cond);`
+    DoWhile(Vec<Stmt>, Expr),
+    /// C-style `for(init; cond; step) body`.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    Break,
+    Continue,
+    /// `function name(params) { body }`
+    Function {
+        name: String,
+        params: Vec<String>,
+        body: Vec<Stmt>,
+    },
+    /// `{ … }` — flat block (MiniJS is function-scoped like `var`).
+    Block(Vec<Stmt>),
+}
+
+/// A parsed script: top-level statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Statements in source order.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,660 @@
+//! Bytecode compiler: AST → [`Program`].
+
+use crate::ast::*;
+use crate::bytecode::{Chunk, Const, Op, Program};
+use crate::error::JsError;
+use std::collections::HashMap;
+
+/// Compile a parsed script. Chunk 0 is the top level.
+pub fn compile(script: &Script) -> Result<Program, JsError> {
+    let mut c = Compiler {
+        program: Program::default(),
+        name_index: HashMap::new(),
+    };
+    // Reserve chunk 0 for the top level, then fill it.
+    c.program.chunks.push(Chunk {
+        name: "<script>".into(),
+        ..Default::default()
+    });
+    let top = c.compile_body("<script>", &[], &script.body, true)?;
+    c.program.chunks[0] = top;
+    Ok(c.program)
+}
+
+struct Compiler {
+    program: Program,
+    name_index: HashMap<String, u32>,
+}
+
+struct LoopCtx {
+    break_jumps: Vec<usize>,
+    continue_jumps: Vec<usize>,
+}
+
+struct FnCtx {
+    chunk: Chunk,
+    locals: Vec<String>,
+    is_top_level: bool,
+    loops: Vec<LoopCtx>,
+}
+
+impl Compiler {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.name_index.get(name) {
+            return i;
+        }
+        let i = self.program.names.len() as u32;
+        self.program.names.push(name.to_string());
+        self.name_index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Compile a function (or the top level) into a fresh chunk.
+    fn compile_body(
+        &mut self,
+        name: &str,
+        params: &[String],
+        body: &[Stmt],
+        is_top_level: bool,
+    ) -> Result<Chunk, JsError> {
+        let mut locals: Vec<String> = params.to_vec();
+        if !is_top_level {
+            hoist(body, &mut locals);
+        }
+        if locals.len() > u16::MAX as usize {
+            return Err(JsError::Compile {
+                message: format!("too many locals in {name}"),
+            });
+        }
+        let mut ctx = FnCtx {
+            chunk: Chunk {
+                name: name.into(),
+                arity: params.len() as u16,
+                nlocals: locals.len() as u16,
+                ..Default::default()
+            },
+            locals,
+            is_top_level,
+            loops: Vec::new(),
+        };
+        for stmt in body {
+            self.stmt(&mut ctx, stmt)?;
+        }
+        ctx.chunk.code.push(Op::ReturnUndef);
+        Ok(ctx.chunk)
+    }
+
+    fn stmt(&mut self, ctx: &mut FnCtx, stmt: &Stmt) -> Result<(), JsError> {
+        match stmt {
+            Stmt::Decl(name, init) => {
+                match init {
+                    Some(e) => self.expr(ctx, e)?,
+                    None => ctx.chunk.code.push(Op::Undef),
+                }
+                self.store_name(ctx, name);
+            }
+            Stmt::Expr(e) => self.expr_stmt(ctx, e)?,
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.expr(ctx, e)?;
+                        ctx.chunk.code.push(Op::Return);
+                    }
+                    None => ctx.chunk.code.push(Op::ReturnUndef),
+                }
+            }
+            Stmt::If(cond, then, els) => {
+                self.expr(ctx, cond)?;
+                let jf = self.emit_placeholder(ctx);
+                for s in then {
+                    self.stmt(ctx, s)?;
+                }
+                if els.is_empty() {
+                    self.patch(ctx, jf, PatchKind::JumpIfFalse);
+                } else {
+                    let jend = self.emit_placeholder(ctx);
+                    self.patch(ctx, jf, PatchKind::JumpIfFalse);
+                    for s in els {
+                        self.stmt(ctx, s)?;
+                    }
+                    self.patch(ctx, jend, PatchKind::Jump);
+                }
+            }
+            Stmt::DoWhile(body, cond) => {
+                let start = ctx.chunk.code.len();
+                ctx.loops.push(LoopCtx {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
+                for s in body {
+                    self.stmt(ctx, s)?;
+                }
+                let l = ctx.loops.pop().expect("loop ctx");
+                let cond_pos = ctx.chunk.code.len();
+                for j in l.continue_jumps {
+                    self.patch_to(ctx, j, cond_pos, PatchKind::Jump);
+                }
+                self.expr(ctx, cond)?;
+                // Jump back when truthy: JumpIfFalse over a backward Jump.
+                let jf = self.emit_placeholder(ctx);
+                let here = ctx.chunk.code.len();
+                ctx.chunk.code.push(Op::Jump(start as i32 - here as i32));
+                self.patch(ctx, jf, PatchKind::JumpIfFalse);
+                for j in l.break_jumps {
+                    self.patch(ctx, j, PatchKind::Jump);
+                }
+            }
+            Stmt::While(cond, body) => {
+                let start = ctx.chunk.code.len();
+                self.expr(ctx, cond)?;
+                let jf = self.emit_placeholder(ctx);
+                ctx.loops.push(LoopCtx {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
+                for s in body {
+                    self.stmt(ctx, s)?;
+                }
+                let l = ctx.loops.pop().expect("loop ctx");
+                // `continue` returns to the condition.
+                for j in l.continue_jumps {
+                    self.patch_to(ctx, j, start, PatchKind::Jump);
+                }
+                let here = ctx.chunk.code.len();
+                ctx.chunk.code.push(Op::Jump(start as i32 - here as i32));
+                self.patch(ctx, jf, PatchKind::JumpIfFalse);
+                for j in l.break_jumps {
+                    self.patch(ctx, j, PatchKind::Jump);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(ctx, init)?;
+                }
+                let start = ctx.chunk.code.len();
+                let jf = match cond {
+                    Some(c) => {
+                        self.expr(ctx, c)?;
+                        Some(self.emit_placeholder(ctx))
+                    }
+                    None => None,
+                };
+                ctx.loops.push(LoopCtx {
+                    break_jumps: vec![],
+                    continue_jumps: vec![],
+                });
+                for s in body {
+                    self.stmt(ctx, s)?;
+                }
+                let l = ctx.loops.pop().expect("loop ctx");
+                // `continue` jumps to the step expression.
+                let step_pos = ctx.chunk.code.len();
+                for j in l.continue_jumps {
+                    self.patch_to(ctx, j, step_pos, PatchKind::Jump);
+                }
+                if let Some(step) = step {
+                    self.expr_stmt(ctx, step)?;
+                }
+                let here = ctx.chunk.code.len();
+                ctx.chunk.code.push(Op::Jump(start as i32 - here as i32));
+                if let Some(jf) = jf {
+                    self.patch(ctx, jf, PatchKind::JumpIfFalse);
+                }
+                for j in l.break_jumps {
+                    self.patch(ctx, j, PatchKind::Jump);
+                }
+            }
+            Stmt::Break => {
+                let j = self.emit_placeholder(ctx);
+                match ctx.loops.last_mut() {
+                    Some(l) => l.break_jumps.push(j),
+                    None => {
+                        return Err(JsError::Compile {
+                            message: "break outside loop".into(),
+                        })
+                    }
+                }
+            }
+            Stmt::Continue => {
+                let j = self.emit_placeholder(ctx);
+                match ctx.loops.last_mut() {
+                    Some(l) => l.continue_jumps.push(j),
+                    None => {
+                        return Err(JsError::Compile {
+                            message: "continue outside loop".into(),
+                        })
+                    }
+                }
+            }
+            Stmt::Function { name, params, body } => {
+                let chunk = self.compile_body(name, params, body, false)?;
+                self.program.chunks.push(chunk);
+                let idx = (self.program.chunks.len() - 1) as u32;
+                ctx.chunk.code.push(Op::ClosureOp(idx));
+                self.store_name(ctx, name);
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(ctx, s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expression in statement position: avoids Dup/Pop churn for
+    /// assignments so compiled-code op counts stay honest.
+    fn expr_stmt(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<(), JsError> {
+        match e {
+            Expr::Assign {
+                target,
+                op: None,
+                value,
+            } => {
+                match target {
+                    Target::Name(n) => {
+                        self.expr(ctx, value)?;
+                        self.store_name(ctx, n);
+                    }
+                    Target::Index(obj, idx) => {
+                        self.expr(ctx, obj)?;
+                        self.expr(ctx, idx)?;
+                        self.expr(ctx, value)?;
+                        ctx.chunk.code.push(Op::SetIndex);
+                        ctx.chunk.code.push(Op::Pop);
+                    }
+                    Target::Member(obj, name) => {
+                        self.expr(ctx, obj)?;
+                        self.expr(ctx, value)?;
+                        let ni = self.intern(name);
+                        ctx.chunk.code.push(Op::SetMember(ni));
+                        ctx.chunk.code.push(Op::Pop);
+                    }
+                }
+                Ok(())
+            }
+            Expr::Assign { .. } | Expr::IncDec { .. } => {
+                self.expr(ctx, e)?;
+                ctx.chunk.code.push(Op::Pop);
+                Ok(())
+            }
+            _ => {
+                self.expr(ctx, e)?;
+                ctx.chunk.code.push(Op::Pop);
+                Ok(())
+            }
+        }
+    }
+
+    fn expr(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<(), JsError> {
+        match e {
+            Expr::Num(v) => {
+                let ci = add_const(&mut ctx.chunk, Const::Num(*v));
+                ctx.chunk.code.push(Op::Const(ci));
+            }
+            Expr::Str(s) => {
+                let ci = add_const(&mut ctx.chunk, Const::Str(s.clone()));
+                ctx.chunk.code.push(Op::Const(ci));
+            }
+            Expr::Bool(b) => ctx
+                .chunk
+                .code
+                .push(if *b { Op::True } else { Op::False }),
+            Expr::Null => ctx.chunk.code.push(Op::Null),
+            Expr::Undefined => ctx.chunk.code.push(Op::Undef),
+            Expr::Name(n) => self.load_name(ctx, n),
+            Expr::Array(items) => {
+                if items.len() > u16::MAX as usize {
+                    return Err(JsError::Compile {
+                        message: "array literal too long".into(),
+                    });
+                }
+                for item in items {
+                    self.expr(ctx, item)?;
+                }
+                ctx.chunk.code.push(Op::MakeArray(items.len() as u16));
+            }
+            Expr::Object(fields) => {
+                let mut shape = Vec::with_capacity(fields.len());
+                for (k, v) in fields {
+                    shape.push(self.intern(k));
+                    self.expr(ctx, v)?;
+                }
+                ctx.chunk.object_shapes.push(shape);
+                let shape_idx = (ctx.chunk.object_shapes.len() - 1) as u32;
+                ctx.chunk.code.push(Op::MakeObject { shape: shape_idx });
+            }
+            Expr::Function { params, body } => {
+                let chunk = self.compile_body("<anonymous>", params, body, false)?;
+                self.program.chunks.push(chunk);
+                let idx = (self.program.chunks.len() - 1) as u32;
+                ctx.chunk.code.push(Op::ClosureOp(idx));
+            }
+            Expr::Unary(op, a) => {
+                self.expr(ctx, a)?;
+                ctx.chunk.code.push(match op {
+                    UnOp::Neg => Op::Neg,
+                    UnOp::Not => Op::Not,
+                    UnOp::BitNot => Op::BitNot,
+                    UnOp::Typeof => Op::TypeofOp,
+                });
+            }
+            Expr::Binary(op, a, b) => {
+                self.expr(ctx, a)?;
+                self.expr(ctx, b)?;
+                ctx.chunk.code.push(bin_op(*op));
+            }
+            Expr::And(a, b) => {
+                self.expr(ctx, a)?;
+                let j = self.emit_placeholder(ctx);
+                self.expr(ctx, b)?;
+                self.patch(ctx, j, PatchKind::JumpIfFalsePeek);
+            }
+            Expr::Or(a, b) => {
+                self.expr(ctx, a)?;
+                let j = self.emit_placeholder(ctx);
+                self.expr(ctx, b)?;
+                self.patch(ctx, j, PatchKind::JumpIfTruePeek);
+            }
+            Expr::Ternary(c, a, b) => {
+                self.expr(ctx, c)?;
+                let jf = self.emit_placeholder(ctx);
+                self.expr(ctx, a)?;
+                let jend = self.emit_placeholder(ctx);
+                self.patch(ctx, jf, PatchKind::JumpIfFalse);
+                self.expr(ctx, b)?;
+                self.patch(ctx, jend, PatchKind::Jump);
+            }
+            Expr::Call(callee, args) => {
+                self.expr(ctx, callee)?;
+                for a in args {
+                    self.expr(ctx, a)?;
+                }
+                ctx.chunk.code.push(Op::Call(args.len() as u8));
+            }
+            Expr::MethodCall(obj, name, args) => {
+                self.expr(ctx, obj)?;
+                for a in args {
+                    self.expr(ctx, a)?;
+                }
+                let ni = self.intern(name);
+                ctx.chunk.code.push(Op::MethodCall {
+                    name: ni,
+                    argc: args.len() as u8,
+                });
+            }
+            Expr::Index(obj, idx) => {
+                self.expr(ctx, obj)?;
+                self.expr(ctx, idx)?;
+                ctx.chunk.code.push(Op::GetIndex);
+            }
+            Expr::Member(obj, name) => {
+                self.expr(ctx, obj)?;
+                let ni = self.intern(name);
+                ctx.chunk.code.push(Op::GetMember(ni));
+            }
+            Expr::Assign { target, op, value } => {
+                self.compile_assign(ctx, target, *op, value)?;
+            }
+            Expr::IncDec { target, delta } => {
+                let one = Expr::Num(*delta);
+                self.compile_assign(ctx, target, Some(BinOp::Add), &one)?;
+            }
+            Expr::NewTyped(kind, len) => {
+                self.expr(ctx, len)?;
+                ctx.chunk.code.push(Op::NewTyped(*kind));
+            }
+            Expr::NewArray(len) => {
+                self.expr(ctx, len)?;
+                ctx.chunk.code.push(Op::NewArrayN);
+            }
+        }
+        Ok(())
+    }
+
+    /// Assignment in expression position: leaves the assigned value.
+    fn compile_assign(
+        &mut self,
+        ctx: &mut FnCtx,
+        target: &Target,
+        op: Option<BinOp>,
+        value: &Expr,
+    ) -> Result<(), JsError> {
+        match target {
+            Target::Name(n) => {
+                if let Some(op) = op {
+                    self.load_name(ctx, n);
+                    self.expr(ctx, value)?;
+                    ctx.chunk.code.push(bin_op(op));
+                } else {
+                    self.expr(ctx, value)?;
+                }
+                ctx.chunk.code.push(Op::Dup);
+                self.store_name(ctx, n);
+            }
+            Target::Index(obj, idx) => {
+                self.expr(ctx, obj)?;
+                self.expr(ctx, idx)?;
+                if let Some(op) = op {
+                    ctx.chunk.code.push(Op::Dup2);
+                    ctx.chunk.code.push(Op::GetIndex);
+                    self.expr(ctx, value)?;
+                    ctx.chunk.code.push(bin_op(op));
+                } else {
+                    self.expr(ctx, value)?;
+                }
+                ctx.chunk.code.push(Op::SetIndex);
+            }
+            Target::Member(obj, name) => {
+                self.expr(ctx, obj)?;
+                let ni = self.intern(name);
+                if let Some(op) = op {
+                    ctx.chunk.code.push(Op::Dup);
+                    ctx.chunk.code.push(Op::GetMember(ni));
+                    self.expr(ctx, value)?;
+                    ctx.chunk.code.push(bin_op(op));
+                } else {
+                    self.expr(ctx, value)?;
+                }
+                ctx.chunk.code.push(Op::SetMember(ni));
+            }
+        }
+        Ok(())
+    }
+
+    fn load_name(&mut self, ctx: &mut FnCtx, name: &str) {
+        if !ctx.is_top_level {
+            if let Some(slot) = ctx.locals.iter().position(|l| l == name) {
+                ctx.chunk.code.push(Op::LoadLocal(slot as u16));
+                return;
+            }
+        }
+        let ni = self.intern(name);
+        ctx.chunk.code.push(Op::LoadGlobal(ni));
+    }
+
+    fn store_name(&mut self, ctx: &mut FnCtx, name: &str) {
+        if !ctx.is_top_level {
+            if let Some(slot) = ctx.locals.iter().position(|l| l == name) {
+                ctx.chunk.code.push(Op::StoreLocal(slot as u16));
+                return;
+            }
+        }
+        let ni = self.intern(name);
+        ctx.chunk.code.push(Op::StoreGlobal(ni));
+    }
+
+    /// Emit a placeholder jump; patched later.
+    fn emit_placeholder(&mut self, ctx: &mut FnCtx) -> usize {
+        ctx.chunk.code.push(Op::Jump(0));
+        ctx.chunk.code.len() - 1
+    }
+
+    /// Patch placeholder at `at` to jump to the current position.
+    fn patch(&mut self, ctx: &mut FnCtx, at: usize, kind: PatchKind) {
+        let target = ctx.chunk.code.len();
+        self.patch_to(ctx, at, target, kind);
+    }
+
+    fn patch_to(&mut self, ctx: &mut FnCtx, at: usize, target: usize, kind: PatchKind) {
+        let rel = target as i32 - at as i32;
+        ctx.chunk.code[at] = match kind {
+            PatchKind::Jump => Op::Jump(rel),
+            PatchKind::JumpIfFalse => Op::JumpIfFalse(rel),
+            PatchKind::JumpIfFalsePeek => Op::JumpIfFalsePeek(rel),
+            PatchKind::JumpIfTruePeek => Op::JumpIfTruePeek(rel),
+        };
+    }
+}
+
+enum PatchKind {
+    Jump,
+    JumpIfFalse,
+    JumpIfFalsePeek,
+    JumpIfTruePeek,
+}
+
+fn bin_op(op: BinOp) -> Op {
+    match op {
+        BinOp::Add => Op::Add,
+        BinOp::Sub => Op::Sub,
+        BinOp::Mul => Op::Mul,
+        BinOp::Div => Op::Div,
+        BinOp::Mod => Op::Mod,
+        BinOp::Lt => Op::Lt,
+        BinOp::Gt => Op::Gt,
+        BinOp::Le => Op::Le,
+        BinOp::Ge => Op::Ge,
+        BinOp::EqEq => Op::EqEq,
+        BinOp::NotEq => Op::NotEq,
+        BinOp::StrictEq => Op::StrictEq,
+        BinOp::StrictNotEq => Op::StrictNe,
+        BinOp::BitAnd => Op::BitAnd,
+        BinOp::BitOr => Op::BitOr,
+        BinOp::BitXor => Op::BitXor,
+        BinOp::Shl => Op::Shl,
+        BinOp::Shr => Op::Shr,
+        BinOp::UShr => Op::UShr,
+    }
+}
+
+fn add_const(chunk: &mut Chunk, c: Const) -> u32 {
+    if let Some(i) = chunk.consts.iter().position(|x| match (x, &c) {
+        (Const::Num(a), Const::Num(b)) => a.to_bits() == b.to_bits(),
+        (Const::Str(a), Const::Str(b)) => a == b,
+        _ => false,
+    }) {
+        return i as u32;
+    }
+    chunk.consts.push(c);
+    (chunk.consts.len() - 1) as u32
+}
+
+/// Collect declared names in a body (not descending into nested functions).
+fn hoist(body: &[Stmt], locals: &mut Vec<String>) {
+    for s in body {
+        match s {
+            Stmt::Decl(name, _) | Stmt::Function { name, .. } => {
+                if !locals.contains(name) {
+                    locals.push(name.clone());
+                }
+            }
+            Stmt::If(_, a, b) => {
+                hoist(a, locals);
+                hoist(b, locals);
+            }
+            Stmt::While(_, b) | Stmt::DoWhile(b, _) => hoist(b, locals),
+            Stmt::For { init, body, .. } => {
+                if let Some(init) = init {
+                    hoist(std::slice::from_ref(init), locals);
+                }
+                hoist(body, locals);
+            }
+            Stmt::Block(b) => hoist(b, locals),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn c(src: &str) -> Program {
+        compile(&parse(lex(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn top_level_uses_globals_functions_use_locals() {
+        let p = c("var g = 1; function f(x) { var y = x + g; return y; }");
+        // Top level stores a global.
+        assert!(p.chunks[0]
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::StoreGlobal(_))));
+        // The function reads param locally and g globally.
+        let f = &p.chunks[1];
+        assert!(f.code.iter().any(|op| matches!(op, Op::LoadLocal(0))));
+        assert!(f.code.iter().any(|op| matches!(op, Op::LoadGlobal(_))));
+        assert_eq!(f.arity, 1);
+        assert_eq!(f.nlocals, 2); // x, y
+    }
+
+    #[test]
+    fn loops_have_backward_jumps() {
+        let p = c("function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; }");
+        let f = &p.chunks[1];
+        assert!(
+            f.code.iter().any(|op| matches!(op, Op::Jump(d) if *d < 0)),
+            "expected a back-edge: {:?}",
+            f.code
+        );
+    }
+
+    #[test]
+    fn break_continue_require_loop() {
+        assert!(matches!(
+            compile(&parse(lex("break;").unwrap()).unwrap()),
+            Err(JsError::Compile { .. })
+        ));
+        assert!(matches!(
+            compile(&parse(lex("continue;").unwrap()).unwrap()),
+            Err(JsError::Compile { .. })
+        ));
+    }
+
+    #[test]
+    fn consts_are_deduplicated() {
+        let p = c("function f() { return 5 + 5 + 5; }");
+        let f = &p.chunks[1];
+        let num_consts = f
+            .consts
+            .iter()
+            .filter(|c| matches!(c, Const::Num(v) if *v == 5.0))
+            .count();
+        assert_eq!(num_consts, 1);
+    }
+
+    #[test]
+    fn object_literals_record_shapes() {
+        let p = c("var o = { a: 1, b: 2 };");
+        let top = &p.chunks[0];
+        assert_eq!(top.object_shapes.len(), 1);
+        assert_eq!(top.object_shapes[0].len(), 2);
+        assert!(top.code.iter().any(|op| matches!(op, Op::MakeObject { .. })));
+    }
+
+    #[test]
+    fn statement_assignment_has_no_dup() {
+        let p = c("function f(a) { a[0] = 1; }");
+        let f = &p.chunks[1];
+        assert!(!f.code.iter().any(|op| matches!(op, Op::Dup | Op::Dup2)));
+    }
+}

@@ -1,0 +1,63 @@
+//! MiniJS error types.
+
+use std::fmt;
+
+/// Any error raised while lexing, parsing, compiling or running MiniJS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsError {
+    /// Lexical error (bad character, unterminated string, …).
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Compile-time error (e.g. `break` outside a loop).
+    Compile {
+        /// Description.
+        message: String,
+    },
+    /// Runtime `TypeError` (wrong operand/callee kind).
+    Type {
+        /// Description.
+        message: String,
+    },
+    /// Runtime `ReferenceError` (unknown identifier).
+    Reference {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Runtime `RangeError` (bad array length, OOB typed-array write, …).
+    Range {
+        /// Description.
+        message: String,
+    },
+    /// The configured step budget was exhausted (runaway-loop guard).
+    StepBudgetExhausted,
+    /// Call-stack depth limit exceeded.
+    StackOverflow,
+}
+
+impl fmt::Display for JsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsError::Lex { line, message } => write!(f, "SyntaxError (line {line}): {message}"),
+            JsError::Parse { line, message } => write!(f, "SyntaxError (line {line}): {message}"),
+            JsError::Compile { message } => write!(f, "CompileError: {message}"),
+            JsError::Type { message } => write!(f, "TypeError: {message}"),
+            JsError::Reference { name } => write!(f, "ReferenceError: {name} is not defined"),
+            JsError::Range { message } => write!(f, "RangeError: {message}"),
+            JsError::StepBudgetExhausted => write!(f, "step budget exhausted"),
+            JsError::StackOverflow => write!(f, "RangeError: maximum call stack size exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for JsError {}

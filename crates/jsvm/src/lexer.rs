@@ -1,0 +1,399 @@
+//! MiniJS lexer.
+
+use crate::error::JsError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals & names.
+    Num(f64),
+    Str(String),
+    Ident(String),
+    // Keywords.
+    Var,
+    Let,
+    Const,
+    Function,
+    Return,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Break,
+    Continue,
+    True,
+    False,
+    Null,
+    Undefined,
+    New,
+    Typeof,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    // Operators.
+    Assign,       // =
+    PlusAssign,   // +=
+    MinusAssign,  // -=
+    StarAssign,   // *=
+    SlashAssign,  // /=
+    PercentAssign, // %=
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    EqEqEq,
+    NotEqEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    BitAnd,
+    BitOr,
+    BitXor,
+    BitNot,
+    Shl,
+    Shr,
+    UShr,
+    Eof,
+}
+
+/// A token plus its 1-based source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Tokenize a source string.
+pub fn lex(source: &str) -> Result<Vec<Token>, JsError> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Token { tok: $t, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(JsError::Lex {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_hex = false;
+                if c == '0' && matches!(bytes.get(i + 1), Some('x') | Some('X')) {
+                    is_hex = true;
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_digit()
+                            || bytes[i] == '.'
+                            || bytes[i] == 'e'
+                            || bytes[i] == 'E'
+                            || ((bytes[i] == '+' || bytes[i] == '-')
+                                && matches!(bytes.get(i.wrapping_sub(1)), Some('e') | Some('E'))))
+                    {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = if is_hex {
+                    u64::from_str_radix(&text[2..], 16).map(|v| v as f64).map_err(|_| {
+                        JsError::Lex {
+                            line,
+                            message: format!("bad hex literal '{text}'"),
+                        }
+                    })?
+                } else {
+                    text.parse::<f64>().map_err(|_| JsError::Lex {
+                        line,
+                        message: format!("bad number literal '{text}'"),
+                    })?
+                };
+                push!(Tok::Num(value));
+            }
+            '"' | '\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(JsError::Lex {
+                                line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            let esc = bytes.get(i + 1).copied().ok_or(JsError::Lex {
+                                line,
+                                message: "unterminated escape".into(),
+                            })?;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                '0' => '\0',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                push!(match word.as_str() {
+                    "var" => Tok::Var,
+                    "let" => Tok::Let,
+                    "const" => Tok::Const,
+                    "function" => Tok::Function,
+                    "return" => Tok::Return,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "do" => Tok::Do,
+                    "for" => Tok::For,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "null" => Tok::Null,
+                    "undefined" => Tok::Undefined,
+                    "new" => Tok::New,
+                    "typeof" => Tok::Typeof,
+                    _ => Tok::Ident(word),
+                });
+            }
+            _ => {
+                // Multi-char operators, longest first.
+                let rest: String = bytes[i..bytes.len().min(i + 4)].iter().collect();
+                let (tok, len) = if rest.starts_with(">>>") {
+                    (Tok::UShr, 3)
+                } else if rest.starts_with("===") {
+                    (Tok::EqEqEq, 3)
+                } else if rest.starts_with("!==") {
+                    (Tok::NotEqEq, 3)
+                } else if rest.starts_with("==") {
+                    (Tok::EqEq, 2)
+                } else if rest.starts_with("!=") {
+                    (Tok::NotEq, 2)
+                } else if rest.starts_with("<=") {
+                    (Tok::Le, 2)
+                } else if rest.starts_with(">=") {
+                    (Tok::Ge, 2)
+                } else if rest.starts_with("&&") {
+                    (Tok::AndAnd, 2)
+                } else if rest.starts_with("||") {
+                    (Tok::OrOr, 2)
+                } else if rest.starts_with("<<") {
+                    (Tok::Shl, 2)
+                } else if rest.starts_with(">>") {
+                    (Tok::Shr, 2)
+                } else if rest.starts_with("++") {
+                    (Tok::PlusPlus, 2)
+                } else if rest.starts_with("--") {
+                    (Tok::MinusMinus, 2)
+                } else if rest.starts_with("+=") {
+                    (Tok::PlusAssign, 2)
+                } else if rest.starts_with("-=") {
+                    (Tok::MinusAssign, 2)
+                } else if rest.starts_with("*=") {
+                    (Tok::StarAssign, 2)
+                } else if rest.starts_with("/=") {
+                    (Tok::SlashAssign, 2)
+                } else if rest.starts_with("%=") {
+                    (Tok::PercentAssign, 2)
+                } else {
+                    let single = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        '.' => Tok::Dot,
+                        ':' => Tok::Colon,
+                        '?' => Tok::Question,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '!' => Tok::Not,
+                        '&' => Tok::BitAnd,
+                        '|' => Tok::BitOr,
+                        '^' => Tok::BitXor,
+                        '~' => Tok::BitNot,
+                        other => {
+                            return Err(JsError::Lex {
+                                line,
+                                message: format!("unexpected character '{other}'"),
+                            })
+                        }
+                    };
+                    (single, 1)
+                };
+                push!(tok);
+                i += len;
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn numbers_strings_idents() {
+        assert_eq!(
+            toks("var x = 3.5e2;"),
+            vec![
+                Tok::Var,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(350.0),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("0xff")[0], Tok::Num(255.0));
+        assert_eq!(toks("'a\\nb'")[0], Tok::Str("a\nb".into()));
+        assert_eq!(toks("\"hi\"")[0], Tok::Str("hi".into()));
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a >>> b === c != d <= e && f++"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::UShr,
+                Tok::Ident("b".into()),
+                Tok::EqEqEq,
+                Tok::Ident("c".into()),
+                Tok::NotEq,
+                Tok::Ident("d".into()),
+                Tok::Le,
+                Tok::Ident("e".into()),
+                Tok::AndAnd,
+                Tok::Ident("f".into()),
+                Tok::PlusPlus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let tokens = lex("// hello\n/* multi\nline */ x").unwrap();
+        assert_eq!(tokens[0].tok, Tok::Ident("x".into()));
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(JsError::Lex { .. })));
+        assert!(matches!(lex("/* oops"), Err(JsError::Lex { .. })));
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(
+            toks("function for while new typeof undefined"),
+            vec![
+                Tok::Function,
+                Tok::For,
+                Tok::While,
+                Tok::New,
+                Tok::Typeof,
+                Tok::Undefined,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Runtime values.
+
+/// Built-in host objects reachable from globals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `Math` — numeric functions and constants.
+    Math,
+    /// `console` — `log` output sink.
+    Console,
+    /// `performance` — `now()` high-resolution virtual timer (§3.3.2).
+    Performance,
+    /// `crypto` — W3C Web Cryptography API analogue (native SHA-256).
+    Crypto,
+    /// `String` — `fromCharCode`.
+    StringCls,
+    /// `Number` — `isInteger`, `MAX_SAFE_INTEGER`.
+    NumberCls,
+}
+
+/// An internal MiniJS value. Heap data lives behind [`Value::Ref`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// IEEE double — the only JS number type.
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// Reference into the GC heap (arrays, objects, strings, typed arrays).
+    Ref(u32),
+    /// A function (chunk index); MiniJS closures capture globals only.
+    Closure(u32),
+    /// A built-in host object.
+    Builtin(Builtin),
+}
+
+impl Value {
+    /// JS truthiness (for `Ref`, any object is truthy; empty-string
+    /// falsiness is handled by the VM, which can see the heap).
+    pub fn truthy_shallow(&self) -> bool {
+        match self {
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Bool(b) => *b,
+            Value::Null | Value::Undefined => false,
+            Value::Ref(_) | Value::Closure(_) | Value::Builtin(_) => true,
+        }
+    }
+
+    /// The `typeof` string.
+    pub fn type_of(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::Null => "object",
+            Value::Undefined => "undefined",
+            Value::Ref(_) => "object", // the VM refines strings to "string"
+            Value::Closure(_) => "function",
+            Value::Builtin(_) => "object",
+        }
+    }
+}
+
+/// The public value type returned by [`crate::JsVm::call`] — owned data,
+/// detached from the VM heap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsValue {
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// An array, deep-copied out of the heap.
+    Array(Vec<JsValue>),
+}
+
+impl JsValue {
+    /// Unwrap a number, panicking otherwise (test convenience).
+    pub fn as_num(&self) -> f64 {
+        match self {
+            JsValue::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}
+
+/// Format a number the way JS `String(n)` does for the common cases:
+/// integral values print without a decimal point.
+pub fn format_number(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".into()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity".into() } else { "-Infinity".into() }
+    } else if n == n.trunc() && n.abs() < 1e21 {
+        format!("{}", n as i64)
+    } else if n.abs() >= 1e21 {
+        // JS switches to exponential notation at 1e21 ("1e+22").
+        let s = format!("{n:e}");
+        match s.find('e') {
+            Some(pos) if !s[pos + 1..].starts_with('-') => {
+                format!("{}e+{}", &s[..pos], &s[pos + 1..])
+            }
+            _ => s,
+        }
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Num(0.0).truthy_shallow());
+        assert!(!Value::Num(f64::NAN).truthy_shallow());
+        assert!(Value::Num(-1.0).truthy_shallow());
+        assert!(!Value::Null.truthy_shallow());
+        assert!(!Value::Undefined.truthy_shallow());
+        assert!(Value::Ref(0).truthy_shallow());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(-0.5), "-0.5");
+        assert_eq!(format_number(f64::NAN), "NaN");
+        assert_eq!(format_number(1e22), "1e+22");
+    }
+
+    #[test]
+    fn typeof_strings() {
+        assert_eq!(Value::Num(1.0).type_of(), "number");
+        assert_eq!(Value::Closure(0).type_of(), "function");
+        assert_eq!(Value::Undefined.type_of(), "undefined");
+    }
+}

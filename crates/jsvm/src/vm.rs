@@ -1,0 +1,1585 @@
+//! The MiniJS virtual machine: bytecode interpreter, JIT tier model, GC
+//! scheduling and virtual-time accounting.
+
+use crate::bytecode::{Const, Op, Program};
+use crate::error::JsError;
+use crate::heap::{Heap, HeapStats, Obj};
+use crate::stdlib::{sha256, DetRng};
+use crate::value::{format_number, Builtin, JsValue, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+use wb_env::{
+    ArithCounts, CostTable, JitMode, JsEngineProfile, Nanos, OpCounts, TimeBucket, VirtualClock,
+};
+
+/// Configuration of one JS VM.
+#[derive(Debug, Clone)]
+pub struct JsVmConfig {
+    /// Engine parameters (parse/compile/tier/GC costs).
+    pub profile: JsEngineProfile,
+    /// Whether the optimizing JIT is enabled (`--no-opt` disables it).
+    pub jit: JitMode,
+    /// Base cost table shared with the Wasm VM.
+    pub cost: CostTable,
+    /// Nanoseconds per abstract cycle (platform speed).
+    pub cycle_time_ns: f64,
+    /// Maximum retired ops before [`JsError::StepBudgetExhausted`].
+    pub max_steps: u64,
+    /// Maximum frame depth before [`JsError::StackOverflow`].
+    pub max_call_depth: usize,
+}
+
+impl JsVmConfig {
+    /// A standalone default suitable for unit tests.
+    pub fn reference() -> Self {
+        JsVmConfig {
+            profile: JsEngineProfile::reference(),
+            jit: JitMode::Enabled,
+            cost: CostTable::reference(),
+            cycle_time_ns: wb_env::calibration::DESKTOP_CYCLE_NS,
+            max_steps: u64::MAX,
+            max_call_depth: 2_048,
+        }
+    }
+
+    /// Derive a config from an environment profile.
+    pub fn for_env(env: &wb_env::EnvProfile) -> Self {
+        JsVmConfig {
+            profile: env.js,
+            jit: JitMode::Enabled,
+            cost: CostTable::reference(),
+            cycle_time_ns: env.cycle_time_ns,
+            max_steps: u64::MAX,
+            max_call_depth: 2_048,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Interp = 0,
+    Jit = 1,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TierState {
+    tier: Tier,
+    hotness: u64,
+}
+
+struct Frame {
+    chunk: u32,
+    pc: usize,
+    locals_base: usize,
+}
+
+/// Everything measured about a JS execution.
+#[derive(Debug, Clone)]
+pub struct JsReport {
+    /// Total virtual time (parse + compile + exec + GC + JIT).
+    pub total: Nanos,
+    /// Time attribution breakdown.
+    pub clock: VirtualClock,
+    /// Retired ops by class, across tiers.
+    pub counts: OpCounts,
+    /// Ops retired in the interpreter tier only.
+    pub interp_counts: OpCounts,
+    /// Heap statistics (live/peak/external bytes, GC count).
+    pub heap: HeapStats,
+    /// Fine-grained arithmetic profile (Table 12).
+    pub arith: ArithCounts,
+    /// Functions JIT-compiled.
+    pub jit_compiles: u32,
+    /// Compiled bytecode size (op count) — the JS "code size" proxy.
+    pub code_ops: usize,
+}
+
+/// The MiniJS virtual machine.
+pub struct JsVm {
+    config: JsVmConfig,
+    program: Rc<Program>,
+    name_index: HashMap<String, u32>,
+    globals: Vec<Option<Value>>,
+    heap: Heap,
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+    frames: Vec<Frame>,
+    chunk_state: Vec<TierState>,
+    tier_counts: [OpCounts; 2],
+    arith: ArithCounts,
+    /// Typed-array index accesses retired in JIT code (charged at the
+    /// better `jit_typed_array_multiplier`).
+    ta_counts: OpCounts,
+    clock: VirtualClock,
+    steps: u64,
+    jit_compiles: u32,
+    rng: DetRng,
+    /// `console.log` output.
+    pub output: Vec<String>,
+}
+
+impl JsVm {
+    /// Create a VM with no script loaded.
+    pub fn new(config: JsVmConfig) -> Self {
+        JsVm {
+            config,
+            program: Rc::new(Program::default()),
+            name_index: HashMap::new(),
+            globals: Vec::new(),
+            heap: Heap::new(),
+            stack: Vec::new(),
+            locals: Vec::new(),
+            frames: Vec::new(),
+            chunk_state: Vec::new(),
+            tier_counts: [OpCounts::new(), OpCounts::new()],
+            arith: ArithCounts::default(),
+            ta_counts: OpCounts::new(),
+            clock: VirtualClock::new(),
+            steps: 0,
+            jit_compiles: 0,
+            rng: DetRng::default(),
+            output: Vec::new(),
+        }
+    }
+
+    /// Parse, compile and run a script's top level. Charges parse time per
+    /// source byte and bytecode-compile time per op (§2.2.1).
+    pub fn load(&mut self, source: &str) -> Result<(), JsError> {
+        let program = crate::compile_script(source)?;
+        self.charge(
+            source.len() as f64 * self.config.profile.parse_cost_per_byte,
+            TimeBucket::Load,
+        );
+        self.charge(
+            program.op_count() as f64 * self.config.profile.bytecode_cost_per_op,
+            TimeBucket::Compile,
+        );
+        self.name_index = program
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        self.globals = vec![None; program.names.len()];
+        self.chunk_state = vec![
+            TierState {
+                tier: Tier::Interp,
+                hotness: 0,
+            };
+            program.chunks.len()
+        ];
+        // Bind host globals wherever the script references them.
+        for (name, builtin) in [
+            ("Math", Builtin::Math),
+            ("console", Builtin::Console),
+            ("performance", Builtin::Performance),
+            ("crypto", Builtin::Crypto),
+            ("String", Builtin::StringCls),
+            ("Number", Builtin::NumberCls),
+        ] {
+            if let Some(&idx) = self.name_index.get(name) {
+                self.globals[idx as usize] = Some(Value::Builtin(builtin));
+            }
+        }
+        for (name, v) in [("NaN", f64::NAN), ("Infinity", f64::INFINITY)] {
+            if let Some(&idx) = self.name_index.get(name) {
+                self.globals[idx as usize] = Some(Value::Num(v));
+            }
+        }
+        self.program = Rc::new(program);
+        // Run the top level (chunk 0).
+        self.push_frame(0, &[])?;
+        self.run(0)?;
+        // Top level leaves no value.
+        Ok(())
+    }
+
+    /// Call a global function by name (the embedder API the harness uses
+    /// to drive benchmarks, like invoking an exported JS entry point).
+    pub fn call(&mut self, name: &str, args: &[JsValue]) -> Result<JsValue, JsError> {
+        let idx = *self
+            .name_index
+            .get(name)
+            .ok_or_else(|| JsError::Reference { name: name.into() })?;
+        let callee = self.globals[idx as usize]
+            .ok_or_else(|| JsError::Reference { name: name.into() })?;
+        let Value::Closure(chunk) = callee else {
+            return Err(JsError::Type {
+                message: format!("{name} is not a function"),
+            });
+        };
+        let arg_values: Vec<Value> = args.iter().map(|a| self.value_in(a)).collect();
+        let floor = self.frames.len();
+        self.push_frame(chunk, &arg_values)?;
+        self.run(floor)?;
+        let v = self.stack.pop().unwrap_or(Value::Undefined);
+        Ok(self.value_out(v))
+    }
+
+    /// Current measurement snapshot.
+    pub fn report(&self) -> JsReport {
+        let p = &self.config.profile;
+        let interp_cycles = self
+            .config
+            .cost
+            .cycles(&self.tier_counts[0], p.interp_multiplier);
+        let jit_cycles = self.config.cost.cycles(&self.tier_counts[1], p.jit_multiplier);
+        let ta_cycles = self
+            .config
+            .cost
+            .cycles(&self.ta_counts, p.jit_typed_array_multiplier);
+        let mut clock = self.clock.clone();
+        clock.advance(
+            Nanos((interp_cycles + jit_cycles + ta_cycles) * self.config.cycle_time_ns),
+            TimeBucket::Exec,
+        );
+        JsReport {
+            total: clock.now(),
+            clock,
+            counts: self.tier_counts[0]
+                .merged(&self.tier_counts[1])
+                .merged(&self.ta_counts),
+            interp_counts: self.tier_counts[0],
+            heap: self.heap.stats(),
+            arith: self.arith,
+            jit_compiles: self.jit_compiles,
+            code_ops: self.program.op_count(),
+        }
+    }
+
+    /// Read a global as a public value (test/IO helper).
+    pub fn global(&mut self, name: &str) -> Option<JsValue> {
+        let idx = *self.name_index.get(name)?;
+        let v = self.globals.get(idx as usize).copied().flatten()?;
+        Some(self.value_out(v))
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn charge(&mut self, cycles: f64, bucket: TimeBucket) {
+        self.clock
+            .advance(Nanos(cycles * self.config.cycle_time_ns), bucket);
+    }
+
+    fn value_in(&mut self, v: &JsValue) -> Value {
+        match v {
+            JsValue::Num(n) => Value::Num(*n),
+            JsValue::Bool(b) => Value::Bool(*b),
+            JsValue::Null => Value::Null,
+            JsValue::Undefined => Value::Undefined,
+            JsValue::Str(s) => {
+                let r = self.alloc(Obj::Str(s.clone()));
+                Value::Ref(r)
+            }
+            JsValue::Array(items) => {
+                let vals: Vec<Value> = items.iter().map(|i| self.value_in(i)).collect();
+                let r = self.alloc(Obj::Arr(vals));
+                Value::Ref(r)
+            }
+        }
+    }
+
+    fn value_out(&self, v: Value) -> JsValue {
+        match v {
+            Value::Num(n) => JsValue::Num(n),
+            Value::Bool(b) => JsValue::Bool(b),
+            Value::Null => JsValue::Null,
+            Value::Undefined | Value::Closure(_) | Value::Builtin(_) => JsValue::Undefined,
+            Value::Ref(r) => match self.heap.get(r) {
+                Obj::Str(s) => JsValue::Str(s.clone()),
+                Obj::Arr(items) => {
+                    JsValue::Array(items.iter().map(|v| self.value_out(*v)).collect())
+                }
+                Obj::F64(items) => {
+                    JsValue::Array(items.iter().map(|v| JsValue::Num(*v)).collect())
+                }
+                Obj::I32(items) => {
+                    JsValue::Array(items.iter().map(|v| JsValue::Num(*v as f64)).collect())
+                }
+                Obj::U8(items) => {
+                    JsValue::Array(items.iter().map(|v| JsValue::Num(*v as f64)).collect())
+                }
+                Obj::Obj(_) => JsValue::Undefined,
+            },
+        }
+    }
+
+    /// Allocate without collecting: GC only runs at instruction
+    /// boundaries (see `run`), when every live value is rooted in the
+    /// stack/locals/globals. Collecting here could free an object the
+    /// current instruction still holds in Rust locals — or the newly
+    /// allocated object itself, before the caller pushes its reference.
+    fn alloc(&mut self, obj: Obj) -> u32 {
+        self.charge(self.config.profile.alloc_cost, TimeBucket::Exec);
+        self.heap.alloc(obj)
+    }
+
+    fn maybe_gc(&mut self) {
+        if !self.heap.should_collect(self.config.profile.gc.trigger_bytes) {
+            return;
+        }
+        let roots = self
+            .globals
+            .iter()
+            .filter_map(|g| *g)
+            .chain(self.stack.iter().copied())
+            .chain(self.locals.iter().copied())
+            .collect::<Vec<_>>();
+        let live = self.heap.collect(roots.into_iter());
+        let gc = self.config.profile.gc;
+        self.charge(
+            gc.pause_base + gc.pause_per_live_byte * live as f64,
+            TimeBucket::Gc,
+        );
+    }
+
+    fn push_frame(&mut self, chunk: u32, args: &[Value]) -> Result<(), JsError> {
+        if self.frames.len() >= self.config.max_call_depth {
+            return Err(JsError::StackOverflow);
+        }
+        self.note_hotness(chunk as usize);
+        let c = &self.program.chunks[chunk as usize];
+        let locals_base = self.locals.len();
+        for i in 0..c.nlocals as usize {
+            self.locals
+                .push(args.get(i).copied().unwrap_or(Value::Undefined));
+        }
+        self.frames.push(Frame {
+            chunk,
+            pc: 0,
+            locals_base,
+        });
+        Ok(())
+    }
+
+    fn note_hotness(&mut self, chunk: usize) {
+        let s = &mut self.chunk_state[chunk];
+        s.hotness += 1;
+        if s.tier == Tier::Interp
+            && self.config.jit == JitMode::Enabled
+            && s.hotness >= self.config.profile.jit_threshold
+        {
+            s.tier = Tier::Jit;
+            self.jit_compiles += 1;
+            let ops = self.program.chunks[chunk].code.len() as f64;
+            let cost = ops * self.config.profile.jit_compile_cost_per_op;
+            self.charge(cost, TimeBucket::Compile);
+        }
+    }
+
+    fn type_error<T>(&self, message: impl Into<String>) -> Result<T, JsError> {
+        Err(JsError::Type {
+            message: message.into(),
+        })
+    }
+
+    fn to_num(&self, v: Value) -> f64 {
+        match v {
+            Value::Num(n) => n,
+            Value::Bool(b) => b as u8 as f64,
+            Value::Null => 0.0,
+            Value::Undefined => f64::NAN,
+            Value::Ref(r) => match self.heap.get(r) {
+                Obj::Str(s) => {
+                    let t = s.trim();
+                    if t.is_empty() {
+                        0.0
+                    } else {
+                        t.parse::<f64>().unwrap_or(f64::NAN)
+                    }
+                }
+                _ => f64::NAN,
+            },
+            Value::Closure(_) | Value::Builtin(_) => f64::NAN,
+        }
+    }
+
+    fn to_int32(&self, v: Value) -> i32 {
+        let n = self.to_num(v);
+        if !n.is_finite() {
+            return 0;
+        }
+        let t = n.trunc();
+        let m = t.rem_euclid(4294967296.0);
+        let m = if m >= 2147483648.0 { m - 4294967296.0 } else { m };
+        m as i32
+    }
+
+    fn to_uint32(&self, v: Value) -> u32 {
+        self.to_int32(v) as u32
+    }
+
+    fn truthy(&self, v: Value) -> bool {
+        match v {
+            Value::Ref(r) => match self.heap.get(r) {
+                Obj::Str(s) => !s.is_empty(),
+                _ => true,
+            },
+            other => other.truthy_shallow(),
+        }
+    }
+
+    fn stringify(&self, v: Value) -> String {
+        match v {
+            Value::Num(n) => format_number(n),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => "null".into(),
+            Value::Undefined => "undefined".into(),
+            Value::Closure(_) => "function".into(),
+            Value::Builtin(_) => "[object Object]".into(),
+            Value::Ref(r) => match self.heap.get(r) {
+                Obj::Str(s) => s.clone(),
+                Obj::Arr(items) => {
+                    let parts: Vec<String> = items.iter().map(|v| self.stringify(*v)).collect();
+                    parts.join(",")
+                }
+                Obj::F64(items) => {
+                    let parts: Vec<String> =
+                        items.iter().map(|v| format_number(*v)).collect();
+                    parts.join(",")
+                }
+                Obj::I32(items) => {
+                    let parts: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+                    parts.join(",")
+                }
+                Obj::U8(items) => {
+                    let parts: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+                    parts.join(",")
+                }
+                Obj::Obj(_) => "[object Object]".into(),
+            },
+        }
+    }
+
+    fn loose_eq(&self, a: Value, b: Value) -> bool {
+        use Value::*;
+        match (a, b) {
+            (Num(x), Num(y)) => x == y,
+            (Bool(x), Bool(y)) => x == y,
+            (Null, Null) | (Undefined, Undefined) | (Null, Undefined) | (Undefined, Null) => true,
+            (Ref(x), Ref(y)) => {
+                if x == y {
+                    return true;
+                }
+                match (self.heap.get(x), self.heap.get(y)) {
+                    (Obj::Str(s1), Obj::Str(s2)) => s1 == s2,
+                    _ => false,
+                }
+            }
+            (Ref(r), Num(n)) | (Num(n), Ref(r)) => match self.heap.get(r) {
+                Obj::Str(_) => self.to_num(Ref(r)) == n,
+                _ => false,
+            },
+            (Bool(x), y) => self.loose_eq(Num(x as u8 as f64), y),
+            (x, Bool(y)) => self.loose_eq(x, Num(y as u8 as f64)),
+            (Closure(x), Closure(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    fn strict_eq(&self, a: Value, b: Value) -> bool {
+        use Value::*;
+        match (a, b) {
+            (Num(x), Num(y)) => x == y,
+            (Bool(x), Bool(y)) => x == y,
+            (Null, Null) | (Undefined, Undefined) => true,
+            (Ref(x), Ref(y)) => {
+                if x == y {
+                    return true;
+                }
+                match (self.heap.get(x), self.heap.get(y)) {
+                    (Obj::Str(s1), Obj::Str(s2)) => s1 == s2,
+                    _ => false,
+                }
+            }
+            (Closure(x), Closure(y)) => x == y,
+            (Builtin(x), Builtin(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Numeric-or-string comparison, returning Ordering-ish via closures.
+    fn compare(&self, a: Value, b: Value) -> std::cmp::Ordering {
+        if let (Value::Ref(x), Value::Ref(y)) = (a, b) {
+            if let (Obj::Str(s1), Obj::Str(s2)) = (self.heap.get(x), self.heap.get(y)) {
+                return s1.cmp(s2);
+            }
+        }
+        let x = self.to_num(a);
+        let y = self.to_num(b);
+        x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Greater) // NaN: comparisons false-ish
+    }
+
+    fn run(&mut self, floor: usize) -> Result<(), JsError> {
+        let program = Rc::clone(&self.program);
+        'outer: while self.frames.len() > floor {
+            let frame_idx = self.frames.len() - 1;
+            let chunk_idx = self.frames[frame_idx].chunk as usize;
+            let chunk = &program.chunks[chunk_idx];
+            let mut tier = self.chunk_state[chunk_idx].tier;
+            let mut pc = self.frames[frame_idx].pc;
+            let locals_base = self.frames[frame_idx].locals_base;
+
+            macro_rules! suspend {
+                ($next_pc:expr) => {{
+                    self.frames[frame_idx].pc = $next_pc;
+                    continue 'outer;
+                }};
+            }
+
+            loop {
+                // Instruction boundary: a GC-safe point (all live values
+                // are reachable from stack/locals/globals).
+                self.maybe_gc();
+                let op = &chunk.code[pc];
+                self.steps += 1;
+                if self.steps > self.config.max_steps {
+                    return Err(JsError::StepBudgetExhausted);
+                }
+                // Typed-array index ops are counted inside their handler;
+                // everything else is charged here.
+                if !matches!(op, Op::GetIndex | Op::SetIndex) {
+                    self.tier_counts[tier as usize].bump(op.class(), 1);
+                }
+                match op {
+                    Op::Add | Op::Sub => self.arith.add += 1,
+                    Op::Mul => self.arith.mul += 1,
+                    Op::Div => self.arith.div += 1,
+                    Op::Mod => self.arith.rem += 1,
+                    Op::Shl | Op::Shr | Op::UShr => self.arith.shift += 1,
+                    Op::BitAnd => self.arith.and += 1,
+                    Op::BitOr | Op::BitXor => self.arith.or += 1,
+                    _ => {}
+                }
+
+                match op {
+                    Op::Const(ci) => match &chunk.consts[*ci as usize] {
+                        Const::Num(v) => self.stack.push(Value::Num(*v)),
+                        Const::Str(s) => {
+                            let r = self.alloc(Obj::Str(s.clone()));
+                            self.stack.push(Value::Ref(r));
+                        }
+                    },
+                    Op::Undef => self.stack.push(Value::Undefined),
+                    Op::Null => self.stack.push(Value::Null),
+                    Op::True => self.stack.push(Value::Bool(true)),
+                    Op::False => self.stack.push(Value::Bool(false)),
+                    Op::LoadLocal(i) => {
+                        let v = self.locals[locals_base + *i as usize];
+                        self.stack.push(v);
+                    }
+                    Op::StoreLocal(i) => {
+                        let v = self.stack.pop().expect("compiled: value");
+                        self.locals[locals_base + *i as usize] = v;
+                    }
+                    Op::LoadGlobal(ni) => match self.globals[*ni as usize] {
+                        Some(v) => self.stack.push(v),
+                        None => {
+                            return Err(JsError::Reference {
+                                name: program.name(*ni).to_string(),
+                            })
+                        }
+                    },
+                    Op::StoreGlobal(ni) => {
+                        let v = self.stack.pop().expect("compiled: value");
+                        self.globals[*ni as usize] = Some(v);
+                    }
+                    Op::Add => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        let is_str = |vm: &Self, v: Value| {
+                            matches!(v, Value::Ref(r) if matches!(vm.heap.get(r), Obj::Str(_)))
+                        };
+                        if is_str(self, a) || is_str(self, b) {
+                            let s = format!("{}{}", self.stringify(a), self.stringify(b));
+                            let r = self.alloc(Obj::Str(s));
+                            self.stack.push(Value::Ref(r));
+                        } else {
+                            self.stack
+                                .push(Value::Num(self.to_num(a) + self.to_num(b)));
+                        }
+                    }
+                    Op::Sub => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        self.stack.push(Value::Num(self.to_num(a) - self.to_num(b)));
+                    }
+                    Op::Mul => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        self.stack.push(Value::Num(self.to_num(a) * self.to_num(b)));
+                    }
+                    Op::Div => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        self.stack.push(Value::Num(self.to_num(a) / self.to_num(b)));
+                    }
+                    Op::Mod => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        self.stack.push(Value::Num(self.to_num(a) % self.to_num(b)));
+                    }
+                    Op::Neg => {
+                        let a = self.stack.pop().expect("compiled");
+                        self.stack.push(Value::Num(-self.to_num(a)));
+                    }
+                    Op::Not => {
+                        let a = self.stack.pop().expect("compiled");
+                        let t = self.truthy(a);
+                        self.stack.push(Value::Bool(!t));
+                    }
+                    Op::BitNot => {
+                        let a = self.stack.pop().expect("compiled");
+                        self.stack.push(Value::Num(!self.to_int32(a) as f64));
+                    }
+                    Op::TypeofOp => {
+                        let a = self.stack.pop().expect("compiled");
+                        let s = match a {
+                            Value::Ref(r) => match self.heap.get(r) {
+                                Obj::Str(_) => "string",
+                                _ => "object",
+                            },
+                            other => other.type_of(),
+                        };
+                        let r = self.alloc(Obj::Str(s.to_string()));
+                        self.stack.push(Value::Ref(r));
+                    }
+                    Op::Lt | Op::Gt | Op::Le | Op::Ge => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        let an = self.to_num(a);
+                        let bn = self.to_num(b);
+                        let both_str = matches!((a, b), (Value::Ref(_), Value::Ref(_)));
+                        let result = if !both_str && (an.is_nan() || bn.is_nan()) {
+                            false
+                        } else {
+                            let ord = self.compare(a, b);
+                            match op {
+                                Op::Lt => ord == std::cmp::Ordering::Less,
+                                Op::Gt => ord == std::cmp::Ordering::Greater,
+                                Op::Le => ord != std::cmp::Ordering::Greater,
+                                Op::Ge => ord != std::cmp::Ordering::Less,
+                                _ => unreachable!(),
+                            }
+                        };
+                        self.stack.push(Value::Bool(result));
+                    }
+                    Op::EqEq | Op::NotEq => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        let eq = self.loose_eq(a, b);
+                        self.stack
+                            .push(Value::Bool(if matches!(op, Op::EqEq) { eq } else { !eq }));
+                    }
+                    Op::StrictEq | Op::StrictNe => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        let eq = self.strict_eq(a, b);
+                        self.stack.push(Value::Bool(if matches!(op, Op::StrictEq) {
+                            eq
+                        } else {
+                            !eq
+                        }));
+                    }
+                    Op::BitAnd | Op::BitOr | Op::BitXor | Op::Shl | Op::Shr => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        let x = self.to_int32(a);
+                        let y = self.to_int32(b);
+                        let r = match op {
+                            Op::BitAnd => x & y,
+                            Op::BitOr => x | y,
+                            Op::BitXor => x ^ y,
+                            Op::Shl => x.wrapping_shl(y as u32 & 31),
+                            Op::Shr => x.wrapping_shr(y as u32 & 31),
+                            _ => unreachable!(),
+                        };
+                        self.stack.push(Value::Num(r as f64));
+                    }
+                    Op::UShr => {
+                        let b = self.stack.pop().expect("compiled");
+                        let a = self.stack.pop().expect("compiled");
+                        let x = self.to_uint32(a);
+                        let y = self.to_uint32(b) & 31;
+                        self.stack.push(Value::Num((x >> y) as f64));
+                    }
+                    Op::Jump(d) => {
+                        if *d < 0 {
+                            // Loop back-edge: hotness for OSR-style tier-up.
+                            self.note_hotness(chunk_idx);
+                            tier = self.chunk_state[chunk_idx].tier;
+                        }
+                        pc = (pc as i32 + d) as usize;
+                        continue;
+                    }
+                    Op::JumpIfFalse(d) => {
+                        let v = self.stack.pop().expect("compiled");
+                        if !self.truthy(v) {
+                            pc = (pc as i32 + d) as usize;
+                            continue;
+                        }
+                    }
+                    Op::JumpIfFalsePeek(d) => {
+                        let v = *self.stack.last().expect("compiled");
+                        if !self.truthy(v) {
+                            pc = (pc as i32 + d) as usize;
+                            continue;
+                        }
+                        self.stack.pop();
+                    }
+                    Op::JumpIfTruePeek(d) => {
+                        let v = *self.stack.last().expect("compiled");
+                        if self.truthy(v) {
+                            pc = (pc as i32 + d) as usize;
+                            continue;
+                        }
+                        self.stack.pop();
+                    }
+                    Op::Pop => {
+                        self.stack.pop();
+                    }
+                    Op::Dup => {
+                        let v = *self.stack.last().expect("compiled");
+                        self.stack.push(v);
+                    }
+                    Op::Dup2 => {
+                        let n = self.stack.len();
+                        let a = self.stack[n - 2];
+                        let b = self.stack[n - 1];
+                        self.stack.push(a);
+                        self.stack.push(b);
+                    }
+                    Op::MakeArray(n) => {
+                        let items = self.stack.split_off(self.stack.len() - *n as usize);
+                        let r = self.alloc(Obj::Arr(items));
+                        self.stack.push(Value::Ref(r));
+                    }
+                    Op::MakeObject { shape } => {
+                        let keys = &chunk.object_shapes[*shape as usize];
+                        let values = self.stack.split_off(self.stack.len() - keys.len());
+                        let fields: Vec<(u32, Value)> =
+                            keys.iter().copied().zip(values).collect();
+                        let r = self.alloc(Obj::Obj(fields));
+                        self.stack.push(Value::Ref(r));
+                    }
+                    Op::NewTyped(kind) => {
+                        let len = self.stack.pop().expect("compiled");
+                        let n = self.to_num(len);
+                        if !(0.0..=1e9).contains(&n) || n.fract() != 0.0 {
+                            return Err(JsError::Range {
+                                message: format!("invalid typed array length {n}"),
+                            });
+                        }
+                        let n = n as usize;
+                        let obj = match kind {
+                            crate::ast::TypedKind::F64 => Obj::F64(vec![0.0; n]),
+                            crate::ast::TypedKind::I32 => Obj::I32(vec![0; n]),
+                            crate::ast::TypedKind::U8 => Obj::U8(vec![0; n]),
+                        };
+                        let r = self.alloc(obj);
+                        self.stack.push(Value::Ref(r));
+                    }
+                    Op::NewArrayN => {
+                        let len = self.stack.pop().expect("compiled");
+                        let n = self.to_num(len);
+                        if !(0.0..=1e9).contains(&n) || n.fract() != 0.0 {
+                            return Err(JsError::Range {
+                                message: format!("invalid array length {n}"),
+                            });
+                        }
+                        let r = self.alloc(Obj::Arr(vec![Value::Undefined; n as usize]));
+                        self.stack.push(Value::Ref(r));
+                    }
+                    Op::GetIndex => {
+                        let idx = self.stack.pop().expect("compiled");
+                        let obj = self.stack.pop().expect("compiled");
+                        let v = self.get_index(obj, idx, tier)?;
+                        self.stack.push(v);
+                    }
+                    Op::SetIndex => {
+                        let val = self.stack.pop().expect("compiled");
+                        let idx = self.stack.pop().expect("compiled");
+                        let obj = self.stack.pop().expect("compiled");
+                        self.set_index(obj, idx, val, tier)?;
+                        self.stack.push(val);
+                    }
+                    Op::GetMember(ni) => {
+                        let obj = self.stack.pop().expect("compiled");
+                        let v = self.get_member(obj, *ni)?;
+                        self.stack.push(v);
+                    }
+                    Op::SetMember(ni) => {
+                        let val = self.stack.pop().expect("compiled");
+                        let obj = self.stack.pop().expect("compiled");
+                        self.set_member(obj, *ni, val)?;
+                        self.stack.push(val);
+                    }
+                    Op::ClosureOp(idx) => self.stack.push(Value::Closure(*idx)),
+                    Op::Call(argc) => {
+                        let args = self.stack.split_off(self.stack.len() - *argc as usize);
+                        let callee = self.stack.pop().expect("compiled");
+                        match callee {
+                            Value::Closure(target) => {
+                                self.push_frame(target, &args)?;
+                                suspend!(pc + 1);
+                            }
+                            other => {
+                                return self.type_error(format!(
+                                    "{} is not a function",
+                                    self.stringify(other)
+                                ))
+                            }
+                        }
+                    }
+                    Op::MethodCall { name, argc } => {
+                        let args = self.stack.split_off(self.stack.len() - *argc as usize);
+                        let obj = self.stack.pop().expect("compiled");
+                        match self.method_call(obj, *name, &args)? {
+                            MethodOutcome::Value(v) => self.stack.push(v),
+                            MethodOutcome::EnterFrame => suspend!(pc + 1),
+                        }
+                    }
+                    Op::Return => {
+                        let v = self.stack.pop().expect("compiled");
+                        self.locals.truncate(locals_base);
+                        self.frames.pop();
+                        self.stack.push(v);
+                        continue 'outer;
+                    }
+                    Op::ReturnUndef => {
+                        self.locals.truncate(locals_base);
+                        self.frames.pop();
+                        self.stack.push(Value::Undefined);
+                        continue 'outer;
+                    }
+                }
+                pc += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn count_index_op(&mut self, tier: Tier, obj: Value, is_store: bool) {
+        let class = if is_store {
+            wb_env::OpClass::Store
+        } else {
+            wb_env::OpClass::Load
+        };
+        let typed = matches!(obj, Value::Ref(r)
+            if matches!(self.heap.get(r), Obj::F64(_) | Obj::I32(_) | Obj::U8(_)));
+        if typed && tier == Tier::Jit {
+            self.ta_counts.bump(class, 1);
+        } else {
+            self.tier_counts[tier as usize].bump(class, 1);
+        }
+    }
+
+    fn get_index(&mut self, obj: Value, idx: Value, tier: Tier) -> Result<Value, JsError> {
+        self.count_index_op(tier, obj, false);
+        let i = self.to_num(idx);
+        let Value::Ref(r) = obj else {
+            return self.type_error("cannot index a non-object");
+        };
+        if i < 0.0 || i.fract() != 0.0 {
+            return Ok(Value::Undefined);
+        }
+        let i = i as usize;
+        Ok(match self.heap.get(r) {
+            Obj::Arr(items) => items.get(i).copied().unwrap_or(Value::Undefined),
+            Obj::F64(items) => items.get(i).map(|v| Value::Num(*v)).unwrap_or(Value::Undefined),
+            Obj::I32(items) => items
+                .get(i)
+                .map(|v| Value::Num(*v as f64))
+                .unwrap_or(Value::Undefined),
+            Obj::U8(items) => items
+                .get(i)
+                .map(|v| Value::Num(*v as f64))
+                .unwrap_or(Value::Undefined),
+            Obj::Str(s) => match s.chars().nth(i) {
+                Some(c) => {
+                    let r = self.alloc(Obj::Str(c.to_string()));
+                    Value::Ref(r)
+                }
+                None => Value::Undefined,
+            },
+            Obj::Obj(_) => Value::Undefined,
+        })
+    }
+
+    fn set_index(&mut self, obj: Value, idx: Value, val: Value, tier: Tier) -> Result<(), JsError> {
+        self.count_index_op(tier, obj, true);
+        let Value::Ref(r) = obj else {
+            return self.type_error("cannot index a non-object");
+        };
+        let i = self.to_num(idx);
+        if i < 0.0 || i.fract() != 0.0 {
+            return Ok(()); // JS would create a string key; our corpus doesn't
+        }
+        let i = i as usize;
+        let (oh, oe) = {
+            let o = self.heap.get(r);
+            (o.heap_bytes(), o.external_bytes())
+        };
+        let vn = self.to_num(val);
+        let vi = self.to_int32(val);
+        match self.heap.get_mut(r) {
+            Obj::Arr(items) => {
+                if i >= items.len() {
+                    items.resize(i + 1, Value::Undefined);
+                }
+                items[i] = val;
+            }
+            Obj::F64(items) => {
+                if let Some(slot) = items.get_mut(i) {
+                    *slot = vn;
+                }
+            }
+            Obj::I32(items) => {
+                if let Some(slot) = items.get_mut(i) {
+                    *slot = vi;
+                }
+            }
+            Obj::U8(items) => {
+                if let Some(slot) = items.get_mut(i) {
+                    *slot = (vi & 0xff) as u8;
+                }
+            }
+            Obj::Str(_) | Obj::Obj(_) => return Ok(()),
+        }
+        self.heap.note_resize(oh, oe, r);
+        Ok(())
+    }
+
+    fn get_member(&mut self, obj: Value, ni: u32) -> Result<Value, JsError> {
+        let name = self.program.name(ni).to_string();
+        match obj {
+            Value::Builtin(Builtin::Math) => Ok(match name.as_str() {
+                "PI" => Value::Num(std::f64::consts::PI),
+                "E" => Value::Num(std::f64::consts::E),
+                "LN2" => Value::Num(std::f64::consts::LN_2),
+                "LN10" => Value::Num(std::f64::consts::LN_10),
+                _ => Value::Undefined,
+            }),
+            Value::Builtin(Builtin::NumberCls) => Ok(match name.as_str() {
+                "MAX_SAFE_INTEGER" => Value::Num(9007199254740991.0),
+                "EPSILON" => Value::Num(f64::EPSILON),
+                _ => Value::Undefined,
+            }),
+            Value::Ref(r) => match self.heap.get(r) {
+                Obj::Arr(items) => Ok(if name == "length" {
+                    Value::Num(items.len() as f64)
+                } else {
+                    Value::Undefined
+                }),
+                Obj::F64(items) => Ok(if name == "length" {
+                    Value::Num(items.len() as f64)
+                } else {
+                    Value::Undefined
+                }),
+                Obj::I32(items) => Ok(if name == "length" {
+                    Value::Num(items.len() as f64)
+                } else {
+                    Value::Undefined
+                }),
+                Obj::U8(items) => Ok(if name == "length" {
+                    Value::Num(items.len() as f64)
+                } else {
+                    Value::Undefined
+                }),
+                Obj::Str(s) => Ok(if name == "length" {
+                    Value::Num(s.chars().count() as f64)
+                } else {
+                    Value::Undefined
+                }),
+                Obj::Obj(fields) => Ok(fields
+                    .iter()
+                    .find(|(k, _)| *k == ni)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(Value::Undefined)),
+            },
+            Value::Undefined | Value::Null => {
+                self.type_error(format!("cannot read property '{name}' of {obj:?}"))
+            }
+            _ => Ok(Value::Undefined),
+        }
+    }
+
+    fn set_member(&mut self, obj: Value, ni: u32, val: Value) -> Result<(), JsError> {
+        let Value::Ref(r) = obj else {
+            return self.type_error("cannot set property on a non-object");
+        };
+        let (oh, oe) = {
+            let o = self.heap.get(r);
+            (o.heap_bytes(), o.external_bytes())
+        };
+        match self.heap.get_mut(r) {
+            Obj::Obj(fields) => {
+                match fields.iter_mut().find(|(k, _)| *k == ni) {
+                    Some((_, slot)) => *slot = val,
+                    None => fields.push((ni, val)),
+                }
+            }
+            _ => return Ok(()), // length etc. are read-only in MiniJS
+        }
+        self.heap.note_resize(oh, oe, r);
+        Ok(())
+    }
+
+    fn method_call(
+        &mut self,
+        obj: Value,
+        ni: u32,
+        args: &[Value],
+    ) -> Result<MethodOutcome, JsError> {
+        let name = self.program.name(ni).to_string();
+        let arg_num = |vm: &Self, i: usize| vm.to_num(args.get(i).copied().unwrap_or(Value::Undefined));
+        match obj {
+            Value::Builtin(Builtin::Math) => {
+                let x = arg_num(self, 0);
+                let v = match name.as_str() {
+                    "floor" => x.floor(),
+                    "ceil" => x.ceil(),
+                    "round" => (x + 0.5).floor(), // JS rounds half up
+                    "trunc" => x.trunc(),
+                    "sqrt" => x.sqrt(),
+                    "abs" => x.abs(),
+                    "exp" => x.exp(),
+                    "log" => x.ln(),
+                    "sin" => x.sin(),
+                    "cos" => x.cos(),
+                    "tan" => x.tan(),
+                    "atan" => x.atan(),
+                    "atan2" => x.atan2(arg_num(self, 1)),
+                    "pow" => x.powf(arg_num(self, 1)),
+                    "min" => {
+                        let mut m = f64::INFINITY;
+                        for i in 0..args.len() {
+                            m = m.min(arg_num(self, i));
+                        }
+                        m
+                    }
+                    "max" => {
+                        let mut m = f64::NEG_INFINITY;
+                        for i in 0..args.len() {
+                            m = m.max(arg_num(self, i));
+                        }
+                        m
+                    }
+                    "random" => self.rng.next_f64(),
+                    "imul" => {
+                        let a = self.to_int32(args.first().copied().unwrap_or(Value::Undefined));
+                        let b = self.to_int32(args.get(1).copied().unwrap_or(Value::Undefined));
+                        a.wrapping_mul(b) as f64
+                    }
+                    "hypot" => x.hypot(arg_num(self, 1)),
+                    _ => return self.type_error(format!("Math.{name} is not a function")),
+                };
+                // Math calls execute native code: charge one float op.
+                self.tier_counts[1].bump(wb_env::OpClass::FloatDiv, 1);
+                Ok(MethodOutcome::Value(Value::Num(v)))
+            }
+            Value::Builtin(Builtin::Console) => {
+                let parts: Vec<String> = args.iter().map(|a| self.stringify(*a)).collect();
+                self.output.push(parts.join(" "));
+                Ok(MethodOutcome::Value(Value::Undefined))
+            }
+            Value::Builtin(Builtin::Performance) => {
+                if name == "now" {
+                    let mut clock = self.clock.clone();
+                    let p = &self.config.profile;
+                    let interp = self.config.cost.cycles(&self.tier_counts[0], p.interp_multiplier);
+                    let jit = self.config.cost.cycles(&self.tier_counts[1], p.jit_multiplier);
+                    let ta = self
+                        .config
+                        .cost
+                        .cycles(&self.ta_counts, p.jit_typed_array_multiplier);
+                    clock.advance(
+                        Nanos((interp + jit + ta) * self.config.cycle_time_ns),
+                        TimeBucket::Exec,
+                    );
+                    Ok(MethodOutcome::Value(Value::Num(clock.now().as_millis())))
+                } else {
+                    self.type_error(format!("performance.{name} is not a function"))
+                }
+            }
+            Value::Builtin(Builtin::Crypto) => {
+                if name == "sha256" {
+                    let input = args.first().copied().unwrap_or(Value::Undefined);
+                    let bytes: Vec<u8> = match input {
+                        Value::Ref(r) => match self.heap.get(r) {
+                            Obj::U8(b) => b.clone(),
+                            Obj::Str(s) => s.as_bytes().to_vec(),
+                            _ => return self.type_error("crypto.sha256 expects bytes or string"),
+                        },
+                        _ => return self.type_error("crypto.sha256 expects bytes or string"),
+                    };
+                    // Native, hardware-speed hashing: ~0.4 cycles/byte.
+                    self.charge(bytes.len() as f64 * 0.4, TimeBucket::Exec);
+                    let digest = sha256(&bytes).to_vec();
+                    let r = self.alloc(Obj::U8(digest));
+                    Ok(MethodOutcome::Value(Value::Ref(r)))
+                } else {
+                    self.type_error(format!("crypto.{name} is not a function"))
+                }
+            }
+            Value::Builtin(Builtin::StringCls) => {
+                if name == "fromCharCode" {
+                    let mut s = String::new();
+                    for i in 0..args.len() {
+                        let code = arg_num(self, i) as u32;
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    let r = self.alloc(Obj::Str(s));
+                    Ok(MethodOutcome::Value(Value::Ref(r)))
+                } else {
+                    self.type_error(format!("String.{name} is not a function"))
+                }
+            }
+            Value::Builtin(Builtin::NumberCls) => match name.as_str() {
+                "isInteger" => {
+                    let x = arg_num(self, 0);
+                    Ok(MethodOutcome::Value(Value::Bool(
+                        x.is_finite() && x.fract() == 0.0,
+                    )))
+                }
+                // Bit-reinterpretation, modeling the Float64Array/Uint32Array
+                // aliasing trick compiled JS uses for type punning — a
+                // near-free operation in real engines, hence a builtin.
+                "f64hi" => {
+                    let bits = arg_num(self, 0).to_bits();
+                    Ok(MethodOutcome::Value(Value::Num((bits >> 32) as u32 as f64)))
+                }
+                "f64lo" => {
+                    let bits = arg_num(self, 0).to_bits();
+                    Ok(MethodOutcome::Value(Value::Num(bits as u32 as f64)))
+                }
+                "f64frombits" => {
+                    let hi = self.to_uint32(args.first().copied().unwrap_or(Value::Undefined));
+                    let lo = self.to_uint32(args.get(1).copied().unwrap_or(Value::Undefined));
+                    let bits = ((hi as u64) << 32) | lo as u64;
+                    Ok(MethodOutcome::Value(Value::Num(f64::from_bits(bits))))
+                }
+                "f32bits" => {
+                    let v = arg_num(self, 0) as f32;
+                    Ok(MethodOutcome::Value(Value::Num(v.to_bits() as i32 as f64)))
+                }
+                "f32frombits" => {
+                    let b = self.to_uint32(args.first().copied().unwrap_or(Value::Undefined));
+                    Ok(MethodOutcome::Value(Value::Num(f32::from_bits(b) as f64)))
+                }
+                _ => self.type_error(format!("Number.{name} is not a function")),
+            },
+            Value::Ref(r) => {
+                let obj_data = self.heap.get(r).clone();
+                match obj_data {
+                    Obj::Obj(fields) => {
+                        // A closure-valued property: a "method" on a plain
+                        // object (how the mathjs-style library is built).
+                        let f = fields.iter().find(|(k, _)| *k == ni).map(|(_, v)| *v);
+                        match f {
+                            Some(Value::Closure(chunk)) => {
+                                self.push_frame(chunk, args)?;
+                                Ok(MethodOutcome::EnterFrame)
+                            }
+                            _ => self.type_error(format!("{name} is not a function")),
+                        }
+                    }
+                    Obj::Arr(_) => self.array_method(r, &name, args),
+                    Obj::Str(s) => self.string_method(&s, &name, args),
+                    Obj::F64(_) | Obj::I32(_) | Obj::U8(_) => {
+                        self.typed_method(r, &name, args)
+                    }
+                }
+            }
+            other => self.type_error(format!(
+                "cannot call method '{name}' on {}",
+                self.stringify(other)
+            )),
+        }
+    }
+
+    fn array_method(
+        &mut self,
+        r: u32,
+        name: &str,
+        args: &[Value],
+    ) -> Result<MethodOutcome, JsError> {
+        let (oh, oe) = {
+            let o = self.heap.get(r);
+            (o.heap_bytes(), o.external_bytes())
+        };
+        let out = match name {
+            "push" => {
+                let Obj::Arr(items) = self.heap.get_mut(r) else {
+                    unreachable!()
+                };
+                items.extend_from_slice(args);
+                let len = items.len() as f64;
+                Value::Num(len)
+            }
+            "pop" => {
+                let Obj::Arr(items) = self.heap.get_mut(r) else {
+                    unreachable!()
+                };
+                items.pop().unwrap_or(Value::Undefined)
+            }
+            "fill" => {
+                let v = args.first().copied().unwrap_or(Value::Undefined);
+                let Obj::Arr(items) = self.heap.get_mut(r) else {
+                    unreachable!()
+                };
+                for slot in items.iter_mut() {
+                    *slot = v;
+                }
+                Value::Ref(r)
+            }
+            "indexOf" => {
+                let target = args.first().copied().unwrap_or(Value::Undefined);
+                let Obj::Arr(items) = self.heap.get(r) else {
+                    unreachable!()
+                };
+                let items = items.clone();
+                let pos = items.iter().position(|v| self.strict_eq(*v, target));
+                Value::Num(pos.map(|p| p as f64).unwrap_or(-1.0))
+            }
+            "join" => {
+                let sep = args
+                    .first()
+                    .map(|s| self.stringify(*s))
+                    .unwrap_or_else(|| ",".into());
+                let Obj::Arr(items) = self.heap.get(r) else {
+                    unreachable!()
+                };
+                let items = items.clone();
+                let parts: Vec<String> = items.iter().map(|v| self.stringify(*v)).collect();
+                let joined = parts.join(&sep);
+                let rs = self.alloc(Obj::Str(joined));
+                Value::Ref(rs)
+            }
+            _ => return self.type_error(format!("array.{name} is not a function")),
+        };
+        self.heap.note_resize(oh, oe, r);
+        Ok(MethodOutcome::Value(out))
+    }
+
+    fn string_method(
+        &mut self,
+        s: &str,
+        name: &str,
+        args: &[Value],
+    ) -> Result<MethodOutcome, JsError> {
+        let arg_num = |vm: &Self, i: usize| vm.to_num(args.get(i).copied().unwrap_or(Value::Undefined));
+        let out = match name {
+            "charCodeAt" => {
+                let i = arg_num(self, 0);
+                let code = s
+                    .chars()
+                    .nth(i as usize)
+                    .map(|c| c as u32 as f64)
+                    .unwrap_or(f64::NAN);
+                Value::Num(code)
+            }
+            "charAt" => {
+                let i = arg_num(self, 0) as usize;
+                let sub: String = s.chars().skip(i).take(1).collect();
+                let r = self.alloc(Obj::Str(sub));
+                Value::Ref(r)
+            }
+            "substring" => {
+                let a = arg_num(self, 0).max(0.0) as usize;
+                let b = if args.len() > 1 {
+                    arg_num(self, 1).max(0.0) as usize
+                } else {
+                    s.chars().count()
+                };
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let sub: String = s.chars().skip(lo).take(hi - lo).collect();
+                let r = self.alloc(Obj::Str(sub));
+                Value::Ref(r)
+            }
+            "indexOf" => {
+                let needle = match args.first() {
+                    Some(v) => self.stringify(*v),
+                    None => return Ok(MethodOutcome::Value(Value::Num(-1.0))),
+                };
+                // Return a char index, not a byte index.
+                match s.find(&needle) {
+                    Some(byte_pos) => {
+                        let char_pos = s[..byte_pos].chars().count();
+                        Value::Num(char_pos as f64)
+                    }
+                    None => Value::Num(-1.0),
+                }
+            }
+            "split" => {
+                let sep = match args.first() {
+                    Some(v) => self.stringify(*v),
+                    None => {
+                        let whole = self.alloc(Obj::Str(s.to_string()));
+                        let arr = self.alloc(Obj::Arr(vec![Value::Ref(whole)]));
+                        return Ok(MethodOutcome::Value(Value::Ref(arr)));
+                    }
+                };
+                let parts: Vec<String> = if sep.is_empty() {
+                    s.chars().map(|c| c.to_string()).collect()
+                } else {
+                    s.split(&sep).map(|p| p.to_string()).collect()
+                };
+                let refs: Vec<Value> = parts
+                    .into_iter()
+                    .map(|p| {
+                        let r = self.alloc(Obj::Str(p));
+                        Value::Ref(r)
+                    })
+                    .collect();
+                let arr = self.alloc(Obj::Arr(refs));
+                Value::Ref(arr)
+            }
+            "toLowerCase" => {
+                let r = self.alloc(Obj::Str(s.to_lowercase()));
+                Value::Ref(r)
+            }
+            _ => return self.type_error(format!("string.{name} is not a function")),
+        };
+        Ok(MethodOutcome::Value(out))
+    }
+
+    fn typed_method(
+        &mut self,
+        r: u32,
+        name: &str,
+        args: &[Value],
+    ) -> Result<MethodOutcome, JsError> {
+        match name {
+            "fill" => {
+                let vn = self.to_num(args.first().copied().unwrap_or(Value::Undefined));
+                let vi = self.to_int32(args.first().copied().unwrap_or(Value::Undefined));
+                match self.heap.get_mut(r) {
+                    Obj::F64(items) => items.iter_mut().for_each(|s| *s = vn),
+                    Obj::I32(items) => items.iter_mut().for_each(|s| *s = vi),
+                    Obj::U8(items) => items.iter_mut().for_each(|s| *s = (vi & 0xff) as u8),
+                    _ => unreachable!(),
+                }
+                Ok(MethodOutcome::Value(Value::Ref(r)))
+            }
+            _ => self.type_error(format!("typedarray.{name} is not a function")),
+        }
+    }
+}
+
+enum MethodOutcome {
+    Value(Value),
+    EnterFrame,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(src: &str) -> JsVm {
+        let mut vm = JsVm::new(JsVmConfig::reference());
+        vm.load(src).unwrap();
+        vm
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        let mut v = vm("function add(a, b) { return a + b * 2; }");
+        let r = v.call("add", &[JsValue::Num(1.0), JsValue::Num(3.0)]).unwrap();
+        assert_eq!(r, JsValue::Num(7.0));
+    }
+
+    #[test]
+    fn loops_and_locals() {
+        let mut v = vm("function sum(n) { var s = 0; for (var i = 1; i <= n; i++) s += i; return s; }");
+        assert_eq!(v.call("sum", &[JsValue::Num(100.0)]).unwrap(), JsValue::Num(5050.0));
+    }
+
+    #[test]
+    fn strings_concat_and_methods() {
+        let mut v = vm(
+            "function greet(name) { return 'hello ' + name + '!'; }\n\
+             function code(s) { return s.charCodeAt(1); }",
+        );
+        assert_eq!(
+            v.call("greet", &[JsValue::Str("js".into())]).unwrap(),
+            JsValue::Str("hello js!".into())
+        );
+        assert_eq!(
+            v.call("code", &[JsValue::Str("abc".into())]).unwrap(),
+            JsValue::Num(98.0)
+        );
+    }
+
+    #[test]
+    fn typed_arrays_work() {
+        let mut v = vm(
+            "function dot(n) {\n\
+               var a = new Float64Array(n); var b = new Float64Array(n);\n\
+               for (var i = 0; i < n; i++) { a[i] = i; b[i] = 2; }\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i++) s += a[i] * b[i];\n\
+               return s;\n\
+             }",
+        );
+        assert_eq!(v.call("dot", &[JsValue::Num(10.0)]).unwrap(), JsValue::Num(90.0));
+        let rep = v.report();
+        assert!(rep.heap.external_bytes > 0, "typed arrays are external");
+    }
+
+    #[test]
+    fn objects_and_methods() {
+        let mut v = vm(
+            "var lib = { scale: function (x) { return x * 10; } };\n\
+             function use(v) { return lib.scale(v) + 1; }",
+        );
+        assert_eq!(v.call("use", &[JsValue::Num(4.0)]).unwrap(), JsValue::Num(41.0));
+    }
+
+    #[test]
+    fn gc_collects_garbage() {
+        let mut cfg = JsVmConfig::reference();
+        cfg.profile.gc.trigger_bytes = 32 * 1024;
+        let mut v = JsVm::new(cfg);
+        v.load(
+            "function churn(n) {\n\
+               var keep = [];\n\
+               for (var i = 0; i < n; i++) { var tmp = [i, i, i, i]; if (i % 100 === 0) keep.push(tmp); }\n\
+               return keep.length;\n\
+             }",
+        )
+        .unwrap();
+        let r = v.call("churn", &[JsValue::Num(5000.0)]).unwrap();
+        assert_eq!(r, JsValue::Num(50.0));
+        let rep = v.report();
+        assert!(rep.heap.gc_count > 0, "GC must have run");
+        assert!(rep.clock.gc_time.0 > 0.0, "GC pauses charged");
+        // Live memory stays far below total allocations.
+        assert!(rep.heap.live_bytes < 200 * 1024);
+    }
+
+    #[test]
+    fn jit_tiers_up_hot_functions() {
+        let src = "function hot(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; }";
+        let mut v = vm(src);
+        v.call("hot", &[JsValue::Num(100000.0)]).unwrap();
+        let enabled = v.report();
+        assert!(enabled.jit_compiles >= 1);
+        assert!(enabled.interp_counts.total() > 0, "warm-up interpreted");
+        assert!(enabled.counts.total() > enabled.interp_counts.total());
+
+        let mut cfg = JsVmConfig::reference();
+        cfg.jit = JitMode::Disabled;
+        let mut v2 = JsVm::new(cfg);
+        v2.load(src).unwrap();
+        v2.call("hot", &[JsValue::Num(100000.0)]).unwrap();
+        let disabled = v2.report();
+        assert_eq!(disabled.jit_compiles, 0);
+        // The paper's Fig 10: JIT gives a large speedup on hot loops.
+        let speedup = disabled.total.0 / enabled.total.0;
+        assert!(speedup > 4.0, "JIT speedup was only {speedup:.2}x");
+    }
+
+    #[test]
+    fn console_and_performance() {
+        let mut v = vm(
+            "var t0 = performance.now();\n\
+             console.log('answer', 42, true);\n\
+             var t1 = performance.now();",
+        );
+        assert_eq!(v.output, vec!["answer 42 true"]);
+        let t0 = v.global("t0").unwrap().as_num();
+        let t1 = v.global("t1").unwrap().as_num();
+        assert!(t1 >= t0);
+    }
+
+    #[test]
+    fn crypto_sha256_via_w3c_style_api() {
+        let mut v = vm(
+            "function h(s) { var d = crypto.sha256(s); return d[0] * 256 + d[1]; }",
+        );
+        // sha256("abc") begins 0xba 0x78.
+        assert_eq!(
+            v.call("h", &[JsValue::Str("abc".into())]).unwrap(),
+            JsValue::Num((0xbau32 * 256 + 0x78) as f64)
+        );
+    }
+
+    #[test]
+    fn reference_error_for_unknown_globals() {
+        let mut v = JsVm::new(JsVmConfig::reference());
+        assert!(matches!(
+            v.load("missing();"),
+            Err(JsError::Reference { .. })
+        ));
+    }
+
+    #[test]
+    fn bitwise_ops_coerce_to_int32() {
+        let mut v = vm("function f(a, b) { return ((a | 0) + (b >>> 1)) ^ 3; }");
+        assert_eq!(
+            v.call("f", &[JsValue::Num(5.9), JsValue::Num(7.0)]).unwrap(),
+            JsValue::Num(((5 + 3) ^ 3) as f64)
+        );
+    }
+
+    #[test]
+    fn math_methods() {
+        let mut v = vm("function f(x) { return Math.sqrt(x) + Math.max(1, 2, 3) + Math.PI; }");
+        let r = v.call("f", &[JsValue::Num(16.0)]).unwrap().as_num();
+        assert!((r - (4.0 + 3.0 + std::f64::consts::PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_cost_scales_with_source_size() {
+        let small = vm("var x = 1;").report();
+        let big_src = "var x = 1;".repeat(200);
+        let big = {
+            let mut v = JsVm::new(JsVmConfig::reference());
+            v.load(&big_src).unwrap();
+            v.report()
+        };
+        assert!(big.clock.load_time.0 > small.clock.load_time.0 * 50.0);
+    }
+
+    #[test]
+    fn recursion_depth_limit() {
+        let mut cfg = JsVmConfig::reference();
+        cfg.max_call_depth = 64;
+        let mut v = JsVm::new(cfg);
+        v.load("function f(n) { return f(n + 1); }").unwrap();
+        assert_eq!(
+            v.call("f", &[JsValue::Num(0.0)]),
+            Err(JsError::StackOverflow)
+        );
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let mut v = vm(
+            "function f(n) {\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i++) {\n\
+                 if (i % 2 === 0) continue;\n\
+                 if (i > 10) break;\n\
+                 s += i;\n\
+               }\n\
+               return s;\n\
+             }",
+        );
+        // odd numbers 1..=9: 1+3+5+7+9 = 25
+        assert_eq!(v.call("f", &[JsValue::Num(100.0)]).unwrap(), JsValue::Num(25.0));
+    }
+
+    #[test]
+    fn ternary_and_logical_short_circuit() {
+        let mut v = vm(
+            "var calls = 0;\n\
+             function bump() { calls = calls + 1; return true; }\n\
+             function f(x) { return x > 0 ? 'pos' : 'neg'; }\n\
+             function g() { var r = false && bump(); var s = true || bump(); return calls; }",
+        );
+        assert_eq!(v.call("f", &[JsValue::Num(5.0)]).unwrap(), JsValue::Str("pos".into()));
+        assert_eq!(v.call("g", &[]).unwrap(), JsValue::Num(0.0));
+    }
+}

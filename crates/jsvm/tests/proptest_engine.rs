@@ -1,0 +1,176 @@
+//! Property tests for the MiniJS engine: the front end never panics, the
+//! arithmetic core matches a Rust reference model, and the GC never frees
+//! reachable data.
+
+use proptest::prelude::*;
+use wb_jsvm::{JsValue, JsVm, JsVmConfig};
+
+#[derive(Debug, Clone)]
+enum NumExpr {
+    Const(f64),
+    Var(u8),
+    Add(Box<NumExpr>, Box<NumExpr>),
+    Sub(Box<NumExpr>, Box<NumExpr>),
+    Mul(Box<NumExpr>, Box<NumExpr>),
+    Div(Box<NumExpr>, Box<NumExpr>),
+    Neg(Box<NumExpr>),
+    Ternary(Box<NumExpr>, Box<NumExpr>, Box<NumExpr>),
+}
+
+fn num_expr() -> impl Strategy<Value = NumExpr> {
+    let leaf = prop_oneof![
+        (-1.0e6f64..1.0e6).prop_map(NumExpr::Const),
+        (0u8..3).prop_map(NumExpr::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NumExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NumExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NumExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NumExpr::Div(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| NumExpr::Neg(Box::new(a))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| NumExpr::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_js(e: &NumExpr) -> String {
+    match e {
+        NumExpr::Const(v) => format!("({v:?})"),
+        NumExpr::Var(i) => format!("p{i}"),
+        NumExpr::Add(a, b) => format!("({} + {})", to_js(a), to_js(b)),
+        NumExpr::Sub(a, b) => format!("({} - {})", to_js(a), to_js(b)),
+        NumExpr::Mul(a, b) => format!("({} * {})", to_js(a), to_js(b)),
+        NumExpr::Div(a, b) => format!("({} / {})", to_js(a), to_js(b)),
+        NumExpr::Neg(a) => format!("(-{})", to_js(a)),
+        NumExpr::Ternary(c, a, b) => {
+            format!("(({}) ? ({}) : ({}))", to_js(c), to_js(a), to_js(b))
+        }
+    }
+}
+
+fn eval_ref(e: &NumExpr, vars: &[f64; 3]) -> f64 {
+    match e {
+        NumExpr::Const(v) => *v,
+        NumExpr::Var(i) => vars[*i as usize],
+        NumExpr::Add(a, b) => eval_ref(a, vars) + eval_ref(b, vars),
+        NumExpr::Sub(a, b) => eval_ref(a, vars) - eval_ref(b, vars),
+        NumExpr::Mul(a, b) => eval_ref(a, vars) * eval_ref(b, vars),
+        NumExpr::Div(a, b) => eval_ref(a, vars) / eval_ref(b, vars),
+        NumExpr::Neg(a) => -eval_ref(a, vars),
+        NumExpr::Ternary(c, a, b) => {
+            let cv = eval_ref(c, vars);
+            if cv != 0.0 && !cv.is_nan() {
+                eval_ref(a, vars)
+            } else {
+                eval_ref(b, vars)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lexer_and_parser_never_panic(src in "\\PC*") {
+        let _ = wb_jsvm::compile_script(&src); // may Err, must not panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_jsish_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("function".to_string()),
+                Just("var".to_string()),
+                Just("if".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just("+".to_string()),
+                Just("=".to_string()),
+                Just("x".to_string()),
+                Just("42".to_string()),
+                Just("'s'".to_string()),
+                Just("return".to_string()),
+            ],
+            0..64,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = wb_jsvm::compile_script(&src);
+    }
+
+    #[test]
+    fn numeric_expressions_match_reference(
+        e in num_expr(),
+        vars in [ -1.0e4f64..1.0e4, -1.0e4f64..1.0e4, -1.0e4f64..1.0e4],
+    ) {
+        let src = format!(
+            "function f(p0, p1, p2) {{ return {}; }}",
+            to_js(&e)
+        );
+        let mut vm = JsVm::new(JsVmConfig::reference());
+        vm.load(&src).expect("generated source parses");
+        let got = vm
+            .call("f", &[JsValue::Num(vars[0]), JsValue::Num(vars[1]), JsValue::Num(vars[2])])
+            .expect("runs");
+        let want = eval_ref(&e, &vars);
+        match got {
+            JsValue::Num(g) => {
+                prop_assert!(
+                    g.to_bits() == want.to_bits() || (g.is_nan() && want.is_nan()),
+                    "{src} -> {g} vs {want}"
+                );
+            }
+            other => prop_assert!(false, "non-numeric result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gc_never_frees_reachable_data(
+        keep_every in 1usize..16,
+        n in 100usize..2000,
+        trigger in (8u64..64).prop_map(|k| k * 1024),
+    ) {
+        let src = format!(
+            "function churn() {{\n\
+               var keep = [];\n\
+               for (var i = 0; i < {n}; i++) {{\n\
+                 var t = [i, i * 2, 'x' + i];\n\
+                 if (i % {keep_every} === 0) keep.push(t);\n\
+               }}\n\
+               var sum = 0;\n\
+               for (var j = 0; j < keep.length; j++) sum += keep[j][1];\n\
+               return sum;\n\
+             }}"
+        );
+        let mut cfg = JsVmConfig::reference();
+        cfg.profile.gc.trigger_bytes = trigger;
+        let mut vm = JsVm::new(cfg);
+        vm.load(&src).expect("loads");
+        let got = vm.call("churn", &[]).expect("runs").as_num();
+        let want: f64 = (0..n)
+            .filter(|i| i % keep_every == 0)
+            .map(|i| (i * 2) as f64)
+            .sum();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn step_budget_always_terminates(budget in 1000u64..100_000) {
+        let mut cfg = JsVmConfig::reference();
+        cfg.max_steps = budget;
+        let mut vm = JsVm::new(cfg);
+        vm.load("function spin() { while (1) { } }").expect("loads");
+        let r = vm.call("spin", &[]);
+        prop_assert!(matches!(r, Err(wb_jsvm::JsError::StepBudgetExhausted)));
+    }
+}

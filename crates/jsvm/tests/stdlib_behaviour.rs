@@ -1,0 +1,148 @@
+//! Focused tests of the MiniJS standard library surface the backends and
+//! manual benchmarks rely on.
+
+use wb_jsvm::{JsValue, JsVm, JsVmConfig};
+
+fn eval(src: &str, call: &str, args: &[JsValue]) -> JsValue {
+    let mut vm = JsVm::new(JsVmConfig::reference());
+    vm.load(src).expect("loads");
+    vm.call(call, args).expect("runs")
+}
+
+#[test]
+fn math_surface() {
+    let src = "function f() {\n\
+                 return [Math.floor(2.7), Math.ceil(2.1), Math.round(2.5),\n\
+                         Math.trunc(-2.7), Math.abs(-3), Math.min(4, 2, 9),\n\
+                         Math.max(4, 2, 9), Math.pow(3, 4), Math.imul(65537, 65537)];\n\
+               }";
+    let JsValue::Array(v) = eval(src, "f", &[]) else {
+        panic!("array expected")
+    };
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    assert_eq!(nums, vec![2.0, 3.0, 3.0, -2.0, 3.0, 2.0, 9.0, 81.0, 131073.0]);
+}
+
+#[test]
+fn math_constants_and_log() {
+    let got = eval(
+        "function f() { return Math.ceil(Math.log(1024) / Math.LN2); }",
+        "f",
+        &[],
+    );
+    assert_eq!(got, JsValue::Num(10.0));
+}
+
+#[test]
+fn number_bit_reinterpretation() {
+    // The typed-array-aliasing analogues used by the compiled-JS i64 path.
+    let src = "function f(x) {\n\
+                 var hi = Number.f64hi(x);\n\
+                 var lo = Number.f64lo(x);\n\
+                 return Number.f64frombits(hi, lo);\n\
+               }\n\
+               function g(x) { return Number.f32frombits(Number.f32bits(x)); }";
+    for v in [0.0, 1.5, -2.25, 1e300, -0.0] {
+        assert_eq!(eval(src, "f", &[JsValue::Num(v)]), JsValue::Num(v));
+    }
+    assert_eq!(eval(src, "g", &[JsValue::Num(0.5)]), JsValue::Num(0.5));
+}
+
+#[test]
+fn string_methods_used_by_benchmarks() {
+    let src = "function f(s) {\n\
+                 return [s.length, s.charCodeAt(0), s.indexOf('ll'),\n\
+                         s.substring(1, 3).length, s.split('l').length];\n\
+               }";
+    let JsValue::Array(v) = eval(src, "f", &[JsValue::Str("hello".into())]) else {
+        panic!("array expected")
+    };
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    assert_eq!(nums, vec![5.0, 104.0, 2.0, 2.0, 3.0]);
+}
+
+#[test]
+fn array_methods_used_by_benchmarks() {
+    let src = "function f() {\n\
+                 var a = [3, 1];\n\
+                 a.push(4);\n\
+                 a.push(1, 5);\n\
+                 var last = a.pop();\n\
+                 return [a.length, a.indexOf(4), last, a.join('-').length];\n\
+               }";
+    let JsValue::Array(v) = eval(src, "f", &[]) else {
+        panic!("array expected")
+    };
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    assert_eq!(nums, vec![4.0, 2.0, 5.0, 7.0]);
+}
+
+#[test]
+fn typed_arrays_clamp_and_wrap_like_js() {
+    let src = "function f() {\n\
+                 var u = new Uint8Array(2);\n\
+                 u[0] = 300;     // wraps to 44\n\
+                 u[1] = -1;      // wraps to 255\n\
+                 var i = new Int32Array(1);\n\
+                 i[0] = 4294967296 + 7; // wraps to 7\n\
+                 var d = new Float64Array(1);\n\
+                 d[0] = 0.5;\n\
+                 return [u[0], u[1], i[0], d[0]];\n\
+               }";
+    let JsValue::Array(v) = eval(src, "f", &[]) else {
+        panic!("array expected")
+    };
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    assert_eq!(nums, vec![44.0, 255.0, 7.0, 0.5]);
+}
+
+#[test]
+fn out_of_bounds_typed_access_is_undefined_not_trap() {
+    let src = "function f() { var a = new Float64Array(2); return a[5] === undefined ? 1 : 0; }";
+    assert_eq!(eval(src, "f", &[]), JsValue::Num(1.0));
+}
+
+#[test]
+fn crypto_digest_is_32_bytes_and_stable() {
+    let src = "function f() {\n\
+                 var d = crypto.sha256('The quick brown fox jumps over the lazy dog');\n\
+                 return [d.length, d[0], d[31]];\n\
+               }";
+    let JsValue::Array(v) = eval(src, "f", &[]) else {
+        panic!("array expected")
+    };
+    // sha256 of the pangram starts d7a8... ends ...3592.
+    assert_eq!(v[0].as_num(), 32.0);
+    assert_eq!(v[1].as_num(), 0xd7 as f64);
+    assert_eq!(v[2].as_num(), 0x92 as f64);
+}
+
+#[test]
+fn performance_now_is_monotonic_within_a_run() {
+    let src = "function f(n) {\n\
+                 var t0 = performance.now();\n\
+                 var s = 0;\n\
+                 for (var i = 0; i < n; i++) s += i;\n\
+                 var t1 = performance.now();\n\
+                 return t1 > t0 ? 1 : 0;\n\
+               }";
+    assert_eq!(eval(src, "f", &[JsValue::Num(50_000.0)]), JsValue::Num(1.0));
+}
+
+#[test]
+fn typeof_and_equality_corners() {
+    let src = "function f() {\n\
+                 return [typeof 1 === 'number' ? 1 : 0,\n\
+                         typeof 'x' === 'string' ? 1 : 0,\n\
+                         typeof f === 'function' ? 1 : 0,\n\
+                         null == undefined ? 1 : 0,\n\
+                         null === undefined ? 1 : 0,\n\
+                         '5' == 5 ? 1 : 0,\n\
+                         '5' === 5 ? 1 : 0];\n\
+               }";
+    let JsValue::Array(v) = eval(src, "f", &[]) else {
+        panic!("array expected")
+    };
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    assert_eq!(nums, vec![1.0, 1.0, 1.0, 1.0, 0.0, 1.0, 0.0]);
+}

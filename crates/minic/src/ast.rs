@@ -1,0 +1,233 @@
+//! MiniC abstract syntax tree (pre-semantic-analysis).
+
+/// A parsed type name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeName {
+    /// `int` / `unsigned int`.
+    Int {
+        /// `unsigned` qualifier present.
+        unsigned: bool,
+    },
+    /// `long` / `long long` / unsigned variants (all 64-bit here).
+    Long {
+        /// `unsigned` qualifier present.
+        unsigned: bool,
+    },
+    /// `char` / `unsigned char`.
+    Char {
+        /// `unsigned` qualifier present.
+        unsigned: bool,
+    },
+    /// `float` (32-bit).
+    Float,
+    /// `double` (64-bit).
+    Double,
+    /// `void` (function returns only).
+    Void,
+    /// `union Name` — only valid until the source transformer runs (§3.1).
+    Union(String),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`).
+    Not,
+    /// Bitwise not (`~`).
+    BitNot,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // 1:1 with C operators.
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And, // &&
+    Or,  // ||
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Scalar variable.
+    Name(String),
+    /// Array element: base name + index expressions (multi-dimensional).
+    Index(String, Vec<Expr>),
+    /// Union member (pre-transform only).
+    Member(Box<Expr>, String),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal (also char literals).
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (only as `print_str` argument).
+    Str(String),
+    /// Variable reference.
+    Name(String),
+    /// `a[i][j]…`.
+    Index(String, Vec<Expr>),
+    /// `f(args…)`.
+    Call(String, Vec<Expr>),
+    /// Unary op.
+    Unary(UnOp, Box<Expr>),
+    /// Binary op (including `&&`/`||`, which sema keeps short-circuit).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `(type) expr`.
+    Cast(TypeName, Box<Expr>),
+    /// Assignment as an expression; `op` is `None` for plain `=`.
+    Assign {
+        /// Where the value goes.
+        target: Target,
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// `x++` / `--x` (evaluates to the updated value in MiniC).
+    IncDec {
+        /// The updated location.
+        target: Target,
+        /// +1 or -1.
+        delta: i64,
+    },
+    /// Union member access (pre-transform only).
+    Member(Box<Expr>, String),
+}
+
+/// One `case`/`default` arm of a `switch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchArm {
+    /// `Some(const)` for `case`, `None` for `default`.
+    pub value: Option<Expr>,
+    /// Body statements. MiniC requires every non-empty arm to end with
+    /// `break` or `return` (no fallthrough); empty arms share the next
+    /// arm's body as in C.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration. `dims` non-empty declares a (rejected) local
+    /// array — MiniC only supports global arrays.
+    Decl {
+        /// Element/scalar type.
+        ty: TypeName,
+        /// Name.
+        name: String,
+        /// Array dimensions (must be empty for locals after sema).
+        dims: Vec<Expr>,
+        /// Initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while`.
+    While(Expr, Vec<Stmt>),
+    /// `do … while`.
+    DoWhile(Vec<Stmt>, Expr),
+    /// C-style `for`.
+    For {
+        /// Optional init statement (decl or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `switch`.
+    Switch(Expr, Vec<SwitchArm>),
+    /// `{ … }` (introduces a scope).
+    Block(Vec<Stmt>),
+    /// Scope-less grouping (multi-declarator chains like `int a, b;`).
+    Group(Vec<Stmt>),
+    /// `try { … } catch (...) { … }` — pre-transform only (§3.1).
+    Try(Vec<Stmt>, Vec<Stmt>),
+    /// `throw e;` — pre-transform only.
+    Throw(Expr),
+}
+
+/// A global array/scalar initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// Scalar constant expression.
+    Scalar(Expr),
+    /// `{ … }` brace list (possibly nested).
+    List(Vec<Init>),
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Global scalar or array definition.
+    Global {
+        /// Element type.
+        ty: TypeName,
+        /// Name.
+        name: String,
+        /// Dimensions (empty = scalar).
+        dims: Vec<Expr>,
+        /// Optional initializer.
+        init: Option<Init>,
+        /// `const` qualifier present (init data, not mutated).
+        is_const: bool,
+    },
+    /// Function definition.
+    Func {
+        /// Return type.
+        ret: TypeName,
+        /// Name.
+        name: String,
+        /// Parameters.
+        params: Vec<(TypeName, String)>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `union Name { … };` definition — pre-transform only.
+    UnionDef {
+        /// Union tag.
+        name: String,
+        /// Fields.
+        fields: Vec<(TypeName, String)>,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

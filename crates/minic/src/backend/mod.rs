@@ -1,0 +1,10 @@
+//! Code generation backends: Wasm binary, MiniJS source, native-sim.
+
+pub mod js;
+pub mod native;
+pub mod unroll;
+pub mod wasm;
+
+pub use js::emit_js;
+pub use native::{NativeOutcome, NativeProgram};
+pub use wasm::emit_wasm;

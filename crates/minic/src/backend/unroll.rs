@@ -1,0 +1,306 @@
+//! Scalarization of vector-annotated loops for SIMD-less targets
+//! (Wasm MVP and JavaScript).
+//!
+//! `-vectorize-loops` annotates a loop 4-wide; on a target with no vector
+//! unit the backend must lower it back to scalar code: a 4×-unrolled main
+//! loop guarded by a shifted bound check, plus a scalar remainder
+//! epilogue. The unrolled copies index `i + k`, costing an extra add per
+//! access — the mechanism behind the paper's finding that `-O2`'s
+//! vectorization *hurts* Wasm while helping x86 (§4.2.1).
+
+use crate::hir::*;
+
+/// The decomposed canonical loop, ready for unrolled lowering.
+pub struct UnrollPlan {
+    /// Induction local.
+    pub induction: LocalId,
+    /// Signed step constant `c` in `i = i + c`.
+    pub step_const: i64,
+    /// Main-loop guard: the original condition with `i` replaced by
+    /// `i + 3c` (all four copies in range).
+    pub shifted_cond: HExpr,
+    /// The four body copies, copy `k` reading `i + k·c`.
+    pub copies: Vec<Vec<HStmt>>,
+    /// Step for the main loop: `i = i + 4c`.
+    pub wide_step: HStmt,
+}
+
+/// Try to build an unroll plan for a vector-annotated loop. Returns
+/// `None` when the loop shape is not actually canonical (the backend then
+/// falls back to scalar emission).
+pub fn plan(
+    cond: &Option<HExpr>,
+    step: &[HStmt],
+    body: &[HStmt],
+    width: u32,
+) -> Option<UnrollPlan> {
+    if width != 4 {
+        return None;
+    }
+    let cond = cond.as_ref()?;
+    let (induction, step_const, step_ty) = canonical_step(step)?;
+    if !cond_uses(cond, induction) {
+        return None;
+    }
+    let shifted_cond = substitute_induction(cond, induction, 3 * step_const, step_ty);
+    let copies = (0..4)
+        .map(|k| {
+            body.iter()
+                .map(|s| substitute_stmt(s, induction, k * step_const, step_ty))
+                .collect()
+        })
+        .collect();
+    let wide_step = HStmt::Assign {
+        lhs: HLval::Local(induction),
+        value: HExpr::Binary(
+            HBinOp::Add,
+            Box::new(HExpr::Local(induction, step_ty)),
+            Box::new(HExpr::ConstI(4 * step_const, step_ty)),
+            step_ty,
+        ),
+    };
+    Some(UnrollPlan {
+        induction,
+        step_const,
+        shifted_cond,
+        copies,
+        wide_step,
+    })
+}
+
+fn canonical_step(step: &[HStmt]) -> Option<(LocalId, i64, Ty)> {
+    if step.len() != 1 {
+        return None;
+    }
+    let (slot, value) = match &step[0] {
+        HStmt::Assign {
+            lhs: HLval::Local(slot),
+            value,
+        } => (*slot, value),
+        HStmt::Expr(HExpr::AssignExpr { lhs, value, .. }) => match lhs.as_ref() {
+            HLval::Local(slot) => (*slot, value.as_ref()),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    match value {
+        HExpr::Binary(op @ (HBinOp::Add | HBinOp::Sub), a, b, ty) => {
+            match (a.as_ref(), b.as_ref()) {
+                (HExpr::Local(s, _), HExpr::ConstI(c, _)) if *s == slot => {
+                    let c = if *op == HBinOp::Sub { -*c } else { *c };
+                    Some((slot, c, *ty))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn cond_uses(e: &HExpr, slot: LocalId) -> bool {
+    match e {
+        HExpr::Local(s, _) => *s == slot,
+        HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => cond_uses(a, slot),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            cond_uses(a, slot) || cond_uses(b, slot)
+        }
+        HExpr::Ternary(c, a, b, _) => {
+            cond_uses(c, slot) || cond_uses(a, slot) || cond_uses(b, slot)
+        }
+        HExpr::Elem { idx, .. } => idx.iter().any(|i| cond_uses(i, slot)),
+        _ => false,
+    }
+}
+
+/// Replace reads of the induction local with `i + offset`.
+fn substitute_induction(e: &HExpr, slot: LocalId, offset: i64, ty: Ty) -> HExpr {
+    if offset == 0 {
+        return e.clone();
+    }
+    match e {
+        HExpr::Local(s, t) if *s == slot => HExpr::Binary(
+            HBinOp::Add,
+            Box::new(HExpr::Local(slot, *t)),
+            Box::new(HExpr::ConstI(offset, ty)),
+            *t,
+        ),
+        HExpr::Unary(op, a, t) => HExpr::Unary(
+            *op,
+            Box::new(substitute_induction(a, slot, offset, ty)),
+            *t,
+        ),
+        HExpr::Binary(op, a, b, t) => HExpr::Binary(
+            *op,
+            Box::new(substitute_induction(a, slot, offset, ty)),
+            Box::new(substitute_induction(b, slot, offset, ty)),
+            *t,
+        ),
+        HExpr::Cmp(op, a, b, t) => HExpr::Cmp(
+            *op,
+            Box::new(substitute_induction(a, slot, offset, ty)),
+            Box::new(substitute_induction(b, slot, offset, ty)),
+            *t,
+        ),
+        HExpr::And(a, b) => HExpr::And(
+            Box::new(substitute_induction(a, slot, offset, ty)),
+            Box::new(substitute_induction(b, slot, offset, ty)),
+        ),
+        HExpr::Or(a, b) => HExpr::Or(
+            Box::new(substitute_induction(a, slot, offset, ty)),
+            Box::new(substitute_induction(b, slot, offset, ty)),
+        ),
+        HExpr::Ternary(c, a, b, t) => HExpr::Ternary(
+            Box::new(substitute_induction(c, slot, offset, ty)),
+            Box::new(substitute_induction(a, slot, offset, ty)),
+            Box::new(substitute_induction(b, slot, offset, ty)),
+            *t,
+        ),
+        HExpr::Cast { to, from, expr } => HExpr::Cast {
+            to: *to,
+            from: *from,
+            expr: Box::new(substitute_induction(expr, slot, offset, ty)),
+        },
+        HExpr::Call {
+            callee,
+            args,
+            ty: t,
+            str_arg,
+        } => HExpr::Call {
+            callee: *callee,
+            args: args
+                .iter()
+                .map(|a| substitute_induction(a, slot, offset, ty))
+                .collect(),
+            ty: *t,
+            str_arg: *str_arg,
+        },
+        HExpr::Elem {
+            array,
+            idx,
+            ty: t,
+        } => HExpr::Elem {
+            array: *array,
+            idx: idx
+                .iter()
+                .map(|i| substitute_induction(i, slot, offset, ty))
+                .collect(),
+            ty: *t,
+        },
+        HExpr::AssignExpr { lhs, value, ty: t } => HExpr::AssignExpr {
+            lhs: Box::new(substitute_lval(lhs, slot, offset, ty)),
+            value: Box::new(substitute_induction(value, slot, offset, ty)),
+            ty: *t,
+        },
+        simple => simple.clone(),
+    }
+}
+
+fn substitute_lval(l: &HLval, slot: LocalId, offset: i64, ty: Ty) -> HLval {
+    match l {
+        HLval::Elem { array, idx } => HLval::Elem {
+            array: *array,
+            idx: idx
+                .iter()
+                .map(|i| substitute_induction(i, slot, offset, ty))
+                .collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn substitute_stmt(s: &HStmt, slot: LocalId, offset: i64, ty: Ty) -> HStmt {
+    match s {
+        HStmt::Assign { lhs, value } => HStmt::Assign {
+            lhs: substitute_lval(lhs, slot, offset, ty),
+            value: substitute_induction(value, slot, offset, ty),
+        },
+        HStmt::DeclLocal { id, init } => HStmt::DeclLocal {
+            id: *id,
+            init: init
+                .as_ref()
+                .map(|e| substitute_induction(e, slot, offset, ty)),
+        },
+        HStmt::Expr(e) => HStmt::Expr(substitute_induction(e, slot, offset, ty)),
+        HStmt::Block(b) => HStmt::Block(
+            b.iter()
+                .map(|s| substitute_stmt(s, slot, offset, ty))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical_loop() -> (Option<HExpr>, Vec<HStmt>, Vec<HStmt>) {
+        let i = 0;
+        let n = 1;
+        let cond = HExpr::Cmp(
+            HCmpOp::Lt,
+            Box::new(HExpr::Local(i, Ty::INT)),
+            Box::new(HExpr::Local(n, Ty::INT)),
+            Ty::INT,
+        );
+        let step = vec![HStmt::Assign {
+            lhs: HLval::Local(i),
+            value: HExpr::Binary(
+                HBinOp::Add,
+                Box::new(HExpr::Local(i, Ty::INT)),
+                Box::new(HExpr::ConstI(1, Ty::INT)),
+                Ty::INT,
+            ),
+        }];
+        let body = vec![HStmt::Assign {
+            lhs: HLval::Elem {
+                array: 0,
+                idx: vec![HExpr::Local(i, Ty::INT)],
+            },
+            value: HExpr::ConstF(1.0, Ty::F64),
+        }];
+        (Some(cond), step, body)
+    }
+
+    #[test]
+    fn plans_canonical_loops() {
+        let (cond, step, body) = canonical_loop();
+        let plan = plan(&cond, &step, &body, 4).expect("canonical loop plans");
+        assert_eq!(plan.induction, 0);
+        assert_eq!(plan.step_const, 1);
+        assert_eq!(plan.copies.len(), 4);
+        // Copy 0 is unshifted; copy 3 indexes i+3.
+        assert_eq!(plan.copies[0], body);
+        let text = format!("{:?}", plan.copies[3]);
+        assert!(text.contains("ConstI(3"), "{text}");
+        let guard = format!("{:?}", plan.shifted_cond);
+        assert!(guard.contains("ConstI(3"), "{guard}");
+    }
+
+    #[test]
+    fn rejects_non_canonical_steps() {
+        let (cond, _, body) = canonical_loop();
+        let bad_step = vec![HStmt::Assign {
+            lhs: HLval::Local(0),
+            value: HExpr::Binary(
+                HBinOp::Mul,
+                Box::new(HExpr::Local(0, Ty::INT)),
+                Box::new(HExpr::ConstI(2, Ty::INT)),
+                Ty::INT,
+            ),
+        }];
+        assert!(plan(&cond, &bad_step, &body, 4).is_none());
+    }
+
+    #[test]
+    fn rejects_cond_not_using_induction() {
+        let (_, step, body) = canonical_loop();
+        let cond = Some(HExpr::Cmp(
+            HCmpOp::Lt,
+            Box::new(HExpr::Local(5, Ty::INT)),
+            Box::new(HExpr::ConstI(10, Ty::INT)),
+            Ty::INT,
+        ));
+        assert!(plan(&cond, &step, &body, 4).is_none());
+    }
+}

@@ -1,0 +1,1542 @@
+//! The WebAssembly backend: HIR → `wb_wasm::Module`.
+//!
+//! Toolchain-profile effects (§3.2, §4.2.2):
+//! * **Cheerp**: linear memory sized to the static data plus a small
+//!   reserve that the emitted start function acquires at runtime via
+//!   `memory.grow` (the "more frequent memory resizing requests" the
+//!   paper blames for Cheerp's slowdown); the 8 MiB default heap limit is
+//!   enforced — programs whose data exceeds it must raise
+//!   `cheerp-linear-heap-size`, exactly like §3.2.
+//! * **Emscripten**: 16 MiB minimum initial memory, no startup grows.
+//!
+//! Codegen quirks reproduced:
+//! * integral f64 constants are rematerialized as
+//!   `i32.const k; f64.convert_i32_s` at `-O2`+ (Fig 8(a)) — it is two
+//!   stack ops instead of one but a *smaller encoding*, which is why
+//!   real compilers do it;
+//! * vector-annotated loops are scalarized through
+//!   [`super::unroll`] (no SIMD in the MVP).
+
+use crate::error::CompileError;
+use crate::hir::*;
+use crate::layout::{layout, Layout};
+use wb_env::{CompilerProfile, Toolchain};
+use wb_wasm::{BlockType, Instr, MemArg, Module, ValType};
+
+/// Options controlling Wasm emission.
+#[derive(Debug, Clone)]
+pub struct WasmEmitOptions {
+    /// Toolchain profile (memory policy, growth behaviour).
+    pub profile: CompilerProfile,
+    /// Heap limit override (`cheerp-linear-heap-size`, §3.2). `None` uses
+    /// the profile default.
+    pub heap_limit_bytes: Option<u64>,
+    /// Rematerialize integral f64 constants as `i32.const + convert`
+    /// (the O2+ quirk; `-O0/-O1` emit plain `f64.const`).
+    pub remat_int_consts: bool,
+}
+
+impl WasmEmitOptions {
+    /// Cheerp at `-O2` defaults.
+    pub fn cheerp() -> Self {
+        WasmEmitOptions {
+            profile: CompilerProfile::cheerp(),
+            heap_limit_bytes: None,
+            remat_int_consts: true,
+        }
+    }
+}
+
+/// Emit a Wasm module. The returned module is valid (`wb_wasm::validate`
+/// is run in debug builds by tests) and exports every user function by
+/// name, plus `"memory"`.
+pub fn emit_wasm(p: &HProgram, opts: &WasmEmitOptions) -> Result<Module, CompileError> {
+    let lay = layout(p);
+    let heap_limit = opts
+        .heap_limit_bytes
+        .unwrap_or(opts.profile.default_heap_bytes);
+    if lay.data_end > heap_limit {
+        return Err(CompileError::Codegen {
+            message: format!(
+                "static data ({} bytes) exceeds the {} heap limit ({} bytes); \
+                 pass a larger cheerp-linear-heap-size (§3.2)",
+                lay.data_end,
+                match opts.profile.toolchain {
+                    Toolchain::Cheerp => "Cheerp",
+                    Toolchain::Emscripten => "Emscripten",
+                },
+                heap_limit
+            ),
+        });
+    }
+
+    let mut e = Emitter {
+        p,
+        lay,
+        opts,
+        module: Module::new(),
+        import_of: Vec::new(),
+        scratch: ScratchLocals::default(),
+    };
+    e.emit()?;
+    Ok(e.module)
+}
+
+/// Host imports a program may need: `(module, field, params, results)`.
+const HOST_IMPORTS: &[(&str, &str, Intrinsic)] = &[
+    ("env", "print_i32", Intrinsic::PrintI32),
+    ("env", "print_i64", Intrinsic::PrintI64),
+    ("env", "print_f64", Intrinsic::PrintF64),
+    ("env", "print_str", Intrinsic::PrintStr),
+    ("math", "exp", Intrinsic::Exp),
+    ("math", "log", Intrinsic::Log),
+    ("math", "sin", Intrinsic::Sin),
+    ("math", "cos", Intrinsic::Cos),
+    ("math", "tan", Intrinsic::Tan),
+    ("math", "atan", Intrinsic::Atan),
+    ("math", "pow", Intrinsic::Pow),
+];
+
+fn val_type(t: Ty) -> ValType {
+    match t {
+        Ty::I32 { .. } => ValType::I32,
+        Ty::I64 { .. } => ValType::I64,
+        Ty::F32 => ValType::F32,
+        Ty::F64 => ValType::F64,
+        Ty::Void => unreachable!("void has no value type"),
+    }
+}
+
+#[derive(Default)]
+struct ScratchLocals {
+    /// Per-function scratch slot per value type, allocated lazily.
+    slots: std::collections::HashMap<ValType, u32>,
+}
+
+struct Emitter<'a> {
+    p: &'a HProgram,
+    lay: Layout,
+    opts: &'a WasmEmitOptions,
+    module: Module,
+    /// Intrinsic → import function index.
+    import_of: Vec<(Intrinsic, u32)>,
+    scratch: ScratchLocals,
+}
+
+/// Loop context for break/continue depth computation.
+struct LoopFrame {
+    /// Relative depth (from the current emission point) is tracked as an
+    /// absolute "blocks opened" count; branches compute the delta.
+    exit_abs: u32,
+    continue_abs: u32,
+}
+
+impl<'a> Emitter<'a> {
+    fn emit(&mut self) -> Result<(), CompileError> {
+        // --- imports (must precede defined functions) ------------------
+        let used = self.used_intrinsics();
+        let mut mb_module = Module::new();
+        for (module_name, field, intr) in HOST_IMPORTS {
+            if !used.contains(intr) || intr.wasm_native() {
+                continue;
+            }
+            let (params, results) = intrinsic_sig(*intr);
+            let ti = mb_module.intern_type(wb_wasm::FuncType::new(params, results));
+            mb_module.imports.push(wb_wasm::FuncImport {
+                module: module_name.to_string(),
+                field: field.to_string(),
+                type_index: ti,
+            });
+            self.import_of
+                .push((*intr, (mb_module.imports.len() - 1) as u32));
+        }
+        self.module = mb_module;
+
+        // --- memory ------------------------------------------------------
+        let page = 64 * 1024u64;
+        // Static data plus the bundled-runtime tables (1 KiB past data_end).
+        let data_pages = lay_pages(self.lay.data_end + 1024, page);
+        let (min_pages, start_grows) = match self.opts.profile.toolchain {
+            Toolchain::Cheerp => {
+                // Static data is mapped up front; the runtime acquires its
+                // stack page and heap arena via memory.grow at startup.
+                (data_pages.max(self.opts.profile.initial_memory_pages as u64), 2u32)
+            }
+            Toolchain::Emscripten => (
+                data_pages.max(self.opts.profile.initial_memory_pages as u64),
+                0,
+            ),
+        };
+        self.module.memory = Some(wb_wasm::MemorySpec {
+            limits: wb_wasm::Limits::at_least(min_pages as u32),
+        });
+        self.module.exports.push(wb_wasm::Export {
+            name: "memory".into(),
+            kind: wb_wasm::ExportKind::Memory(0),
+        });
+
+        // --- globals ------------------------------------------------------
+        for g in &self.p.globals {
+            let init = match (g.ty, g.init) {
+                (Ty::I32 { .. }, v) => Instr::I32Const(v.as_i64() as i32),
+                (Ty::I64 { .. }, v) => Instr::I64Const(v.as_i64()),
+                (Ty::F32, v) => Instr::F32Const(v.as_f64() as f32),
+                (Ty::F64, v) => Instr::F64Const(v.as_f64()),
+                (Ty::Void, _) => unreachable!(),
+            };
+            self.module.globals.push(wb_wasm::Global {
+                ty: wb_wasm::GlobalType {
+                    ty: val_type(g.ty),
+                    mutable: true,
+                },
+                init,
+            });
+        }
+
+        // --- data segments -------------------------------------------------
+        for (i, a) in self.p.arrays.iter().enumerate() {
+            let Some(init) = &a.init else { continue };
+            let mut bytes = Vec::with_capacity(a.byte_size() as usize);
+            for v in init {
+                match a.elem {
+                    ElemTy::I8 { .. } => bytes.push((v.as_i64() & 0xff) as u8),
+                    ElemTy::I32 { .. } => {
+                        bytes.extend_from_slice(&(v.as_i64() as i32).to_le_bytes())
+                    }
+                    ElemTy::I64 { .. } => bytes.extend_from_slice(&v.as_i64().to_le_bytes()),
+                    ElemTy::F32 => {
+                        bytes.extend_from_slice(&(v.as_f64() as f32).to_le_bytes())
+                    }
+                    ElemTy::F64 => bytes.extend_from_slice(&v.as_f64().to_le_bytes()),
+                }
+            }
+            // Trailing zeros are implicit in fresh linear memory.
+            while bytes.last() == Some(&0) {
+                bytes.pop();
+            }
+            if !bytes.is_empty() {
+                self.module.data.push(wb_wasm::Data {
+                    offset: self.lay.base(i as ArrayId) as i32,
+                    bytes,
+                });
+            }
+        }
+
+        // --- functions ------------------------------------------------------
+        let import_count = self.module.imports.len() as u32;
+        for f in self.p.funcs.iter() {
+            let func = self.lower_func(f, import_count)?;
+            let index = self.module.func_count() as u32;
+            self.module.exports.push(wb_wasm::Export {
+                name: f.name.clone(),
+                kind: wb_wasm::ExportKind::Func(index),
+            });
+            self.module.functions.push(func);
+        }
+
+        // --- bundled runtime (§3.2) -----------------------------------------
+        // Cheerp implicitly links pre-compiled library code (memory
+        // intrinsics, an allocator, number-formatting tables). The bundle
+        // is part of every module and dilutes per-level code-size deltas,
+        // as in the paper's ~950-LOC benchmark files.
+        self.emit_runtime();
+
+        // --- start function (Cheerp runtime growth) -------------------------
+        if start_grows > 0 {
+            let mut body = Vec::new();
+            for _ in 0..start_grows {
+                body.push(Instr::I32Const(
+                    self.opts.profile.grow_granularity_pages as i32,
+                ));
+                body.push(Instr::MemoryGrow);
+                body.push(Instr::Drop);
+            }
+            body.push(Instr::End);
+            let ti = self.module.intern_type(wb_wasm::FuncType::new(vec![], vec![]));
+            let start_index = self.module.func_count() as u32;
+            self.module.functions.push(wb_wasm::Function {
+                type_index: ti,
+                locals: vec![],
+                body,
+                name: Some("__init".into()),
+            });
+            self.module.start = Some(start_index);
+        }
+
+        Ok(())
+    }
+
+
+    /// Emit the bundled runtime: memcpy/memset/memmove/memcmp, a bump
+    /// allocator over a heap-pointer global, and the ctype/dtoa data
+    /// tables libc-style formatting needs.
+    fn emit_runtime(&mut self) {
+        use Instr::*;
+        let table_base = self.lay.data_end as i32;
+        let heap_base = table_base + 1024;
+        // Heap pointer global for the allocator.
+        self.module.globals.push(wb_wasm::Global {
+            ty: wb_wasm::GlobalType {
+                ty: ValType::I32,
+                mutable: true,
+            },
+            init: I32Const(heap_base),
+        });
+        let heap_ptr = (self.module.globals.len() - 1) as u32;
+
+        let mut emit = |name: &str, params: Vec<ValType>, results: Vec<ValType>, locals: Vec<ValType>, body: Vec<Instr>| {
+            let ti = self
+                .module
+                .intern_type(wb_wasm::FuncType::new(params, results));
+            self.module.functions.push(wb_wasm::Function {
+                type_index: ti,
+                locals,
+                body,
+                name: Some(name.to_string()),
+            });
+        };
+
+        // __memset(dst, value, n): byte loop.
+        emit(
+            "__memset",
+            vec![ValType::I32, ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                Block(BlockType::Empty),
+                Loop(BlockType::Empty),
+                LocalGet(3), LocalGet(2), I32GeU, BrIf(1),
+                LocalGet(0), LocalGet(3), I32Add,
+                LocalGet(1),
+                I32Store8(MemArg::natural(1)),
+                LocalGet(3), I32Const(1), I32Add, LocalSet(3),
+                Br(0),
+                End, End,
+                LocalGet(0),
+                End,
+            ],
+        );
+        // __memcpy(dst, src, n).
+        emit(
+            "__memcpy",
+            vec![ValType::I32, ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                Block(BlockType::Empty),
+                Loop(BlockType::Empty),
+                LocalGet(3), LocalGet(2), I32GeU, BrIf(1),
+                LocalGet(0), LocalGet(3), I32Add,
+                LocalGet(1), LocalGet(3), I32Add,
+                I32Load8U(MemArg::natural(1)),
+                I32Store8(MemArg::natural(1)),
+                LocalGet(3), I32Const(1), I32Add, LocalSet(3),
+                Br(0),
+                End, End,
+                LocalGet(0),
+                End,
+            ],
+        );
+        // __memmove(dst, src, n): backward copy when overlapping.
+        emit(
+            "__memmove",
+            vec![ValType::I32, ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                LocalGet(2), LocalSet(3),
+                Block(BlockType::Empty),
+                Loop(BlockType::Empty),
+                LocalGet(3), I32Eqz, BrIf(1),
+                LocalGet(3), I32Const(1), I32Sub, LocalSet(3),
+                LocalGet(0), LocalGet(3), I32Add,
+                LocalGet(1), LocalGet(3), I32Add,
+                I32Load8U(MemArg::natural(1)),
+                I32Store8(MemArg::natural(1)),
+                Br(0),
+                End, End,
+                LocalGet(0),
+                End,
+            ],
+        );
+        // __memcmp(a, b, n).
+        emit(
+            "__memcmp",
+            vec![ValType::I32, ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32, ValType::I32],
+            vec![
+                Block(BlockType::Empty),
+                Loop(BlockType::Empty),
+                LocalGet(3), LocalGet(2), I32GeU, BrIf(1),
+                LocalGet(0), LocalGet(3), I32Add, I32Load8U(MemArg::natural(1)),
+                LocalGet(1), LocalGet(3), I32Add, I32Load8U(MemArg::natural(1)),
+                I32Sub,
+                LocalTee(4),
+                I32Eqz,
+                If(BlockType::Empty),
+                Else,
+                LocalGet(4), Return,
+                End,
+                LocalGet(3), I32Const(1), I32Add, LocalSet(3),
+                Br(0),
+                End, End,
+                I32Const(0),
+                End,
+            ],
+        );
+        // __strlen(p).
+        emit(
+            "__strlen",
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                Block(BlockType::Empty),
+                Loop(BlockType::Empty),
+                LocalGet(0), LocalGet(1), I32Add, I32Load8U(MemArg::natural(1)),
+                I32Eqz, BrIf(1),
+                LocalGet(1), I32Const(1), I32Add, LocalSet(1),
+                Br(0),
+                End, End,
+                LocalGet(1),
+                End,
+            ],
+        );
+        // __malloc(n): 8-aligned bump allocation with grow-on-demand.
+        emit(
+            "__malloc",
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                GlobalGet(heap_ptr), LocalSet(1),
+                GlobalGet(heap_ptr),
+                LocalGet(0), I32Const(7), I32Add, I32Const(-8), I32And,
+                I32Add,
+                GlobalSet(heap_ptr),
+                // Grow if the new break passed the current memory size.
+                GlobalGet(heap_ptr),
+                MemorySize, I32Const(16), I32Shl,
+                I32GtU,
+                If(BlockType::Empty),
+                I32Const(1), MemoryGrow, Drop,
+                End,
+                LocalGet(1),
+                End,
+            ],
+        );
+        // __free(p): bump allocators do not reclaim (the §2.2.2 story).
+        emit(
+            "__free",
+            vec![ValType::I32],
+            vec![],
+            vec![],
+            vec![LocalGet(0), Drop, End],
+        );
+        // __itoa10(value, buf) -> digits written (number formatting core).
+        emit(
+            "__itoa10",
+            vec![ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![
+                Block(BlockType::Empty),
+                Loop(BlockType::Empty),
+                LocalGet(1), LocalGet(2), I32Add,
+                LocalGet(0), I32Const(10), I32RemU, I32Const(48), I32Add,
+                I32Store8(MemArg::natural(1)),
+                LocalGet(2), I32Const(1), I32Add, LocalSet(2),
+                LocalGet(0), I32Const(10), I32DivU, LocalTee(0),
+                I32Eqz, BrIf(1),
+                Br(0),
+                End, End,
+                LocalGet(2),
+                End,
+            ],
+        );
+
+        // Data tables: ctype classification (256 B) and a power-of-ten
+        // table for float formatting (64 × f64 = 512 B), placed past the
+        // user data.
+        let mut ctype = Vec::with_capacity(256);
+        for c in 0u32..256 {
+            let ch = c as u8 as char;
+            let mut flags = 0u8;
+            if ch.is_ascii_alphabetic() { flags |= 1; }
+            if ch.is_ascii_digit() { flags |= 2; }
+            if ch.is_ascii_whitespace() { flags |= 4; }
+            if ch.is_ascii_uppercase() { flags |= 8; }
+            ctype.push(flags);
+        }
+        self.module.data.push(wb_wasm::Data {
+            offset: table_base,
+            bytes: ctype,
+        });
+        let mut pow10 = Vec::with_capacity(512);
+        for e in 0..64 {
+            pow10.extend_from_slice(&10f64.powi(e).to_le_bytes());
+        }
+        self.module.data.push(wb_wasm::Data {
+            offset: table_base + 256,
+            bytes: pow10,
+        });
+    }
+
+    fn used_intrinsics(&self) -> std::collections::HashSet<Intrinsic> {
+        let mut used = std::collections::HashSet::new();
+        fn expr(e: &HExpr, used: &mut std::collections::HashSet<Intrinsic>) {
+            match e {
+                HExpr::Call { callee, args, .. } => {
+                    if let Callee::Intrinsic(i) = callee {
+                        used.insert(*i);
+                    }
+                    for a in args {
+                        expr(a, used);
+                    }
+                }
+                HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => expr(a, used),
+                HExpr::Binary(_, a, b, _)
+                | HExpr::Cmp(_, a, b, _)
+                | HExpr::And(a, b)
+                | HExpr::Or(a, b) => {
+                    expr(a, used);
+                    expr(b, used);
+                }
+                HExpr::Ternary(c, a, b, _) => {
+                    expr(c, used);
+                    expr(a, used);
+                    expr(b, used);
+                }
+                HExpr::Elem { idx, .. } => idx.iter().for_each(|i| expr(i, used)),
+                HExpr::AssignExpr { lhs, value, .. } => {
+                    if let HLval::Elem { idx, .. } = lhs.as_ref() {
+                        idx.iter().for_each(|i| expr(i, used));
+                    }
+                    expr(value, used);
+                }
+                _ => {}
+            }
+        }
+        fn stmt(s: &HStmt, used: &mut std::collections::HashSet<Intrinsic>) {
+            match s {
+                HStmt::DeclLocal { init: Some(e), .. }
+                | HStmt::Expr(e)
+                | HStmt::Return(Some(e)) => expr(e, used),
+                HStmt::Assign { lhs, value } => {
+                    if let HLval::Elem { idx, .. } = lhs {
+                        idx.iter().for_each(|i| expr(i, used));
+                    }
+                    expr(value, used);
+                }
+                HStmt::If(c, a, b) => {
+                    expr(c, used);
+                    a.iter().for_each(|s| stmt(s, used));
+                    b.iter().for_each(|s| stmt(s, used));
+                }
+                HStmt::Loop {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => {
+                    init.iter().for_each(|s| stmt(s, used));
+                    if let Some(c) = cond {
+                        expr(c, used);
+                    }
+                    step.iter().for_each(|s| stmt(s, used));
+                    body.iter().for_each(|s| stmt(s, used));
+                }
+                HStmt::Switch {
+                    scrut,
+                    cases,
+                    default,
+                } => {
+                    expr(scrut, used);
+                    cases
+                        .iter()
+                        .for_each(|(_, b)| b.iter().for_each(|s| stmt(s, used)));
+                    default.iter().for_each(|s| stmt(s, used));
+                }
+                HStmt::Block(b) => b.iter().for_each(|s| stmt(s, used)),
+                _ => {}
+            }
+        }
+        for f in &self.p.funcs {
+            f.body.iter().for_each(|s| stmt(s, &mut used));
+        }
+        used
+    }
+
+    fn import_index(&self, intr: Intrinsic) -> Option<u32> {
+        self.import_of
+            .iter()
+            .find(|(i, _)| *i == intr)
+            .map(|(_, idx)| *idx)
+    }
+
+    fn lower_func(
+        &mut self,
+        f: &HFunc,
+        import_count: u32,
+    ) -> Result<wb_wasm::Function, CompileError> {
+        self.scratch = ScratchLocals::default();
+        let mut fx = FuncLowering {
+            code: Vec::new(),
+            extra_locals: Vec::new(),
+            locals_tys: f.locals.iter().map(|(_, t)| *t).collect(),
+            depth: 0,
+            loops: Vec::new(),
+            import_count,
+        };
+        for s in &f.body {
+            self.stmt(&mut fx, s)?;
+        }
+        // Functions that can fall off the end still need a result value.
+        if f.ret != Ty::Void {
+            fx.code.push(zero_const(f.ret));
+        }
+        fx.code.push(Instr::End);
+
+        let ty_index = self.module.intern_type(wb_wasm::FuncType::new(
+            f.params.iter().map(|t| val_type(*t)).collect(),
+            if f.ret == Ty::Void {
+                vec![]
+            } else {
+                vec![val_type(f.ret)]
+            },
+        ));
+        // Locals beyond params: HIR locals then backend scratch locals.
+        let mut locals: Vec<ValType> = f.locals[f.params.len()..]
+            .iter()
+            .map(|(_, t)| val_type(*t))
+            .collect();
+        locals.extend(fx.extra_locals.iter().copied());
+        Ok(wb_wasm::Function {
+            type_index: ty_index,
+            locals,
+            body: fx.code,
+            name: Some(f.name.clone()),
+        })
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stmt(&mut self, fx: &mut FuncLowering, s: &HStmt) -> Result<(), CompileError> {
+        match s {
+            HStmt::DeclLocal { id, init } => {
+                if let Some(e) = init {
+                    self.expr(fx, e)?;
+                    fx.code.push(Instr::LocalSet(*id));
+                }
+            }
+            HStmt::Assign { lhs, value } => self.store(fx, lhs, value)?,
+            HStmt::Expr(e) => {
+                self.expr_for_effect(fx, e)?;
+            }
+            HStmt::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(fx, e)?;
+                }
+                fx.code.push(Instr::Return);
+            }
+            HStmt::If(cond, then, els) => {
+                self.expr(fx, cond)?;
+                fx.code.push(Instr::If(BlockType::Empty));
+                fx.depth += 1;
+                for s in then {
+                    self.stmt(fx, s)?;
+                }
+                if !els.is_empty() {
+                    fx.code.push(Instr::Else);
+                    for s in els {
+                        self.stmt(fx, s)?;
+                    }
+                }
+                fx.code.push(Instr::End);
+                fx.depth -= 1;
+            }
+            HStmt::Loop {
+                kind,
+                init,
+                cond,
+                step,
+                body,
+                meta,
+            } => {
+                for s in init {
+                    self.stmt(fx, s)?;
+                }
+                if meta.vector_width > 1 {
+                    if let Some(plan) =
+                        super::unroll::plan(cond, step, body, meta.vector_width)
+                    {
+                        return self.emit_scalarized_vector_loop(fx, cond, step, body, plan);
+                    }
+                }
+                self.emit_scalar_loop(fx, *kind, cond, step, body)
+                    ?;
+            }
+            HStmt::Break => {
+                let frame = fx.loops.last().ok_or(CompileError::Codegen {
+                    message: "break outside loop".into(),
+                })?;
+                fx.code.push(Instr::Br(fx.depth - 1 - frame.exit_abs));
+            }
+            HStmt::Continue => {
+                let frame = fx.loops.last().ok_or(CompileError::Codegen {
+                    message: "continue outside loop".into(),
+                })?;
+                fx.code.push(Instr::Br(fx.depth - 1 - frame.continue_abs));
+            }
+            HStmt::Switch {
+                scrut,
+                cases,
+                default,
+            } => self.emit_switch(fx, scrut, cases, default)?,
+            HStmt::Block(b) => {
+                for s in b {
+                    self.stmt(fx, s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_scalar_loop(
+        &mut self,
+        fx: &mut FuncLowering,
+        kind: LoopKind,
+        cond: &Option<HExpr>,
+        step: &[HStmt],
+        body: &[HStmt],
+    ) -> Result<(), CompileError> {
+        // block $exit { loop $top { [pre-test]; block $cont { body };
+        //               step; br $top } }
+        fx.code.push(Instr::Block(BlockType::Empty)); // exit
+        let exit_abs = fx.depth;
+        fx.depth += 1;
+        fx.code.push(Instr::Loop(BlockType::Empty)); // top
+        let top_abs = fx.depth;
+        fx.depth += 1;
+        if kind == LoopKind::PreTest {
+            if let Some(c) = cond {
+                self.expr(fx, c)?;
+                fx.code.push(Instr::I32Eqz);
+                fx.code.push(Instr::BrIf(fx.depth - 1 - exit_abs));
+            }
+        }
+        fx.code.push(Instr::Block(BlockType::Empty)); // continue target
+        let cont_abs = fx.depth;
+        fx.depth += 1;
+        fx.loops.push(LoopFrame {
+            exit_abs,
+            continue_abs: cont_abs,
+        });
+        for s in body {
+            self.stmt(fx, s)?;
+        }
+        fx.loops.pop();
+        fx.code.push(Instr::End); // continue target
+        fx.depth -= 1;
+        for s in step {
+            self.stmt(fx, s)?;
+        }
+        if kind == LoopKind::PostTest {
+            if let Some(c) = cond {
+                self.expr(fx, c)?;
+                fx.code.push(Instr::BrIf(fx.depth - 1 - top_abs));
+            } else {
+                fx.code.push(Instr::Br(fx.depth - 1 - top_abs));
+            }
+        } else {
+            fx.code.push(Instr::Br(fx.depth - 1 - top_abs));
+        }
+        fx.code.push(Instr::End); // loop
+        fx.depth -= 1;
+        fx.code.push(Instr::End); // exit block
+        fx.depth -= 1;
+        Ok(())
+    }
+
+    /// Scalarized vector loop (§4.2.1's mechanism): the vectorizer's IR
+    /// must be strip-mined back to scalar code on the SIMD-less MVP
+    /// target — a runtime trip-count guard at entry plus per-iteration
+    /// lane bookkeeping that the rolled scalar loop never needed. Same
+    /// results, a few percent more work, slightly bigger code.
+    fn emit_scalarized_vector_loop(
+        &mut self,
+        fx: &mut FuncLowering,
+        cond: &Option<HExpr>,
+        step: &[HStmt],
+        body: &[HStmt],
+        plan: super::unroll::UnrollPlan,
+    ) -> Result<(), CompileError> {
+        // Entry guard: evaluate the shifted bound (all-4-lanes-in-range
+        // check) once.
+        fx.code.push(Instr::Block(BlockType::Empty));
+        fx.depth += 1;
+        self.expr(fx, &plan.shifted_cond)?;
+        fx.code.push(Instr::BrIf(0));
+        fx.code.push(Instr::End);
+        fx.depth -= 1;
+        // Main loop: scalar body + lane-counter bookkeeping.
+        let lane = self.scratch_local(fx, ValType::I32);
+        let mut wide_body = body.to_vec();
+        let _ = plan.wide_step; // the strip-mined form keeps the scalar step
+        wide_body.push(HStmt::Block(vec![])); // marker: end of user body
+        self.emit_scalar_loop_with_extra(fx, cond, step, &wide_body, Some(lane))
+    }
+
+    /// Pre-test scalar loop with optional per-iteration lane bookkeeping.
+    fn emit_scalar_loop_with_extra(
+        &mut self,
+        fx: &mut FuncLowering,
+        cond: &Option<HExpr>,
+        step: &[HStmt],
+        body: &[HStmt],
+        lane: Option<u32>,
+    ) -> Result<(), CompileError> {
+        fx.code.push(Instr::Block(BlockType::Empty)); // exit
+        let exit_abs = fx.depth;
+        fx.depth += 1;
+        fx.code.push(Instr::Loop(BlockType::Empty)); // top
+        let top_abs = fx.depth;
+        fx.depth += 1;
+        if let Some(c) = cond {
+            self.expr(fx, c)?;
+            fx.code.push(Instr::I32Eqz);
+            fx.code.push(Instr::BrIf(fx.depth - 1 - exit_abs));
+        }
+        fx.code.push(Instr::Block(BlockType::Empty)); // continue target
+        let cont_abs = fx.depth;
+        fx.depth += 1;
+        fx.loops.push(LoopFrame {
+            exit_abs,
+            continue_abs: cont_abs,
+        });
+        for s in body {
+            self.stmt(fx, s)?;
+        }
+        fx.loops.pop();
+        fx.code.push(Instr::End);
+        fx.depth -= 1;
+        if let Some(lane) = lane {
+            // lane = (lane + 1) & 3 — the strip-mined lane counter.
+            fx.code.push(Instr::LocalGet(lane));
+            fx.code.push(Instr::I32Const(1));
+            fx.code.push(Instr::I32Add);
+            fx.code.push(Instr::I32Const(3));
+            fx.code.push(Instr::I32And);
+            fx.code.push(Instr::LocalSet(lane));
+        }
+        for s in step {
+            self.stmt(fx, s)?;
+        }
+        fx.code.push(Instr::Br(fx.depth - 1 - top_abs));
+        fx.code.push(Instr::End); // loop
+        fx.depth -= 1;
+        fx.code.push(Instr::End); // exit
+        fx.depth -= 1;
+        Ok(())
+    }
+
+    fn emit_switch(
+        &mut self,
+        fx: &mut FuncLowering,
+        scrut: &HExpr,
+        cases: &[(i64, Vec<HStmt>)],
+        default: &[HStmt],
+    ) -> Result<(), CompileError> {
+        if cases.is_empty() {
+            for s in default {
+                self.stmt(fx, s)?;
+            }
+            return Ok(());
+        }
+        let min = cases.iter().map(|(v, _)| *v).min().expect("non-empty");
+        let max = cases.iter().map(|(v, _)| *v).max().expect("non-empty");
+        let dense = (max - min) < 128;
+        if !dense {
+            // Sparse labels: if/else chain.
+            // scrut is evaluated once into a scratch local.
+            let slot = self.scratch_local(fx, ValType::I32);
+            self.expr(fx, scrut)?;
+            fx.code.push(Instr::LocalSet(slot));
+            return self.emit_switch_chain(fx, slot, cases, default);
+        }
+
+        // Dense: block structure + br_table.
+        // block $exit { block $default { block $caseK … block $case0 {
+        //   br_table } case0 … br $exit } … default }
+        let n = cases.len();
+        fx.code.push(Instr::Block(BlockType::Empty)); // exit
+        let exit_abs = fx.depth;
+        fx.depth += 1;
+        fx.code.push(Instr::Block(BlockType::Empty)); // default
+        let default_abs = fx.depth;
+        fx.depth += 1;
+        let mut case_abs = Vec::with_capacity(n);
+        for _ in 0..n {
+            fx.code.push(Instr::Block(BlockType::Empty));
+            case_abs.push(fx.depth);
+            fx.depth += 1;
+        }
+        // Table maps (scrut - min) to the case block; holes go to default.
+        self.expr(fx, scrut)?;
+        if min != 0 {
+            fx.code.push(Instr::I32Const(min as i32));
+            fx.code.push(Instr::I32Sub);
+        }
+        let mut table = Vec::with_capacity((max - min + 1) as usize);
+        for v in min..=max {
+            let depth = match cases.iter().position(|(cv, _)| *cv == v) {
+                Some(pos) => fx.depth - 1 - case_abs[pos],
+                None => fx.depth - 1 - default_abs,
+            };
+            table.push(depth);
+        }
+        fx.code
+            .push(Instr::BrTable(table, fx.depth - 1 - default_abs));
+        // Ends close innermost-first, so bodies are emitted in reverse
+        // case order: the first End closes the last-opened block.
+        for (_, body) in cases.iter().rev() {
+            fx.code.push(Instr::End);
+            fx.depth -= 1;
+            for s in body {
+                self.stmt(fx, s)?;
+            }
+            fx.code.push(Instr::Br(fx.depth - 1 - exit_abs));
+        }
+        fx.code.push(Instr::End); // default block
+        fx.depth -= 1;
+        for s in default {
+            self.stmt(fx, s)?;
+        }
+        fx.code.push(Instr::End); // exit
+        fx.depth -= 1;
+        Ok(())
+    }
+
+    fn emit_switch_chain(
+        &mut self,
+        fx: &mut FuncLowering,
+        slot: u32,
+        cases: &[(i64, Vec<HStmt>)],
+        default: &[HStmt],
+    ) -> Result<(), CompileError> {
+        match cases.split_first() {
+            None => {
+                for s in default {
+                    self.stmt(fx, s)?;
+                }
+                Ok(())
+            }
+            Some(((v, body), rest)) => {
+                fx.code.push(Instr::LocalGet(slot));
+                fx.code.push(Instr::I32Const(*v as i32));
+                fx.code.push(Instr::I32Eq);
+                fx.code.push(Instr::If(BlockType::Empty));
+                fx.depth += 1;
+                for s in body {
+                    self.stmt(fx, s)?;
+                }
+                fx.code.push(Instr::Else);
+                self.emit_switch_chain(fx, slot, rest, default)?;
+                fx.code.push(Instr::End);
+                fx.depth -= 1;
+                Ok(())
+            }
+        }
+    }
+
+    // ---- stores -------------------------------------------------------------
+
+    fn store(
+        &mut self,
+        fx: &mut FuncLowering,
+        lhs: &HLval,
+        value: &HExpr,
+    ) -> Result<(), CompileError> {
+        match lhs {
+            HLval::Local(id) => {
+                self.expr(fx, value)?;
+                fx.code.push(Instr::LocalSet(*id));
+            }
+            HLval::Global(id) => {
+                self.expr(fx, value)?;
+                fx.code.push(Instr::GlobalSet(*id));
+            }
+            HLval::Elem { array, idx } => {
+                let arr = &self.p.arrays[*array as usize];
+                let elem = arr.elem;
+                self.elem_addr(fx, *array, idx)?;
+                self.expr(fx, value)?;
+                // Narrow the value to the element width.
+                let base = self.lay.base(*array) as u32;
+                let mem = MemArg::natural(elem.width()).with_offset(base);
+                fx.code.push(match elem {
+                    ElemTy::I8 { .. } => Instr::I32Store8(mem),
+                    ElemTy::I32 { .. } => Instr::I32Store(mem),
+                    ElemTy::I64 { .. } => Instr::I64Store(mem),
+                    ElemTy::F32 => Instr::F32Store(mem),
+                    ElemTy::F64 => Instr::F64Store(mem),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Push the byte address (without the static base, which rides in the
+    /// memarg offset) of `array[idx…]`.
+    fn elem_addr(
+        &mut self,
+        fx: &mut FuncLowering,
+        array: ArrayId,
+        idx: &[HExpr],
+    ) -> Result<(), CompileError> {
+        let arr = self.p.arrays[array as usize].clone();
+        // acc = ((i0*d1 + i1)*d2 + i2)… ; addr = acc << log2(width)
+        self.expr(fx, &idx[0])?;
+        for (k, i) in idx.iter().enumerate().skip(1) {
+            fx.code.push(Instr::I32Const(arr.dims[k] as i32));
+            fx.code.push(Instr::I32Mul);
+            self.expr(fx, i)?;
+            fx.code.push(Instr::I32Add);
+        }
+        let width = arr.elem.width();
+        if width > 1 {
+            fx.code.push(Instr::I32Const(width.trailing_zeros() as i32));
+            fx.code.push(Instr::I32Shl);
+        }
+        Ok(())
+    }
+
+    // ---- expressions ----------------------------------------------------------
+
+    /// Emit an expression in statement position, dropping any value.
+    fn expr_for_effect(&mut self, fx: &mut FuncLowering, e: &HExpr) -> Result<(), CompileError> {
+        match e {
+            HExpr::AssignExpr { lhs, value, .. } => self.store(fx, lhs, value),
+            other => {
+                self.expr(fx, other)?;
+                if other.ty() != Ty::Void {
+                    fx.code.push(Instr::Drop);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn expr(&mut self, fx: &mut FuncLowering, e: &HExpr) -> Result<(), CompileError> {
+        match e {
+            HExpr::ConstI(v, ty) => match ty {
+                Ty::I64 { .. } => fx.code.push(Instr::I64Const(*v)),
+                _ => fx.code.push(Instr::I32Const(*v as i32)),
+            },
+            HExpr::ConstF(v, ty) => self.emit_float_const(fx, *v, *ty),
+            HExpr::Local(id, _) => fx.code.push(Instr::LocalGet(*id)),
+            HExpr::Global(id, _) => fx.code.push(Instr::GlobalGet(*id)),
+            HExpr::Elem { array, idx, .. } => {
+                let arr = self.p.arrays[*array as usize].clone();
+                self.elem_addr(fx, *array, idx)?;
+                let base = self.lay.base(*array) as u32;
+                let mem = MemArg::natural(arr.elem.width()).with_offset(base);
+                fx.code.push(match arr.elem {
+                    ElemTy::I8 { unsigned: true } => Instr::I32Load8U(mem),
+                    ElemTy::I8 { unsigned: false } => Instr::I32Load8S(mem),
+                    ElemTy::I32 { .. } => Instr::I32Load(mem),
+                    ElemTy::I64 { .. } => Instr::I64Load(mem),
+                    ElemTy::F32 => Instr::F32Load(mem),
+                    ElemTy::F64 => Instr::F64Load(mem),
+                });
+            }
+            HExpr::Unary(op, a, ty) => {
+                match op {
+                    HUnOp::Neg => match ty {
+                        Ty::F32 => {
+                            self.expr(fx, a)?;
+                            fx.code.push(Instr::F32Neg);
+                        }
+                        Ty::F64 => {
+                            self.expr(fx, a)?;
+                            fx.code.push(Instr::F64Neg);
+                        }
+                        Ty::I64 { .. } => {
+                            // 0 - x
+                            fx.code.push(Instr::I64Const(0));
+                            self.expr(fx, a)?;
+                            fx.code.push(Instr::I64Sub);
+                        }
+                        _ => {
+                            fx.code.push(Instr::I32Const(0));
+                            self.expr(fx, a)?;
+                            fx.code.push(Instr::I32Sub);
+                        }
+                    },
+                    HUnOp::Not => {
+                        self.expr(fx, a)?;
+                        fx.code.push(Instr::I32Eqz);
+                    }
+                    HUnOp::BitNot => match ty {
+                        Ty::I64 { .. } => {
+                            self.expr(fx, a)?;
+                            fx.code.push(Instr::I64Const(-1));
+                            fx.code.push(Instr::I64Xor);
+                        }
+                        _ => {
+                            self.expr(fx, a)?;
+                            fx.code.push(Instr::I32Const(-1));
+                            fx.code.push(Instr::I32Xor);
+                        }
+                    },
+                }
+            }
+            HExpr::Binary(op, a, b, ty) => {
+                self.expr(fx, a)?;
+                self.expr(fx, b)?;
+                // Shift counts are typed i32 in HIR (C semantics); wasm
+                // i64 shifts take an i64 count.
+                if matches!(op, HBinOp::Shl | HBinOp::Shr)
+                    && matches!(ty, Ty::I64 { .. })
+                    && !matches!(b.ty(), Ty::I64 { .. })
+                {
+                    fx.code.push(Instr::I64ExtendI32S);
+                }
+                fx.code.push(binary_instr(*op, *ty));
+            }
+            HExpr::Cmp(op, a, b, operand_ty) => {
+                self.expr(fx, a)?;
+                self.expr(fx, b)?;
+                fx.code.push(cmp_instr(*op, *operand_ty));
+            }
+            HExpr::And(a, b) => {
+                // a ? (b != 0) : 0  — short-circuit via if.
+                self.expr(fx, a)?;
+                fx.code.push(Instr::If(BlockType::Value(ValType::I32)));
+                fx.depth += 1;
+                self.expr(fx, b)?;
+                fx.code.push(Instr::I32Const(0));
+                fx.code.push(Instr::I32Ne);
+                fx.code.push(Instr::Else);
+                fx.code.push(Instr::I32Const(0));
+                fx.code.push(Instr::End);
+                fx.depth -= 1;
+            }
+            HExpr::Or(a, b) => {
+                self.expr(fx, a)?;
+                fx.code.push(Instr::If(BlockType::Value(ValType::I32)));
+                fx.depth += 1;
+                fx.code.push(Instr::I32Const(1));
+                fx.code.push(Instr::Else);
+                self.expr(fx, b)?;
+                fx.code.push(Instr::I32Const(0));
+                fx.code.push(Instr::I32Ne);
+                fx.code.push(Instr::End);
+                fx.depth -= 1;
+            }
+            HExpr::Ternary(c, a, b, ty) => {
+                self.expr(fx, c)?;
+                fx.code.push(Instr::If(BlockType::Value(val_type(*ty))));
+                fx.depth += 1;
+                self.expr(fx, a)?;
+                fx.code.push(Instr::Else);
+                self.expr(fx, b)?;
+                fx.code.push(Instr::End);
+                fx.depth -= 1;
+            }
+            HExpr::Call {
+                callee,
+                args,
+                str_arg,
+                ..
+            } => {
+                match callee {
+                    Callee::Func(id) => {
+                        for a in args {
+                            self.expr(fx, a)?;
+                        }
+                        fx.code.push(Instr::Call(fx.import_count + *id));
+                    }
+                    Callee::Intrinsic(intr) => {
+                        self.emit_intrinsic(fx, *intr, args, *str_arg)?;
+                    }
+                }
+            }
+            HExpr::Cast { to, from, expr } => {
+                self.expr(fx, expr)?;
+                emit_cast(&mut fx.code, *from, *to);
+            }
+            HExpr::AssignExpr { lhs, value, ty } => {
+                // Evaluate, store, and leave the value on the stack.
+                match lhs.as_ref() {
+                    HLval::Local(id) => {
+                        self.expr(fx, value)?;
+                        fx.code.push(Instr::LocalTee(*id));
+                    }
+                    HLval::Global(id) => {
+                        self.expr(fx, value)?;
+                        let slot = self.scratch_local(fx, val_type(*ty));
+                        fx.code.push(Instr::LocalTee(slot));
+                        fx.code.push(Instr::GlobalSet(*id));
+                        fx.code.push(Instr::LocalGet(slot));
+                    }
+                    HLval::Elem { array, idx } => {
+                        let slot = self.scratch_local(fx, val_type(*ty));
+                        self.expr(fx, value)?;
+                        fx.code.push(Instr::LocalSet(slot));
+                        let loaded = HExpr::Local(slot, *ty);
+                        self.store(
+                            fx,
+                            &HLval::Elem {
+                                array: *array,
+                                idx: idx.clone(),
+                            },
+                            &loaded,
+                        )?;
+                        fx.code.push(Instr::LocalGet(slot));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fig 8: at `-O2`+ integral f64 constants are emitted as
+    /// `i32.const; f64.convert_i32_s` — two ops but a smaller encoding.
+    fn emit_float_const(&mut self, fx: &mut FuncLowering, v: f64, ty: Ty) {
+        match ty {
+            Ty::F32 => {
+                if self.opts.remat_int_consts
+                    && v.fract() == 0.0
+                    && v.abs() <= i32::MAX as f64
+                    && v != 0.0
+                {
+                    fx.code.push(Instr::I32Const(v as i32));
+                    fx.code.push(Instr::F32ConvertI32S);
+                } else {
+                    fx.code.push(Instr::F32Const(v as f32));
+                }
+            }
+            _ => {
+                if self.opts.remat_int_consts
+                    && v.fract() == 0.0
+                    && v.abs() <= i32::MAX as f64
+                    && v != 0.0
+                {
+                    fx.code.push(Instr::I32Const(v as i32));
+                    fx.code.push(Instr::F64ConvertI32S);
+                } else {
+                    fx.code.push(Instr::F64Const(v));
+                }
+            }
+        }
+    }
+
+    fn emit_intrinsic(
+        &mut self,
+        fx: &mut FuncLowering,
+        intr: Intrinsic,
+        args: &[HExpr],
+        str_arg: Option<StrId>,
+    ) -> Result<(), CompileError> {
+        use Intrinsic::*;
+        // Native single-instruction intrinsics.
+        if intr.wasm_native() {
+            match intr {
+                F64Bits => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::I64ReinterpretF64);
+                }
+                F64FromBits => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::F64ReinterpretI64);
+                }
+                F32Bits => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::I32ReinterpretF32);
+                }
+                F32FromBits => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::F32ReinterpretI32);
+                }
+                Sqrt => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::F64Sqrt);
+                }
+                Fabs => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::F64Abs);
+                }
+                Floor => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::F64Floor);
+                }
+                Ceil => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::F64Ceil);
+                }
+                TruncF => {
+                    self.expr(fx, &args[0])?;
+                    fx.code.push(Instr::F64Trunc);
+                }
+                _ => unreachable!("wasm_native covered above"),
+            }
+            return Ok(());
+        }
+        // Host imports (print + transcendentals).
+        if intr == PrintStr {
+            let sid = str_arg.ok_or(CompileError::Codegen {
+                message: "print_str without string id".into(),
+            })?;
+            fx.code.push(Instr::I32Const(sid as i32));
+        } else {
+            for a in args {
+                self.expr(fx, a)?;
+            }
+        }
+        let idx = self.import_index(intr).ok_or(CompileError::Codegen {
+            message: format!("intrinsic {intr:?} has no import binding"),
+        })?;
+        fx.code.push(Instr::Call(idx));
+        Ok(())
+    }
+
+    fn scratch_local(&mut self, fx: &mut FuncLowering, ty: ValType) -> u32 {
+        if let Some(&slot) = self.scratch.slots.get(&ty) {
+            return slot;
+        }
+        // HIR locals include params, so the wasm index of the first extra
+        // local is locals_tys.len() + previously added extras.
+        let slot = fx.locals_tys.len() as u32 + fx.extra_locals.len() as u32;
+        fx.extra_locals.push(ty);
+        self.scratch.slots.insert(ty, slot);
+        slot
+    }
+}
+
+struct FuncLowering {
+    code: Vec<Instr>,
+    extra_locals: Vec<ValType>,
+    locals_tys: Vec<Ty>,
+    /// Count of currently open blocks (function body = depth 0).
+    depth: u32,
+    loops: Vec<LoopFrame>,
+    import_count: u32,
+}
+
+fn lay_pages(bytes: u64, page: u64) -> u64 {
+    bytes.div_ceil(page)
+}
+
+fn zero_const(t: Ty) -> Instr {
+    match t {
+        Ty::I64 { .. } => Instr::I64Const(0),
+        Ty::F32 => Instr::F32Const(0.0),
+        Ty::F64 => Instr::F64Const(0.0),
+        _ => Instr::I32Const(0),
+    }
+}
+
+fn intrinsic_sig(i: Intrinsic) -> (Vec<ValType>, Vec<ValType>) {
+    use Intrinsic::*;
+    match i {
+        PrintI32 => (vec![ValType::I32], vec![]),
+        PrintI64 => (vec![ValType::I64], vec![]),
+        PrintF64 => (vec![ValType::F64], vec![]),
+        PrintStr => (vec![ValType::I32], vec![]),
+        Pow => (vec![ValType::F64, ValType::F64], vec![ValType::F64]),
+        _ => (vec![ValType::F64], vec![ValType::F64]),
+    }
+}
+
+fn binary_instr(op: HBinOp, ty: Ty) -> Instr {
+    use HBinOp::*;
+    match ty {
+        Ty::F64 => match op {
+            Add => Instr::F64Add,
+            Sub => Instr::F64Sub,
+            Mul => Instr::F64Mul,
+            Div => Instr::F64Div,
+            _ => unreachable!("sema rejects {op:?} on f64"),
+        },
+        Ty::F32 => match op {
+            Add => Instr::F32Add,
+            Sub => Instr::F32Sub,
+            Mul => Instr::F32Mul,
+            Div => Instr::F32Div,
+            _ => unreachable!("sema rejects {op:?} on f32"),
+        },
+        Ty::I64 { unsigned } => match op {
+            Add => Instr::I64Add,
+            Sub => Instr::I64Sub,
+            Mul => Instr::I64Mul,
+            Div => {
+                if unsigned {
+                    Instr::I64DivU
+                } else {
+                    Instr::I64DivS
+                }
+            }
+            Rem => {
+                if unsigned {
+                    Instr::I64RemU
+                } else {
+                    Instr::I64RemS
+                }
+            }
+            BitAnd => Instr::I64And,
+            BitOr => Instr::I64Or,
+            BitXor => Instr::I64Xor,
+            Shl => Instr::I64Shl,
+            Shr => {
+                if unsigned {
+                    Instr::I64ShrU
+                } else {
+                    Instr::I64ShrS
+                }
+            }
+        },
+        _ => {
+            let unsigned = ty.unsigned();
+            match op {
+                Add => Instr::I32Add,
+                Sub => Instr::I32Sub,
+                Mul => Instr::I32Mul,
+                Div => {
+                    if unsigned {
+                        Instr::I32DivU
+                    } else {
+                        Instr::I32DivS
+                    }
+                }
+                Rem => {
+                    if unsigned {
+                        Instr::I32RemU
+                    } else {
+                        Instr::I32RemS
+                    }
+                }
+                BitAnd => Instr::I32And,
+                BitOr => Instr::I32Or,
+                BitXor => Instr::I32Xor,
+                Shl => Instr::I32Shl,
+                Shr => {
+                    if unsigned {
+                        Instr::I32ShrU
+                    } else {
+                        Instr::I32ShrS
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn cmp_instr(op: HCmpOp, ty: Ty) -> Instr {
+    use HCmpOp::*;
+    match ty {
+        Ty::F64 => match op {
+            Eq => Instr::F64Eq,
+            Ne => Instr::F64Ne,
+            Lt => Instr::F64Lt,
+            Le => Instr::F64Le,
+            Gt => Instr::F64Gt,
+            Ge => Instr::F64Ge,
+        },
+        Ty::F32 => match op {
+            Eq => Instr::F32Eq,
+            Ne => Instr::F32Ne,
+            Lt => Instr::F32Lt,
+            Le => Instr::F32Le,
+            Gt => Instr::F32Gt,
+            Ge => Instr::F32Ge,
+        },
+        Ty::I64 { unsigned } => match (op, unsigned) {
+            (Eq, _) => Instr::I64Eq,
+            (Ne, _) => Instr::I64Ne,
+            (Lt, false) => Instr::I64LtS,
+            (Lt, true) => Instr::I64LtU,
+            (Le, false) => Instr::I64LeS,
+            (Le, true) => Instr::I64LeU,
+            (Gt, false) => Instr::I64GtS,
+            (Gt, true) => Instr::I64GtU,
+            (Ge, false) => Instr::I64GeS,
+            (Ge, true) => Instr::I64GeU,
+        },
+        _ => {
+            let unsigned = ty.unsigned();
+            match (op, unsigned) {
+                (Eq, _) => Instr::I32Eq,
+                (Ne, _) => Instr::I32Ne,
+                (Lt, false) => Instr::I32LtS,
+                (Lt, true) => Instr::I32LtU,
+                (Le, false) => Instr::I32LeS,
+                (Le, true) => Instr::I32LeU,
+                (Gt, false) => Instr::I32GtS,
+                (Gt, true) => Instr::I32GtU,
+                (Ge, false) => Instr::I32GeS,
+                (Ge, true) => Instr::I32GeU,
+            }
+        }
+    }
+}
+
+fn emit_cast(code: &mut Vec<Instr>, from: Ty, to: Ty) {
+    use Ty::*;
+    match (from, to) {
+        (a, b) if a == b => {}
+        (I32 { .. }, I64 { .. }) => code.push(if from.unsigned() {
+            Instr::I64ExtendI32U
+        } else {
+            Instr::I64ExtendI32S
+        }),
+        (I64 { .. }, I32 { .. }) => code.push(Instr::I32WrapI64),
+        (I32 { .. }, F64) => code.push(if from.unsigned() {
+            Instr::F64ConvertI32U
+        } else {
+            Instr::F64ConvertI32S
+        }),
+        (I32 { .. }, F32) => code.push(if from.unsigned() {
+            Instr::F32ConvertI32U
+        } else {
+            Instr::F32ConvertI32S
+        }),
+        (I64 { .. }, F64) => code.push(if from.unsigned() {
+            Instr::F64ConvertI64U
+        } else {
+            Instr::F64ConvertI64S
+        }),
+        (I64 { .. }, F32) => code.push(if from.unsigned() {
+            Instr::F32ConvertI64U
+        } else {
+            Instr::F32ConvertI64S
+        }),
+        (F64, I32 { unsigned }) => code.push(if unsigned {
+            Instr::I32TruncF64U
+        } else {
+            Instr::I32TruncF64S
+        }),
+        (F64, I64 { unsigned }) => code.push(if unsigned {
+            Instr::I64TruncF64U
+        } else {
+            Instr::I64TruncF64S
+        }),
+        (F32, I32 { unsigned }) => code.push(if unsigned {
+            Instr::I32TruncF32U
+        } else {
+            Instr::I32TruncF32S
+        }),
+        (F32, I64 { unsigned }) => code.push(if unsigned {
+            Instr::I64TruncF32U
+        } else {
+            Instr::I64TruncF32S
+        }),
+        (F32, F64) => code.push(Instr::F64PromoteF32),
+        (F64, F32) => code.push(Instr::F32DemoteF64),
+        (I32 { .. }, I32 { .. }) | (I64 { .. }, I64 { .. }) => {} // sign-only change
+        (F32, F32) | (F64, F64) => {}
+        (Void, _) | (_, Void) => {}
+    }
+}

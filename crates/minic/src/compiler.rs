@@ -1,0 +1,248 @@
+//! The top-level compiler driver: source → (transform) → HIR → pipeline →
+//! backend, mirroring the paper's Fig 2 steps 1–2.
+
+use crate::backend::{emit_js, emit_wasm, NativeProgram};
+use crate::backend::wasm::WasmEmitOptions;
+use crate::error::CompileError;
+use crate::hir::HProgram;
+use crate::opt::OptLevel;
+use crate::passes::{run_pipeline, TargetKind};
+use crate::transform::{transform_unit, TransformReport};
+use std::collections::HashMap;
+use wb_env::{CompilerProfile, Toolchain};
+
+/// Common compilation metadata.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// Which source-transformations were needed (§3.1 accounting).
+    pub transform: TransformReport,
+    /// Static data footprint in bytes.
+    pub data_bytes: u64,
+    /// Optimization level used.
+    pub level: OptLevel,
+    /// Toolchain profile used.
+    pub toolchain: Toolchain,
+}
+
+/// A compiled Wasm artifact.
+#[derive(Debug, Clone)]
+pub struct WasmOutput {
+    /// The module (validated).
+    pub module: wb_wasm::Module,
+    /// Encoded binary size in bytes — the Fig 5 code-size metric.
+    pub code_size: usize,
+    /// The `print_str` string table (bound to the `env.print_str` import
+    /// at instantiation).
+    pub strings: Vec<String>,
+    /// Common metadata.
+    pub info: CompileOutput,
+}
+
+/// A compiled JavaScript artifact.
+#[derive(Debug, Clone)]
+pub struct JsOutput {
+    /// MiniJS source text.
+    pub source: String,
+    /// Source size in bytes — the Fig 5 JS code-size metric (what ships
+    /// over the network and gets parsed).
+    pub code_size: usize,
+    /// Common metadata.
+    pub info: CompileOutput,
+}
+
+/// The MiniC compiler, configured like a command line:
+/// `cheerp -O2 -DN=400 -cheerp-linear-heap-size=...`.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    toolchain: Toolchain,
+    level: OptLevel,
+    defines: HashMap<String, String>,
+    heap_limit: Option<u64>,
+}
+
+impl Compiler {
+    /// A compiler for the given toolchain at `-O2` (the paper's baseline).
+    pub fn new(toolchain: Toolchain) -> Self {
+        Compiler {
+            toolchain,
+            level: OptLevel::O2,
+            defines: HashMap::new(),
+            heap_limit: None,
+        }
+    }
+
+    /// Cheerp at `-O2` (the study default).
+    pub fn cheerp() -> Self {
+        Self::new(Toolchain::Cheerp)
+    }
+
+    /// Emscripten at `-O2`.
+    pub fn emscripten() -> Self {
+        Self::new(Toolchain::Emscripten)
+    }
+
+    /// Set the optimization level.
+    pub fn opt_level(mut self, level: OptLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Add a `-D` style definition (dataset sizes, §3.2).
+    pub fn define(mut self, name: &str, value: impl ToString) -> Self {
+        self.defines.insert(name.to_string(), value.to_string());
+        self
+    }
+
+    /// Raise the linear heap limit (`cheerp-linear-heap-size`, §3.2).
+    pub fn heap_limit(mut self, bytes: u64) -> Self {
+        self.heap_limit = Some(bytes);
+        self
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// Front end: preprocess, parse, transform, analyze. Returns the
+    /// unoptimized HIR plus the transformation report.
+    pub fn frontend(&self, source: &str) -> Result<(HProgram, TransformReport), CompileError> {
+        let text = crate::preprocess::preprocess(source, &self.defines)?;
+        let tokens = crate::lexer::lex(&text)?;
+        let unit = crate::parser::parse(tokens)?;
+        let (unit, report) = transform_unit(&unit)?;
+        let hir = crate::sema::analyze(&unit)?;
+        Ok((hir, report))
+    }
+
+    fn optimized(&self, source: &str, target: TargetKind) -> Result<(HProgram, TransformReport), CompileError> {
+        let (mut hir, report) = self.frontend(source)?;
+        run_pipeline(&mut hir, self.level, target);
+        Ok((hir, report))
+    }
+
+    /// Compile to WebAssembly.
+    pub fn compile_wasm(&self, source: &str) -> Result<WasmOutput, CompileError> {
+        let (hir, transform) = self.optimized(source, TargetKind::Wasm)?;
+        let opts = WasmEmitOptions {
+            profile: CompilerProfile::of(self.toolchain),
+            heap_limit_bytes: self.heap_limit,
+            // -O0/-O1 keep plain f64 constants; O2+ rematerializes (Fig 8).
+            remat_int_consts: self.level >= OptLevel::O2 && self.level != OptLevel::O0,
+        };
+        let module = emit_wasm(&hir, &opts)?;
+        debug_assert!(
+            wb_wasm::validate(&module).is_ok(),
+            "backend must emit valid modules: {:?}",
+            wb_wasm::validate(&module)
+        );
+        let code_size = module.code_size();
+        Ok(WasmOutput {
+            code_size,
+            strings: hir.strings.clone(),
+            info: CompileOutput {
+                transform,
+                data_bytes: hir.static_data_bytes(),
+                level: self.level,
+                toolchain: self.toolchain,
+            },
+            module,
+        })
+    }
+
+    /// Compile to JavaScript (MiniJS source).
+    pub fn compile_js(&self, source: &str) -> Result<JsOutput, CompileError> {
+        let (hir, transform) = self.optimized(source, TargetKind::Js)?;
+        let js = emit_js(&hir)?;
+        Ok(JsOutput {
+            code_size: js.len(),
+            info: CompileOutput {
+                transform,
+                data_bytes: hir.static_data_bytes(),
+                level: self.level,
+                toolchain: self.toolchain,
+            },
+            source: js,
+        })
+    }
+
+    /// Compile for the native simulator (the x86 control, Fig 6).
+    pub fn compile_native(&self, source: &str) -> Result<NativeProgram, CompileError> {
+        let (hir, _transform) = self.optimized(source, TargetKind::Native)?;
+        Ok(NativeProgram::new(hir))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL: &str = "#define N 8\n\
+                          double A[N][N];\n\
+                          void k() {\n\
+                            for (int i = 0; i < N; i++)\n\
+                              for (int j = 0; j < N; j++)\n\
+                                A[i][j] = (double)(i * j) / N;\n\
+                          }\n\
+                          double checksum() {\n\
+                            double s = 0.0;\n\
+                            for (int i = 0; i < N; i++)\n\
+                              for (int j = 0; j < N; j++)\n\
+                                s = s + A[i][j];\n\
+                            return s;\n\
+                          }";
+
+    #[test]
+    fn compiles_to_all_three_targets() {
+        let c = Compiler::cheerp();
+        let wasm = c.compile_wasm(KERNEL).unwrap();
+        assert!(wb_wasm::validate(&wasm.module).is_ok());
+        assert!(wasm.code_size > 0);
+        let js = c.compile_js(KERNEL).unwrap();
+        assert!(js.source.contains("function k("));
+        let native = c.compile_native(KERNEL).unwrap();
+        native.run("k", &[]).unwrap();
+    }
+
+    #[test]
+    fn defines_override_dataset() {
+        let c = Compiler::cheerp().define("N", 4);
+        let wasm = c.compile_wasm(KERNEL).unwrap();
+        assert_eq!(wasm.info.data_bytes, 4 * 4 * 8);
+    }
+
+    #[test]
+    fn heap_limit_enforced_and_raisable() {
+        let big = "#define N 1200\ndouble A[N][N]; double k() { A[0][0] = 1.0; return A[0][0]; }";
+        // 1200² × 8 = 11.5 MB > the 8 MiB Cheerp default (§3.2).
+        let c = Compiler::cheerp();
+        assert!(matches!(
+            c.compile_wasm(big),
+            Err(CompileError::Codegen { .. })
+        ));
+        let c = Compiler::cheerp().heap_limit(64 << 20);
+        assert!(c.compile_wasm(big).is_ok());
+    }
+
+    #[test]
+    fn opt_levels_change_artifacts() {
+        let o1 = Compiler::cheerp().opt_level(OptLevel::O1);
+        let o2 = Compiler::cheerp().opt_level(OptLevel::O2);
+        let w1 = o1.compile_wasm(KERNEL).unwrap();
+        let w2 = o2.compile_wasm(KERNEL).unwrap();
+        assert_ne!(w1.module, w2.module, "O1 and O2 emit different code");
+    }
+
+    #[test]
+    fn emscripten_reserves_16_mib() {
+        let w = Compiler::emscripten().compile_wasm(KERNEL).unwrap();
+        let mem = w.module.memory.unwrap();
+        assert!(mem.limits.min >= 256);
+        // Cheerp stays near the data size.
+        let c = Compiler::cheerp().compile_wasm(KERNEL).unwrap();
+        assert!(c.module.memory.unwrap().limits.min < 16);
+        // And Cheerp emits a start function that grows memory at runtime.
+        assert!(c.module.start.is_some());
+        assert!(w.module.start.is_none());
+    }
+}

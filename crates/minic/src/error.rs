@@ -1,0 +1,61 @@
+//! MiniC compiler errors.
+
+use std::fmt;
+
+/// Any error raised during preprocessing, parsing, transformation,
+/// semantic analysis or code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Lexical error.
+    Lex {
+        /// 1-based line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// A construct the target toolchain does not support (§3.1): the
+    /// paper's Cheerp profile rejects exceptions and unions until the
+    /// source transformer rewrites them.
+    Unsupported {
+        /// What was found.
+        construct: String,
+        /// Hint about the available transformation.
+        hint: String,
+    },
+    /// Type error or other semantic problem.
+    Sema {
+        /// Description.
+        message: String,
+    },
+    /// Code generation limit (e.g. heap exceeding the configured
+    /// `cheerp-linear-heap-size`, §3.2).
+    Codegen {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
+            CompileError::Parse { line, message } => {
+                write!(f, "parse error (line {line}): {message}")
+            }
+            CompileError::Unsupported { construct, hint } => {
+                write!(f, "unsupported construct: {construct} ({hint})")
+            }
+            CompileError::Sema { message } => write!(f, "semantic error: {message}"),
+            CompileError::Codegen { message } => write!(f, "codegen error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

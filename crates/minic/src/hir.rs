@@ -1,0 +1,597 @@
+//! Typed high-level IR: the representation the optimization passes
+//! transform and the three backends lower.
+
+/// Scalar value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit integer.
+    I32 {
+        /// Unsigned semantics for div/rem/shift/compare.
+        unsigned: bool,
+    },
+    /// 64-bit integer.
+    I64 {
+        /// Unsigned semantics.
+        unsigned: bool,
+    },
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// No value (function returns only).
+    Void,
+}
+
+impl Ty {
+    /// Signed 32-bit int, the C `int`.
+    pub const INT: Ty = Ty::I32 { unsigned: false };
+
+    /// True for F32/F64.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// True for I32/I64.
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I32 { .. } | Ty::I64 { .. })
+    }
+
+    /// Unsigned flag (false for floats).
+    pub fn unsigned(self) -> bool {
+        matches!(self, Ty::I32 { unsigned: true } | Ty::I64 { unsigned: true })
+    }
+}
+
+/// Array element storage types (narrower than scalar types: byte arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemTy {
+    /// 1-byte integer element (C `char` arrays).
+    I8 {
+        /// Unsigned load semantics.
+        unsigned: bool,
+    },
+    /// 4-byte integer element.
+    I32 {
+        /// Unsigned semantics.
+        unsigned: bool,
+    },
+    /// 8-byte integer element.
+    I64 {
+        /// Unsigned semantics.
+        unsigned: bool,
+    },
+    /// 4-byte float element.
+    F32,
+    /// 8-byte float element.
+    F64,
+}
+
+impl ElemTy {
+    /// Element width in bytes.
+    pub fn width(self) -> u32 {
+        match self {
+            ElemTy::I8 { .. } => 1,
+            ElemTy::I32 { .. } | ElemTy::F32 => 4,
+            ElemTy::I64 { .. } | ElemTy::F64 => 8,
+        }
+    }
+
+    /// Scalar type an element loads to (C integer promotion: i8 → i32).
+    pub fn loaded_ty(self) -> Ty {
+        match self {
+            ElemTy::I8 { unsigned } => Ty::I32 { unsigned },
+            ElemTy::I32 { unsigned } => Ty::I32 { unsigned },
+            ElemTy::I64 { unsigned } => Ty::I64 { unsigned },
+            ElemTy::F32 => Ty::F32,
+            ElemTy::F64 => Ty::F64,
+        }
+    }
+}
+
+/// Index types.
+pub type LocalId = u32;
+/// Index into [`HProgram::globals`].
+pub type GlobalId = u32;
+/// Index into [`HProgram::arrays`].
+pub type ArrayId = u32;
+/// Index into [`HProgram::funcs`].
+pub type FuncId = u32;
+/// Index into [`HProgram::strings`].
+pub type StrId = u32;
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstVal {
+    /// Integer (any width; truncated by storage).
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl ConstVal {
+    /// As f64 (for float storage).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            ConstVal::I(v) => v as f64,
+            ConstVal::F(v) => v,
+        }
+    }
+
+    /// As i64 (truncating floats).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            ConstVal::I(v) => v,
+            ConstVal::F(v) => v as i64,
+        }
+    }
+}
+
+/// A global scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HGlobal {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Initial value.
+    pub init: ConstVal,
+}
+
+/// A global array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HArray {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub elem: ElemTy,
+    /// Dimensions (all constant).
+    pub dims: Vec<u32>,
+    /// Flattened row-major initializer (padded with zeros), if any.
+    pub init: Option<Vec<ConstVal>>,
+    /// Declared `const` (data tables).
+    pub is_const: bool,
+}
+
+impl HArray {
+    /// Total element count.
+    pub fn len(&self) -> u64 {
+        self.dims.iter().map(|d| *d as u64).product()
+    }
+
+    /// True when zero-sized (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.len() * self.elem.width() as u64
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HUnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (result i32 0/1).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Binary arithmetic operators (operands pre-converted to the result type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum HBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+/// Comparison operators (result is i32 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum HCmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Intrinsics: the MiniC runtime (§3.2's "alternative implementations of
+/// the functions in those missing libraries").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `sqrt(double)` — a native instruction on every target.
+    Sqrt,
+    /// `fabs(double)`.
+    Fabs,
+    /// `floor(double)`.
+    Floor,
+    /// `ceil(double)`.
+    Ceil,
+    /// `trunc(double)`.
+    TruncF,
+    /// `exp(double)` — host `Math` call on the Wasm target.
+    Exp,
+    /// `log(double)`.
+    Log,
+    /// `sin(double)`.
+    Sin,
+    /// `cos(double)`.
+    Cos,
+    /// `tan(double)`.
+    Tan,
+    /// `atan(double)`.
+    Atan,
+    /// `pow(double, double)`.
+    Pow,
+    /// `print_int(int)` — the minimal stdio replacement.
+    PrintI32,
+    /// `print_long(long)`.
+    PrintI64,
+    /// `print_double(double)`.
+    PrintF64,
+    /// `print_str("...")`.
+    PrintStr,
+    /// `__f64_bits(double) -> long` (union transform).
+    F64Bits,
+    /// `__f64_from_bits(long) -> double`.
+    F64FromBits,
+    /// `__f32_bits(float) -> int`.
+    F32Bits,
+    /// `__f32_from_bits(int) -> float`.
+    F32FromBits,
+}
+
+impl Intrinsic {
+    /// Look up an intrinsic by its C-visible name.
+    pub fn by_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sqrt" | "sqrtf" => Intrinsic::Sqrt,
+            "fabs" | "fabsf" => Intrinsic::Fabs,
+            "floor" => Intrinsic::Floor,
+            "ceil" => Intrinsic::Ceil,
+            "trunc" => Intrinsic::TruncF,
+            "exp" | "expf" => Intrinsic::Exp,
+            "log" | "logf" => Intrinsic::Log,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "tan" => Intrinsic::Tan,
+            "atan" => Intrinsic::Atan,
+            "pow" | "powf" => Intrinsic::Pow,
+            "print_int" => Intrinsic::PrintI32,
+            "print_long" => Intrinsic::PrintI64,
+            "print_double" => Intrinsic::PrintF64,
+            "print_str" => Intrinsic::PrintStr,
+            "__f64_bits" => Intrinsic::F64Bits,
+            "__f64_from_bits" => Intrinsic::F64FromBits,
+            "__f32_bits" => Intrinsic::F32Bits,
+            "__f32_from_bits" => Intrinsic::F32FromBits,
+            _ => return None,
+        })
+    }
+
+    /// Result type.
+    pub fn ret_ty(self) -> Ty {
+        use Intrinsic::*;
+        match self {
+            Sqrt | Fabs | Floor | Ceil | TruncF | Exp | Log | Sin | Cos | Tan | Atan | Pow => {
+                Ty::F64
+            }
+            F64FromBits => Ty::F64,
+            F32FromBits => Ty::F32,
+            F64Bits => Ty::I64 { unsigned: false },
+            F32Bits => Ty::I32 { unsigned: false },
+            PrintI32 | PrintI64 | PrintF64 | PrintStr => Ty::Void,
+        }
+    }
+
+    /// True for intrinsics the Wasm target lowers to a single native
+    /// instruction (the rest become host `Math` imports).
+    pub fn wasm_native(self) -> bool {
+        use Intrinsic::*;
+        matches!(
+            self,
+            Sqrt | Fabs | Floor | Ceil | TruncF | F64Bits | F64FromBits | F32Bits | F32FromBits
+        )
+    }
+}
+
+/// Callee of a call expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Callee {
+    /// User-defined function.
+    Func(FuncId),
+    /// Runtime intrinsic.
+    Intrinsic(Intrinsic),
+}
+
+/// L-values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HLval {
+    /// Function local / parameter.
+    Local(LocalId),
+    /// Global scalar.
+    Global(GlobalId),
+    /// Global array element.
+    Elem {
+        /// Which array.
+        array: ArrayId,
+        /// One index per dimension.
+        idx: Vec<HExpr>,
+    },
+}
+
+/// Expressions. Every node carries its result type; sema inserts explicit
+/// [`HExpr::Cast`]s so the backends never guess conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HExpr {
+    /// Integer constant of the given type.
+    ConstI(i64, Ty),
+    /// Float constant of the given type.
+    ConstF(f64, Ty),
+    /// Local read.
+    Local(LocalId, Ty),
+    /// Global scalar read.
+    Global(GlobalId, Ty),
+    /// Array element read (promoted to `ty`).
+    Elem {
+        /// Which array.
+        array: ArrayId,
+        /// One index per dimension (each i32).
+        idx: Vec<HExpr>,
+        /// Loaded (promoted) type.
+        ty: Ty,
+    },
+    /// Unary op.
+    Unary(HUnOp, Box<HExpr>, Ty),
+    /// Arithmetic binary op; both operands already have type `ty`.
+    Binary(HBinOp, Box<HExpr>, Box<HExpr>, Ty),
+    /// Comparison; result i32, `ty` is the *operand* type.
+    Cmp(HCmpOp, Box<HExpr>, Box<HExpr>, Ty),
+    /// Short-circuit `&&` (result i32 0/1).
+    And(Box<HExpr>, Box<HExpr>),
+    /// Short-circuit `||`.
+    Or(Box<HExpr>, Box<HExpr>),
+    /// `cond ? a : b`; arms have type `ty`.
+    Ternary(Box<HExpr>, Box<HExpr>, Box<HExpr>, Ty),
+    /// Call.
+    Call {
+        /// Target.
+        callee: Callee,
+        /// Arguments (converted to parameter types).
+        args: Vec<HExpr>,
+        /// Result type.
+        ty: Ty,
+        /// For `print_str`: the string id.
+        str_arg: Option<StrId>,
+    },
+    /// Numeric conversion.
+    Cast {
+        /// Destination type.
+        to: Ty,
+        /// Source type.
+        from: Ty,
+        /// Operand.
+        expr: Box<HExpr>,
+    },
+    /// Assignment as an expression (yields the stored value, typed as the
+    /// l-value's type).
+    AssignExpr {
+        /// Destination.
+        lhs: Box<HLval>,
+        /// Value (already converted to the destination type).
+        value: Box<HExpr>,
+        /// The destination type.
+        ty: Ty,
+    },
+}
+
+impl HExpr {
+    /// Result type of this expression.
+    pub fn ty(&self) -> Ty {
+        match self {
+            HExpr::ConstI(_, t) | HExpr::ConstF(_, t) => *t,
+            HExpr::Local(_, t) | HExpr::Global(_, t) => *t,
+            HExpr::Elem { ty, .. } => *ty,
+            HExpr::Unary(_, _, t) => *t,
+            HExpr::Binary(_, _, _, t) => *t,
+            HExpr::Cmp(..) | HExpr::And(..) | HExpr::Or(..) => Ty::INT,
+            HExpr::Ternary(_, _, _, t) => *t,
+            HExpr::Call { ty, .. } => *ty,
+            HExpr::Cast { to, .. } => *to,
+            HExpr::AssignExpr { ty, .. } => *ty,
+        }
+    }
+}
+
+/// Loop flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for` / `while`: condition tested before the body.
+    PreTest,
+    /// `do … while`: body runs at least once.
+    PostTest,
+}
+
+/// Optimization metadata attached to loops by the passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopMeta {
+    /// Vector width chosen by `-vectorize-loops` (1 = scalar).
+    pub vector_width: u32,
+}
+
+impl Default for LoopMeta {
+    fn default() -> Self {
+        LoopMeta { vector_width: 1 }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HStmt {
+    /// Local declaration (slot allocated in [`HFunc::locals`]).
+    DeclLocal {
+        /// Slot.
+        id: LocalId,
+        /// Initializer (converted to the local's type).
+        init: Option<HExpr>,
+    },
+    /// `lhs = value` (value already converted).
+    Assign {
+        /// Destination.
+        lhs: HLval,
+        /// Source.
+        value: HExpr,
+    },
+    /// Expression for side effects (calls).
+    Expr(HExpr),
+    /// `if`/`else`.
+    If(HExpr, Vec<HStmt>, Vec<HStmt>),
+    /// Unified loop.
+    Loop {
+        /// Pre- or post-test.
+        kind: LoopKind,
+        /// Init statements (run once).
+        init: Vec<HStmt>,
+        /// Condition (`None` = infinite until `break`).
+        cond: Option<HExpr>,
+        /// Step statements (run per iteration; `continue` target).
+        step: Vec<HStmt>,
+        /// Body.
+        body: Vec<HStmt>,
+        /// Pass-attached metadata.
+        meta: LoopMeta,
+    },
+    /// `return`.
+    Return(Option<HExpr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// Lowered `switch` (arms are break-terminated by construction).
+    Switch {
+        /// Scrutinee (i32).
+        scrut: HExpr,
+        /// `(case value, body)` arms.
+        cases: Vec<(i64, Vec<HStmt>)>,
+        /// `default` body.
+        default: Vec<HStmt>,
+    },
+    /// Scope-less grouping.
+    Block(Vec<HStmt>),
+}
+
+/// A function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HFunc {
+    /// Name.
+    pub name: String,
+    /// Parameter types (params occupy locals `0..params.len()`).
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+    /// All local slots including params (name, type).
+    pub locals: Vec<(String, Ty)>,
+    /// Body.
+    pub body: Vec<HStmt>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HProgram {
+    /// Global scalars.
+    pub globals: Vec<HGlobal>,
+    /// Global arrays.
+    pub arrays: Vec<HArray>,
+    /// Functions.
+    pub funcs: Vec<HFunc>,
+    /// String literals (`print_str` arguments).
+    pub strings: Vec<String>,
+    /// Set by the `-Ofast` pipeline; only the native backend can honor it.
+    pub fast_math: bool,
+}
+
+impl HProgram {
+    /// Find a function by name.
+    pub fn func(&self, name: &str) -> Option<(FuncId, &HFunc)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (i as FuncId, f))
+    }
+
+    /// Total static data bytes (array storage), the driver of the paper's
+    /// memory curves.
+    pub fn static_data_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_promotion() {
+        assert_eq!(
+            ElemTy::I8 { unsigned: true }.loaded_ty(),
+            Ty::I32 { unsigned: true }
+        );
+        assert_eq!(ElemTy::F64.loaded_ty(), Ty::F64);
+        assert_eq!(ElemTy::I8 { unsigned: false }.width(), 1);
+        assert_eq!(ElemTy::F64.width(), 8);
+    }
+
+    #[test]
+    fn array_sizes() {
+        let a = HArray {
+            name: "A".into(),
+            elem: ElemTy::F64,
+            dims: vec![10, 20],
+            init: None,
+            is_const: false,
+        };
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.byte_size(), 1600);
+    }
+
+    #[test]
+    fn intrinsic_lookup() {
+        assert_eq!(Intrinsic::by_name("sqrt"), Some(Intrinsic::Sqrt));
+        assert_eq!(Intrinsic::by_name("print_double"), Some(Intrinsic::PrintF64));
+        assert_eq!(Intrinsic::by_name("nope"), None);
+        assert!(Intrinsic::Sqrt.wasm_native());
+        assert!(!Intrinsic::Exp.wasm_native());
+    }
+
+    #[test]
+    fn expr_types() {
+        let e = HExpr::Binary(
+            HBinOp::Add,
+            Box::new(HExpr::ConstF(1.0, Ty::F64)),
+            Box::new(HExpr::ConstF(2.0, Ty::F64)),
+            Ty::F64,
+        );
+        assert_eq!(e.ty(), Ty::F64);
+        let c = HExpr::Cmp(
+            HCmpOp::Lt,
+            Box::new(HExpr::ConstI(1, Ty::INT)),
+            Box::new(HExpr::ConstI(2, Ty::INT)),
+            Ty::INT,
+        );
+        assert_eq!(c.ty(), Ty::INT);
+    }
+}

@@ -1,0 +1,58 @@
+//! Linear-memory layout for global arrays (Wasm/native targets).
+
+use crate::hir::{ArrayId, HProgram};
+
+/// Byte placement of every global array, plus totals.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    /// Base byte offset per array (indexed by [`ArrayId`]).
+    pub array_base: Vec<u64>,
+    /// First byte past the static data.
+    pub data_end: u64,
+}
+
+/// Arrays are placed in declaration order, each 8-byte aligned, starting
+/// past a small reserved region (address 0 stays unmapped-ish, like real
+/// toolchains keep the null page).
+pub fn layout(p: &HProgram) -> Layout {
+    const BASE: u64 = 1024;
+    let mut offset = BASE;
+    let mut array_base = Vec::with_capacity(p.arrays.len());
+    for a in &p.arrays {
+        offset = (offset + 7) & !7;
+        array_base.push(offset);
+        offset += a.byte_size();
+    }
+    Layout {
+        array_base,
+        data_end: offset,
+    }
+}
+
+impl Layout {
+    /// Base offset of an array.
+    pub fn base(&self, id: ArrayId) -> u64 {
+        self.array_base[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    #[test]
+    fn arrays_are_aligned_and_disjoint() {
+        let p = analyze(
+            &parse(lex("char c[3]; double d[4]; int i[5];").unwrap()).unwrap(),
+        )
+        .unwrap();
+        let l = layout(&p);
+        assert_eq!(l.array_base.len(), 3);
+        assert_eq!(l.base(0), 1024);
+        assert_eq!(l.base(1) % 8, 0);
+        assert!(l.base(1) >= 1024 + 3);
+        assert_eq!(l.base(2), l.base(1) + 32);
+        assert_eq!(l.data_end, l.base(2) + 20);
+    }
+}

@@ -1,0 +1,478 @@
+//! MiniC lexer.
+
+use crate::error::CompileError;
+
+/// A MiniC token.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // 1:1 with C lexemes.
+pub enum Tok {
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    CharLit(i64),
+    Ident(String),
+    // Keywords.
+    KwInt,
+    KwLong,
+    KwChar,
+    KwFloat,
+    KwDouble,
+    KwVoid,
+    KwUnsigned,
+    KwSigned,
+    KwConst,
+    KwStatic,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwUnion,
+    KwStruct,
+    KwTry,
+    KwCatch,
+    KwThrow,
+    KwSizeof,
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Ellipsis,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Eof,
+}
+
+/// Token + 1-based line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Line number.
+    pub line: u32,
+}
+
+/// Tokenize preprocessed MiniC source.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Token { tok: $t, line })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= chars.len() {
+                    return Err(CompileError::Lex {
+                        line,
+                        message: "unterminated comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                if c == '0' && matches!(chars.get(i + 1), Some('x') | Some('X')) {
+                    i += 2;
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start + 2..i].iter().collect();
+                    let v = i64::from_str_radix(&text, 16)
+                        .or_else(|_| u64::from_str_radix(&text, 16).map(|u| u as i64))
+                        .map_err(|_| CompileError::Lex {
+                            line,
+                            message: format!("bad hex literal 0x{text}"),
+                        })?;
+                    // Integer suffixes (u, l, ll, ull…) are consumed and ignored.
+                    while matches!(chars.get(i), Some('u') | Some('U') | Some('l') | Some('L')) {
+                        i += 1;
+                    }
+                    push!(Tok::IntLit(v));
+                    continue;
+                }
+                while i < chars.len() {
+                    match chars[i] {
+                        '0'..='9' => i += 1,
+                        '.' => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        'e' | 'E' => {
+                            is_float = true;
+                            i += 1;
+                            if matches!(chars.get(i), Some('+') | Some('-')) {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| CompileError::Lex {
+                        line,
+                        message: format!("bad float literal {text}"),
+                    })?;
+                    if matches!(chars.get(i), Some('f') | Some('F') | Some('l') | Some('L')) {
+                        i += 1;
+                    }
+                    push!(Tok::FloatLit(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .or_else(|_| text.parse::<u64>().map(|u| u as i64))
+                        .map_err(|_| CompileError::Lex {
+                            line,
+                            message: format!("bad int literal {text}"),
+                        })?;
+                    while matches!(chars.get(i), Some('u') | Some('U') | Some('l') | Some('L')) {
+                        i += 1;
+                    }
+                    push!(Tok::IntLit(v));
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(CompileError::Lex {
+                                line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            let esc = chars.get(i + 1).copied().unwrap_or('\\');
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '0' => '\0',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::StrLit(s));
+            }
+            '\'' => {
+                i += 1;
+                let v = match chars.get(i) {
+                    Some('\\') => {
+                        let esc = chars.get(i + 1).copied().unwrap_or('\\');
+                        i += 2;
+                        match esc {
+                            'n' => '\n' as i64,
+                            't' => '\t' as i64,
+                            '0' => 0,
+                            other => other as i64,
+                        }
+                    }
+                    Some(&ch) => {
+                        i += 1;
+                        ch as i64
+                    }
+                    None => {
+                        return Err(CompileError::Lex {
+                            line,
+                            message: "unterminated char literal".into(),
+                        })
+                    }
+                };
+                if chars.get(i) != Some(&'\'') {
+                    return Err(CompileError::Lex {
+                        line,
+                        message: "unterminated char literal".into(),
+                    });
+                }
+                i += 1;
+                push!(Tok::CharLit(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                push!(match word.as_str() {
+                    "int" => Tok::KwInt,
+                    "long" => Tok::KwLong,
+                    "char" => Tok::KwChar,
+                    "float" => Tok::KwFloat,
+                    "double" => Tok::KwDouble,
+                    "void" => Tok::KwVoid,
+                    "unsigned" => Tok::KwUnsigned,
+                    "signed" => Tok::KwSigned,
+                    "const" => Tok::KwConst,
+                    "static" => Tok::KwStatic,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "do" => Tok::KwDo,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "switch" => Tok::KwSwitch,
+                    "case" => Tok::KwCase,
+                    "default" => Tok::KwDefault,
+                    "union" => Tok::KwUnion,
+                    "struct" => Tok::KwStruct,
+                    "try" => Tok::KwTry,
+                    "catch" => Tok::KwCatch,
+                    "throw" => Tok::KwThrow,
+                    "sizeof" => Tok::KwSizeof,
+                    _ => Tok::Ident(word),
+                });
+            }
+            _ => {
+                let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+                let (tok, len) = if rest.starts_with("...") {
+                    (Tok::Ellipsis, 3)
+                } else if rest.starts_with("<<=") {
+                    (Tok::ShlAssign, 3)
+                } else if rest.starts_with(">>=") {
+                    (Tok::ShrAssign, 3)
+                } else if rest.starts_with("==") {
+                    (Tok::EqEq, 2)
+                } else if rest.starts_with("!=") {
+                    (Tok::NotEq, 2)
+                } else if rest.starts_with("<=") {
+                    (Tok::Le, 2)
+                } else if rest.starts_with(">=") {
+                    (Tok::Ge, 2)
+                } else if rest.starts_with("&&") {
+                    (Tok::AndAnd, 2)
+                } else if rest.starts_with("||") {
+                    (Tok::OrOr, 2)
+                } else if rest.starts_with("<<") {
+                    (Tok::Shl, 2)
+                } else if rest.starts_with(">>") {
+                    (Tok::Shr, 2)
+                } else if rest.starts_with("++") {
+                    (Tok::PlusPlus, 2)
+                } else if rest.starts_with("--") {
+                    (Tok::MinusMinus, 2)
+                } else if rest.starts_with("+=") {
+                    (Tok::PlusAssign, 2)
+                } else if rest.starts_with("-=") {
+                    (Tok::MinusAssign, 2)
+                } else if rest.starts_with("*=") {
+                    (Tok::StarAssign, 2)
+                } else if rest.starts_with("/=") {
+                    (Tok::SlashAssign, 2)
+                } else if rest.starts_with("%=") {
+                    (Tok::PercentAssign, 2)
+                } else if rest.starts_with("&=") {
+                    (Tok::AmpAssign, 2)
+                } else if rest.starts_with("|=") {
+                    (Tok::PipeAssign, 2)
+                } else if rest.starts_with("^=") {
+                    (Tok::CaretAssign, 2)
+                } else {
+                    let single = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        ':' => Tok::Colon,
+                        '?' => Tok::Question,
+                        '.' => Tok::Dot,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '!' => Tok::Not,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        '~' => Tok::Tilde,
+                        other => {
+                            return Err(CompileError::Lex {
+                                line,
+                                message: format!("unexpected character '{other}'"),
+                            })
+                        }
+                    };
+                    (single, 1)
+                };
+                push!(tok);
+                i += len;
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn c_declaration() {
+        assert_eq!(
+            toks("double A[40][40];"),
+            vec![
+                Tok::KwDouble,
+                Tok::Ident("A".into()),
+                Tok::LBracket,
+                Tok::IntLit(40),
+                Tok::RBracket,
+                Tok::LBracket,
+                Tok::IntLit(40),
+                Tok::RBracket,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(toks("0xffUL")[0], Tok::IntLit(255));
+        assert_eq!(toks("1.5e3")[0], Tok::FloatLit(1500.0));
+        assert_eq!(toks("2.0f")[0], Tok::FloatLit(2.0));
+        assert_eq!(toks("'A'")[0], Tok::CharLit(65));
+        assert_eq!(toks("0x8000000000000000")[0], Tok::IntLit(i64::MIN));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a >>= b <<= c != d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ShrAssign,
+                Tok::Ident("b".into()),
+                Tok::ShlAssign,
+                Tok::Ident("c".into()),
+                Tok::NotEq,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_exception_tokens() {
+        assert_eq!(
+            toks("try { throw 1; } catch (...) {}"),
+            vec![
+                Tok::KwTry,
+                Tok::LBrace,
+                Tok::KwThrow,
+                Tok::IntLit(1),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::KwCatch,
+                Tok::LParen,
+                Tok::Ellipsis,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("/* x */ 1 // y"), vec![Tok::IntLit(1), Tok::Eof]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Optimization levels (§2.1.2, Fig 1).
+
+use std::fmt;
+
+/// A `-O` level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization.
+    O0,
+    /// Basic optimizations (`-globalopt` and friends).
+    O1,
+    /// The balanced default; the paper's baseline.
+    O2,
+    /// Everything in O2 plus compile-time-expensive passes
+    /// (`-argpromotion`, wider inlining). `-O4` is treated as `-O3`
+    /// (identical for Cheerp, §2.1.2).
+    O3,
+    /// Fastest-code mode: O3 plus fast-math.
+    Ofast,
+    /// Size-leaning O2 (drops `-libcalls-shrinkwrap`).
+    Os,
+    /// Smallest code: additionally drops `-vectorize-loops`.
+    Oz,
+}
+
+impl OptLevel {
+    /// The four levels the paper evaluates (§3.2).
+    pub const EVALUATED: [OptLevel; 4] = [OptLevel::O1, OptLevel::O2, OptLevel::Ofast, OptLevel::Oz];
+
+    /// All levels.
+    pub const ALL: [OptLevel; 7] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Ofast,
+        OptLevel::Os,
+        OptLevel::Oz,
+    ];
+
+    /// Command-line style name (`-O2` → `"O2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::Ofast => "Ofast",
+            OptLevel::Os => "Os",
+            OptLevel::Oz => "Oz",
+        }
+    }
+
+    /// Parse `"O2"` / `"-O2"` / `"o2"`.
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        let s = s.trim_start_matches('-');
+        Some(match s.to_ascii_lowercase().as_str() {
+            "o0" => OptLevel::O0,
+            "o1" => OptLevel::O1,
+            "o2" => OptLevel::O2,
+            "o3" | "o4" => OptLevel::O3,
+            "ofast" => OptLevel::Ofast,
+            "os" => OptLevel::Os,
+            "oz" => OptLevel::Oz,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "-{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for l in OptLevel::ALL {
+            assert_eq!(OptLevel::parse(l.name()), Some(l));
+            assert_eq!(OptLevel::parse(&format!("-{}", l.name())), Some(l));
+        }
+        assert_eq!(OptLevel::parse("O4"), Some(OptLevel::O3));
+        assert_eq!(OptLevel::parse("O9"), None);
+    }
+
+    #[test]
+    fn display_is_flag_style() {
+        assert_eq!(OptLevel::Ofast.to_string(), "-Ofast");
+    }
+}

@@ -1,0 +1,874 @@
+//! MiniC recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{Tok, Token};
+
+/// Parse a token stream into a [`Unit`].
+pub fn parse(tokens: Vec<Token>) -> Result<Unit, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at(&Tok::Eof) {
+        p.item_into(&mut items)?;
+    }
+    Ok(Unit { items })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.at(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> CompileError {
+        CompileError::Parse {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Is the current token the start of a type name?
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwInt
+                | Tok::KwLong
+                | Tok::KwChar
+                | Tok::KwFloat
+                | Tok::KwDouble
+                | Tok::KwVoid
+                | Tok::KwUnsigned
+                | Tok::KwSigned
+                | Tok::KwConst
+                | Tok::KwStatic
+                | Tok::KwUnion
+        )
+    }
+
+    /// Parse a type name: `[const|static] [unsigned|signed] base…`.
+    /// Returns `(type, is_const)`.
+    fn type_name(&mut self) -> Result<(TypeName, bool), CompileError> {
+        let mut is_const = false;
+        let mut unsigned = false;
+        let mut signed_seen = false;
+        loop {
+            match self.peek() {
+                Tok::KwConst => {
+                    is_const = true;
+                    self.bump();
+                }
+                Tok::KwStatic => {
+                    self.bump();
+                }
+                Tok::KwUnsigned => {
+                    unsigned = true;
+                    self.bump();
+                }
+                Tok::KwSigned => {
+                    signed_seen = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let _ = signed_seen;
+        let base = match self.peek().clone() {
+            Tok::KwInt => {
+                self.bump();
+                TypeName::Int { unsigned }
+            }
+            Tok::KwLong => {
+                self.bump();
+                // `long long`, `long int`, `long long int`.
+                while matches!(self.peek(), Tok::KwLong | Tok::KwInt) {
+                    self.bump();
+                }
+                TypeName::Long { unsigned }
+            }
+            Tok::KwChar => {
+                self.bump();
+                TypeName::Char { unsigned }
+            }
+            Tok::KwFloat => {
+                self.bump();
+                TypeName::Float
+            }
+            Tok::KwDouble => {
+                self.bump();
+                TypeName::Double
+            }
+            Tok::KwVoid => {
+                self.bump();
+                TypeName::Void
+            }
+            Tok::KwUnion => {
+                self.bump();
+                let tag = self.ident()?;
+                TypeName::Union(tag)
+            }
+            _ if unsigned => TypeName::Int { unsigned: true }, // bare `unsigned`
+            other => return Err(self.err(format!("expected type, found {other:?}"))),
+        };
+        // Trailing `const` (e.g. `double const`).
+        if self.eat(&Tok::KwConst) {
+            is_const = true;
+        }
+        Ok((base, is_const))
+    }
+
+    fn item_into(&mut self, items: &mut Vec<Item>) -> Result<(), CompileError> {
+        // `union U { fields };` definition.
+        if self.at(&Tok::KwUnion) {
+            let save = self.pos;
+            self.bump();
+            let name = self.ident()?;
+            if self.at(&Tok::LBrace) {
+                self.bump();
+                let mut fields = Vec::new();
+                while !self.at(&Tok::RBrace) {
+                    let (ty, _) = self.type_name()?;
+                    let fname = self.ident()?;
+                    self.expect(&Tok::Semi, "';'")?;
+                    fields.push((ty, fname));
+                }
+                self.expect(&Tok::RBrace, "'}'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                items.push(Item::UnionDef { name, fields });
+                return Ok(());
+            }
+            // `union U var;` — rewind and fall through to global/func path.
+            self.pos = save;
+        }
+
+        let (ty, is_const) = self.type_name()?;
+        let name = self.ident()?;
+        if self.at(&Tok::LParen) {
+            // Function definition.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.at(&Tok::RParen) {
+                if self.at(&Tok::KwVoid) && self.tokens[self.pos + 1].tok == Tok::RParen {
+                    self.bump(); // f(void)
+                } else {
+                    loop {
+                        let (pty, _) = self.type_name()?;
+                        let pname = self.ident()?;
+                        params.push((pty, pname));
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "')'")?;
+            let body = self.compound()?;
+            items.push(Item::Func {
+                ret: ty,
+                name,
+                params,
+                body,
+            });
+            return Ok(());
+        }
+        // Global scalars/arrays, possibly a comma-separated declarator list.
+        let mut name = name;
+        loop {
+            let mut dims = Vec::new();
+            while self.eat(&Tok::LBracket) {
+                dims.push(self.expression()?);
+                self.expect(&Tok::RBracket, "']'")?;
+            }
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            items.push(Item::Global {
+                ty: ty.clone(),
+                name,
+                dims,
+                init,
+                is_const,
+            });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+            name = self.ident()?;
+        }
+        self.expect(&Tok::Semi, "';'")?;
+        Ok(())
+    }
+
+    fn initializer(&mut self) -> Result<Init, CompileError> {
+        if self.eat(&Tok::LBrace) {
+            let mut items = Vec::new();
+            if !self.at(&Tok::RBrace) {
+                loop {
+                    items.push(self.initializer()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    if self.at(&Tok::RBrace) {
+                        break; // trailing comma
+                    }
+                }
+            }
+            self.expect(&Tok::RBrace, "'}'")?;
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Scalar(self.ternary()?))
+        }
+    }
+
+    fn compound(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while !self.at(&Tok::RBrace) && !self.at(&Tok::Eof) {
+            body.push(self.statement()?);
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(body)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.at(&Tok::LBrace) {
+            self.compound()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CompileError> {
+        if self.at_type() {
+            return self.decl_stmt();
+        }
+        match self.peek().clone() {
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let cond = self.expression()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let then = self.block_or_single()?;
+                let els = if self.eat(&Tok::KwElse) {
+                    self.block_or_single()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let cond = self.expression()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::KwDo => {
+                self.bump();
+                let body = self.block_or_single()?;
+                self.expect(&Tok::KwWhile, "'while'")?;
+                self.expect(&Tok::LParen, "'('")?;
+                let cond = self.expression()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::DoWhile(body, cond))
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else if self.at_type() {
+                    Some(Box::new(self.decl_stmt()?))
+                } else {
+                    let e = self.expression()?;
+                    self.expect(&Tok::Semi, "';'")?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.at(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                let step = if self.at(&Tok::RParen) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                if self.eat(&Tok::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expression()?;
+                    self.expect(&Tok::Semi, "';'")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Continue)
+            }
+            Tok::KwSwitch => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let scrut = self.expression()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::LBrace, "'{'")?;
+                let mut arms = Vec::new();
+                while !self.at(&Tok::RBrace) {
+                    let value = if self.eat(&Tok::KwCase) {
+                        let v = self.ternary()?;
+                        Some(v)
+                    } else if self.eat(&Tok::KwDefault) {
+                        None
+                    } else {
+                        return Err(self.err(format!(
+                            "expected 'case' or 'default', found {:?}",
+                            self.peek()
+                        )));
+                    };
+                    self.expect(&Tok::Colon, "':'")?;
+                    let mut body = Vec::new();
+                    while !matches!(self.peek(), Tok::KwCase | Tok::KwDefault | Tok::RBrace) {
+                        body.push(self.statement()?);
+                    }
+                    arms.push(SwitchArm { value, body });
+                }
+                self.expect(&Tok::RBrace, "'}'")?;
+                Ok(Stmt::Switch(scrut, arms))
+            }
+            Tok::LBrace => Ok(Stmt::Block(self.compound()?)),
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            Tok::KwTry => {
+                self.bump();
+                let body = self.compound()?;
+                self.expect(&Tok::KwCatch, "'catch'")?;
+                self.expect(&Tok::LParen, "'('")?;
+                // `catch (...)` or `catch (type name)` — we ignore the binder.
+                while !self.at(&Tok::RParen) && !self.at(&Tok::Eof) {
+                    self.bump();
+                }
+                self.expect(&Tok::RParen, "')'")?;
+                let catch = self.compound()?;
+                Ok(Stmt::Try(body, catch))
+            }
+            Tok::KwThrow => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Throw(e))
+            }
+            _ => {
+                let e = self.expression()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let (ty, _) = self.type_name()?;
+        let mut decls = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let mut dims = Vec::new();
+            while self.eat(&Tok::LBracket) {
+                dims.push(self.expression()?);
+                self.expect(&Tok::RBracket, "']'")?;
+            }
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.assignment()?)
+            } else {
+                None
+            };
+            decls.push(Stmt::Decl {
+                ty: ty.clone(),
+                name,
+                dims,
+                init,
+            });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::Semi, "';'")?;
+        if decls.len() == 1 {
+            Ok(decls.pop().expect("one decl"))
+        } else {
+            Ok(Stmt::Group(decls))
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expression(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            Tok::StarAssign => Some(BinOp::Mul),
+            Tok::SlashAssign => Some(BinOp::Div),
+            Tok::PercentAssign => Some(BinOp::Mod),
+            Tok::AmpAssign => Some(BinOp::BitAnd),
+            Tok::PipeAssign => Some(BinOp::BitOr),
+            Tok::CaretAssign => Some(BinOp::BitXor),
+            Tok::ShlAssign => Some(BinOp::Shl),
+            Tok::ShrAssign => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let target = self.expr_to_target(lhs)?;
+        let value = self.assignment()?;
+        Ok(Expr::Assign {
+            target,
+            op,
+            value: Box::new(value),
+        })
+    }
+
+    fn expr_to_target(&self, e: Expr) -> Result<Target, CompileError> {
+        match e {
+            Expr::Name(n) => Ok(Target::Name(n)),
+            Expr::Index(base, idx) => Ok(Target::Index(base, idx)),
+            Expr::Member(obj, field) => Ok(Target::Member(obj, field)),
+            other => Err(CompileError::Parse {
+                line: self.line(),
+                message: format!("invalid assignment target: {other:?}"),
+            }),
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.logic_or()?;
+        if self.eat(&Tok::Question) {
+            let a = self.assignment()?;
+            self.expect(&Tok::Colon, "':'")?;
+            let b = self.ternary()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.logic_and()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.logic_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_xor()?;
+        while self.at(&Tok::Pipe) {
+            self.bump();
+            let rhs = self.bit_xor()?;
+            lhs = Expr::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_and()?;
+        while self.at(&Tok::Caret) {
+            self.bump();
+            let rhs = self.bit_and()?;
+            lhs = Expr::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality()?;
+        while self.at(&Tok::Amp) {
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::NotEq => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Gt => BinOp::Gt,
+                Tok::Le => BinOp::Le,
+                Tok::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Plus => {
+                self.bump();
+                self.unary()
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary()?)))
+            }
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let delta = if self.bump() == Tok::PlusPlus { 1 } else { -1 };
+                let e = self.unary()?;
+                let target = self.expr_to_target(e)?;
+                Ok(Expr::IncDec { target, delta })
+            }
+            Tok::LParen => {
+                // Cast or parenthesized expression.
+                let save = self.pos;
+                self.bump();
+                if self.at_type() {
+                    let (ty, _) = self.type_name()?;
+                    if self.eat(&Tok::RParen) {
+                        let inner = self.unary()?;
+                        return Ok(Expr::Cast(ty, Box::new(inner)));
+                    }
+                }
+                self.pos = save;
+                self.postfix()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    // Collapse `a[i][j]` into Index(name, [i, j]).
+                    self.bump();
+                    let idx = self.expression()?;
+                    self.expect(&Tok::RBracket, "']'")?;
+                    e = match e {
+                        Expr::Name(n) => Expr::Index(n, vec![idx]),
+                        Expr::Index(n, mut idxs) => {
+                            idxs.push(idx);
+                            Expr::Index(n, idxs)
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("cannot index expression {other:?}"))
+                            )
+                        }
+                    };
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let field = self.ident()?;
+                    e = Expr::Member(Box::new(e), field);
+                }
+                Tok::PlusPlus | Tok::MinusMinus => {
+                    let delta = if self.bump() == Tok::PlusPlus { 1 } else { -1 };
+                    let target = self.expr_to_target(e)?;
+                    e = Expr::IncDec { target, delta };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr::Int(v)),
+            Tok::CharLit(v) => Ok(Expr::Int(v)),
+            Tok::FloatLit(v) => Ok(Expr::Float(v)),
+            Tok::StrLit(s) => Ok(Expr::Str(s)),
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.at(&Tok::RParen) {
+                        loop {
+                            args.push(self.assignment()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Name(name))
+                }
+            }
+            Tok::LParen => {
+                let e = self.expression()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn p(src: &str) -> Unit {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_global_array_and_kernel() {
+        let u = p("double A[10][10];\n\
+                   void kernel(int n) {\n\
+                     for (int i = 0; i < n; i++)\n\
+                       for (int j = 0; j < n; j++)\n\
+                         A[i][j] = (double)(i * j) / n;\n\
+                   }");
+        assert_eq!(u.items.len(), 2);
+        assert!(matches!(&u.items[0], Item::Global { dims, .. } if dims.len() == 2));
+        assert!(matches!(&u.items[1], Item::Func { params, .. } if params.len() == 1));
+    }
+
+    #[test]
+    fn parses_multidim_index_chain() {
+        let u = p("int x; void f() { x = B[1][2][3]; }");
+        let Item::Func { body, .. } = &u.items[1] else {
+            panic!()
+        };
+        match &body[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => {
+                assert!(matches!(value.as_ref(), Expr::Index(n, idxs)
+                    if n == "B" && idxs.len() == 3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_casts_vs_parens() {
+        let u = p("void f(int i) { double d; d = (double)i; d = (d) + 1.0; }");
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        assert!(matches!(&body[1], Stmt::Expr(Expr::Assign { value, .. })
+            if matches!(value.as_ref(), Expr::Cast(TypeName::Double, _))));
+    }
+
+    #[test]
+    fn parses_unsigned_long_long() {
+        let u = p("unsigned long long mask;");
+        assert!(
+            matches!(&u.items[0], Item::Global { ty: TypeName::Long { unsigned: true }, .. })
+        );
+    }
+
+    #[test]
+    fn parses_switch_with_cases() {
+        let u = p("int f(int op) { switch (op) { case 0: return 1; case 2: return 3; default: return 9; } }");
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        match &body[0] {
+            Stmt::Switch(_, arms) => {
+                assert_eq!(arms.len(), 3);
+                assert!(arms[2].value.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_try_catch_throw_and_union() {
+        let u = p("union U { double d; long long ll; };\n\
+                   union U u;\n\
+                   void f() { try { throw 1; } catch (...) { } u.d = 1.0; }");
+        assert!(matches!(&u.items[0], Item::UnionDef { fields, .. } if fields.len() == 2));
+        assert!(matches!(&u.items[1], Item::Global { ty: TypeName::Union(t), .. } if t == "U"));
+        let Item::Func { body, .. } = &u.items[2] else {
+            panic!()
+        };
+        assert!(matches!(&body[0], Stmt::Try(..)));
+        assert!(matches!(&body[1], Stmt::Expr(Expr::Assign { target: Target::Member(..), .. })));
+    }
+
+    #[test]
+    fn parses_global_initializer_lists() {
+        let u = p("const int tab[2][3] = { {1, 2, 3}, {4, 5, 6} };");
+        match &u.items[0] {
+            Item::Global {
+                init: Some(Init::List(rows)),
+                is_const,
+                ..
+            } => {
+                assert!(*is_const);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_while_and_compound_assign() {
+        let u = p("void f(int n) { int i = 0; do { i <<= 1; i |= 3; } while (i < n); }");
+        let Item::Func { body, .. } = &u.items[0] else {
+            panic!()
+        };
+        assert!(matches!(&body[1], Stmt::DoWhile(..)));
+    }
+
+    #[test]
+    fn ternary_binds_tighter_than_assign() {
+        let u = p("int x; void f(int a) { x = a > 0 ? 1 : 2; }");
+        let Item::Func { body, .. } = &u.items[1] else {
+            panic!()
+        };
+        assert!(matches!(&body[0], Stmt::Expr(Expr::Assign { value, .. })
+            if matches!(value.as_ref(), Expr::Ternary(..))));
+    }
+}

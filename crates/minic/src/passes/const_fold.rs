@@ -1,0 +1,316 @@
+//! Constant folding and algebraic simplification (run at `-O1` and up).
+
+use super::visit_exprs_mut;
+use crate::hir::*;
+
+/// Fold constant subexpressions and simplify trivial algebra.
+pub fn const_fold(p: &mut HProgram) {
+    for f in &mut p.funcs {
+        visit_exprs_mut(&mut f.body, &mut fold_expr);
+        prune_const_branches(&mut f.body);
+    }
+}
+
+fn fold_expr(e: &mut HExpr) {
+    let replacement = match e {
+        HExpr::Binary(op, a, b, ty) => match (a.as_ref(), b.as_ref()) {
+            (HExpr::ConstI(x, _), HExpr::ConstI(y, _)) => fold_int(*op, *x, *y, *ty),
+            (HExpr::ConstF(x, _), HExpr::ConstF(y, _)) => fold_float(*op, *x, *y, *ty),
+            // x + 0, x - 0, x * 1, x / 1 — exact for ints and IEEE floats
+            // (0.0 + x is *not* simplified: it can change -0.0).
+            (_, HExpr::ConstI(0, _)) if matches!(op, HBinOp::Add | HBinOp::Sub) => {
+                Some((**a).clone())
+            }
+            (_, HExpr::ConstI(1, _)) if matches!(op, HBinOp::Mul | HBinOp::Div) => {
+                Some((**a).clone())
+            }
+            (_, HExpr::ConstF(x, _))
+                if *x == 1.0 && matches!(op, HBinOp::Mul | HBinOp::Div) =>
+            {
+                Some((**a).clone())
+            }
+            // x * 0 → 0 for integers only (float 0*x can be NaN).
+            (_, HExpr::ConstI(0, t)) if *op == HBinOp::Mul && !has_side_effects(a) => {
+                Some(HExpr::ConstI(0, *t))
+            }
+            _ => None,
+        },
+        HExpr::Cmp(op, a, b, _) => match (a.as_ref(), b.as_ref()) {
+            (HExpr::ConstI(x, t), HExpr::ConstI(y, _)) => {
+                let r = if t.unsigned() {
+                    cmp_result(*op, (*x as u64).cmp(&(*y as u64)))
+                } else {
+                    cmp_result(*op, x.cmp(y))
+                };
+                Some(HExpr::ConstI(r as i64, Ty::INT))
+            }
+            (HExpr::ConstF(x, _), HExpr::ConstF(y, _)) => x
+                .partial_cmp(y)
+                .map(|ord| HExpr::ConstI(cmp_result(*op, ord) as i64, Ty::INT)),
+            _ => None,
+        },
+        HExpr::Unary(HUnOp::Neg, a, ty) => match a.as_ref() {
+            HExpr::ConstI(v, _) => Some(HExpr::ConstI(v.wrapping_neg(), *ty)),
+            HExpr::ConstF(v, _) => Some(HExpr::ConstF(-v, *ty)),
+            _ => None,
+        },
+        HExpr::Unary(HUnOp::BitNot, a, ty) => match a.as_ref() {
+            HExpr::ConstI(v, _) => Some(HExpr::ConstI(!*v, *ty)),
+            _ => None,
+        },
+        HExpr::Unary(HUnOp::Not, a, _) => match a.as_ref() {
+            HExpr::ConstI(v, _) => Some(HExpr::ConstI((*v == 0) as i64, Ty::INT)),
+            _ => None,
+        },
+        HExpr::Ternary(c, a, b, _) => match c.as_ref() {
+            HExpr::ConstI(v, _) => Some(if *v != 0 { (**a).clone() } else { (**b).clone() }),
+            _ => None,
+        },
+        HExpr::Cast { to, expr, .. } => match expr.as_ref() {
+            HExpr::ConstI(v, _) => match to {
+                Ty::F64 => Some(HExpr::ConstF(*v as f64, Ty::F64)),
+                Ty::F32 => Some(HExpr::ConstF(*v as f32 as f64, Ty::F32)),
+                Ty::I32 { .. } => Some(HExpr::ConstI(*v as i32 as i64, *to)),
+                Ty::I64 { .. } => Some(HExpr::ConstI(*v, *to)),
+                Ty::Void => None,
+            },
+            HExpr::ConstF(v, _) => match to {
+                Ty::F64 => Some(HExpr::ConstF(*v, Ty::F64)),
+                Ty::F32 => Some(HExpr::ConstF(*v as f32 as f64, Ty::F32)),
+                // Float→int folding only when exactly representable.
+                Ty::I32 { .. } if v.fract() == 0.0 && v.abs() < 2e9 => {
+                    Some(HExpr::ConstI(*v as i64 as i32 as i64, *to))
+                }
+                Ty::I64 { .. } if v.fract() == 0.0 && v.abs() < 9e18 => {
+                    Some(HExpr::ConstI(*v as i64, *to))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some(r) = replacement {
+        *e = r;
+    }
+}
+
+fn fold_int(op: HBinOp, x: i64, y: i64, ty: Ty) -> Option<HExpr> {
+    let narrow = |v: i64| match ty {
+        Ty::I32 { .. } => v as i32 as i64,
+        _ => v,
+    };
+    let v = match op {
+        HBinOp::Add => x.wrapping_add(y),
+        HBinOp::Sub => x.wrapping_sub(y),
+        HBinOp::Mul => x.wrapping_mul(y),
+        HBinOp::Div => {
+            if y == 0 {
+                return None; // preserve the runtime trap
+            }
+            if ty.unsigned() {
+                ((x as u64) / (y as u64)) as i64
+            } else {
+                x.checked_div(y)?
+            }
+        }
+        HBinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            if ty.unsigned() {
+                ((x as u64) % (y as u64)) as i64
+            } else {
+                x.checked_rem(y)?
+            }
+        }
+        HBinOp::BitAnd => x & y,
+        HBinOp::BitOr => x | y,
+        HBinOp::BitXor => x ^ y,
+        HBinOp::Shl => match ty {
+            Ty::I32 { .. } => ((x as i32).wrapping_shl(y as u32)) as i64,
+            _ => x.wrapping_shl(y as u32),
+        },
+        HBinOp::Shr => match ty {
+            Ty::I32 { unsigned: true } => ((x as u32).wrapping_shr(y as u32)) as i64,
+            Ty::I32 { unsigned: false } => ((x as i32).wrapping_shr(y as u32)) as i64,
+            Ty::I64 { unsigned: true } => ((x as u64).wrapping_shr(y as u32)) as i64,
+            _ => x.wrapping_shr(y as u32),
+        },
+    };
+    Some(HExpr::ConstI(narrow(v), ty))
+}
+
+fn fold_float(op: HBinOp, x: f64, y: f64, ty: Ty) -> Option<HExpr> {
+    let v = match op {
+        HBinOp::Add => x + y,
+        HBinOp::Sub => x - y,
+        HBinOp::Mul => x * y,
+        HBinOp::Div => x / y,
+        _ => return None,
+    };
+    let v = if ty == Ty::F32 { v as f32 as f64 } else { v };
+    Some(HExpr::ConstF(v, ty))
+}
+
+fn cmp_result(op: HCmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        HCmpOp::Eq => ord == Equal,
+        HCmpOp::Ne => ord != Equal,
+        HCmpOp::Lt => ord == Less,
+        HCmpOp::Le => ord != Greater,
+        HCmpOp::Gt => ord == Greater,
+        HCmpOp::Ge => ord != Less,
+    }
+}
+
+/// `if (const)` → the taken arm; `loop` with constant-false condition →
+/// init only (pre-test) / one iteration (post-test untouched).
+fn prune_const_branches(stmts: &mut Vec<HStmt>) {
+    let mut out: Vec<HStmt> = Vec::with_capacity(stmts.len());
+    for mut s in stmts.drain(..) {
+        match &mut s {
+            HStmt::If(cond, a, b) => {
+                prune_const_branches(a);
+                prune_const_branches(b);
+                if let HExpr::ConstI(v, _) = cond {
+                    let arm = if *v != 0 {
+                        std::mem::take(a)
+                    } else {
+                        std::mem::take(b)
+                    };
+                    out.extend(arm);
+                    continue;
+                }
+            }
+            HStmt::Loop {
+                kind: LoopKind::PreTest,
+                init,
+                cond: Some(HExpr::ConstI(0, _)),
+                ..
+            } => {
+                out.extend(std::mem::take(init));
+                continue;
+            }
+            HStmt::Loop {
+                init, step, body, ..
+            } => {
+                prune_const_branches(init);
+                prune_const_branches(step);
+                prune_const_branches(body);
+            }
+            HStmt::Block(b) => {
+                prune_const_branches(b);
+            }
+            HStmt::Switch { cases, default, .. } => {
+                for (_, b) in cases.iter_mut() {
+                    prune_const_branches(b);
+                }
+                prune_const_branches(default);
+            }
+            _ => {}
+        }
+        out.push(s);
+    }
+    *stmts = out;
+}
+
+pub(crate) fn has_side_effects(e: &HExpr) -> bool {
+    match e {
+        HExpr::Call { .. } | HExpr::AssignExpr { .. } => true,
+        HExpr::Unary(_, a, _) => has_side_effects(a),
+        HExpr::Binary(op, a, b, _) => {
+            // Division can trap at runtime.
+            matches!(op, HBinOp::Div | HBinOp::Rem)
+                || has_side_effects(a)
+                || has_side_effects(b)
+        }
+        HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            has_side_effects(a) || has_side_effects(b)
+        }
+        HExpr::Ternary(c, a, b, _) => {
+            has_side_effects(c) || has_side_effects(a) || has_side_effects(b)
+        }
+        HExpr::Cast { expr, .. } => has_side_effects(expr),
+        HExpr::Elem { idx, .. } => idx.iter().any(has_side_effects),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    fn folded(src: &str) -> HProgram {
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        const_fold(&mut p);
+        p
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        let p = folded("int r; void f() { r = 2 + 3 * 4; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(value, &HExpr::ConstI(14, Ty::INT));
+    }
+
+    #[test]
+    fn folds_float_and_casts() {
+        let p = folded("double r; void f() { r = (double)(1 + 1) * 2.5; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(value, &HExpr::ConstF(5.0, Ty::F64));
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let p = folded("int r; void f(int x) { r = x * 1 + 0; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(value, &HExpr::Local(0, Ty::INT));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let p = folded("int r; void f() { r = 1 / 0; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(value, HExpr::Binary(HBinOp::Div, ..)));
+    }
+
+    #[test]
+    fn prunes_constant_ifs() {
+        let p = folded("int r; void f() { if (1 < 2) r = 7; else r = 9; }");
+        assert_eq!(p.funcs[0].body.len(), 1);
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!("{:?}", p.funcs[0].body)
+        };
+        assert_eq!(value, &HExpr::ConstI(7, Ty::INT));
+    }
+
+    #[test]
+    fn dead_pretest_loop_removed() {
+        let p = folded("int r; void f() { while (0) r = 1; r = 2; }");
+        assert_eq!(p.funcs[0].body.len(), 1);
+    }
+
+    #[test]
+    fn unsigned_comparison_folds_unsigned() {
+        // 0xffffffff as unsigned is huge, as signed it is -1.
+        let p = folded("unsigned int r; void f() { r = (unsigned int)0xffffffff > 1u; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(
+            matches!(value, HExpr::ConstI(1, _)),
+            "folded to an unsigned-true constant: {value:?}"
+        );
+    }
+}

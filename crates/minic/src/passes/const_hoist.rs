@@ -1,0 +1,245 @@
+//! `-O1` constant hoisting — the other half of the Fig 8 (Covariance)
+//! story.
+//!
+//! At `-O1` the compiler converts each distinct *integral-valued* float
+//! constant used inside a loop once, into a dedicated local, and loop
+//! bodies reference the local (`local.get $p0` in Fig 8(b) — one stack
+//! op). At `-O2`+ the rematerialization heuristic keeps the constant
+//! inline to reduce register pressure, and the Wasm backend then has to
+//! materialize it as `i32.const; f64.convert_i32_s` (Fig 8(a) — two
+//! stack ops) every use. On a register machine rematerialization is free,
+//! which is exactly why the pass order only hurts WebAssembly.
+
+use super::visit_exprs_mut;
+use crate::hir::*;
+use std::collections::HashMap;
+
+/// Hoist integral float constants used inside loops into locals.
+pub fn const_hoist(p: &mut HProgram) {
+    for f in &mut p.funcs {
+        // Collect integral float constants appearing inside loop bodies.
+        let mut in_loop: Vec<(f64, Ty)> = Vec::new();
+        collect_loop_consts(&f.body, &mut in_loop, false);
+        let mut seen: HashMap<u64, (f64, Ty)> = HashMap::new();
+        for (v, t) in in_loop {
+            seen.entry(v.to_bits()).or_insert((v, t));
+        }
+        if seen.is_empty() {
+            continue;
+        }
+        // One new local per constant, initialized at function entry.
+        let mut slot_of: HashMap<u64, LocalId> = HashMap::new();
+        let mut prologue = Vec::new();
+        let mut consts: Vec<(u64, (f64, Ty))> = seen.into_iter().collect();
+        consts.sort_by_key(|(bits, _)| *bits); // deterministic order
+        for (bits, (v, t)) in consts {
+            let id = f.locals.len() as LocalId;
+            f.locals.push((format!("__choist{id}"), t));
+            slot_of.insert(bits, id);
+            prologue.push(HStmt::DeclLocal {
+                id,
+                init: Some(HExpr::ConstF(v, t)),
+            });
+        }
+        // Replace uses inside loops only.
+        replace_in_loops(&mut f.body, &slot_of, false);
+        // Prepend prologue.
+        let mut body = prologue;
+        body.append(&mut f.body);
+        f.body = body;
+    }
+}
+
+fn is_hoistable(v: f64) -> bool {
+    v.fract() == 0.0 && v.abs() <= i32::MAX as f64 && v != 0.0
+}
+
+fn collect_loop_consts(stmts: &[HStmt], out: &mut Vec<(f64, Ty)>, inside_loop: bool) {
+    for s in stmts {
+        match s {
+            HStmt::Loop {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                collect_loop_consts(init, out, inside_loop);
+                if let Some(c) = cond {
+                    collect_expr(c, out, true);
+                }
+                collect_loop_consts(step, out, true);
+                collect_loop_consts(body, out, true);
+            }
+            HStmt::If(c, a, b) => {
+                collect_expr(c, out, inside_loop);
+                collect_loop_consts(a, out, inside_loop);
+                collect_loop_consts(b, out, inside_loop);
+            }
+            HStmt::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                collect_expr(scrut, out, inside_loop);
+                for (_, b) in cases {
+                    collect_loop_consts(b, out, inside_loop);
+                }
+                collect_loop_consts(default, out, inside_loop);
+            }
+            HStmt::Block(b) => collect_loop_consts(b, out, inside_loop),
+            HStmt::Assign { value, lhs } => {
+                if let HLval::Elem { idx, .. } = lhs {
+                    for i in idx {
+                        collect_expr(i, out, inside_loop);
+                    }
+                }
+                collect_expr(value, out, inside_loop);
+            }
+            HStmt::DeclLocal { init: Some(e), .. } | HStmt::Expr(e) | HStmt::Return(Some(e)) => {
+                collect_expr(e, out, inside_loop)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_expr(e: &HExpr, out: &mut Vec<(f64, Ty)>, inside_loop: bool) {
+    match e {
+        HExpr::ConstF(v, t) if inside_loop && is_hoistable(*v) => out.push((*v, *t)),
+        HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => collect_expr(a, out, inside_loop),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            collect_expr(a, out, inside_loop);
+            collect_expr(b, out, inside_loop);
+        }
+        HExpr::Ternary(c, a, b, _) => {
+            collect_expr(c, out, inside_loop);
+            collect_expr(a, out, inside_loop);
+            collect_expr(b, out, inside_loop);
+        }
+        HExpr::Call { args, .. } => {
+            for a in args {
+                collect_expr(a, out, inside_loop);
+            }
+        }
+        HExpr::Elem { idx, .. } => {
+            for i in idx {
+                collect_expr(i, out, inside_loop);
+            }
+        }
+        HExpr::AssignExpr { value, .. } => collect_expr(value, out, inside_loop),
+        _ => {}
+    }
+}
+
+fn replace_in_loops(stmts: &mut Vec<HStmt>, slots: &HashMap<u64, LocalId>, inside_loop: bool) {
+    for s in stmts {
+        match s {
+            HStmt::Loop {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                replace_in_loops(init, slots, inside_loop);
+                if let Some(c) = cond {
+                    replace_expr(c, slots);
+                }
+                replace_in_loops(step, slots, true);
+                replace_in_loops(body, slots, true);
+            }
+            HStmt::If(c, a, b) => {
+                if inside_loop {
+                    replace_expr(c, slots);
+                }
+                replace_in_loops(a, slots, inside_loop);
+                replace_in_loops(b, slots, inside_loop);
+            }
+            HStmt::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                if inside_loop {
+                    replace_expr(scrut, slots);
+                }
+                for (_, b) in cases.iter_mut() {
+                    replace_in_loops(b, slots, inside_loop);
+                }
+                replace_in_loops(default, slots, inside_loop);
+            }
+            HStmt::Block(b) => replace_in_loops(b, slots, inside_loop),
+            HStmt::Assign { value, lhs } if inside_loop => {
+                if let HLval::Elem { idx, .. } = lhs {
+                    for i in idx {
+                        replace_expr(i, slots);
+                    }
+                }
+                replace_expr(value, slots);
+            }
+            HStmt::DeclLocal { init: Some(e), .. } | HStmt::Expr(e) | HStmt::Return(Some(e))
+                if inside_loop =>
+            {
+                replace_expr(e, slots)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn replace_expr(e: &mut HExpr, slots: &HashMap<u64, LocalId>) {
+    let mut stmts = vec![HStmt::Expr(e.clone())];
+    visit_exprs_mut(&mut stmts, &mut |x| {
+        if let HExpr::ConstF(v, t) = x {
+            if let Some(&slot) = slots.get(&v.to_bits()) {
+                *x = HExpr::Local(slot, *t);
+            }
+        }
+    });
+    let HStmt::Expr(new_e) = stmts.pop().expect("one statement") else {
+        unreachable!()
+    };
+    *e = new_e;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    #[test]
+    fn hoists_loop_constants_into_locals() {
+        let src = "double A[8];\n\
+                   void k(int n) {\n\
+                     for (int i = 0; i < n; i++) A[i] = A[i] / 40.0;\n\
+                   }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        let before_locals = p.funcs[0].locals.len();
+        const_hoist(&mut p);
+        let f = &p.funcs[0];
+        assert_eq!(f.locals.len(), before_locals + 1);
+        // Prologue declares the hoisted constant.
+        assert!(matches!(&f.body[0], HStmt::DeclLocal { init: Some(HExpr::ConstF(v, _)), .. } if *v == 40.0));
+        // No ConstF(40.0) remains inside the loop body.
+        let text = format!("{:?}", &f.body[1..]);
+        assert!(!text.contains("ConstF(40.0"), "{text}");
+    }
+
+    #[test]
+    fn non_integral_constants_left_alone() {
+        let src = "double A[8]; void k(int n) { for (int i = 0; i < n; i++) A[i] = 0.5; }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        let before = p.funcs[0].locals.len();
+        const_hoist(&mut p);
+        assert_eq!(p.funcs[0].locals.len(), before);
+    }
+
+    #[test]
+    fn constants_outside_loops_left_alone() {
+        let src = "double d; void k() { d = 40.0; }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        const_hoist(&mut p);
+        assert!(matches!(&p.funcs[0].body[0], HStmt::Assign { value: HExpr::ConstF(v, _), .. } if *v == 40.0));
+    }
+}

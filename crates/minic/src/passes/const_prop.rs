@@ -1,0 +1,161 @@
+//! Constant propagation (`-O1` and up): locals initialized with a
+//! constant and never reassigned are replaced by the constant at every
+//! use — the SSA-style propagation that puts literal constants *inside*
+//! loops, where the Wasm backend's rematerialization encoding (Fig 8)
+//! then applies at `-O2`+ while `-O1`'s hoisting pass re-registers them.
+
+use super::visit_exprs_mut;
+use crate::hir::*;
+use std::collections::HashMap;
+
+/// Propagate constant-initialized, never-reassigned locals.
+pub fn const_prop(p: &mut HProgram) {
+    for f in &mut p.funcs {
+        // Which locals are ever reassigned (params count as assigned).
+        let mut reassigned = vec![false; f.locals.len()];
+        for i in 0..f.params.len() {
+            reassigned[i] = true;
+        }
+        let mut decl_const: HashMap<LocalId, HExpr> = HashMap::new();
+        collect(&f.body, &mut reassigned, &mut decl_const, &mut 0);
+        // A local declared more than once in different scopes is skipped
+        // (`collect` drops duplicates), as is anything reassigned.
+        let subst: HashMap<LocalId, HExpr> = decl_const
+            .into_iter()
+            .filter(|(id, _)| !reassigned[*id as usize])
+            .collect();
+        if subst.is_empty() {
+            continue;
+        }
+        visit_exprs_mut(&mut f.body, &mut |e| {
+            if let HExpr::Local(id, _) = e {
+                if let Some(c) = subst.get(id) {
+                    *e = c.clone();
+                }
+            }
+        });
+        // Dead declarations are left in place; they cost one store at
+        // function entry, matching real codegen slop.
+    }
+}
+
+fn collect(
+    stmts: &[HStmt],
+    reassigned: &mut [bool],
+    decl_const: &mut HashMap<LocalId, HExpr>,
+    depth: &mut u32,
+) {
+    for s in stmts {
+        match s {
+            HStmt::DeclLocal { id, init } => {
+                match init {
+                    Some(c @ (HExpr::ConstI(..) | HExpr::ConstF(..))) => {
+                        if decl_const.insert(*id, c.clone()).is_some() {
+                            // Re-declared (loop-scoped): treat as mutable.
+                            reassigned[*id as usize] = true;
+                        }
+                        // Declarations inside loops re-run; that is fine —
+                        // the value is the same constant each time.
+                    }
+                    _ => reassigned[*id as usize] = true,
+                }
+            }
+            HStmt::Assign { lhs, value: _ } => {
+                if let HLval::Local(id) = lhs {
+                    reassigned[*id as usize] = true;
+                }
+            }
+            HStmt::Expr(e) | HStmt::Return(Some(e)) => mark_expr(e, reassigned),
+            HStmt::If(c, a, b) => {
+                mark_expr(c, reassigned);
+                collect(a, reassigned, decl_const, depth);
+                collect(b, reassigned, decl_const, depth);
+            }
+            HStmt::Loop {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                collect(init, reassigned, decl_const, depth);
+                if let Some(c) = cond {
+                    mark_expr(c, reassigned);
+                }
+                collect(step, reassigned, decl_const, depth);
+                collect(body, reassigned, decl_const, depth);
+            }
+            HStmt::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                mark_expr(scrut, reassigned);
+                for (_, b) in cases {
+                    collect(b, reassigned, decl_const, depth);
+                }
+                collect(default, reassigned, decl_const, depth);
+            }
+            HStmt::Block(b) => collect(b, reassigned, decl_const, depth),
+            _ => {}
+        }
+    }
+}
+
+/// AssignExpr targets inside expressions also count as reassignment.
+fn mark_expr(e: &HExpr, reassigned: &mut [bool]) {
+    match e {
+        HExpr::AssignExpr { lhs, value, .. } => {
+            if let HLval::Local(id) = lhs.as_ref() {
+                reassigned[*id as usize] = true;
+            }
+            mark_expr(value, reassigned);
+        }
+        HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => mark_expr(a, reassigned),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            mark_expr(a, reassigned);
+            mark_expr(b, reassigned);
+        }
+        HExpr::Ternary(c, a, b, _) => {
+            mark_expr(c, reassigned);
+            mark_expr(a, reassigned);
+            mark_expr(b, reassigned);
+        }
+        HExpr::Call { args, .. } => args.iter().for_each(|a| mark_expr(a, reassigned)),
+        HExpr::Elem { idx, .. } => idx.iter().for_each(|i| mark_expr(i, reassigned)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    #[test]
+    fn propagates_constant_locals_into_loops() {
+        let src = "double A[8];\n\
+                   void k(int n) {\n\
+                     double fn_ = 40.0;\n\
+                     for (int i = 0; i < n; i++) A[i] = A[i] / fn_;\n\
+                   }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        const_prop(&mut p);
+        let text = format!("{:?}", p.funcs[0].body);
+        assert!(text.contains("ConstF(40.0"), "{text}");
+    }
+
+    #[test]
+    fn reassigned_locals_are_left_alone() {
+        let src = "double A[8];\n\
+                   void k(int n) {\n\
+                     double s = 1.0;\n\
+                     for (int i = 0; i < n; i++) s = s + A[i];\n\
+                     A[0] = s;\n\
+                   }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        let before = p.clone();
+        const_prop(&mut p);
+        assert_eq!(p, before);
+    }
+}

@@ -1,0 +1,94 @@
+//! Dead-code elimination: drop unreachable statements after terminators
+//! and pure expression statements.
+
+use super::const_fold::has_side_effects;
+use crate::hir::*;
+
+/// Remove trivially dead code.
+pub fn dce(p: &mut HProgram) {
+    for f in &mut p.funcs {
+        dce_body(&mut f.body);
+    }
+}
+
+fn terminates(s: &HStmt) -> bool {
+    matches!(s, HStmt::Return(_) | HStmt::Break | HStmt::Continue)
+}
+
+fn dce_body(stmts: &mut Vec<HStmt>) {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut dead = false;
+    for mut s in stmts.drain(..) {
+        if dead {
+            continue; // unreachable after return/break/continue
+        }
+        match &mut s {
+            HStmt::Expr(e) if !has_side_effects(e) => continue,
+            HStmt::If(_, a, b) => {
+                dce_body(a);
+                dce_body(b);
+            }
+            HStmt::Loop {
+                init, step, body, ..
+            } => {
+                dce_body(init);
+                dce_body(step);
+                dce_body(body);
+            }
+            HStmt::Switch { cases, default, .. } => {
+                for (_, b) in cases.iter_mut() {
+                    dce_body(b);
+                }
+                dce_body(default);
+            }
+            HStmt::Block(b) => {
+                dce_body(b);
+                if b.is_empty() {
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        if terminates(&s) {
+            dead = true;
+        }
+        out.push(s);
+    }
+    *stmts = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    fn run(src: &str) -> HProgram {
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        dce(&mut p);
+        p
+    }
+
+    #[test]
+    fn code_after_return_removed() {
+        let p = run("int r; int f() { return 1; r = 2; return 3; }");
+        assert_eq!(p.funcs[0].body.len(), 1);
+    }
+
+    #[test]
+    fn pure_expression_statements_removed() {
+        let p = run("int r; void f(int x) { x + 1; r = x; }");
+        assert_eq!(p.funcs[0].body.len(), 1);
+    }
+
+    #[test]
+    fn calls_are_kept() {
+        let p = run("void g() { } void f() { g(); }");
+        assert_eq!(p.funcs[1].body.len(), 1);
+    }
+
+    #[test]
+    fn nested_blocks_cleaned() {
+        let p = run("int r; void f() { { 1 + 2; } r = 1; }");
+        assert_eq!(p.funcs[0].body.len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! `-Ofast` fast-math (§2.1.2): relaxed IEEE semantics.
+//!
+//! Two genuine effects:
+//! 1. `x / c` → `x * (1/c)` for constant divisors (the "inaccurate math
+//!    calculations" the paper cites) — multiplies are cheaper than
+//!    divides on *every* target, so this part helps Wasm/JS too;
+//! 2. the program-wide `fast_math` flag, which only the **native**
+//!    backend can exploit (relaxed-math instruction selection: float ops
+//!    at a discount). Wasm has no fast-math instructions to emit —
+//!    another place where an optimization designed for x86 buys Wasm
+//!    nothing.
+
+use super::visit_exprs_mut;
+use crate::hir::*;
+
+/// Apply fast-math rewrites and set the program flag.
+pub fn fast_math(p: &mut HProgram) {
+    p.fast_math = true;
+    for f in &mut p.funcs {
+        visit_exprs_mut(&mut f.body, &mut |e| {
+            if let HExpr::Binary(HBinOp::Div, _, b, ty) = e {
+                if ty.is_float() {
+                    if let HExpr::ConstF(c, ct) = b.as_ref() {
+                        if *c != 0.0 && c.is_finite() {
+                            let recip = 1.0 / *c;
+                            let (ct, ty) = (*ct, *ty);
+                            let HExpr::Binary(_, a, _, _) = std::mem::replace(
+                                e,
+                                HExpr::ConstI(0, Ty::INT), // placeholder
+                            ) else {
+                                unreachable!()
+                            };
+                            *e = HExpr::Binary(
+                                HBinOp::Mul,
+                                a,
+                                Box::new(HExpr::ConstF(recip, ct)),
+                                ty,
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    #[test]
+    fn div_by_const_becomes_mul_by_reciprocal() {
+        let src = "double r; void f(double x) { r = x / 4.0; }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        fast_math(&mut p);
+        assert!(p.fast_math);
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        match value {
+            HExpr::Binary(HBinOp::Mul, _, b, _) => {
+                assert_eq!(b.as_ref(), &HExpr::ConstF(0.25, Ty::F64));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_variable_unchanged() {
+        let src = "double r; void f(double x, double y) { r = x / y; }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        fast_math(&mut p);
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(value, HExpr::Binary(HBinOp::Div, ..)));
+    }
+
+    #[test]
+    fn integer_division_unchanged() {
+        let src = "int r; void f(int x) { r = x / 4; }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        fast_math(&mut p);
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(value, HExpr::Binary(HBinOp::Div, ..)));
+    }
+}

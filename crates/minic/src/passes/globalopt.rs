@@ -1,0 +1,188 @@
+//! `-globalopt`: remove globals (scalars and arrays) that are never read,
+//! together with the stores into them (§2.1.2).
+//!
+//! The `keep_dead_stores` flag is the **bug emulation** of §4.2.1(1) /
+//! Fig 7: at `-Ofast` on the Wasm target the dead *array* and its stores
+//! are left in place (the pattern the paper traced in ADPCM, and akin to
+//! LLVM bug 37449), so the generated module executes dead stores plus
+//! their address arithmetic.
+
+use super::{visit_exprs_mut, visit_stmts_mut};
+use crate::hir::*;
+use std::collections::HashSet;
+
+/// Run global dead-store/dead-global elimination.
+///
+/// `keep_dead_stores = true` reproduces the -Ofast/Wasm miscompile: the
+/// analysis still runs, but neither the dead globals nor the stores are
+/// removed.
+pub fn globalopt(p: &mut HProgram, keep_dead_stores: bool) {
+    // 1. Find globals/arrays that are read anywhere.
+    let mut read_globals: HashSet<GlobalId> = HashSet::new();
+    let mut read_arrays: HashSet<ArrayId> = HashSet::new();
+    for f in &mut p.funcs {
+        visit_exprs_mut(&mut f.body, &mut |e| match e {
+            HExpr::Global(g, _) => {
+                read_globals.insert(*g);
+            }
+            HExpr::Elem { array, .. } => {
+                read_arrays.insert(*array);
+            }
+            // A compound assignment through AssignExpr reads the lhs via
+            // the desugared load, already covered above.
+            _ => {}
+        });
+    }
+
+    if keep_dead_stores {
+        return; // bug emulation: analysis done, transform skipped
+    }
+
+    // 2. Drop stores to never-read globals/arrays. A side-effecting RHS
+    //    (e.g. `result[i] = decode_sample(...)`) keeps its evaluation but
+    //    loses the store — exactly what LLVM's dead-store elimination
+    //    does, and what -Ofast-on-Wasm fails to do in Fig 7.
+    for f in &mut p.funcs {
+        visit_stmts_mut(&mut f.body, &mut |s| {
+            let dead = match s {
+                HStmt::Assign {
+                    lhs: HLval::Global(g),
+                    ..
+                } => !read_globals.contains(g),
+                HStmt::Assign {
+                    lhs: HLval::Elem { array, idx },
+                    ..
+                } => {
+                    !read_arrays.contains(array)
+                        && !idx.iter().any(super::const_fold::has_side_effects)
+                }
+                _ => false,
+            };
+            if dead {
+                let HStmt::Assign { value, .. } = std::mem::replace(s, HStmt::Block(vec![]))
+                else {
+                    unreachable!("matched Assign above")
+                };
+                if super::const_fold::has_side_effects(&value) {
+                    *s = HStmt::Expr(value);
+                }
+            }
+        });
+    }
+
+    // 3. Remove the dead definitions themselves, remapping ids.
+    let mut global_map = vec![None; p.globals.len()];
+    let mut kept_globals = Vec::new();
+    for (i, g) in p.globals.drain(..).enumerate() {
+        if read_globals.contains(&(i as GlobalId)) {
+            global_map[i] = Some(kept_globals.len() as GlobalId);
+            kept_globals.push(g);
+        }
+    }
+    p.globals = kept_globals;
+
+    let mut array_map = vec![None; p.arrays.len()];
+    let mut kept_arrays = Vec::new();
+    for (i, a) in p.arrays.drain(..).enumerate() {
+        if read_arrays.contains(&(i as ArrayId)) {
+            array_map[i] = Some(kept_arrays.len() as ArrayId);
+            kept_arrays.push(a);
+        }
+    }
+    p.arrays = kept_arrays;
+
+    for f in &mut p.funcs {
+        visit_exprs_mut(&mut f.body, &mut |e| match e {
+            HExpr::Global(g, _) => {
+                *g = global_map[*g as usize].expect("read global kept");
+            }
+            HExpr::Elem { array, .. } => {
+                *array = array_map[*array as usize].expect("read array kept");
+            }
+            HExpr::AssignExpr { lhs, .. } => remap_lval(lhs, &global_map, &array_map),
+            _ => {}
+        });
+        visit_stmts_mut(&mut f.body, &mut |s| {
+            if let HStmt::Assign { lhs, .. } = s {
+                remap_lval(lhs, &global_map, &array_map);
+            }
+        });
+    }
+}
+
+fn remap_lval(lhs: &mut HLval, global_map: &[Option<GlobalId>], array_map: &[Option<ArrayId>]) {
+    match lhs {
+        HLval::Global(g) => {
+            if let Some(new) = global_map.get(*g as usize).copied().flatten() {
+                *g = new;
+            }
+        }
+        HLval::Elem { array, .. } => {
+            if let Some(new) = array_map.get(*array as usize).copied().flatten() {
+                *array = new;
+            }
+        }
+        HLval::Local(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    const ADPCM_LIKE: &str = "int result[8];\n\
+                              int live[8];\n\
+                              int acc;\n\
+                              void k(int i, int x) {\n\
+                                result[i] = x;\n\
+                                live[i] = x;\n\
+                                acc = acc + live[i];\n\
+                              }";
+
+    #[test]
+    fn dead_array_and_stores_removed_normally() {
+        let mut p = analyze(&parse(lex(ADPCM_LIKE).unwrap()).unwrap()).unwrap();
+        assert_eq!(p.arrays.len(), 2);
+        globalopt(&mut p, false);
+        // `result` is write-only → array and its store are gone.
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.arrays[0].name, "live");
+        let stores: usize = count_elem_stores(&p.funcs[0].body);
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn bug_emulation_keeps_dead_stores() {
+        let mut p = analyze(&parse(lex(ADPCM_LIKE).unwrap()).unwrap()).unwrap();
+        globalopt(&mut p, true);
+        assert_eq!(p.arrays.len(), 2, "dead array kept (Fig 7)");
+        assert_eq!(count_elem_stores(&p.funcs[0].body), 2, "dead store kept");
+    }
+
+    #[test]
+    fn dead_scalar_removed_and_ids_remapped() {
+        let src = "int dead; int kept; int out; void f() { dead = 1; kept = 2; out = kept; } int get() { return out; }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        globalopt(&mut p, false);
+        assert_eq!(
+            p.globals.iter().map(|g| g.name.as_str()).collect::<Vec<_>>(),
+            vec!["kept", "out"]
+        );
+        // Remaining references must point at the remapped ids, which the
+        // native evaluator exercises end-to-end in backend tests.
+    }
+
+    fn count_elem_stores(body: &[HStmt]) -> usize {
+        body.iter()
+            .map(|s| match s {
+                HStmt::Assign {
+                    lhs: HLval::Elem { .. },
+                    ..
+                } => 1,
+                HStmt::Block(b) => count_elem_stores(b),
+                _ => 0,
+            })
+            .sum()
+    }
+}

@@ -1,0 +1,203 @@
+//! Function inlining (`-O2` and up; wider threshold at `-O3`/`-Ofast`,
+//! subsuming the paper's `-argpromotion` call-overhead benefits).
+//!
+//! MiniC inlines *expression functions* — bodies of the form
+//! `return <expr>;` — when every argument is side-effect free, replacing
+//! the call with the substituted expression. This removes the call
+//! overhead that `OpClass::Call` charges on every target.
+
+use super::const_fold::has_side_effects;
+use super::visit_exprs_mut;
+use crate::hir::*;
+
+/// Inline small expression functions. `max_expr_size` bounds the inlined
+/// expression's node count (O2: modest, O3/Ofast: wider).
+pub fn inline(p: &mut HProgram, max_expr_size: usize) {
+    // Snapshot inlinable bodies first (borrow discipline).
+    let candidates: Vec<Option<(Vec<Ty>, HExpr)>> = p
+        .funcs
+        .iter()
+        .map(|f| {
+            if f.body.len() != 1 {
+                return None;
+            }
+            let HStmt::Return(Some(e)) = &f.body[0] else {
+                return None;
+            };
+            if expr_size(e) > max_expr_size || calls_anything(e) {
+                return None;
+            }
+            // Only direct parameter reads may appear (no writes, no other
+            // locals), so substitution is sound.
+            if !only_param_reads(e, f.params.len()) {
+                return None;
+            }
+            Some((f.params.clone(), e.clone()))
+        })
+        .collect();
+
+    for f in &mut p.funcs {
+        // Iterate to propagate chains (f calls g, both inlinable), bounded.
+        for _ in 0..4 {
+            let mut changed = false;
+            visit_exprs_mut(&mut f.body, &mut |e| {
+                if let HExpr::Call {
+                    callee: Callee::Func(id),
+                    args,
+                    ..
+                } = e
+                {
+                    if let Some(Some((_params, body))) = candidates.get(*id as usize) {
+                        if args.iter().all(|a| !has_side_effects(a)) {
+                            let mut new = body.clone();
+                            substitute(&mut new, args);
+                            *e = new;
+                            changed = true;
+                        }
+                    }
+                }
+            });
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+fn expr_size(e: &HExpr) -> usize {
+    let mut n = 1;
+    match e {
+        HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => n += expr_size(a),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            n += expr_size(a) + expr_size(b)
+        }
+        HExpr::Ternary(c, a, b, _) => n += expr_size(c) + expr_size(a) + expr_size(b),
+        HExpr::Call { args, .. } => n += args.iter().map(expr_size).sum::<usize>(),
+        HExpr::Elem { idx, .. } => n += idx.iter().map(expr_size).sum::<usize>(),
+        HExpr::AssignExpr { value, .. } => n += expr_size(value),
+        _ => {}
+    }
+    n
+}
+
+fn calls_anything(e: &HExpr) -> bool {
+    match e {
+        HExpr::Call { .. } => true,
+        HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => calls_anything(a),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            calls_anything(a) || calls_anything(b)
+        }
+        HExpr::Ternary(c, a, b, _) => calls_anything(c) || calls_anything(a) || calls_anything(b),
+        HExpr::Elem { idx, .. } => idx.iter().any(calls_anything),
+        HExpr::AssignExpr { value, .. } => calls_anything(value),
+        _ => false,
+    }
+}
+
+fn only_param_reads(e: &HExpr, nparams: usize) -> bool {
+    match e {
+        HExpr::Local(id, _) => (*id as usize) < nparams,
+        HExpr::AssignExpr { .. } => false,
+        HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => only_param_reads(a, nparams),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            only_param_reads(a, nparams) && only_param_reads(b, nparams)
+        }
+        HExpr::Ternary(c, a, b, _) => {
+            only_param_reads(c, nparams)
+                && only_param_reads(a, nparams)
+                && only_param_reads(b, nparams)
+        }
+        HExpr::Elem { idx, .. } => idx.iter().all(|i| only_param_reads(i, nparams)),
+        HExpr::Call { .. } => false,
+        _ => true,
+    }
+}
+
+/// Replace parameter reads with the argument expressions.
+fn substitute(e: &mut HExpr, args: &[HExpr]) {
+    let mut stmts = vec![HStmt::Expr(e.clone())];
+    visit_exprs_mut(&mut stmts, &mut |x| {
+        if let HExpr::Local(id, _) = x {
+            if let Some(arg) = args.get(*id as usize) {
+                *x = arg.clone();
+            }
+        }
+    });
+    let HStmt::Expr(new_e) = stmts.pop().expect("one statement") else {
+        unreachable!()
+    };
+    *e = new_e;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    fn run(src: &str, max: usize) -> HProgram {
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        inline(&mut p, max);
+        p
+    }
+
+    #[test]
+    fn inlines_expression_functions() {
+        let p = run(
+            "double sq(double x) { return x * x; }\n\
+             double r; void f(double v) { r = sq(v) + sq(2.0); }",
+            16,
+        );
+        let text = format!("{:?}", p.funcs[1].body);
+        assert!(!text.contains("Call"), "{text}");
+    }
+
+    #[test]
+    fn side_effecting_args_block_inlining() {
+        let p = run(
+            "int sq(int x) { return x * x; }\n\
+             int g; int bump() { g = g + 1; return g; }\n\
+             int r; void f() { r = sq(bump()); }",
+            16,
+        );
+        let text = format!("{:?}", p.funcs[2].body);
+        assert!(text.contains("Call"), "{text}");
+    }
+
+    #[test]
+    fn size_threshold_respected() {
+        let p = run(
+            "double big(double x) { return x * x + x * 2.0 + x / 3.0 + x - 1.0; }\n\
+             double r; void f(double v) { r = big(v); }",
+            3,
+        );
+        let text = format!("{:?}", p.funcs[1].body);
+        assert!(text.contains("Call"), "{text}");
+    }
+
+    #[test]
+    fn multi_statement_functions_not_inlined() {
+        let p = run(
+            "int f2(int x) { int y = x + 1; return y; }\n\
+             int r; void f(int v) { r = f2(v); }",
+            64,
+        );
+        let text = format!("{:?}", p.funcs[1].body);
+        assert!(text.contains("Call"), "{text}");
+    }
+
+    #[test]
+    fn chained_inlining_converges() {
+        let p = run(
+            "int a(int x) { return x + 1; }\n\
+             int b(int x) { return a(x) * 2; }\n\
+             int r; void f(int v) { r = b(v); }",
+            16,
+        );
+        // b itself calls a, so b is not an inline candidate; but a is
+        // inlined into b's body at its own call sites.
+        let fb = format!("{:?}", p.funcs[2].body);
+        assert!(fb.contains("Call"), "b stays a call: {fb}");
+        let bb = format!("{:?}", p.funcs[1].body);
+        assert!(!bb.contains("Call"), "a inlined into b: {bb}");
+    }
+}

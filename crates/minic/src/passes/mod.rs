@@ -1,0 +1,169 @@
+//! Optimization passes and per-level pipelines.
+//!
+//! Each pass is a genuine HIR transform. Their *target-dependent*
+//! interactions are what reproduce the paper's §4.2 results — see the
+//! crate docs and `pipeline.rs`.
+
+mod const_fold;
+mod const_hoist;
+mod const_prop;
+mod dce;
+mod fast_math;
+mod globalopt;
+mod inline;
+mod pipeline;
+mod shrinkwrap;
+mod vectorize;
+
+pub use const_fold::const_fold;
+pub use const_hoist::const_hoist;
+pub use const_prop::const_prop;
+pub use dce::dce;
+pub use fast_math::fast_math;
+pub use globalopt::globalopt;
+pub use inline::inline;
+pub use pipeline::{run_pipeline, TargetKind};
+pub use shrinkwrap::shrinkwrap;
+pub use vectorize::vectorize_loops;
+
+use crate::hir::{HExpr, HStmt};
+
+/// Walk every statement in a body, depth-first, with a mutable visitor.
+pub(crate) fn visit_stmts_mut(stmts: &mut Vec<HStmt>, f: &mut impl FnMut(&mut HStmt)) {
+    for s in stmts.iter_mut() {
+        match s {
+            HStmt::If(_, a, b) => {
+                visit_stmts_mut(a, f);
+                visit_stmts_mut(b, f);
+            }
+            HStmt::Loop {
+                init, step, body, ..
+            } => {
+                visit_stmts_mut(init, f);
+                visit_stmts_mut(step, f);
+                visit_stmts_mut(body, f);
+            }
+            HStmt::Switch { cases, default, .. } => {
+                for (_, b) in cases.iter_mut() {
+                    visit_stmts_mut(b, f);
+                }
+                visit_stmts_mut(default, f);
+            }
+            HStmt::Block(b) => visit_stmts_mut(b, f),
+            _ => {}
+        }
+        f(s);
+    }
+}
+
+/// Walk every expression in a statement tree, depth-first, mutably.
+pub(crate) fn visit_exprs_mut(stmts: &mut Vec<HStmt>, f: &mut impl FnMut(&mut HExpr)) {
+    fn expr(e: &mut HExpr, f: &mut impl FnMut(&mut HExpr)) {
+        match e {
+            HExpr::Unary(_, a, _) => expr(a, f),
+            HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) => {
+                expr(a, f);
+                expr(b, f);
+            }
+            HExpr::And(a, b) | HExpr::Or(a, b) => {
+                expr(a, f);
+                expr(b, f);
+            }
+            HExpr::Ternary(c, a, b, _) => {
+                expr(c, f);
+                expr(a, f);
+                expr(b, f);
+            }
+            HExpr::Call { args, .. } => {
+                for a in args {
+                    expr(a, f);
+                }
+            }
+            HExpr::Cast { expr: inner, .. } => expr(inner, f),
+            HExpr::Elem { idx, .. } => {
+                for i in idx {
+                    expr(i, f);
+                }
+            }
+            HExpr::AssignExpr { lhs, value, .. } => {
+                if let crate::hir::HLval::Elem { idx, .. } = lhs.as_mut() {
+                    for i in idx {
+                        expr(i, f);
+                    }
+                }
+                expr(value, f);
+            }
+            _ => {}
+        }
+        f(e);
+    }
+    fn stmt(s: &mut HStmt, f: &mut impl FnMut(&mut HExpr)) {
+        match s {
+            HStmt::DeclLocal { init: Some(e), .. } => expr(e, f),
+            HStmt::DeclLocal { init: None, .. } => {}
+            HStmt::Assign { lhs, value } => {
+                if let crate::hir::HLval::Elem { idx, .. } = lhs {
+                    for i in idx {
+                        expr(i, f);
+                    }
+                }
+                expr(value, f);
+            }
+            HStmt::Expr(e) => expr(e, f),
+            HStmt::If(c, a, b) => {
+                expr(c, f);
+                for s in a {
+                    stmt(s, f);
+                }
+                for s in b {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Loop {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                for s in init {
+                    stmt(s, f);
+                }
+                if let Some(c) = cond {
+                    expr(c, f);
+                }
+                for s in step {
+                    stmt(s, f);
+                }
+                for s in body {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Return(Some(e)) => expr(e, f),
+            HStmt::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                expr(scrut, f);
+                for (_, b) in cases {
+                    for s in b {
+                        stmt(s, f);
+                    }
+                }
+                for s in default {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Block(b) => {
+                for s in b {
+                    stmt(s, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        stmt(s, f);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-level pass pipelines (§2.1.2, Fig 1), with the target-dependent
+//! behaviours that drive the paper's §4.2 results.
+
+use super::*;
+use crate::hir::HProgram;
+use crate::opt::OptLevel;
+
+/// Compilation target, as far as the pass pipeline cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetKind {
+    /// WebAssembly MVP (no SIMD, no fast-math ops).
+    Wasm,
+    /// JavaScript (no SIMD either).
+    Js,
+    /// Native x86-class (SIMD + relaxed math available).
+    Native,
+}
+
+/// Run the `-O` pipeline for `level` against `target`.
+pub fn run_pipeline(p: &mut HProgram, level: OptLevel, target: TargetKind) {
+    use OptLevel::*;
+    if level == O0 {
+        return;
+    }
+
+    // Everything from -O1 up folds and propagates constants and removes
+    // dead code.
+    const_fold(p);
+    const_prop(p);
+    const_fold(p);
+    dce(p);
+
+    // -globalopt runs at every level ≥ O1… except that -Ofast targeting
+    // Wasm skips the transform — bug emulation of the Fig 7 / ADPCM
+    // miscompile (see crate docs). The analysis still runs; the rewrite
+    // does not.
+    let keep_dead_stores = level == Ofast && target == TargetKind::Wasm;
+    globalopt(p, keep_dead_stores);
+
+    match level {
+        O0 => unreachable!("handled above"),
+        O1 => {
+            // O1 hoists loop constants into locals (Fig 8(b)); higher
+            // levels prefer rematerialization.
+            const_hoist(p);
+        }
+        O2 => {
+            inline(p, 12);
+            vectorize_loops(p);
+            shrinkwrap(p);
+        }
+        O3 => {
+            inline(p, 32);
+            vectorize_loops(p);
+            shrinkwrap(p);
+        }
+        Ofast => {
+            inline(p, 32);
+            vectorize_loops(p);
+            shrinkwrap(p);
+            fast_math(p);
+        }
+        Os => {
+            // Size-leaning: keep inlining + vectorization off the table?
+            // Per §2.1.2, -Os is -O2 minus size-increasing passes
+            // (shrink-wrapping); vectorization survives at reduced scope.
+            inline(p, 8);
+            vectorize_loops(p);
+        }
+        Oz => {
+            // Smallest code: no vectorization (§2.1.2's example), no
+            // shrink-wrapping, minimal inlining.
+            inline(p, 4);
+        }
+    }
+
+    // Clean up after structural passes.
+    const_fold(p);
+    dce(p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    const KERNEL: &str = "double A[64]; double B[64];\n\
+                          int dead_out[64];\n\
+                          double sq(double x) { return x * x; }\n\
+                          void k(int n) {\n\
+                            for (int i = 0; i < n; i++) {\n\
+                              A[i] = sq(B[i]) / 40.0;\n\
+                              dead_out[i] = i;\n\
+                            }\n\
+                          }\n\
+                          double checksum() { return A[0] + A[63] + B[1]; }";
+
+    fn compiled(level: OptLevel, target: TargetKind) -> HProgram {
+        let mut p = analyze(&parse(lex(KERNEL).unwrap()).unwrap()).unwrap();
+        run_pipeline(&mut p, level, target);
+        p
+    }
+
+    fn loop_widths(p: &HProgram) -> Vec<u32> {
+        fn walk(stmts: &[crate::hir::HStmt], out: &mut Vec<u32>) {
+            for s in stmts {
+                if let crate::hir::HStmt::Loop { body, meta, .. } = s {
+                    out.push(meta.vector_width);
+                    walk(body, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for f in &p.funcs {
+            walk(&f.body, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn o2_vectorizes_o1_and_oz_do_not() {
+        assert!(loop_widths(&compiled(OptLevel::O2, TargetKind::Wasm)).contains(&4));
+        assert!(!loop_widths(&compiled(OptLevel::O1, TargetKind::Wasm)).contains(&4));
+        assert!(!loop_widths(&compiled(OptLevel::Oz, TargetKind::Wasm)).contains(&4));
+    }
+
+    #[test]
+    fn dead_global_removed_except_ofast_wasm() {
+        let o2 = compiled(OptLevel::O2, TargetKind::Wasm);
+        assert!(!o2.arrays.iter().any(|a| a.name == "dead_out"));
+        let ofast_native = compiled(OptLevel::Ofast, TargetKind::Native);
+        assert!(!ofast_native.arrays.iter().any(|a| a.name == "dead_out"));
+        // The bug: -Ofast targeting Wasm keeps the dead array + stores.
+        let ofast_wasm = compiled(OptLevel::Ofast, TargetKind::Wasm);
+        assert!(ofast_wasm.arrays.iter().any(|a| a.name == "dead_out"));
+    }
+
+    #[test]
+    fn o1_hoists_o2_rematerializes() {
+        let o1 = compiled(OptLevel::O1, TargetKind::Wasm);
+        let k = o1.funcs.iter().find(|f| f.name == "k").unwrap();
+        assert!(matches!(&k.body[0], crate::hir::HStmt::DeclLocal { .. }));
+        let o2 = compiled(OptLevel::O2, TargetKind::Wasm);
+        let k2 = o2.funcs.iter().find(|f| f.name == "k").unwrap();
+        let text = format!("{:?}", k2.body);
+        assert!(text.contains("ConstF(40.0") || text.contains("ConstF(0.025"), "{text}");
+    }
+
+    #[test]
+    fn ofast_sets_fast_math_and_reciprocal() {
+        let p = compiled(OptLevel::Ofast, TargetKind::Native);
+        assert!(p.fast_math);
+        let k = p.funcs.iter().find(|f| f.name == "k").unwrap();
+        let text = format!("{:?}", k.body);
+        assert!(text.contains("0.025"), "div 40.0 became mul 0.025: {text}");
+    }
+
+    #[test]
+    fn o2_inlines_sq() {
+        let p = compiled(OptLevel::O2, TargetKind::Wasm);
+        let k = p.funcs.iter().find(|f| f.name == "k").unwrap();
+        let text = format!("{:?}", k.body);
+        assert!(!text.contains("Callee"), "{text}");
+    }
+
+    #[test]
+    fn o0_is_identity() {
+        let mut p = analyze(&parse(lex(KERNEL).unwrap()).unwrap()).unwrap();
+        let before = p.clone();
+        run_pipeline(&mut p, OptLevel::O0, TargetKind::Wasm);
+        assert_eq!(p, before);
+    }
+}

@@ -1,0 +1,103 @@
+//! `-libcalls-shrinkwrap` (§2.1.2): wrap library calls whose results are
+//! unused in a domain-check condition so the (errno-setting) call can be
+//! skipped. The condition costs extra code size, which is why `-Os`/`-Oz`
+//! drop this pass.
+
+use crate::hir::*;
+
+/// Wrap unused-result math libcalls in domain guards.
+pub fn shrinkwrap(p: &mut HProgram) {
+    for f in &mut p.funcs {
+        wrap(&mut f.body);
+    }
+}
+
+fn wrap(stmts: &mut Vec<HStmt>) {
+    for s in stmts.iter_mut() {
+        match s {
+            HStmt::If(_, a, b) => {
+                wrap(a);
+                wrap(b);
+            }
+            HStmt::Loop {
+                init, step, body, ..
+            } => {
+                wrap(init);
+                wrap(step);
+                wrap(body);
+            }
+            HStmt::Switch { cases, default, .. } => {
+                for (_, body) in cases.iter_mut() {
+                    wrap(body);
+                }
+                wrap(default);
+            }
+            HStmt::Block(b) => wrap(b),
+            HStmt::Expr(HExpr::Call {
+                callee: Callee::Intrinsic(intr),
+                args,
+                ..
+            }) if guardable(*intr) && args.len() == 1 => {
+                // if (arg-in-domain) { call(arg); }
+                let arg = args[0].clone();
+                let guard = domain_guard(*intr, arg.clone());
+                let call = std::mem::replace(s, HStmt::Block(vec![]));
+                *s = HStmt::If(guard, vec![call], vec![]);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn guardable(i: Intrinsic) -> bool {
+    matches!(i, Intrinsic::Sqrt | Intrinsic::Log | Intrinsic::Exp)
+}
+
+fn domain_guard(i: Intrinsic, arg: HExpr) -> HExpr {
+    match i {
+        // sqrt/log: defined for non-negative / positive inputs.
+        Intrinsic::Sqrt => HExpr::Cmp(
+            HCmpOp::Ge,
+            Box::new(arg),
+            Box::new(HExpr::ConstF(0.0, Ty::F64)),
+            Ty::F64,
+        ),
+        Intrinsic::Log => HExpr::Cmp(
+            HCmpOp::Gt,
+            Box::new(arg),
+            Box::new(HExpr::ConstF(0.0, Ty::F64)),
+            Ty::F64,
+        ),
+        // exp: overflow guard.
+        _ => HExpr::Cmp(
+            HCmpOp::Lt,
+            Box::new(arg),
+            Box::new(HExpr::ConstF(709.0, Ty::F64)),
+            Ty::F64,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    #[test]
+    fn wraps_unused_libcalls() {
+        let src = "double d; void f() { sqrt(d); d = sqrt(d); }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        shrinkwrap(&mut p);
+        // First statement wrapped; the assignment untouched.
+        assert!(matches!(&p.funcs[0].body[0], HStmt::If(..)));
+        assert!(matches!(&p.funcs[0].body[1], HStmt::Assign { .. }));
+    }
+
+    #[test]
+    fn print_calls_untouched() {
+        let src = "void f() { print_int(1); }";
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        shrinkwrap(&mut p);
+        assert!(matches!(&p.funcs[0].body[0], HStmt::Expr(_)));
+    }
+}

@@ -1,0 +1,190 @@
+//! `-vectorize-loops` (§2.1.2): mark eligible innermost loops 4-wide.
+//!
+//! The pass only *annotates* the HIR (`LoopMeta::vector_width = 4`); what
+//! happens next is entirely target-dependent, and that asymmetry is the
+//! paper's central §4.2 finding:
+//!
+//! * the **native** backend executes vector loops with genuine 4-lane
+//!   savings (one vector op covers four scalar lanes);
+//! * the **Wasm/JS** backends have no SIMD (MVP), so they must strip-mine
+//!   the vector loop back to scalar code: an entry trip-count guard plus
+//!   per-iteration lane bookkeeping the rolled loop never needed — a few
+//!   percent more work and slightly bigger code.
+
+use crate::hir::*;
+
+/// Annotate vectorizable loops with a vector width of 4.
+pub fn vectorize_loops(p: &mut HProgram) {
+    for f in &mut p.funcs {
+        mark(&mut f.body);
+    }
+}
+
+fn mark(stmts: &mut [HStmt]) {
+    for s in stmts {
+        match s {
+            HStmt::Loop {
+                kind,
+                cond,
+                step,
+                body,
+                meta,
+                ..
+            } => {
+                // Recurse first: only innermost loops vectorize.
+                let had_inner = contains_loop(body);
+                mark(body);
+                if !had_inner
+                    && *kind == LoopKind::PreTest
+                    && cond.is_some()
+                    && is_canonical_step(step)
+                    && body_vectorizable(body)
+                {
+                    meta.vector_width = 4;
+                }
+            }
+            HStmt::If(_, a, b) => {
+                mark(a);
+                mark(b);
+            }
+            HStmt::Switch { cases, default, .. } => {
+                for (_, b) in cases.iter_mut() {
+                    mark(b);
+                }
+                mark(default);
+            }
+            HStmt::Block(b) => mark(b),
+            _ => {}
+        }
+    }
+}
+
+fn contains_loop(stmts: &[HStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        HStmt::Loop { .. } => true,
+        HStmt::If(_, a, b) => contains_loop(a) || contains_loop(b),
+        HStmt::Block(b) => contains_loop(b),
+        HStmt::Switch { cases, default, .. } => {
+            cases.iter().any(|(_, b)| contains_loop(b)) || contains_loop(default)
+        }
+        _ => false,
+    })
+}
+
+/// The step must be a single `i = i ± const` (canonical induction).
+fn is_canonical_step(step: &[HStmt]) -> bool {
+    if step.len() != 1 {
+        return false;
+    }
+    let (slot, value) = match &step[0] {
+        HStmt::Assign {
+            lhs: HLval::Local(slot),
+            value,
+        } => (*slot, value),
+        HStmt::Expr(HExpr::AssignExpr { lhs, value, .. }) => match lhs.as_ref() {
+            HLval::Local(slot) => (*slot, value.as_ref()),
+            _ => return false,
+        },
+        _ => return false,
+    };
+    is_increment_of(value, slot)
+}
+
+fn is_increment_of(e: &HExpr, slot: LocalId) -> bool {
+    match e {
+        HExpr::Binary(HBinOp::Add | HBinOp::Sub, a, b, _) => {
+            matches!(a.as_ref(), HExpr::Local(s, _) if *s == slot)
+                && matches!(b.as_ref(), HExpr::ConstI(..))
+        }
+        _ => false,
+    }
+}
+
+/// A vectorizable body: straight-line assignments/expressions with no
+/// calls, control flow, or cross-iteration scalar recurrences we cannot
+/// prove safe (anything but pure arithmetic bails out).
+fn body_vectorizable(stmts: &[HStmt]) -> bool {
+    stmts.iter().all(|s| match s {
+        HStmt::Assign { value, .. } => expr_vectorizable(value),
+        HStmt::DeclLocal { init, .. } => init.as_ref().map(expr_vectorizable).unwrap_or(true),
+        HStmt::Expr(e) => expr_vectorizable(e),
+        HStmt::Block(b) => body_vectorizable(b),
+        _ => false,
+    })
+}
+
+fn expr_vectorizable(e: &HExpr) -> bool {
+    match e {
+        HExpr::Call { .. } => false,
+        HExpr::And(..) | HExpr::Or(..) | HExpr::Ternary(..) => false,
+        HExpr::Unary(_, a, _) | HExpr::Cast { expr: a, .. } => expr_vectorizable(a),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) => {
+            expr_vectorizable(a) && expr_vectorizable(b)
+        }
+        HExpr::Elem { idx, .. } => idx.iter().all(expr_vectorizable),
+        HExpr::AssignExpr { value, .. } => expr_vectorizable(value),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, lex, parse};
+
+    fn vectorized_widths(src: &str) -> Vec<u32> {
+        let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
+        vectorize_loops(&mut p);
+        let mut widths = Vec::new();
+        fn walk(stmts: &[HStmt], out: &mut Vec<u32>) {
+            for s in stmts {
+                if let HStmt::Loop { body, meta, .. } = s {
+                    out.push(meta.vector_width);
+                    walk(body, out);
+                }
+            }
+        }
+        walk(&p.funcs[0].body, &mut widths);
+        widths
+    }
+
+    #[test]
+    fn marks_innermost_arithmetic_loop() {
+        let w = vectorized_widths(
+            "double A[64]; double B[64];\n\
+             void k(int n) {\n\
+               for (int j = 0; j < n; j++)\n\
+                 for (int i = 0; i < n; i++)\n\
+                   A[i] = A[i] * 2.0 + B[i];\n\
+             }",
+        );
+        assert_eq!(w, vec![1, 4], "outer scalar, inner vectorized");
+    }
+
+    #[test]
+    fn loops_with_calls_are_not_vectorized() {
+        let w = vectorized_widths(
+            "double A[64];\n\
+             void k(int n) { for (int i = 0; i < n; i++) A[i] = sqrt(A[i]); }",
+        );
+        assert_eq!(w, vec![1]);
+    }
+
+    #[test]
+    fn loops_with_branches_are_not_vectorized() {
+        let w = vectorized_widths(
+            "double A[64];\n\
+             void k(int n) { for (int i = 0; i < n; i++) { if (i > 2) A[i] = 1.0; } }",
+        );
+        assert_eq!(w, vec![1]);
+    }
+
+    #[test]
+    fn while_loops_with_noncanonical_step_skipped() {
+        let w = vectorized_widths(
+            "double A[64];\n\
+             void k(int n) { int i = 0; while (i < n) { A[i] = 1.0; i = i * 2 + 1; } }",
+        );
+        assert_eq!(w, vec![1]);
+    }
+}

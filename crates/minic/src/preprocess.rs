@@ -1,0 +1,172 @@
+//! Preprocessor-lite: object-like `#define` substitution.
+//!
+//! This is how dataset sizes are selected (§3.2): the harness injects
+//! `-D`-style definitions (e.g. `N=400`) exactly like PolyBenchC's
+//! `-DMEDIUM_DATASET`, and sources may carry their own `#define` lines
+//! with defaults. `#include` lines are ignored (MiniC has a built-in
+//! runtime instead of headers — the paper's §3.2 "missing libraries"
+//! situation, resolved the same way: alternative implementations).
+
+use crate::error::CompileError;
+use std::collections::HashMap;
+
+/// Apply `#define` directives and external definitions to `source`.
+///
+/// External `defines` take precedence over in-file `#define`s (mirroring
+/// `-D` on a C compiler command line).
+pub fn preprocess(
+    source: &str,
+    defines: &HashMap<String, String>,
+) -> Result<String, CompileError> {
+    let mut macros: HashMap<String, String> = HashMap::new();
+    let mut body_lines: Vec<String> = Vec::new();
+
+    for (lineno, line) in source.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("#define") {
+            let mut parts = rest.trim().splitn(2, char::is_whitespace);
+            let name = parts.next().unwrap_or("").trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(CompileError::Lex {
+                    line: lineno as u32 + 1,
+                    message: format!("bad #define name '{name}'"),
+                });
+            }
+            let value = parts.next().unwrap_or("1").trim().to_string();
+            // External -D definitions win.
+            if !defines.contains_key(name) {
+                macros.insert(name.to_string(), value);
+            }
+            body_lines.push(String::new()); // keep line numbers stable
+            continue;
+        }
+        if trimmed.starts_with("#include") || trimmed.starts_with("#pragma") {
+            body_lines.push(String::new());
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            return Err(CompileError::Lex {
+                line: lineno as u32 + 1,
+                message: format!("unsupported preprocessor directive: {trimmed}"),
+            });
+        }
+        body_lines.push(line.to_string());
+    }
+
+    for (k, v) in defines {
+        macros.insert(k.clone(), v.clone());
+    }
+
+    // Iterate substitution until fixpoint (macros may reference macros),
+    // with a depth limit to catch cycles.
+    let mut text = body_lines.join("\n");
+    for _ in 0..16 {
+        let new_text = substitute(&text, &macros);
+        if new_text == text {
+            return Ok(new_text);
+        }
+        text = new_text;
+    }
+    Err(CompileError::Lex {
+        line: 0,
+        message: "macro substitution did not converge (cycle?)".into(),
+    })
+}
+
+/// Whole-identifier textual substitution.
+fn substitute(text: &str, macros: &HashMap<String, String>) -> String {
+    if macros.is_empty() {
+        return text.to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            match macros.get(&word) {
+                Some(v) => out.push_str(v),
+                None => out.push_str(&word),
+            }
+        } else if c == '"' {
+            // Do not substitute inside string literals.
+            out.push(c);
+            i += 1;
+            while i < chars.len() {
+                out.push(chars[i]);
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    out.push(chars[i]);
+                } else if chars[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn in_file_defines_substitute() {
+        let out = preprocess("#define N 40\ndouble A[N][N];", &HashMap::new()).unwrap();
+        assert!(out.contains("double A[40][40];"));
+    }
+
+    #[test]
+    fn external_defines_override() {
+        let out = preprocess("#define N 40\ndouble A[N];", &defs(&[("N", "1200")])).unwrap();
+        assert!(out.contains("double A[1200];"));
+    }
+
+    #[test]
+    fn chained_macros_converge() {
+        let out = preprocess("#define M N\n#define N 7\nint a[M];", &HashMap::new()).unwrap();
+        assert!(out.contains("int a[7];"));
+    }
+
+    #[test]
+    fn cyclic_macros_error() {
+        let err = preprocess("#define A B\n#define B A\nint x = A;", &HashMap::new());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn strings_are_not_substituted() {
+        let out = preprocess("#define N 40\nprint_str(\"N results\");", &HashMap::new()).unwrap();
+        assert!(out.contains("\"N results\""));
+    }
+
+    #[test]
+    fn includes_are_ignored_and_lines_preserved() {
+        let out = preprocess("#include <stdio.h>\nint x;", &HashMap::new()).unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().nth(1).unwrap().contains("int x;"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let out = preprocess("#define N 40\nint NN = N;", &HashMap::new()).unwrap();
+        assert!(out.contains("int NN = 40;"));
+    }
+}

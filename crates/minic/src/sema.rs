@@ -1,0 +1,1167 @@
+//! Semantic analysis: typed lowering from AST to HIR.
+//!
+//! Inserts every numeric conversion explicitly (usual arithmetic
+//! conversions), resolves names, folds constant expressions used in array
+//! dimensions / initializers / case labels, and enforces the MiniC subset
+//! rules (global-only arrays, break-terminated switch arms, transformed
+//! exceptions/unions).
+
+use crate::ast::{self, Expr, Init, Item, Stmt, Target, TypeName, UnOp};
+use crate::error::CompileError;
+use crate::hir::*;
+use std::collections::HashMap;
+
+/// Analyze a (transformed) unit into an [`HProgram`].
+pub fn analyze(unit: &ast::Unit) -> Result<HProgram, CompileError> {
+    let mut sema = Sema::default();
+    sema.collect(unit)?;
+    sema.lower(unit)?;
+    Ok(sema.program)
+}
+
+fn scalar_ty(t: &TypeName) -> Result<Ty, CompileError> {
+    Ok(match t {
+        TypeName::Int { unsigned } => Ty::I32 {
+            unsigned: *unsigned,
+        },
+        // `char` promotes to int as a scalar.
+        TypeName::Char { unsigned } => Ty::I32 {
+            unsigned: *unsigned,
+        },
+        TypeName::Long { unsigned } => Ty::I64 {
+            unsigned: *unsigned,
+        },
+        TypeName::Float => Ty::F32,
+        TypeName::Double => Ty::F64,
+        TypeName::Void => Ty::Void,
+        TypeName::Union(tag) => {
+            return Err(CompileError::Unsupported {
+                construct: format!("union {tag}"),
+                hint: "run the §3.1 source transformer first".into(),
+            })
+        }
+    })
+}
+
+fn elem_ty(t: &TypeName) -> Result<ElemTy, CompileError> {
+    Ok(match t {
+        TypeName::Int { unsigned } => ElemTy::I32 {
+            unsigned: *unsigned,
+        },
+        TypeName::Char { unsigned } => ElemTy::I8 {
+            unsigned: *unsigned,
+        },
+        TypeName::Long { unsigned } => ElemTy::I64 {
+            unsigned: *unsigned,
+        },
+        TypeName::Float => ElemTy::F32,
+        TypeName::Double => ElemTy::F64,
+        TypeName::Void | TypeName::Union(_) => {
+            return Err(CompileError::Sema {
+                message: format!("invalid array element type {t:?}"),
+            })
+        }
+    })
+}
+
+/// The usual arithmetic conversions (C11 §6.3.1.8, reduced).
+fn common_ty(a: Ty, b: Ty) -> Ty {
+    use Ty::*;
+    match (a, b) {
+        (F64, _) | (_, F64) => F64,
+        (F32, _) | (_, F32) => F32,
+        (I64 { unsigned: ua }, I64 { unsigned: ub }) => I64 {
+            unsigned: ua || ub,
+        },
+        (I64 { unsigned }, _) | (_, I64 { unsigned }) => I64 { unsigned },
+        (I32 { unsigned: ua }, I32 { unsigned: ub }) => I32 {
+            unsigned: ua || ub,
+        },
+        _ => Ty::INT,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FuncSig {
+    id: FuncId,
+    params: Vec<Ty>,
+    ret: Ty,
+}
+
+#[derive(Default)]
+struct Sema {
+    program: HProgram,
+    global_ids: HashMap<String, GlobalId>,
+    array_ids: HashMap<String, ArrayId>,
+    func_sigs: HashMap<String, FuncSig>,
+}
+
+struct FnCtx {
+    locals: Vec<(String, Ty)>,
+    /// Scope stack: each scope maps name → slot.
+    scopes: Vec<HashMap<String, LocalId>>,
+    ret: Ty,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<LocalId> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty) -> LocalId {
+        let id = self.locals.len() as LocalId;
+        self.locals.push((name.to_string(), ty));
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), id);
+        id
+    }
+}
+
+impl Sema {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::Sema {
+            message: message.into(),
+        })
+    }
+
+    // ---- pass 1: symbols -------------------------------------------------
+
+    fn collect(&mut self, unit: &ast::Unit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            match item {
+                Item::Global {
+                    ty,
+                    name,
+                    dims,
+                    init,
+                    is_const,
+                } => {
+                    if dims.is_empty() {
+                        let sty = scalar_ty(ty)?;
+                        if sty == Ty::Void {
+                            return self.err(format!("void global {name}"));
+                        }
+                        let init = match init {
+                            Some(Init::Scalar(e)) => self.const_eval(e)?,
+                            Some(Init::List(_)) => {
+                                return self.err(format!("brace init on scalar {name}"))
+                            }
+                            None => ConstVal::I(0),
+                        };
+                        let id = self.program.globals.len() as GlobalId;
+                        self.program.globals.push(HGlobal {
+                            name: name.clone(),
+                            ty: sty,
+                            init,
+                        });
+                        if self.global_ids.insert(name.clone(), id).is_some() {
+                            return self.err(format!("duplicate global {name}"));
+                        }
+                    } else {
+                        let elem = elem_ty(ty)?;
+                        let mut cdims = Vec::new();
+                        for d in dims {
+                            let v = self.const_eval(d)?.as_i64();
+                            if v <= 0 || v > 1 << 28 {
+                                return self.err(format!("bad array dimension {v} for {name}"));
+                            }
+                            cdims.push(v as u32);
+                        }
+                        let total: u64 = cdims.iter().map(|d| *d as u64).product();
+                        let init = match init {
+                            Some(init) => Some(self.flatten_init(init, total as usize, name)?),
+                            None => None,
+                        };
+                        let id = self.program.arrays.len() as ArrayId;
+                        self.program.arrays.push(HArray {
+                            name: name.clone(),
+                            elem,
+                            dims: cdims,
+                            init,
+                            is_const: *is_const,
+                        });
+                        if self.array_ids.insert(name.clone(), id).is_some() {
+                            return self.err(format!("duplicate array {name}"));
+                        }
+                    }
+                }
+                Item::Func {
+                    ret, name, params, ..
+                } => {
+                    let sig = FuncSig {
+                        id: self.func_sigs.len() as FuncId,
+                        params: params
+                            .iter()
+                            .map(|(t, _)| scalar_ty(t))
+                            .collect::<Result<_, _>>()?,
+                        ret: scalar_ty(ret)?,
+                    };
+                    if Intrinsic::by_name(name).is_some() {
+                        return self.err(format!("function {name} shadows a runtime intrinsic"));
+                    }
+                    if self.func_sigs.insert(name.clone(), sig).is_some() {
+                        return self.err(format!("duplicate function {name}"));
+                    }
+                }
+                Item::UnionDef { name, .. } => {
+                    return Err(CompileError::Unsupported {
+                        construct: format!("union {name}"),
+                        hint: "run the §3.1 source transformer first".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flatten_init(
+        &self,
+        init: &Init,
+        total: usize,
+        name: &str,
+    ) -> Result<Vec<ConstVal>, CompileError> {
+        let mut out = Vec::with_capacity(total);
+        self.flatten_into(init, &mut out)?;
+        if out.len() > total {
+            return self.err(format!(
+                "initializer for {name} has {} values but array holds {total}",
+                out.len()
+            ));
+        }
+        out.resize(total, ConstVal::I(0));
+        Ok(out)
+    }
+
+    fn flatten_into(&self, init: &Init, out: &mut Vec<ConstVal>) -> Result<(), CompileError> {
+        match init {
+            Init::Scalar(e) => {
+                out.push(self.const_eval(e)?);
+                Ok(())
+            }
+            Init::List(items) => {
+                for i in items {
+                    self.flatten_into(i, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn const_eval(&self, e: &Expr) -> Result<ConstVal, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => ConstVal::I(*v),
+            Expr::Float(v) => ConstVal::F(*v),
+            Expr::Unary(UnOp::Neg, a) => match self.const_eval(a)? {
+                ConstVal::I(v) => ConstVal::I(-v),
+                ConstVal::F(v) => ConstVal::F(-v),
+            },
+            Expr::Unary(UnOp::BitNot, a) => ConstVal::I(!self.const_eval(a)?.as_i64()),
+            Expr::Binary(op, a, b) => {
+                let a = self.const_eval(a)?;
+                let b = self.const_eval(b)?;
+                use ast::BinOp::*;
+                match (a, b) {
+                    (ConstVal::I(x), ConstVal::I(y)) => ConstVal::I(match op {
+                        Add => x.wrapping_add(y),
+                        Sub => x.wrapping_sub(y),
+                        Mul => x.wrapping_mul(y),
+                        Div => {
+                            if y == 0 {
+                                return self.err("constant division by zero");
+                            }
+                            x.wrapping_div(y)
+                        }
+                        Mod => {
+                            if y == 0 {
+                                return self.err("constant modulo by zero");
+                            }
+                            x.wrapping_rem(y)
+                        }
+                        Shl => x.wrapping_shl(y as u32),
+                        Shr => x.wrapping_shr(y as u32),
+                        BitAnd => x & y,
+                        BitOr => x | y,
+                        BitXor => x ^ y,
+                        Lt => (x < y) as i64,
+                        Gt => (x > y) as i64,
+                        Le => (x <= y) as i64,
+                        Ge => (x >= y) as i64,
+                        Eq => (x == y) as i64,
+                        Ne => (x != y) as i64,
+                        And => ((x != 0) && (y != 0)) as i64,
+                        Or => ((x != 0) || (y != 0)) as i64,
+                    }),
+                    (x, y) => {
+                        let (x, y) = (x.as_f64(), y.as_f64());
+                        ConstVal::F(match op {
+                            Add => x + y,
+                            Sub => x - y,
+                            Mul => x * y,
+                            Div => x / y,
+                            _ => return self.err("unsupported constant float op"),
+                        })
+                    }
+                }
+            }
+            Expr::Cast(ty, a) => {
+                let v = self.const_eval(a)?;
+                match scalar_ty(ty)? {
+                    Ty::F32 | Ty::F64 => ConstVal::F(v.as_f64()),
+                    Ty::I32 { .. } => ConstVal::I(v.as_i64() as i32 as i64),
+                    Ty::I64 { .. } => ConstVal::I(v.as_i64()),
+                    Ty::Void => return self.err("cast to void in constant"),
+                }
+            }
+            other => return self.err(format!("not a constant expression: {other:?}")),
+        })
+    }
+
+    // ---- pass 2: bodies ---------------------------------------------------
+
+    fn lower(&mut self, unit: &ast::Unit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            if let Item::Func {
+                ret,
+                name,
+                params,
+                body,
+            } = item
+            {
+                let ret = scalar_ty(ret)?;
+                let mut ctx = FnCtx {
+                    locals: Vec::new(),
+                    scopes: vec![HashMap::new()],
+                    ret,
+                };
+                for (pty, pname) in params {
+                    ctx.declare(pname, scalar_ty(pty)?);
+                }
+                let body = self.stmts(&mut ctx, body)?;
+                self.program.funcs.push(HFunc {
+                    name: name.clone(),
+                    params: ctx.locals[..params.len()]
+                        .iter()
+                        .map(|(_, t)| *t)
+                        .collect(),
+                    ret,
+                    locals: ctx.locals,
+                    body,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, ctx: &mut FnCtx, stmts: &[Stmt]) -> Result<Vec<HStmt>, CompileError> {
+        let mut out = Vec::new();
+        for s in stmts {
+            out.push(self.stmt(ctx, s)?);
+        }
+        Ok(out)
+    }
+
+    fn scoped_stmts(
+        &mut self,
+        ctx: &mut FnCtx,
+        stmts: &[Stmt],
+    ) -> Result<Vec<HStmt>, CompileError> {
+        ctx.scopes.push(HashMap::new());
+        let r = self.stmts(ctx, stmts);
+        ctx.scopes.pop();
+        r
+    }
+
+    fn stmt(&mut self, ctx: &mut FnCtx, s: &Stmt) -> Result<HStmt, CompileError> {
+        Ok(match s {
+            Stmt::Decl {
+                ty,
+                name,
+                dims,
+                init,
+            } => {
+                if !dims.is_empty() {
+                    return Err(CompileError::Unsupported {
+                        construct: format!("local array {name}"),
+                        hint: "MiniC arrays must be globals".into(),
+                    });
+                }
+                let sty = scalar_ty(ty)?;
+                if sty == Ty::Void {
+                    return self.err(format!("void local {name}"));
+                }
+                let init = match init {
+                    Some(e) => {
+                        let he = self.expr(ctx, e)?;
+                        Some(self.coerce(he, sty))
+                    }
+                    None => None,
+                };
+                let id = ctx.declare(name, sty);
+                HStmt::DeclLocal { id, init }
+            }
+            Stmt::Expr(e) => match e {
+                // Assignments (plain, compound, inc/dec) in statement
+                // position lower to HStmt::Assign, avoiding AssignExpr's
+                // re-load.
+                Expr::Assign { .. } | Expr::IncDec { .. } => {
+                    let he = self.expr(ctx, e)?;
+                    match he {
+                        HExpr::AssignExpr { lhs, value, .. } => HStmt::Assign {
+                            lhs: *lhs,
+                            value: *value,
+                        },
+                        other => HStmt::Expr(other),
+                    }
+                }
+                other => {
+                    let he = self.expr(ctx, other)?;
+                    HStmt::Expr(he)
+                }
+            },
+            Stmt::If(cond, then, els) => {
+                let cond = self.condition(ctx, cond)?;
+                HStmt::If(
+                    cond,
+                    self.scoped_stmts(ctx, then)?,
+                    self.scoped_stmts(ctx, els)?,
+                )
+            }
+            Stmt::While(cond, body) => HStmt::Loop {
+                kind: LoopKind::PreTest,
+                init: vec![],
+                cond: Some(self.condition(ctx, cond)?),
+                step: vec![],
+                body: self.scoped_stmts(ctx, body)?,
+                meta: LoopMeta::default(),
+            },
+            Stmt::DoWhile(body, cond) => HStmt::Loop {
+                kind: LoopKind::PostTest,
+                init: vec![],
+                cond: Some(self.condition(ctx, cond)?),
+                step: vec![],
+                body: self.scoped_stmts(ctx, body)?,
+                meta: LoopMeta::default(),
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                ctx.scopes.push(HashMap::new());
+                let init_stmts = match init {
+                    Some(s) => vec![self.stmt(ctx, s)?],
+                    None => vec![],
+                };
+                let cond = cond
+                    .as_ref()
+                    .map(|c| self.condition(ctx, c))
+                    .transpose()?;
+                let step_stmts = match step {
+                    Some(e) => vec![self.stmt(ctx, &Stmt::Expr(e.clone()))?],
+                    None => vec![],
+                };
+                let body = self.scoped_stmts(ctx, body)?;
+                ctx.scopes.pop();
+                HStmt::Loop {
+                    kind: LoopKind::PreTest,
+                    init: init_stmts,
+                    cond,
+                    step: step_stmts,
+                    body,
+                    meta: LoopMeta::default(),
+                }
+            }
+            Stmt::Return(e) => match (e, ctx.ret) {
+                (None, Ty::Void) => HStmt::Return(None),
+                (None, _) => return self.err("missing return value"),
+                (Some(_), Ty::Void) => return self.err("return with value in void function"),
+                (Some(e), ret) => {
+                    let he = self.expr(ctx, e)?;
+                    HStmt::Return(Some(self.coerce(he, ret)))
+                }
+            },
+            Stmt::Break => HStmt::Break,
+            Stmt::Continue => HStmt::Continue,
+            Stmt::Switch(scrut, arms) => {
+                let scrut = self.expr(ctx, scrut)?;
+                let scrut = self.coerce(scrut, Ty::INT);
+                let mut cases: Vec<(i64, Vec<HStmt>)> = Vec::new();
+                let mut default: Option<Vec<HStmt>> = None;
+                // Empty arms share the next non-empty arm's body (the only
+                // fallthrough C idiom MiniC accepts).
+                let mut pending: Vec<Option<i64>> = Vec::new();
+                for arm in arms {
+                    let label = match &arm.value {
+                        Some(v) => Some(self.const_eval(v)?.as_i64()),
+                        None => None,
+                    };
+                    if arm.body.is_empty() {
+                        pending.push(label);
+                        continue;
+                    }
+                    if !arm_terminates(&arm.body) {
+                        return Err(CompileError::Unsupported {
+                            construct: "switch fallthrough".into(),
+                            hint: "end every non-empty case with break or return".into(),
+                        });
+                    }
+                    let mut body_ast = arm.body.clone();
+                    if matches!(body_ast.last(), Some(Stmt::Break)) {
+                        body_ast.pop();
+                    }
+                    let body = self.scoped_stmts(ctx, &body_ast)?;
+                    for p in pending.drain(..) {
+                        match p {
+                            Some(v) => cases.push((v, body.clone())),
+                            None => default = Some(body.clone()),
+                        }
+                    }
+                    match label {
+                        Some(v) => cases.push((v, body)),
+                        None => {
+                            if default.is_some() {
+                                return self.err("duplicate default arm");
+                            }
+                            default = Some(body);
+                        }
+                    }
+                }
+                for p in pending {
+                    match p {
+                        Some(v) => cases.push((v, vec![])),
+                        None => default = Some(vec![]),
+                    }
+                }
+                HStmt::Switch {
+                    scrut,
+                    cases,
+                    default: default.unwrap_or_default(),
+                }
+            }
+            Stmt::Block(b) => HStmt::Block(self.scoped_stmts(ctx, b)?),
+            // Multi-declarator groups share the enclosing scope.
+            Stmt::Group(b) => HStmt::Block(self.stmts(ctx, b)?),
+            Stmt::Try(..) | Stmt::Throw(_) => {
+                return Err(CompileError::Unsupported {
+                    construct: "exceptions".into(),
+                    hint: "run the §3.1 source transformer first".into(),
+                })
+            }
+        })
+    }
+
+    /// A condition: any scalar, normalized to i32 (non-zero = true).
+    fn condition(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<HExpr, CompileError> {
+        let he = self.expr(ctx, e)?;
+        Ok(self.as_bool(he))
+    }
+
+    fn as_bool(&self, he: HExpr) -> HExpr {
+        match he.ty() {
+            Ty::I32 { .. } => he,
+            Ty::I64 { unsigned } => HExpr::Cmp(
+                HCmpOp::Ne,
+                Box::new(he),
+                Box::new(HExpr::ConstI(0, Ty::I64 { unsigned })),
+                Ty::I64 { unsigned },
+            ),
+            Ty::F32 => HExpr::Cmp(
+                HCmpOp::Ne,
+                Box::new(he),
+                Box::new(HExpr::ConstF(0.0, Ty::F32)),
+                Ty::F32,
+            ),
+            Ty::F64 => HExpr::Cmp(
+                HCmpOp::Ne,
+                Box::new(he),
+                Box::new(HExpr::ConstF(0.0, Ty::F64)),
+                Ty::F64,
+            ),
+            Ty::Void => he, // sema rejects void conditions upstream via type errors
+        }
+    }
+
+    fn coerce(&self, e: HExpr, to: Ty) -> HExpr {
+        let from = e.ty();
+        if from == to || to == Ty::Void {
+            return e;
+        }
+        // Constant folding of conversions keeps the HIR clean.
+        match (&e, to) {
+            (HExpr::ConstI(v, _), Ty::F64) => return HExpr::ConstF(*v as f64, Ty::F64),
+            (HExpr::ConstI(v, _), Ty::F32) => return HExpr::ConstF(*v as f32 as f64, Ty::F32),
+            (HExpr::ConstI(v, _), t @ Ty::I32 { .. }) => {
+                return HExpr::ConstI(*v as i32 as i64, t)
+            }
+            (HExpr::ConstI(v, _), t @ Ty::I64 { .. }) => return HExpr::ConstI(*v, t),
+            (HExpr::ConstF(v, _), t @ Ty::F32) => return HExpr::ConstF(*v as f32 as f64, t),
+            (HExpr::ConstF(v, _), t @ Ty::F64) => return HExpr::ConstF(*v, t),
+            _ => {}
+        }
+        HExpr::Cast {
+            to,
+            from,
+            expr: Box::new(e),
+        }
+    }
+
+    fn lval(&mut self, ctx: &mut FnCtx, t: &Target) -> Result<(HLval, Ty), CompileError> {
+        match t {
+            Target::Name(n) => {
+                if let Some(id) = ctx.lookup(n) {
+                    let ty = ctx.locals[id as usize].1;
+                    Ok((HLval::Local(id), ty))
+                } else if let Some(&gid) = self.global_ids.get(n) {
+                    Ok((HLval::Global(gid), self.program.globals[gid as usize].ty))
+                } else if self.array_ids.contains_key(n) {
+                    self.err(format!("cannot assign to array {n} as a whole"))
+                } else {
+                    self.err(format!("unknown variable {n}"))
+                }
+            }
+            Target::Index(n, idxs) => {
+                let &aid = self
+                    .array_ids
+                    .get(n)
+                    .ok_or_else(|| CompileError::Sema {
+                        message: format!("unknown array {n}"),
+                    })?;
+                let arr = self.program.arrays[aid as usize].clone();
+                if arr.is_const {
+                    return self.err(format!("assignment to const array {n}"));
+                }
+                if idxs.len() != arr.dims.len() {
+                    return self.err(format!(
+                        "array {n} needs {} indices, got {}",
+                        arr.dims.len(),
+                        idxs.len()
+                    ));
+                }
+                let idx = idxs
+                    .iter()
+                    .map(|i| {
+                        let he = self.expr(ctx, i)?;
+                        Ok(self.coerce(he, Ty::INT))
+                    })
+                    .collect::<Result<Vec<_>, CompileError>>()?;
+                Ok((HLval::Elem { array: aid, idx }, arr.elem.loaded_ty()))
+            }
+            Target::Member(..) => Err(CompileError::Unsupported {
+                construct: "union member".into(),
+                hint: "run the §3.1 source transformer first".into(),
+            }),
+        }
+    }
+
+    fn expr(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<HExpr, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => {
+                // Literals outside i32 range type as long, like C.
+                if *v > i32::MAX as i64 || *v < i32::MIN as i64 {
+                    HExpr::ConstI(*v, Ty::I64 { unsigned: false })
+                } else {
+                    HExpr::ConstI(*v, Ty::INT)
+                }
+            }
+            Expr::Float(v) => HExpr::ConstF(*v, Ty::F64),
+            Expr::Str(_) => {
+                return self.err("string literal outside print_str".to_string());
+            }
+            Expr::Name(n) => {
+                if let Some(id) = ctx.lookup(n) {
+                    HExpr::Local(id, ctx.locals[id as usize].1)
+                } else if let Some(&gid) = self.global_ids.get(n) {
+                    HExpr::Global(gid, self.program.globals[gid as usize].ty)
+                } else {
+                    return self.err(format!("unknown variable {n}"));
+                }
+            }
+            Expr::Index(n, idxs) => {
+                let &aid = self
+                    .array_ids
+                    .get(n)
+                    .ok_or_else(|| CompileError::Sema {
+                        message: format!("unknown array {n}"),
+                    })?;
+                let arr = self.program.arrays[aid as usize].clone();
+                if idxs.len() != arr.dims.len() {
+                    return self.err(format!(
+                        "array {n} needs {} indices, got {}",
+                        arr.dims.len(),
+                        idxs.len()
+                    ));
+                }
+                let idx = idxs
+                    .iter()
+                    .map(|i| {
+                        let he = self.expr(ctx, i)?;
+                        Ok(self.coerce(he, Ty::INT))
+                    })
+                    .collect::<Result<Vec<_>, CompileError>>()?;
+                HExpr::Elem {
+                    array: aid,
+                    idx,
+                    ty: arr.elem.loaded_ty(),
+                }
+            }
+            Expr::Call(name, args) => self.call(ctx, name, args)?,
+            Expr::Unary(op, a) => {
+                let ha = self.expr(ctx, a)?;
+                match op {
+                    UnOp::Neg => {
+                        let ty = match ha.ty() {
+                            t if t.is_float() => t,
+                            Ty::I64 { .. } => Ty::I64 { unsigned: false },
+                            _ => Ty::INT,
+                        };
+                        let ha = self.coerce(ha, ty);
+                        match ha {
+                            HExpr::ConstI(v, t) => HExpr::ConstI(v.wrapping_neg(), t),
+                            HExpr::ConstF(v, t) => HExpr::ConstF(-v, t),
+                            other => HExpr::Unary(HUnOp::Neg, Box::new(other), ty),
+                        }
+                    }
+                    UnOp::Not => {
+                        let b = self.as_bool(ha);
+                        HExpr::Unary(HUnOp::Not, Box::new(b), Ty::INT)
+                    }
+                    UnOp::BitNot => {
+                        let ty = match ha.ty() {
+                            Ty::I64 { unsigned } => Ty::I64 { unsigned },
+                            Ty::I32 { unsigned } => Ty::I32 { unsigned },
+                            _ => return self.err("~ on non-integer"),
+                        };
+                        HExpr::Unary(HUnOp::BitNot, Box::new(ha), ty)
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                use ast::BinOp::*;
+                match op {
+                    And => {
+                        let ha = self.condition(ctx, a)?;
+                        let hb = self.condition(ctx, b)?;
+                        HExpr::And(Box::new(ha), Box::new(hb))
+                    }
+                    Or => {
+                        let ha = self.condition(ctx, a)?;
+                        let hb = self.condition(ctx, b)?;
+                        HExpr::Or(Box::new(ha), Box::new(hb))
+                    }
+                    Lt | Gt | Le | Ge | Eq | Ne => {
+                        let ha = self.expr(ctx, a)?;
+                        let hb = self.expr(ctx, b)?;
+                        let ty = common_ty(ha.ty(), hb.ty());
+                        let ha = self.coerce(ha, ty);
+                        let hb = self.coerce(hb, ty);
+                        let cmp = match op {
+                            Lt => HCmpOp::Lt,
+                            Gt => HCmpOp::Gt,
+                            Le => HCmpOp::Le,
+                            Ge => HCmpOp::Ge,
+                            Eq => HCmpOp::Eq,
+                            Ne => HCmpOp::Ne,
+                            _ => unreachable!(),
+                        };
+                        HExpr::Cmp(cmp, Box::new(ha), Box::new(hb), ty)
+                    }
+                    arith => {
+                        let ha = self.expr(ctx, a)?;
+                        let hb = self.expr(ctx, b)?;
+                        let hop = match arith {
+                            Add => HBinOp::Add,
+                            Sub => HBinOp::Sub,
+                            Mul => HBinOp::Mul,
+                            Div => HBinOp::Div,
+                            Mod => HBinOp::Rem,
+                            BitAnd => HBinOp::BitAnd,
+                            BitOr => HBinOp::BitOr,
+                            BitXor => HBinOp::BitXor,
+                            Shl => HBinOp::Shl,
+                            Shr => HBinOp::Shr,
+                            _ => unreachable!(),
+                        };
+                        // Shifts keep the left operand's type.
+                        let ty = if matches!(hop, HBinOp::Shl | HBinOp::Shr) {
+                            match ha.ty() {
+                                t if t.is_int() => t,
+                                _ => return self.err("shift on non-integer"),
+                            }
+                        } else {
+                            common_ty(ha.ty(), hb.ty())
+                        };
+                        if matches!(
+                            hop,
+                            HBinOp::BitAnd | HBinOp::BitOr | HBinOp::BitXor
+                        ) && ty.is_float()
+                        {
+                            return self.err("bitwise op on float");
+                        }
+                        if hop == HBinOp::Rem && ty.is_float() {
+                            return self.err("% on float (use fmod-free formulations)");
+                        }
+                        let rhs_ty = if matches!(hop, HBinOp::Shl | HBinOp::Shr) {
+                            Ty::INT
+                        } else {
+                            ty
+                        };
+                        let ha = self.coerce(ha, ty);
+                        let hb = self.coerce(hb, rhs_ty);
+                        HExpr::Binary(hop, Box::new(ha), Box::new(hb), ty)
+                    }
+                }
+            }
+            Expr::Ternary(c, a, b) => {
+                let hc = self.condition(ctx, c)?;
+                let ha = self.expr(ctx, a)?;
+                let hb = self.expr(ctx, b)?;
+                let ty = common_ty(ha.ty(), hb.ty());
+                HExpr::Ternary(
+                    Box::new(hc),
+                    Box::new(self.coerce(ha, ty)),
+                    Box::new(self.coerce(hb, ty)),
+                    ty,
+                )
+            }
+            Expr::Cast(ty, a) => {
+                let ha = self.expr(ctx, a)?;
+                let to = scalar_ty(ty)?;
+                self.coerce(ha, to)
+            }
+            Expr::Assign { target, op, value } => {
+                let (lhs, lty) = self.lval(ctx, target)?;
+                let rhs = self.expr(ctx, value)?;
+                let value = match op {
+                    None => self.coerce(rhs, lty),
+                    Some(op) => {
+                        // Desugar `x op= v` into `x = x op v`.
+                        let load = self.load_lval(&lhs, lty);
+                        let combined = Expr::Binary(
+                            *op,
+                            Box::new(Expr::Int(0)), // placeholder, replaced below
+                            Box::new(Expr::Int(0)),
+                        );
+                        let _ = combined;
+                        let hop = match op {
+                            ast::BinOp::Add => HBinOp::Add,
+                            ast::BinOp::Sub => HBinOp::Sub,
+                            ast::BinOp::Mul => HBinOp::Mul,
+                            ast::BinOp::Div => HBinOp::Div,
+                            ast::BinOp::Mod => HBinOp::Rem,
+                            ast::BinOp::BitAnd => HBinOp::BitAnd,
+                            ast::BinOp::BitOr => HBinOp::BitOr,
+                            ast::BinOp::BitXor => HBinOp::BitXor,
+                            ast::BinOp::Shl => HBinOp::Shl,
+                            ast::BinOp::Shr => HBinOp::Shr,
+                            other => return self.err(format!("bad compound op {other:?}")),
+                        };
+                        let ty = if matches!(hop, HBinOp::Shl | HBinOp::Shr) {
+                            lty
+                        } else {
+                            common_ty(lty, rhs.ty())
+                        };
+                        let rhs_ty = if matches!(hop, HBinOp::Shl | HBinOp::Shr) {
+                            Ty::INT
+                        } else {
+                            ty
+                        };
+                        let lhs_conv = self.coerce(load, ty);
+                        let rhs_conv = self.coerce(rhs, rhs_ty);
+                        let combined =
+                            HExpr::Binary(hop, Box::new(lhs_conv), Box::new(rhs_conv), ty);
+                        self.coerce(combined, lty)
+                    }
+                };
+                HExpr::AssignExpr {
+                    lhs: Box::new(lhs),
+                    value: Box::new(value),
+                    ty: lty,
+                }
+            }
+            Expr::IncDec { target, delta } => {
+                let desugared = Expr::Assign {
+                    target: target.clone(),
+                    op: Some(ast::BinOp::Add),
+                    value: Box::new(Expr::Int(*delta)),
+                };
+                self.expr(ctx, &desugared)?
+            }
+            Expr::Member(..) => {
+                return Err(CompileError::Unsupported {
+                    construct: "union member".into(),
+                    hint: "run the §3.1 source transformer first".into(),
+                })
+            }
+        })
+    }
+
+    fn load_lval(&self, lhs: &HLval, ty: Ty) -> HExpr {
+        match lhs {
+            HLval::Local(id) => HExpr::Local(*id, ty),
+            HLval::Global(id) => HExpr::Global(*id, ty),
+            HLval::Elem { array, idx } => HExpr::Elem {
+                array: *array,
+                idx: idx.clone(),
+                ty,
+            },
+        }
+    }
+
+    fn call(
+        &mut self,
+        ctx: &mut FnCtx,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<HExpr, CompileError> {
+        if let Some(intr) = Intrinsic::by_name(name) {
+            // print_str takes a literal string.
+            if intr == Intrinsic::PrintStr {
+                let [Expr::Str(s)] = args else {
+                    return self.err("print_str takes one string literal");
+                };
+                let sid = self.program.strings.len() as StrId;
+                self.program.strings.push(s.clone());
+                return Ok(HExpr::Call {
+                    callee: Callee::Intrinsic(intr),
+                    args: vec![],
+                    ty: Ty::Void,
+                    str_arg: Some(sid),
+                });
+            }
+            let param_tys: Vec<Ty> = match intr {
+                Intrinsic::PrintI32 => vec![Ty::INT],
+                Intrinsic::PrintI64 => vec![Ty::I64 { unsigned: false }],
+                Intrinsic::PrintF64 => vec![Ty::F64],
+                Intrinsic::Pow => vec![Ty::F64, Ty::F64],
+                Intrinsic::F64Bits => vec![Ty::F64],
+                Intrinsic::F64FromBits => vec![Ty::I64 { unsigned: false }],
+                Intrinsic::F32Bits => vec![Ty::F32],
+                Intrinsic::F32FromBits => vec![Ty::INT],
+                _ => vec![Ty::F64],
+            };
+            if args.len() != param_tys.len() {
+                return self.err(format!(
+                    "{name} takes {} argument(s), got {}",
+                    param_tys.len(),
+                    args.len()
+                ));
+            }
+            let hargs = args
+                .iter()
+                .zip(&param_tys)
+                .map(|(a, t)| {
+                    let he = self.expr(ctx, a)?;
+                    Ok(self.coerce(he, *t))
+                })
+                .collect::<Result<Vec<_>, CompileError>>()?;
+            return Ok(HExpr::Call {
+                callee: Callee::Intrinsic(intr),
+                args: hargs,
+                ty: intr.ret_ty(),
+                str_arg: None,
+            });
+        }
+        let sig = self
+            .func_sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CompileError::Sema {
+                message: format!("unknown function {name}"),
+            })?;
+        if args.len() != sig.params.len() {
+            return self.err(format!(
+                "{name} takes {} argument(s), got {}",
+                sig.params.len(),
+                args.len()
+            ));
+        }
+        let hargs = args
+            .iter()
+            .zip(&sig.params)
+            .map(|(a, t)| {
+                let he = self.expr(ctx, a)?;
+                Ok(self.coerce(he, *t))
+            })
+            .collect::<Result<Vec<_>, CompileError>>()?;
+        Ok(HExpr::Call {
+            callee: Callee::Func(sig.id),
+            args: hargs,
+            ty: sig.ret,
+            str_arg: None,
+        })
+    }
+}
+
+/// True when a switch arm cannot fall through (ends with break/return).
+fn arm_terminates(body: &[Stmt]) -> bool {
+    matches!(body.last(), Some(Stmt::Break) | Some(Stmt::Return(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn an(src: &str) -> HProgram {
+        analyze(&parse(lex(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn an_err(src: &str) -> CompileError {
+        analyze(&parse(lex(src).unwrap()).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn lowers_kernel_with_casts() {
+        let p = an("double A[4][4];\n\
+                    void k(int n) {\n\
+                      for (int i = 0; i < n; i++) A[i][i] = i / 2.0;\n\
+                    }");
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.params, vec![Ty::INT]);
+        // Body: one Loop whose assignment casts i (int) to double.
+        let HStmt::Loop { body, .. } = &f.body[0] else {
+            panic!("{:?}", f.body)
+        };
+        let HStmt::Assign { value, .. } = &body[0] else {
+            panic!("{body:?}")
+        };
+        assert_eq!(value.ty(), Ty::F64);
+    }
+
+    #[test]
+    fn usual_arithmetic_conversions() {
+        let p = an("long x; int y; double d; void f() { d = x + y; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // x + y promotes to i64, then casts to f64.
+        let HExpr::Cast { from, to, .. } = value else {
+            panic!("{value:?}")
+        };
+        assert_eq!(*from, Ty::I64 { unsigned: false });
+        assert_eq!(*to, Ty::F64);
+    }
+
+    #[test]
+    fn unsigned_propagates() {
+        let p = an("unsigned int a; int b; int r; void f() { r = (a / b) > 3u; }");
+        let text = format!("{:?}", p.funcs[0].body);
+        assert!(text.contains("unsigned: true"), "{text}");
+    }
+
+    #[test]
+    fn local_arrays_rejected() {
+        assert!(matches!(
+            an_err("void f() { int a[10]; }"),
+            CompileError::Unsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn const_array_writes_rejected() {
+        assert!(matches!(
+            an_err("const int t[2] = {1, 2}; void f() { t[0] = 5; }"),
+            CompileError::Sema { .. }
+        ));
+    }
+
+    #[test]
+    fn switch_fallthrough_rejected_but_shared_labels_ok() {
+        assert!(matches!(
+            an_err("void f(int x) { switch (x) { case 0: x = 1; case 1: break; } }"),
+            CompileError::Unsupported { .. }
+        ));
+        let p = an("int r; void f(int x) { switch (x) { case 0: case 1: r = 7; break; default: r = 9; break; } }");
+        let HStmt::Switch { cases, default, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].1, cases[1].1);
+        assert!(!default.is_empty());
+    }
+
+    #[test]
+    fn intrinsics_resolve() {
+        let p = an("double d; void f() { d = sqrt(d) + pow(d, 2.0); print_double(d); }");
+        let text = format!("{:?}", p.funcs[0].body);
+        assert!(text.contains("Sqrt"));
+        assert!(text.contains("Pow"));
+        assert!(text.contains("PrintF64"));
+    }
+
+    #[test]
+    fn print_str_interned() {
+        let p = an("void f() { print_str(\"done\"); }");
+        assert_eq!(p.strings, vec!["done".to_string()]);
+    }
+
+    #[test]
+    fn global_init_lists_flattened_and_padded() {
+        let p = an("int t[2][3] = { {1, 2}, {4} };");
+        let init = p.arrays[0].init.as_ref().unwrap();
+        let vals: Vec<i64> = init.iter().map(|c| c.as_i64()).collect();
+        // Brace-elision flattening: values fill row-major then pad.
+        assert_eq!(vals, vec![1, 2, 4, 0, 0, 0]);
+    }
+
+    #[test]
+    fn compound_assign_desugars() {
+        let p = an("double s; void f(double x) { s += x * 2.0; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(value, HExpr::Binary(HBinOp::Add, ..)));
+    }
+
+    #[test]
+    fn incdec_desugars_to_assignexpr() {
+        let p = an("void f(int n) { for (int i = 0; i < n; i++) { } }");
+        let HStmt::Loop { step, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        let text = format!("{step:?}");
+        assert!(text.contains("Assign"), "{text}");
+    }
+
+    #[test]
+    fn forward_calls_resolve() {
+        let p = an("int f(int x) { return g(x) + 1; } int g(int x) { return x * 2; }");
+        assert_eq!(p.funcs.len(), 2);
+    }
+
+    #[test]
+    fn unknown_symbols_error() {
+        assert!(matches!(an_err("void f() { x = 1; }"), CompileError::Sema { .. }));
+        assert!(matches!(
+            an_err("void f() { g(); }"),
+            CompileError::Sema { .. }
+        ));
+    }
+
+    #[test]
+    fn conditions_normalize_to_i32() {
+        let p = an("double d; int r; void f() { if (d) r = 1; while (d - 1.0) r = 2; }");
+        let HStmt::If(cond, ..) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(cond.ty(), Ty::INT);
+    }
+
+    #[test]
+    fn large_literals_become_long() {
+        let p = an("long x; void f() { x = 0x7fffffffffffffff; }");
+        let HStmt::Assign { value, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(value.ty(), Ty::I64 { unsigned: false });
+    }
+}

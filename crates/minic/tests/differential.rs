@@ -1,0 +1,338 @@
+//! Differential testing: every program must produce byte-identical output
+//! on all three backends (native evaluator, Wasm VM, MiniJS engine) at
+//! matching optimization levels — the strongest correctness check the
+//! compiler has.
+
+use std::collections::HashMap;
+use wb_jsvm::{JsVm, JsVmConfig};
+use wb_minic::{Compiler, OptLevel};
+use wb_wasm_vm::{HostCtx, HostFn, Instance, Value, WasmVmConfig};
+
+/// Standard host imports for compiled modules: print functions and Math.
+fn host_imports(strings: Vec<String>) -> HashMap<String, HostFn> {
+    let mut m: HashMap<String, HostFn> = HashMap::new();
+    m.insert(
+        "env.print_i32".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            ctx.output.push(args[0].as_i32().to_string());
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_i64".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            ctx.output.push(args[0].as_i64().to_string());
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_f64".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[Value]| {
+            let v = args[0].as_f64();
+            let s = if v.is_nan() {
+                "NaN".into()
+            } else if v.is_infinite() {
+                if v > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+            } else if v == v.trunc() && v.abs() < 1e21 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            };
+            ctx.output.push(s);
+            Ok(None)
+        }),
+    );
+    m.insert(
+        "env.print_str".into(),
+        Box::new(move |ctx: &mut HostCtx, args: &[Value]| {
+            let id = args[0].as_i32() as usize;
+            ctx.output.push(strings.get(id).cloned().unwrap_or_default());
+            Ok(None)
+        }),
+    );
+    for (name, f) in [
+        ("math.exp", f64::exp as fn(f64) -> f64),
+        ("math.log", f64::ln),
+        ("math.sin", f64::sin),
+        ("math.cos", f64::cos),
+        ("math.tan", f64::tan),
+        ("math.atan", f64::atan),
+    ] {
+        m.insert(
+            name.into(),
+            Box::new(move |_ctx: &mut HostCtx, args: &[Value]| {
+                Ok(Some(Value::F64(f(args[0].as_f64()))))
+            }),
+        );
+    }
+    m.insert(
+        "math.pow".into(),
+        Box::new(|_ctx: &mut HostCtx, args: &[Value]| {
+            Ok(Some(Value::F64(args[0].as_f64().powf(args[1].as_f64()))))
+        }),
+    );
+    m
+}
+
+/// Run a program on all three backends and return the three output logs.
+fn run_all(src: &str, level: OptLevel, entry: &str) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let compiler = Compiler::cheerp().opt_level(level);
+
+    // Native.
+    let native = compiler.compile_native(src).expect("native compile");
+    let nout = native.run(entry, &[]).expect("native run");
+
+    // Wasm.
+    let wasm = compiler.compile_wasm(src).expect("wasm compile");
+    wb_wasm::validate(&wasm.module).expect("module validates");
+    let mut inst = Instance::from_module(
+        wasm.module,
+        WasmVmConfig::reference(),
+        host_imports(wasm.strings),
+    )
+    .expect("instantiate");
+    inst.invoke(entry, &[]).expect("wasm run");
+
+    // JS.
+    let js = compiler.compile_js(src).expect("js compile");
+    let mut vm = JsVm::new(JsVmConfig::reference());
+    vm.load(&js.source)
+        .unwrap_or_else(|e| panic!("js load failed: {e}\n{}", js.source));
+    vm.call(entry, &[])
+        .unwrap_or_else(|e| panic!("js run failed: {e}\n{}", js.source));
+
+    (nout.output, inst.output.clone(), vm.output.clone())
+}
+
+fn assert_all_equal(src: &str, entry: &str) {
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::Oz] {
+        let (native, wasm, js) = run_all(src, level, entry);
+        assert_eq!(native, wasm, "native vs wasm at {level:?}");
+        assert_eq!(native, js, "native vs js at {level:?}");
+        assert!(!native.is_empty(), "program must print something");
+    }
+}
+
+#[test]
+fn matrix_kernel_agrees() {
+    assert_all_equal(
+        "#define N 12\n\
+         double A[N][N]; double B[N][N]; double C[N][N];\n\
+         void main_test() {\n\
+           for (int i = 0; i < N; i++)\n\
+             for (int j = 0; j < N; j++) {\n\
+               A[i][j] = (double)((i * j + 3) % 7) / 7.0;\n\
+               B[i][j] = (double)((i - j) % 5) / 5.0;\n\
+             }\n\
+           for (int i = 0; i < N; i++)\n\
+             for (int j = 0; j < N; j++) {\n\
+               double s = 0.0;\n\
+               for (int k = 0; k < N; k++) s += A[i][k] * B[k][j];\n\
+               C[i][j] = s;\n\
+             }\n\
+           double check = 0.0;\n\
+           for (int i = 0; i < N; i++)\n\
+             for (int j = 0; j < N; j++) check += C[i][j];\n\
+           print_double(check);\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn integer_and_unsigned_arithmetic_agrees() {
+    assert_all_equal(
+        "unsigned int state;\n\
+         void main_test() {\n\
+           state = 12345u;\n\
+           int acc = 0;\n\
+           for (int i = 0; i < 200; i++) {\n\
+             state = state * 1103515245u + 12345u;\n\
+             acc = acc ^ (int)(state >> 16);\n\
+             acc = acc + (int)(state % 97u);\n\
+           }\n\
+           print_int(acc);\n\
+           print_int((int)(state / 3u));\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn i64_arithmetic_agrees() {
+    // Exercises the JS pair lowering: add/sub/mul/div/rem/shifts/compares.
+    assert_all_equal(
+        "long acc;\n\
+         void main_test() {\n\
+           acc = 0x123456789abcdef;\n\
+           long x = acc;\n\
+           for (int i = 0; i < 40; i++) {\n\
+             x = x * 6364136223846793005 + 1442695040888963407;\n\
+             acc = acc + (x >> 33);\n\
+             if (x < 0) acc = acc - 1;\n\
+           }\n\
+           print_long(acc);\n\
+           print_long(acc / 1000);\n\
+           print_long(acc % 999983);\n\
+           unsigned long u = (unsigned long)acc;\n\
+           print_long((long)(u >> 7));\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn control_flow_agrees() {
+    assert_all_equal(
+        "int fib(int n) { if (n < 3) return 1; return fib(n - 1) + fib(n - 2); }\n\
+         int classify(int op) {\n\
+           switch (op) {\n\
+             case 0: return 10;\n\
+             case 1: case 2: return 20;\n\
+             case 7: return 70;\n\
+             default: return -1;\n\
+           }\n\
+         }\n\
+         void main_test() {\n\
+           print_int(fib(15));\n\
+           for (int i = 0; i < 9; i++) print_int(classify(i));\n\
+           int i = 0; int s = 0;\n\
+           do { s += i * i; i++; } while (i < 10);\n\
+           print_int(s);\n\
+           int brk = 0;\n\
+           for (int j = 0; j < 100; j++) {\n\
+             if (j % 3 == 0) continue;\n\
+             if (j > 20) break;\n\
+             brk += j;\n\
+           }\n\
+           print_int(brk);\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn union_transform_agrees() {
+    assert_all_equal(
+        "union U { double d; long long ll; };\n\
+         union U u;\n\
+         void main_test() {\n\
+           u.d = 1.5;\n\
+           print_long(u.ll);\n\
+           u.ll = 4611686018427387904;\n\
+           print_double(u.d);\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn exception_transform_agrees() {
+    assert_all_equal(
+        "int ok;\n\
+         void check(int x) {\n\
+           try {\n\
+             if (x < 0) throw 1;\n\
+             ok = 1;\n\
+           } catch (...) {\n\
+             ok = 0;\n\
+           }\n\
+         }\n\
+         void main_test() {\n\
+           check(5); print_int(ok);\n\
+           check(-5); print_int(ok);\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn math_intrinsics_agree() {
+    assert_all_equal(
+        "void main_test() {\n\
+           double x = 2.0;\n\
+           print_double(sqrt(x * 8.0));\n\
+           print_double(fabs(-3.25));\n\
+           print_double(floor(2.75) + ceil(2.25));\n\
+           print_double(pow(2.0, 10.0));\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn char_arrays_agree() {
+    assert_all_equal(
+        "char buf[16];\n\
+         unsigned char ubuf[16];\n\
+         void main_test() {\n\
+           for (int i = 0; i < 16; i++) { buf[i] = i * 17 - 100; ubuf[i] = i * 19 + 200; }\n\
+           int s = 0; int us = 0;\n\
+           for (int i = 0; i < 16; i++) { s += buf[i]; us += ubuf[i]; }\n\
+           print_int(s);\n\
+           print_int(us);\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn vectorized_o2_matches_scalar_oz() {
+    // The unrolled lowering must not change results.
+    let src = "#define N 103\n\
+               double A[N]; double B[N];\n\
+               void main_test() {\n\
+                 for (int i = 0; i < N; i++) { A[i] = (double)i * 0.5; B[i] = (double)(N - i); }\n\
+                 for (int i = 0; i < N; i++) A[i] = A[i] * 2.0 + B[i];\n\
+                 double s = 0.0;\n\
+                 for (int i = 0; i < N; i++) s += A[i];\n\
+                 print_double(s);\n\
+               }";
+    let (n_o2, w_o2, j_o2) = run_all(src, OptLevel::O2, "main_test");
+    let (n_oz, w_oz, j_oz) = run_all(src, OptLevel::Oz, "main_test");
+    assert_eq!(n_o2, n_oz);
+    assert_eq!(w_o2, w_oz);
+    assert_eq!(j_o2, j_oz);
+    assert_eq!(n_o2, w_o2);
+    assert_eq!(n_o2, j_o2);
+}
+
+#[test]
+fn global_initializers_agree() {
+    assert_all_equal(
+        "const int tab[3][4] = { {1, 2, 3, 4}, {5, 6}, {9, 10, 11, 12} };\n\
+         long big[4] = { 1311768467463790320, -2, 3, 0 };\n\
+         double dt[3] = { 0.5, -1.25, 1e10 };\n\
+         void main_test() {\n\
+           int s = 0;\n\
+           for (int i = 0; i < 3; i++)\n\
+             for (int j = 0; j < 4; j++) s += tab[i][j];\n\
+           print_int(s);\n\
+           long ls = 0;\n\
+           for (int i = 0; i < 4; i++) ls = ls + big[i] / 16;\n\
+           print_long(ls);\n\
+           double ds = 0.0;\n\
+           for (int i = 0; i < 3; i++) ds += dt[i];\n\
+           print_double(ds);\n\
+         }",
+        "main_test",
+    );
+}
+
+#[test]
+fn ofast_agrees_with_itself_across_backends() {
+    // -Ofast relaxes IEEE semantics, so it is compared across backends at
+    // the same level (all three apply the same reciprocal rewrite), not
+    // against -O2.
+    let src = "#define N 50\n\
+               double A[N];\n\
+               void main_test() {\n\
+                 for (int i = 0; i < N; i++) A[i] = (double)(i + 1) / 8.0;\n\
+                 double s = 0.0;\n\
+                 for (int i = 0; i < N; i++) s += A[i];\n\
+                 print_double(s);\n\
+               }";
+    let (native, wasm, js) = run_all(src, OptLevel::Ofast, "main_test");
+    assert_eq!(native, wasm);
+    assert_eq!(native, js);
+}

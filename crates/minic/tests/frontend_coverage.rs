@@ -1,0 +1,183 @@
+//! Frontend edge cases: preprocessor, parser and sema behaviours the
+//! corpus relies on but unit tests don't pin down.
+
+use wb_minic::{analyze, lex, parse, preprocess, CompileError, Compiler, OptLevel};
+
+fn compiles(src: &str) -> bool {
+    Compiler::cheerp().compile_wasm(src).is_ok()
+}
+
+fn sema_err(src: &str) -> CompileError {
+    match Compiler::cheerp().compile_wasm(src) {
+        Err(e) => e,
+        Ok(_) => panic!("expected failure:\n{src}"),
+    }
+}
+
+#[test]
+fn operator_precedence_matches_c() {
+    // Each pair must evaluate identically under C precedence.
+    let src = "void bench_main() {\n\
+                 print_int(2 + 3 * 4);          // 14\n\
+                 print_int(1 << 2 + 1);         // shift binds looser: 8\n\
+                 print_int(7 & 3 == 3);         // == binds tighter: 7 & 1 = 1\n\
+                 print_int(1 | 2 ^ 2 & 6);      // 1 | (2 ^ (2 & 6)) = 1\n\
+                 print_int(10 - 4 - 3);         // left assoc: 3\n\
+                 print_int(-2 * -3);            // unary: 6\n\
+                 print_int(~0 + 1);             // 0\n\
+                 print_int(1 < 2 == 4 > 3);     // 1\n\
+               }";
+    let native = Compiler::cheerp()
+        .compile_native(src)
+        .expect("compiles")
+        .run("bench_main", &[])
+        .expect("runs");
+    assert_eq!(native.output, vec!["14", "8", "1", "1", "3", "6", "0", "1"]);
+}
+
+#[test]
+fn preprocessor_arithmetic_in_dims() {
+    let out = preprocess("#define N 8\nint a[N * 2 + 1];", &Default::default()).expect("ok");
+    assert!(out.contains("int a[8 * 2 + 1];"));
+    // Constant expressions in dims are folded by sema.
+    let hir = analyze(&parse(lex(&out).expect("lex")).expect("parse")).expect("sema");
+    assert_eq!(hir.arrays[0].dims, vec![17]);
+}
+
+#[test]
+fn comma_declarations_and_mixed_scopes() {
+    assert!(compiles(
+        "int g1, g2;\n\
+         void bench_main() {\n\
+           int a = 1, b = 2, c;\n\
+           c = a + b;\n\
+           { int a = 10; c += a; }\n\
+           g1 = c;\n\
+           print_int(g1);\n\
+         }"
+    ));
+}
+
+#[test]
+fn shadowing_resolves_innermost() {
+    let src = "void bench_main() {\n\
+                 int x = 1;\n\
+                 { int x = 2; print_int(x); }\n\
+                 print_int(x);\n\
+                 for (int x = 9; x < 10; x++) print_int(x);\n\
+               }";
+    let out = Compiler::cheerp()
+        .compile_native(src)
+        .expect("compiles")
+        .run("bench_main", &[])
+        .expect("runs");
+    assert_eq!(out.output, vec!["2", "1", "9"]);
+}
+
+#[test]
+fn useful_error_messages() {
+    match sema_err("void bench_main() { frob(); }") {
+        CompileError::Sema { message } => assert!(message.contains("frob"), "{message}"),
+        other => panic!("{other}"),
+    }
+    match sema_err("int a[4]; void bench_main() { a[0][1] = 1; }") {
+        CompileError::Sema { message } => {
+            assert!(message.contains("indices"), "{message}")
+        }
+        other => panic!("{other}"),
+    }
+    match sema_err("void bench_main() { int x[3]; }") {
+        CompileError::Unsupported { construct, .. } => {
+            assert!(construct.contains("local array"), "{construct}")
+        }
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn sema_rejects_type_abuse() {
+    assert!(matches!(
+        sema_err("double d; void bench_main() { d = d % 2.0; }"),
+        CompileError::Sema { .. }
+    ));
+    assert!(matches!(
+        sema_err("double d; void bench_main() { d = d & 1.0; }"),
+        CompileError::Sema { .. }
+    ));
+    assert!(matches!(
+        sema_err("int f() { return; } void bench_main() { }"),
+        CompileError::Sema { .. }
+    ));
+    assert!(matches!(
+        sema_err("void f() { return 1; } void bench_main() { }"),
+        CompileError::Sema { .. }
+    ));
+}
+
+#[test]
+fn duplicate_symbols_rejected() {
+    assert!(matches!(
+        sema_err("int x; int x; void bench_main() { }"),
+        CompileError::Sema { .. }
+    ));
+    assert!(matches!(
+        sema_err("void f() { } void f() { } void bench_main() { }"),
+        CompileError::Sema { .. }
+    ));
+    // Shadowing a runtime intrinsic is the §3.2 pre-compiled-library
+    // conflict, reported as such.
+    assert!(matches!(
+        sema_err("double sqrt(double x) { return x; } void bench_main() { }"),
+        CompileError::Sema { .. }
+    ));
+}
+
+#[test]
+fn char_literals_and_hex() {
+    let src = "void bench_main() {\n\
+                 print_int('A');\n\
+                 print_int('\\n');\n\
+                 print_int(0xff + 0x10);\n\
+               }";
+    let out = Compiler::cheerp()
+        .compile_native(src)
+        .expect("compiles")
+        .run("bench_main", &[])
+        .expect("runs");
+    assert_eq!(out.output, vec!["65", "10", "271"]);
+}
+
+#[test]
+fn all_seven_levels_compile_the_whole_corpus_frontend() {
+    // Frontend + pipeline succeed for every benchmark at every level
+    // (emission checked elsewhere; this pins the pass pipelines).
+    for b in wb_benchmarks_corpus() {
+        for level in OptLevel::ALL {
+            let mut c = Compiler::cheerp().opt_level(level).heap_limit(256 << 20);
+            for (k, v) in &b.1 {
+                c = c.define(k, v.clone());
+            }
+            c.compile_wasm(&b.0)
+                .unwrap_or_else(|e| panic!("{level}: {e}"));
+        }
+    }
+}
+
+/// A local mini-corpus to keep this test self-contained (the full corpus
+/// is exercised in wb-benchmarks' integration tests).
+fn wb_benchmarks_corpus() -> Vec<(String, Vec<(String, String)>)> {
+    vec![
+        (
+            "#define N 8\ndouble A[N]; void bench_main() { for (int i = 0; i < N; i++) A[i] = i; print_double(A[N-1]); }".into(),
+            vec![],
+        ),
+        (
+            "int t[4] = {1, 2, 3, 4}; void bench_main() { int s = 0; for (int i = 0; i < 4; i++) s += t[i]; print_int(s); }".into(),
+            vec![],
+        ),
+        (
+            "long x; void bench_main() { x = 1; for (int i = 0; i < 40; i++) x = x * 3 + 1; print_long(x); }".into(),
+            vec![],
+        ),
+    ]
+}

@@ -1,0 +1,231 @@
+//! Differential property testing: randomly generated arithmetic programs
+//! must produce identical output on the native evaluator, the Wasm VM and
+//! the MiniJS engine, at `-O0` and `-O2`.
+//!
+//! The generator builds integer/double expression straight-line programs
+//! over a few scalar variables, with guarded division so no backend traps.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wb_jsvm::{JsVm, JsVmConfig};
+use wb_minic::{Compiler, OptLevel};
+use wb_wasm_vm::{HostCtx, HostFn, Instance, WasmVmConfig};
+
+/// Expression AST over the variables `a`..`d` (int) and `x`..`z` (double).
+#[derive(Debug, Clone)]
+enum IExpr {
+    Const(i32),
+    Var(u8),
+    Add(Box<IExpr>, Box<IExpr>),
+    Sub(Box<IExpr>, Box<IExpr>),
+    Mul(Box<IExpr>, Box<IExpr>),
+    /// Division guarded as `e / ((d | 1))`-style non-zero denominators.
+    DivByOdd(Box<IExpr>, Box<IExpr>),
+    Xor(Box<IExpr>, Box<IExpr>),
+    Shl(Box<IExpr>, u8),
+}
+
+fn iexpr() -> impl Strategy<Value = IExpr> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(IExpr::Const),
+        (0u8..4).prop_map(IExpr::Var),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::DivByOdd(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Xor(Box::new(a), Box::new(b))),
+            (inner, 0u8..8).prop_map(|(a, s)| IExpr::Shl(Box::new(a), s)),
+        ]
+    })
+}
+
+fn to_c(e: &IExpr) -> String {
+    match e {
+        IExpr::Const(v) => format!("({v})"),
+        IExpr::Var(i) => format!("v{i}"),
+        IExpr::Add(a, b) => format!("({} + {})", to_c(a), to_c(b)),
+        IExpr::Sub(a, b) => format!("({} - {})", to_c(a), to_c(b)),
+        IExpr::Mul(a, b) => format!("({} * {})", to_c(a), to_c(b)),
+        IExpr::DivByOdd(a, b) => format!("({} / (({} | 1)))", to_c(a), to_c(b)),
+        IExpr::Xor(a, b) => format!("({} ^ {})", to_c(a), to_c(b)),
+        IExpr::Shl(a, s) => format!("({} << {s})", to_c(a)),
+    }
+}
+
+fn host_imports() -> HashMap<String, HostFn> {
+    let mut m: HashMap<String, HostFn> = HashMap::new();
+    m.insert(
+        "env.print_i32".into(),
+        Box::new(|ctx: &mut HostCtx, args: &[wb_wasm_vm::Value]| {
+            ctx.output.push(args[0].as_i32().to_string());
+            Ok(None)
+        }),
+    );
+    m
+}
+
+fn run_everywhere(src: &str, level: OptLevel) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let c = Compiler::cheerp().opt_level(level);
+    let native = c
+        .compile_native(src)
+        .expect("native compiles")
+        .run("bench_main", &[])
+        .expect("native runs");
+    let wasm = c.compile_wasm(src).expect("wasm compiles");
+    wb_wasm::validate(&wasm.module).expect("valid module");
+    let mut inst =
+        Instance::from_module(wasm.module, WasmVmConfig::reference(), host_imports())
+            .expect("instantiates");
+    inst.invoke("bench_main", &[]).expect("wasm runs");
+    let js = c.compile_js(src).expect("js compiles");
+    let mut vm = JsVm::new(JsVmConfig::reference());
+    vm.load(&js.source)
+        .unwrap_or_else(|e| panic!("js load: {e}\n{}", js.source));
+    vm.call("bench_main", &[])
+        .unwrap_or_else(|e| panic!("js run: {e}\n{}", js.source));
+    (native.output, inst.output.clone(), vm.output.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn int_expression_programs_agree(
+        exprs in proptest::collection::vec(iexpr(), 1..5),
+        seeds in proptest::collection::vec(-100i32..100, 4),
+    ) {
+        let mut src = String::new();
+        for (i, s) in seeds.iter().enumerate() {
+            src.push_str(&format!("int v{i} = {s};\n"));
+        }
+        src.push_str("void bench_main() {\n");
+        for (i, e) in exprs.iter().enumerate() {
+            // Feed results back into the variables so expressions chain.
+            src.push_str(&format!("  v{} = {};\n", i % 4, to_c(e)));
+        }
+        for i in 0..4 {
+            src.push_str(&format!("  print_int(v{i});\n"));
+        }
+        src.push_str("}\n");
+
+        let (n0, w0, j0) = run_everywhere(&src, OptLevel::O0);
+        prop_assert_eq!(&n0, &w0, "native vs wasm at O0\n{}", src);
+        prop_assert_eq!(&n0, &j0, "native vs js at O0\n{}", src);
+        let (n2, w2, j2) = run_everywhere(&src, OptLevel::O2);
+        prop_assert_eq!(&n2, &w2, "native vs wasm at O2\n{}", src);
+        prop_assert_eq!(&n2, &j2, "native vs js at O2\n{}", src);
+        // Optimization must not change observable results.
+        prop_assert_eq!(&n0, &n2, "O0 vs O2\n{}", src);
+    }
+
+    #[test]
+    fn loops_with_random_bounds_agree(
+        bound in 1i32..60,
+        step in 1i32..4,
+        scale in -8i32..8,
+    ) {
+        let src = format!(
+            "int acc;\n\
+             void bench_main() {{\n\
+               acc = 0;\n\
+               for (int i = 0; i < {bound}; i += {step}) {{\n\
+                 acc = acc * 3 + i * {scale};\n\
+                 if (acc > 100000) acc = acc - 200000;\n\
+                 if (acc < -100000) acc = acc + 200000;\n\
+               }}\n\
+               print_int(acc);\n\
+             }}"
+        );
+        let (n, w, j) = run_everywhere(&src, OptLevel::O2);
+        prop_assert_eq!(&n, &w);
+        prop_assert_eq!(&n, &j);
+    }
+
+    #[test]
+    fn unsigned_arithmetic_agrees(a in any::<u32>(), b in 1u32..u32::MAX) {
+        let src = format!(
+            "unsigned int ua; unsigned int ub;\n\
+             void bench_main() {{\n\
+               ua = {a}u; ub = {b}u;\n\
+               print_int((int)(ua / ub));\n\
+               print_int((int)(ua % ub));\n\
+               print_int((int)(ua >> 3));\n\
+               print_int((int)(ua * ub));\n\
+               print_int(ua > ub ? 1 : 0);\n\
+             }}"
+        );
+        let (n, w, j) = run_everywhere(&src, OptLevel::O2);
+        prop_assert_eq!(&n, &w);
+        prop_assert_eq!(&n, &j);
+    }
+
+    #[test]
+    fn i64_arithmetic_agrees(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0 && !(a == i64::MIN && b == -1));
+        let src = format!(
+            "long la; long lb;\n\
+             void bench_main() {{\n\
+               la = {a}; lb = {b};\n\
+               print_long(la + lb);\n\
+               print_long(la - lb);\n\
+               print_long(la * lb);\n\
+               print_long(la / lb);\n\
+               print_long(la % lb);\n\
+               print_long(la >> 7);\n\
+               print_long((long)((unsigned long)la >> 9));\n\
+               print_long(la ^ lb);\n\
+               print_int(la < lb ? 1 : 0);\n\
+             }}"
+        );
+        let c = Compiler::cheerp();
+        let native = c.compile_native(&src).unwrap().run("bench_main", &[]).unwrap();
+        let js = c.compile_js(&src).unwrap();
+        let mut vm = JsVm::new(JsVmConfig::reference());
+        vm.load(&js.source).unwrap();
+        vm.call("bench_main", &[]).unwrap();
+        prop_assert_eq!(&native.output, &vm.output, "src:\n{}\njs:\n{}", src, js.source);
+    }
+}
+
+// `print_long` needs the i64 host import; extend the map lazily for the
+// wasm path of the differential tests above.
+#[test]
+fn i64_wasm_path_agrees_on_samples() {
+    for (a, b) in [
+        (1234567890123456789i64, 37i64),
+        (-987654321987654321, 12345),
+        (i64::MAX, 2),
+        (i64::MIN + 1, -3),
+    ] {
+        let src = format!(
+            "long la; long lb;\n\
+             void bench_main() {{\n\
+               la = {a}; lb = {b};\n\
+               print_long(la * lb + (la / lb) - (la % lb));\n\
+               print_long((la << 5) ^ (lb >> 2));\n\
+             }}"
+        );
+        let c = Compiler::cheerp();
+        let native = c
+            .compile_native(&src)
+            .unwrap()
+            .run("bench_main", &[])
+            .unwrap();
+        let wasm = c.compile_wasm(&src).unwrap();
+        let mut m: HashMap<String, HostFn> = HashMap::new();
+        m.insert(
+            "env.print_i64".into(),
+            Box::new(|ctx: &mut HostCtx, args: &[wb_wasm_vm::Value]| {
+                ctx.output.push(args[0].as_i64().to_string());
+                Ok(None)
+            }),
+        );
+        let mut inst = Instance::from_module(wasm.module, WasmVmConfig::reference(), m).unwrap();
+        inst.invoke("bench_main", &[]).unwrap();
+        assert_eq!(native.output, inst.output, "{src}");
+    }
+}

@@ -1,0 +1,378 @@
+//! Instance lifecycle: instantiation (decode → validate → baseline
+//! compile → memory/global/table init → start function), host-function
+//! binding, tier state, and measurement reporting.
+
+use crate::prep::PreparedModule;
+use crate::trap::Trap;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::rc::Rc;
+use wb_env::{
+    ArithCounts, CostTable, Nanos, OpCounts, TierPolicy, TimeBucket, VirtualClock,
+    WasmEngineProfile,
+};
+use wb_wasm::{decode_module, validate, LinearMemory, Module, ValType};
+
+/// Configuration of one VM run.
+#[derive(Debug, Clone)]
+pub struct WasmVmConfig {
+    /// Engine parameters (tiers, thresholds, grow costs, context switch).
+    pub profile: WasmEngineProfile,
+    /// Which compilation tiers are enabled (Table 11 flags).
+    pub tier_policy: TierPolicy,
+    /// Base cost table shared with the JS engine.
+    pub cost: CostTable,
+    /// Nanoseconds per abstract cycle (platform speed).
+    pub cycle_time_ns: f64,
+    /// Toolchain codegen overhead multiplier applied to executed
+    /// instruction cycles (Cheerp vs Emscripten, §4.2.2). 1.0 for
+    /// hand-written modules.
+    pub exec_overhead: f64,
+    /// Maximum call depth before [`Trap::StackOverflow`].
+    pub max_call_depth: usize,
+    /// Maximum retired instructions before [`Trap::StepBudgetExhausted`].
+    pub max_steps: u64,
+}
+
+impl WasmVmConfig {
+    /// A standalone default suitable for unit tests: reference engine
+    /// profile, desktop cycle time, no toolchain overhead.
+    pub fn reference() -> Self {
+        WasmVmConfig {
+            profile: WasmEngineProfile::reference(),
+            tier_policy: TierPolicy::Default,
+            cost: CostTable::reference(),
+            cycle_time_ns: wb_env::calibration::DESKTOP_CYCLE_NS,
+            exec_overhead: 1.0,
+            max_call_depth: 2_048,
+            max_steps: u64::MAX,
+        }
+    }
+
+    /// Derive a config from an environment profile.
+    pub fn for_env(env: &wb_env::EnvProfile) -> Self {
+        WasmVmConfig {
+            profile: env.wasm,
+            tier_policy: TierPolicy::Default,
+            cost: CostTable::reference(),
+            cycle_time_ns: env.cycle_time_ns,
+            exec_overhead: 1.0,
+            max_call_depth: 2_048,
+            max_steps: u64::MAX,
+        }
+    }
+}
+
+/// Execution tier of a compiled function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tier {
+    Baseline = 0,
+    Optimizing = 1,
+}
+
+/// Per-function tier state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FuncState {
+    pub tier: Tier,
+    pub hotness: u64,
+}
+
+/// Context handed to host functions.
+pub struct HostCtx<'a> {
+    /// The instance's linear memory, if declared.
+    pub memory: Option<&'a mut LinearMemory>,
+    /// Console-style output sink (what the page's JS would log).
+    pub output: &'a mut Vec<String>,
+}
+
+/// A bound host (JavaScript) function.
+pub type HostFn = Box<dyn FnMut(&mut HostCtx<'_>, &[Value]) -> Result<Option<Value>, Trap>>;
+
+/// Memory accounting snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryStats {
+    /// Current linear memory size in bytes (monotonic — never shrinks).
+    pub linear_bytes: u64,
+    /// Number of `memory.grow` operations executed.
+    pub grow_count: u64,
+    /// Total pages added by grows.
+    pub grown_pages: u64,
+}
+
+/// Everything measured about an execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Total virtual time, including load/compile/exec/grow/switch.
+    pub total: Nanos,
+    /// Time attribution breakdown.
+    pub clock: VirtualClock,
+    /// Retired operations by class, across tiers.
+    pub counts: OpCounts,
+    /// Retired operations executed in the baseline tier only.
+    pub baseline_counts: OpCounts,
+    /// Linear memory statistics.
+    pub memory: MemoryStats,
+    /// Fine-grained arithmetic profile (Table 12).
+    pub arith: ArithCounts,
+    /// Functions that tiered up at runtime.
+    pub tier_ups: u32,
+    /// Host-boundary crossings charged.
+    pub context_switches: u64,
+}
+
+/// An instantiated module ready to execute.
+pub struct Instance {
+    pub(crate) prepared: Rc<PreparedModule>,
+    pub(crate) config: WasmVmConfig,
+    pub(crate) memory: Option<LinearMemory>,
+    pub(crate) globals: Vec<Value>,
+    pub(crate) table: Vec<Option<u32>>,
+    pub(crate) func_state: Vec<FuncState>,
+    pub(crate) hostfns: HashMap<String, HostFn>,
+    /// Retired ops per tier: `[baseline, optimizing]`.
+    pub(crate) tier_counts: [OpCounts; 2],
+    pub(crate) arith: ArithCounts,
+    pub(crate) clock: VirtualClock,
+    pub(crate) steps: u64,
+    pub(crate) tier_ups: u32,
+    pub(crate) context_switches: u64,
+    /// Console output produced through host functions.
+    pub output: Vec<String>,
+}
+
+impl Instance {
+    /// Instantiate from a binary, charging decode + validate + baseline
+    /// (or optimizing, per policy) compile costs — the Wasm "load" phase
+    /// the paper contrasts with JS parsing (§2.2.2).
+    pub fn instantiate(
+        bytes: &[u8],
+        config: WasmVmConfig,
+        hostfns: HashMap<String, HostFn>,
+    ) -> Result<Instance, Trap> {
+        let module = decode_module(bytes).map_err(|e| Trap::Host {
+            message: format!("decode failed: {e}"),
+        })?;
+        validate(&module).map_err(|e| Trap::Host {
+            message: format!("validation failed: {e}"),
+        })?;
+        let mut inst = Self::from_module(module, config, hostfns)?;
+        let p = inst.config.profile;
+        let nbytes = bytes.len() as f64;
+        inst.charge_bucket(
+            p.instantiate_base + nbytes * (p.decode_cost_per_byte + p.validate_cost_per_byte),
+            TimeBucket::Load,
+        );
+        inst.charge_initial_compile();
+        inst.run_start()?;
+        Ok(inst)
+    }
+
+    /// Instantiate from an already-decoded module (skips the decode charge
+    /// but still charges compilation). Used by tests and by callers who
+    /// track encode size separately.
+    pub fn from_module(
+        module: Module,
+        config: WasmVmConfig,
+        hostfns: HashMap<String, HostFn>,
+    ) -> Result<Instance, Trap> {
+        let memory = module.memory.map(|spec| LinearMemory::new(spec.limits));
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| match g.init {
+                wb_wasm::Instr::I32Const(v) => Value::I32(v),
+                wb_wasm::Instr::I64Const(v) => Value::I64(v),
+                wb_wasm::Instr::F32Const(v) => Value::F32(v),
+                wb_wasm::Instr::F64Const(v) => Value::F64(v),
+                _ => Value::I32(0),
+            })
+            .collect();
+        let mut table: Vec<Option<u32>> = match module.table {
+            Some(t) => vec![None; t.limits.min as usize],
+            None => Vec::new(),
+        };
+        for el in &module.elements {
+            let start = el.offset as usize;
+            let end = start + el.funcs.len();
+            if end > table.len() {
+                return Err(Trap::ElementSegmentOutOfBounds);
+            }
+            for (i, f) in el.funcs.iter().enumerate() {
+                table[start + i] = Some(*f);
+            }
+        }
+        let initial_tier = match config.tier_policy {
+            TierPolicy::OptimizingOnly => Tier::Optimizing,
+            _ => Tier::Baseline,
+        };
+        let func_state = vec![
+            FuncState {
+                tier: initial_tier,
+                hotness: 0,
+            };
+            module.functions.len()
+        ];
+        let mut memory = memory;
+        for d in &module.data {
+            let mem = memory.as_mut().ok_or(Trap::DataSegmentOutOfBounds)?;
+            mem.write(d.offset as u64, &d.bytes)
+                .map_err(|_| Trap::DataSegmentOutOfBounds)?;
+        }
+        Ok(Instance {
+            prepared: Rc::new(PreparedModule::new(module)),
+            config,
+            memory,
+            globals,
+            table,
+            func_state,
+            hostfns,
+            tier_counts: [OpCounts::new(), OpCounts::new()],
+            arith: ArithCounts::default(),
+            clock: VirtualClock::new(),
+            steps: 0,
+            tier_ups: 0,
+            context_switches: 0,
+            output: Vec::new(),
+        })
+    }
+
+    pub(crate) fn charge_bucket(&mut self, cycles: f64, bucket: TimeBucket) {
+        let ns = Nanos(cycles * self.config.cycle_time_ns);
+        self.clock.advance(ns, bucket);
+    }
+
+    fn charge_initial_compile(&mut self) {
+        let per_unit = match self.config.tier_policy {
+            TierPolicy::OptimizingOnly => self.config.profile.optimizing.compile_cost_per_unit,
+            _ => self.config.profile.baseline.compile_cost_per_unit,
+        };
+        let units: usize = self.prepared.module.instr_count();
+        self.charge_bucket(units as f64 * per_unit, TimeBucket::Compile);
+    }
+
+    fn run_start(&mut self) -> Result<(), Trap> {
+        if let Some(start) = self.prepared.module.start {
+            self.call_function(start, Vec::new(), 0)?;
+        }
+        Ok(())
+    }
+
+    /// Invoke an exported function from "JavaScript", charging the
+    /// entry/exit context switches (§4.5).
+    pub fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, Trap> {
+        let func_index = self
+            .prepared
+            .module
+            .exported_func(name)
+            .ok_or_else(|| Trap::NoSuchExport { name: name.into() })?;
+        let ty = self
+            .prepared
+            .module
+            .func_type(func_index)
+            .ok_or_else(|| Trap::NoSuchExport { name: name.into() })?
+            .clone();
+        if ty.params.len() != args.len() {
+            return Err(Trap::BadInvokeArgs {
+                detail: format!("expected {} args, got {}", ty.params.len(), args.len()),
+            });
+        }
+        for (i, (a, want)) in args.iter().zip(ty.params.iter()).enumerate() {
+            if a.ty() != *want {
+                return Err(Trap::BadInvokeArgs {
+                    detail: format!("arg {i}: expected {:?}, got {:?}", want, a.ty()),
+                });
+            }
+        }
+        self.cross_boundary();
+        let r = self.call_function(func_index, args.to_vec(), 0);
+        self.cross_boundary();
+        r
+    }
+
+    pub(crate) fn cross_boundary(&mut self) {
+        self.context_switches += 1;
+        self.charge_bucket(self.config.profile.context_switch, TimeBucket::ContextSwitch);
+    }
+
+    /// Current measurement snapshot, with executed-op cycles converted to
+    /// time using each tier's multiplier and the toolchain overhead.
+    pub fn report(&self) -> ExecutionReport {
+        let p = &self.config.profile;
+        let base_cycles = self
+            .config
+            .cost
+            .cycles(&self.tier_counts[0], p.baseline.exec_multiplier);
+        let opt_cycles = self
+            .config
+            .cost
+            .cycles(&self.tier_counts[1], p.optimizing.exec_multiplier);
+        let exec_ns = Nanos(
+            (base_cycles + opt_cycles) * self.config.exec_overhead * self.config.cycle_time_ns,
+        );
+        let mut clock = self.clock.clone();
+        clock.advance(exec_ns, TimeBucket::Exec);
+        let memory = match &self.memory {
+            Some(m) => MemoryStats {
+                linear_bytes: m.size_bytes() as u64,
+                grow_count: m.grow_count,
+                grown_pages: m.grown_pages,
+            },
+            None => MemoryStats::default(),
+        };
+        ExecutionReport {
+            total: clock.now(),
+            counts: self.tier_counts[0].merged(&self.tier_counts[1]),
+            baseline_counts: self.tier_counts[0],
+            arith: self.arith,
+            clock,
+            memory,
+            tier_ups: self.tier_ups,
+            context_switches: self.context_switches,
+        }
+    }
+
+    /// Look up the numeric value of an exported global (test/IO helper).
+    pub fn exported_global(&self, name: &str) -> Option<Value> {
+        self.prepared.module.exports.iter().find_map(|e| match e.kind {
+            wb_wasm::ExportKind::Global(i) if e.name == name => {
+                self.globals.get(i as usize).copied()
+            }
+            _ => None,
+        })
+    }
+
+    /// Read bytes from linear memory (embedder API, like a JS typed-array
+    /// view over `WebAssembly.Memory`).
+    pub fn read_memory(&self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
+        let mem = self.memory.as_ref().ok_or(Trap::MemoryOutOfBounds {
+            addr,
+            width: len as u32,
+        })?;
+        mem.read(addr, len as u32)
+            .map(|s| s.to_vec())
+            .map_err(|_| Trap::MemoryOutOfBounds {
+                addr,
+                width: len as u32,
+            })
+    }
+
+    /// Write bytes into linear memory (embedder API).
+    pub fn write_memory(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        let mem = self.memory.as_mut().ok_or(Trap::MemoryOutOfBounds {
+            addr,
+            width: bytes.len() as u32,
+        })?;
+        mem.write(addr, bytes).map_err(|_| Trap::MemoryOutOfBounds {
+            addr,
+            width: bytes.len() as u32,
+        })
+    }
+
+    /// The function signature of an export, if present.
+    pub fn export_signature(&self, name: &str) -> Option<(Vec<ValType>, Vec<ValType>)> {
+        let idx = self.prepared.module.exported_func(name)?;
+        let ty = self.prepared.module.func_type(idx)?;
+        Some((ty.params.clone(), ty.results.clone()))
+    }
+}
+

@@ -1,0 +1,111 @@
+//! Module preparation: side tables mapping each structured-control opener
+//! to its matching `else`/`end`, computed once at instantiation so the
+//! interpreter branches in O(1).
+
+use std::collections::HashMap;
+use wb_wasm::{Instr, Module};
+
+/// Per-function control side table.
+#[derive(Debug, Clone, Default)]
+pub struct SideTable {
+    /// For each `block`/`loop`/`if` pc: pc of the matching `end`.
+    pub end_of: HashMap<usize, usize>,
+    /// For each `if` pc that has an `else`: pc of that `else`.
+    pub else_of: HashMap<usize, usize>,
+}
+
+/// A module plus its precomputed side tables.
+#[derive(Debug)]
+pub struct PreparedModule {
+    /// The underlying module.
+    pub module: Module,
+    /// One side table per defined function, same order as
+    /// `module.functions`.
+    pub side_tables: Vec<SideTable>,
+}
+
+impl PreparedModule {
+    /// Prepare a (validated) module.
+    pub fn new(module: Module) -> Self {
+        let side_tables = module
+            .functions
+            .iter()
+            .map(|f| build_side_table(&f.body))
+            .collect();
+        PreparedModule {
+            module,
+            side_tables,
+        }
+    }
+}
+
+fn build_side_table(body: &[Instr]) -> SideTable {
+    let mut table = SideTable::default();
+    let mut stack: Vec<usize> = Vec::new();
+    for (pc, instr) in body.iter().enumerate() {
+        match instr {
+            Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => stack.push(pc),
+            Instr::Else => {
+                if let Some(&opener) = stack.last() {
+                    table.else_of.insert(opener, pc);
+                }
+            }
+            Instr::End => {
+                // The final `end` closes the implicit function frame, for
+                // which the stack is empty.
+                if let Some(opener) = stack.pop() {
+                    table.end_of.insert(opener, pc);
+                }
+            }
+            _ => {}
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_wasm::BlockType;
+
+    #[test]
+    fn matches_nested_blocks() {
+        // block (0) { loop (1) { if (2) {} else {} end(5) } end(6) } end(7) end-of-func(8)
+        let body = vec![
+            Instr::Block(BlockType::Empty), // 0
+            Instr::Loop(BlockType::Empty),  // 1
+            Instr::If(BlockType::Empty),    // 2  (consumes a condition in real code)
+            Instr::Nop,                     // 3
+            Instr::Else,                    // 4
+            Instr::Nop,                     // 5
+            Instr::End,                     // 6 closes if
+            Instr::End,                     // 7 closes loop
+            Instr::End,                     // 8 closes block
+            Instr::End,                     // 9 closes function
+        ];
+        let t = build_side_table(&body);
+        assert_eq!(t.end_of[&2], 6);
+        assert_eq!(t.end_of[&1], 7);
+        assert_eq!(t.end_of[&0], 8);
+        assert_eq!(t.else_of[&2], 4);
+        assert!(!t.end_of.contains_key(&9));
+    }
+
+    #[test]
+    fn else_binds_to_innermost_if() {
+        let body = vec![
+            Instr::If(BlockType::Empty),  // 0
+            Instr::If(BlockType::Empty),  // 1
+            Instr::Else,                  // 2 -> if@1
+            Instr::End,                   // 3
+            Instr::Else,                  // 4 -> if@0
+            Instr::End,                   // 5
+            Instr::End,                   // 6
+        ];
+        let t = build_side_table(&body);
+        assert_eq!(t.else_of[&1], 2);
+        assert_eq!(t.else_of[&0], 4);
+        assert_eq!(t.end_of[&1], 3);
+        assert_eq!(t.end_of[&0], 5);
+    }
+}

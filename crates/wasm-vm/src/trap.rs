@@ -1,0 +1,84 @@
+//! Runtime traps (spec §4.5.3) and host errors.
+
+use std::fmt;
+
+/// A WebAssembly trap or embedding error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// `unreachable` executed.
+    Unreachable,
+    /// Out-of-bounds linear-memory access.
+    MemoryOutOfBounds {
+        /// Effective address of the access.
+        addr: u64,
+        /// Access width in bytes.
+        width: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// `INT_MIN / -1` style overflow.
+    IntegerOverflow,
+    /// Float-to-int truncation of NaN or out-of-range value.
+    InvalidConversion,
+    /// Call stack exceeded the configured depth.
+    StackOverflow,
+    /// `call_indirect` hit a null table slot.
+    UninitializedElement,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// Table access out of bounds.
+    TableOutOfBounds,
+    /// Execution exceeded the configured step budget.
+    StepBudgetExhausted,
+    /// The requested export does not exist or is not a function.
+    NoSuchExport {
+        /// The looked-up name.
+        name: String,
+    },
+    /// Argument count/type mismatch when invoking an export.
+    BadInvokeArgs {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A missing host import was called.
+    MissingImport {
+        /// `module.field` of the import.
+        name: String,
+    },
+    /// A host function reported an error.
+    Host {
+        /// Host-provided message.
+        message: String,
+    },
+    /// A data segment fell outside initial memory at instantiation.
+    DataSegmentOutOfBounds,
+    /// An element segment fell outside the table at instantiation.
+    ElementSegmentOutOfBounds,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::MemoryOutOfBounds { addr, width } => {
+                write!(f, "out-of-bounds memory access ({width} bytes at {addr})")
+            }
+            Trap::DivByZero => write!(f, "integer divide by zero"),
+            Trap::IntegerOverflow => write!(f, "integer overflow"),
+            Trap::InvalidConversion => write!(f, "invalid conversion to integer"),
+            Trap::StackOverflow => write!(f, "call stack exhausted"),
+            Trap::UninitializedElement => write!(f, "uninitialized table element"),
+            Trap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
+            Trap::TableOutOfBounds => write!(f, "undefined table element"),
+            Trap::StepBudgetExhausted => write!(f, "step budget exhausted"),
+            Trap::NoSuchExport { name } => write!(f, "no exported function '{name}'"),
+            Trap::BadInvokeArgs { detail } => write!(f, "bad invoke arguments: {detail}"),
+            Trap::MissingImport { name } => write!(f, "missing host import '{name}'"),
+            Trap::Host { message } => write!(f, "host error: {message}"),
+            Trap::DataSegmentOutOfBounds => write!(f, "data segment out of bounds"),
+            Trap::ElementSegmentOutOfBounds => write!(f, "element segment out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}

@@ -1,0 +1,107 @@
+//! Runtime values.
+
+use wb_wasm::ValType;
+
+/// A WebAssembly runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer (sign-agnostic bits).
+    I32(i32),
+    /// 64-bit integer (sign-agnostic bits).
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// Zero value of a type (default for locals).
+    pub fn zero(ty: ValType) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// Unwrap as i32 (panics on type confusion — validation prevents it).
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            other => panic!("expected i32, got {other:?}"),
+        }
+    }
+
+    /// Unwrap as i64.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// Unwrap as f32.
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Value::F32(v) => v,
+            other => panic!("expected f32, got {other:?}"),
+        }
+    }
+
+    /// Unwrap as f64.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matches_type() {
+        for ty in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(Value::zero(ty).ty(), ty);
+        }
+    }
+
+    #[test]
+    fn accessors_unwrap() {
+        assert_eq!(Value::I32(-5).as_i32(), -5);
+        assert_eq!(Value::I64(1 << 40).as_i64(), 1 << 40);
+        assert_eq!(Value::F64(2.5).as_f64(), 2.5);
+        assert_eq!(Value::F32(0.5).as_f32(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i32")]
+    fn type_confusion_panics() {
+        Value::F64(1.0).as_i32();
+    }
+}

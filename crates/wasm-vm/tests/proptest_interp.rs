@@ -1,0 +1,189 @@
+//! Property tests for the Wasm interpreter: randomly generated
+//! straight-line i32/i64 arithmetic agrees with a Rust reference model,
+//! and accounting invariants hold on every run.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wb_wasm::{Instr, ModuleBuilder, ValType};
+use wb_wasm_vm::{Instance, Value, WasmVmConfig};
+
+/// A random stack program over two i32 params that is valid by
+/// construction: ops are emitted only when enough operands are on the
+/// simulated stack, and it ends by collapsing to one value.
+#[derive(Debug, Clone)]
+enum StackOp {
+    PushConst(i32),
+    PushP0,
+    PushP1,
+    Add,
+    Sub,
+    Mul,
+    Xor,
+    And,
+    Or,
+    Shl,
+    ShrU,
+    Rotl,
+    Eqz,
+}
+
+fn stack_op() -> impl Strategy<Value = StackOp> {
+    prop_oneof![
+        any::<i32>().prop_map(StackOp::PushConst),
+        Just(StackOp::PushP0),
+        Just(StackOp::PushP1),
+        Just(StackOp::Add),
+        Just(StackOp::Sub),
+        Just(StackOp::Mul),
+        Just(StackOp::Xor),
+        Just(StackOp::And),
+        Just(StackOp::Or),
+        Just(StackOp::Shl),
+        Just(StackOp::ShrU),
+        Just(StackOp::Rotl),
+        Just(StackOp::Eqz),
+    ]
+}
+
+/// Build both the wasm body and the reference result simultaneously.
+fn realize(ops: &[StackOp], p0: i32, p1: i32) -> (Vec<Instr>, i32) {
+    let mut body = Vec::new();
+    let mut stack: Vec<i32> = Vec::new();
+    for op in ops {
+        match op {
+            StackOp::PushConst(v) => {
+                body.push(Instr::I32Const(*v));
+                stack.push(*v);
+            }
+            StackOp::PushP0 => {
+                body.push(Instr::LocalGet(0));
+                stack.push(p0);
+            }
+            StackOp::PushP1 => {
+                body.push(Instr::LocalGet(1));
+                stack.push(p1);
+            }
+            binop @ (StackOp::Add
+            | StackOp::Sub
+            | StackOp::Mul
+            | StackOp::Xor
+            | StackOp::And
+            | StackOp::Or
+            | StackOp::Shl
+            | StackOp::ShrU
+            | StackOp::Rotl) => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let b = stack.pop().expect("len checked");
+                let a = stack.pop().expect("len checked");
+                let (instr, v) = match binop {
+                    StackOp::Add => (Instr::I32Add, a.wrapping_add(b)),
+                    StackOp::Sub => (Instr::I32Sub, a.wrapping_sub(b)),
+                    StackOp::Mul => (Instr::I32Mul, a.wrapping_mul(b)),
+                    StackOp::Xor => (Instr::I32Xor, a ^ b),
+                    StackOp::And => (Instr::I32And, a & b),
+                    StackOp::Or => (Instr::I32Or, a | b),
+                    StackOp::Shl => (Instr::I32Shl, a.wrapping_shl(b as u32)),
+                    StackOp::ShrU => (Instr::I32ShrU, ((a as u32).wrapping_shr(b as u32)) as i32),
+                    StackOp::Rotl => (Instr::I32Rotl, a.rotate_left(b as u32 & 31)),
+                    _ => unreachable!(),
+                };
+                body.push(instr);
+                stack.push(v);
+            }
+            StackOp::Eqz => {
+                if stack.is_empty() {
+                    continue;
+                }
+                let a = stack.pop().expect("non-empty");
+                body.push(Instr::I32Eqz);
+                stack.push((a == 0) as i32);
+            }
+        }
+    }
+    // Collapse everything to a single result with xors.
+    while stack.len() > 1 {
+        let b = stack.pop().expect("len > 1");
+        let a = stack.pop().expect("len > 1");
+        body.push(Instr::I32Xor);
+        stack.push(a ^ b);
+    }
+    if stack.is_empty() {
+        body.push(Instr::I32Const(7));
+        stack.push(7);
+    }
+    (body, stack[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_arithmetic_matches_reference(
+        ops in proptest::collection::vec(stack_op(), 1..40),
+        p0 in any::<i32>(),
+        p1 in any::<i32>(),
+    ) {
+        let (mut body, expected) = realize(&ops, p0, p1);
+        body.push(Instr::End);
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("f", vec![ValType::I32, ValType::I32], vec![ValType::I32]);
+        f.ops(body);
+        mb.finish_func(f, true);
+        let module = mb.build();
+        wb_wasm::validate(&module).expect("constructed module validates");
+        // Round-trip through the binary codec before running.
+        let bytes = wb_wasm::encode_module(&module);
+        let mut inst = Instance::instantiate(&bytes, WasmVmConfig::reference(), HashMap::new())
+            .expect("instantiates");
+        let r = inst
+            .invoke("f", &[Value::I32(p0), Value::I32(p1)])
+            .expect("runs");
+        prop_assert_eq!(r, Some(Value::I32(expected)));
+
+        // Accounting invariants.
+        let report = inst.report();
+        prop_assert!(report.total.0 > 0.0);
+        prop_assert!(report.counts.total() > 0);
+        prop_assert_eq!(report.context_switches, 2); // one invoke
+    }
+
+    #[test]
+    fn report_is_monotonic_across_invocations(
+        n in 1usize..8,
+        p in any::<i32>(),
+    ) {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("id", vec![ValType::I32], vec![ValType::I32]);
+        f.ops([Instr::LocalGet(0)]).done();
+        mb.finish_func(f, true);
+        let mut inst = Instance::from_module(mb.build(), WasmVmConfig::reference(), HashMap::new())
+            .expect("instantiates");
+        let mut last = 0.0;
+        for _ in 0..n {
+            inst.invoke("id", &[Value::I32(p)]).expect("runs");
+            let t = inst.report().total.0;
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn step_budget_always_terminates(budget in 100u64..50_000) {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("spin", vec![], vec![]);
+        f.ops([
+            Instr::Loop(wb_wasm::BlockType::Empty),
+            Instr::Br(0),
+            Instr::End,
+        ])
+        .done();
+        mb.finish_func(f, true);
+        let mut cfg = WasmVmConfig::reference();
+        cfg.max_steps = budget;
+        let mut inst = Instance::from_module(mb.build(), cfg, HashMap::new()).expect("instantiates");
+        let r = inst.invoke("spin", &[]);
+        prop_assert_eq!(r, Err(wb_wasm_vm::Trap::StepBudgetExhausted));
+    }
+}

@@ -1,0 +1,427 @@
+//! End-to-end semantics tests: build modules with `wb-wasm`, execute them,
+//! and check results, traps, tiering and accounting.
+
+use std::collections::HashMap;
+use wb_env::{TierPolicy, TimeBucket};
+use wb_wasm::{BlockType, Instr, MemArg, ModuleBuilder, ValType};
+use wb_wasm_vm::{Instance, Trap, Value, WasmVmConfig};
+
+fn instance(module: wb_wasm::Module) -> Instance {
+    wb_wasm::validate(&module).expect("test module must validate");
+    Instance::from_module(module, WasmVmConfig::reference(), HashMap::new()).unwrap()
+}
+
+fn fib_module() -> wb_wasm::Module {
+    // Recursive fib like the paper's Fig 4(a).
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("fib", vec![ValType::I32], vec![ValType::I32]);
+    f.ops([
+        Instr::LocalGet(0),
+        Instr::I32Const(3),
+        Instr::I32LtS,
+        Instr::If(BlockType::Empty),
+        Instr::I32Const(1),
+        Instr::Return,
+        Instr::End,
+        Instr::LocalGet(0),
+        Instr::I32Const(1),
+        Instr::I32Sub,
+        Instr::Call(0),
+        Instr::LocalGet(0),
+        Instr::I32Const(2),
+        Instr::I32Sub,
+        Instr::Call(0),
+        Instr::I32Add,
+    ])
+    .done();
+    mb.finish_func(f, true);
+    mb.build()
+}
+
+#[test]
+fn fibonacci_matches_reference() {
+    let mut inst = instance(fib_module());
+    let r = inst.invoke("fib", &[Value::I32(10)]).unwrap();
+    assert_eq!(r, Some(Value::I32(55)));
+    let r = inst.invoke("fib", &[Value::I32(1)]).unwrap();
+    assert_eq!(r, Some(Value::I32(1)));
+}
+
+#[test]
+fn loop_sum_and_back_edges() {
+    // sum 1..=n via a loop.
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("sum", vec![ValType::I32], vec![ValType::I32]);
+    let acc = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    f.ops([
+        Instr::Block(BlockType::Empty),
+        Instr::Loop(BlockType::Empty),
+        Instr::LocalGet(i),
+        Instr::LocalGet(0),
+        Instr::I32GeS,
+        Instr::BrIf(1),
+        Instr::LocalGet(i),
+        Instr::I32Const(1),
+        Instr::I32Add,
+        Instr::LocalTee(i),
+        Instr::LocalGet(acc),
+        Instr::I32Add,
+        Instr::LocalSet(acc),
+        Instr::Br(0),
+        Instr::End,
+        Instr::End,
+        Instr::LocalGet(acc),
+    ])
+    .done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    let r = inst.invoke("sum", &[Value::I32(100)]).unwrap();
+    assert_eq!(r, Some(Value::I32(5050)));
+    let report = inst.report();
+    assert!(report.counts.total() > 500, "loop ops retired");
+}
+
+#[test]
+fn division_traps() {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("div", vec![ValType::I32, ValType::I32], vec![ValType::I32]);
+    f.ops([Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32DivS])
+        .done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    assert_eq!(
+        inst.invoke("div", &[Value::I32(7), Value::I32(0)]),
+        Err(Trap::DivByZero)
+    );
+    assert_eq!(
+        inst.invoke("div", &[Value::I32(i32::MIN), Value::I32(-1)]),
+        Err(Trap::IntegerOverflow)
+    );
+    assert_eq!(
+        inst.invoke("div", &[Value::I32(-7), Value::I32(2)]),
+        Ok(Some(Value::I32(-3)))
+    );
+}
+
+#[test]
+fn memory_store_load_round_trip() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, None);
+    let mut f = mb.func("poke_peek", vec![ValType::I32, ValType::F64], vec![ValType::F64]);
+    f.ops([
+        Instr::LocalGet(0),
+        Instr::LocalGet(1),
+        Instr::F64Store(MemArg::natural(8)),
+        Instr::LocalGet(0),
+        Instr::F64Load(MemArg::natural(8)),
+    ])
+    .done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    let r = inst
+        .invoke("poke_peek", &[Value::I32(128), Value::F64(3.25)])
+        .unwrap();
+    assert_eq!(r, Some(Value::F64(3.25)));
+}
+
+#[test]
+fn out_of_bounds_traps() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, None);
+    let mut f = mb.func("peek", vec![ValType::I32], vec![ValType::I32]);
+    f.ops([Instr::LocalGet(0), Instr::I32Load(MemArg::natural(4))])
+        .done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    assert!(matches!(
+        inst.invoke("peek", &[Value::I32(65536)]),
+        Err(Trap::MemoryOutOfBounds { .. })
+    ));
+    // Last valid word.
+    assert!(inst.invoke("peek", &[Value::I32(65532)]).is_ok());
+}
+
+#[test]
+fn memory_grow_updates_stats_and_charges_time() {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(10));
+    let mut f = mb.func("grow", vec![ValType::I32], vec![ValType::I32]);
+    f.ops([Instr::LocalGet(0), Instr::MemoryGrow]).done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    let before = inst.report();
+    assert_eq!(before.clock.mem_grow_time.0, 0.0);
+    assert_eq!(inst.invoke("grow", &[Value::I32(4)]), Ok(Some(Value::I32(1))));
+    let after = inst.report();
+    assert_eq!(after.memory.linear_bytes, 5 * 64 * 1024);
+    assert_eq!(after.memory.grow_count, 1);
+    assert_eq!(after.memory.grown_pages, 4);
+    assert!(after.clock.mem_grow_time.0 > 0.0);
+    // Refused grow returns -1 and charges nothing extra.
+    assert_eq!(inst.invoke("grow", &[Value::I32(100)]), Ok(Some(Value::I32(-1))));
+    assert_eq!(inst.report().memory.grow_count, 1);
+}
+
+#[test]
+fn host_functions_and_context_switches() {
+    let mut mb = ModuleBuilder::new();
+    let imp = mb.import_func("env", "add_ten", vec![ValType::I32], vec![ValType::I32]);
+    let mut f = mb.func("run", vec![ValType::I32], vec![ValType::I32]);
+    f.ops([Instr::LocalGet(0), Instr::Call(imp)]).done();
+    mb.finish_func(f, true);
+    let module = mb.build();
+    wb_wasm::validate(&module).unwrap();
+    let mut hostfns: HashMap<String, wb_wasm_vm::HostFn> = HashMap::new();
+    hostfns.insert(
+        "env.add_ten".into(),
+        Box::new(|_ctx, args| Ok(Some(Value::I32(args[0].as_i32() + 10)))),
+    );
+    let mut inst = Instance::from_module(module, WasmVmConfig::reference(), hostfns).unwrap();
+    let r = inst.invoke("run", &[Value::I32(32)]).unwrap();
+    assert_eq!(r, Some(Value::I32(42)));
+    // invoke: 2 crossings; host call: 2 more.
+    assert_eq!(inst.report().context_switches, 4);
+    assert!(inst.report().clock.context_switch_time.0 > 0.0);
+}
+
+#[test]
+fn missing_import_traps() {
+    let mut mb = ModuleBuilder::new();
+    let imp = mb.import_func("env", "absent", vec![], vec![]);
+    let mut f = mb.func("run", vec![], vec![]);
+    f.ops([Instr::Call(imp)]).done();
+    mb.finish_func(f, true);
+    let mut inst =
+        Instance::from_module(mb.build(), WasmVmConfig::reference(), HashMap::new()).unwrap();
+    assert!(matches!(
+        inst.invoke("run", &[]),
+        Err(Trap::MissingImport { .. })
+    ));
+}
+
+#[test]
+fn call_indirect_dispatches_and_checks_types() {
+    let mut mb = ModuleBuilder::new();
+    mb.table(2);
+    let mut f0 = mb.func("three", vec![], vec![ValType::I32]);
+    f0.op(Instr::I32Const(3)).done();
+    mb.finish_func(f0, false);
+    let mut f1 = mb.func("four", vec![], vec![ValType::I32]);
+    f1.op(Instr::I32Const(4)).done();
+    mb.finish_func(f1, false);
+    mb.elements(0, vec![0, 1]);
+    let mut f = mb.func("pick", vec![ValType::I32], vec![ValType::I32]);
+    // type index of () -> i32 is 0 (first interned).
+    f.ops([Instr::LocalGet(0), Instr::CallIndirect(0)]).done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    assert_eq!(inst.invoke("pick", &[Value::I32(0)]), Ok(Some(Value::I32(3))));
+    assert_eq!(inst.invoke("pick", &[Value::I32(1)]), Ok(Some(Value::I32(4))));
+    assert_eq!(
+        inst.invoke("pick", &[Value::I32(5)]),
+        Err(Trap::TableOutOfBounds)
+    );
+}
+
+#[test]
+fn br_table_selects_arms() {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("classify", vec![ValType::I32], vec![ValType::I32]);
+    f.ops([
+        Instr::Block(BlockType::Empty), // depth 2 at br_table
+        Instr::Block(BlockType::Empty), // depth 1
+        Instr::Block(BlockType::Empty), // depth 0
+        Instr::LocalGet(0),
+        Instr::BrTable(vec![0, 1], 2),
+        Instr::End,
+        Instr::I32Const(100), // case 0
+        Instr::Return,
+        Instr::End,
+        Instr::I32Const(200), // case 1
+        Instr::Return,
+        Instr::End,
+        Instr::I32Const(300), // default
+    ])
+    .done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    assert_eq!(inst.invoke("classify", &[Value::I32(0)]), Ok(Some(Value::I32(100))));
+    assert_eq!(inst.invoke("classify", &[Value::I32(1)]), Ok(Some(Value::I32(200))));
+    assert_eq!(inst.invoke("classify", &[Value::I32(9)]), Ok(Some(Value::I32(300))));
+}
+
+#[test]
+fn stack_overflow_trap() {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("spin", vec![], vec![]);
+    f.ops([Instr::Call(0)]).done();
+    mb.finish_func(f, true);
+    let mut cfg = WasmVmConfig::reference();
+    cfg.max_call_depth = 64;
+    let mut inst = Instance::from_module(mb.build(), cfg, HashMap::new()).unwrap();
+    assert_eq!(inst.invoke("spin", &[]), Err(Trap::StackOverflow));
+}
+
+#[test]
+fn step_budget_trap() {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("forever", vec![], vec![]);
+    f.ops([
+        Instr::Loop(BlockType::Empty),
+        Instr::Br(0),
+        Instr::End,
+    ])
+    .done();
+    mb.finish_func(f, true);
+    let mut cfg = WasmVmConfig::reference();
+    cfg.max_steps = 10_000;
+    let mut inst = Instance::from_module(mb.build(), cfg, HashMap::new()).unwrap();
+    assert_eq!(inst.invoke("forever", &[]), Err(Trap::StepBudgetExhausted));
+}
+
+#[test]
+fn tier_up_happens_under_default_policy_only() {
+    // A function hot enough to cross the reference threshold.
+    let run = |policy: TierPolicy| {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("hot", vec![ValType::I32], vec![ValType::I32]);
+        let i = f.local(ValType::I32);
+        f.ops([
+            Instr::Block(BlockType::Empty),
+            Instr::Loop(BlockType::Empty),
+            Instr::LocalGet(i),
+            Instr::LocalGet(0),
+            Instr::I32GeS,
+            Instr::BrIf(1),
+            Instr::LocalGet(i),
+            Instr::I32Const(1),
+            Instr::I32Add,
+            Instr::LocalSet(i),
+            Instr::Br(0),
+            Instr::End,
+            Instr::End,
+            Instr::LocalGet(i),
+        ])
+        .done();
+        mb.finish_func(f, true);
+        let mut cfg = WasmVmConfig::reference();
+        cfg.tier_policy = policy;
+        let mut inst = Instance::from_module(mb.build(), cfg, HashMap::new()).unwrap();
+        inst.invoke("hot", &[Value::I32(50_000)]).unwrap();
+        inst.report()
+    };
+
+    let default = run(TierPolicy::Default);
+    assert_eq!(default.tier_ups, 1);
+    assert!(default.baseline_counts.total() > 0, "warm-up in baseline");
+    assert!(default.counts.total() > default.baseline_counts.total());
+    assert!(default.clock.compile_time.0 > 0.0);
+
+    let basic = run(TierPolicy::BasicOnly);
+    assert_eq!(basic.tier_ups, 0);
+    assert_eq!(basic.baseline_counts.total(), basic.counts.total());
+
+    let optimizing = run(TierPolicy::OptimizingOnly);
+    assert_eq!(optimizing.tier_ups, 0);
+    assert_eq!(optimizing.baseline_counts.total(), 0);
+
+    // Table 7 shape: default beats basic-only; optimizing-only beats
+    // default (compile up front, no baseline warm-up) for hot code.
+    assert!(default.total.0 < basic.total.0, "default < basic-only");
+    assert!(optimizing.total.0 < default.total.0, "optimizing-only < default");
+}
+
+#[test]
+fn instantiate_from_binary_charges_load_time() {
+    let bytes = wb_wasm::encode_module(&fib_module());
+    let mut inst =
+        Instance::instantiate(&bytes, WasmVmConfig::reference(), HashMap::new()).unwrap();
+    let report = inst.report();
+    assert!(report.clock.load_time.0 > 0.0);
+    assert!(report.clock.compile_time.0 > 0.0);
+    assert_eq!(
+        inst.invoke("fib", &[Value::I32(7)]).unwrap(),
+        Some(Value::I32(13))
+    );
+}
+
+#[test]
+fn select_and_globals() {
+    let mut mb = ModuleBuilder::new();
+    let g = mb.global(ValType::I32, true, Instr::I32Const(17));
+    let mut f = mb.func("pick", vec![ValType::I32], vec![ValType::I32]);
+    f.ops([
+        Instr::GlobalGet(g),
+        Instr::I32Const(99),
+        Instr::LocalGet(0),
+        Instr::Select,
+    ])
+    .done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    assert_eq!(inst.invoke("pick", &[Value::I32(1)]), Ok(Some(Value::I32(17))));
+    assert_eq!(inst.invoke("pick", &[Value::I32(0)]), Ok(Some(Value::I32(99))));
+}
+
+#[test]
+fn i64_and_f64_arithmetic() {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("mix", vec![ValType::I64, ValType::F64], vec![ValType::F64]);
+    f.ops([
+        Instr::LocalGet(0),
+        Instr::F64ConvertI64S,
+        Instr::LocalGet(1),
+        Instr::F64Mul,
+        Instr::F64Sqrt,
+    ])
+    .done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    let r = inst
+        .invoke("mix", &[Value::I64(4), Value::F64(4.0)])
+        .unwrap();
+    assert_eq!(r, Some(Value::F64(4.0)));
+}
+
+#[test]
+fn unreachable_traps() {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("boom", vec![], vec![]);
+    f.op(Instr::Unreachable).done();
+    mb.finish_func(f, true);
+    let mut inst = instance(mb.build());
+    assert_eq!(inst.invoke("boom", &[]), Err(Trap::Unreachable));
+}
+
+#[test]
+fn invoke_argument_checking() {
+    let mut inst = instance(fib_module());
+    assert!(matches!(
+        inst.invoke("fib", &[]),
+        Err(Trap::BadInvokeArgs { .. })
+    ));
+    assert!(matches!(
+        inst.invoke("fib", &[Value::F64(1.0)]),
+        Err(Trap::BadInvokeArgs { .. })
+    ));
+    assert!(matches!(
+        inst.invoke("nope", &[]),
+        Err(Trap::NoSuchExport { .. })
+    ));
+}
+
+#[test]
+fn clock_buckets_are_disjoint_and_sum() {
+    let mut inst = instance(fib_module());
+    inst.invoke("fib", &[Value::I32(15)]).unwrap();
+    let r = inst.report();
+    let parts = r.clock.load_time
+        + r.clock.compile_time
+        + r.clock.exec_time
+        + r.clock.gc_time
+        + r.clock.mem_grow_time
+        + r.clock.context_switch_time;
+    assert!((parts.0 - r.total.0).abs() < 1e-6);
+    let _ = TimeBucket::Exec; // bucket type is part of the public API
+}

@@ -1,0 +1,627 @@
+//! Binary decoder (spec §5): parses the standard container back into a
+//! [`Module`]. Inverse of [`crate::encode_module`]; the pair round-trips.
+
+use crate::error::DecodeError;
+use crate::instr::{BlockType, Instr, MemArg};
+use crate::leb128::Reader;
+use crate::module::{
+    Data, Element, Export, ExportKind, FuncImport, Function, Global, MemorySpec, Module, TableSpec,
+};
+use crate::types::{FuncType, GlobalType, Limits, ValType};
+
+/// Decode a binary module.
+pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != b"\0asm" {
+        return Err(DecodeError::BadHeader);
+    }
+    let version = r.take(4)?;
+    if version != [1, 0, 0, 0] {
+        return Err(DecodeError::BadHeader);
+    }
+
+    let mut module = Module::new();
+    let mut func_type_indices: Vec<u32> = Vec::new();
+    let mut last_section = 0u8;
+
+    while !r.is_empty() {
+        let id = r.byte()?;
+        let size = r.u32()? as usize;
+        let payload = r.take(size)?;
+        let mut s = Reader::new(payload);
+
+        if id != 0 {
+            if id > 11 {
+                return Err(DecodeError::UnknownSection { id });
+            }
+            if id <= last_section {
+                return Err(DecodeError::SectionOutOfOrder { id });
+            }
+            last_section = id;
+        }
+
+        match id {
+            0 => decode_custom(&mut s, &mut module)?,
+            1 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    module.types.push(decode_func_type(&mut s)?);
+                }
+            }
+            2 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let mod_name = s.name()?;
+                    let field = s.name()?;
+                    let kind = s.byte()?;
+                    if kind != 0x00 {
+                        return Err(DecodeError::Malformed {
+                            what: "only function imports are supported",
+                        });
+                    }
+                    let type_index = s.u32()?;
+                    module.imports.push(FuncImport {
+                        module: mod_name,
+                        field,
+                        type_index,
+                    });
+                }
+            }
+            3 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    func_type_indices.push(s.u32()?);
+                }
+            }
+            4 => {
+                let n = s.u32()?;
+                if n != 1 {
+                    return Err(DecodeError::Malformed {
+                        what: "expected exactly one table",
+                    });
+                }
+                let elem_ty = s.byte()?;
+                if elem_ty != 0x70 {
+                    return Err(DecodeError::Malformed {
+                        what: "table element type must be funcref",
+                    });
+                }
+                module.table = Some(TableSpec {
+                    limits: decode_limits(&mut s)?,
+                });
+            }
+            5 => {
+                let n = s.u32()?;
+                if n != 1 {
+                    return Err(DecodeError::Malformed {
+                        what: "expected exactly one memory",
+                    });
+                }
+                module.memory = Some(MemorySpec {
+                    limits: decode_limits(&mut s)?,
+                });
+            }
+            6 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let ty = decode_global_type(&mut s)?;
+                    let init = decode_const_expr(&mut s)?;
+                    module.globals.push(Global { ty, init });
+                }
+            }
+            7 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let name = s.name()?;
+                    let kind_byte = s.byte()?;
+                    let index = s.u32()?;
+                    let kind = match kind_byte {
+                        0x00 => ExportKind::Func(index),
+                        0x01 => ExportKind::Table(index),
+                        0x02 => ExportKind::Memory(index),
+                        0x03 => ExportKind::Global(index),
+                        _ => {
+                            return Err(DecodeError::Malformed {
+                                what: "bad export kind",
+                            })
+                        }
+                    };
+                    module.exports.push(Export { name, kind });
+                }
+            }
+            8 => {
+                module.start = Some(s.u32()?);
+            }
+            9 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let flags = s.u32()?;
+                    if flags != 0 {
+                        return Err(DecodeError::Malformed {
+                            what: "only active table-0 elements supported",
+                        });
+                    }
+                    let offset = const_i32(&mut s)?;
+                    let count = s.u32()?;
+                    let mut funcs = Vec::with_capacity(count as usize);
+                    for _ in 0..count {
+                        funcs.push(s.u32()?);
+                    }
+                    module.elements.push(Element { offset, funcs });
+                }
+            }
+            10 => {
+                let n = s.u32()? as usize;
+                if n != func_type_indices.len() {
+                    return Err(DecodeError::FuncCodeMismatch {
+                        funcs: func_type_indices.len(),
+                        bodies: n,
+                    });
+                }
+                for type_index in func_type_indices.iter().copied() {
+                    let body_size = s.u32()? as usize;
+                    let body_bytes = s.take(body_size)?;
+                    let mut b = Reader::new(body_bytes);
+                    let mut locals = Vec::new();
+                    let runs = b.u32()?;
+                    for _ in 0..runs {
+                        let count = b.u32()?;
+                        if count > 1_000_000 {
+                            return Err(DecodeError::Malformed {
+                                what: "unreasonable local count",
+                            });
+                        }
+                        let ty = decode_val_type(&mut b)?;
+                        locals.extend(std::iter::repeat(ty).take(count as usize));
+                    }
+                    let mut body = Vec::new();
+                    while !b.is_empty() {
+                        body.push(decode_instr(&mut b)?);
+                    }
+                    if body.last() != Some(&Instr::End) {
+                        return Err(DecodeError::Malformed {
+                            what: "function body must end with `end`",
+                        });
+                    }
+                    module.functions.push(Function {
+                        type_index,
+                        locals,
+                        body,
+                        name: None,
+                    });
+                }
+            }
+            11 => {
+                let n = s.u32()?;
+                for _ in 0..n {
+                    let flags = s.u32()?;
+                    if flags != 0 {
+                        return Err(DecodeError::Malformed {
+                            what: "only active memory-0 data supported",
+                        });
+                    }
+                    let offset = const_i32(&mut s)?;
+                    let len = s.u32()? as usize;
+                    let bytes = s.take(len)?.to_vec();
+                    module.data.push(Data { offset, bytes });
+                }
+            }
+            _ => unreachable!("section id checked above"),
+        }
+        if !s.is_empty() {
+            return Err(DecodeError::SectionSizeMismatch { id });
+        }
+    }
+
+    if module.functions.is_empty() && !func_type_indices.is_empty() {
+        return Err(DecodeError::FuncCodeMismatch {
+            funcs: func_type_indices.len(),
+            bodies: 0,
+        });
+    }
+
+    Ok(module)
+}
+
+fn decode_custom(s: &mut Reader<'_>, module: &mut Module) -> Result<(), DecodeError> {
+    let name = s.name()?;
+    if name != "name" {
+        // Unknown custom sections are skipped (remaining payload ignored).
+        let _ = s.take(s.remaining())?;
+        return Ok(());
+    }
+    while !s.is_empty() {
+        let sub_id = s.byte()?;
+        let sub_len = s.u32()? as usize;
+        let sub = s.take(sub_len)?;
+        if sub_id == 1 {
+            let mut ns = Reader::new(sub);
+            let count = ns.u32()?;
+            for _ in 0..count {
+                let idx = ns.u32()? as usize;
+                let fname = ns.name()?;
+                let import_count = module.imports.len();
+                if idx >= import_count {
+                    if let Some(f) = module.functions.get_mut(idx - import_count) {
+                        f.name = Some(fname);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_val_type(s: &mut Reader<'_>) -> Result<ValType, DecodeError> {
+    let b = s.byte()?;
+    ValType::from_byte(b).ok_or(DecodeError::BadValType { byte: b })
+}
+
+fn decode_func_type(s: &mut Reader<'_>) -> Result<FuncType, DecodeError> {
+    let tag = s.byte()?;
+    if tag != 0x60 {
+        return Err(DecodeError::Malformed {
+            what: "function type must start with 0x60",
+        });
+    }
+    let np = s.u32()?;
+    let mut params = Vec::with_capacity(np as usize);
+    for _ in 0..np {
+        params.push(decode_val_type(s)?);
+    }
+    let nr = s.u32()?;
+    let mut results = Vec::with_capacity(nr as usize);
+    for _ in 0..nr {
+        results.push(decode_val_type(s)?);
+    }
+    Ok(FuncType { params, results })
+}
+
+fn decode_limits(s: &mut Reader<'_>) -> Result<Limits, DecodeError> {
+    match s.byte()? {
+        0x00 => Ok(Limits {
+            min: s.u32()?,
+            max: None,
+        }),
+        0x01 => Ok(Limits {
+            min: s.u32()?,
+            max: Some(s.u32()?),
+        }),
+        _ => Err(DecodeError::Malformed {
+            what: "bad limits flag",
+        }),
+    }
+}
+
+fn decode_global_type(s: &mut Reader<'_>) -> Result<GlobalType, DecodeError> {
+    let ty = decode_val_type(s)?;
+    let mutable = match s.byte()? {
+        0x00 => false,
+        0x01 => true,
+        _ => {
+            return Err(DecodeError::Malformed {
+                what: "bad global mutability flag",
+            })
+        }
+    };
+    Ok(GlobalType { ty, mutable })
+}
+
+/// Decode a constant initializer expression: one const instr + `end`.
+fn decode_const_expr(s: &mut Reader<'_>) -> Result<Instr, DecodeError> {
+    let i = decode_instr(s)?;
+    match i {
+        Instr::I32Const(_) | Instr::I64Const(_) | Instr::F32Const(_) | Instr::F64Const(_) => {}
+        _ => {
+            return Err(DecodeError::Malformed {
+                what: "init expr must be a single const",
+            })
+        }
+    }
+    if decode_instr(s)? != Instr::End {
+        return Err(DecodeError::Malformed {
+            what: "init expr must end with `end`",
+        });
+    }
+    Ok(i)
+}
+
+fn const_i32(s: &mut Reader<'_>) -> Result<i32, DecodeError> {
+    match decode_const_expr(s)? {
+        Instr::I32Const(v) => Ok(v),
+        _ => Err(DecodeError::Malformed {
+            what: "offset expr must be i32.const",
+        }),
+    }
+}
+
+fn decode_block_type(s: &mut Reader<'_>) -> Result<BlockType, DecodeError> {
+    let b = s.byte()?;
+    if b == 0x40 {
+        return Ok(BlockType::Empty);
+    }
+    ValType::from_byte(b)
+        .map(BlockType::Value)
+        .ok_or(DecodeError::BadValType { byte: b })
+}
+
+fn decode_memarg(s: &mut Reader<'_>) -> Result<MemArg, DecodeError> {
+    Ok(MemArg {
+        align: s.u32()?,
+        offset: s.u32()?,
+    })
+}
+
+fn decode_instr(s: &mut Reader<'_>) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let at = s.pos();
+    let op = s.byte()?;
+    Ok(match op {
+        0x00 => Unreachable,
+        0x01 => Nop,
+        0x02 => Block(decode_block_type(s)?),
+        0x03 => Loop(decode_block_type(s)?),
+        0x04 => If(decode_block_type(s)?),
+        0x05 => Else,
+        0x0b => End,
+        0x0c => Br(s.u32()?),
+        0x0d => BrIf(s.u32()?),
+        0x0e => {
+            let n = s.u32()?;
+            let mut targets = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                targets.push(s.u32()?);
+            }
+            BrTable(targets, s.u32()?)
+        }
+        0x0f => Return,
+        0x10 => Call(s.u32()?),
+        0x11 => {
+            let t = s.u32()?;
+            let table = s.byte()?;
+            if table != 0 {
+                return Err(DecodeError::Malformed {
+                    what: "call_indirect table index must be 0",
+                });
+            }
+            CallIndirect(t)
+        }
+        0x1a => Drop,
+        0x1b => Select,
+        0x20 => LocalGet(s.u32()?),
+        0x21 => LocalSet(s.u32()?),
+        0x22 => LocalTee(s.u32()?),
+        0x23 => GlobalGet(s.u32()?),
+        0x24 => GlobalSet(s.u32()?),
+        0x28 => I32Load(decode_memarg(s)?),
+        0x29 => I64Load(decode_memarg(s)?),
+        0x2a => F32Load(decode_memarg(s)?),
+        0x2b => F64Load(decode_memarg(s)?),
+        0x2c => I32Load8S(decode_memarg(s)?),
+        0x2d => I32Load8U(decode_memarg(s)?),
+        0x2e => I32Load16S(decode_memarg(s)?),
+        0x2f => I32Load16U(decode_memarg(s)?),
+        0x30 => I64Load8S(decode_memarg(s)?),
+        0x31 => I64Load8U(decode_memarg(s)?),
+        0x32 => I64Load16S(decode_memarg(s)?),
+        0x33 => I64Load16U(decode_memarg(s)?),
+        0x34 => I64Load32S(decode_memarg(s)?),
+        0x35 => I64Load32U(decode_memarg(s)?),
+        0x36 => I32Store(decode_memarg(s)?),
+        0x37 => I64Store(decode_memarg(s)?),
+        0x38 => F32Store(decode_memarg(s)?),
+        0x39 => F64Store(decode_memarg(s)?),
+        0x3a => I32Store8(decode_memarg(s)?),
+        0x3b => I32Store16(decode_memarg(s)?),
+        0x3c => I64Store8(decode_memarg(s)?),
+        0x3d => I64Store16(decode_memarg(s)?),
+        0x3e => I64Store32(decode_memarg(s)?),
+        0x3f => {
+            s.byte()?;
+            MemorySize
+        }
+        0x40 => {
+            s.byte()?;
+            MemoryGrow
+        }
+        0x41 => I32Const(s.i32()?),
+        0x42 => I64Const(s.i64()?),
+        0x43 => F32Const(s.f32()?),
+        0x44 => F64Const(s.f64()?),
+        0x45 => I32Eqz,
+        0x46 => I32Eq,
+        0x47 => I32Ne,
+        0x48 => I32LtS,
+        0x49 => I32LtU,
+        0x4a => I32GtS,
+        0x4b => I32GtU,
+        0x4c => I32LeS,
+        0x4d => I32LeU,
+        0x4e => I32GeS,
+        0x4f => I32GeU,
+        0x50 => I64Eqz,
+        0x51 => I64Eq,
+        0x52 => I64Ne,
+        0x53 => I64LtS,
+        0x54 => I64LtU,
+        0x55 => I64GtS,
+        0x56 => I64GtU,
+        0x57 => I64LeS,
+        0x58 => I64LeU,
+        0x59 => I64GeS,
+        0x5a => I64GeU,
+        0x5b => F32Eq,
+        0x5c => F32Ne,
+        0x5d => F32Lt,
+        0x5e => F32Gt,
+        0x5f => F32Le,
+        0x60 => F32Ge,
+        0x61 => F64Eq,
+        0x62 => F64Ne,
+        0x63 => F64Lt,
+        0x64 => F64Gt,
+        0x65 => F64Le,
+        0x66 => F64Ge,
+        0x67 => I32Clz,
+        0x68 => I32Ctz,
+        0x69 => I32Popcnt,
+        0x6a => I32Add,
+        0x6b => I32Sub,
+        0x6c => I32Mul,
+        0x6d => I32DivS,
+        0x6e => I32DivU,
+        0x6f => I32RemS,
+        0x70 => I32RemU,
+        0x71 => I32And,
+        0x72 => I32Or,
+        0x73 => I32Xor,
+        0x74 => I32Shl,
+        0x75 => I32ShrS,
+        0x76 => I32ShrU,
+        0x77 => I32Rotl,
+        0x78 => I32Rotr,
+        0x79 => I64Clz,
+        0x7a => I64Ctz,
+        0x7b => I64Popcnt,
+        0x7c => I64Add,
+        0x7d => I64Sub,
+        0x7e => I64Mul,
+        0x7f => I64DivS,
+        0x80 => I64DivU,
+        0x81 => I64RemS,
+        0x82 => I64RemU,
+        0x83 => I64And,
+        0x84 => I64Or,
+        0x85 => I64Xor,
+        0x86 => I64Shl,
+        0x87 => I64ShrS,
+        0x88 => I64ShrU,
+        0x89 => I64Rotl,
+        0x8a => I64Rotr,
+        0x8b => F32Abs,
+        0x8c => F32Neg,
+        0x8d => F32Ceil,
+        0x8e => F32Floor,
+        0x8f => F32Trunc,
+        0x90 => F32Nearest,
+        0x91 => F32Sqrt,
+        0x92 => F32Add,
+        0x93 => F32Sub,
+        0x94 => F32Mul,
+        0x95 => F32Div,
+        0x96 => F32Min,
+        0x97 => F32Max,
+        0x98 => F32Copysign,
+        0x99 => F64Abs,
+        0x9a => F64Neg,
+        0x9b => F64Ceil,
+        0x9c => F64Floor,
+        0x9d => F64Trunc,
+        0x9e => F64Nearest,
+        0x9f => F64Sqrt,
+        0xa0 => F64Add,
+        0xa1 => F64Sub,
+        0xa2 => F64Mul,
+        0xa3 => F64Div,
+        0xa4 => F64Min,
+        0xa5 => F64Max,
+        0xa6 => F64Copysign,
+        0xa7 => I32WrapI64,
+        0xa8 => I32TruncF32S,
+        0xa9 => I32TruncF32U,
+        0xaa => I32TruncF64S,
+        0xab => I32TruncF64U,
+        0xac => I64ExtendI32S,
+        0xad => I64ExtendI32U,
+        0xae => I64TruncF32S,
+        0xaf => I64TruncF32U,
+        0xb0 => I64TruncF64S,
+        0xb1 => I64TruncF64U,
+        0xb2 => F32ConvertI32S,
+        0xb3 => F32ConvertI32U,
+        0xb4 => F32ConvertI64S,
+        0xb5 => F32ConvertI64U,
+        0xb6 => F32DemoteF64,
+        0xb7 => F64ConvertI32S,
+        0xb8 => F64ConvertI32U,
+        0xb9 => F64ConvertI64S,
+        0xba => F64ConvertI64U,
+        0xbb => F64PromoteF32,
+        0xbc => I32ReinterpretF32,
+        0xbd => I64ReinterpretF64,
+        0xbe => F32ReinterpretI32,
+        0xbf => F64ReinterpretI64,
+        opcode => return Err(DecodeError::UnknownOpcode { opcode, at }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_module;
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(decode_module(b"\0asx\x01\0\0\0"), Err(DecodeError::BadHeader));
+        assert!(matches!(
+            decode_module(b"\0as"),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_module_round_trips() {
+        let m = Module::new();
+        assert_eq!(decode_module(&encode_module(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_out_of_order_sections() {
+        // type section (id 1) after function section (id 3).
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        bytes.extend_from_slice(&[3, 1, 0]); // empty function section
+        bytes.extend_from_slice(&[1, 1, 0]); // empty type section
+        assert_eq!(
+            decode_module(&bytes),
+            Err(DecodeError::SectionOutOfOrder { id: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_section_size_mismatch() {
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        // Type section claims 3 bytes but vector count 0 consumes only 1.
+        bytes.extend_from_slice(&[1, 3, 0, 0, 0]);
+        assert!(decode_module(&bytes).is_err());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_truncations() {
+        // A representative module, truncated at every length.
+        let mut m = Module::new();
+        let t = m.intern_type(FuncType {
+            params: vec![ValType::I32],
+            results: vec![ValType::I32],
+        });
+        m.functions.push(Function {
+            type_index: t,
+            locals: vec![ValType::F64],
+            body: vec![
+                Instr::LocalGet(0),
+                Instr::I32Const(1),
+                Instr::I32Add,
+                Instr::End,
+            ],
+            name: Some("inc".into()),
+        });
+        m.exports.push(Export {
+            name: "inc".into(),
+            kind: ExportKind::Func(0),
+        });
+        let bytes = encode_module(&m);
+        for cut in 0..bytes.len() {
+            let _ = decode_module(&bytes[..cut]); // must not panic
+        }
+        assert_eq!(decode_module(&bytes).unwrap(), m);
+    }
+}

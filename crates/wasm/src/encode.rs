@@ -1,0 +1,598 @@
+//! Binary encoder (spec §5): emits the standard `\0asm` container with
+//! LEB128-framed sections.
+
+use crate::instr::{BlockType, Instr, MemArg};
+use crate::leb128;
+use crate::module::{ExportKind, Module};
+use crate::types::{FuncType, GlobalType, Limits, ValType};
+
+/// Encode a module to its binary representation.
+pub fn encode_module(module: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(b"\0asm");
+    out.extend_from_slice(&1u32.to_le_bytes());
+
+    // Section 1: types.
+    if !module.types.is_empty() {
+        section(&mut out, 1, |buf| {
+            leb128::write_u32(buf, module.types.len() as u32);
+            for ty in &module.types {
+                func_type(buf, ty);
+            }
+        });
+    }
+    // Section 2: imports (functions only).
+    if !module.imports.is_empty() {
+        section(&mut out, 2, |buf| {
+            leb128::write_u32(buf, module.imports.len() as u32);
+            for imp in &module.imports {
+                name(buf, &imp.module);
+                name(buf, &imp.field);
+                buf.push(0x00); // func import
+                leb128::write_u32(buf, imp.type_index);
+            }
+        });
+    }
+    // Section 3: function type indices.
+    if !module.functions.is_empty() {
+        section(&mut out, 3, |buf| {
+            leb128::write_u32(buf, module.functions.len() as u32);
+            for f in &module.functions {
+                leb128::write_u32(buf, f.type_index);
+            }
+        });
+    }
+    // Section 4: table.
+    if let Some(table) = &module.table {
+        section(&mut out, 4, |buf| {
+            leb128::write_u32(buf, 1);
+            buf.push(0x70); // funcref
+            limits(buf, &table.limits);
+        });
+    }
+    // Section 5: memory.
+    if let Some(mem) = &module.memory {
+        section(&mut out, 5, |buf| {
+            leb128::write_u32(buf, 1);
+            limits(buf, &mem.limits);
+        });
+    }
+    // Section 6: globals.
+    if !module.globals.is_empty() {
+        section(&mut out, 6, |buf| {
+            leb128::write_u32(buf, module.globals.len() as u32);
+            for g in &module.globals {
+                global_type(buf, &g.ty);
+                instr(buf, &g.init);
+                buf.push(0x0b); // end of init expr
+            }
+        });
+    }
+    // Section 7: exports.
+    if !module.exports.is_empty() {
+        section(&mut out, 7, |buf| {
+            leb128::write_u32(buf, module.exports.len() as u32);
+            for e in &module.exports {
+                name(buf, &e.name);
+                let (kind, index) = match e.kind {
+                    ExportKind::Func(i) => (0x00, i),
+                    ExportKind::Table(i) => (0x01, i),
+                    ExportKind::Memory(i) => (0x02, i),
+                    ExportKind::Global(i) => (0x03, i),
+                };
+                buf.push(kind);
+                leb128::write_u32(buf, index);
+            }
+        });
+    }
+    // Section 8: start.
+    if let Some(start) = module.start {
+        section(&mut out, 8, |buf| {
+            leb128::write_u32(buf, start);
+        });
+    }
+    // Section 9: elements.
+    if !module.elements.is_empty() {
+        section(&mut out, 9, |buf| {
+            leb128::write_u32(buf, module.elements.len() as u32);
+            for el in &module.elements {
+                leb128::write_u32(buf, 0); // active, table 0
+                instr(buf, &Instr::I32Const(el.offset));
+                buf.push(0x0b);
+                leb128::write_u32(buf, el.funcs.len() as u32);
+                for f in &el.funcs {
+                    leb128::write_u32(buf, *f);
+                }
+            }
+        });
+    }
+    // Section 10: code.
+    if !module.functions.is_empty() {
+        section(&mut out, 10, |buf| {
+            leb128::write_u32(buf, module.functions.len() as u32);
+            for f in &module.functions {
+                let mut body = Vec::new();
+                // Locals: run-length compress consecutive equal types.
+                let mut runs: Vec<(u32, ValType)> = Vec::new();
+                for &l in &f.locals {
+                    match runs.last_mut() {
+                        Some((n, t)) if *t == l => *n += 1,
+                        _ => runs.push((1, l)),
+                    }
+                }
+                leb128::write_u32(&mut body, runs.len() as u32);
+                for (n, t) in runs {
+                    leb128::write_u32(&mut body, n);
+                    body.push(t.byte());
+                }
+                for i in &f.body {
+                    instr(&mut body, i);
+                }
+                leb128::write_u32(buf, body.len() as u32);
+                buf.extend_from_slice(&body);
+            }
+        });
+    }
+    // Section 11: data.
+    if !module.data.is_empty() {
+        section(&mut out, 11, |buf| {
+            leb128::write_u32(buf, module.data.len() as u32);
+            for d in &module.data {
+                leb128::write_u32(buf, 0); // active, memory 0
+                instr(buf, &Instr::I32Const(d.offset));
+                buf.push(0x0b);
+                leb128::write_u32(buf, d.bytes.len() as u32);
+                buf.extend_from_slice(&d.bytes);
+            }
+        });
+    }
+    // Custom "name" section: function-name subsection only.
+    let named: Vec<(u32, &str)> = module
+        .functions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| {
+            f.name
+                .as_deref()
+                .map(|n| ((module.imports.len() + i) as u32, n))
+        })
+        .collect();
+    if !named.is_empty() {
+        section(&mut out, 0, |buf| {
+            name(buf, "name");
+            let mut sub = Vec::new();
+            leb128::write_u32(&mut sub, named.len() as u32);
+            for (idx, n) in &named {
+                leb128::write_u32(&mut sub, *idx);
+                name(&mut sub, n);
+            }
+            buf.push(1); // function names subsection
+            leb128::write_u32(buf, sub.len() as u32);
+            buf.extend_from_slice(&sub);
+        });
+    }
+
+    out
+}
+
+fn section(out: &mut Vec<u8>, id: u8, fill: impl FnOnce(&mut Vec<u8>)) {
+    let mut buf = Vec::new();
+    fill(&mut buf);
+    out.push(id);
+    leb128::write_u32(out, buf.len() as u32);
+    out.extend_from_slice(&buf);
+}
+
+fn name(out: &mut Vec<u8>, s: &str) {
+    leb128::write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn func_type(out: &mut Vec<u8>, ty: &FuncType) {
+    out.push(0x60);
+    leb128::write_u32(out, ty.params.len() as u32);
+    for p in &ty.params {
+        out.push(p.byte());
+    }
+    leb128::write_u32(out, ty.results.len() as u32);
+    for r in &ty.results {
+        out.push(r.byte());
+    }
+}
+
+fn limits(out: &mut Vec<u8>, l: &Limits) {
+    match l.max {
+        None => {
+            out.push(0x00);
+            leb128::write_u32(out, l.min);
+        }
+        Some(max) => {
+            out.push(0x01);
+            leb128::write_u32(out, l.min);
+            leb128::write_u32(out, max);
+        }
+    }
+}
+
+fn global_type(out: &mut Vec<u8>, ty: &GlobalType) {
+    out.push(ty.ty.byte());
+    out.push(if ty.mutable { 0x01 } else { 0x00 });
+}
+
+fn block_type(out: &mut Vec<u8>, bt: BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(t) => out.push(t.byte()),
+    }
+}
+
+fn memarg(out: &mut Vec<u8>, m: &MemArg) {
+    leb128::write_u32(out, m.align);
+    leb128::write_u32(out, m.offset);
+}
+
+/// Encode one instruction (public within the crate for init exprs).
+pub(crate) fn instr(out: &mut Vec<u8>, i: &Instr) {
+    use Instr::*;
+    match i {
+        Unreachable => out.push(0x00),
+        Nop => out.push(0x01),
+        Block(bt) => {
+            out.push(0x02);
+            block_type(out, *bt);
+        }
+        Loop(bt) => {
+            out.push(0x03);
+            block_type(out, *bt);
+        }
+        If(bt) => {
+            out.push(0x04);
+            block_type(out, *bt);
+        }
+        Else => out.push(0x05),
+        End => out.push(0x0b),
+        Br(d) => {
+            out.push(0x0c);
+            leb128::write_u32(out, *d);
+        }
+        BrIf(d) => {
+            out.push(0x0d);
+            leb128::write_u32(out, *d);
+        }
+        BrTable(targets, default) => {
+            out.push(0x0e);
+            leb128::write_u32(out, targets.len() as u32);
+            for t in targets {
+                leb128::write_u32(out, *t);
+            }
+            leb128::write_u32(out, *default);
+        }
+        Return => out.push(0x0f),
+        Call(f) => {
+            out.push(0x10);
+            leb128::write_u32(out, *f);
+        }
+        CallIndirect(t) => {
+            out.push(0x11);
+            leb128::write_u32(out, *t);
+            out.push(0x00); // table index
+        }
+        Drop => out.push(0x1a),
+        Select => out.push(0x1b),
+        LocalGet(i) => {
+            out.push(0x20);
+            leb128::write_u32(out, *i);
+        }
+        LocalSet(i) => {
+            out.push(0x21);
+            leb128::write_u32(out, *i);
+        }
+        LocalTee(i) => {
+            out.push(0x22);
+            leb128::write_u32(out, *i);
+        }
+        GlobalGet(i) => {
+            out.push(0x23);
+            leb128::write_u32(out, *i);
+        }
+        GlobalSet(i) => {
+            out.push(0x24);
+            leb128::write_u32(out, *i);
+        }
+        I32Load(m) => {
+            out.push(0x28);
+            memarg(out, m);
+        }
+        I64Load(m) => {
+            out.push(0x29);
+            memarg(out, m);
+        }
+        F32Load(m) => {
+            out.push(0x2a);
+            memarg(out, m);
+        }
+        F64Load(m) => {
+            out.push(0x2b);
+            memarg(out, m);
+        }
+        I32Load8S(m) => {
+            out.push(0x2c);
+            memarg(out, m);
+        }
+        I32Load8U(m) => {
+            out.push(0x2d);
+            memarg(out, m);
+        }
+        I32Load16S(m) => {
+            out.push(0x2e);
+            memarg(out, m);
+        }
+        I32Load16U(m) => {
+            out.push(0x2f);
+            memarg(out, m);
+        }
+        I64Load8S(m) => {
+            out.push(0x30);
+            memarg(out, m);
+        }
+        I64Load8U(m) => {
+            out.push(0x31);
+            memarg(out, m);
+        }
+        I64Load16S(m) => {
+            out.push(0x32);
+            memarg(out, m);
+        }
+        I64Load16U(m) => {
+            out.push(0x33);
+            memarg(out, m);
+        }
+        I64Load32S(m) => {
+            out.push(0x34);
+            memarg(out, m);
+        }
+        I64Load32U(m) => {
+            out.push(0x35);
+            memarg(out, m);
+        }
+        I32Store(m) => {
+            out.push(0x36);
+            memarg(out, m);
+        }
+        I64Store(m) => {
+            out.push(0x37);
+            memarg(out, m);
+        }
+        F32Store(m) => {
+            out.push(0x38);
+            memarg(out, m);
+        }
+        F64Store(m) => {
+            out.push(0x39);
+            memarg(out, m);
+        }
+        I32Store8(m) => {
+            out.push(0x3a);
+            memarg(out, m);
+        }
+        I32Store16(m) => {
+            out.push(0x3b);
+            memarg(out, m);
+        }
+        I64Store8(m) => {
+            out.push(0x3c);
+            memarg(out, m);
+        }
+        I64Store16(m) => {
+            out.push(0x3d);
+            memarg(out, m);
+        }
+        I64Store32(m) => {
+            out.push(0x3e);
+            memarg(out, m);
+        }
+        MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        I32Const(v) => {
+            out.push(0x41);
+            leb128::write_i32(out, *v);
+        }
+        I64Const(v) => {
+            out.push(0x42);
+            leb128::write_i64(out, *v);
+        }
+        F32Const(v) => {
+            out.push(0x43);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        F64Const(v) => {
+            out.push(0x44);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        I32Eqz => out.push(0x45),
+        I32Eq => out.push(0x46),
+        I32Ne => out.push(0x47),
+        I32LtS => out.push(0x48),
+        I32LtU => out.push(0x49),
+        I32GtS => out.push(0x4a),
+        I32GtU => out.push(0x4b),
+        I32LeS => out.push(0x4c),
+        I32LeU => out.push(0x4d),
+        I32GeS => out.push(0x4e),
+        I32GeU => out.push(0x4f),
+        I64Eqz => out.push(0x50),
+        I64Eq => out.push(0x51),
+        I64Ne => out.push(0x52),
+        I64LtS => out.push(0x53),
+        I64LtU => out.push(0x54),
+        I64GtS => out.push(0x55),
+        I64GtU => out.push(0x56),
+        I64LeS => out.push(0x57),
+        I64LeU => out.push(0x58),
+        I64GeS => out.push(0x59),
+        I64GeU => out.push(0x5a),
+        F32Eq => out.push(0x5b),
+        F32Ne => out.push(0x5c),
+        F32Lt => out.push(0x5d),
+        F32Gt => out.push(0x5e),
+        F32Le => out.push(0x5f),
+        F32Ge => out.push(0x60),
+        F64Eq => out.push(0x61),
+        F64Ne => out.push(0x62),
+        F64Lt => out.push(0x63),
+        F64Gt => out.push(0x64),
+        F64Le => out.push(0x65),
+        F64Ge => out.push(0x66),
+        I32Clz => out.push(0x67),
+        I32Ctz => out.push(0x68),
+        I32Popcnt => out.push(0x69),
+        I32Add => out.push(0x6a),
+        I32Sub => out.push(0x6b),
+        I32Mul => out.push(0x6c),
+        I32DivS => out.push(0x6d),
+        I32DivU => out.push(0x6e),
+        I32RemS => out.push(0x6f),
+        I32RemU => out.push(0x70),
+        I32And => out.push(0x71),
+        I32Or => out.push(0x72),
+        I32Xor => out.push(0x73),
+        I32Shl => out.push(0x74),
+        I32ShrS => out.push(0x75),
+        I32ShrU => out.push(0x76),
+        I32Rotl => out.push(0x77),
+        I32Rotr => out.push(0x78),
+        I64Clz => out.push(0x79),
+        I64Ctz => out.push(0x7a),
+        I64Popcnt => out.push(0x7b),
+        I64Add => out.push(0x7c),
+        I64Sub => out.push(0x7d),
+        I64Mul => out.push(0x7e),
+        I64DivS => out.push(0x7f),
+        I64DivU => out.push(0x80),
+        I64RemS => out.push(0x81),
+        I64RemU => out.push(0x82),
+        I64And => out.push(0x83),
+        I64Or => out.push(0x84),
+        I64Xor => out.push(0x85),
+        I64Shl => out.push(0x86),
+        I64ShrS => out.push(0x87),
+        I64ShrU => out.push(0x88),
+        I64Rotl => out.push(0x89),
+        I64Rotr => out.push(0x8a),
+        F32Abs => out.push(0x8b),
+        F32Neg => out.push(0x8c),
+        F32Ceil => out.push(0x8d),
+        F32Floor => out.push(0x8e),
+        F32Trunc => out.push(0x8f),
+        F32Nearest => out.push(0x90),
+        F32Sqrt => out.push(0x91),
+        F32Add => out.push(0x92),
+        F32Sub => out.push(0x93),
+        F32Mul => out.push(0x94),
+        F32Div => out.push(0x95),
+        F32Min => out.push(0x96),
+        F32Max => out.push(0x97),
+        F32Copysign => out.push(0x98),
+        F64Abs => out.push(0x99),
+        F64Neg => out.push(0x9a),
+        F64Ceil => out.push(0x9b),
+        F64Floor => out.push(0x9c),
+        F64Trunc => out.push(0x9d),
+        F64Nearest => out.push(0x9e),
+        F64Sqrt => out.push(0x9f),
+        F64Add => out.push(0xa0),
+        F64Sub => out.push(0xa1),
+        F64Mul => out.push(0xa2),
+        F64Div => out.push(0xa3),
+        F64Min => out.push(0xa4),
+        F64Max => out.push(0xa5),
+        F64Copysign => out.push(0xa6),
+        I32WrapI64 => out.push(0xa7),
+        I32TruncF32S => out.push(0xa8),
+        I32TruncF32U => out.push(0xa9),
+        I32TruncF64S => out.push(0xaa),
+        I32TruncF64U => out.push(0xab),
+        I64ExtendI32S => out.push(0xac),
+        I64ExtendI32U => out.push(0xad),
+        I64TruncF32S => out.push(0xae),
+        I64TruncF32U => out.push(0xaf),
+        I64TruncF64S => out.push(0xb0),
+        I64TruncF64U => out.push(0xb1),
+        F32ConvertI32S => out.push(0xb2),
+        F32ConvertI32U => out.push(0xb3),
+        F32ConvertI64S => out.push(0xb4),
+        F32ConvertI64U => out.push(0xb5),
+        F32DemoteF64 => out.push(0xb6),
+        F64ConvertI32S => out.push(0xb7),
+        F64ConvertI32U => out.push(0xb8),
+        F64ConvertI64S => out.push(0xb9),
+        F64ConvertI64U => out.push(0xba),
+        F64PromoteF32 => out.push(0xbb),
+        I32ReinterpretF32 => out.push(0xbc),
+        I64ReinterpretF64 => out.push(0xbd),
+        F32ReinterpretI32 => out.push(0xbe),
+        F64ReinterpretI64 => out.push(0xbf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Export, Function};
+
+    #[test]
+    fn header_is_spec_magic() {
+        let m = Module::new();
+        let bytes = encode_module(&m);
+        assert_eq!(&bytes[..8], b"\0asm\x01\0\0\0");
+    }
+
+    #[test]
+    fn fib_module_encodes_expected_sections() {
+        let mut m = Module::new();
+        let t = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.functions.push(Function {
+            type_index: t,
+            locals: vec![],
+            body: vec![Instr::LocalGet(0), Instr::End],
+            name: None,
+        });
+        m.exports.push(Export {
+            name: "f".into(),
+            kind: ExportKind::Func(0),
+        });
+        let bytes = encode_module(&m);
+        // Expect section ids 1, 3, 7, 10 present, in order.
+        let mut ids = Vec::new();
+        let mut pos = 8;
+        while pos < bytes.len() {
+            ids.push(bytes[pos]);
+            let mut r = crate::leb128::Reader::new(&bytes[pos + 1..]);
+            let len = r.u32().unwrap() as usize;
+            pos += 1 + r.pos() + len;
+        }
+        assert_eq!(ids, vec![1, 3, 7, 10]);
+    }
+
+    #[test]
+    fn locals_are_run_length_compressed() {
+        let mut m = Module::new();
+        let t = m.intern_type(FuncType::new(vec![], vec![]));
+        m.functions.push(Function {
+            type_index: t,
+            locals: vec![ValType::I32, ValType::I32, ValType::F64],
+            body: vec![Instr::End],
+            name: None,
+        });
+        let with_runs = encode_module(&m).len();
+        m.functions[0].locals = vec![ValType::I32, ValType::F64, ValType::I32];
+        let without_runs = encode_module(&m).len();
+        assert!(with_runs < without_runs);
+    }
+}

@@ -1,0 +1,201 @@
+//! Error types for decoding and validation.
+
+use std::fmt;
+
+/// Error produced while decoding a binary module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// Byte offset at which input ran out.
+        at: usize,
+    },
+    /// The 8-byte magic/version header was wrong.
+    BadHeader,
+    /// A LEB128 integer exceeded its maximum encoded length or range.
+    IntegerTooLong {
+        /// Byte offset of the offending integer.
+        at: usize,
+    },
+    /// An unknown or unsupported opcode byte.
+    UnknownOpcode {
+        /// The opcode byte.
+        opcode: u8,
+        /// Byte offset of the opcode.
+        at: usize,
+    },
+    /// An unknown section id.
+    UnknownSection {
+        /// The section id byte.
+        id: u8,
+    },
+    /// Sections appeared out of the spec-mandated order.
+    SectionOutOfOrder {
+        /// The offending section id.
+        id: u8,
+    },
+    /// A section's declared size did not match its content.
+    SectionSizeMismatch {
+        /// The section id.
+        id: u8,
+    },
+    /// An invalid value-type byte.
+    BadValType {
+        /// The type byte.
+        byte: u8,
+    },
+    /// A name was not valid UTF-8.
+    InvalidUtf8 {
+        /// Byte offset past the name.
+        at: usize,
+    },
+    /// Function and code section lengths disagree.
+    FuncCodeMismatch {
+        /// Entries in the function section.
+        funcs: usize,
+        /// Entries in the code section.
+        bodies: usize,
+    },
+    /// Anything else, with a description.
+    Malformed {
+        /// Description of the problem.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { at } => write!(f, "unexpected end of input at byte {at}"),
+            DecodeError::BadHeader => write!(f, "bad wasm magic/version header"),
+            DecodeError::IntegerTooLong { at } => write!(f, "LEB128 integer too long at byte {at}"),
+            DecodeError::UnknownOpcode { opcode, at } => {
+                write!(f, "unknown opcode 0x{opcode:02x} at byte {at}")
+            }
+            DecodeError::UnknownSection { id } => write!(f, "unknown section id {id}"),
+            DecodeError::SectionOutOfOrder { id } => write!(f, "section id {id} out of order"),
+            DecodeError::SectionSizeMismatch { id } => {
+                write!(f, "section id {id} size mismatch")
+            }
+            DecodeError::BadValType { byte } => write!(f, "invalid value type 0x{byte:02x}"),
+            DecodeError::InvalidUtf8 { at } => write!(f, "invalid UTF-8 name before byte {at}"),
+            DecodeError::FuncCodeMismatch { funcs, bodies } => write!(
+                f,
+                "function section has {funcs} entries but code section has {bodies}"
+            ),
+            DecodeError::Malformed { what } => write!(f, "malformed module: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Error produced while validating a module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// A type index referred past the type section.
+    BadTypeIndex {
+        /// The offending index.
+        index: u32,
+    },
+    /// A function index referred past imports + functions.
+    BadFuncIndex {
+        /// The offending index.
+        index: u32,
+    },
+    /// A local index referred past params + locals.
+    BadLocalIndex {
+        /// Function being validated.
+        func: usize,
+        /// The offending index.
+        index: u32,
+    },
+    /// A global index referred past the global section.
+    BadGlobalIndex {
+        /// The offending index.
+        index: u32,
+    },
+    /// Assignment to an immutable global.
+    ImmutableGlobal {
+        /// The offending index.
+        index: u32,
+    },
+    /// A branch label was deeper than the current control stack.
+    BadLabel {
+        /// Function being validated.
+        func: usize,
+        /// The offending relative depth.
+        depth: u32,
+    },
+    /// Operand stack underflow or type mismatch.
+    TypeMismatch {
+        /// Function being validated.
+        func: usize,
+        /// Description of the expected/actual situation.
+        detail: String,
+    },
+    /// Memory instruction used without a declared/imported memory.
+    NoMemory,
+    /// `call_indirect` used without a table.
+    NoTable,
+    /// Misaligned memarg (alignment exceeds natural alignment).
+    BadAlignment {
+        /// Function being validated.
+        func: usize,
+    },
+    /// Control-frame nesting was broken (e.g. `else` without `if`).
+    MalformedControl {
+        /// Function being validated.
+        func: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An export referenced a missing entity.
+    BadExport {
+        /// Export name.
+        name: String,
+    },
+    /// A start/data/element item was inconsistent.
+    BadModuleField {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BadTypeIndex { index } => write!(f, "type index {index} out of range"),
+            ValidationError::BadFuncIndex { index } => {
+                write!(f, "function index {index} out of range")
+            }
+            ValidationError::BadLocalIndex { func, index } => {
+                write!(f, "func {func}: local index {index} out of range")
+            }
+            ValidationError::BadGlobalIndex { index } => {
+                write!(f, "global index {index} out of range")
+            }
+            ValidationError::ImmutableGlobal { index } => {
+                write!(f, "global {index} is immutable")
+            }
+            ValidationError::BadLabel { func, depth } => {
+                write!(f, "func {func}: branch depth {depth} out of range")
+            }
+            ValidationError::TypeMismatch { func, detail } => {
+                write!(f, "func {func}: type mismatch: {detail}")
+            }
+            ValidationError::NoMemory => write!(f, "memory instruction without memory"),
+            ValidationError::NoTable => write!(f, "call_indirect without table"),
+            ValidationError::BadAlignment { func } => {
+                write!(f, "func {func}: alignment exceeds natural alignment")
+            }
+            ValidationError::MalformedControl { func, detail } => {
+                write!(f, "func {func}: malformed control flow: {detail}")
+            }
+            ValidationError::BadExport { name } => write!(f, "export '{name}' is dangling"),
+            ValidationError::BadModuleField { detail } => write!(f, "bad module field: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}

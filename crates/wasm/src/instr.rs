@@ -1,0 +1,291 @@
+//! The WebAssembly MVP instruction set.
+//!
+//! Bodies are stored *flat*, exactly as in the binary format: structured
+//! control (`block`/`loop`/`if`) is delimited by explicit [`Instr::Else`]
+//! and [`Instr::End`] tokens. The interpreter in `wb-wasm-vm` precomputes
+//! branch targets over this flat form.
+
+use crate::types::ValType;
+
+/// The result type of a block, loop or if (MVP: empty or one value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockType {
+    /// No result.
+    Empty,
+    /// One result of the given type.
+    Value(ValType),
+}
+
+impl BlockType {
+    /// Number of values the block yields.
+    pub fn arity(self) -> usize {
+        match self {
+            BlockType::Empty => 0,
+            BlockType::Value(_) => 1,
+        }
+    }
+}
+
+/// Memory-access immediate: alignment exponent and byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemArg {
+    /// log2 of the access alignment.
+    pub align: u32,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+}
+
+impl MemArg {
+    /// A memarg with natural alignment for `width` bytes and offset 0.
+    pub fn natural(width: u32) -> Self {
+        MemArg {
+            align: width.trailing_zeros(),
+            offset: 0,
+        }
+    }
+
+    /// Same alignment, different offset.
+    pub fn with_offset(self, offset: u32) -> Self {
+        MemArg { offset, ..self }
+    }
+}
+
+/// One WebAssembly instruction.
+///
+/// Naming follows the spec text form with Rust casing:
+/// `i32.add` → `I32Add`, `local.get` → `LocalGet`, etc.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // Names map 1:1 to spec instructions.
+pub enum Instr {
+    // Control.
+    Unreachable,
+    Nop,
+    Block(BlockType),
+    Loop(BlockType),
+    If(BlockType),
+    Else,
+    End,
+    Br(u32),
+    BrIf(u32),
+    /// Targets plus default label.
+    BrTable(Vec<u32>, u32),
+    Return,
+    Call(u32),
+    /// Type index; table index is implicitly 0 in the MVP.
+    CallIndirect(u32),
+
+    // Parametric.
+    Drop,
+    Select,
+
+    // Variables.
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+
+    // Memory.
+    I32Load(MemArg),
+    I64Load(MemArg),
+    F32Load(MemArg),
+    F64Load(MemArg),
+    I32Load8S(MemArg),
+    I32Load8U(MemArg),
+    I32Load16S(MemArg),
+    I32Load16U(MemArg),
+    I64Load8S(MemArg),
+    I64Load8U(MemArg),
+    I64Load16S(MemArg),
+    I64Load16U(MemArg),
+    I64Load32S(MemArg),
+    I64Load32U(MemArg),
+    I32Store(MemArg),
+    I64Store(MemArg),
+    F32Store(MemArg),
+    F64Store(MemArg),
+    I32Store8(MemArg),
+    I32Store16(MemArg),
+    I64Store8(MemArg),
+    I64Store16(MemArg),
+    I64Store32(MemArg),
+    MemorySize,
+    MemoryGrow,
+
+    // Constants.
+    I32Const(i32),
+    I64Const(i64),
+    F32Const(f32),
+    F64Const(f64),
+
+    // i32 comparisons.
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+    // i64 comparisons.
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    // f32 comparisons.
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    // f64 comparisons.
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+
+    // i32 arithmetic.
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+    // i64 arithmetic.
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+    // f32 arithmetic.
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+    // f64 arithmetic.
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+
+    // Conversions.
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32ReinterpretF32,
+    I64ReinterpretF64,
+    F32ReinterpretI32,
+    F64ReinterpretI64,
+}
+
+impl Instr {
+    /// True for instructions that open a structured control frame.
+    pub fn opens_block(&self) -> bool {
+        matches!(self, Instr::Block(_) | Instr::Loop(_) | Instr::If(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memarg_natural_alignment() {
+        assert_eq!(MemArg::natural(1).align, 0);
+        assert_eq!(MemArg::natural(2).align, 1);
+        assert_eq!(MemArg::natural(4).align, 2);
+        assert_eq!(MemArg::natural(8).align, 3);
+        assert_eq!(MemArg::natural(4).with_offset(16).offset, 16);
+    }
+
+    #[test]
+    fn blocktype_arity() {
+        assert_eq!(BlockType::Empty.arity(), 0);
+        assert_eq!(BlockType::Value(ValType::F64).arity(), 1);
+    }
+
+    #[test]
+    fn opens_block_detects_structured_starts() {
+        assert!(Instr::Block(BlockType::Empty).opens_block());
+        assert!(Instr::Loop(BlockType::Empty).opens_block());
+        assert!(Instr::If(BlockType::Empty).opens_block());
+        assert!(!Instr::End.opens_block());
+        assert!(!Instr::I32Add.opens_block());
+    }
+}

@@ -1,0 +1,283 @@
+//! LEB128 variable-length integer encoding, as used throughout the
+//! WebAssembly binary format (spec §5.2.2).
+
+use crate::error::DecodeError;
+
+/// Append an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append an unsigned LEB128 encoding of a 64-bit `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a signed LEB128 encoding of `value` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, value as i64);
+}
+
+/// Append a signed LEB128 encoding of a 64-bit `value` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A cursor over a byte slice for decoding.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current offset into the input.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True when all input is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Read one byte.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError::UnexpectedEof { at: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof { at: self.pos });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read an unsigned LEB128 u32 (max 5 bytes).
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let v = self.uleb(32)?;
+        Ok(v as u32)
+    }
+
+    /// Read an unsigned LEB128 u64 (max 10 bytes).
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        self.uleb(64)
+    }
+
+    /// Read a signed LEB128 i32.
+    pub fn i32(&mut self) -> Result<i32, DecodeError> {
+        let v = self.sleb(32)?;
+        Ok(v as i32)
+    }
+
+    /// Read a signed LEB128 i64.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        self.sleb(64)
+    }
+
+    /// Read a little-endian f32.
+    pub fn f32(&mut self) -> Result<f32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian f64.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a length-prefixed UTF-8 name.
+    pub fn name(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8 { at: self.pos })
+    }
+
+    fn uleb(&mut self, bits: u32) -> Result<u64, DecodeError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= bits {
+                return Err(DecodeError::IntegerTooLong { at: self.pos });
+            }
+            // Reject set payload bits that fall outside the target width.
+            let payload = (byte & 0x7f) as u64;
+            if shift + 7 > bits && (payload >> (bits - shift)) != 0 {
+                return Err(DecodeError::IntegerTooLong { at: self.pos });
+            }
+            result |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    fn sleb(&mut self, bits: u32) -> Result<i64, DecodeError> {
+        let mut result: i64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= bits {
+                return Err(DecodeError::IntegerTooLong { at: self.pos });
+            }
+            result |= (((byte & 0x7f) as i64) << shift) as i64;
+            shift += 7;
+            if byte & 0x80 == 0 {
+                if shift < 64 && byte & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                // Range check for narrower targets.
+                if bits < 64 {
+                    let min = -(1i64 << (bits - 1));
+                    let max = (1i64 << (bits - 1)) - 1;
+                    if result < min || result > max {
+                        return Err(DecodeError::IntegerTooLong { at: self.pos });
+                    }
+                }
+                return Ok(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_u32(v: u32) {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, v);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), v);
+        assert!(r.is_empty());
+    }
+
+    fn round_i64(v: i64) {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.i64().unwrap(), v);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn u32_round_trips_edge_values() {
+        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX] {
+            round_u32(v);
+        }
+    }
+
+    #[test]
+    fn i64_round_trips_edge_values() {
+        for v in [0, 1, -1, 63, 64, -64, -65, i64::MAX, i64::MIN, 624485, -123456] {
+            round_i64(v);
+        }
+    }
+
+    #[test]
+    fn i32_round_trips() {
+        for v in [0i32, -1, i32::MIN, i32::MAX, 42, -300] {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.i32().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn known_spec_encoding() {
+        // Example from the DWARF/LEB128 literature: 624485 = 0xE5 0x8E 0x26.
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 624485);
+        assert_eq!(buf, vec![0xe5, 0x8e, 0x26]);
+    }
+
+    #[test]
+    fn overlong_u32_rejected() {
+        // Six continuation bytes exceed the 5-byte maximum for u32.
+        let bytes = [0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut r = Reader::new(&bytes);
+        assert!(r.u32().is_err());
+    }
+
+    #[test]
+    fn u32_with_excess_payload_bits_rejected() {
+        // 5th byte may only carry 4 payload bits for u32.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut r = Reader::new(&bytes);
+        assert!(r.u32().is_err());
+    }
+
+    #[test]
+    fn eof_mid_integer_rejected() {
+        let bytes = [0x80];
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.u32(), Err(DecodeError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn name_reads_utf8() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 5);
+        buf.extend_from_slice(b"hello");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name().unwrap(), "hello");
+    }
+
+    #[test]
+    fn name_rejects_bad_utf8() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        assert!(r.name().is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Linear memory (spec §4.2.8): a contiguous, 64 KiB-paged byte buffer that
+//! only ever grows — the mechanism behind the paper's Wasm memory findings
+//! (§2.2.2, Tables 4/6): *"instead of reclaiming memory that is no longer in
+//! use, the linear memory is further extended to a bigger size."*
+
+use crate::types::Limits;
+use std::fmt;
+
+/// Bytes per WebAssembly page.
+pub const PAGE_SIZE: usize = 64 * 1024;
+
+/// Errors raised by memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// An access fell outside the current memory size.
+    OutOfBounds {
+        /// Byte address of the access.
+        addr: u64,
+        /// Access width in bytes.
+        width: u32,
+        /// Current memory size in bytes.
+        size: usize,
+    },
+    /// A grow request exceeded the declared maximum or engine limit.
+    GrowFailed {
+        /// Pages requested.
+        delta: u32,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfBounds { addr, width, size } => write!(
+                f,
+                "out-of-bounds access: {width} bytes at {addr} (memory is {size} bytes)"
+            ),
+            MemoryError::GrowFailed { delta } => write!(f, "memory.grow by {delta} pages failed"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// A linear memory instance.
+#[derive(Debug, Clone)]
+pub struct LinearMemory {
+    bytes: Vec<u8>,
+    limits: Limits,
+    /// Number of successful `memory.grow` operations (cost accounting).
+    pub grow_count: u64,
+    /// Total pages added by grows (cost accounting).
+    pub grown_pages: u64,
+}
+
+impl LinearMemory {
+    /// Hard engine cap: 4 GiB (65 536 pages), the MVP maximum.
+    pub const MAX_PAGES: u32 = 65_536;
+
+    /// Instantiate a memory at its declared minimum size.
+    pub fn new(limits: Limits) -> Self {
+        LinearMemory {
+            bytes: vec![0; limits.min as usize * PAGE_SIZE],
+            limits,
+            grow_count: 0,
+            grown_pages: 0,
+        }
+    }
+
+    /// Current size in pages.
+    pub fn size_pages(&self) -> u32 {
+        (self.bytes.len() / PAGE_SIZE) as u32
+    }
+
+    /// Current size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Grow by `delta` pages. Returns the previous size in pages, or -1
+    /// (as wasm does) when the grow is refused.
+    pub fn grow(&mut self, delta: u32) -> i32 {
+        let old_pages = self.size_pages();
+        let Some(new_pages) = old_pages.checked_add(delta) else {
+            return -1;
+        };
+        let cap = self.limits.max.unwrap_or(Self::MAX_PAGES).min(Self::MAX_PAGES);
+        if new_pages > cap {
+            return -1;
+        }
+        self.bytes.resize(new_pages as usize * PAGE_SIZE, 0);
+        self.grow_count += 1;
+        self.grown_pages += delta as u64;
+        old_pages as i32
+    }
+
+    /// Read `width` bytes at `addr` (bounds-checked).
+    pub fn read(&self, addr: u64, width: u32) -> Result<&[u8], MemoryError> {
+        let end = addr.checked_add(width as u64).filter(|&e| e <= self.bytes.len() as u64);
+        match end {
+            Some(end) => Ok(&self.bytes[addr as usize..end as usize]),
+            None => Err(MemoryError::OutOfBounds {
+                addr,
+                width,
+                size: self.bytes.len(),
+            }),
+        }
+    }
+
+    /// Write bytes at `addr` (bounds-checked).
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemoryError> {
+        let end = addr
+            .checked_add(data.len() as u64)
+            .filter(|&e| e <= self.bytes.len() as u64);
+        match end {
+            Some(end) => {
+                self.bytes[addr as usize..end as usize].copy_from_slice(data);
+                Ok(())
+            }
+            None => Err(MemoryError::OutOfBounds {
+                addr,
+                width: data.len() as u32,
+                size: self.bytes.len(),
+            }),
+        }
+    }
+
+    /// Typed read helpers ------------------------------------------------
+    /// Read a little-endian u32.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, MemoryError> {
+        let b = self.read(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemoryError> {
+        let b = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an f64.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, MemoryError> {
+        Ok(f64::from_bits(self.read_u64(addr)?))
+    }
+
+    /// Write a little-endian u32.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemoryError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemoryError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Write an f64.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), MemoryError> {
+        self.write_u64(addr, v.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_min_pages() {
+        let m = LinearMemory::new(Limits::at_least(2));
+        assert_eq!(m.size_pages(), 2);
+        assert_eq!(m.size_bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn grow_returns_old_size_and_zero_fills() {
+        let mut m = LinearMemory::new(Limits::at_least(1));
+        assert_eq!(m.grow(3), 1);
+        assert_eq!(m.size_pages(), 4);
+        assert_eq!(m.read_u32((4 * PAGE_SIZE - 4) as u64).unwrap(), 0);
+        assert_eq!(m.grow_count, 1);
+        assert_eq!(m.grown_pages, 3);
+    }
+
+    #[test]
+    fn grow_respects_max() {
+        let mut m = LinearMemory::new(Limits::bounded(1, 2));
+        assert_eq!(m.grow(1), 1);
+        assert_eq!(m.grow(1), -1);
+        assert_eq!(m.size_pages(), 2);
+    }
+
+    #[test]
+    fn grow_overflow_is_refused() {
+        let mut m = LinearMemory::new(Limits::at_least(1));
+        assert_eq!(m.grow(u32::MAX), -1);
+    }
+
+    #[test]
+    fn bounds_checked_reads_and_writes() {
+        let mut m = LinearMemory::new(Limits::at_least(1));
+        m.write_u32(0, 0xdeadbeef).unwrap();
+        assert_eq!(m.read_u32(0).unwrap(), 0xdeadbeef);
+        // Access straddling the end fails.
+        let end = PAGE_SIZE as u64 - 2;
+        assert!(m.read_u32(end).is_err());
+        assert!(m.write_u32(end, 1).is_err());
+        // Address overflow does not panic.
+        assert!(m.read(u64::MAX, 8).is_err());
+    }
+
+    #[test]
+    fn f64_round_trips_bits() {
+        let mut m = LinearMemory::new(Limits::at_least(1));
+        for v in [0.0, -1.5, f64::INFINITY, f64::MIN_POSITIVE] {
+            m.write_f64(8, v).unwrap();
+            assert_eq!(m.read_f64(8).unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The in-memory module model (spec §2.5).
+
+use crate::instr::Instr;
+use crate::types::{FuncType, GlobalType, Limits, ValType};
+
+/// An imported function: module/field names plus its type index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncImport {
+    /// Import module name (e.g. `"env"`).
+    pub module: String,
+    /// Import field name (e.g. `"now"`).
+    pub field: String,
+    /// Index into [`Module::types`].
+    pub type_index: u32,
+}
+
+/// A function defined in the module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Index into [`Module::types`].
+    pub type_index: u32,
+    /// Declared locals (beyond parameters), in order.
+    pub locals: Vec<ValType>,
+    /// Flat body; must end with [`Instr::End`].
+    pub body: Vec<Instr>,
+    /// Optional debug name (carried in a custom "name"-style field; not
+    /// part of equality-relevant semantics but round-tripped by the codec).
+    pub name: Option<String>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Type and mutability.
+    pub ty: GlobalType,
+    /// Constant initializer (MVP: a single `*.const` instruction).
+    pub init: Instr,
+}
+
+/// A linear memory declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySpec {
+    /// Page limits (64 KiB pages).
+    pub limits: Limits,
+}
+
+/// A funcref table declaration (MVP: one table, funcref only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Element-count limits.
+    pub limits: Limits,
+}
+
+/// What an export refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    /// Function at the given function index (imports first).
+    Func(u32),
+    /// Memory index (always 0 in the MVP).
+    Memory(u32),
+    /// Global index.
+    Global(u32),
+    /// Table index (always 0 in the MVP).
+    Table(u32),
+}
+
+/// A named export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Export {
+    /// Exported name.
+    pub name: String,
+    /// Target entity.
+    pub kind: ExportKind,
+}
+
+/// An active element segment populating the table with function indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Constant i32 offset into the table.
+    pub offset: i32,
+    /// Function indices to place.
+    pub funcs: Vec<u32>,
+}
+
+/// An active data segment initializing linear memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Data {
+    /// Constant i32 byte offset into memory.
+    pub offset: i32,
+    /// Bytes to copy at instantiation.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete WebAssembly module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Function signatures referenced by functions and `call_indirect`.
+    pub types: Vec<FuncType>,
+    /// Imported functions (these occupy function indices `0..imports.len()`).
+    pub imports: Vec<FuncImport>,
+    /// Defined functions (function index = `imports.len() + position`).
+    pub functions: Vec<Function>,
+    /// Optional table (for `call_indirect`).
+    pub table: Option<TableSpec>,
+    /// Optional linear memory.
+    pub memory: Option<MemorySpec>,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Exports.
+    pub exports: Vec<Export>,
+    /// Optional start function index.
+    pub start: Option<u32>,
+    /// Element segments.
+    pub elements: Vec<Element>,
+    /// Data segments.
+    pub data: Vec<Data>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Total function index space size (imports + definitions).
+    pub fn func_count(&self) -> usize {
+        self.imports.len() + self.functions.len()
+    }
+
+    /// Signature of the function at `func_index` (import-aware).
+    pub fn func_type(&self, func_index: u32) -> Option<&FuncType> {
+        let i = func_index as usize;
+        let type_index = if i < self.imports.len() {
+            self.imports[i].type_index
+        } else {
+            self.functions.get(i - self.imports.len())?.type_index
+        };
+        self.types.get(type_index as usize)
+    }
+
+    /// Look up an exported function index by name.
+    pub fn exported_func(&self, name: &str) -> Option<u32> {
+        self.exports.iter().find_map(|e| match e.kind {
+            ExportKind::Func(i) if e.name == name => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Intern a function type, returning its index (deduplicating).
+    pub fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(pos) = self.types.iter().position(|t| *t == ty) {
+            return pos as u32;
+        }
+        self.types.push(ty);
+        (self.types.len() - 1) as u32
+    }
+
+    /// Total static code size: the encoded byte length of the module.
+    ///
+    /// This is the "code size" metric of Fig 5/6 and Table 2.
+    pub fn code_size(&self) -> usize {
+        crate::encode::encode_module(self).len()
+    }
+
+    /// Sum of body instruction counts across defined functions — a
+    /// compile-effort proxy used for baseline/optimizing compile costs.
+    pub fn instr_count(&self) -> usize {
+        self.functions.iter().map(|f| f.body.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new();
+        let t = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.functions.push(Function {
+            type_index: t,
+            locals: vec![],
+            body: vec![Instr::LocalGet(0), Instr::End],
+            name: Some("id".into()),
+        });
+        m.exports.push(Export {
+            name: "id".into(),
+            kind: ExportKind::Func(0),
+        });
+        m
+    }
+
+    #[test]
+    fn intern_type_deduplicates() {
+        let mut m = Module::new();
+        let a = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let b = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let c = m.intern_type(FuncType::new(vec![], vec![]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.types.len(), 2);
+    }
+
+    #[test]
+    fn func_type_resolves_across_imports() {
+        let mut m = tiny_module();
+        let ti = m.intern_type(FuncType::new(vec![], vec![ValType::F64]));
+        m.imports.push(FuncImport {
+            module: "env".into(),
+            field: "now".into(),
+            type_index: ti,
+        });
+        // After pushing an import, index 0 is the import, index 1 the function.
+        assert_eq!(m.func_type(0).unwrap().results, vec![ValType::F64]);
+        assert_eq!(m.func_type(1).unwrap().params, vec![ValType::I32]);
+        assert_eq!(m.func_type(2), None);
+    }
+
+    #[test]
+    fn exported_func_lookup() {
+        let m = tiny_module();
+        assert_eq!(m.exported_func("id"), Some(0));
+        assert_eq!(m.exported_func("missing"), None);
+    }
+
+    #[test]
+    fn instr_count_sums_bodies() {
+        let m = tiny_module();
+        assert_eq!(m.instr_count(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! WAT-style text rendering, like the disassembly shown in the paper's
+//! Fig 4(c), 7 and 8. Intended for debugging and reports, not re-parsing.
+
+use crate::instr::{BlockType, Instr};
+use crate::module::Module;
+use std::fmt::Write as _;
+
+/// Render a module in a WAT-like S-expression form.
+pub fn print_wat(module: &Module) -> String {
+    let mut out = String::from("(module\n");
+    for (i, ty) in module.types.iter().enumerate() {
+        let mut line = format!("  (type $t{i} (func");
+        if !ty.params.is_empty() {
+            line.push_str(" (param");
+            for p in &ty.params {
+                let _ = write!(line, " {}", p.wat());
+            }
+            line.push(')');
+        }
+        if !ty.results.is_empty() {
+            line.push_str(" (result");
+            for r in &ty.results {
+                let _ = write!(line, " {}", r.wat());
+            }
+            line.push(')');
+        }
+        line.push_str("))\n");
+        out.push_str(&line);
+    }
+    for imp in &module.imports {
+        let _ = writeln!(
+            out,
+            "  (import \"{}\" \"{}\" (func (type $t{})))",
+            imp.module, imp.field, imp.type_index
+        );
+    }
+    if let Some(t) = &module.table {
+        let _ = writeln!(out, "  (table {} funcref)", t.limits.min);
+    }
+    if let Some(m) = &module.memory {
+        match m.limits.max {
+            Some(max) => {
+                let _ = writeln!(out, "  (memory {} {})", m.limits.min, max);
+            }
+            None => {
+                let _ = writeln!(out, "  (memory {})", m.limits.min);
+            }
+        }
+    }
+    for (i, g) in module.globals.iter().enumerate() {
+        let ty = if g.ty.mutable {
+            format!("(mut {})", g.ty.ty.wat())
+        } else {
+            g.ty.ty.wat().to_string()
+        };
+        let _ = writeln!(out, "  (global $g{i} {ty} ({}))", instr_text(&g.init));
+    }
+    for (fi, f) in module.functions.iter().enumerate() {
+        let idx = module.imports.len() + fi;
+        let label = f
+            .name
+            .as_deref()
+            .map(|n| format!("${n}"))
+            .unwrap_or_else(|| format!("$f{idx}"));
+        let ty = &module.types[f.type_index as usize];
+        let mut header = format!("  (func {label} (type $t{})", f.type_index);
+        for (pi, p) in ty.params.iter().enumerate() {
+            let _ = write!(header, " (param $p{pi} {})", p.wat());
+        }
+        for r in &ty.results {
+            let _ = write!(header, " (result {})", r.wat());
+        }
+        out.push_str(&header);
+        out.push('\n');
+        if !f.locals.is_empty() {
+            out.push_str("   ");
+            for (li, l) in f.locals.iter().enumerate() {
+                let _ = write!(out, " (local $l{} {})", ty.params.len() + li, l.wat());
+            }
+            out.push('\n');
+        }
+        let mut depth = 2usize;
+        for i in &f.body[..f.body.len().saturating_sub(1)] {
+            if matches!(i, Instr::End | Instr::Else) {
+                depth = depth.saturating_sub(1);
+            }
+            let _ = writeln!(out, "{}{}", "  ".repeat(depth), instr_text(i));
+            if i.opens_block() || matches!(i, Instr::Else) {
+                depth += 1;
+            }
+        }
+        out.push_str("  )\n");
+    }
+    for e in &module.exports {
+        let target = match e.kind {
+            crate::module::ExportKind::Func(i) => format!("(func {i})"),
+            crate::module::ExportKind::Memory(i) => format!("(memory {i})"),
+            crate::module::ExportKind::Global(i) => format!("(global {i})"),
+            crate::module::ExportKind::Table(i) => format!("(table {i})"),
+        };
+        let _ = writeln!(out, "  (export \"{}\" {})", e.name, target);
+    }
+    for d in &module.data {
+        let _ = writeln!(
+            out,
+            "  (data (i32.const {}) ;; {} bytes\n  )",
+            d.offset,
+            d.bytes.len()
+        );
+    }
+    out.push_str(")\n");
+    out
+}
+
+fn block_suffix(bt: &BlockType) -> String {
+    match bt {
+        BlockType::Empty => String::new(),
+        BlockType::Value(t) => format!(" (result {})", t.wat()),
+    }
+}
+
+/// Text form of a single instruction.
+pub(crate) fn instr_text(i: &Instr) -> String {
+    use Instr::*;
+    match i {
+        Unreachable => "unreachable".into(),
+        Nop => "nop".into(),
+        Block(bt) => format!("block{}", block_suffix(bt)),
+        Loop(bt) => format!("loop{}", block_suffix(bt)),
+        If(bt) => format!("if{}", block_suffix(bt)),
+        Else => "else".into(),
+        End => "end".into(),
+        Br(d) => format!("br {d}"),
+        BrIf(d) => format!("br_if {d}"),
+        BrTable(ts, def) => {
+            let list: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+            format!("br_table {} {def}", list.join(" "))
+        }
+        Return => "return".into(),
+        Call(f) => format!("call {f}"),
+        CallIndirect(t) => format!("call_indirect (type $t{t})"),
+        Drop => "drop".into(),
+        Select => "select".into(),
+        LocalGet(i) => format!("local.get {i}"),
+        LocalSet(i) => format!("local.set {i}"),
+        LocalTee(i) => format!("local.tee {i}"),
+        GlobalGet(i) => format!("global.get {i}"),
+        GlobalSet(i) => format!("global.set {i}"),
+        I32Const(v) => format!("i32.const {v}"),
+        I64Const(v) => format!("i64.const {v}"),
+        F32Const(v) => format!("f32.const {v}"),
+        F64Const(v) => format!("f64.const {v}"),
+        MemorySize => "memory.size".into(),
+        MemoryGrow => "memory.grow".into(),
+        other => {
+            // Mechanical name derivation covers the numeric/memory space:
+            // I32Load8S -> "i32.load8_s", F64ConvertI32U -> "f64.convert_i32_u".
+            let debug = format!("{other:?}");
+            let name = debug.split('(').next().unwrap_or(&debug);
+            let mut text = String::new();
+            let chars: Vec<char> = name.chars().collect();
+            let mut idx = 0;
+            // Leading type prefix (I32/I64/F32/F64).
+            if chars.len() >= 3 && (chars[0] == 'I' || chars[0] == 'F') {
+                text.push(chars[0].to_ascii_lowercase());
+                text.push(chars[1]);
+                text.push(chars[2]);
+                text.push('.');
+                idx = 3;
+            }
+            let mut first_word = true;
+            while idx < chars.len() {
+                let c = chars[idx];
+                if c.is_ascii_uppercase() {
+                    if !first_word {
+                        text.push('_');
+                    }
+                    text.push(c.to_ascii_lowercase());
+                    first_word = false;
+                } else {
+                    text.push(c);
+                }
+                idx += 1;
+            }
+            // Fix up spec spellings that are not plain snake-case splits.
+            text.replace("load8_", "load8_")
+                .replace(".trunc_f", ".trunc_f")
+                .replace("i32.wrap_i64", "i32.wrap_i64")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Export, ExportKind, Function};
+    use crate::types::{FuncType, ValType};
+
+    #[test]
+    fn instruction_names_follow_spec_spelling() {
+        assert_eq!(instr_text(&Instr::I32Add), "i32.add");
+        assert_eq!(instr_text(&Instr::F64ConvertI32S), "f64.convert_i32_s");
+        assert_eq!(instr_text(&Instr::I64ExtendI32U), "i64.extend_i32_u");
+        assert_eq!(instr_text(&Instr::I32Const(7)), "i32.const 7");
+        assert_eq!(instr_text(&Instr::LocalGet(2)), "local.get 2");
+    }
+
+    #[test]
+    fn module_rendering_contains_expected_forms() {
+        let mut m = Module::new();
+        let t = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.functions.push(Function {
+            type_index: t,
+            locals: vec![ValType::I32],
+            body: vec![
+                Instr::LocalGet(0),
+                Instr::I32Const(3),
+                Instr::I32LtS,
+                Instr::If(BlockType::Empty),
+                Instr::I32Const(1),
+                Instr::Return,
+                Instr::End,
+                Instr::LocalGet(0),
+                Instr::End,
+            ],
+            name: Some("fib".into()),
+        });
+        m.exports.push(Export {
+            name: "fib".into(),
+            kind: ExportKind::Func(0),
+        });
+        let wat = print_wat(&m);
+        assert!(wat.contains("(module"), "{wat}");
+        assert!(wat.contains("(func $fib"), "{wat}");
+        assert!(wat.contains("i32.lt_s"), "{wat}");
+        assert!(wat.contains("(export \"fib\" (func 0))"), "{wat}");
+    }
+}

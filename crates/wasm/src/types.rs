@@ -1,0 +1,141 @@
+//! WebAssembly type grammar (spec §2.3): value types, function types,
+//! limits and global types.
+
+/// A WebAssembly value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ValType {
+    /// Spec binary encoding of this value type.
+    pub fn byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Decode a value-type byte.
+    pub fn from_byte(b: u8) -> Option<ValType> {
+        match b {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+
+    /// WAT keyword for this type.
+    pub fn wat(self) -> &'static str {
+        match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        }
+    }
+
+    /// Natural (maximum legal) alignment exponent for loads/stores of this
+    /// full-width type: log2 of the byte width.
+    pub fn natural_align(self) -> u32 {
+        match self {
+            ValType::I32 | ValType::F32 => 2,
+            ValType::I64 | ValType::F64 => 3,
+        }
+    }
+}
+
+/// A function signature: parameter and result types.
+///
+/// MVP wasm allows at most one result, which this crate enforces at
+/// validation time rather than in the type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types (0 or 1 in the MVP).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Construct a signature.
+    pub fn new(params: Vec<ValType>, results: Vec<ValType>) -> Self {
+        FuncType { params, results }
+    }
+}
+
+/// Size limits for memories and tables (spec §2.3.4), in units of pages or
+/// elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+impl Limits {
+    /// Limits with just a minimum.
+    pub fn at_least(min: u32) -> Self {
+        Limits { min, max: None }
+    }
+
+    /// Limits with a minimum and maximum.
+    pub fn bounded(min: u32, max: u32) -> Self {
+        Limits {
+            min,
+            max: Some(max),
+        }
+    }
+}
+
+/// Type of a global variable: value type and mutability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalType {
+    /// Value type stored in the global.
+    pub ty: ValType,
+    /// Whether `global.set` is permitted.
+    pub mutable: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_bytes_round_trip() {
+        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(t.byte()), Some(t));
+        }
+        assert_eq!(ValType::from_byte(0x70), None);
+    }
+
+    #[test]
+    fn natural_alignment() {
+        assert_eq!(ValType::I32.natural_align(), 2);
+        assert_eq!(ValType::F64.natural_align(), 3);
+    }
+
+    #[test]
+    fn limits_constructors() {
+        assert_eq!(Limits::at_least(3), Limits { min: 3, max: None });
+        assert_eq!(
+            Limits::bounded(1, 9),
+            Limits {
+                min: 1,
+                max: Some(9)
+            }
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Property tests: the binary codec round-trips arbitrary modules, and the
+//! decoder never panics on arbitrary or mutated inputs.
+
+use proptest::prelude::*;
+use wb_wasm::{
+    decode_module, encode_module, leb128, BlockType, Data, Element, Export, ExportKind,
+    FuncImport, FuncType, Function, Global, GlobalType, Instr, Limits, MemArg, MemorySpec, Module,
+    TableSpec, ValType,
+};
+
+fn val_type() -> impl Strategy<Value = ValType> {
+    prop_oneof![
+        Just(ValType::I32),
+        Just(ValType::I64),
+        Just(ValType::F32),
+        Just(ValType::F64),
+    ]
+}
+
+fn block_type() -> impl Strategy<Value = BlockType> {
+    prop_oneof![Just(BlockType::Empty), val_type().prop_map(BlockType::Value)]
+}
+
+fn memarg() -> impl Strategy<Value = MemArg> {
+    (0u32..4, 0u32..4096).prop_map(|(align, offset)| MemArg { align, offset })
+}
+
+/// A generous sample of the instruction space, including every immediate
+/// shape (indices, memargs, consts, br_table vectors, block types).
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Unreachable),
+        Just(Instr::Drop),
+        Just(Instr::Select),
+        Just(Instr::Return),
+        Just(Instr::I32Add),
+        Just(Instr::I64Mul),
+        Just(Instr::F32Sqrt),
+        Just(Instr::F64Div),
+        Just(Instr::I32Eqz),
+        Just(Instr::I64GeU),
+        Just(Instr::F64ConvertI32S),
+        Just(Instr::I32WrapI64),
+        Just(Instr::MemorySize),
+        Just(Instr::MemoryGrow),
+        block_type().prop_map(Instr::Block),
+        block_type().prop_map(Instr::Loop),
+        block_type().prop_map(Instr::If),
+        Just(Instr::Else),
+        Just(Instr::End),
+        (0u32..8).prop_map(Instr::Br),
+        (0u32..8).prop_map(Instr::BrIf),
+        (proptest::collection::vec(0u32..8, 0..5), 0u32..8)
+            .prop_map(|(t, d)| Instr::BrTable(t, d)),
+        (0u32..16).prop_map(Instr::Call),
+        (0u32..4).prop_map(Instr::CallIndirect),
+        (0u32..32).prop_map(Instr::LocalGet),
+        (0u32..32).prop_map(Instr::LocalSet),
+        (0u32..32).prop_map(Instr::LocalTee),
+        (0u32..8).prop_map(Instr::GlobalGet),
+        (0u32..8).prop_map(Instr::GlobalSet),
+        memarg().prop_map(Instr::I32Load),
+        memarg().prop_map(Instr::F64Store),
+        memarg().prop_map(Instr::I32Load8U),
+        memarg().prop_map(Instr::I64Load32S),
+        memarg().prop_map(Instr::I32Store16),
+        any::<i32>().prop_map(Instr::I32Const),
+        any::<i64>().prop_map(Instr::I64Const),
+        // Finite floats only: NaN payloads survive the codec but break
+        // `PartialEq` comparison in the round-trip assertion.
+        (-1.0e30f32..1.0e30).prop_map(Instr::F32Const),
+        (-1.0e300f64..1.0e300).prop_map(Instr::F64Const),
+    ]
+}
+
+fn func_type() -> impl Strategy<Value = FuncType> {
+    (
+        proptest::collection::vec(val_type(), 0..4),
+        proptest::collection::vec(val_type(), 0..2),
+    )
+        .prop_map(|(params, results)| FuncType { params, results })
+}
+
+fn module() -> impl Strategy<Value = Module> {
+    let types = proptest::collection::vec(func_type(), 1..4);
+    types.prop_flat_map(|types| {
+        let ntypes = types.len() as u32;
+        let imports = proptest::collection::vec(
+            ("[a-z]{1,6}", "[a-z]{1,6}", 0..ntypes).prop_map(|(m, f, t)| FuncImport {
+                module: m,
+                field: f,
+                type_index: t,
+            }),
+            0..3,
+        );
+        let functions = proptest::collection::vec(
+            (
+                0..ntypes,
+                proptest::collection::vec(val_type(), 0..4),
+                proptest::collection::vec(instr(), 0..12),
+                proptest::option::of("[a-z][a-z0-9_]{0,8}"),
+            )
+                .prop_map(|(type_index, locals, mut body, name)| {
+                    body.push(Instr::End);
+                    Function {
+                        type_index,
+                        locals,
+                        body,
+                        name,
+                    }
+                }),
+            0..4,
+        );
+        let globals = proptest::collection::vec(
+            (val_type(), any::<bool>(), any::<i32>()).prop_map(|(ty, mutable, v)| Global {
+                ty: GlobalType { ty, mutable },
+                init: match ty {
+                    ValType::I32 => Instr::I32Const(v),
+                    ValType::I64 => Instr::I64Const(v as i64),
+                    ValType::F32 => Instr::F32Const(v as f32),
+                    ValType::F64 => Instr::F64Const(v as f64),
+                },
+            }),
+            0..3,
+        );
+        let memory = proptest::option::of(
+            (0u32..8, proptest::option::of(8u32..64))
+                .prop_map(|(min, max)| MemorySpec {
+                    limits: Limits { min, max },
+                }),
+        );
+        let table = proptest::option::of((0u32..8).prop_map(|min| TableSpec {
+            limits: Limits::at_least(min),
+        }));
+        let data = proptest::collection::vec(
+            (0i32..4096, proptest::collection::vec(any::<u8>(), 0..32))
+                .prop_map(|(offset, bytes)| Data { offset, bytes }),
+            0..3,
+        );
+        (types_just(types), imports, functions, globals, memory, table, data).prop_map(
+            |(types, imports, functions, globals, memory, table, data)| {
+                let nfuncs = (imports.len() + functions.len()) as u32;
+                let exports = functions
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, f)| {
+                        f.name.as_ref().map(|n| Export {
+                            name: format!("e_{n}"),
+                            kind: ExportKind::Func(imports.len() as u32 + i as u32),
+                        })
+                    })
+                    .collect();
+                let elements = if table.is_some() && nfuncs > 0 {
+                    vec![Element {
+                        offset: 0,
+                        funcs: (0..nfuncs.min(3)).collect(),
+                    }]
+                } else {
+                    vec![]
+                };
+                Module {
+                    types,
+                    imports,
+                    functions,
+                    table,
+                    memory,
+                    globals,
+                    exports,
+                    start: None,
+                    elements,
+                    data,
+                }
+            },
+        )
+    })
+}
+
+fn types_just(t: Vec<FuncType>) -> impl Strategy<Value = Vec<FuncType>> {
+    Just(t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_round_trips(m in module()) {
+        let bytes = encode_module(&m);
+        let decoded = decode_module(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_module(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_modules(
+        m in module(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = encode_module(&m);
+        if !bytes.is_empty() {
+            let i = flip_at.index(bytes.len());
+            bytes[i] ^= 1 << flip_bit;
+        }
+        let _ = decode_module(&bytes);
+    }
+
+    #[test]
+    fn leb128_u64_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        leb128::write_u64(&mut buf, v);
+        let mut r = leb128::Reader::new(&buf);
+        prop_assert_eq!(r.u64().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn leb128_i64_round_trips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        leb128::write_i64(&mut buf, v);
+        let mut r = leb128::Reader::new(&buf);
+        prop_assert_eq!(r.i64().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! The Table 10/12 Long.js study: drive 10,000 64-bit multiplications,
+//! divisions and remainders through the hand-written Wasm module (native
+//! `i64` instructions) and the Long.js-style JS library (16-bit limbs),
+//! then print times and the executed-arithmetic profile.
+//!
+//! ```sh
+//! cargo run --release --example longjs_ops
+//! ```
+
+use wasmbench::benchmarks::apps::longjs::LongOp;
+use wasmbench::core::apps::{longjs_js, longjs_wasm};
+use wasmbench::env::Environment;
+
+fn main() {
+    let env = Environment::desktop_chrome();
+    println!(
+        "{:<16} {:>12} {:>12} {:>7}   {:>12} {:>12}",
+        "operation", "wasm time", "js time", "ratio", "wasm arith", "js arith"
+    );
+    for op in LongOp::ALL {
+        let w = longjs_wasm(op, env).expect("wasm");
+        let j = longjs_js(op, env).expect("js");
+        println!(
+            "{:<16} {:>12} {:>12} {:>6.3}x  {:>12} {:>12}",
+            op.name(),
+            w.time.to_string(),
+            j.time.to_string(),
+            w.time.0 / j.time.0,
+            w.arith.total(),
+            j.arith.total()
+        );
+    }
+
+    println!("\nTable 12 detail (multiplication):");
+    let w = longjs_wasm(LongOp::Multiplication, env).expect("wasm");
+    let j = longjs_js(LongOp::Multiplication, env).expect("js");
+    println!("  {:<6} {:>10} {:>10}", "op", "JS", "WASM");
+    for (i, h) in wasmbench::env::ArithCounts::HEADERS.iter().enumerate() {
+        println!(
+            "  {:<6} {:>10} {:>10}",
+            h,
+            j.arith.columns()[i],
+            w.arith.columns()[i]
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! # wasmbench — facade crate
+//!
+//! Re-exports the workspace crates under short names; see the README and
+//! DESIGN.md for the architecture, and `examples/` for entry points.
+
+#![forbid(unsafe_code)]
+
+pub use wb_benchmarks as benchmarks;
+pub use wb_core as core;
+pub use wb_env as env;
+pub use wb_jsvm as jsvm;
+pub use wb_minic as minic;
+pub use wb_wasm as wasm;
+pub use wb_wasm_vm as wasm_vm;

@@ -1,0 +1,71 @@
+//! Whole-corpus toolchain invariants: every benchmark's compiled module
+//! survives encode → decode → validate byte-identically, renders to WAT,
+//! and carries the §3.2 memory policy of its toolchain.
+
+use wasmbench::benchmarks::{all_benchmarks, InputSize};
+use wasmbench::minic::{Compiler, OptLevel};
+
+#[test]
+fn every_benchmark_module_round_trips_and_validates() {
+    for b in all_benchmarks() {
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::Oz] {
+            let mut c = Compiler::cheerp().opt_level(level).heap_limit(256 << 20);
+            for (k, v) in b.defines(InputSize::XS) {
+                c = c.define(&k, v);
+            }
+            let out = c
+                .compile_wasm(b.source)
+                .unwrap_or_else(|e| panic!("{} {level}: {e}", b.name));
+            wasmbench::wasm::validate(&out.module)
+                .unwrap_or_else(|e| panic!("{} {level}: {e}", b.name));
+            let bytes = wasmbench::wasm::encode_module(&out.module);
+            let decoded = wasmbench::wasm::decode_module(&bytes)
+                .unwrap_or_else(|e| panic!("{} {level}: {e}", b.name));
+            assert_eq!(decoded, out.module, "{} {level}", b.name);
+            assert_eq!(
+                wasmbench::wasm::encode_module(&decoded),
+                bytes,
+                "{} {level}: re-encode is byte-identical",
+                b.name
+            );
+            let wat = wasmbench::wasm::print_wat(&out.module);
+            assert!(wat.contains("(module"), "{}", b.name);
+            assert!(wat.contains("bench_main"), "{}", b.name);
+        }
+    }
+}
+
+#[test]
+fn toolchain_memory_policies_hold_across_the_corpus() {
+    for b in all_benchmarks() {
+        let mut cheerp = Compiler::cheerp().heap_limit(256 << 20);
+        let mut emscripten = Compiler::emscripten().heap_limit(256 << 20);
+        for (k, v) in b.defines(InputSize::XS) {
+            cheerp = cheerp.define(&k, v.clone());
+            emscripten = emscripten.define(&k, v);
+        }
+        let c = cheerp.compile_wasm(b.source).expect("cheerp compiles");
+        let e = emscripten.compile_wasm(b.source).expect("emscripten compiles");
+        let c_min = c.module.memory.expect("has memory").limits.min;
+        let e_min = e.module.memory.expect("has memory").limits.min;
+        assert!(e_min >= 256, "{}: Emscripten starts at ≥16 MiB", b.name);
+        assert!(c_min < e_min, "{}: Cheerp starts smaller", b.name);
+        assert!(c.module.start.is_some(), "{}: Cheerp grows at startup", b.name);
+        assert!(e.module.start.is_none(), "{}: Emscripten does not", b.name);
+    }
+}
+
+#[test]
+fn js_artifacts_parse_in_the_engine_for_all_levels() {
+    for b in all_benchmarks().into_iter().take(8) {
+        for level in [OptLevel::O0, OptLevel::Oz] {
+            let mut c = Compiler::cheerp().opt_level(level);
+            for (k, v) in b.defines(InputSize::XS) {
+                c = c.define(&k, v);
+            }
+            let js = c.compile_js(b.source).expect("compiles");
+            wasmbench::jsvm::compile_script(&js.source)
+                .unwrap_or_else(|e| panic!("{} {level}: {e}", b.name));
+        }
+    }
+}
