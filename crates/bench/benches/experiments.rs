@@ -1,10 +1,12 @@
-//! Per-experiment regeneration benches: one Criterion group per paper
+//! Per-experiment regeneration benches: one group per paper
 //! table/figure, timing the pipeline that produces each artifact on a
-//! reduced grid. The full-grid artifacts come from the `wb-harness`
-//! binaries (`cargo run -p wb-harness --bin <exp>`).
+//! reduced grid (std-only timing harness; run with
+//! `cargo bench -p wb-bench --bench experiments`). The full-grid
+//! artifacts come from the `wb-harness` binaries
+//! (`cargo run -p wb-harness --bin <exp>`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wb_bench::timing::Bench;
 use wb_bench::{js_once, native_once, representative_benchmarks, wasm_once};
 use wb_benchmarks::apps::longjs::LongOp;
 use wb_benchmarks::InputSize;
@@ -14,146 +16,124 @@ use wb_env::{Environment, JitMode, TierPolicy};
 use wb_minic::OptLevel;
 
 /// Fig 5 / Fig 6 / Table 2 / Fig 11: opt-level sweep on one benchmark.
-fn bench_opt_levels(c: &mut Criterion) {
+fn bench_opt_levels() {
     let gemm = wb_benchmarks::suite::find("gemm").expect("gemm");
-    let mut g = c.benchmark_group("fig5_fig6_table2_fig11");
+    let g = Bench::group("fig5_fig6_table2_fig11");
     for level in OptLevel::EVALUATED {
-        g.bench_with_input(BenchmarkId::new("wasm", level.name()), &level, |b, &level| {
-            b.iter(|| black_box(wasm_once(&gemm, InputSize::S, level).time))
+        g.run(&format!("wasm_{}", level.name()), || {
+            wasm_once(&gemm, InputSize::S, level).time
         });
-        g.bench_with_input(BenchmarkId::new("x86", level.name()), &level, |b, &level| {
-            b.iter(|| black_box(native_once(&gemm, InputSize::S, level).time))
+        g.run(&format!("x86_{}", level.name()), || {
+            native_once(&gemm, InputSize::S, level).time
         });
     }
-    g.finish();
 }
 
 /// Fig 9 / Tables 3–6: the input-size sweep row for one benchmark.
-fn bench_input_sizes(c: &mut Criterion) {
+fn bench_input_sizes() {
     let jacobi = wb_benchmarks::suite::find("jacobi-2d").expect("jacobi-2d");
-    let mut g = c.benchmark_group("fig9_tables3_6");
+    let g = Bench::group("fig9_tables3_6");
     for size in [InputSize::XS, InputSize::M] {
-        g.bench_with_input(BenchmarkId::new("pair", size.code()), &size, |b, &size| {
-            b.iter(|| {
-                let w = wasm_once(&jacobi, size, OptLevel::O2);
-                let j = js_once(&jacobi, size, OptLevel::O2);
-                black_box(speedup_split(&[(j.time.0, w.time.0)]))
-            })
+        g.run(&format!("pair_{}", size.code()), || {
+            let w = wasm_once(&jacobi, size, OptLevel::O2);
+            let j = js_once(&jacobi, size, OptLevel::O2);
+            speedup_split(&[(j.time.0, w.time.0)])
         });
     }
-    g.finish();
 }
 
 /// Fig 10 / Table 7: the JIT/tier configurations on one benchmark.
-fn bench_jit_configs(c: &mut Criterion) {
+fn bench_jit_configs() {
     let aes = wb_benchmarks::suite::find("AES").expect("AES");
-    let mut g = c.benchmark_group("fig10_table7");
-    g.bench_function("js_jit_on_off", |b| {
-        b.iter(|| {
-            let mut spec = wb_core::JsSpec::new(aes.source);
-            spec.defines = aes.defines(InputSize::S);
-            let on = wb_core::run_compiled_js(&spec).expect("runs");
-            spec.jit = JitMode::Disabled;
-            let off = wb_core::run_compiled_js(&spec).expect("runs");
-            black_box(off.time.0 / on.time.0)
-        })
+    let g = Bench::group("fig10_table7");
+    g.run("js_jit_on_off", || {
+        let mut spec = wb_core::JsSpec::new(aes.source);
+        spec.defines = aes.defines(InputSize::S);
+        let on = wb_core::run_compiled_js(&spec).expect("runs");
+        spec.jit = JitMode::Disabled;
+        let off = wb_core::run_compiled_js(&spec).expect("runs");
+        off.time.0 / on.time.0
     });
-    g.bench_function("wasm_tier_policies", |b| {
-        b.iter(|| {
-            let mut spec = wb_core::WasmSpec::new(aes.source);
-            spec.defines = aes.defines(InputSize::S);
-            let default = wb_core::run_wasm(&spec).expect("runs");
-            spec.tier_policy = TierPolicy::BasicOnly;
-            let basic = wb_core::run_wasm(&spec).expect("runs");
-            spec.tier_policy = TierPolicy::OptimizingOnly;
-            let opt = wb_core::run_wasm(&spec).expect("runs");
-            black_box((basic.time.0 / default.time.0, opt.time.0 / default.time.0))
-        })
+    g.run("wasm_tier_policies", || {
+        let mut spec = wb_core::WasmSpec::new(aes.source);
+        spec.defines = aes.defines(InputSize::S);
+        let default = wb_core::run_wasm(&spec).expect("runs");
+        spec.tier_policy = TierPolicy::BasicOnly;
+        let basic = wb_core::run_wasm(&spec).expect("runs");
+        spec.tier_policy = TierPolicy::OptimizingOnly;
+        let opt = wb_core::run_wasm(&spec).expect("runs");
+        (basic.time.0 / default.time.0, opt.time.0 / default.time.0)
     });
-    g.finish();
 }
 
 /// Figs 12/13 / Table 8: the six-environment sweep for one benchmark.
-fn bench_environments(c: &mut Criterion) {
+fn bench_environments() {
     let durbin = wb_benchmarks::suite::find("durbin").expect("durbin");
-    c.bench_function("fig12_13_table8/six_envs", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for env in Environment::all_six() {
-                let mut spec = wb_core::WasmSpec::new(durbin.source);
-                spec.defines = durbin.defines(InputSize::S);
-                spec.env = env;
-                total += wb_core::run_wasm(&spec).expect("runs").time.0;
-            }
-            black_box(total)
-        })
+    Bench::group("fig12_13_table8").run("six_envs", || {
+        let mut total = 0.0;
+        for env in Environment::all_six() {
+            let mut spec = wb_core::WasmSpec::new(durbin.source);
+            spec.defines = durbin.defines(InputSize::S);
+            spec.env = env;
+            total += wb_core::run_wasm(&spec).expect("runs").time.0;
+        }
+        total
     });
 }
 
 /// Table 9: a manual-JS row.
-fn bench_manual_js(c: &mut Criterion) {
+fn bench_manual_js() {
     let manual = wb_benchmarks::manual_js::all_manual();
-    let sha = manual.iter().find(|m| m.name == "SHA (W3C)").expect("SHA (W3C)");
+    let sha = manual
+        .iter()
+        .find(|m| m.name == "SHA (W3C)")
+        .expect("SHA (W3C)");
     let src = sha.full_source();
-    c.bench_function("table9/sha_w3c", |b| {
-        b.iter(|| {
-            let spec = wb_core::JsSpec::new(&src);
-            black_box(wb_core::run_manual_js(&spec).expect("runs").time)
-        })
+    Bench::group("table9").run("sha_w3c", || {
+        let spec = wb_core::JsSpec::new(&src);
+        wb_core::run_manual_js(&spec).expect("runs").time
     });
 }
 
 /// Tables 10/12: the application drivers.
-fn bench_apps(c: &mut Criterion) {
+fn bench_apps() {
     let env = Environment::desktop_chrome();
-    let mut g = c.benchmark_group("table10_table12");
-    g.sample_size(10);
-    g.bench_function("longjs_mul_pair", |b| {
-        b.iter(|| {
-            let w = apps::longjs_wasm(LongOp::Multiplication, env).expect("wasm");
-            let j = apps::longjs_js(LongOp::Multiplication, env).expect("js");
-            black_box((w.arith.total(), j.arith.total()))
-        })
+    let g = Bench::group("table10_table12");
+    g.run("longjs_mul_pair", || {
+        let w = apps::longjs_wasm(LongOp::Multiplication, env).expect("wasm");
+        let j = apps::longjs_js(LongOp::Multiplication, env).expect("js");
+        (w.arith.total(), j.arith.total())
     });
-    g.bench_function("hyphen_en_pair", |b| {
-        b.iter(|| {
-            let w = apps::hyphen_wasm(wb_benchmarks::apps::hyphen::Lang::EnUs, env).expect("wasm");
-            let j = apps::hyphen_js(wb_benchmarks::apps::hyphen::Lang::EnUs, env).expect("js");
-            black_box(w.time.0 / j.time.0)
-        })
+    g.run("hyphen_en_pair", || {
+        let w = apps::hyphen_wasm(wb_benchmarks::apps::hyphen::Lang::EnUs, env).expect("wasm");
+        let j = apps::hyphen_js(wb_benchmarks::apps::hyphen::Lang::EnUs, env).expect("js");
+        w.time.0 / j.time.0
     });
-    g.bench_function("ctxswitch_microbench", |b| {
-        b.iter(|| black_box(apps::context_switch_bench(env, 100).expect("runs")))
+    g.run("ctxswitch_microbench", || {
+        apps::context_switch_bench(env, 100).expect("runs")
     });
-    g.finish();
 }
 
 /// §4.2.2: the Cheerp/Emscripten pair on the representative slice.
-fn bench_compilers(c: &mut Criterion) {
+fn bench_compilers() {
     let reps = representative_benchmarks();
-    c.bench_function("compilers_4_2_2/cheerp_vs_emscripten", |b| {
-        b.iter(|| {
-            let bench = &reps[0];
-            let cheerp = wasm_once(bench, InputSize::XS, OptLevel::O2);
-            let mut spec = wb_core::WasmSpec::new(bench.source);
-            spec.defines = bench.defines(InputSize::XS);
-            spec.toolchain = wb_env::Toolchain::Emscripten;
-            let emscripten = wb_core::run_wasm(&spec).expect("runs");
-            black_box(cheerp.time.0 / emscripten.time.0)
-        })
+    Bench::group("compilers_4_2_2").run("cheerp_vs_emscripten", || {
+        let bench = &reps[0];
+        let cheerp = wasm_once(bench, InputSize::XS, OptLevel::O2);
+        let mut spec = wb_core::WasmSpec::new(bench.source);
+        spec.defines = bench.defines(InputSize::XS);
+        spec.toolchain = wb_env::Toolchain::Emscripten;
+        let emscripten = wb_core::run_wasm(&spec).expect("runs");
+        black_box(cheerp.time.0 / emscripten.time.0)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_opt_levels,
-        bench_input_sizes,
-        bench_jit_configs,
-        bench_environments,
-        bench_manual_js,
-        bench_apps,
-        bench_compilers
+fn main() {
+    bench_opt_levels();
+    bench_input_sizes();
+    bench_jit_configs();
+    bench_environments();
+    bench_manual_js();
+    bench_apps();
+    bench_compilers();
 }
-criterion_main!(benches);

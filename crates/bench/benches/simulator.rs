@@ -1,8 +1,9 @@
-//! Wall-clock benchmarks of the simulation substrates.
+//! Wall-clock benchmarks of the simulation substrates (std-only timing
+//! harness; run with `cargo bench -p wb-bench --bench simulator`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
+use wb_bench::timing::Bench;
 use wb_benchmarks::InputSize;
 use wb_jsvm::{JsVm, JsVmConfig};
 use wb_minic::{Compiler, OptLevel};
@@ -18,37 +19,32 @@ fn gemm_wasm_bytes() -> (Vec<u8>, Vec<String>) {
     (wb_wasm::encode_module(&out.module), out.strings)
 }
 
-fn bench_wasm_pipeline(c: &mut Criterion) {
+fn bench_wasm_pipeline() {
     let (bytes, _) = gemm_wasm_bytes();
     let module = wb_wasm::decode_module(&bytes).expect("decodes");
 
-    let mut g = c.benchmark_group("wasm");
-    g.bench_function("decode", |b| {
-        b.iter(|| wb_wasm::decode_module(black_box(&bytes)).expect("decodes"))
+    let g = Bench::group("wasm");
+    g.run("decode", || {
+        wb_wasm::decode_module(black_box(&bytes)).expect("decodes")
     });
-    g.bench_function("validate", |b| {
-        b.iter(|| wb_wasm::validate(black_box(&module)).expect("validates"))
+    g.run("validate", || {
+        wb_wasm::validate(black_box(&module)).expect("validates")
     });
-    g.bench_function("encode", |b| {
-        b.iter(|| wb_wasm::encode_module(black_box(&module)))
+    g.run("encode", || wb_wasm::encode_module(black_box(&module)));
+    g.run("interpret_gemm_s", || {
+        let (bytes, strings) = gemm_wasm_bytes();
+        let mut inst = Instance::instantiate(
+            &bytes,
+            WasmVmConfig::reference(),
+            wb_core::host::standard_imports(strings),
+        )
+        .expect("instantiates");
+        inst.invoke("bench_main", &[]).expect("runs");
+        inst.output.len()
     });
-    g.bench_function("interpret_gemm_s", |b| {
-        b.iter(|| {
-            let (bytes, strings) = gemm_wasm_bytes();
-            let mut inst = Instance::instantiate(
-                &bytes,
-                WasmVmConfig::reference(),
-                wb_core::host::standard_imports(strings),
-            )
-            .expect("instantiates");
-            inst.invoke("bench_main", &[]).expect("runs");
-            black_box(inst.output.len())
-        })
-    });
-    g.finish();
 }
 
-fn bench_js_pipeline(c: &mut Criterion) {
+fn bench_js_pipeline() {
     let b = wb_benchmarks::suite::find("gemm").expect("gemm exists");
     let mut compiler = Compiler::cheerp();
     for (k, v) in b.defines(InputSize::S) {
@@ -56,81 +52,71 @@ fn bench_js_pipeline(c: &mut Criterion) {
     }
     let js = compiler.compile_js(b.source).expect("compiles").source;
 
-    let mut g = c.benchmark_group("jsvm");
-    g.bench_function("parse_compile", |b| {
-        b.iter(|| wb_jsvm::compile_script(black_box(&js)).expect("compiles"))
+    let g = Bench::group("jsvm");
+    g.run("parse_compile", || {
+        wb_jsvm::compile_script(black_box(&js)).expect("compiles")
     });
-    g.bench_function("run_gemm_s", |b| {
-        b.iter(|| {
-            let mut vm = JsVm::new(JsVmConfig::reference());
-            vm.load(black_box(&js)).expect("loads");
-            vm.call("bench_main", &[]).expect("runs");
-            black_box(vm.output.len())
-        })
+    g.run("run_gemm_s", || {
+        let mut vm = JsVm::new(JsVmConfig::reference());
+        vm.load(black_box(&js)).expect("loads");
+        vm.call("bench_main", &[]).expect("runs");
+        vm.output.len()
     });
-    g.bench_function("gc_churn", |b| {
-        let src = "function churn(n) {\n\
-                     var keep = [];\n\
-                     for (var i = 0; i < n; i++) { var t = [i, i, i]; if (i % 64 === 0) keep.push(t); }\n\
-                     return keep.length;\n\
-                   }";
-        b.iter(|| {
-            let mut cfg = JsVmConfig::reference();
-            cfg.profile.gc.trigger_bytes = 64 * 1024;
-            let mut vm = JsVm::new(cfg);
-            vm.load(src).expect("loads");
-            vm.call("churn", &[wb_jsvm::JsValue::Num(20_000.0)]).expect("runs")
-        })
+    let churn_src = "function churn(n) {\n\
+                       var keep = [];\n\
+                       for (var i = 0; i < n; i++) { var t = [i, i, i]; if (i % 64 === 0) keep.push(t); }\n\
+                       return keep.length;\n\
+                     }";
+    g.run("gc_churn", || {
+        let mut cfg = JsVmConfig::reference();
+        cfg.profile.gc.trigger_bytes = 64 * 1024;
+        let mut vm = JsVm::new(cfg);
+        vm.load(churn_src).expect("loads");
+        vm.call("churn", &[wb_jsvm::JsValue::Num(20_000.0)])
+            .expect("runs")
     });
-    g.finish();
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     let b = wb_benchmarks::suite::find("gemm").expect("gemm exists");
-    let mut g = c.benchmark_group("minic");
+    let g = Bench::group("minic");
     for level in [OptLevel::O0, OptLevel::O2, OptLevel::Ofast] {
-        g.bench_function(format!("compile_wasm_{}", level.name()), |bench| {
-            bench.iter(|| {
-                let mut compiler = Compiler::cheerp().opt_level(level);
-                for (k, v) in b.defines(InputSize::S) {
-                    compiler = compiler.define(&k, v.clone());
-                }
-                black_box(compiler.compile_wasm(black_box(b.source)).expect("compiles"))
-            })
-        });
-    }
-    g.bench_function("compile_js_O2", |bench| {
-        bench.iter(|| {
-            let mut compiler = Compiler::cheerp();
+        g.run(&format!("compile_wasm_{}", level.name()), || {
+            let mut compiler = Compiler::cheerp().opt_level(level);
             for (k, v) in b.defines(InputSize::S) {
                 compiler = compiler.define(&k, v.clone());
             }
-            black_box(compiler.compile_js(black_box(b.source)).expect("compiles"))
-        })
+            compiler
+                .compile_wasm(black_box(b.source))
+                .expect("compiles")
+        });
+    }
+    g.run("compile_js_O2", || {
+        let mut compiler = Compiler::cheerp();
+        for (k, v) in b.defines(InputSize::S) {
+            compiler = compiler.define(&k, v.clone());
+        }
+        compiler.compile_js(black_box(b.source)).expect("compiles")
     });
-    g.finish();
 }
 
-fn bench_host_bridge(c: &mut Criterion) {
+fn bench_host_bridge() {
     // The §4.5 ping-pong, as a wall-clock bench of the VM's host bridge.
     let mut mb = wb_wasm::ModuleBuilder::new();
     let mut f = mb.func("nop", vec![], vec![]);
     f.op(wb_wasm::Instr::Nop).done();
     mb.finish_func(f, true);
     let bytes = wb_wasm::encode_module(&mb.build());
-    c.bench_function("wasm/host_roundtrip", |b| {
-        let mut inst =
-            Instance::instantiate(&bytes, WasmVmConfig::reference(), HashMap::new())
-                .expect("instantiates");
-        b.iter(|| inst.invoke("nop", &[]).expect("runs"))
+    let mut inst = Instance::instantiate(&bytes, WasmVmConfig::reference(), HashMap::new())
+        .expect("instantiates");
+    Bench::group("wasm").run("host_roundtrip", || {
+        inst.invoke("nop", &[]).expect("runs")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_wasm_pipeline,
-    bench_js_pipeline,
-    bench_compiler,
-    bench_host_bridge
-);
-criterion_main!(benches);
+fn main() {
+    bench_wasm_pipeline();
+    bench_js_pipeline();
+    bench_compiler();
+    bench_host_bridge();
+}

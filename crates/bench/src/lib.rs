@@ -1,12 +1,14 @@
-//! # wb-bench — Criterion benchmarks
+//! # wb-bench — wall-clock benchmarks (std-only)
 //!
-//! Two benchmark families:
+//! Two benchmark families, both plain `harness = false` programs driven
+//! by the small [`timing`] module (no external bench framework, so the
+//! workspace builds offline):
 //!
 //! * **Simulator hot paths** (`benches/simulator.rs`): wall-clock
 //!   performance of the substrates themselves — Wasm decode/validate/
 //!   interpret, MiniJS parse/compile/run, MiniC compilation, GC.
-//! * **Experiment regeneration** (`benches/experiments.rs`): one Criterion
-//!   group per paper table/figure, timing the virtual-measurement pipeline
+//! * **Experiment regeneration** (`benches/experiments.rs`): one group
+//!   per paper table/figure, timing the virtual-measurement pipeline
 //!   that regenerates each artifact (on reduced grids so `cargo bench`
 //!   stays tractable). The *virtual* numbers the study reports come from
 //!   the `wb-harness` binaries; these benches track the cost of producing
@@ -16,6 +18,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use wb_benchmarks::{Benchmark, InputSize};
 use wb_core::{run_compiled_js, run_native, run_wasm, JsSpec, Measurement, WasmSpec};

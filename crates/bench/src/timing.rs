@@ -1,0 +1,84 @@
+//! A minimal wall-clock timing harness (std-only replacement for an
+//! external bench framework). Each case warms up once, then runs until a
+//! time budget or iteration cap is reached, and prints min/mean per
+//! iteration in a stable single-line format:
+//!
+//! ```text
+//! bench wasm/decode ... iters=412 min=41.2us mean=44.8us
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget control for [`Bench::run`].
+const TARGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u32 = 1_000;
+
+/// A named group of benchmark cases, printed as `group/case`.
+pub struct Bench {
+    group: String,
+}
+
+impl Bench {
+    /// Start a group with the given name.
+    pub fn group(name: &str) -> Self {
+        Bench {
+            group: name.to_string(),
+        }
+    }
+
+    /// Time one case. The closure's return value is consumed via
+    /// [`std::hint::black_box`] so the work is not optimized away.
+    pub fn run<T>(&self, case: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: one untimed call (fills caches, faults pages).
+        std::hint::black_box(f());
+        let mut iters = 0u32;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        while total < TARGET && iters < MAX_ITERS {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            if dt < min {
+                min = dt;
+            }
+            iters += 1;
+        }
+        let mean = total / iters.max(1);
+        println!(
+            "bench {}/{} ... iters={} min={} mean={}",
+            self.group,
+            case,
+            iters,
+            fmt_duration(min),
+            fmt_duration(mean)
+        );
+    }
+}
+
+/// Human-readable duration with ns/us/ms/s autoscaling.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -25,11 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod artifacts;
 pub mod host;
 pub mod measure;
 pub mod report;
 pub mod stats;
 
+pub use artifacts::{ArtifactCache, ArtifactKey, ArtifactKind, CacheStats};
 pub use measure::{
-    run_compiled_js, run_manual_js, run_native, run_wasm, JsSpec, Measurement, RunError, WasmSpec,
+    run_compiled_js, run_compiled_js_with, run_manual_js, run_native, run_native_with, run_wasm,
+    run_wasm_with, JsSpec, Measurement, RunError, WasmSpec,
 };

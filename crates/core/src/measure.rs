@@ -2,14 +2,16 @@
 //! (§3.3–3.4): virtual execution time with attribution, DevTools-model
 //! memory, code size, and instruction counts.
 
+use crate::artifacts::{ArtifactCache, ArtifactKey, ArtifactKind, CachedJs, CachedNative, CachedWasm};
 use crate::host::standard_imports;
+use std::sync::Arc;
 use wb_env::{
     calibration, ArithCounts, Environment, JitMode, Nanos, OpCounts, TierPolicy, Toolchain,
     VirtualClock,
 };
 use wb_jsvm::{JsVm, JsVmConfig};
 use wb_minic::{CompileError, Compiler, OptLevel};
-use wb_wasm_vm::{Instance, Trap, WasmVmConfig};
+use wb_wasm_vm::{Instance, PreparedModule, Trap, WasmVmConfig};
 
 /// Everything one run produces (§3.4's two metrics plus attribution).
 #[derive(Debug, Clone)]
@@ -176,19 +178,78 @@ pub fn reported_wasm_memory(env: Environment, linear_bytes: u64) -> u64 {
     profile.wasm.baseline_memory_bytes + linear_bytes + slack_extra
 }
 
+/// Compile (or fetch from `cache`) the Wasm artifact for a spec. The
+/// cached artifact goes through the same encode→decode→validate
+/// roundtrip as [`Instance::instantiate`], so later execution over the
+/// shared [`PreparedModule`] is bit-identical to the uncached path.
+fn wasm_artifact(
+    spec: &WasmSpec<'_>,
+    cache: Option<&ArtifactCache>,
+) -> Result<Arc<CachedWasm>, RunError> {
+    let build = || -> Result<CachedWasm, RunError> {
+        let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, spec.heap_limit);
+        let out = compiler.compile_wasm(spec.source)?;
+        let bytes = wb_wasm::encode_module(&out.module);
+        let module = wb_wasm::decode_module(&bytes).map_err(|e| {
+            RunError::Trap(Trap::Host {
+                message: format!("decode failed: {e}"),
+            })
+        })?;
+        wb_wasm::validate(&module).map_err(|e| {
+            RunError::Trap(Trap::Host {
+                message: format!("validation failed: {e}"),
+            })
+        })?;
+        Ok(CachedWasm {
+            bytes,
+            strings: out.strings,
+            prepared: Arc::new(PreparedModule::new(module)),
+        })
+    };
+    match cache {
+        Some(cache) => {
+            let key = ArtifactKey::compute(
+                ArtifactKind::Wasm,
+                spec.source,
+                &spec.defines,
+                spec.level,
+                spec.toolchain,
+                spec.heap_limit,
+            );
+            cache.wasm(key, build)
+        }
+        None => build().map(Arc::new),
+    }
+}
+
 /// Run a compiled-to-Wasm benchmark end to end.
 pub fn run_wasm(spec: &WasmSpec<'_>) -> Result<Measurement, RunError> {
-    let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, spec.heap_limit);
-    let out = compiler.compile_wasm(spec.source)?;
+    run_wasm_with(spec, None)
+}
+
+/// [`run_wasm`], optionally sharing compile artifacts through `cache`.
+/// Caching skips real decode/validate/side-table work but replays the
+/// same *virtual* load/compile charges, so the Measurement is
+/// bit-identical either way.
+pub fn run_wasm_with(
+    spec: &WasmSpec<'_>,
+    cache: Option<&ArtifactCache>,
+) -> Result<Measurement, RunError> {
+    let artifact = wasm_artifact(spec, cache)?;
     let profile = spec.env.profile();
     let mut config = WasmVmConfig::for_env(&profile);
     config.tier_policy = spec.tier_policy;
     config.exec_overhead = calibration::toolchain_exec_overhead(spec.toolchain);
 
     // Deployment (§3.3): the page fetches the binary and instantiates it —
-    // decode + validate + baseline compile are charged by `instantiate`.
-    let bytes = wb_wasm::encode_module(&out.module);
-    let mut inst = Instance::instantiate(&bytes, config, standard_imports(out.strings))?;
+    // decode + validate + baseline compile are charged exactly as
+    // `instantiate` would, against the pre-decoded module.
+    let mut inst = Instance::instantiate_prepared(
+        Arc::clone(&artifact.prepared),
+        artifact.bytes.len(),
+        config,
+        standard_imports(artifact.strings.clone()),
+    )?;
     inst.invoke(spec.entry, &[])?;
     let report = inst.report();
 
@@ -196,7 +257,7 @@ pub fn run_wasm(spec: &WasmSpec<'_>) -> Result<Measurement, RunError> {
         time: report.total,
         clock: report.clock.clone(),
         memory_bytes: reported_wasm_memory(spec.env, report.memory.linear_bytes),
-        code_size: bytes.len() as u64,
+        code_size: artifact.bytes.len() as u64,
         counts: report.counts,
         arith: report.arith,
         output: inst.output.clone(),
@@ -206,9 +267,35 @@ pub fn run_wasm(spec: &WasmSpec<'_>) -> Result<Measurement, RunError> {
 
 /// Run a compiled-to-JavaScript benchmark end to end.
 pub fn run_compiled_js(spec: &JsSpec<'_>) -> Result<Measurement, RunError> {
-    let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, None);
-    let out = compiler.compile_js(spec.source)?;
-    run_js_source(&out.source, spec)
+    run_compiled_js_with(spec, None)
+}
+
+/// [`run_compiled_js`], optionally sharing the generated JS source
+/// through `cache`.
+pub fn run_compiled_js_with(
+    spec: &JsSpec<'_>,
+    cache: Option<&ArtifactCache>,
+) -> Result<Measurement, RunError> {
+    let build = || -> Result<CachedJs, RunError> {
+        let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, None);
+        let out = compiler.compile_js(spec.source)?;
+        Ok(CachedJs { source: out.source })
+    };
+    let artifact = match cache {
+        Some(cache) => {
+            let key = ArtifactKey::compute(
+                ArtifactKind::Js,
+                spec.source,
+                &spec.defines,
+                spec.level,
+                spec.toolchain,
+                None,
+            );
+            cache.js(key, build)?
+        }
+        None => Arc::new(build()?),
+    };
+    run_js_source(&artifact.source, spec)
 }
 
 /// Run a manually-written MiniJS program (§4.1.2).
@@ -243,8 +330,39 @@ pub fn run_native(
     level: OptLevel,
     entry: &str,
 ) -> Result<Measurement, RunError> {
-    let compiler = compiler_for(defines, level, Toolchain::Cheerp, Some(1 << 30));
-    let prog = compiler.compile_native(source)?;
+    run_native_with(source, defines, level, entry, None)
+}
+
+/// [`run_native`], optionally sharing the compiled program through
+/// `cache`.
+pub fn run_native_with(
+    source: &str,
+    defines: &[(String, String)],
+    level: OptLevel,
+    entry: &str,
+    cache: Option<&ArtifactCache>,
+) -> Result<Measurement, RunError> {
+    let build = || -> Result<CachedNative, RunError> {
+        let compiler = compiler_for(defines, level, Toolchain::Cheerp, Some(1 << 30));
+        Ok(CachedNative {
+            prog: compiler.compile_native(source)?,
+        })
+    };
+    let artifact = match cache {
+        Some(cache) => {
+            let key = ArtifactKey::compute(
+                ArtifactKind::Native,
+                source,
+                defines,
+                level,
+                Toolchain::Cheerp,
+                Some(1 << 30),
+            );
+            cache.native(key, build)?
+        }
+        None => Arc::new(build()?),
+    };
+    let prog = &artifact.prog;
     let out = prog.run(entry, &[]).map_err(RunError::Native)?;
     let mut clock = VirtualClock::new();
     clock.advance(out.exec_time, wb_env::TimeBucket::Exec);

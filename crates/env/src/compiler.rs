@@ -11,10 +11,9 @@
 //!    produce leaner instruction sequences, modelled as a per-instruction
 //!    overhead factor on Cheerp output.
 
-use serde::{Deserialize, Serialize};
 
 /// Which simulated C→Wasm/JS toolchain compiled a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Toolchain {
     /// Cheerp profile: standard-JS target, 64 KiB growth granularity,
     /// 8 MiB default heap / 1 MiB default stack.
@@ -25,7 +24,7 @@ pub enum Toolchain {
 }
 
 /// JavaScript flavour a toolchain emits (§2.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JsTarget {
     /// Standard JavaScript (Cheerp).
     Standard,
@@ -34,7 +33,7 @@ pub enum JsTarget {
 }
 
 /// Concrete parameters of a toolchain profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompilerProfile {
     /// Which toolchain this profile models.
     pub toolchain: Toolchain,

@@ -11,13 +11,12 @@
 //! engine events (parse/JIT/GC) and codegen quality, not from incomparable
 //! accounting.
 
-use serde::{Deserialize, Serialize};
 
 /// Number of operation classes (length of the [`OpCounts`] array).
 pub const OP_CLASS_COUNT: usize = 16;
 
 /// Category of a retired operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum OpClass {
     /// Integer add/sub/bitwise logic.
@@ -99,7 +98,7 @@ impl OpClass {
 }
 
 /// Per-class retired-operation counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCounts(pub [u64; OP_CLASS_COUNT]);
 
 impl OpCounts {
@@ -149,7 +148,7 @@ impl OpCounts {
 /// These model an optimized native instruction mix; tier multipliers (a
 /// Wasm baseline tier or a JS interpreter runs every class N× slower) and
 /// the per-platform cycle time scale them into nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostTable(pub [f64; OP_CLASS_COUNT]);
 
 impl CostTable {
@@ -260,7 +259,7 @@ mod tests {
 
 /// Fine-grained arithmetic profile for the Long.js operation-count study
 /// (Table 12 / Appendix D): executed ADD/MUL/DIV/REM/SHIFT/AND/OR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ArithCounts {
     /// Additions and subtractions.
     pub add: u64,

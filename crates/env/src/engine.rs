@@ -6,10 +6,9 @@
 //! Baseline/Ion for JS and Wasm, Cranelift on ARM64) as *two-tier* systems.
 //! Each profile below captures one engine's tier structure numerically.
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one execution tier (baseline or optimizing).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TierParams {
     /// Compilation cost, in cycles per byte (Wasm) or per bytecode op (JS)
     /// of the function being compiled.
@@ -24,7 +23,7 @@ pub struct TierParams {
 /// Mirrors the Chrome flags of Table 11: the default two-tier pipeline,
 /// `--liftoff --no-wasm-tier-up` (basic only) and
 /// `--no-liftoff --no-wasm-tier-up` (optimizing only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TierPolicy {
     /// Baseline compiles first; hot functions tier up to the optimizer.
     #[default]
@@ -38,7 +37,7 @@ pub enum TierPolicy {
 /// Whether the JS JIT (optimizing compiler) is enabled.
 ///
 /// `Disabled` mirrors Chrome's `--js-flags="--no-opt"` from Table 11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum JitMode {
     /// Interpreter plus optimizing JIT for hot code (browser default).
     #[default]
@@ -48,7 +47,7 @@ pub enum JitMode {
 }
 
 /// WebAssembly virtual-machine profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WasmEngineProfile {
     /// Cycles per byte to decode the binary (no parse step: §2.2.2).
     pub decode_cost_per_byte: f64,
@@ -77,7 +76,7 @@ pub struct WasmEngineProfile {
 }
 
 /// Garbage-collector parameters of a JS engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GcParams {
     /// Collection is triggered when allocated-since-last-GC exceeds this.
     pub trigger_bytes: u64,
@@ -88,7 +87,7 @@ pub struct GcParams {
 }
 
 /// JavaScript engine profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JsEngineProfile {
     /// Cycles per source byte for parsing to an AST (§2.2.1).
     pub parse_cost_per_byte: f64,

@@ -2,10 +2,9 @@
 
 use crate::calibration;
 use crate::{JsEngineProfile, WasmEngineProfile};
-use serde::{Deserialize, Serialize};
 
 /// Browser family under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Browser {
     /// Google Chrome (v79 in the paper, both platforms).
     Chrome,
@@ -44,7 +43,7 @@ impl Browser {
 ///
 /// Desktop: Intel Core i7, 16 GB, Ubuntu 18.04. Mobile: Xiaomi Mi 6
 /// (8-core ARM64, 6 GB, Android) — §4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// The paper's desktop testbed.
     Desktop,
@@ -66,7 +65,7 @@ impl Platform {
 }
 
 /// One of the six deployment settings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Environment {
     /// Browser family.
     pub browser: Browser,
@@ -119,7 +118,7 @@ impl Environment {
 }
 
 /// Fully resolved simulation parameters for one environment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnvProfile {
     /// The environment this profile describes.
     pub environment: Environment,

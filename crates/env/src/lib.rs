@@ -28,6 +28,7 @@ mod compiler;
 mod cost;
 mod engine;
 mod environment;
+pub mod rng;
 mod time;
 
 pub use compiler::{CompilerProfile, JsTarget, Toolchain};

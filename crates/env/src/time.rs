@@ -8,14 +8,13 @@
 //! the paper's browser-based methodology (five repetitions, averaging) could
 //! only approximate.
 
-use serde::{Deserialize, Serialize};
 
 /// A span of virtual time, in nanoseconds.
 ///
 /// Stored as `f64` — experiment durations range from sub-microsecond
 /// microbenchmarks to the paper's ~560 s FFmpeg run, and all arithmetic on
 /// reported values is ratio-based, where `f64` precision is ample.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Nanos(pub f64);
 
 impl Nanos {

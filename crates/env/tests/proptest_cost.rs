@@ -1,80 +1,127 @@
-//! Property tests on the cost-accounting primitives every measurement
-//! rests on.
+//! Randomized (deterministic, LCG-seeded) tests on the cost-accounting
+//! primitives every measurement rests on. Each case prints its seed on
+//! failure so it reproduces exactly.
 
-use proptest::prelude::*;
+use wb_env::rng::Lcg;
 use wb_env::{CostTable, Nanos, OpClass, OpCounts, TimeBucket, VirtualClock, OP_CLASS_COUNT};
 
-fn arb_counts() -> impl Strategy<Value = OpCounts> {
-    proptest::collection::vec(0u64..1_000_000, OP_CLASS_COUNT).prop_map(|v| {
-        let mut c = OpCounts::new();
-        for (i, n) in v.into_iter().enumerate() {
-            c.bump(OpClass::ALL[i], n);
-        }
-        c
-    })
+const CASES: u64 = 128;
+
+fn gen_counts(rng: &mut Lcg) -> OpCounts {
+    let mut c = OpCounts::new();
+    for i in 0..OP_CLASS_COUNT {
+        c.bump(OpClass::ALL[i], rng.below(1_000_000));
+    }
+    c
 }
 
-proptest! {
-    /// `merged` is commutative and counts never vanish.
-    #[test]
-    fn merge_is_commutative(a in arb_counts(), b in arb_counts()) {
+/// `merged` is commutative and counts never vanish.
+#[test]
+fn merge_is_commutative() {
+    for seed in 0..CASES {
+        let mut rng = Lcg::new(seed);
+        let a = gen_counts(&mut rng);
+        let b = gen_counts(&mut rng);
         let ab = a.merged(&b);
         let ba = b.merged(&a);
         for class in OpClass::ALL {
-            prop_assert_eq!(ab.get(class), ba.get(class));
-            prop_assert_eq!(ab.get(class), a.get(class) + b.get(class));
+            assert_eq!(ab.get(class), ba.get(class), "seed {seed}");
+            assert_eq!(ab.get(class), a.get(class) + b.get(class), "seed {seed}");
         }
-        prop_assert_eq!(ab.total(), a.total() + b.total());
+        assert_eq!(ab.total(), a.total() + b.total(), "seed {seed}");
     }
+}
 
-    /// `delta_since` inverts `merged`: (a ∪ b) − b == a.
-    #[test]
-    fn delta_inverts_merge(a in arb_counts(), b in arb_counts()) {
+/// `delta_since` inverts `merged`: (a ∪ b) − b == a.
+#[test]
+fn delta_inverts_merge() {
+    for seed in 0..CASES {
+        let mut rng = Lcg::new(1000 + seed);
+        let a = gen_counts(&mut rng);
+        let b = gen_counts(&mut rng);
         let d = a.merged(&b).delta_since(&b);
         for class in OpClass::ALL {
-            prop_assert_eq!(d.get(class), a.get(class));
+            assert_eq!(d.get(class), a.get(class), "seed {seed}");
         }
     }
+}
 
-    /// Cycle cost is additive over counter merges and linear in the
-    /// multiplier — the property that makes per-phase attribution sound.
-    #[test]
-    fn cycles_additive_and_linear(a in arb_counts(), b in arb_counts(), m in 0.1f64..50.0) {
+/// Cycle cost is additive over counter merges and linear in the
+/// multiplier — the property that makes per-phase attribution sound.
+#[test]
+fn cycles_additive_and_linear() {
+    for seed in 0..CASES {
+        let mut rng = Lcg::new(2000 + seed);
+        let a = gen_counts(&mut rng);
+        let b = gen_counts(&mut rng);
+        let m = rng.range_f64(0.1, 50.0);
         let t = CostTable::reference();
         let merged = t.cycles(&a.merged(&b), 1.0);
         let parts = t.cycles(&a, 1.0) + t.cycles(&b, 1.0);
-        prop_assert!((merged - parts).abs() <= 1e-6 * merged.max(1.0));
+        assert!(
+            (merged - parts).abs() <= 1e-6 * merged.max(1.0),
+            "seed {seed}: merged {merged} vs parts {parts}"
+        );
         let scaled = t.cycles(&a, m);
-        prop_assert!((scaled - m * t.cycles(&a, 1.0)).abs() <= 1e-6 * scaled.max(1.0));
+        assert!(
+            (scaled - m * t.cycles(&a, 1.0)).abs() <= 1e-6 * scaled.max(1.0),
+            "seed {seed}"
+        );
     }
+}
 
-    /// The clock's bucket breakdown always sums to `now()`, regardless of
-    /// the advance sequence.
-    #[test]
-    fn clock_buckets_partition_now(spans in proptest::collection::vec((0.0f64..1e6, 0usize..6), 0..64)) {
-        let buckets = [
-            TimeBucket::Load, TimeBucket::Compile, TimeBucket::Exec,
-            TimeBucket::Gc, TimeBucket::MemGrow, TimeBucket::ContextSwitch,
-        ];
+/// The clock's bucket breakdown always sums to `now()`, regardless of
+/// the advance sequence.
+#[test]
+fn clock_buckets_partition_now() {
+    let buckets = [
+        TimeBucket::Load,
+        TimeBucket::Compile,
+        TimeBucket::Exec,
+        TimeBucket::Gc,
+        TimeBucket::MemGrow,
+        TimeBucket::ContextSwitch,
+    ];
+    for seed in 0..CASES {
+        let mut rng = Lcg::new(3000 + seed);
         let mut clock = VirtualClock::new();
-        for (ns, which) in spans {
+        for _ in 0..rng.index(64) {
+            let ns = rng.range_f64(0.0, 1e6);
+            let which = rng.index(buckets.len());
             clock.advance(Nanos(ns), buckets[which]);
         }
-        let sum = clock.load_time + clock.compile_time + clock.exec_time
-            + clock.gc_time + clock.mem_grow_time + clock.context_switch_time;
-        prop_assert!((sum.0 - clock.now().0).abs() <= 1e-6 * clock.now().0.max(1.0));
+        let sum = clock.load_time
+            + clock.compile_time
+            + clock.exec_time
+            + clock.gc_time
+            + clock.mem_grow_time
+            + clock.context_switch_time;
+        assert!(
+            (sum.0 - clock.now().0).abs() <= 1e-6 * clock.now().0.max(1.0),
+            "seed {seed}: {} vs {}",
+            sum.0,
+            clock.now().0
+        );
     }
+}
 
-    /// `absorb` preserves the partition property across parent/child clocks.
-    #[test]
-    fn absorb_preserves_partition(parent_ns in 0.0f64..1e6, child_ns in 0.0f64..1e6) {
+/// `absorb` preserves the partition property across parent/child clocks.
+#[test]
+fn absorb_preserves_partition() {
+    for seed in 0..CASES {
+        let mut rng = Lcg::new(4000 + seed);
+        let parent_ns = rng.range_f64(0.0, 1e6);
+        let child_ns = rng.range_f64(0.0, 1e6);
         let mut parent = VirtualClock::new();
         parent.advance(Nanos(parent_ns), TimeBucket::Exec);
         let mut child = VirtualClock::new();
         child.advance(Nanos(child_ns), TimeBucket::Gc);
         parent.absorb(&child);
-        prop_assert!((parent.now().0 - (parent_ns + child_ns)).abs() < 1e-9);
-        prop_assert!((parent.exec_time.0 - parent_ns).abs() < 1e-9);
-        prop_assert!((parent.gc_time.0 - child_ns).abs() < 1e-9);
+        assert!(
+            (parent.now().0 - (parent_ns + child_ns)).abs() < 1e-9,
+            "seed {seed}"
+        );
+        assert!((parent.exec_time.0 - parent_ns).abs() < 1e-9, "seed {seed}");
+        assert!((parent.gc_time.0 - child_ns).abs() < 1e-9, "seed {seed}");
     }
 }

@@ -5,16 +5,17 @@ use wb_benchmarks::InputSize;
 use wb_core::report::{kilobytes, millis, ratio, Table};
 use wb_core::stats::geomean;
 use wb_env::Toolchain;
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
 
-    let rows = parallel_map(cli.benchmarks(), |b| {
+    let rows = engine.map(cli.benchmarks(), |b| {
         let cheerp = Run::new(b.clone(), InputSize::M).wasm();
         let mut em = Run::new(b.clone(), InputSize::M);
         em.toolchain = Toolchain::Emscripten;
-        let emscripten = em.wasm();
+        let emscripten = engine.wasm(&em);
         (b.name, cheerp, emscripten)
     });
 
@@ -45,4 +46,5 @@ fn main() {
         format!("{:.2}x more memory (Emscripten)", geomean(&mem_ratios).expect("positive")),
     ]);
     cli.emit("compilers", &t);
+    engine.finish();
 }

@@ -6,23 +6,24 @@ use wb_benchmarks::{InputSize, Suite};
 use wb_core::report::Table;
 use wb_core::stats::{geomean, mean};
 use wb_env::{JitMode, TierPolicy};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
 
-    let rows = parallel_map(cli.benchmarks(), |b| {
+    let rows = engine.map(cli.benchmarks(), |b| {
         let base = Run::new(b.clone(), InputSize::M);
 
-        let js_jit = base.js();
+        let js_jit = engine.js(&base);
         let mut no_jit = base.clone();
         no_jit.jit = JitMode::Disabled;
-        let js_nojit = no_jit.js();
+        let js_nojit = engine.js(&no_jit);
 
-        let wasm_default = base.wasm();
+        let wasm_default = engine.wasm(&base);
         let mut basic_only = base.clone();
         basic_only.tier_policy = TierPolicy::BasicOnly;
-        let wasm_basic = basic_only.wasm();
+        let wasm_basic = engine.wasm(&basic_only);
 
         (
             b.name,
@@ -68,4 +69,5 @@ fn main() {
         cli.emit(&format!("fig10_js_{tag}"), &js_table);
         cli.emit(&format!("fig10_wasm_{tag}"), &wasm_table);
     }
+    engine.finish();
 }

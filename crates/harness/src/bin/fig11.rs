@@ -5,22 +5,23 @@
 use wb_benchmarks::InputSize;
 use wb_core::report::Table;
 use wb_core::stats::five_number;
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 use wb_minic::OptLevel;
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let levels = [OptLevel::O1, OptLevel::O2, OptLevel::Ofast, OptLevel::Oz];
 
-    let per_bench = parallel_map(cli.benchmarks(), |b| {
+    let per_bench = engine.map(cli.benchmarks(), |b| {
         levels
             .iter()
             .map(|&level| {
                 let mut run = Run::new(b.clone(), InputSize::M);
                 run.level = level;
-                let w = run.wasm();
-                let j = run.js();
-                let n = run.native();
+                let w = engine.wasm(&run);
+                let j = engine.js(&run);
+                let n = engine.native(&run);
                 [
                     j.time.0,
                     j.code_size as f64,
@@ -68,4 +69,5 @@ fn main() {
         }
     }
     cli.emit("fig11", &t);
+    engine.finish();
 }

@@ -5,10 +5,11 @@ use wb_benchmarks::InputSize;
 use wb_core::report::{kilobytes, millis, ratio, Table};
 use wb_core::stats::mean;
 use wb_env::Environment;
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let envs = Environment::all_six();
 
     let grid: Vec<(wb_benchmarks::Benchmark, Environment)> = cli
@@ -17,11 +18,11 @@ fn main() {
         .flat_map(|b| envs.iter().map(move |e| (b.clone(), *e)).collect::<Vec<_>>())
         .collect();
 
-    let cells = parallel_map(grid, |(b, env)| {
+    let cells = engine.map(grid, |(b, env)| {
         let mut run = Run::new(b.clone(), InputSize::M);
         run.env = env;
-        let w = run.wasm();
-        let j = run.js();
+        let w = engine.wasm(&run);
+        let j = engine.js(&run);
         (b.name, env, w, j)
     });
 
@@ -104,4 +105,5 @@ fn main() {
         }
     }
     cli.emit("table8_relative", &rel);
+    engine.finish();
 }

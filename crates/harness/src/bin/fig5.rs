@@ -4,15 +4,16 @@
 
 use wb_benchmarks::InputSize;
 use wb_core::report::{ratio, Table};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 use wb_minic::OptLevel;
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let benchmarks = cli.benchmarks();
     let levels = [OptLevel::O1, OptLevel::O2, OptLevel::Ofast, OptLevel::Oz];
 
-    let rows = parallel_map(benchmarks, |b| {
+    let rows = engine.map(benchmarks, |b| {
         let mut wasm_time = Vec::new();
         let mut wasm_size = Vec::new();
         let mut js_time = Vec::new();
@@ -20,10 +21,10 @@ fn main() {
         for level in levels {
             let mut run = Run::new(b.clone(), InputSize::M);
             run.level = level;
-            let w = run.wasm();
+            let w = engine.wasm(&run);
             wasm_time.push(w.time.0);
             wasm_size.push(w.code_size as f64);
-            let j = run.js();
+            let j = engine.js(&run);
             js_time.push(j.time.0);
             js_size.push(j.code_size as f64);
         }
@@ -82,4 +83,5 @@ fn main() {
         census.row(vec![level.to_string(), fastest[i].to_string()]);
     }
     cli.emit("fig5_fastest_census", &census);
+    engine.finish();
 }

@@ -3,20 +3,21 @@
 
 use wb_benchmarks::InputSize;
 use wb_core::report::{ratio, Table};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 use wb_minic::OptLevel;
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let levels = [OptLevel::O1, OptLevel::O2, OptLevel::Ofast, OptLevel::Oz];
 
-    let rows = parallel_map(cli.benchmarks(), |b| {
+    let rows = engine.map(cli.benchmarks(), |b| {
         let mut time = Vec::new();
         let mut size = Vec::new();
         for level in levels {
             let mut run = Run::new(b.clone(), InputSize::M);
             run.level = level;
-            let n = run.native();
+            let n = engine.native(&run);
             time.push(n.time.0);
             size.push(n.code_size as f64);
         }
@@ -47,4 +48,5 @@ fn main() {
     }
     cli.emit("fig6_time", &time_table);
     cli.emit("fig6_code_size", &size_table);
+    engine.finish();
 }

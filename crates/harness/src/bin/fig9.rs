@@ -3,10 +3,11 @@
 
 use wb_core::report::{kilobytes, millis, ratio, Table};
 use wb_core::stats::{mean, speedup_split};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let env = cli.environment();
     let sizes = cli.sizes();
     let browser = env.browser.name();
@@ -17,11 +18,11 @@ fn main() {
         .flat_map(|b| sizes.iter().map(move |s| (b.clone(), *s)).collect::<Vec<_>>())
         .collect();
 
-    let cells = parallel_map(grid, |(b, size)| {
+    let cells = engine.map(grid, |(b, size)| {
         let mut run = Run::new(b.clone(), size);
         run.env = env;
-        let w = run.wasm();
-        let j = run.js();
+        let w = engine.wasm(&run);
+        let j = engine.js(&run);
         assert_eq!(w.output, j.output, "{} {size}: outputs must agree", b.name);
         (b.name, size, w, j)
     });
@@ -95,4 +96,5 @@ fn main() {
         ]);
     }
     cli.emit(&format!("table4_6_{}", browser.to_lowercase()), &memory);
+    engine.finish();
 }

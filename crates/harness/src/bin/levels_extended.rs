@@ -5,11 +5,12 @@
 
 use wb_benchmarks::InputSize;
 use wb_core::report::{ratio, Table};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 use wb_minic::OptLevel;
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let names = ["gemm", "jacobi-2d", "durbin", "AES", "SHA"];
     let benchmarks: Vec<_> = names
         .iter()
@@ -21,13 +22,13 @@ fn main() {
         })
         .collect();
 
-    let rows = parallel_map(benchmarks, |b| {
+    let rows = engine.map(benchmarks, |b| {
         let mut wasm = Vec::new();
         let mut size = Vec::new();
         for level in OptLevel::ALL {
             let mut run = Run::new(b.clone(), InputSize::M);
             run.level = level;
-            let w = run.wasm();
+            let w = engine.wasm(&run);
             wasm.push(w.time.0);
             size.push(w.code_size as f64);
         }
@@ -63,4 +64,5 @@ fn main() {
     }
     cli.emit("levels_extended_time", &time_table);
     cli.emit("levels_extended_size", &size_table);
+    engine.finish();
 }

@@ -5,7 +5,7 @@
 use wb_benchmarks::InputSize;
 use wb_core::report::{ratio, Table};
 use wb_core::stats::geomean;
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 use wb_minic::OptLevel;
 
 struct LevelData {
@@ -21,17 +21,18 @@ struct LevelData {
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let levels = [OptLevel::O1, OptLevel::O2, OptLevel::Ofast, OptLevel::Oz];
 
-    let per_bench = parallel_map(cli.benchmarks(), |b| {
+    let per_bench = engine.map(cli.benchmarks(), |b| {
         levels
             .iter()
             .map(|&level| {
                 let mut run = Run::new(b.clone(), InputSize::M);
                 run.level = level;
-                let w = run.wasm();
-                let j = run.js();
-                let n = run.native();
+                let w = engine.wasm(&run);
+                let j = engine.js(&run);
+                let n = engine.native(&run);
                 (
                     j.time.0,
                     j.code_size as f64,
@@ -116,4 +117,5 @@ fn main() {
         ]);
     }
     cli.emit("table2", &t);
+    engine.finish();
 }

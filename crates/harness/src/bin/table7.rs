@@ -6,20 +6,21 @@ use wb_benchmarks::{InputSize, Suite};
 use wb_core::report::{ratio, Table};
 use wb_core::stats::{geomean, mean};
 use wb_env::{Browser, Environment, Platform, TierPolicy};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
     let chrome = Environment::desktop_chrome();
     let firefox = Environment::new(Browser::Firefox, Platform::Desktop);
 
     // ratio = time(single-tier) / time(default): > 1 means default faster.
-    let rows = parallel_map(cli.benchmarks(), |b| {
+    let rows = engine.map(cli.benchmarks(), |b| {
         let measure = |env: Environment, policy: TierPolicy| {
             let mut run = Run::new(b.clone(), InputSize::M);
             run.env = env;
             run.tier_policy = policy;
-            run.wasm().time.0
+            engine.wasm(&run).time.0
         };
         let mut out = Vec::new();
         for env in [chrome, firefox] {
@@ -76,4 +77,5 @@ fn main() {
     }
     cli.emit("table7", &t);
     let _ = overall;
+    engine.finish();
 }

@@ -5,12 +5,13 @@ use wb_benchmarks::manual_js::all_manual;
 use wb_benchmarks::InputSize;
 use wb_core::report::{kilobytes, millis, Table};
 use wb_core::{run_manual_js, JsSpec};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{Cli, GridEngine, Run};
 
 fn main() {
     let cli = Cli::from_env();
+    let engine = GridEngine::from_cli(&cli);
 
-    let rows = parallel_map(all_manual(), |m| {
+    let rows = engine.map(all_manual(), |m| {
         // Manual implementation.
         let src = m.full_source();
         let mut spec = JsSpec::new(&src);
@@ -22,8 +23,8 @@ fn main() {
         let counterpart = wb_benchmarks::suite::find(m.counterpart)
             .unwrap_or_else(|| panic!("counterpart {}", m.counterpart));
         let run = Run::new(counterpart, InputSize::S);
-        let cheerp = run.js();
-        let wasm = run.wasm();
+        let cheerp = engine.js(&run);
+        let wasm = engine.wasm(&run);
         (m, manual, cheerp, wasm)
     });
 
@@ -48,4 +49,5 @@ fn main() {
         ]);
     }
     cli.emit("table9", &t);
+    engine.finish();
 }

@@ -20,16 +20,24 @@
 //! | `table12` | Table 12 — Long.js arithmetic operation counts |
 //!
 //! Shared flags: `--filter <substr>` restricts benchmarks, `--out <dir>`
-//! changes the CSV directory, `--quick` runs a reduced grid.
+//! changes the CSV directory, `--quick` runs a reduced grid, `--jobs N`
+//! bounds the worker pool, `--no-cache` disables the shared artifact
+//! cache and `--stats` prints its hit/miss summary. All binaries execute
+//! their grid through one [`GridEngine`], which compiles each distinct
+//! `(source, defines, level, toolchain, heap)` configuration exactly
+//! once per process — measured virtual numbers are unaffected.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use wb_benchmarks::{Benchmark, InputSize};
 use wb_core::report::Table;
-use wb_core::{run_compiled_js, run_native, run_wasm, JsSpec, Measurement, WasmSpec};
+use wb_core::{
+    run_compiled_js_with, run_native_with, run_wasm_with, ArtifactCache, JsSpec, Measurement,
+    WasmSpec,
+};
 use wb_env::{Environment, JitMode, TierPolicy, Toolchain};
 use wb_minic::OptLevel;
 
@@ -78,7 +86,9 @@ impl Cli {
         self.flags.contains_key(key)
     }
 
-    /// Benchmarks after `--filter`.
+    /// Benchmarks after `--filter`. Under `--quick` (and no filter) the
+    /// suite is subsampled to every fourth benchmark for a fast smoke
+    /// grid that still spans both PolyBench and CHStone.
     pub fn benchmarks(&self) -> Vec<Benchmark> {
         let all = wb_benchmarks::all_benchmarks();
         match self.get("filter") {
@@ -86,8 +96,16 @@ impl Cli {
                 .into_iter()
                 .filter(|b| b.name.to_lowercase().contains(&f.to_lowercase()))
                 .collect(),
+            None if self.has("quick") => all.into_iter().step_by(4).collect(),
             None => all,
         }
+    }
+
+    /// Worker-thread bound from `--jobs N` (default: all cores).
+    pub fn jobs(&self) -> Option<usize> {
+        self.get("jobs")
+            .map(|v| v.parse().expect("--jobs expects a positive integer"))
+            .filter(|&n| n > 0)
     }
 
     /// Input sizes: all five, or `XS,M,XL` under `--quick`.
@@ -136,17 +154,30 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n_threads = std::thread::available_parallelism()
+    parallel_map_jobs(items, None, f)
+}
+
+/// [`parallel_map`] with an explicit worker bound (`--jobs N`). Workers
+/// drain the queue front-to-first (FIFO), so cells are claimed in grid
+/// order — the first wave of workers hits each distinct compile key
+/// early, which maximizes artifact-cache sharing for everyone behind it.
+pub fn parallel_map_jobs<T, R, F>(items: Vec<T>, jobs: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let cores = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        .unwrap_or(4);
+    let n_threads = jobs.unwrap_or(cores).max(1).min(items.len().max(1));
+    let items: VecDeque<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(items);
     let results = std::sync::Mutex::new(Vec::<(usize, R)>::new());
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
             scope.spawn(|| loop {
-                let item = queue.lock().expect("queue lock").pop();
+                let item = queue.lock().expect("queue lock").pop_front();
                 match item {
                     Some((i, t)) => {
                         let r = f(t);
@@ -160,6 +191,92 @@ where
     let mut out = results.into_inner().expect("results");
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The shared execution engine behind every experiment binary: one
+/// process-wide artifact cache (so identical compiles across grid cells
+/// and across worker threads happen once), a `--jobs` bound for the
+/// thread pool, and a `--stats` summary.
+///
+/// Flags: `--no-cache` disables artifact sharing (each cell compiles
+/// from scratch — the measured virtual numbers are bit-identical either
+/// way), `--jobs N` caps worker threads, `--stats` prints cache
+/// hit/miss/bytes-saved counters to stderr at the end.
+pub struct GridEngine {
+    cache: Option<&'static ArtifactCache>,
+    jobs: Option<usize>,
+    stats: bool,
+}
+
+impl GridEngine {
+    /// Build from CLI flags.
+    pub fn from_cli(cli: &Cli) -> Self {
+        GridEngine {
+            cache: if cli.has("no-cache") {
+                None
+            } else {
+                Some(ArtifactCache::global())
+            },
+            jobs: cli.jobs(),
+            stats: cli.has("stats"),
+        }
+    }
+
+    /// An engine with explicit settings (testable core of
+    /// [`GridEngine::from_cli`]).
+    pub fn with_settings(cache: Option<&'static ArtifactCache>, jobs: Option<usize>) -> Self {
+        GridEngine {
+            cache,
+            jobs,
+            stats: false,
+        }
+    }
+
+    /// Map the grid over the worker pool (order-preserving, FIFO,
+    /// bounded by `--jobs`).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        parallel_map_jobs(items, self.jobs, f)
+    }
+
+    /// Execute a cell's Wasm build through the shared cache.
+    pub fn wasm(&self, run: &Run) -> Measurement {
+        run.wasm_with(self.cache)
+    }
+
+    /// Execute a cell's compiled-JS build through the shared cache.
+    pub fn js(&self, run: &Run) -> Measurement {
+        run.js_with(self.cache)
+    }
+
+    /// Execute a cell's native control build through the shared cache.
+    pub fn native(&self, run: &Run) -> Measurement {
+        run.native_with(self.cache)
+    }
+
+    /// Print the `--stats` summary (call once, after the grid).
+    pub fn finish(&self) {
+        if !self.stats {
+            return;
+        }
+        match self.cache {
+            Some(cache) => {
+                let s = cache.stats();
+                eprintln!(
+                    "[cache] {} hits / {} misses ({:.1}% hit rate), {} artifact bytes not re-built",
+                    s.hits,
+                    s.misses,
+                    100.0 * s.hit_rate(),
+                    s.bytes_saved
+                );
+            }
+            None => eprintln!("[cache] disabled (--no-cache)"),
+        }
+    }
 }
 
 /// One benchmark run request (a grid cell).
@@ -198,6 +315,11 @@ impl Run {
 
     /// Execute the Wasm build.
     pub fn wasm(&self) -> Measurement {
+        self.wasm_with(None)
+    }
+
+    /// Execute the Wasm build, optionally through an artifact cache.
+    pub fn wasm_with(&self, cache: Option<&ArtifactCache>) -> Measurement {
         let spec = WasmSpec {
             source: self.benchmark.source,
             defines: self.benchmark.defines(self.size),
@@ -208,11 +330,17 @@ impl Run {
             heap_limit: Some(256 << 20),
             entry: "bench_main",
         };
-        run_wasm(&spec).unwrap_or_else(|e| panic!("{} wasm: {e}", self.benchmark.name))
+        run_wasm_with(&spec, cache)
+            .unwrap_or_else(|e| panic!("{} wasm: {e}", self.benchmark.name))
     }
 
     /// Execute the compiled-JS build.
     pub fn js(&self) -> Measurement {
+        self.js_with(None)
+    }
+
+    /// Execute the compiled-JS build, optionally through an artifact cache.
+    pub fn js_with(&self, cache: Option<&ArtifactCache>) -> Measurement {
         let spec = JsSpec {
             source: self.benchmark.source,
             defines: self.benchmark.defines(self.size),
@@ -222,16 +350,24 @@ impl Run {
             jit: self.jit,
             entry: "bench_main",
         };
-        run_compiled_js(&spec).unwrap_or_else(|e| panic!("{} js: {e}", self.benchmark.name))
+        run_compiled_js_with(&spec, cache)
+            .unwrap_or_else(|e| panic!("{} js: {e}", self.benchmark.name))
     }
 
     /// Execute the native control build (Fig 6).
     pub fn native(&self) -> Measurement {
-        run_native(
+        self.native_with(None)
+    }
+
+    /// Execute the native control build, optionally through an artifact
+    /// cache.
+    pub fn native_with(&self, cache: Option<&ArtifactCache>) -> Measurement {
+        run_native_with(
             self.benchmark.source,
             &self.benchmark.defines(self.size),
             self.level,
             "bench_main",
+            cache,
         )
         .unwrap_or_else(|e| panic!("{} native: {e}", self.benchmark.name))
     }

@@ -2,8 +2,9 @@
 //! experiment binaries are built from.
 
 use wb_benchmarks::InputSize;
+use wb_core::ArtifactCache;
 use wb_env::{Browser, Environment, Platform};
-use wb_harness::{parallel_map, Cli, Run};
+use wb_harness::{parallel_map, parallel_map_jobs, Cli, GridEngine, Run};
 
 // --- Cli parsing -----------------------------------------------------------
 
@@ -55,6 +56,23 @@ fn quick_mode_reduces_the_size_grid() {
 }
 
 #[test]
+fn quick_mode_subsamples_the_benchmark_suite() {
+    let quick = Cli::from_args(["--quick"]).benchmarks();
+    assert_eq!(quick.len(), 11, "every 4th of the 41 benchmarks");
+    // An explicit filter wins over the subsample.
+    let filtered = Cli::from_args(["--quick", "--filter", "gemm"]).benchmarks();
+    assert!(filtered.iter().all(|b| b.name.contains("gemm")));
+}
+
+#[test]
+fn jobs_flag_parses_and_rejects_zero() {
+    assert_eq!(Cli::from_args(Vec::<String>::new()).jobs(), None);
+    assert_eq!(Cli::from_args(["--jobs", "3"]).jobs(), Some(3));
+    assert_eq!(Cli::from_args(["--jobs=1"]).jobs(), Some(1));
+    assert_eq!(Cli::from_args(["--jobs", "0"]).jobs(), None);
+}
+
+#[test]
 fn browser_flag_selects_the_environment() {
     let default = Cli::from_args(Vec::<String>::new()).environment();
     assert_eq!(default, Environment::desktop_chrome());
@@ -88,6 +106,58 @@ fn parallel_map_handles_empty_and_single_item() {
     let empty: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
     assert!(empty.is_empty());
     assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+}
+
+#[test]
+fn parallel_map_with_one_job_runs_in_submission_order() {
+    // With a single worker the FIFO queue fixes the execution order, not
+    // just the output order.
+    let executed = std::sync::Mutex::new(Vec::new());
+    let out = parallel_map_jobs((0..50).collect(), Some(1), |x: u32| {
+        executed.lock().unwrap().push(x);
+        x
+    });
+    assert_eq!(out, (0..50).collect::<Vec<_>>());
+    assert_eq!(executed.into_inner().unwrap(), (0..50).collect::<Vec<_>>());
+}
+
+#[test]
+fn parallel_map_respects_job_bounds() {
+    for jobs in [Some(1), Some(2), Some(64), None] {
+        let out = parallel_map_jobs((0..20).collect(), jobs, |x: u64| x * 2);
+        assert_eq!(out, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}
+
+// --- GridEngine --------------------------------------------------------------
+
+#[test]
+fn grid_engine_shares_compiles_across_cells_and_workers() {
+    static CACHE: std::sync::OnceLock<ArtifactCache> = std::sync::OnceLock::new();
+    let cache = CACHE.get_or_init(ArtifactCache::new);
+    let engine = GridEngine::with_settings(Some(cache), Some(4));
+    let b = wb_benchmarks::find("trisolv").expect("trisolv in corpus");
+    let baseline = Run::new(b.clone(), InputSize::XS).wasm();
+
+    // 6 environments, one compile key: same artifact, same measurements
+    // as the uncached baseline in the matching environment.
+    let runs: Vec<Run> = Environment::all_six()
+        .iter()
+        .map(|&env| {
+            let mut run = Run::new(b.clone(), InputSize::XS);
+            run.env = env;
+            run
+        })
+        .collect();
+    let results = engine.map(runs.clone(), |run| engine.wasm(&run));
+    assert_eq!(results.len(), 6);
+    let chrome = &results[runs.iter().position(|r| r.env == Environment::desktop_chrome()).unwrap()];
+    assert_eq!(chrome.time.0.to_bits(), baseline.time.0.to_bits());
+    assert_eq!(chrome.output, baseline.output);
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "one compile for six cells");
+    assert_eq!(stats.hits, 5);
 }
 
 // --- Run ---------------------------------------------------------------------

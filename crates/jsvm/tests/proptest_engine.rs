@@ -1,8 +1,9 @@
-//! Property tests for the MiniJS engine: the front end never panics, the
-//! arithmetic core matches a Rust reference model, and the GC never frees
-//! reachable data.
+//! Randomized (deterministic, LCG-seeded) tests for the MiniJS engine:
+//! the front end never panics, the arithmetic core matches a Rust
+//! reference model, and the GC never frees reachable data. Each case
+//! prints its seed on failure.
 
-use proptest::prelude::*;
+use wb_env::rng::Lcg;
 use wb_jsvm::{JsValue, JsVm, JsVmConfig};
 
 #[derive(Debug, Clone)]
@@ -17,26 +18,42 @@ enum NumExpr {
     Ternary(Box<NumExpr>, Box<NumExpr>, Box<NumExpr>),
 }
 
-fn num_expr() -> impl Strategy<Value = NumExpr> {
-    let leaf = prop_oneof![
-        (-1.0e6f64..1.0e6).prop_map(NumExpr::Const),
-        (0u8..3).prop_map(NumExpr::Var),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| NumExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| NumExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| NumExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| NumExpr::Div(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| NumExpr::Neg(Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| NumExpr::Ternary(Box::new(c), Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_leaf(rng: &mut Lcg) -> NumExpr {
+    if rng.chance(1, 2) {
+        NumExpr::Const(rng.range_f64(-1.0e6, 1.0e6))
+    } else {
+        NumExpr::Var(rng.index(3) as u8)
+    }
+}
+
+fn gen_num_expr(rng: &mut Lcg, depth: usize) -> NumExpr {
+    if depth == 0 || rng.chance(1, 4) {
+        return gen_leaf(rng);
+    }
+    match rng.index(6) {
+        0 => NumExpr::Add(
+            Box::new(gen_num_expr(rng, depth - 1)),
+            Box::new(gen_num_expr(rng, depth - 1)),
+        ),
+        1 => NumExpr::Sub(
+            Box::new(gen_num_expr(rng, depth - 1)),
+            Box::new(gen_num_expr(rng, depth - 1)),
+        ),
+        2 => NumExpr::Mul(
+            Box::new(gen_num_expr(rng, depth - 1)),
+            Box::new(gen_num_expr(rng, depth - 1)),
+        ),
+        3 => NumExpr::Div(
+            Box::new(gen_num_expr(rng, depth - 1)),
+            Box::new(gen_num_expr(rng, depth - 1)),
+        ),
+        4 => NumExpr::Neg(Box::new(gen_num_expr(rng, depth - 1))),
+        _ => NumExpr::Ternary(
+            Box::new(gen_num_expr(rng, depth - 1)),
+            Box::new(gen_num_expr(rng, depth - 1)),
+            Box::new(gen_num_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 fn to_js(e: &NumExpr) -> String {
@@ -74,72 +91,79 @@ fn eval_ref(e: &NumExpr, vars: &[f64; 3]) -> f64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn lexer_and_parser_never_panic(src in "\\PC*") {
+#[test]
+fn lexer_and_parser_never_panic() {
+    // Random printable-ish strings, including multi-byte chars.
+    let alphabet: Vec<char> =
+        ("abcXYZ012 \t\n(){};=+-*/<>!&|'\"\\.,:?[]_%#~^\u{e9}\u{3bb}\u{1f600}").chars().collect();
+    for seed in 0..128u64 {
+        let mut rng = Lcg::new(seed);
+        let src: String = (0..rng.index(200))
+            .map(|_| alphabet[rng.index(alphabet.len())])
+            .collect();
         let _ = wb_jsvm::compile_script(&src); // may Err, must not panic
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_jsish_soup(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("function".to_string()),
-                Just("var".to_string()),
-                Just("if".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just("{".to_string()),
-                Just("}".to_string()),
-                Just(";".to_string()),
-                Just("+".to_string()),
-                Just("=".to_string()),
-                Just("x".to_string()),
-                Just("42".to_string()),
-                Just("'s'".to_string()),
-                Just("return".to_string()),
-            ],
-            0..64,
-        )
-    ) {
-        let src = tokens.join(" ");
+#[test]
+fn parser_never_panics_on_jsish_soup() {
+    let tokens = [
+        "function", "var", "if", "(", ")", "{", "}", ";", "+", "=", "x", "42", "'s'", "return",
+    ];
+    for seed in 0..128u64 {
+        let mut rng = Lcg::new(1000 + seed);
+        let n = rng.index(64);
+        let src = (0..n)
+            .map(|_| tokens[rng.index(tokens.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = wb_jsvm::compile_script(&src);
     }
+}
 
-    #[test]
-    fn numeric_expressions_match_reference(
-        e in num_expr(),
-        vars in [ -1.0e4f64..1.0e4, -1.0e4f64..1.0e4, -1.0e4f64..1.0e4],
-    ) {
-        let src = format!(
-            "function f(p0, p1, p2) {{ return {}; }}",
-            to_js(&e)
-        );
+#[test]
+fn numeric_expressions_match_reference() {
+    for seed in 0..128u64 {
+        let mut rng = Lcg::new(2000 + seed);
+        let e = gen_num_expr(&mut rng, 4);
+        let vars = [
+            rng.range_f64(-1.0e4, 1.0e4),
+            rng.range_f64(-1.0e4, 1.0e4),
+            rng.range_f64(-1.0e4, 1.0e4),
+        ];
+        let src = format!("function f(p0, p1, p2) {{ return {}; }}", to_js(&e));
         let mut vm = JsVm::new(JsVmConfig::reference());
         vm.load(&src).expect("generated source parses");
         let got = vm
-            .call("f", &[JsValue::Num(vars[0]), JsValue::Num(vars[1]), JsValue::Num(vars[2])])
+            .call(
+                "f",
+                &[
+                    JsValue::Num(vars[0]),
+                    JsValue::Num(vars[1]),
+                    JsValue::Num(vars[2]),
+                ],
+            )
             .expect("runs");
         let want = eval_ref(&e, &vars);
         match got {
             JsValue::Num(g) => {
-                prop_assert!(
+                assert!(
                     g.to_bits() == want.to_bits() || (g.is_nan() && want.is_nan()),
-                    "{src} -> {g} vs {want}"
+                    "seed {seed}: {src} -> {g} vs {want}"
                 );
             }
-            other => prop_assert!(false, "non-numeric result {other:?}"),
+            other => panic!("seed {seed}: non-numeric result {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn gc_never_frees_reachable_data(
-        keep_every in 1usize..16,
-        n in 100usize..2000,
-        trigger in (8u64..64).prop_map(|k| k * 1024),
-    ) {
+#[test]
+fn gc_never_frees_reachable_data() {
+    for seed in 0..24u64 {
+        let mut rng = Lcg::new(3000 + seed);
+        let keep_every = 1 + rng.index(15);
+        let n = 100 + rng.index(1900);
+        let trigger = (8 + rng.below(56)) * 1024;
         let src = format!(
             "function churn() {{\n\
                var keep = [];\n\
@@ -161,16 +185,23 @@ proptest! {
             .filter(|i| i % keep_every == 0)
             .map(|i| (i * 2) as f64)
             .sum();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn step_budget_always_terminates(budget in 1000u64..100_000) {
+#[test]
+fn step_budget_always_terminates() {
+    for seed in 0..16u64 {
+        let mut rng = Lcg::new(4000 + seed);
+        let budget = 1000 + rng.below(99_000);
         let mut cfg = JsVmConfig::reference();
         cfg.max_steps = budget;
         let mut vm = JsVm::new(cfg);
         vm.load("function spin() { while (1) { } }").expect("loads");
         let r = vm.call("spin", &[]);
-        prop_assert!(matches!(r, Err(wb_jsvm::JsError::StepBudgetExhausted)));
+        assert!(
+            matches!(r, Err(wb_jsvm::JsError::StepBudgetExhausted)),
+            "seed {seed}"
+        );
     }
 }

@@ -1,17 +1,19 @@
-//! Differential property testing: randomly generated arithmetic programs
-//! must produce identical output on the native evaluator, the Wasm VM and
-//! the MiniJS engine, at `-O0` and `-O2`.
+//! Differential randomized testing (deterministic, LCG-seeded):
+//! randomly generated arithmetic programs must produce identical output
+//! on the native evaluator, the Wasm VM and the MiniJS engine, at `-O0`
+//! and `-O2`.
 //!
-//! The generator builds integer/double expression straight-line programs
-//! over a few scalar variables, with guarded division so no backend traps.
+//! The generator builds integer expression straight-line programs over a
+//! few scalar variables, with guarded division so no backend traps.
+//! Each case prints its seed on failure.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use wb_env::rng::Lcg;
 use wb_jsvm::{JsVm, JsVmConfig};
 use wb_minic::{Compiler, OptLevel};
 use wb_wasm_vm::{HostCtx, HostFn, Instance, WasmVmConfig};
 
-/// Expression AST over the variables `a`..`d` (int) and `x`..`z` (double).
+/// Expression AST over the variables `v0`..`v3` (int).
 #[derive(Debug, Clone)]
 enum IExpr {
     Const(i32),
@@ -25,22 +27,37 @@ enum IExpr {
     Shl(Box<IExpr>, u8),
 }
 
-fn iexpr() -> impl Strategy<Value = IExpr> {
-    let leaf = prop_oneof![
-        (-1000i32..1000).prop_map(IExpr::Const),
-        (0u8..4).prop_map(IExpr::Var),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IExpr::DivByOdd(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Xor(Box::new(a), Box::new(b))),
-            (inner, 0u8..8).prop_map(|(a, s)| IExpr::Shl(Box::new(a), s)),
-        ]
-    })
+fn gen_iexpr(rng: &mut Lcg, depth: usize) -> IExpr {
+    if depth == 0 || rng.chance(1, 4) {
+        return if rng.chance(1, 2) {
+            IExpr::Const(rng.range_i32(-1000, 1000))
+        } else {
+            IExpr::Var(rng.index(4) as u8)
+        };
+    }
+    match rng.index(6) {
+        0 => IExpr::Add(
+            Box::new(gen_iexpr(rng, depth - 1)),
+            Box::new(gen_iexpr(rng, depth - 1)),
+        ),
+        1 => IExpr::Sub(
+            Box::new(gen_iexpr(rng, depth - 1)),
+            Box::new(gen_iexpr(rng, depth - 1)),
+        ),
+        2 => IExpr::Mul(
+            Box::new(gen_iexpr(rng, depth - 1)),
+            Box::new(gen_iexpr(rng, depth - 1)),
+        ),
+        3 => IExpr::DivByOdd(
+            Box::new(gen_iexpr(rng, depth - 1)),
+            Box::new(gen_iexpr(rng, depth - 1)),
+        ),
+        4 => IExpr::Xor(
+            Box::new(gen_iexpr(rng, depth - 1)),
+            Box::new(gen_iexpr(rng, depth - 1)),
+        ),
+        _ => IExpr::Shl(Box::new(gen_iexpr(rng, depth - 1)), rng.index(8) as u8),
+    }
 }
 
 fn to_c(e: &IExpr) -> String {
@@ -77,9 +94,8 @@ fn run_everywhere(src: &str, level: OptLevel) -> (Vec<String>, Vec<String>, Vec<
         .expect("native runs");
     let wasm = c.compile_wasm(src).expect("wasm compiles");
     wb_wasm::validate(&wasm.module).expect("valid module");
-    let mut inst =
-        Instance::from_module(wasm.module, WasmVmConfig::reference(), host_imports())
-            .expect("instantiates");
+    let mut inst = Instance::from_module(wasm.module, WasmVmConfig::reference(), host_imports())
+        .expect("instantiates");
     inst.invoke("bench_main", &[]).expect("wasm runs");
     let js = c.compile_js(src).expect("js compiles");
     let mut vm = JsVm::new(JsVmConfig::reference());
@@ -90,14 +106,13 @@ fn run_everywhere(src: &str, level: OptLevel) -> (Vec<String>, Vec<String>, Vec<
     (native.output, inst.output.clone(), vm.output.clone())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn int_expression_programs_agree(
-        exprs in proptest::collection::vec(iexpr(), 1..5),
-        seeds in proptest::collection::vec(-100i32..100, 4),
-    ) {
+#[test]
+fn int_expression_programs_agree() {
+    for seed in 0..48u64 {
+        let mut rng = Lcg::new(seed);
+        let nexprs = 1 + rng.index(4);
+        let exprs: Vec<IExpr> = (0..nexprs).map(|_| gen_iexpr(&mut rng, 4)).collect();
+        let seeds: Vec<i32> = (0..4).map(|_| rng.range_i32(-100, 100)).collect();
         let mut src = String::new();
         for (i, s) in seeds.iter().enumerate() {
             src.push_str(&format!("int v{i} = {s};\n"));
@@ -113,21 +128,23 @@ proptest! {
         src.push_str("}\n");
 
         let (n0, w0, j0) = run_everywhere(&src, OptLevel::O0);
-        prop_assert_eq!(&n0, &w0, "native vs wasm at O0\n{}", src);
-        prop_assert_eq!(&n0, &j0, "native vs js at O0\n{}", src);
+        assert_eq!(&n0, &w0, "seed {seed}: native vs wasm at O0\n{src}");
+        assert_eq!(&n0, &j0, "seed {seed}: native vs js at O0\n{src}");
         let (n2, w2, j2) = run_everywhere(&src, OptLevel::O2);
-        prop_assert_eq!(&n2, &w2, "native vs wasm at O2\n{}", src);
-        prop_assert_eq!(&n2, &j2, "native vs js at O2\n{}", src);
+        assert_eq!(&n2, &w2, "seed {seed}: native vs wasm at O2\n{src}");
+        assert_eq!(&n2, &j2, "seed {seed}: native vs js at O2\n{src}");
         // Optimization must not change observable results.
-        prop_assert_eq!(&n0, &n2, "O0 vs O2\n{}", src);
+        assert_eq!(&n0, &n2, "seed {seed}: O0 vs O2\n{src}");
     }
+}
 
-    #[test]
-    fn loops_with_random_bounds_agree(
-        bound in 1i32..60,
-        step in 1i32..4,
-        scale in -8i32..8,
-    ) {
+#[test]
+fn loops_with_random_bounds_agree() {
+    for seed in 0..24u64 {
+        let mut rng = Lcg::new(1000 + seed);
+        let bound = rng.range_i32(1, 60);
+        let step = rng.range_i32(1, 4);
+        let scale = rng.range_i32(-8, 8);
         let src = format!(
             "int acc;\n\
              void bench_main() {{\n\
@@ -141,12 +158,17 @@ proptest! {
              }}"
         );
         let (n, w, j) = run_everywhere(&src, OptLevel::O2);
-        prop_assert_eq!(&n, &w);
-        prop_assert_eq!(&n, &j);
+        assert_eq!(&n, &w, "seed {seed}");
+        assert_eq!(&n, &j, "seed {seed}");
     }
+}
 
-    #[test]
-    fn unsigned_arithmetic_agrees(a in any::<u32>(), b in 1u32..u32::MAX) {
+#[test]
+fn unsigned_arithmetic_agrees() {
+    for seed in 0..24u64 {
+        let mut rng = Lcg::new(2000 + seed);
+        let a = rng.next_u32();
+        let b = 1 + rng.below(u32::MAX as u64 - 1) as u32;
         let src = format!(
             "unsigned int ua; unsigned int ub;\n\
              void bench_main() {{\n\
@@ -159,13 +181,24 @@ proptest! {
              }}"
         );
         let (n, w, j) = run_everywhere(&src, OptLevel::O2);
-        prop_assert_eq!(&n, &w);
-        prop_assert_eq!(&n, &j);
+        assert_eq!(&n, &w, "seed {seed}");
+        assert_eq!(&n, &j, "seed {seed}");
     }
+}
 
-    #[test]
-    fn i64_arithmetic_agrees(a in any::<i64>(), b in any::<i64>()) {
-        prop_assume!(b != 0 && !(a == i64::MIN && b == -1));
+#[test]
+fn i64_arithmetic_agrees() {
+    let mut done = 0u32;
+    let mut seed = 3000u64;
+    while done < 24 {
+        seed += 1;
+        let mut rng = Lcg::new(seed);
+        let a = rng.next_i64();
+        let b = rng.next_i64();
+        if b == 0 || (a == i64::MIN && b == -1) {
+            continue;
+        }
+        done += 1;
         let src = format!(
             "long la; long lb;\n\
              void bench_main() {{\n\
@@ -182,12 +215,20 @@ proptest! {
              }}"
         );
         let c = Compiler::cheerp();
-        let native = c.compile_native(&src).unwrap().run("bench_main", &[]).unwrap();
+        let native = c
+            .compile_native(&src)
+            .unwrap()
+            .run("bench_main", &[])
+            .unwrap();
         let js = c.compile_js(&src).unwrap();
         let mut vm = JsVm::new(JsVmConfig::reference());
         vm.load(&js.source).unwrap();
         vm.call("bench_main", &[]).unwrap();
-        prop_assert_eq!(&native.output, &vm.output, "src:\n{}\njs:\n{}", src, js.source);
+        assert_eq!(
+            &native.output, &vm.output,
+            "seed {seed}: src:\n{src}\njs:\n{}",
+            js.source
+        );
     }
 }
 

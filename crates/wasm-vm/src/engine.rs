@@ -6,7 +6,7 @@ use crate::prep::PreparedModule;
 use crate::trap::Trap;
 use crate::value::Value;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use wb_env::{
     ArithCounts, CostTable, Nanos, OpCounts, TierPolicy, TimeBucket, VirtualClock,
     WasmEngineProfile,
@@ -122,7 +122,7 @@ pub struct ExecutionReport {
 
 /// An instantiated module ready to execute.
 pub struct Instance {
-    pub(crate) prepared: Rc<PreparedModule>,
+    pub(crate) prepared: Arc<PreparedModule>,
     pub(crate) config: WasmVmConfig,
     pub(crate) memory: Option<LinearMemory>,
     pub(crate) globals: Vec<Value>,
@@ -155,9 +155,27 @@ impl Instance {
         validate(&module).map_err(|e| Trap::Host {
             message: format!("validation failed: {e}"),
         })?;
-        let mut inst = Self::from_module(module, config, hostfns)?;
+        let prepared = Arc::new(PreparedModule::new(module));
+        Self::instantiate_prepared(prepared, bytes.len(), config, hostfns)
+    }
+
+    /// Instantiate from an already-prepared module, charging the same
+    /// virtual load/compile cost sequence as [`Instance::instantiate`]
+    /// would for the `byte_len`-byte binary the preparation came from.
+    ///
+    /// This is the cached-artifact fast path: the *wall-clock* decode,
+    /// validate and side-table work is skipped, but the *virtual* clock is
+    /// charged identically, so measurements are bit-identical to the
+    /// uncached path.
+    pub fn instantiate_prepared(
+        prepared: Arc<PreparedModule>,
+        byte_len: usize,
+        config: WasmVmConfig,
+        hostfns: HashMap<String, HostFn>,
+    ) -> Result<Instance, Trap> {
+        let mut inst = Self::from_prepared(prepared, config, hostfns)?;
         let p = inst.config.profile;
-        let nbytes = bytes.len() as f64;
+        let nbytes = byte_len as f64;
         inst.charge_bucket(
             p.instantiate_base + nbytes * (p.decode_cost_per_byte + p.validate_cost_per_byte),
             TimeBucket::Load,
@@ -175,7 +193,23 @@ impl Instance {
         config: WasmVmConfig,
         hostfns: HashMap<String, HostFn>,
     ) -> Result<Instance, Trap> {
-        let memory = module.memory.map(|spec| LinearMemory::new(spec.limits));
+        Self::from_prepared(Arc::new(PreparedModule::new(module)), config, hostfns)
+    }
+
+    /// Build a fresh instance over a shared [`PreparedModule`] without
+    /// charging any virtual time and without running the start function.
+    /// Memory, globals, table and data segments are (re)initialized, so
+    /// successive instances from one preparation are independent.
+    pub fn from_prepared(
+        prepared: Arc<PreparedModule>,
+        config: WasmVmConfig,
+        hostfns: HashMap<String, HostFn>,
+    ) -> Result<Instance, Trap> {
+        let module = &prepared.module;
+        let mut memory = module
+            .memory
+            .as_ref()
+            .map(|spec| LinearMemory::new(spec.limits));
         let globals = module
             .globals
             .iter()
@@ -187,7 +221,7 @@ impl Instance {
                 _ => Value::I32(0),
             })
             .collect();
-        let mut table: Vec<Option<u32>> = match module.table {
+        let mut table: Vec<Option<u32>> = match &module.table {
             Some(t) => vec![None; t.limits.min as usize],
             None => Vec::new(),
         };
@@ -212,14 +246,13 @@ impl Instance {
             };
             module.functions.len()
         ];
-        let mut memory = memory;
         for d in &module.data {
             let mem = memory.as_mut().ok_or(Trap::DataSegmentOutOfBounds)?;
             mem.write(d.offset as u64, &d.bytes)
                 .map_err(|_| Trap::DataSegmentOutOfBounds)?;
         }
         Ok(Instance {
-            prepared: Rc::new(PreparedModule::new(module)),
+            prepared,
             config,
             memory,
             globals,

@@ -2,11 +2,12 @@
 //! targets, full MVP semantics, per-instruction cost accounting and
 //! hotness-driven tier-up.
 
-use crate::classify::{arith_kind, classify, ArithKind};
+use crate::classify::ArithKind;
 use crate::engine::{HostCtx, Instance, Tier};
+use crate::prep::NO_PC;
 use crate::trap::Trap;
 use crate::value::Value;
-use std::rc::Rc;
+use std::sync::Arc;
 use wb_env::{TierPolicy, TimeBucket};
 use wb_wasm::{Instr, MemArg};
 
@@ -39,7 +40,7 @@ impl Instance {
         // interrupt in V8/SpiderMonkey).
         self.note_hotness(def_index, 1);
 
-        let prepared = Rc::clone(&self.prepared);
+        let prepared = Arc::clone(&self.prepared);
         let func = &prepared.module.functions[def_index];
         let side = &prepared.side_tables[def_index];
         let ty = &prepared.module.types[func.type_index as usize];
@@ -134,8 +135,11 @@ impl Instance {
             if self.steps > self.config.max_steps {
                 return Err(Trap::StepBudgetExhausted);
             }
-            self.tier_counts[tier as usize].bump(classify(instr), 1);
-            if let Some(kind) = arith_kind(instr) {
+            // Per-pc accounting metadata is precomputed at preparation, so
+            // the hot path is two array reads instead of two instruction
+            // matches.
+            self.tier_counts[tier as usize].bump(side.op_class[pc], 1);
+            if let Some(kind) = side.arith[pc] {
                 match kind {
                     ArithKind::Add => self.arith.add += 1,
                     ArithKind::Mul => self.arith.mul += 1,
@@ -153,7 +157,7 @@ impl Instance {
                 Instr::Block(bt) => {
                     ctrl.push(Ctrl {
                         opener_pc: pc,
-                        end_pc: side.end_of[&pc],
+                        end_pc: side.end_of[pc] as usize,
                         height: stack.len(),
                         arity: bt.arity(),
                         is_loop: false,
@@ -162,7 +166,7 @@ impl Instance {
                 Instr::Loop(bt) => {
                     ctrl.push(Ctrl {
                         opener_pc: pc,
-                        end_pc: side.end_of[&pc],
+                        end_pc: side.end_of[pc] as usize,
                         height: stack.len(),
                         arity: bt.arity(),
                         is_loop: true,
@@ -170,7 +174,7 @@ impl Instance {
                 }
                 Instr::If(bt) => {
                     let cond = pop!().as_i32();
-                    let end_pc = side.end_of[&pc];
+                    let end_pc = side.end_of[pc] as usize;
                     ctrl.push(Ctrl {
                         opener_pc: pc,
                         end_pc,
@@ -179,12 +183,12 @@ impl Instance {
                         is_loop: false,
                     });
                     if cond == 0 {
-                        match side.else_of.get(&pc) {
-                            Some(&else_pc) => pc = else_pc, // step past Else below
-                            None => {
+                        match side.else_of[pc] {
+                            NO_PC => {
                                 ctrl.pop();
                                 pc = end_pc; // skip straight past `end`
                             }
+                            else_pc => pc = else_pc as usize, // step past Else below
                         }
                     }
                 }
@@ -225,14 +229,8 @@ impl Instance {
                     return Ok(result);
                 }
                 Instr::Call(f) => {
-                    let callee_ty = self
-                        .prepared
-                        .module
-                        .func_type(*f)
-                        .expect("validated: callee type")
-                        .clone();
-                    let nargs = callee_ty.params.len();
-                    let call_args = stack.split_off(stack.len() - nargs);
+                    let (nargs, _) = prepared.call_sigs[*f as usize];
+                    let call_args = stack.split_off(stack.len() - nargs as usize);
                     let r = self.call_function(*f, call_args, depth + 1)?;
                     if let Some(v) = r {
                         stack.push(v);

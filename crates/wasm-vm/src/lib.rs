@@ -33,5 +33,6 @@ pub use classify::{arith_kind, classify, ArithKind};
 pub use engine::{
     ExecutionReport, HostCtx, HostFn, Instance, MemoryStats, WasmVmConfig,
 };
+pub use prep::{PreparedModule, SideTable, NO_PC};
 pub use trap::Trap;
 pub use value::Value;

@@ -1,20 +1,43 @@
-//! Module preparation: side tables mapping each structured-control opener
-//! to its matching `else`/`end`, computed once at instantiation so the
-//! interpreter branches in O(1).
+//! Module preparation: everything about a module the interpreter would
+//! otherwise recompute per run or — worse — per step, done **once**:
+//!
+//! * flat side tables mapping each structured-control opener to its
+//!   matching `else`/`end`, so branches resolve in O(1) array indexing;
+//! * the cost-model [`OpClass`] and Table 12 arithmetic kind of every
+//!   instruction, so the per-step accounting path never re-inspects the
+//!   instruction;
+//! * per-function call signatures (arg count, result arity), so `call`
+//!   dispatch never clones a `FuncType`.
+//!
+//! A `PreparedModule` is immutable plain data (`Send + Sync`), so one
+//! preparation can be shared across instances — and across threads via
+//! `Arc`, which is how the artifact cache reuses decode/validate/prepare
+//! work between grid cells.
 
-use std::collections::HashMap;
+use crate::classify::{arith_kind, classify, ArithKind};
+use wb_env::OpClass;
 use wb_wasm::{Instr, Module};
 
-/// Per-function control side table.
+/// Sentinel for "no matching pc" in the flat side tables.
+pub const NO_PC: u32 = u32::MAX;
+
+/// Per-function control side table and per-pc accounting metadata, all
+/// indexed directly by pc.
 #[derive(Debug, Clone, Default)]
 pub struct SideTable {
-    /// For each `block`/`loop`/`if` pc: pc of the matching `end`.
-    pub end_of: HashMap<usize, usize>,
-    /// For each `if` pc that has an `else`: pc of that `else`.
-    pub else_of: HashMap<usize, usize>,
+    /// For each `block`/`loop`/`if` pc: pc of the matching `end`
+    /// ([`NO_PC`] at every other pc).
+    pub end_of: Vec<u32>,
+    /// For each `if` pc that has an `else`: pc of that `else`
+    /// ([`NO_PC`] otherwise).
+    pub else_of: Vec<u32>,
+    /// Cost-model class of the instruction at each pc.
+    pub op_class: Vec<OpClass>,
+    /// Table 12 arithmetic kind of the instruction at each pc, if any.
+    pub arith: Vec<Option<ArithKind>>,
 }
 
-/// A module plus its precomputed side tables.
+/// A module plus its precomputed side tables and dispatch metadata.
 #[derive(Debug)]
 pub struct PreparedModule {
     /// The underlying module.
@@ -22,6 +45,10 @@ pub struct PreparedModule {
     /// One side table per defined function, same order as
     /// `module.functions`.
     pub side_tables: Vec<SideTable>,
+    /// `(nargs, has_result)` per function index (imports first, then
+    /// defined functions) — the only pieces of the callee signature the
+    /// call sequence needs.
+    pub call_sigs: Vec<(u16, bool)>,
 }
 
 impl PreparedModule {
@@ -32,29 +59,44 @@ impl PreparedModule {
             .iter()
             .map(|f| build_side_table(&f.body))
             .collect();
+        let nfuncs = module.imports.len() + module.functions.len();
+        let call_sigs = (0..nfuncs as u32)
+            .map(|i| match module.func_type(i) {
+                Some(ty) => (ty.params.len() as u16, !ty.results.is_empty()),
+                None => (0, false),
+            })
+            .collect();
         PreparedModule {
             module,
             side_tables,
+            call_sigs,
         }
     }
 }
 
 fn build_side_table(body: &[Instr]) -> SideTable {
-    let mut table = SideTable::default();
+    let mut table = SideTable {
+        end_of: vec![NO_PC; body.len()],
+        else_of: vec![NO_PC; body.len()],
+        op_class: Vec::with_capacity(body.len()),
+        arith: Vec::with_capacity(body.len()),
+    };
     let mut stack: Vec<usize> = Vec::new();
     for (pc, instr) in body.iter().enumerate() {
+        table.op_class.push(classify(instr));
+        table.arith.push(arith_kind(instr));
         match instr {
             Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => stack.push(pc),
             Instr::Else => {
                 if let Some(&opener) = stack.last() {
-                    table.else_of.insert(opener, pc);
+                    table.else_of[opener] = pc as u32;
                 }
             }
             Instr::End => {
                 // The final `end` closes the implicit function frame, for
                 // which the stack is empty.
                 if let Some(opener) = stack.pop() {
-                    table.end_of.insert(opener, pc);
+                    table.end_of[opener] = pc as u32;
                 }
             }
             _ => {}
@@ -84,28 +126,46 @@ mod tests {
             Instr::End,                     // 9 closes function
         ];
         let t = build_side_table(&body);
-        assert_eq!(t.end_of[&2], 6);
-        assert_eq!(t.end_of[&1], 7);
-        assert_eq!(t.end_of[&0], 8);
-        assert_eq!(t.else_of[&2], 4);
-        assert!(!t.end_of.contains_key(&9));
+        assert_eq!(t.end_of[2], 6);
+        assert_eq!(t.end_of[1], 7);
+        assert_eq!(t.end_of[0], 8);
+        assert_eq!(t.else_of[2], 4);
+        assert_eq!(t.end_of[9], NO_PC);
+        assert_eq!(t.else_of[0], NO_PC);
     }
 
     #[test]
     fn else_binds_to_innermost_if() {
         let body = vec![
-            Instr::If(BlockType::Empty),  // 0
-            Instr::If(BlockType::Empty),  // 1
-            Instr::Else,                  // 2 -> if@1
-            Instr::End,                   // 3
-            Instr::Else,                  // 4 -> if@0
-            Instr::End,                   // 5
-            Instr::End,                   // 6
+            Instr::If(BlockType::Empty), // 0
+            Instr::If(BlockType::Empty), // 1
+            Instr::Else,                 // 2 -> if@1
+            Instr::End,                  // 3
+            Instr::Else,                 // 4 -> if@0
+            Instr::End,                  // 5
+            Instr::End,                  // 6
         ];
         let t = build_side_table(&body);
-        assert_eq!(t.else_of[&1], 2);
-        assert_eq!(t.else_of[&0], 4);
-        assert_eq!(t.end_of[&1], 3);
-        assert_eq!(t.end_of[&0], 5);
+        assert_eq!(t.else_of[1], 2);
+        assert_eq!(t.else_of[0], 4);
+        assert_eq!(t.end_of[1], 3);
+        assert_eq!(t.end_of[0], 5);
+    }
+
+    #[test]
+    fn precomputes_op_classes_and_arith_kinds() {
+        let body = vec![
+            Instr::I32Const(1), // 0: Const, no arith
+            Instr::I32Const(2), // 1
+            Instr::I32Add,      // 2: IntAlu, Add
+            Instr::End,         // 3: Other
+        ];
+        let t = build_side_table(&body);
+        assert_eq!(t.op_class[0], OpClass::Const);
+        assert_eq!(t.op_class[2], OpClass::IntAlu);
+        assert_eq!(t.arith[2], Some(ArithKind::Add));
+        assert_eq!(t.arith[0], None);
+        assert_eq!(t.op_class.len(), body.len());
+        assert_eq!(t.arith.len(), body.len());
     }
 }

@@ -1,0 +1,127 @@
+//! One `PreparedModule`, many instances: preparation (decode + validate
+//! + side tables) is done once and shared via `Arc`, and every instance
+//! built over it reports exactly the same virtual numbers as a fresh
+//! `Instance::instantiate` over the same bytes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use wb_wasm::{BlockType, Instr, ModuleBuilder, ValType};
+use wb_wasm_vm::{Instance, PreparedModule, Value, WasmVmConfig};
+
+/// A module with a loop (so the branch side tables matter): sums 1..=n.
+fn sum_module() -> wb_wasm::Module {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("sum", vec![ValType::I32], vec![ValType::I32]);
+    let acc = f.local(ValType::I32);
+    let i = f.local(ValType::I32);
+    f.ops([
+        Instr::Block(BlockType::Empty),
+        Instr::Loop(BlockType::Empty),
+        Instr::LocalGet(i),
+        Instr::LocalGet(0),
+        Instr::I32GeS,
+        Instr::BrIf(1),
+        Instr::LocalGet(i),
+        Instr::I32Const(1),
+        Instr::I32Add,
+        Instr::LocalTee(i),
+        Instr::LocalGet(acc),
+        Instr::I32Add,
+        Instr::LocalSet(acc),
+        Instr::Br(0),
+        Instr::End,
+        Instr::End,
+        Instr::LocalGet(acc),
+    ])
+    .done();
+    mb.finish_func(f, true);
+    let m = mb.build();
+    wb_wasm::validate(&m).expect("test module must validate");
+    m
+}
+
+#[test]
+fn two_instances_share_one_preparation() {
+    let prepared = Arc::new(PreparedModule::new(sum_module()));
+
+    let mut a = Instance::from_prepared(
+        Arc::clone(&prepared),
+        WasmVmConfig::reference(),
+        HashMap::new(),
+    )
+    .unwrap();
+    let mut b = Instance::from_prepared(
+        Arc::clone(&prepared),
+        WasmVmConfig::reference(),
+        HashMap::new(),
+    )
+    .unwrap();
+
+    let ra = a.invoke("sum", &[Value::I32(100)]).unwrap();
+    let rb = b.invoke("sum", &[Value::I32(100)]).unwrap();
+    assert_eq!(ra, rb);
+    assert_eq!(ra, Some(Value::I32(5050)));
+
+    // Identical virtual accounting, to the bit.
+    let (ra, rb) = (a.report(), b.report());
+    assert_eq!(ra.total.0.to_bits(), rb.total.0.to_bits());
+    assert_eq!(ra.counts.total(), rb.counts.total());
+}
+
+#[test]
+fn prepared_instantiation_matches_bytes_instantiation() {
+    let bytes = wb_wasm::encode_module(&sum_module());
+
+    // The uncached path: decode + validate + prepare from bytes.
+    let mut from_bytes =
+        Instance::instantiate(&bytes, WasmVmConfig::reference(), HashMap::new()).unwrap();
+
+    // The cached path: preparation shared, virtual charges replayed
+    // from the byte length.
+    let decoded = wb_wasm::decode_module(&bytes).unwrap();
+    let prepared = Arc::new(PreparedModule::new(decoded));
+    let mut from_prep = Instance::instantiate_prepared(
+        prepared,
+        bytes.len(),
+        WasmVmConfig::reference(),
+        HashMap::new(),
+    )
+    .unwrap();
+
+    let r1 = from_bytes.invoke("sum", &[Value::I32(7)]).unwrap();
+    let r2 = from_prep.invoke("sum", &[Value::I32(7)]).unwrap();
+    assert_eq!(r1, r2);
+    assert_eq!(r1, Some(Value::I32(28)));
+
+    let (a, b) = (from_bytes.report(), from_prep.report());
+    assert_eq!(a.total.0.to_bits(), b.total.0.to_bits(), "virtual time");
+    assert_eq!(a.counts.total(), b.counts.total());
+}
+
+#[test]
+fn prepared_module_is_shared_across_threads() {
+    let prepared = Arc::new(PreparedModule::new(sum_module()));
+    let results: Vec<i32> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let prepared = Arc::clone(&prepared);
+                scope.spawn(move || {
+                    let mut inst = Instance::from_prepared(
+                        prepared,
+                        WasmVmConfig::reference(),
+                        HashMap::new(),
+                    )
+                    .unwrap();
+                    match inst.invoke("sum", &[Value::I32(10)]).unwrap() {
+                        Some(Value::I32(v)) => v,
+                        other => panic!("unexpected result {other:?}"),
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(results, vec![55; 4]);
+}

@@ -1,9 +1,10 @@
-//! Property tests for the Wasm interpreter: randomly generated
-//! straight-line i32/i64 arithmetic agrees with a Rust reference model,
-//! and accounting invariants hold on every run.
+//! Randomized (deterministic, LCG-seeded) tests for the Wasm
+//! interpreter: randomly generated straight-line i32 arithmetic agrees
+//! with a Rust reference model, and accounting invariants hold on every
+//! run. Each case prints its seed on failure.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+use wb_env::rng::Lcg;
 use wb_wasm::{Instr, ModuleBuilder, ValType};
 use wb_wasm_vm::{Instance, Value, WasmVmConfig};
 
@@ -27,22 +28,22 @@ enum StackOp {
     Eqz,
 }
 
-fn stack_op() -> impl Strategy<Value = StackOp> {
-    prop_oneof![
-        any::<i32>().prop_map(StackOp::PushConst),
-        Just(StackOp::PushP0),
-        Just(StackOp::PushP1),
-        Just(StackOp::Add),
-        Just(StackOp::Sub),
-        Just(StackOp::Mul),
-        Just(StackOp::Xor),
-        Just(StackOp::And),
-        Just(StackOp::Or),
-        Just(StackOp::Shl),
-        Just(StackOp::ShrU),
-        Just(StackOp::Rotl),
-        Just(StackOp::Eqz),
-    ]
+fn gen_stack_op(rng: &mut Lcg) -> StackOp {
+    match rng.index(13) {
+        0 => StackOp::PushConst(rng.next_i32()),
+        1 => StackOp::PushP0,
+        2 => StackOp::PushP1,
+        3 => StackOp::Add,
+        4 => StackOp::Sub,
+        5 => StackOp::Mul,
+        6 => StackOp::Xor,
+        7 => StackOp::And,
+        8 => StackOp::Or,
+        9 => StackOp::Shl,
+        10 => StackOp::ShrU,
+        11 => StackOp::Rotl,
+        _ => StackOp::Eqz,
+    }
 }
 
 /// Build both the wasm body and the reference result simultaneously.
@@ -116,15 +117,14 @@ fn realize(ops: &[StackOp], p0: i32, p1: i32) -> (Vec<Instr>, i32) {
     (body, stack[0])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn random_arithmetic_matches_reference(
-        ops in proptest::collection::vec(stack_op(), 1..40),
-        p0 in any::<i32>(),
-        p1 in any::<i32>(),
-    ) {
+#[test]
+fn random_arithmetic_matches_reference() {
+    for seed in 0..256 {
+        let mut rng = Lcg::new(seed);
+        let nops = 1 + rng.index(39);
+        let ops: Vec<StackOp> = (0..nops).map(|_| gen_stack_op(&mut rng)).collect();
+        let p0 = rng.next_i32();
+        let p1 = rng.next_i32();
         let (mut body, expected) = realize(&ops, p0, p1);
         body.push(Instr::End);
         let mut mb = ModuleBuilder::new();
@@ -140,20 +140,22 @@ proptest! {
         let r = inst
             .invoke("f", &[Value::I32(p0), Value::I32(p1)])
             .expect("runs");
-        prop_assert_eq!(r, Some(Value::I32(expected)));
+        assert_eq!(r, Some(Value::I32(expected)), "seed {seed}");
 
         // Accounting invariants.
         let report = inst.report();
-        prop_assert!(report.total.0 > 0.0);
-        prop_assert!(report.counts.total() > 0);
-        prop_assert_eq!(report.context_switches, 2); // one invoke
+        assert!(report.total.0 > 0.0, "seed {seed}");
+        assert!(report.counts.total() > 0, "seed {seed}");
+        assert_eq!(report.context_switches, 2, "seed {seed}"); // one invoke
     }
+}
 
-    #[test]
-    fn report_is_monotonic_across_invocations(
-        n in 1usize..8,
-        p in any::<i32>(),
-    ) {
+#[test]
+fn report_is_monotonic_across_invocations() {
+    for seed in 0..32 {
+        let mut rng = Lcg::new(500 + seed);
+        let n = 1 + rng.index(7);
+        let p = rng.next_i32();
         let mut mb = ModuleBuilder::new();
         let mut f = mb.func("id", vec![ValType::I32], vec![ValType::I32]);
         f.ops([Instr::LocalGet(0)]).done();
@@ -164,13 +166,17 @@ proptest! {
         for _ in 0..n {
             inst.invoke("id", &[Value::I32(p)]).expect("runs");
             let t = inst.report().total.0;
-            prop_assert!(t > last);
+            assert!(t > last, "seed {seed}");
             last = t;
         }
     }
+}
 
-    #[test]
-    fn step_budget_always_terminates(budget in 100u64..50_000) {
+#[test]
+fn step_budget_always_terminates() {
+    for seed in 0..32 {
+        let mut rng = Lcg::new(900 + seed);
+        let budget = 100 + rng.below(49_900);
         let mut mb = ModuleBuilder::new();
         let mut f = mb.func("spin", vec![], vec![]);
         f.ops([
@@ -182,8 +188,9 @@ proptest! {
         mb.finish_func(f, true);
         let mut cfg = WasmVmConfig::reference();
         cfg.max_steps = budget;
-        let mut inst = Instance::from_module(mb.build(), cfg, HashMap::new()).expect("instantiates");
+        let mut inst =
+            Instance::from_module(mb.build(), cfg, HashMap::new()).expect("instantiates");
         let r = inst.invoke("spin", &[]);
-        prop_assert_eq!(r, Err(wb_wasm_vm::Trap::StepBudgetExhausted));
+        assert_eq!(r, Err(wb_wasm_vm::Trap::StepBudgetExhausted), "seed {seed}");
     }
 }

@@ -1,229 +1,264 @@
-//! Property tests: the binary codec round-trips arbitrary modules, and the
-//! decoder never panics on arbitrary or mutated inputs.
+//! Randomized (deterministic, LCG-seeded) codec tests: the binary codec
+//! round-trips arbitrary modules, and the decoder never panics on
+//! arbitrary or mutated inputs. Every case prints its seed on failure.
 
-use proptest::prelude::*;
+use wb_env::rng::Lcg;
 use wb_wasm::{
-    decode_module, encode_module, leb128, BlockType, Data, Element, Export, ExportKind,
-    FuncImport, FuncType, Function, Global, GlobalType, Instr, Limits, MemArg, MemorySpec, Module,
-    TableSpec, ValType,
+    decode_module, encode_module, leb128, BlockType, Data, Element, Export, ExportKind, FuncImport,
+    FuncType, Function, Global, GlobalType, Instr, Limits, MemArg, MemorySpec, Module, TableSpec,
+    ValType,
 };
 
-fn val_type() -> impl Strategy<Value = ValType> {
-    prop_oneof![
-        Just(ValType::I32),
-        Just(ValType::I64),
-        Just(ValType::F32),
-        Just(ValType::F64),
-    ]
+fn gen_val_type(rng: &mut Lcg) -> ValType {
+    match rng.index(4) {
+        0 => ValType::I32,
+        1 => ValType::I64,
+        2 => ValType::F32,
+        _ => ValType::F64,
+    }
 }
 
-fn block_type() -> impl Strategy<Value = BlockType> {
-    prop_oneof![Just(BlockType::Empty), val_type().prop_map(BlockType::Value)]
+fn gen_block_type(rng: &mut Lcg) -> BlockType {
+    if rng.chance(1, 2) {
+        BlockType::Empty
+    } else {
+        BlockType::Value(gen_val_type(rng))
+    }
 }
 
-fn memarg() -> impl Strategy<Value = MemArg> {
-    (0u32..4, 0u32..4096).prop_map(|(align, offset)| MemArg { align, offset })
+fn gen_memarg(rng: &mut Lcg) -> MemArg {
+    MemArg {
+        align: rng.below(4) as u32,
+        offset: rng.below(4096) as u32,
+    }
+}
+
+fn gen_name(rng: &mut Lcg, min: usize, max: usize) -> String {
+    let len = min + rng.index(max - min + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.index(26) as u8) as char)
+        .collect()
 }
 
 /// A generous sample of the instruction space, including every immediate
 /// shape (indices, memargs, consts, br_table vectors, block types).
-fn instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Unreachable),
-        Just(Instr::Drop),
-        Just(Instr::Select),
-        Just(Instr::Return),
-        Just(Instr::I32Add),
-        Just(Instr::I64Mul),
-        Just(Instr::F32Sqrt),
-        Just(Instr::F64Div),
-        Just(Instr::I32Eqz),
-        Just(Instr::I64GeU),
-        Just(Instr::F64ConvertI32S),
-        Just(Instr::I32WrapI64),
-        Just(Instr::MemorySize),
-        Just(Instr::MemoryGrow),
-        block_type().prop_map(Instr::Block),
-        block_type().prop_map(Instr::Loop),
-        block_type().prop_map(Instr::If),
-        Just(Instr::Else),
-        Just(Instr::End),
-        (0u32..8).prop_map(Instr::Br),
-        (0u32..8).prop_map(Instr::BrIf),
-        (proptest::collection::vec(0u32..8, 0..5), 0u32..8)
-            .prop_map(|(t, d)| Instr::BrTable(t, d)),
-        (0u32..16).prop_map(Instr::Call),
-        (0u32..4).prop_map(Instr::CallIndirect),
-        (0u32..32).prop_map(Instr::LocalGet),
-        (0u32..32).prop_map(Instr::LocalSet),
-        (0u32..32).prop_map(Instr::LocalTee),
-        (0u32..8).prop_map(Instr::GlobalGet),
-        (0u32..8).prop_map(Instr::GlobalSet),
-        memarg().prop_map(Instr::I32Load),
-        memarg().prop_map(Instr::F64Store),
-        memarg().prop_map(Instr::I32Load8U),
-        memarg().prop_map(Instr::I64Load32S),
-        memarg().prop_map(Instr::I32Store16),
-        any::<i32>().prop_map(Instr::I32Const),
-        any::<i64>().prop_map(Instr::I64Const),
+fn gen_instr(rng: &mut Lcg) -> Instr {
+    match rng.index(36) {
+        0 => Instr::Nop,
+        1 => Instr::Unreachable,
+        2 => Instr::Drop,
+        3 => Instr::Select,
+        4 => Instr::Return,
+        5 => Instr::I32Add,
+        6 => Instr::I64Mul,
+        7 => Instr::F32Sqrt,
+        8 => Instr::F64Div,
+        9 => Instr::I32Eqz,
+        10 => Instr::I64GeU,
+        11 => Instr::F64ConvertI32S,
+        12 => Instr::I32WrapI64,
+        13 => Instr::MemorySize,
+        14 => Instr::MemoryGrow,
+        15 => Instr::Block(gen_block_type(rng)),
+        16 => Instr::Loop(gen_block_type(rng)),
+        17 => Instr::If(gen_block_type(rng)),
+        18 => Instr::Else,
+        19 => Instr::End,
+        20 => Instr::Br(rng.below(8) as u32),
+        21 => Instr::BrIf(rng.below(8) as u32),
+        22 => {
+            let n = rng.index(5);
+            let targets = (0..n).map(|_| rng.below(8) as u32).collect();
+            Instr::BrTable(targets, rng.below(8) as u32)
+        }
+        23 => Instr::Call(rng.below(16) as u32),
+        24 => Instr::CallIndirect(rng.below(4) as u32),
+        25 => Instr::LocalGet(rng.below(32) as u32),
+        26 => Instr::LocalSet(rng.below(32) as u32),
+        27 => Instr::LocalTee(rng.below(32) as u32),
+        28 => Instr::GlobalGet(rng.below(8) as u32),
+        29 => Instr::GlobalSet(rng.below(8) as u32),
+        30 => Instr::I32Load(gen_memarg(rng)),
+        31 => Instr::F64Store(gen_memarg(rng)),
+        32 => Instr::I32Const(rng.next_i32()),
+        33 => Instr::I64Const(rng.next_i64()),
         // Finite floats only: NaN payloads survive the codec but break
         // `PartialEq` comparison in the round-trip assertion.
-        (-1.0e30f32..1.0e30).prop_map(Instr::F32Const),
-        (-1.0e300f64..1.0e300).prop_map(Instr::F64Const),
-    ]
+        34 => Instr::F32Const(rng.range_f64(-1.0e30, 1.0e30) as f32),
+        _ => Instr::F64Const(rng.range_f64(-1.0e300, 1.0e300)),
+    }
 }
 
-fn func_type() -> impl Strategy<Value = FuncType> {
-    (
-        proptest::collection::vec(val_type(), 0..4),
-        proptest::collection::vec(val_type(), 0..2),
-    )
-        .prop_map(|(params, results)| FuncType { params, results })
+fn gen_func_type(rng: &mut Lcg) -> FuncType {
+    let params = (0..rng.index(4)).map(|_| gen_val_type(rng)).collect();
+    let results = (0..rng.index(2)).map(|_| gen_val_type(rng)).collect();
+    FuncType { params, results }
 }
 
-fn module() -> impl Strategy<Value = Module> {
-    let types = proptest::collection::vec(func_type(), 1..4);
-    types.prop_flat_map(|types| {
-        let ntypes = types.len() as u32;
-        let imports = proptest::collection::vec(
-            ("[a-z]{1,6}", "[a-z]{1,6}", 0..ntypes).prop_map(|(m, f, t)| FuncImport {
-                module: m,
-                field: f,
-                type_index: t,
-            }),
-            0..3,
-        );
-        let functions = proptest::collection::vec(
-            (
-                0..ntypes,
-                proptest::collection::vec(val_type(), 0..4),
-                proptest::collection::vec(instr(), 0..12),
-                proptest::option::of("[a-z][a-z0-9_]{0,8}"),
-            )
-                .prop_map(|(type_index, locals, mut body, name)| {
-                    body.push(Instr::End);
-                    Function {
-                        type_index,
-                        locals,
-                        body,
-                        name,
-                    }
-                }),
-            0..4,
-        );
-        let globals = proptest::collection::vec(
-            (val_type(), any::<bool>(), any::<i32>()).prop_map(|(ty, mutable, v)| Global {
-                ty: GlobalType { ty, mutable },
+fn gen_module(rng: &mut Lcg) -> Module {
+    let types: Vec<FuncType> = (0..1 + rng.index(3)).map(|_| gen_func_type(rng)).collect();
+    let ntypes = types.len() as u64;
+    let imports: Vec<FuncImport> = (0..rng.index(3))
+        .map(|_| FuncImport {
+            module: gen_name(rng, 1, 6),
+            field: gen_name(rng, 1, 6),
+            type_index: rng.below(ntypes) as u32,
+        })
+        .collect();
+    let functions: Vec<Function> = (0..rng.index(4))
+        .map(|_| {
+            let mut body: Vec<Instr> = (0..rng.index(12)).map(|_| gen_instr(rng)).collect();
+            body.push(Instr::End);
+            Function {
+                type_index: rng.below(ntypes) as u32,
+                locals: (0..rng.index(4)).map(|_| gen_val_type(rng)).collect(),
+                body,
+                name: if rng.chance(1, 2) {
+                    Some(gen_name(rng, 1, 9))
+                } else {
+                    None
+                },
+            }
+        })
+        .collect();
+    let globals: Vec<Global> = (0..rng.index(3))
+        .map(|_| {
+            let ty = gen_val_type(rng);
+            let v = rng.next_i32();
+            Global {
+                ty: GlobalType {
+                    ty,
+                    mutable: rng.chance(1, 2),
+                },
                 init: match ty {
                     ValType::I32 => Instr::I32Const(v),
                     ValType::I64 => Instr::I64Const(v as i64),
                     ValType::F32 => Instr::F32Const(v as f32),
                     ValType::F64 => Instr::F64Const(v as f64),
                 },
-            }),
-            0..3,
-        );
-        let memory = proptest::option::of(
-            (0u32..8, proptest::option::of(8u32..64))
-                .prop_map(|(min, max)| MemorySpec {
-                    limits: Limits { min, max },
-                }),
-        );
-        let table = proptest::option::of((0u32..8).prop_map(|min| TableSpec {
-            limits: Limits::at_least(min),
-        }));
-        let data = proptest::collection::vec(
-            (0i32..4096, proptest::collection::vec(any::<u8>(), 0..32))
-                .prop_map(|(offset, bytes)| Data { offset, bytes }),
-            0..3,
-        );
-        (types_just(types), imports, functions, globals, memory, table, data).prop_map(
-            |(types, imports, functions, globals, memory, table, data)| {
-                let nfuncs = (imports.len() + functions.len()) as u32;
-                let exports = functions
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, f)| {
-                        f.name.as_ref().map(|n| Export {
-                            name: format!("e_{n}"),
-                            kind: ExportKind::Func(imports.len() as u32 + i as u32),
-                        })
-                    })
-                    .collect();
-                let elements = if table.is_some() && nfuncs > 0 {
-                    vec![Element {
-                        offset: 0,
-                        funcs: (0..nfuncs.min(3)).collect(),
-                    }]
+            }
+        })
+        .collect();
+    let memory = if rng.chance(1, 2) {
+        Some(MemorySpec {
+            limits: Limits {
+                min: rng.below(8) as u32,
+                max: if rng.chance(1, 2) {
+                    Some(8 + rng.below(56) as u32)
                 } else {
-                    vec![]
-                };
-                Module {
-                    types,
-                    imports,
-                    functions,
-                    table,
-                    memory,
-                    globals,
-                    exports,
-                    start: None,
-                    elements,
-                    data,
-                }
+                    None
+                },
             },
-        )
-    })
+        })
+    } else {
+        None
+    };
+    let table = if rng.chance(1, 2) {
+        Some(TableSpec {
+            limits: Limits::at_least(rng.below(8) as u32),
+        })
+    } else {
+        None
+    };
+    let data: Vec<Data> = (0..rng.index(3))
+        .map(|_| Data {
+            offset: rng.below(4096) as i32,
+            bytes: (0..rng.index(32)).map(|_| rng.next_u32() as u8).collect(),
+        })
+        .collect();
+    let nfuncs = (imports.len() + functions.len()) as u32;
+    let exports = functions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| {
+            f.name.as_ref().map(|n| Export {
+                name: format!("e_{n}"),
+                kind: ExportKind::Func(imports.len() as u32 + i as u32),
+            })
+        })
+        .collect();
+    let elements = if table.is_some() && nfuncs > 0 {
+        vec![Element {
+            offset: 0,
+            funcs: (0..nfuncs.min(3)).collect(),
+        }]
+    } else {
+        vec![]
+    };
+    Module {
+        types,
+        imports,
+        functions,
+        table,
+        memory,
+        globals,
+        exports,
+        start: None,
+        elements,
+        data,
+    }
 }
 
-fn types_just(t: Vec<FuncType>) -> impl Strategy<Value = Vec<FuncType>> {
-    Just(t)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn codec_round_trips(m in module()) {
+#[test]
+fn codec_round_trips() {
+    for seed in 0..256 {
+        let mut rng = Lcg::new(seed);
+        let m = gen_module(&mut rng);
         let bytes = encode_module(&m);
         let decoded = decode_module(&bytes).expect("own encoding must decode");
-        prop_assert_eq!(decoded, m);
+        assert_eq!(decoded, m, "seed {seed}");
     }
+}
 
-    #[test]
-    fn decoder_never_panics_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn decoder_never_panics_on_random_bytes() {
+    for seed in 0..256 {
+        let mut rng = Lcg::new(10_000 + seed);
+        let bytes: Vec<u8> = (0..rng.index(512)).map(|_| rng.next_u32() as u8).collect();
         let _ = decode_module(&bytes);
     }
+}
 
-    #[test]
-    fn decoder_never_panics_on_mutated_modules(
-        m in module(),
-        flip_at in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn decoder_never_panics_on_mutated_modules() {
+    for seed in 0..256 {
+        let mut rng = Lcg::new(20_000 + seed);
+        let m = gen_module(&mut rng);
         let mut bytes = encode_module(&m);
         if !bytes.is_empty() {
-            let i = flip_at.index(bytes.len());
-            bytes[i] ^= 1 << flip_bit;
+            let i = rng.index(bytes.len());
+            let bit = rng.index(8);
+            bytes[i] ^= 1 << bit;
         }
         let _ = decode_module(&bytes);
     }
+}
 
-    #[test]
-    fn leb128_u64_round_trips(v in any::<u64>()) {
+#[test]
+fn leb128_u64_round_trips() {
+    let mut rng = Lcg::new(77);
+    // Mix full-range values with small and boundary ones.
+    let mut values: Vec<u64> = (0..500).map(|_| rng.next_u64()).collect();
+    values.extend([0, 1, 127, 128, 16383, 16384, u64::MAX]);
+    for v in values {
         let mut buf = Vec::new();
         leb128::write_u64(&mut buf, v);
         let mut r = leb128::Reader::new(&buf);
-        prop_assert_eq!(r.u64().unwrap(), v);
-        prop_assert!(r.is_empty());
+        assert_eq!(r.u64().unwrap(), v);
+        assert!(r.is_empty());
     }
+}
 
-    #[test]
-    fn leb128_i64_round_trips(v in any::<i64>()) {
+#[test]
+fn leb128_i64_round_trips() {
+    let mut rng = Lcg::new(78);
+    let mut values: Vec<i64> = (0..500).map(|_| rng.next_i64()).collect();
+    values.extend([0, -1, 63, 64, -64, -65, i64::MIN, i64::MAX]);
+    for v in values {
         let mut buf = Vec::new();
         leb128::write_i64(&mut buf, v);
         let mut r = leb128::Reader::new(&buf);
-        prop_assert_eq!(r.i64().unwrap(), v);
-        prop_assert!(r.is_empty());
+        assert_eq!(r.i64().unwrap(), v);
+        assert!(r.is_empty());
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline verification: build, test, and smoke the quick grids against
+# the committed goldens. No network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== quick-grid smoke (fig5 + fig12_13, cached and uncached) =="
+./target/release/fig5 --quick --out results/quick >/dev/null
+./target/release/fig12_13 --quick --stats --out results/quick >/dev/null
+# The cache must not change a byte of any emitted table.
+./target/release/fig12_13 --quick --no-cache --out results/quick >/dev/null
+
+echo "== golden stability =="
+git diff --exit-code results/
+
+echo "verify: OK"
