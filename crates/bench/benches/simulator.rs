@@ -109,9 +109,7 @@ fn bench_host_bridge() {
     let bytes = wb_wasm::encode_module(&mb.build());
     let mut inst = Instance::instantiate(&bytes, WasmVmConfig::reference(), HashMap::new())
         .expect("instantiates");
-    Bench::group("wasm").run("host_roundtrip", || {
-        inst.invoke("nop", &[]).expect("runs")
-    });
+    Bench::group("wasm").run("host_roundtrip", || inst.invoke("nop", &[]).expect("runs"));
 }
 
 fn main() {

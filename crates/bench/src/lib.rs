@@ -28,10 +28,18 @@ use wb_minic::OptLevel;
 /// A small representative slice of the corpus (one per category family),
 /// used by the per-experiment regeneration benches.
 pub fn representative_benchmarks() -> Vec<Benchmark> {
-    ["gemm", "jacobi-2d", "durbin", "floyd-warshall", "AES", "DFADD", "SHA"]
-        .iter()
-        .map(|n| wb_benchmarks::suite::find(n).expect("representative benchmark exists"))
-        .collect()
+    [
+        "gemm",
+        "jacobi-2d",
+        "durbin",
+        "floyd-warshall",
+        "AES",
+        "DFADD",
+        "SHA",
+    ]
+    .iter()
+    .map(|n| wb_benchmarks::suite::find(n).expect("representative benchmark exists"))
+    .collect()
 }
 
 /// Run one benchmark's Wasm build at a size/level (bench helper).

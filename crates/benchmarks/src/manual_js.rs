@@ -63,7 +63,12 @@ pub fn all_manual() -> Vec<ManualJs> {
         manual!("Covariance", "covariance.js", true, "covariance"),
         manual!("Syr2k", "syr2k.js", true, "syr2k"),
         manual!("Ludcmp", "ludcmp.js", false, "ludcmp"),
-        manual!("Floyd-warshall", "floyd-warshall.js", false, "floyd-warshall"),
+        manual!(
+            "Floyd-warshall",
+            "floyd-warshall.js",
+            false,
+            "floyd-warshall"
+        ),
         manual!("Heat-3d (W3C)", "heat-3d-w3c.js", false, "heat-3d"),
         manual!("Heat-3d (math.js)", "heat-3d-mathjs.js", true, "heat-3d"),
         manual!("AES", "aes.js", false, "AES"),
@@ -90,7 +95,11 @@ mod tests {
     #[test]
     fn every_source_has_bench_main() {
         for m in all_manual() {
-            assert!(m.full_source().contains("function bench_main"), "{}", m.name);
+            assert!(
+                m.full_source().contains("function bench_main"),
+                "{}",
+                m.name
+            );
             assert!(m.loc() > 10, "{}", m.name);
         }
     }

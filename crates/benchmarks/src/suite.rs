@@ -94,10 +94,7 @@ impl Benchmark {
             Dims::CustomN(t) => vec![("N".into(), t[size.index()].to_string())],
             Dims::CustomNT(t) => vec![
                 ("N".into(), t[size.index()].to_string()),
-                (
-                    "TSTEPS".into(),
-                    Scaling::Quadratic.tsteps(size).to_string(),
-                ),
+                ("TSTEPS".into(), Scaling::Quadratic.tsteps(size).to_string()),
             ],
             Dims::Iters(t) => vec![("ITERS".into(), t[size.index()].to_string())],
         }
@@ -130,48 +127,335 @@ macro_rules! bench {
 pub fn all_benchmarks() -> Vec<Benchmark> {
     use Dims::*;
     vec![
-        bench!("covariance", PolyBenchC, DataMining, "Covariance computation", "polybench/covariance.c", N(Scaling::Cubic)),
-        bench!("correlation", PolyBenchC, DataMining, "Normalized covariance computation", "polybench/correlation.c", N(Scaling::Cubic)),
-        bench!("gemm", PolyBenchC, Blas, "Generalized matrix multiplication", "polybench/gemm.c", N(Scaling::Cubic)),
-        bench!("gemver", PolyBenchC, Blas, "Multiple matrix-vector multiplication", "polybench/gemver.c", N(Scaling::Quadratic)),
-        bench!("gesummv", PolyBenchC, Blas, "Summed matrix-vector multiplication", "polybench/gesummv.c", N(Scaling::Quadratic)),
-        bench!("symm", PolyBenchC, Blas, "Symmetric matrix multiplication", "polybench/symm.c", N(Scaling::Cubic)),
-        bench!("syrk", PolyBenchC, Blas, "Symmetric rank-k update", "polybench/syrk.c", N(Scaling::Cubic)),
-        bench!("syr2k", PolyBenchC, Blas, "Symmetric rank-2k update", "polybench/syr2k.c", N(Scaling::Cubic)),
-        bench!("trmm", PolyBenchC, Blas, "Triangular matrix multiplication", "polybench/trmm.c", N(Scaling::Cubic)),
-        bench!("2mm", PolyBenchC, LinAlgKernel, "Two matrix multiplications", "polybench/2mm.c", N(Scaling::Cubic)),
-        bench!("3mm", PolyBenchC, LinAlgKernel, "Three matrix multiplications", "polybench/3mm.c", N(Scaling::Cubic)),
-        bench!("atax", PolyBenchC, LinAlgKernel, "A-transpose times A times x", "polybench/atax.c", N(Scaling::Quadratic)),
-        bench!("bicg", PolyBenchC, LinAlgKernel, "Biconjugate gradient stabilization", "polybench/bicg.c", N(Scaling::Quadratic)),
-        bench!("doitgen", PolyBenchC, LinAlgKernel, "Numerical scientific simulation", "polybench/doitgen.c", CustomN([4, 8, 12, 20, 28])),
-        bench!("mvt", PolyBenchC, LinAlgKernel, "Matrix-vector multiplication", "polybench/mvt.c", N(Scaling::Quadratic)),
-        bench!("cholesky", PolyBenchC, LinAlgSolver, "Matrix decomposition", "polybench/cholesky.c", N(Scaling::Cubic)),
-        bench!("durbin", PolyBenchC, LinAlgSolver, "Yule-Walker equations solver", "polybench/durbin.c", N(Scaling::Quadratic)),
-        bench!("gramschmidt", PolyBenchC, LinAlgSolver, "QR matrix decomposition", "polybench/gramschmidt.c", N(Scaling::Cubic)),
-        bench!("lu", PolyBenchC, LinAlgSolver, "LU matrix decomposition", "polybench/lu.c", N(Scaling::Cubic)),
-        bench!("ludcmp", PolyBenchC, LinAlgSolver, "Linear equations solver", "polybench/ludcmp.c", N(Scaling::Cubic)),
-        bench!("trisolv", PolyBenchC, LinAlgSolver, "Triangular matrix solver", "polybench/trisolv.c", N(Scaling::Quadratic)),
-        bench!("deriche", PolyBenchC, Media, "Edge detection and smoothing filter", "polybench/deriche.c", N(Scaling::Quadratic)),
-        bench!("floyd-warshall", PolyBenchC, GraphDp, "Shortest paths in graph solver", "polybench/floyd-warshall.c", N(Scaling::Cubic)),
-        bench!("nussinov", PolyBenchC, GraphDp, "RNA folding prediction", "polybench/nussinov.c", N(Scaling::Cubic)),
-        bench!("adi", PolyBenchC, Stencil, "2D heat diffusion simulation", "polybench/adi.c", CustomNT([8, 16, 32, 64, 100])),
-        bench!("fdtd-2d", PolyBenchC, Stencil, "Electric and magnetic fields simulation", "polybench/fdtd-2d.c", NT(Scaling::Quadratic)),
-        bench!("heat-3d", PolyBenchC, Stencil, "Heat equation over 3D space", "polybench/heat-3d.c", CustomNT([6, 10, 16, 24, 32])),
-        bench!("jacobi-1d", PolyBenchC, Stencil, "Jacobi-style stencil (1D)", "polybench/jacobi-1d.c", NT(Scaling::Linear)),
-        bench!("jacobi-2d", PolyBenchC, Stencil, "Jacobi-style stencil (2D)", "polybench/jacobi-2d.c", NT(Scaling::Quadratic)),
-        bench!("seidel-2d", PolyBenchC, Stencil, "Gauss-Seidel stencil (2D)", "polybench/seidel-2d.c", NT(Scaling::Quadratic)),
+        bench!(
+            "covariance",
+            PolyBenchC,
+            DataMining,
+            "Covariance computation",
+            "polybench/covariance.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "correlation",
+            PolyBenchC,
+            DataMining,
+            "Normalized covariance computation",
+            "polybench/correlation.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "gemm",
+            PolyBenchC,
+            Blas,
+            "Generalized matrix multiplication",
+            "polybench/gemm.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "gemver",
+            PolyBenchC,
+            Blas,
+            "Multiple matrix-vector multiplication",
+            "polybench/gemver.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "gesummv",
+            PolyBenchC,
+            Blas,
+            "Summed matrix-vector multiplication",
+            "polybench/gesummv.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "symm",
+            PolyBenchC,
+            Blas,
+            "Symmetric matrix multiplication",
+            "polybench/symm.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "syrk",
+            PolyBenchC,
+            Blas,
+            "Symmetric rank-k update",
+            "polybench/syrk.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "syr2k",
+            PolyBenchC,
+            Blas,
+            "Symmetric rank-2k update",
+            "polybench/syr2k.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "trmm",
+            PolyBenchC,
+            Blas,
+            "Triangular matrix multiplication",
+            "polybench/trmm.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "2mm",
+            PolyBenchC,
+            LinAlgKernel,
+            "Two matrix multiplications",
+            "polybench/2mm.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "3mm",
+            PolyBenchC,
+            LinAlgKernel,
+            "Three matrix multiplications",
+            "polybench/3mm.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "atax",
+            PolyBenchC,
+            LinAlgKernel,
+            "A-transpose times A times x",
+            "polybench/atax.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "bicg",
+            PolyBenchC,
+            LinAlgKernel,
+            "Biconjugate gradient stabilization",
+            "polybench/bicg.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "doitgen",
+            PolyBenchC,
+            LinAlgKernel,
+            "Numerical scientific simulation",
+            "polybench/doitgen.c",
+            CustomN([4, 8, 12, 20, 28])
+        ),
+        bench!(
+            "mvt",
+            PolyBenchC,
+            LinAlgKernel,
+            "Matrix-vector multiplication",
+            "polybench/mvt.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "cholesky",
+            PolyBenchC,
+            LinAlgSolver,
+            "Matrix decomposition",
+            "polybench/cholesky.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "durbin",
+            PolyBenchC,
+            LinAlgSolver,
+            "Yule-Walker equations solver",
+            "polybench/durbin.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "gramschmidt",
+            PolyBenchC,
+            LinAlgSolver,
+            "QR matrix decomposition",
+            "polybench/gramschmidt.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "lu",
+            PolyBenchC,
+            LinAlgSolver,
+            "LU matrix decomposition",
+            "polybench/lu.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "ludcmp",
+            PolyBenchC,
+            LinAlgSolver,
+            "Linear equations solver",
+            "polybench/ludcmp.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "trisolv",
+            PolyBenchC,
+            LinAlgSolver,
+            "Triangular matrix solver",
+            "polybench/trisolv.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "deriche",
+            PolyBenchC,
+            Media,
+            "Edge detection and smoothing filter",
+            "polybench/deriche.c",
+            N(Scaling::Quadratic)
+        ),
+        bench!(
+            "floyd-warshall",
+            PolyBenchC,
+            GraphDp,
+            "Shortest paths in graph solver",
+            "polybench/floyd-warshall.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "nussinov",
+            PolyBenchC,
+            GraphDp,
+            "RNA folding prediction",
+            "polybench/nussinov.c",
+            N(Scaling::Cubic)
+        ),
+        bench!(
+            "adi",
+            PolyBenchC,
+            Stencil,
+            "2D heat diffusion simulation",
+            "polybench/adi.c",
+            CustomNT([8, 16, 32, 64, 100])
+        ),
+        bench!(
+            "fdtd-2d",
+            PolyBenchC,
+            Stencil,
+            "Electric and magnetic fields simulation",
+            "polybench/fdtd-2d.c",
+            NT(Scaling::Quadratic)
+        ),
+        bench!(
+            "heat-3d",
+            PolyBenchC,
+            Stencil,
+            "Heat equation over 3D space",
+            "polybench/heat-3d.c",
+            CustomNT([6, 10, 16, 24, 32])
+        ),
+        bench!(
+            "jacobi-1d",
+            PolyBenchC,
+            Stencil,
+            "Jacobi-style stencil (1D)",
+            "polybench/jacobi-1d.c",
+            NT(Scaling::Linear)
+        ),
+        bench!(
+            "jacobi-2d",
+            PolyBenchC,
+            Stencil,
+            "Jacobi-style stencil (2D)",
+            "polybench/jacobi-2d.c",
+            NT(Scaling::Quadratic)
+        ),
+        bench!(
+            "seidel-2d",
+            PolyBenchC,
+            Stencil,
+            "Gauss-Seidel stencil (2D)",
+            "polybench/seidel-2d.c",
+            NT(Scaling::Quadratic)
+        ),
         // CHStone.
-        bench!("ADPCM", CHStone, Dsp, "Speech signal processing algorithm", "chstone/adpcm.c", Iters(ITERS_SMALL)),
-        bench!("AES", CHStone, Crypto, "Cryptographic algorithm", "chstone/aes.c", Iters(ITERS_SMALL)),
-        bench!("BLOWFISH", CHStone, Crypto, "Data encryption standard", "chstone/blowfish.c", Iters(ITERS_SMALL)),
-        bench!("DFADD", CHStone, SoftFloat, "Addition for double", "chstone/dfadd.c", Iters(ITERS_BIG)),
-        bench!("DFDIV", CHStone, SoftFloat, "Division for double", "chstone/dfdiv.c", Iters(ITERS_BIG)),
-        bench!("DFMUL", CHStone, SoftFloat, "Multiplication for double", "chstone/dfmul.c", Iters(ITERS_BIG)),
-        bench!("DFSIN", CHStone, SoftFloat, "Sine function for double", "chstone/dfsin.c", Iters(ITERS_SMALL)),
-        bench!("GSM", CHStone, Dsp, "Speech signal processing algorithm", "chstone/gsm.c", Iters(ITERS_SMALL)),
-        bench!("MIPS", CHStone, Emulation, "Simplified MIPS processor", "chstone/mips.c", Iters(ITERS_SMALL)),
-        bench!("MOTION", CHStone, Media, "Motion vector decoding for MPEG-2", "chstone/motion.c", Iters(ITERS_SMALL)),
-        bench!("SHA", CHStone, Hash, "Secure hash algorithm", "chstone/sha.c", Iters(ITERS_SMALL)),
+        bench!(
+            "ADPCM",
+            CHStone,
+            Dsp,
+            "Speech signal processing algorithm",
+            "chstone/adpcm.c",
+            Iters(ITERS_SMALL)
+        ),
+        bench!(
+            "AES",
+            CHStone,
+            Crypto,
+            "Cryptographic algorithm",
+            "chstone/aes.c",
+            Iters(ITERS_SMALL)
+        ),
+        bench!(
+            "BLOWFISH",
+            CHStone,
+            Crypto,
+            "Data encryption standard",
+            "chstone/blowfish.c",
+            Iters(ITERS_SMALL)
+        ),
+        bench!(
+            "DFADD",
+            CHStone,
+            SoftFloat,
+            "Addition for double",
+            "chstone/dfadd.c",
+            Iters(ITERS_BIG)
+        ),
+        bench!(
+            "DFDIV",
+            CHStone,
+            SoftFloat,
+            "Division for double",
+            "chstone/dfdiv.c",
+            Iters(ITERS_BIG)
+        ),
+        bench!(
+            "DFMUL",
+            CHStone,
+            SoftFloat,
+            "Multiplication for double",
+            "chstone/dfmul.c",
+            Iters(ITERS_BIG)
+        ),
+        bench!(
+            "DFSIN",
+            CHStone,
+            SoftFloat,
+            "Sine function for double",
+            "chstone/dfsin.c",
+            Iters(ITERS_SMALL)
+        ),
+        bench!(
+            "GSM",
+            CHStone,
+            Dsp,
+            "Speech signal processing algorithm",
+            "chstone/gsm.c",
+            Iters(ITERS_SMALL)
+        ),
+        bench!(
+            "MIPS",
+            CHStone,
+            Emulation,
+            "Simplified MIPS processor",
+            "chstone/mips.c",
+            Iters(ITERS_SMALL)
+        ),
+        bench!(
+            "MOTION",
+            CHStone,
+            Media,
+            "Motion vector decoding for MPEG-2",
+            "chstone/motion.c",
+            Iters(ITERS_SMALL)
+        ),
+        bench!(
+            "SHA",
+            CHStone,
+            Hash,
+            "Secure hash algorithm",
+            "chstone/sha.c",
+            Iters(ITERS_SMALL)
+        ),
     ]
 }
 
@@ -206,7 +490,11 @@ mod tests {
         assert_eq!(names.len(), 41);
         for b in &all {
             assert!(b.loc() > 10, "{} too short", b.name);
-            assert!(b.source.contains("bench_main"), "{} lacks bench_main", b.name);
+            assert!(
+                b.source.contains("bench_main"),
+                "{} lacks bench_main",
+                b.name
+            );
         }
     }
 

@@ -40,7 +40,8 @@ fn host_imports(strings: Vec<String>) -> HashMap<String, HostFn> {
         "env.print_str".into(),
         Box::new(move |ctx: &mut HostCtx, args: &[Value]| {
             let id = args[0].as_i32() as usize;
-            ctx.output.push(strings.get(id).cloned().unwrap_or_default());
+            ctx.output
+                .push(strings.get(id).cloned().unwrap_or_default());
             Ok(None)
         }),
     );
@@ -158,7 +159,15 @@ fn all_41_benchmarks_agree_across_backends_at_xs() {
 #[test]
 fn medium_size_agrees_for_representative_benchmarks() {
     // One per category, at M, at O2 and Oz.
-    for name in ["gemm", "jacobi-2d", "durbin", "floyd-warshall", "AES", "DFADD", "SHA"] {
+    for name in [
+        "gemm",
+        "jacobi-2d",
+        "durbin",
+        "floyd-warshall",
+        "AES",
+        "DFADD",
+        "SHA",
+    ] {
         let b = wb_benchmarks::suite::find(name).unwrap();
         for level in [wb_minic::OptLevel::O2, wb_minic::OptLevel::Oz] {
             let mut compiler = Compiler::cheerp().opt_level(level).heap_limit(256 << 20);

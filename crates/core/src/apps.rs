@@ -102,6 +102,7 @@ pub fn hyphen_wasm(lang: hyphen::Lang, env: Environment) -> Result<Measurement, 
         env,
         tier_policy: TierPolicy::Default,
         heap_limit: Some(256 << 20),
+        reference_exec: false,
         entry: "bench_main",
     };
     crate::measure::run_wasm(&spec)
@@ -116,6 +117,7 @@ pub fn hyphen_js(lang: hyphen::Lang, env: Environment) -> Result<Measurement, Ru
         toolchain: Toolchain::Cheerp,
         env,
         jit: JitMode::Enabled,
+        reference_exec: false,
         entry: match lang {
             hyphen::Lang::EnUs => "bench_main",
             hyphen::Lang::Fr => "bench_fr",
@@ -186,6 +188,7 @@ pub fn ffmpeg_js(env: Environment) -> Result<Measurement, RunError> {
         toolchain: Toolchain::Cheerp,
         env,
         jit: JitMode::Enabled,
+        reference_exec: false,
         entry: "bench_main",
     };
     crate::measure::run_manual_js(&spec)
@@ -233,7 +236,13 @@ mod tests {
             let w = longjs_wasm(op, env).unwrap();
             let j = longjs_js(op, env).unwrap();
             // Table 10: Wasm faster on every Long.js operation.
-            assert!(w.time.0 < j.time.0, "{}: wasm {} vs js {}", op.name(), w.time, j.time);
+            assert!(
+                w.time.0 < j.time.0,
+                "{}: wasm {} vs js {}",
+                op.name(),
+                w.time,
+                j.time
+            );
             // Table 12: JS executes many times more arithmetic ops.
             assert!(
                 j.arith.total() > 4 * w.arith.total(),
@@ -270,11 +279,9 @@ mod tests {
     #[test]
     fn firefox_context_switch_is_far_cheaper() {
         let chrome = context_switch_bench(Environment::desktop_chrome(), 50).unwrap();
-        let firefox = context_switch_bench(
-            Environment::new(Browser::Firefox, Platform::Desktop),
-            50,
-        )
-        .unwrap();
+        let firefox =
+            context_switch_bench(Environment::new(Browser::Firefox, Platform::Desktop), 50)
+                .unwrap();
         let ratio = firefox.0 / chrome.0;
         // §4.5: Firefox ≈ 0.13× of Chrome. The Firefox Wasm speed factor
         // (0.61×) also scales its switch cost, so allow a band.

@@ -233,7 +233,8 @@ impl ArtifactCache {
     fn note(&self, hit: bool, artifact_bytes: u64) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            self.bytes_saved.fetch_add(artifact_bytes, Ordering::Relaxed);
+            self.bytes_saved
+                .fetch_add(artifact_bytes, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -291,7 +292,14 @@ mod tests {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
-        ArtifactKey::compute(ArtifactKind::Wasm, source, &defines, level, tc, Some(1 << 20))
+        ArtifactKey::compute(
+            ArtifactKind::Wasm,
+            source,
+            &defines,
+            level,
+            tc,
+            Some(1 << 20),
+        )
     }
 
     #[test]
@@ -324,7 +332,12 @@ mod tests {
         );
         assert_ne!(
             base,
-            key("int x;", &[("N", "10")], OptLevel::O2, Toolchain::Emscripten),
+            key(
+                "int x;",
+                &[("N", "10")],
+                OptLevel::O2,
+                Toolchain::Emscripten
+            ),
             "toolchain"
         );
     }
@@ -399,9 +412,7 @@ mod tests {
         assert!(r.is_err());
         // A later successful build fills the slot.
         let ok = cache.js(k, || -> Result<CachedJs, String> {
-            Ok(CachedJs {
-                source: "x".into(),
-            })
+            Ok(CachedJs { source: "x".into() })
         });
         assert!(ok.is_ok());
     }
@@ -419,9 +430,7 @@ mod tests {
                     cache
                         .js(k, || -> Result<CachedJs, ()> {
                             built.fetch_add(1, Ordering::Relaxed);
-                            Ok(CachedJs {
-                                source: "f".into(),
-                            })
+                            Ok(CachedJs { source: "f".into() })
                         })
                         .unwrap();
                 });

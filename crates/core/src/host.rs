@@ -52,7 +52,8 @@ pub fn standard_imports(strings: Vec<String>) -> HashMap<String, HostFn> {
         "env.print_str".into(),
         Box::new(move |ctx: &mut HostCtx, args: &[Value]| {
             let id = args[0].as_i32() as usize;
-            ctx.output.push(strings.get(id).cloned().unwrap_or_default());
+            ctx.output
+                .push(strings.get(id).cloned().unwrap_or_default());
             Ok(None)
         }),
     );

@@ -2,7 +2,9 @@
 //! (§3.3–3.4): virtual execution time with attribution, DevTools-model
 //! memory, code size, and instruction counts.
 
-use crate::artifacts::{ArtifactCache, ArtifactKey, ArtifactKind, CachedJs, CachedNative, CachedWasm};
+use crate::artifacts::{
+    ArtifactCache, ArtifactKey, ArtifactKind, CachedJs, CachedNative, CachedWasm,
+};
 use crate::host::standard_imports;
 use std::sync::Arc;
 use wb_env::{
@@ -98,6 +100,10 @@ pub struct WasmSpec<'a> {
     pub tier_policy: TierPolicy,
     /// `cheerp-linear-heap-size` override.
     pub heap_limit: Option<u64>,
+    /// Run the VM's plain per-op interpreter instead of the fused
+    /// micro-op engine (`--reference-exec`). Measurements are identical
+    /// either way; this is the escape hatch that proves it.
+    pub reference_exec: bool,
     /// Entry function.
     pub entry: &'a str,
 }
@@ -113,6 +119,7 @@ impl<'a> WasmSpec<'a> {
             env: Environment::desktop_chrome(),
             tier_policy: TierPolicy::Default,
             heap_limit: Some(256 << 20),
+            reference_exec: false,
             entry: "bench_main",
         }
     }
@@ -134,6 +141,9 @@ pub struct JsSpec<'a> {
     pub env: Environment,
     /// JIT enabled/disabled (`--no-opt`).
     pub jit: JitMode,
+    /// Run without the fused-op overlay and inline caches
+    /// (`--reference-exec`); measurement-invisible by construction.
+    pub reference_exec: bool,
     /// Entry function.
     pub entry: &'a str,
 }
@@ -148,12 +158,18 @@ impl<'a> JsSpec<'a> {
             toolchain: Toolchain::Cheerp,
             env: Environment::desktop_chrome(),
             jit: JitMode::Enabled,
+            reference_exec: false,
             entry: "bench_main",
         }
     }
 }
 
-fn compiler_for(defines: &[(String, String)], level: OptLevel, toolchain: Toolchain, heap: Option<u64>) -> Compiler {
+fn compiler_for(
+    defines: &[(String, String)],
+    level: OptLevel,
+    toolchain: Toolchain,
+    heap: Option<u64>,
+) -> Compiler {
     let mut c = Compiler::new(toolchain).opt_level(level);
     if let Some(h) = heap {
         c = c.heap_limit(h);
@@ -239,6 +255,7 @@ pub fn run_wasm_with(
     let profile = spec.env.profile();
     let mut config = WasmVmConfig::for_env(&profile);
     config.tier_policy = spec.tier_policy;
+    config.reference_exec = spec.reference_exec;
     config.exec_overhead = calibration::toolchain_exec_overhead(spec.toolchain);
 
     // Deployment (§3.3): the page fetches the binary and instantiates it —
@@ -307,6 +324,7 @@ fn run_js_source(js_source: &str, spec: &JsSpec<'_>) -> Result<Measurement, RunE
     let profile = spec.env.profile();
     let mut config = JsVmConfig::for_env(&profile);
     config.jit = spec.jit;
+    config.reference_exec = spec.reference_exec;
     let mut vm = JsVm::new(config);
     vm.load(js_source)?;
     vm.call(spec.entry, &[])?;
@@ -407,15 +425,24 @@ mod tests {
     #[test]
     fn wasm_memory_includes_engine_baseline_plus_linear() {
         let w = run_wasm(&WasmSpec::new(KERNEL)).unwrap();
-        let baseline = Environment::desktop_chrome().profile().wasm.baseline_memory_bytes;
+        let baseline = Environment::desktop_chrome()
+            .profile()
+            .wasm
+            .baseline_memory_bytes;
         assert!(w.memory_bytes > baseline);
-        assert!(w.memory_bytes < baseline + (1 << 20), "small kernel stays small");
+        assert!(
+            w.memory_bytes < baseline + (1 << 20),
+            "small kernel stays small"
+        );
     }
 
     #[test]
     fn js_memory_is_flat_for_typed_array_kernels() {
         let j = run_compiled_js(&JsSpec::new(KERNEL)).unwrap();
-        let baseline = Environment::desktop_chrome().profile().js.baseline_memory_bytes;
+        let baseline = Environment::desktop_chrome()
+            .profile()
+            .js
+            .baseline_memory_bytes;
         // Typed-array backing is external: reported stays near baseline.
         assert!(j.memory_bytes < baseline + 64 * 1024, "{}", j.memory_bytes);
     }
@@ -427,7 +454,10 @@ mod tests {
         spec.env = Environment::new(Browser::Firefox, Platform::Desktop);
         let firefox = run_wasm(&spec).unwrap();
         assert_ne!(chrome.time.0, firefox.time.0);
-        assert_eq!(chrome.output, firefox.output, "results identical, time differs");
+        assert_eq!(
+            chrome.output, firefox.output,
+            "results identical, time differs"
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ const KERNEL: &str = "#define N 20\n\
     }";
 
 fn assert_identical(a: &Measurement, b: &Measurement, what: &str) {
-    assert_eq!(a.time.0.to_bits(), b.time.0.to_bits(), "{what}: virtual time");
+    assert_eq!(
+        a.time.0.to_bits(),
+        b.time.0.to_bits(),
+        "{what}: virtual time"
+    );
     assert_eq!(a.memory_bytes, b.memory_bytes, "{what}: memory");
     assert_eq!(a.code_size, b.code_size, "{what}: code size");
     assert_eq!(a.output, b.output, "{what}: output");
@@ -54,7 +58,11 @@ fn cached_wasm_is_identical_across_environments_and_tiers() {
         Environment::new(Browser::Firefox, Platform::Desktop),
         Environment::new(Browser::Edge, Platform::Mobile),
     ] {
-        for tier in [TierPolicy::Default, TierPolicy::BasicOnly, TierPolicy::OptimizingOnly] {
+        for tier in [
+            TierPolicy::Default,
+            TierPolicy::BasicOnly,
+            TierPolicy::OptimizingOnly,
+        ] {
             let mut spec = WasmSpec::new(KERNEL);
             spec.env = env;
             spec.tier_policy = tier;

@@ -50,7 +50,11 @@ fn traps_surface_with_engine_specific_types() {
 
 #[test]
 fn all_tier_policies_and_jit_modes_run() {
-    for policy in [TierPolicy::Default, TierPolicy::BasicOnly, TierPolicy::OptimizingOnly] {
+    for policy in [
+        TierPolicy::Default,
+        TierPolicy::BasicOnly,
+        TierPolicy::OptimizingOnly,
+    ] {
         let mut spec = WasmSpec::new(OK_SRC);
         spec.tier_policy = policy;
         let m = run_wasm(&spec).expect("runs");
@@ -114,6 +118,9 @@ fn emscripten_memory_floor_is_16_mib() {
     let mut spec = WasmSpec::new(OK_SRC);
     spec.toolchain = Toolchain::Emscripten;
     let m = run_wasm(&spec).expect("runs");
-    let baseline = Environment::desktop_chrome().profile().wasm.baseline_memory_bytes;
+    let baseline = Environment::desktop_chrome()
+        .profile()
+        .wasm
+        .baseline_memory_bytes;
     assert!(m.memory_bytes >= baseline + (16 << 20));
 }

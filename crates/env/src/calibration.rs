@@ -272,7 +272,8 @@ mod tests {
 
     #[test]
     fn firefox_context_switch_is_013x_of_chrome() {
-        let ratio = context_switch_cycles(Browser::Firefox) / context_switch_cycles(Browser::Chrome);
+        let ratio =
+            context_switch_cycles(Browser::Firefox) / context_switch_cycles(Browser::Chrome);
         assert!((ratio - 0.13).abs() < 1e-9);
     }
 

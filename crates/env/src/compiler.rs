@@ -11,7 +11,6 @@
 //!    produce leaner instruction sequences, modelled as a per-instruction
 //!    overhead factor on Cheerp output.
 
-
 /// Which simulated C→Wasm/JS toolchain compiled a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Toolchain {
@@ -129,6 +128,9 @@ mod tests {
 
     #[test]
     fn cheerp_codegen_is_heavier_than_emscripten() {
-        assert!(CompilerProfile::cheerp().codegen_overhead > CompilerProfile::emscripten().codegen_overhead);
+        assert!(
+            CompilerProfile::cheerp().codegen_overhead
+                > CompilerProfile::emscripten().codegen_overhead
+        );
     }
 }

@@ -11,7 +11,6 @@
 //! engine events (parse/JIT/GC) and codegen quality, not from incomparable
 //! accounting.
 
-
 /// Number of operation classes (length of the [`OpCounts`] array).
 pub const OP_CLASS_COUNT: usize = 16;
 
@@ -73,6 +72,17 @@ impl OpClass {
         OpClass::Convert,
         OpClass::Other,
     ];
+
+    /// Recover a class from its index (`class as usize`). Lets packed
+    /// accounting tables (e.g. a fused interpreter's per-micro-op
+    /// constituent lists) store a class in one byte.
+    ///
+    /// # Panics
+    /// Panics if `index >= OP_CLASS_COUNT`.
+    #[inline]
+    pub fn from_index(index: usize) -> OpClass {
+        Self::ALL[index]
+    }
 
     /// Stable short name, used in reports and CSV headers.
     pub fn name(self) -> &'static str {
@@ -285,7 +295,9 @@ impl ArithCounts {
 
     /// Table 12 column values, in column order.
     pub fn columns(&self) -> [u64; 7] {
-        [self.add, self.mul, self.div, self.rem, self.shift, self.and, self.or]
+        [
+            self.add, self.mul, self.div, self.rem, self.shift, self.and, self.or,
+        ]
     }
 
     /// Table 12 column headers.

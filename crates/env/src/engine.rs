@@ -6,7 +6,6 @@
 //! Baseline/Ion for JS and Wasm, Cranelift on ARM64) as *two-tier* systems.
 //! Each profile below captures one engine's tier structure numerically.
 
-
 /// Parameters of one execution tier (baseline or optimizing).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TierParams {

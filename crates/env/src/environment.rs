@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        assert_eq!(
-            Environment::desktop_chrome().label(),
-            "Desktop Chrome v79"
-        );
+        assert_eq!(Environment::desktop_chrome().label(), "Desktop Chrome v79");
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! the paper's browser-based methodology (five repetitions, averaging) could
 //! only approximate.
 
-
 /// A span of virtual time, in nanoseconds.
 ///
 /// Stored as `f64` — experiment durations range from sub-microsecond

@@ -5,9 +5,7 @@
 //! how the VMs interpret them, and the paper-anchored relationships between
 //! browsers/platforms that drive the table shapes.
 
-use wb_env::calibration::{
-    self, DESKTOP_CYCLE_NS, GROW_SLACK_THRESHOLD_BYTES, MOBILE_CYCLE_NS,
-};
+use wb_env::calibration::{self, DESKTOP_CYCLE_NS, GROW_SLACK_THRESHOLD_BYTES, MOBILE_CYCLE_NS};
 use wb_env::{
     Browser, CompilerProfile, CostTable, Environment, OpClass, OpCounts, Platform, Toolchain,
 };
@@ -32,7 +30,11 @@ fn all_six_environments_resolve_to_sane_profiles() {
             js.gc.pause_base,
             js.gc.pause_per_live_byte,
         ] {
-            assert!(v > 0.0 && v.is_finite(), "{}: bad JS constant {v}", env.label());
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "{}: bad JS constant {v}",
+                env.label()
+            );
         }
         assert!(js.jit_threshold > 0);
         assert!(js.gc.trigger_bytes > 0);
@@ -52,7 +54,11 @@ fn all_six_environments_resolve_to_sane_profiles() {
             w.memory_grow_per_page,
             w.context_switch,
         ] {
-            assert!(v > 0.0 && v.is_finite(), "{}: bad Wasm constant {v}", env.label());
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "{}: bad Wasm constant {v}",
+                env.label()
+            );
         }
         assert!(w.tier_up_threshold > 0);
         assert!(w.baseline_memory_bytes > 0);
@@ -70,7 +76,10 @@ fn cycle_time_tracks_platform() {
         };
         assert_eq!(p.cycle_time_ns, expect, "{}", env.label());
     }
-    assert!(MOBILE_CYCLE_NS > DESKTOP_CYCLE_NS, "mobile cores are slower");
+    assert!(
+        MOBILE_CYCLE_NS > DESKTOP_CYCLE_NS,
+        "mobile cores are slower"
+    );
 }
 
 #[test]
@@ -171,10 +180,14 @@ fn compiler_profiles_match_the_4_2_2_setup() {
     let emcc = CompilerProfile::emscripten();
     assert!(cheerp.initial_memory_bytes() < emcc.initial_memory_bytes());
     assert_eq!(emcc.initial_memory_bytes(), 256 * 64 * 1024);
-    assert_eq!(CompilerProfile::of(Toolchain::Cheerp).initial_memory_bytes(),
-               cheerp.initial_memory_bytes());
-    assert_eq!(CompilerProfile::of(Toolchain::Emscripten).initial_memory_bytes(),
-               emcc.initial_memory_bytes());
+    assert_eq!(
+        CompilerProfile::of(Toolchain::Cheerp).initial_memory_bytes(),
+        cheerp.initial_memory_bytes()
+    );
+    assert_eq!(
+        CompilerProfile::of(Toolchain::Emscripten).initial_memory_bytes(),
+        emcc.initial_memory_bytes()
+    );
     // Execution-overhead ratio ≈2.70× (§4.2.2).
     let r = calibration::toolchain_exec_overhead(Toolchain::Cheerp)
         / calibration::toolchain_exec_overhead(Toolchain::Emscripten);
@@ -211,6 +224,9 @@ fn cost_cycles_is_linear_in_counts_and_multiplier() {
     let merged = a.merged(&b);
     let lhs = t.cycles(&merged, 1.0);
     let rhs = t.cycles(&a, 1.0) + t.cycles(&b, 1.0);
-    assert!((lhs - rhs).abs() < 1e-9, "cycles must be additive over merge");
+    assert!(
+        (lhs - rhs).abs() < 1e-9,
+        "cycles must be additive over merge"
+    );
     assert!((t.cycles(&a, 3.0) - 3.0 * t.cycles(&a, 1.0)).abs() < 1e-9);
 }

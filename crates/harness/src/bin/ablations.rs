@@ -77,7 +77,14 @@ fn main() {
     let cli = Cli::from_env();
     let mut t = Table::new(
         "Ablations: each §4.2 mechanism's contribution (Wasm target)",
-        &["mechanism", "benchmark", "with (ms)", "without (ms)", "with/without time", "size ratio"],
+        &[
+            "mechanism",
+            "benchmark",
+            "with (ms)",
+            "without (ms)",
+            "with/without time",
+            "size ratio",
+        ],
     );
 
     // 1. Vectorize-then-scalarize on a hot float kernel.

@@ -21,7 +21,14 @@ fn main() {
 
     let mut t = Table::new(
         "§4.2.2: Cheerp vs Emscripten (-O2, Chrome desktop, M input)",
-        &["benchmark", "cheerp ms", "emscripten ms", "time ratio", "cheerp KB", "emscripten KB"],
+        &[
+            "benchmark",
+            "cheerp ms",
+            "emscripten ms",
+            "time ratio",
+            "cheerp KB",
+            "emscripten KB",
+        ],
     );
     let mut time_ratios = Vec::new();
     let mut mem_ratios = Vec::new();
@@ -41,9 +48,15 @@ fn main() {
         "geomean".into(),
         "-".into(),
         "-".into(),
-        format!("{:.2}x faster (Emscripten)", geomean(&time_ratios).expect("positive")),
+        format!(
+            "{:.2}x faster (Emscripten)",
+            geomean(&time_ratios).expect("positive")
+        ),
         "-".into(),
-        format!("{:.2}x more memory (Emscripten)", geomean(&mem_ratios).expect("positive")),
+        format!(
+            "{:.2}x more memory (Emscripten)",
+            geomean(&mem_ratios).expect("positive")
+        ),
     ]);
     cli.emit("compilers", &t);
     engine.finish();

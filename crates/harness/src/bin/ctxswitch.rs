@@ -13,8 +13,8 @@ fn main() {
         "§4.5: JS↔Wasm context-switch cost (desktop)",
         &["browser", "ns per boundary crossing", "relative to Chrome"],
     );
-    let chrome = context_switch_bench(Environment::desktop_chrome(), calls)
-        .expect("microbench runs");
+    let chrome =
+        context_switch_bench(Environment::desktop_chrome(), calls).expect("microbench runs");
     for browser in Browser::ALL {
         let env = Environment::new(browser, Platform::Desktop);
         let ns = context_switch_bench(env, calls).expect("microbench runs");

@@ -33,7 +33,10 @@ fn main() {
         )
     });
 
-    for (suite, tag) in [(Suite::PolyBenchC, "polybench"), (Suite::CHStone, "chstone")] {
+    for (suite, tag) in [
+        (Suite::PolyBenchC, "polybench"),
+        (Suite::CHStone, "chstone"),
+    ] {
         let mut js_table = Table::new(
             &format!("Fig 10: JS speedup with JIT — {}", suite.name()),
             &["benchmark", "speedup"],

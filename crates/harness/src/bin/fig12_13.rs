@@ -15,7 +15,11 @@ fn main() {
     let grid: Vec<(wb_benchmarks::Benchmark, Environment)> = cli
         .benchmarks()
         .into_iter()
-        .flat_map(|b| envs.iter().map(move |e| (b.clone(), *e)).collect::<Vec<_>>())
+        .flat_map(|b| {
+            envs.iter()
+                .map(move |e| (b.clone(), *e))
+                .collect::<Vec<_>>()
+        })
         .collect();
 
     let cells = engine.map(grid, |(b, env)| {
@@ -29,7 +33,14 @@ fn main() {
     // Figs 12/13 per-benchmark rows.
     let mut fig = Table::new(
         "Figs 12/13: per-benchmark time (ms) and memory (KB), six environments (-O2, M input)",
-        &["benchmark", "environment", "wasm ms", "js ms", "wasm KB", "js KB"],
+        &[
+            "benchmark",
+            "environment",
+            "wasm ms",
+            "js ms",
+            "wasm KB",
+            "js KB",
+        ],
     );
     for (name, env, w, j) in &cells {
         fig.row(vec![
@@ -48,11 +59,27 @@ fn main() {
         "Table 8: arithmetic averages across 41 benchmarks",
         &["metric", "Chrome", "Firefox", "Edge"],
     );
-    let avg = |env: Environment, f: &dyn Fn(&(&str, Environment, wb_core::Measurement, wb_core::Measurement)) -> f64| -> f64 {
-        let vals: Vec<f64> = cells.iter().filter(|(_, e, _, _)| *e == env).map(f).collect();
+    let avg = |env: Environment,
+               f: &dyn Fn(
+        &(
+            &str,
+            Environment,
+            wb_core::Measurement,
+            wb_core::Measurement,
+        ),
+    ) -> f64|
+     -> f64 {
+        let vals: Vec<f64> = cells
+            .iter()
+            .filter(|(_, e, _, _)| *e == env)
+            .map(f)
+            .collect();
         mean(&vals).expect("non-empty")
     };
-    for (platform, tag) in [(wb_env::Platform::Desktop, "D."), (wb_env::Platform::Mobile, "M.")] {
+    for (platform, tag) in [
+        (wb_env::Platform::Desktop, "D."),
+        (wb_env::Platform::Mobile, "M."),
+    ] {
         for (metric, getter) in [
             ("JS Exec. Time (ms)", 0),
             ("WASM Exec. Time (ms)", 1),
@@ -81,10 +108,7 @@ fn main() {
         &["platform", "language", "Chrome", "Firefox", "Edge"],
     );
     for platform in wb_env::Platform::ALL {
-        for (lang, time_of) in [
-            ("JS", 0usize),
-            ("WASM", 1usize),
-        ] {
+        for (lang, time_of) in [("JS", 0usize), ("WASM", 1usize)] {
             let base = {
                 let env = Environment::new(wb_env::Browser::Chrome, platform);
                 match time_of {

@@ -35,11 +35,27 @@ fn main() {
     let rel = |v: &[f64], i: usize| v[i] / v[1];
     let mut time_table = Table::new(
         "Fig 5 (top): execution time relative to -O2 (Chrome desktop, M input)",
-        &["benchmark", "wasm O1/O2", "wasm Ofast/O2", "wasm Oz/O2", "js O1/O2", "js Ofast/O2", "js Oz/O2"],
+        &[
+            "benchmark",
+            "wasm O1/O2",
+            "wasm Ofast/O2",
+            "wasm Oz/O2",
+            "js O1/O2",
+            "js Ofast/O2",
+            "js Oz/O2",
+        ],
     );
     let mut size_table = Table::new(
         "Fig 5 (bottom): code size relative to -O2",
-        &["benchmark", "wasm O1/O2", "wasm Ofast/O2", "wasm Oz/O2", "js O1/O2", "js Ofast/O2", "js Oz/O2"],
+        &[
+            "benchmark",
+            "wasm O1/O2",
+            "wasm Ofast/O2",
+            "wasm Oz/O2",
+            "js O1/O2",
+            "js Ofast/O2",
+            "js Oz/O2",
+        ],
     );
     for (name, wt, ws, jt, js) in &rows {
         time_table.row(vec![

@@ -15,7 +15,12 @@ fn main() {
     let grid: Vec<(wb_benchmarks::Benchmark, wb_benchmarks::InputSize)> = cli
         .benchmarks()
         .into_iter()
-        .flat_map(|b| sizes.iter().map(move |s| (b.clone(), *s)).collect::<Vec<_>>())
+        .flat_map(|b| {
+            sizes
+                .iter()
+                .map(move |s| (b.clone(), *s))
+                .collect::<Vec<_>>()
+        })
         .collect();
 
     let cells = engine.map(grid, |(b, size)| {
@@ -30,7 +35,15 @@ fn main() {
     // Fig 9 per-benchmark rows.
     let mut fig = Table::new(
         &format!("Fig 9: time (ms) and memory (KB) per input size — {browser} desktop"),
-        &["benchmark", "size", "wasm ms", "js ms", "wasm/js time", "wasm KB", "js KB"],
+        &[
+            "benchmark",
+            "size",
+            "wasm ms",
+            "js ms",
+            "wasm/js time",
+            "wasm KB",
+            "js KB",
+        ],
     );
     for (name, size, w, j) in &cells {
         fig.row(vec![
@@ -48,7 +61,14 @@ fn main() {
     // Tables 3/5: SD/SU split per size.
     let mut split = Table::new(
         &format!("Table 3/5: {browser} execution time statistics"),
-        &["Input Size", "SD #", "SD gmean", "SU #", "SU gmean", "All gmean"],
+        &[
+            "Input Size",
+            "SD #",
+            "SD gmean",
+            "SU #",
+            "SU gmean",
+            "All gmean",
+        ],
     );
     for size in &sizes {
         let pairs: Vec<(f64, f64)> = cells

@@ -12,7 +12,13 @@ fn main() {
     let env = Environment::desktop_chrome();
     let mut t = Table::new(
         "Table 10: real-world applications (Chrome desktop)",
-        &["Benchmark", "Input", "WA Time (ms)", "JS Time (ms)", "Ratio"],
+        &[
+            "Benchmark",
+            "Input",
+            "WA Time (ms)",
+            "JS Time (ms)",
+            "Ratio",
+        ],
     );
 
     for op in longjs::LongOp::ALL {

@@ -12,7 +12,18 @@ fn main() {
     let env = Environment::desktop_chrome();
     let mut t = Table::new(
         "Table 12: Long.js arithmetic operation counts",
-        &["Benchmark", "JS/WASM", "ADD", "MUL", "DIV", "REM", "SHIFT", "AND", "OR", "Total"],
+        &[
+            "Benchmark",
+            "JS/WASM",
+            "ADD",
+            "MUL",
+            "DIV",
+            "REM",
+            "SHIFT",
+            "AND",
+            "OR",
+            "Total",
+        ],
     );
     let fmt = |c: &ArithCounts| -> Vec<String> {
         c.columns()

@@ -34,7 +34,14 @@ fn main() {
 
     let mut t = Table::new(
         "Table 7: Wasm speed ratio of default tiers to basic/optimizing-only",
-        &["Benchmark", "Metric", "LiftOff", "Baseline", "TurboFan", "Ion"],
+        &[
+            "Benchmark",
+            "Metric",
+            "LiftOff",
+            "Baseline",
+            "TurboFan",
+            "Ion",
+        ],
     );
     let mut overall: [Vec<f64>; 4] = Default::default();
     for (suite, label) in [

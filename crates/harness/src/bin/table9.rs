@@ -16,8 +16,7 @@ fn main() {
         let src = m.full_source();
         let mut spec = JsSpec::new(&src);
         spec.entry = "bench_main";
-        let manual = run_manual_js(&spec)
-            .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        let manual = run_manual_js(&spec).unwrap_or_else(|e| panic!("{}: {e}", m.name));
         // Counterpart compiled versions at the manual benchmark's scale
         // (XS-ish fixed sizes; the paper used the default inputs).
         let counterpart = wb_benchmarks::suite::find(m.counterpart)
@@ -31,9 +30,14 @@ fn main() {
     let mut t = Table::new(
         "Table 9: manually-written JS vs Cheerp JS vs Wasm (Chrome desktop)",
         &[
-            "Benchmark", "LOC",
-            "Manual ms", "Cheerp ms", "WASM ms",
-            "Manual KB", "Cheerp KB", "WASM KB",
+            "Benchmark",
+            "LOC",
+            "Manual ms",
+            "Cheerp ms",
+            "WASM ms",
+            "Manual KB",
+            "Cheerp KB",
+            "WASM KB",
         ],
     );
     for (m, manual, cheerp, wasm) in &rows {

@@ -21,8 +21,12 @@
 //!
 //! Shared flags: `--filter <substr>` restricts benchmarks, `--out <dir>`
 //! changes the CSV directory, `--quick` runs a reduced grid, `--jobs N`
-//! bounds the worker pool, `--no-cache` disables the shared artifact
-//! cache and `--stats` prints its hit/miss summary. All binaries execute
+//! bounds the worker pool (default: `available_parallelism`),
+//! `--no-cache` disables the shared artifact cache, `--stats` prints its
+//! hit/miss summary and `--reference-exec` runs both VMs on their plain
+//! per-op interpreters instead of the fused micro-op engines (the
+//! measured numbers are bit-identical either way — this flag exists to
+//! prove exactly that). All binaries execute
 //! their grid through one [`GridEngine`], which compiles each distinct
 //! `(source, defines, level, toolchain, heap)` configuration exactly
 //! once per process — measured virtual numbers are unaffected.
@@ -101,11 +105,18 @@ impl Cli {
         }
     }
 
-    /// Worker-thread bound from `--jobs N` (default: all cores).
+    /// Worker-thread bound from `--jobs N`. `None` means "use
+    /// [`std::thread::available_parallelism`]" (resolved at pool build).
     pub fn jobs(&self) -> Option<usize> {
         self.get("jobs")
             .map(|v| v.parse().expect("--jobs expects a positive integer"))
             .filter(|&n| n > 0)
+    }
+
+    /// Whether `--reference-exec` asks for the plain per-op interpreters
+    /// (fused micro-op engines disabled in both VMs).
+    pub fn reference_exec(&self) -> bool {
+        self.has("reference-exec")
     }
 
     /// Input sizes: all five, or `XS,M,XL` under `--quick`.
@@ -148,6 +159,10 @@ impl Cli {
 
 /// Run a closure per item on a scoped thread pool, preserving order.
 /// The VMs are single-threaded; each worker builds its own.
+///
+/// Ordering guarantee: workers claim items strictly front-to-back
+/// (FIFO), and the result vector is returned in input order regardless
+/// of which worker finished when.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -206,6 +221,7 @@ pub struct GridEngine {
     cache: Option<&'static ArtifactCache>,
     jobs: Option<usize>,
     stats: bool,
+    reference_exec: bool,
 }
 
 impl GridEngine {
@@ -219,6 +235,7 @@ impl GridEngine {
             },
             jobs: cli.jobs(),
             stats: cli.has("stats"),
+            reference_exec: cli.reference_exec(),
         }
     }
 
@@ -229,7 +246,15 @@ impl GridEngine {
             cache,
             jobs,
             stats: false,
+            reference_exec: false,
         }
+    }
+
+    /// [`GridEngine::with_settings`] on the plain per-op interpreters
+    /// (`--reference-exec`).
+    pub fn with_reference_exec(mut self) -> Self {
+        self.reference_exec = true;
+        self
     }
 
     /// Map the grid over the worker pool (order-preserving, FIFO,
@@ -245,12 +270,19 @@ impl GridEngine {
 
     /// Execute a cell's Wasm build through the shared cache.
     pub fn wasm(&self, run: &Run) -> Measurement {
-        run.wasm_with(self.cache)
+        self.configured(run).wasm_with(self.cache)
     }
 
     /// Execute a cell's compiled-JS build through the shared cache.
     pub fn js(&self, run: &Run) -> Measurement {
-        run.js_with(self.cache)
+        self.configured(run).js_with(self.cache)
+    }
+
+    /// A cell with the engine-wide `--reference-exec` choice applied.
+    fn configured(&self, run: &Run) -> Run {
+        let mut run = run.clone();
+        run.reference_exec |= self.reference_exec;
+        run
     }
 
     /// Execute a cell's native control build through the shared cache.
@@ -296,6 +328,8 @@ pub struct Run {
     pub tier_policy: TierPolicy,
     /// JS JIT mode.
     pub jit: JitMode,
+    /// Use the plain per-op interpreters instead of the fused engines.
+    pub reference_exec: bool,
 }
 
 impl Run {
@@ -310,6 +344,7 @@ impl Run {
             env: Environment::desktop_chrome(),
             tier_policy: TierPolicy::Default,
             jit: JitMode::Enabled,
+            reference_exec: false,
         }
     }
 
@@ -328,10 +363,10 @@ impl Run {
             env: self.env,
             tier_policy: self.tier_policy,
             heap_limit: Some(256 << 20),
+            reference_exec: self.reference_exec,
             entry: "bench_main",
         };
-        run_wasm_with(&spec, cache)
-            .unwrap_or_else(|e| panic!("{} wasm: {e}", self.benchmark.name))
+        run_wasm_with(&spec, cache).unwrap_or_else(|e| panic!("{} wasm: {e}", self.benchmark.name))
     }
 
     /// Execute the compiled-JS build.
@@ -348,6 +383,7 @@ impl Run {
             toolchain: self.toolchain,
             env: self.env,
             jit: self.jit,
+            reference_exec: self.reference_exec,
             entry: "bench_main",
         };
         run_compiled_js_with(&spec, cache)

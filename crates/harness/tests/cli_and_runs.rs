@@ -151,7 +151,10 @@ fn grid_engine_shares_compiles_across_cells_and_workers() {
         .collect();
     let results = engine.map(runs.clone(), |run| engine.wasm(&run));
     assert_eq!(results.len(), 6);
-    let chrome = &results[runs.iter().position(|r| r.env == Environment::desktop_chrome()).unwrap()];
+    let chrome = &results[runs
+        .iter()
+        .position(|r| r.env == Environment::desktop_chrome())
+        .unwrap()];
     assert_eq!(chrome.time.0.to_bits(), baseline.time.0.to_bits());
     assert_eq!(chrome.output, baseline.output);
 
@@ -200,7 +203,10 @@ fn run_grid_cell_is_deterministic() {
     let run = Run::new(b, InputSize::XS);
     let a = run.wasm();
     let b2 = run.wasm();
-    assert_eq!(a.time.0, b2.time.0, "virtual time must be exactly reproducible");
+    assert_eq!(
+        a.time.0, b2.time.0,
+        "virtual time must be exactly reproducible"
+    );
     assert_eq!(a.memory_bytes, b2.memory_bytes);
     assert_eq!(a.output, b2.output);
     assert_eq!(a.counts.total(), b2.counts.total());

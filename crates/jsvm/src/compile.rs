@@ -94,15 +94,13 @@ impl Compiler {
                 self.store_name(ctx, name);
             }
             Stmt::Expr(e) => self.expr_stmt(ctx, e)?,
-            Stmt::Return(e) => {
-                match e {
-                    Some(e) => {
-                        self.expr(ctx, e)?;
-                        ctx.chunk.code.push(Op::Return);
-                    }
-                    None => ctx.chunk.code.push(Op::ReturnUndef),
+            Stmt::Return(e) => match e {
+                Some(e) => {
+                    self.expr(ctx, e)?;
+                    ctx.chunk.code.push(Op::Return);
                 }
-            }
+                None => ctx.chunk.code.push(Op::ReturnUndef),
+            },
             Stmt::If(cond, then, els) => {
                 self.expr(ctx, cond)?;
                 let jf = self.emit_placeholder(ctx);
@@ -301,10 +299,7 @@ impl Compiler {
                 let ci = add_const(&mut ctx.chunk, Const::Str(s.clone()));
                 ctx.chunk.code.push(Op::Const(ci));
             }
-            Expr::Bool(b) => ctx
-                .chunk
-                .code
-                .push(if *b { Op::True } else { Op::False }),
+            Expr::Bool(b) => ctx.chunk.code.push(if *b { Op::True } else { Op::False }),
             Expr::Null => ctx.chunk.code.push(Op::Null),
             Expr::Undefined => ctx.chunk.code.push(Op::Undef),
             Expr::Name(n) => self.load_name(ctx, n),
@@ -648,7 +643,10 @@ mod tests {
         let top = &p.chunks[0];
         assert_eq!(top.object_shapes.len(), 1);
         assert_eq!(top.object_shapes[0].len(), 2);
-        assert!(top.code.iter().any(|op| matches!(op, Op::MakeObject { .. })));
+        assert!(top
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::MakeObject { .. })));
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct Heap {
     free: Vec<u32>,
     /// Bytes allocated since the last collection (GC trigger input).
     pub bytes_since_gc: u64,
+    /// Bumped on every collection. Inline caches record the generation
+    /// they were filled in and treat any bump as invalidation: a sweep
+    /// can recycle reference slots, so a cached `(ref, kind)` pair is
+    /// only trustworthy while no GC has intervened.
+    generation: u64,
     stats: HeapStats,
 }
 
@@ -92,8 +97,10 @@ impl Heap {
         self.stats.live_bytes += hb;
         self.stats.external_bytes += eb;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
-        self.stats.peak_external_bytes =
-            self.stats.peak_external_bytes.max(self.stats.external_bytes);
+        self.stats.peak_external_bytes = self
+            .stats
+            .peak_external_bytes
+            .max(self.stats.external_bytes);
         self.stats.alloc_count += 1;
         self.bytes_since_gc += hb + eb;
         match self.free.pop() {
@@ -130,8 +137,10 @@ impl Heap {
         self.stats.live_bytes = self.stats.live_bytes - old_heap + nh;
         self.stats.external_bytes = self.stats.external_bytes - old_external + ne;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
-        self.stats.peak_external_bytes =
-            self.stats.peak_external_bytes.max(self.stats.external_bytes);
+        self.stats.peak_external_bytes = self
+            .stats
+            .peak_external_bytes
+            .max(self.stats.external_bytes);
         if nh + ne > old_heap + old_external {
             self.bytes_since_gc += nh + ne - old_heap - old_external;
         }
@@ -193,7 +202,13 @@ impl Heap {
         self.stats.external_bytes = external;
         self.stats.gc_count += 1;
         self.bytes_since_gc = 0;
+        self.generation += 1;
         live
+    }
+
+    /// Current GC generation (see the `generation` field).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Current statistics snapshot.

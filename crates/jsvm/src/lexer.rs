@@ -41,11 +41,11 @@ pub enum Tok {
     Colon,
     Question,
     // Operators.
-    Assign,       // =
-    PlusAssign,   // +=
-    MinusAssign,  // -=
-    StarAssign,   // *=
-    SlashAssign,  // /=
+    Assign,        // =
+    PlusAssign,    // +=
+    MinusAssign,   // -=
+    StarAssign,    // *=
+    SlashAssign,   // /=
     PercentAssign, // %=
     PlusPlus,
     MinusMinus,
@@ -149,12 +149,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, JsError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 let value = if is_hex {
-                    u64::from_str_radix(&text[2..], 16).map(|v| v as f64).map_err(|_| {
-                        JsError::Lex {
+                    u64::from_str_radix(&text[2..], 16)
+                        .map(|v| v as f64)
+                        .map_err(|_| JsError::Lex {
                             line,
                             message: format!("bad hex literal '{text}'"),
-                        }
-                    })?
+                        })?
                 } else {
                     text.parse::<f64>().map_err(|_| JsError::Lex {
                         line,

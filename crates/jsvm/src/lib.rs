@@ -32,6 +32,7 @@ mod ast;
 mod bytecode;
 mod compile;
 mod error;
+mod fuse;
 mod heap;
 mod lexer;
 mod parser;

@@ -438,7 +438,11 @@ impl Parser {
                 self.unary()
             }
             Tok::PlusPlus | Tok::MinusMinus => {
-                let delta = if self.bump() == Tok::PlusPlus { 1.0 } else { -1.0 };
+                let delta = if self.bump() == Tok::PlusPlus {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let line = self.line();
                 let e = self.unary()?;
                 let target = expr_to_target(e).ok_or(JsError::Parse {
@@ -497,7 +501,11 @@ impl Parser {
                     e = Expr::Member(Box::new(e), name);
                 }
                 Tok::PlusPlus | Tok::MinusMinus => {
-                    let delta = if self.bump() == Tok::PlusPlus { 1.0 } else { -1.0 };
+                    let delta = if self.bump() == Tok::PlusPlus {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     let line = self.line();
                     let target = expr_to_target(e).ok_or(JsError::Parse {
                         line,
@@ -669,7 +677,10 @@ mod tests {
     #[test]
     fn parses_typed_array_constructors() {
         let s = p("var a = new Float64Array(n * n);");
-        assert!(matches!(&s.body[0], Stmt::Decl(_, Some(Expr::NewTyped(TypedKind::F64, _)))));
+        assert!(matches!(
+            &s.body[0],
+            Stmt::Decl(_, Some(Expr::NewTyped(TypedKind::F64, _)))
+        ));
         assert!(parse(lex("var x = new Foo(1);").unwrap()).is_err());
     }
 
@@ -688,8 +699,10 @@ mod tests {
     #[test]
     fn parses_function_expressions() {
         let s = p("var f = function (x) { return x * 2; };");
-        assert!(matches!(&s.body[0], Stmt::Decl(_, Some(Expr::Function { params, .. }))
-            if params.len() == 1));
+        assert!(
+            matches!(&s.body[0], Stmt::Decl(_, Some(Expr::Function { params, .. }))
+            if params.len() == 1)
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ pub fn format_number(n: f64) -> String {
     if n.is_nan() {
         "NaN".into()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".into() } else { "-Infinity".into() }
+        if n > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        }
     } else if n == n.trunc() && n.abs() < 1e21 {
         format!("{}", n as i64)
     } else if n.abs() >= 1e21 {

@@ -3,6 +3,7 @@
 
 use crate::bytecode::{Const, Op, Program};
 use crate::error::JsError;
+use crate::fuse::{build_overlays, BinKind, FOp, FusedChunk, IcEntry, IcKind};
 use crate::heap::{Heap, HeapStats, Obj};
 use crate::stdlib::{sha256, DetRng};
 use crate::value::{format_number, Builtin, JsValue, Value};
@@ -27,6 +28,11 @@ pub struct JsVmConfig {
     pub max_steps: u64,
     /// Maximum frame depth before [`JsError::StackOverflow`].
     pub max_call_depth: usize,
+    /// Execute without the fused-op overlay and inline caches (one
+    /// bytecode op per dispatch). Both modes produce bit-identical
+    /// measurements; this is a debugging escape hatch for fusion
+    /// regressions (`--reference-exec` in the harness).
+    pub reference_exec: bool,
 }
 
 impl JsVmConfig {
@@ -39,6 +45,7 @@ impl JsVmConfig {
             cycle_time_ns: wb_env::calibration::DESKTOP_CYCLE_NS,
             max_steps: u64::MAX,
             max_call_depth: 2_048,
+            reference_exec: false,
         }
     }
 
@@ -51,6 +58,7 @@ impl JsVmConfig {
             cycle_time_ns: env.cycle_time_ns,
             max_steps: u64::MAX,
             max_call_depth: 2_048,
+            reference_exec: false,
         }
     }
 }
@@ -114,6 +122,13 @@ pub struct JsVm {
     steps: u64,
     jit_compiles: u32,
     rng: DetRng,
+    /// Per-chunk fused-op overlays (see `fuse.rs`), built at load time.
+    fused: Rc<Vec<FusedChunk>>,
+    /// Monomorphic inline caches for `GetIndex`/`SetIndex` sites,
+    /// indexed globally across chunks.
+    ic_state: Vec<IcEntry>,
+    ic_hits: u64,
+    ic_misses: u64,
     /// `console.log` output.
     pub output: Vec<String>,
 }
@@ -138,6 +153,10 @@ impl JsVm {
             steps: 0,
             jit_compiles: 0,
             rng: DetRng::default(),
+            fused: Rc::new(Vec::new()),
+            ic_state: Vec::new(),
+            ic_hits: 0,
+            ic_misses: 0,
             output: Vec::new(),
         }
     }
@@ -186,6 +205,12 @@ impl JsVm {
                 self.globals[idx as usize] = Some(Value::Num(v));
             }
         }
+        // Build the fused overlay and inline-cache sites. Pure derived
+        // data with no virtual-time charge: fusion models no engine
+        // work, and the reference and fused modes charge identically.
+        let (fused, ic_sites) = build_overlays(&program);
+        self.fused = Rc::new(fused);
+        self.ic_state = vec![IcEntry::default(); ic_sites as usize];
         self.program = Rc::new(program);
         // Run the top level (chunk 0).
         self.push_frame(0, &[])?;
@@ -201,8 +226,8 @@ impl JsVm {
             .name_index
             .get(name)
             .ok_or_else(|| JsError::Reference { name: name.into() })?;
-        let callee = self.globals[idx as usize]
-            .ok_or_else(|| JsError::Reference { name: name.into() })?;
+        let callee =
+            self.globals[idx as usize].ok_or_else(|| JsError::Reference { name: name.into() })?;
         let Value::Closure(chunk) = callee else {
             return Err(JsError::Type {
                 message: format!("{name} is not a function"),
@@ -223,7 +248,10 @@ impl JsVm {
             .config
             .cost
             .cycles(&self.tier_counts[0], p.interp_multiplier);
-        let jit_cycles = self.config.cost.cycles(&self.tier_counts[1], p.jit_multiplier);
+        let jit_cycles = self
+            .config
+            .cost
+            .cycles(&self.tier_counts[1], p.jit_multiplier);
         let ta_cycles = self
             .config
             .cost
@@ -290,9 +318,7 @@ impl JsVm {
                 Obj::Arr(items) => {
                     JsValue::Array(items.iter().map(|v| self.value_out(*v)).collect())
                 }
-                Obj::F64(items) => {
-                    JsValue::Array(items.iter().map(|v| JsValue::Num(*v)).collect())
-                }
+                Obj::F64(items) => JsValue::Array(items.iter().map(|v| JsValue::Num(*v)).collect()),
                 Obj::I32(items) => {
                     JsValue::Array(items.iter().map(|v| JsValue::Num(*v as f64)).collect())
                 }
@@ -315,7 +341,10 @@ impl JsVm {
     }
 
     fn maybe_gc(&mut self) {
-        if !self.heap.should_collect(self.config.profile.gc.trigger_bytes) {
+        if !self
+            .heap
+            .should_collect(self.config.profile.gc.trigger_bytes)
+        {
             return;
         }
         let roots = self
@@ -395,14 +424,7 @@ impl JsVm {
     }
 
     fn to_int32(&self, v: Value) -> i32 {
-        let n = self.to_num(v);
-        if !n.is_finite() {
-            return 0;
-        }
-        let t = n.trunc();
-        let m = t.rem_euclid(4294967296.0);
-        let m = if m >= 2147483648.0 { m - 4294967296.0 } else { m };
-        m as i32
+        num_to_int32(self.to_num(v))
     }
 
     fn to_uint32(&self, v: Value) -> u32 {
@@ -434,8 +456,7 @@ impl JsVm {
                     parts.join(",")
                 }
                 Obj::F64(items) => {
-                    let parts: Vec<String> =
-                        items.iter().map(|v| format_number(*v)).collect();
+                    let parts: Vec<String> = items.iter().map(|v| format_number(*v)).collect();
                     parts.join(",")
                 }
                 Obj::I32(items) => {
@@ -512,6 +533,8 @@ impl JsVm {
 
     fn run(&mut self, floor: usize) -> Result<(), JsError> {
         let program = Rc::clone(&self.program);
+        let fused = Rc::clone(&self.fused);
+        let use_fused = !self.config.reference_exec;
         'outer: while self.frames.len() > floor {
             let frame_idx = self.frames.len() - 1;
             let chunk_idx = self.frames[frame_idx].chunk as usize;
@@ -531,6 +554,18 @@ impl JsVm {
                 // Instruction boundary: a GC-safe point (all live values
                 // are reachable from stack/locals/globals).
                 self.maybe_gc();
+                // Fused dispatch: at a pattern head, try the fused form.
+                // Guards run before any charge, so a fallback (`None`)
+                // leaves the virtual-cost state untouched and the plain
+                // op below replays the reference path exactly.
+                if use_fused {
+                    if let Some(fop) = fused[chunk_idx].ops[pc] {
+                        if let Some(next) = self.exec_fused(fop, pc, tier, locals_base)? {
+                            pc = next;
+                            continue;
+                        }
+                    }
+                }
                 let op = &chunk.code[pc];
                 self.steps += 1;
                 if self.steps > self.config.max_steps {
@@ -587,16 +622,13 @@ impl JsVm {
                     Op::Add => {
                         let b = self.stack.pop().expect("compiled");
                         let a = self.stack.pop().expect("compiled");
-                        let is_str = |vm: &Self, v: Value| {
-                            matches!(v, Value::Ref(r) if matches!(vm.heap.get(r), Obj::Str(_)))
-                        };
+                        let is_str = |vm: &Self, v: Value| matches!(v, Value::Ref(r) if matches!(vm.heap.get(r), Obj::Str(_)));
                         if is_str(self, a) || is_str(self, b) {
                             let s = format!("{}{}", self.stringify(a), self.stringify(b));
                             let r = self.alloc(Obj::Str(s));
                             self.stack.push(Value::Ref(r));
                         } else {
-                            self.stack
-                                .push(Value::Num(self.to_num(a) + self.to_num(b)));
+                            self.stack.push(Value::Num(self.to_num(a) + self.to_num(b)));
                         }
                     }
                     Op::Sub => {
@@ -757,8 +789,7 @@ impl JsVm {
                     Op::MakeObject { shape } => {
                         let keys = &chunk.object_shapes[*shape as usize];
                         let values = self.stack.split_off(self.stack.len() - keys.len());
-                        let fields: Vec<(u32, Value)> =
-                            keys.iter().copied().zip(values).collect();
+                        let fields: Vec<(u32, Value)> = keys.iter().copied().zip(values).collect();
                         let r = self.alloc(Obj::Obj(fields));
                         self.stack.push(Value::Ref(r));
                     }
@@ -859,6 +890,330 @@ impl JsVm {
         Ok(())
     }
 
+    /// Execute one fused micro-op if its fast-path guards hold.
+    ///
+    /// Returns `Ok(Some(next_pc))` when the fused form ran with every
+    /// constituent's virtual charge applied, or `Ok(None)` when a guard
+    /// failed — in which case *nothing* was charged and the caller must
+    /// execute the plain op at `pc`.
+    ///
+    /// Cost-equivalence invariant (see DESIGN.md): fast paths never
+    /// allocate, never grow heap bytes and never note hotness, so GC
+    /// safe-points and the tier are identical to the reference
+    /// interpreter's at every op boundary. The one permitted divergence
+    /// is *where* a `StepBudgetExhausted` error lands inside a group
+    /// (the budget is checked once per group, not per constituent);
+    /// budget-trapped runs are never measured.
+    fn exec_fused(
+        &mut self,
+        fop: FOp,
+        pc: usize,
+        tier: Tier,
+        locals_base: usize,
+    ) -> Result<Option<usize>, JsError> {
+        macro_rules! steps {
+            ($n:expr) => {
+                self.steps += $n;
+                if self.steps > self.config.max_steps {
+                    return Err(JsError::StepBudgetExhausted);
+                }
+            };
+        }
+        macro_rules! bump {
+            ($class:ident, $n:expr) => {
+                self.tier_counts[tier as usize].bump(wb_env::OpClass::$class, $n)
+            };
+        }
+        let local = |vm: &Self, i: u16| vm.locals[locals_base + i as usize];
+        match fop {
+            FOp::LLBin { a, b, op } => {
+                let (Value::Num(x), Value::Num(y)) = (local(self, a), local(self, b)) else {
+                    return Ok(None);
+                };
+                steps!(3);
+                bump!(Local, 2);
+                self.bump_bin(tier, op);
+                self.stack.push(Value::Num(op.apply(x, y)));
+                Ok(Some(pc + 3))
+            }
+            FOp::LLBinStore { a, b, op, dst } => {
+                let (Value::Num(x), Value::Num(y)) = (local(self, a), local(self, b)) else {
+                    return Ok(None);
+                };
+                steps!(4);
+                bump!(Local, 2);
+                self.bump_bin(tier, op);
+                bump!(Local, 1);
+                self.locals[locals_base + dst as usize] = Value::Num(op.apply(x, y));
+                Ok(Some(pc + 4))
+            }
+            FOp::LCBin { a, c, op } => {
+                let Value::Num(x) = local(self, a) else {
+                    return Ok(None);
+                };
+                steps!(3);
+                bump!(Local, 1);
+                bump!(Const, 1);
+                self.bump_bin(tier, op);
+                self.stack.push(Value::Num(op.apply(x, c)));
+                Ok(Some(pc + 3))
+            }
+            FOp::LCBinStore { a, c, op, dst } => {
+                let Value::Num(x) = local(self, a) else {
+                    return Ok(None);
+                };
+                steps!(4);
+                bump!(Local, 1);
+                bump!(Const, 1);
+                self.bump_bin(tier, op);
+                bump!(Local, 1);
+                self.locals[locals_base + dst as usize] = Value::Num(op.apply(x, c));
+                Ok(Some(pc + 4))
+            }
+            FOp::CStore { c, dst } => {
+                steps!(2);
+                bump!(Const, 1);
+                bump!(Local, 1);
+                self.locals[locals_base + dst as usize] = Value::Num(c);
+                Ok(Some(pc + 2))
+            }
+            FOp::CmpJf { op, target } => {
+                let n = self.stack.len();
+                let (Value::Num(x), Value::Num(y)) = (self.stack[n - 2], self.stack[n - 1]) else {
+                    return Ok(None);
+                };
+                steps!(2);
+                bump!(Compare, 1);
+                bump!(Branch, 1);
+                self.stack.truncate(n - 2);
+                Ok(Some(if op.apply(x, y) {
+                    pc + 2
+                } else {
+                    target as usize
+                }))
+            }
+            FOp::LLCmpJf { a, b, op, target } => {
+                let (Value::Num(x), Value::Num(y)) = (local(self, a), local(self, b)) else {
+                    return Ok(None);
+                };
+                steps!(4);
+                bump!(Local, 2);
+                bump!(Compare, 1);
+                bump!(Branch, 1);
+                Ok(Some(if op.apply(x, y) {
+                    pc + 4
+                } else {
+                    target as usize
+                }))
+            }
+            FOp::LCCmpJf { a, c, op, target } => {
+                let Value::Num(x) = local(self, a) else {
+                    return Ok(None);
+                };
+                steps!(4);
+                bump!(Local, 1);
+                bump!(Const, 1);
+                bump!(Compare, 1);
+                bump!(Branch, 1);
+                Ok(Some(if op.apply(x, c) {
+                    pc + 4
+                } else {
+                    target as usize
+                }))
+            }
+            FOp::LLGetIndex { obj, idx, ic } => {
+                let Value::Ref(r) = local(self, obj) else {
+                    return Ok(None);
+                };
+                let Value::Num(n) = local(self, idx) else {
+                    return Ok(None);
+                };
+                let Some((v, typed)) = self.ic_probe_load(ic, r, n) else {
+                    return Ok(None);
+                };
+                steps!(3);
+                bump!(Local, 2);
+                self.count_cached_index(tier, typed, false);
+                self.ic_hits += 1;
+                self.stack.push(v);
+                Ok(Some(pc + 3))
+            }
+            FOp::GetIndexIc { ic } => {
+                let n = self.stack.len();
+                let Value::Ref(r) = self.stack[n - 2] else {
+                    return Ok(None);
+                };
+                let Value::Num(num) = self.stack[n - 1] else {
+                    return Ok(None);
+                };
+                let Some((v, typed)) = self.ic_probe_load(ic, r, num) else {
+                    return Ok(None);
+                };
+                steps!(1);
+                self.count_cached_index(tier, typed, false);
+                self.ic_hits += 1;
+                self.stack.truncate(n - 2);
+                self.stack.push(v);
+                Ok(Some(pc + 1))
+            }
+            FOp::SetIndexIc { ic, pop } => {
+                let n = self.stack.len();
+                let (obj, idxv, val) = (self.stack[n - 3], self.stack[n - 2], self.stack[n - 1]);
+                let Value::Ref(r) = obj else {
+                    return Ok(None);
+                };
+                let Value::Num(i) = idxv else {
+                    return Ok(None);
+                };
+                let e = self.ic_state[ic as usize];
+                // Stores fast-path typed arrays only: a plain-array store
+                // can resize, which changes `bytes_since_gc` and thus GC
+                // timing — the reference path must handle those.
+                if e.obj != r || e.generation != self.heap.generation() || !e.kind.is_typed() {
+                    self.ic_refill(ic, r);
+                    return Ok(None);
+                }
+                let w = 1 + pop as usize;
+                steps!(w as u64);
+                self.count_cached_index(tier, true, true);
+                self.ic_hits += 1;
+                if i >= 0.0 && i.fract() == 0.0 {
+                    let idx = i as usize;
+                    let vn = self.to_num(val);
+                    let vi = num_to_int32(vn);
+                    match self.heap.get_mut(r) {
+                        Obj::F64(items) => {
+                            if let Some(slot) = items.get_mut(idx) {
+                                *slot = vn;
+                            }
+                        }
+                        Obj::I32(items) => {
+                            if let Some(slot) = items.get_mut(idx) {
+                                *slot = vi;
+                            }
+                        }
+                        Obj::U8(items) => {
+                            if let Some(slot) = items.get_mut(idx) {
+                                *slot = (vi & 0xff) as u8;
+                            }
+                        }
+                        // Typed-array stores never change heap/external
+                        // byte sizes, so the reference's note_resize is a
+                        // no-op here and is skipped.
+                        _ => {}
+                    }
+                }
+                if pop {
+                    // The SetIndex pushes `val`; the fused Pop (class
+                    // Other) immediately removes it again.
+                    bump!(Other, 1);
+                    self.stack.truncate(n - 3);
+                } else {
+                    self.stack[n - 3] = val;
+                    self.stack.truncate(n - 2);
+                }
+                Ok(Some(pc + w))
+            }
+        }
+    }
+
+    /// Charge class and Table 12 arithmetic for one fused binary op —
+    /// the same bumps the plain loop applies for the source op.
+    fn bump_bin(&mut self, tier: Tier, op: BinKind) {
+        self.tier_counts[tier as usize].bump(op.class(), 1);
+        match op {
+            BinKind::Add | BinKind::Sub => self.arith.add += 1,
+            BinKind::Mul => self.arith.mul += 1,
+            BinKind::Div => self.arith.div += 1,
+            BinKind::Mod => self.arith.rem += 1,
+            BinKind::Shl | BinKind::Shr | BinKind::UShr => self.arith.shift += 1,
+            BinKind::BitAnd => self.arith.and += 1,
+            BinKind::BitOr | BinKind::BitXor => self.arith.or += 1,
+        }
+    }
+
+    /// [`Self::count_index_op`] with the receiver's typedness taken from
+    /// the inline cache instead of a heap lookup.
+    fn count_cached_index(&mut self, tier: Tier, typed: bool, is_store: bool) {
+        let class = if is_store {
+            wb_env::OpClass::Store
+        } else {
+            wb_env::OpClass::Load
+        };
+        if typed && tier == Tier::Jit {
+            self.ta_counts.bump(class, 1);
+        } else {
+            self.tier_counts[tier as usize].bump(class, 1);
+        }
+    }
+
+    /// Probe the inline cache at site `ic` for a load from `Ref(r)` at
+    /// numeric index `n`. On a monomorphic hit, returns the element and
+    /// the receiver's typedness — a pure read (cached kinds never
+    /// allocate). On a miss, refills the cache and returns `None` so the
+    /// caller falls back to the reference path.
+    fn ic_probe_load(&mut self, ic: u32, r: u32, n: f64) -> Option<(Value, bool)> {
+        let e = self.ic_state[ic as usize];
+        if e.obj != r || e.generation != self.heap.generation() || e.kind == IcKind::None {
+            self.ic_refill(ic, r);
+            return None;
+        }
+        let v = if n < 0.0 || n.fract() != 0.0 {
+            Value::Undefined
+        } else {
+            let i = n as usize;
+            match (e.kind, self.heap.get(r)) {
+                (IcKind::Arr, Obj::Arr(items)) => items.get(i).copied().unwrap_or(Value::Undefined),
+                (IcKind::F64, Obj::F64(items)) => items
+                    .get(i)
+                    .map(|x| Value::Num(*x))
+                    .unwrap_or(Value::Undefined),
+                (IcKind::I32, Obj::I32(items)) => items
+                    .get(i)
+                    .map(|x| Value::Num(*x as f64))
+                    .unwrap_or(Value::Undefined),
+                (IcKind::U8, Obj::U8(items)) => items
+                    .get(i)
+                    .map(|x| Value::Num(*x as f64))
+                    .unwrap_or(Value::Undefined),
+                // Cache/heap disagreement cannot happen while the
+                // generation matches (objects never change variant and
+                // slots are only recycled by GC), but fall back safely.
+                _ => {
+                    self.ic_refill(ic, r);
+                    return None;
+                }
+            }
+        };
+        Some((v, e.kind.is_typed()))
+    }
+
+    /// Refill the cache at site `ic` from receiver `r`, if its kind is
+    /// cacheable. Strings and plain objects are not: string indexing
+    /// allocates a fresh one-char string, so it must stay on the
+    /// reference path.
+    fn ic_refill(&mut self, ic: u32, r: u32) {
+        self.ic_misses += 1;
+        let kind = match self.heap.get(r) {
+            Obj::Arr(_) => IcKind::Arr,
+            Obj::F64(_) => IcKind::F64,
+            Obj::I32(_) => IcKind::I32,
+            Obj::U8(_) => IcKind::U8,
+            Obj::Str(_) | Obj::Obj(_) => return,
+        };
+        self.ic_state[ic as usize] = IcEntry {
+            generation: self.heap.generation(),
+            obj: r,
+            kind,
+        };
+    }
+
+    /// Inline-cache effectiveness counters: `(hits, misses)`. Host-side
+    /// diagnostics only — never part of any measurement.
+    pub fn ic_stats(&self) -> (u64, u64) {
+        (self.ic_hits, self.ic_misses)
+    }
+
     fn count_index_op(&mut self, tier: Tier, obj: Value, is_store: bool) {
         let class = if is_store {
             wb_env::OpClass::Store
@@ -886,7 +1241,10 @@ impl JsVm {
         let i = i as usize;
         Ok(match self.heap.get(r) {
             Obj::Arr(items) => items.get(i).copied().unwrap_or(Value::Undefined),
-            Obj::F64(items) => items.get(i).map(|v| Value::Num(*v)).unwrap_or(Value::Undefined),
+            Obj::F64(items) => items
+                .get(i)
+                .map(|v| Value::Num(*v))
+                .unwrap_or(Value::Undefined),
             Obj::I32(items) => items
                 .get(i)
                 .map(|v| Value::Num(*v as f64))
@@ -1013,12 +1371,10 @@ impl JsVm {
             (o.heap_bytes(), o.external_bytes())
         };
         match self.heap.get_mut(r) {
-            Obj::Obj(fields) => {
-                match fields.iter_mut().find(|(k, _)| *k == ni) {
-                    Some((_, slot)) => *slot = val,
-                    None => fields.push((ni, val)),
-                }
-            }
+            Obj::Obj(fields) => match fields.iter_mut().find(|(k, _)| *k == ni) {
+                Some((_, slot)) => *slot = val,
+                None => fields.push((ni, val)),
+            },
             _ => return Ok(()), // length etc. are read-only in MiniJS
         }
         self.heap.note_resize(oh, oe, r);
@@ -1032,7 +1388,8 @@ impl JsVm {
         args: &[Value],
     ) -> Result<MethodOutcome, JsError> {
         let name = self.program.name(ni).to_string();
-        let arg_num = |vm: &Self, i: usize| vm.to_num(args.get(i).copied().unwrap_or(Value::Undefined));
+        let arg_num =
+            |vm: &Self, i: usize| vm.to_num(args.get(i).copied().unwrap_or(Value::Undefined));
         match obj {
             Value::Builtin(Builtin::Math) => {
                 let x = arg_num(self, 0);
@@ -1087,8 +1444,14 @@ impl JsVm {
                 if name == "now" {
                     let mut clock = self.clock.clone();
                     let p = &self.config.profile;
-                    let interp = self.config.cost.cycles(&self.tier_counts[0], p.interp_multiplier);
-                    let jit = self.config.cost.cycles(&self.tier_counts[1], p.jit_multiplier);
+                    let interp = self
+                        .config
+                        .cost
+                        .cycles(&self.tier_counts[0], p.interp_multiplier);
+                    let jit = self
+                        .config
+                        .cost
+                        .cycles(&self.tier_counts[1], p.jit_multiplier);
                     let ta = self
                         .config
                         .cost
@@ -1186,9 +1549,7 @@ impl JsVm {
                     }
                     Obj::Arr(_) => self.array_method(r, &name, args),
                     Obj::Str(s) => self.string_method(&s, &name, args),
-                    Obj::F64(_) | Obj::I32(_) | Obj::U8(_) => {
-                        self.typed_method(r, &name, args)
-                    }
+                    Obj::F64(_) | Obj::I32(_) | Obj::U8(_) => self.typed_method(r, &name, args),
                 }
             }
             other => self.type_error(format!(
@@ -1268,7 +1629,8 @@ impl JsVm {
         name: &str,
         args: &[Value],
     ) -> Result<MethodOutcome, JsError> {
-        let arg_num = |vm: &Self, i: usize| vm.to_num(args.get(i).copied().unwrap_or(Value::Undefined));
+        let arg_num =
+            |vm: &Self, i: usize| vm.to_num(args.get(i).copied().unwrap_or(Value::Undefined));
         let out = match name {
             "charCodeAt" => {
                 let i = arg_num(self, 0);
@@ -1372,6 +1734,28 @@ enum MethodOutcome {
     EnterFrame,
 }
 
+/// JS `ToInt32` on an already-numeric value. The single definition both
+/// the reference arms (via [`JsVm::to_int32`]) and the fused fast paths
+/// use, so their coercion semantics cannot drift.
+pub(crate) fn num_to_int32(n: f64) -> i32 {
+    if !n.is_finite() {
+        return 0;
+    }
+    let t = n.trunc();
+    let m = t.rem_euclid(4294967296.0);
+    let m = if m >= 2147483648.0 {
+        m - 4294967296.0
+    } else {
+        m
+    };
+    m as i32
+}
+
+/// JS `ToUint32` on an already-numeric value.
+pub(crate) fn num_to_uint32(n: f64) -> u32 {
+    num_to_int32(n) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1385,22 +1769,26 @@ mod tests {
     #[test]
     fn arithmetic_and_calls() {
         let mut v = vm("function add(a, b) { return a + b * 2; }");
-        let r = v.call("add", &[JsValue::Num(1.0), JsValue::Num(3.0)]).unwrap();
+        let r = v
+            .call("add", &[JsValue::Num(1.0), JsValue::Num(3.0)])
+            .unwrap();
         assert_eq!(r, JsValue::Num(7.0));
     }
 
     #[test]
     fn loops_and_locals() {
-        let mut v = vm("function sum(n) { var s = 0; for (var i = 1; i <= n; i++) s += i; return s; }");
-        assert_eq!(v.call("sum", &[JsValue::Num(100.0)]).unwrap(), JsValue::Num(5050.0));
+        let mut v =
+            vm("function sum(n) { var s = 0; for (var i = 1; i <= n; i++) s += i; return s; }");
+        assert_eq!(
+            v.call("sum", &[JsValue::Num(100.0)]).unwrap(),
+            JsValue::Num(5050.0)
+        );
     }
 
     #[test]
     fn strings_concat_and_methods() {
-        let mut v = vm(
-            "function greet(name) { return 'hello ' + name + '!'; }\n\
-             function code(s) { return s.charCodeAt(1); }",
-        );
+        let mut v = vm("function greet(name) { return 'hello ' + name + '!'; }\n\
+             function code(s) { return s.charCodeAt(1); }");
         assert_eq!(
             v.call("greet", &[JsValue::Str("js".into())]).unwrap(),
             JsValue::Str("hello js!".into())
@@ -1413,27 +1801,29 @@ mod tests {
 
     #[test]
     fn typed_arrays_work() {
-        let mut v = vm(
-            "function dot(n) {\n\
+        let mut v = vm("function dot(n) {\n\
                var a = new Float64Array(n); var b = new Float64Array(n);\n\
                for (var i = 0; i < n; i++) { a[i] = i; b[i] = 2; }\n\
                var s = 0;\n\
                for (var i = 0; i < n; i++) s += a[i] * b[i];\n\
                return s;\n\
-             }",
+             }");
+        assert_eq!(
+            v.call("dot", &[JsValue::Num(10.0)]).unwrap(),
+            JsValue::Num(90.0)
         );
-        assert_eq!(v.call("dot", &[JsValue::Num(10.0)]).unwrap(), JsValue::Num(90.0));
         let rep = v.report();
         assert!(rep.heap.external_bytes > 0, "typed arrays are external");
     }
 
     #[test]
     fn objects_and_methods() {
-        let mut v = vm(
-            "var lib = { scale: function (x) { return x * 10; } };\n\
-             function use(v) { return lib.scale(v) + 1; }",
+        let mut v = vm("var lib = { scale: function (x) { return x * 10; } };\n\
+             function use(v) { return lib.scale(v) + 1; }");
+        assert_eq!(
+            v.call("use", &[JsValue::Num(4.0)]).unwrap(),
+            JsValue::Num(41.0)
         );
-        assert_eq!(v.call("use", &[JsValue::Num(4.0)]).unwrap(), JsValue::Num(41.0));
     }
 
     #[test]
@@ -1482,11 +1872,9 @@ mod tests {
 
     #[test]
     fn console_and_performance() {
-        let mut v = vm(
-            "var t0 = performance.now();\n\
+        let mut v = vm("var t0 = performance.now();\n\
              console.log('answer', 42, true);\n\
-             var t1 = performance.now();",
-        );
+             var t1 = performance.now();");
         assert_eq!(v.output, vec!["answer 42 true"]);
         let t0 = v.global("t0").unwrap().as_num();
         let t1 = v.global("t1").unwrap().as_num();
@@ -1495,9 +1883,7 @@ mod tests {
 
     #[test]
     fn crypto_sha256_via_w3c_style_api() {
-        let mut v = vm(
-            "function h(s) { var d = crypto.sha256(s); return d[0] * 256 + d[1]; }",
-        );
+        let mut v = vm("function h(s) { var d = crypto.sha256(s); return d[0] * 256 + d[1]; }");
         // sha256("abc") begins 0xba 0x78.
         assert_eq!(
             v.call("h", &[JsValue::Str("abc".into())]).unwrap(),
@@ -1518,7 +1904,8 @@ mod tests {
     fn bitwise_ops_coerce_to_int32() {
         let mut v = vm("function f(a, b) { return ((a | 0) + (b >>> 1)) ^ 3; }");
         assert_eq!(
-            v.call("f", &[JsValue::Num(5.9), JsValue::Num(7.0)]).unwrap(),
+            v.call("f", &[JsValue::Num(5.9), JsValue::Num(7.0)])
+                .unwrap(),
             JsValue::Num(((5 + 3) ^ 3) as f64)
         );
     }
@@ -1556,8 +1943,7 @@ mod tests {
 
     #[test]
     fn break_and_continue() {
-        let mut v = vm(
-            "function f(n) {\n\
+        let mut v = vm("function f(n) {\n\
                var s = 0;\n\
                for (var i = 0; i < n; i++) {\n\
                  if (i % 2 === 0) continue;\n\
@@ -1565,21 +1951,24 @@ mod tests {
                  s += i;\n\
                }\n\
                return s;\n\
-             }",
-        );
+             }");
         // odd numbers 1..=9: 1+3+5+7+9 = 25
-        assert_eq!(v.call("f", &[JsValue::Num(100.0)]).unwrap(), JsValue::Num(25.0));
+        assert_eq!(
+            v.call("f", &[JsValue::Num(100.0)]).unwrap(),
+            JsValue::Num(25.0)
+        );
     }
 
     #[test]
     fn ternary_and_logical_short_circuit() {
-        let mut v = vm(
-            "var calls = 0;\n\
+        let mut v = vm("var calls = 0;\n\
              function bump() { calls = calls + 1; return true; }\n\
              function f(x) { return x > 0 ? 'pos' : 'neg'; }\n\
-             function g() { var r = false && bump(); var s = true || bump(); return calls; }",
+             function g() { var r = false && bump(); var s = true || bump(); return calls; }");
+        assert_eq!(
+            v.call("f", &[JsValue::Num(5.0)]).unwrap(),
+            JsValue::Str("pos".into())
         );
-        assert_eq!(v.call("f", &[JsValue::Num(5.0)]).unwrap(), JsValue::Str("pos".into()));
         assert_eq!(v.call("g", &[]).unwrap(), JsValue::Num(0.0));
     }
 }

@@ -1,0 +1,292 @@
+//! Fused-vs-reference differential tests for the MiniJS VM, plus
+//! inline-cache behaviour tests.
+//!
+//! The fused overlay and inline caches exist purely to make the host
+//! run faster; they must be invisible in every measured quantity. Each
+//! differential test runs the same script through both modes
+//! (`reference_exec` toggled) and asserts the *entire* report matches
+//! to the bit — virtual time, per-bucket clock attribution, per-class
+//! and per-tier op counts, Table 12 arithmetic profile, heap statistics
+//! and JIT compiles — alongside results and console output.
+
+use wb_env::JitMode;
+use wb_jsvm::{JsReport, JsValue, JsVm, JsVmConfig};
+
+fn config(reference_exec: bool, jit: JitMode) -> JsVmConfig {
+    let mut cfg = JsVmConfig::reference();
+    cfg.jit = jit;
+    cfg.reference_exec = reference_exec;
+    cfg
+}
+
+/// Compare every field of two reports bit-exactly (floats via to_bits).
+fn assert_reports_identical(a: &JsReport, b: &JsReport) {
+    assert_eq!(a.total.0.to_bits(), b.total.0.to_bits(), "total time");
+    assert_eq!(
+        a.clock.load_time.0.to_bits(),
+        b.clock.load_time.0.to_bits(),
+        "load time"
+    );
+    assert_eq!(
+        a.clock.compile_time.0.to_bits(),
+        b.clock.compile_time.0.to_bits(),
+        "compile time"
+    );
+    assert_eq!(
+        a.clock.exec_time.0.to_bits(),
+        b.clock.exec_time.0.to_bits(),
+        "exec time"
+    );
+    assert_eq!(
+        a.clock.gc_time.0.to_bits(),
+        b.clock.gc_time.0.to_bits(),
+        "gc time"
+    );
+    assert_eq!(a.counts.0, b.counts.0, "op counts by class");
+    assert_eq!(
+        a.interp_counts.0, b.interp_counts.0,
+        "interp-tier op counts"
+    );
+    assert_eq!(a.heap, b.heap, "heap stats");
+    assert_eq!(a.arith, b.arith, "arith profile");
+    assert_eq!(a.jit_compiles, b.jit_compiles, "jit compiles");
+    assert_eq!(a.code_ops, b.code_ops, "code ops");
+}
+
+/// Run `entry(args)` after loading `src` in both modes, under both JIT
+/// settings; assert results, output and reports all match. Returns the
+/// (common) result from the JIT-enabled run.
+fn run_both(src: &str, entry: &str, args: &[JsValue]) -> JsValue {
+    let mut result = None;
+    for jit in [JitMode::Enabled, JitMode::Disabled] {
+        let mut outcome: Option<(JsValue, Vec<String>, JsReport)> = None;
+        for reference_exec in [true, false] {
+            let mut vm = JsVm::new(config(reference_exec, jit));
+            vm.load(src).expect("script loads");
+            let r = vm.call(entry, args).expect("call succeeds");
+            let report = vm.report();
+            match &outcome {
+                None => outcome = Some((r, vm.output.clone(), report)),
+                Some((ref_r, ref_out, ref_report)) => {
+                    assert_eq!(*ref_r, r, "result (jit {jit:?})");
+                    assert_eq!(*ref_out, vm.output, "console output (jit {jit:?})");
+                    assert_reports_identical(ref_report, &report);
+                }
+            }
+        }
+        if jit == JitMode::Enabled {
+            result = outcome.map(|(r, _, _)| r);
+        }
+    }
+    result.unwrap()
+}
+
+#[test]
+fn hot_numeric_loop_matches() {
+    // Exercises LCCmpJf / LLCmpJf, LCBinStore (i++), LLBinStore and
+    // tier-up under JIT.
+    let src = "function sum(n) {\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i = i + 1) { s = s + i; }\n\
+               return s;\n\
+             }";
+    assert_eq!(
+        run_both(src, "sum", &[JsValue::Num(20000.0)]),
+        JsValue::Num(199990000.0)
+    );
+}
+
+#[test]
+fn typed_array_kernel_matches() {
+    // Exercises LLGetIndex / SetIndexIc on Float64Array, including the
+    // JIT typed-array counting split (ta_counts).
+    let src = "function dot(n) {\n\
+               var a = new Float64Array(n);\n\
+               var b = new Float64Array(n);\n\
+               for (var i = 0; i < n; i = i + 1) { a[i] = i * 0.5; b[i] = 2; }\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }\n\
+               return s;\n\
+             }";
+    assert_eq!(
+        run_both(src, "dot", &[JsValue::Num(5000.0)]),
+        JsValue::Num((0..5000).map(|i| i as f64 * 0.5 * 2.0).sum::<f64>())
+    );
+}
+
+#[test]
+fn int32_and_u8_arrays_match() {
+    let src = "function mix(n) {\n\
+               var a = new Int32Array(n);\n\
+               var b = new Uint8Array(n);\n\
+               for (var i = 0; i < n; i = i + 1) { a[i] = i * 7; b[i] = i * 3; }\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i = i + 1) { s = s + (a[i] ^ b[i]); }\n\
+               return s;\n\
+             }";
+    let expect: i32 = (0..2000).map(|i| (i * 7) ^ ((i * 3) & 0xff)).sum();
+    assert_eq!(
+        run_both(src, "mix", &[JsValue::Num(2000.0)]),
+        JsValue::Num(expect as f64)
+    );
+}
+
+#[test]
+fn plain_arrays_and_growth_match() {
+    // Plain-array stores resize (bytes_since_gc growth) and must stay
+    // on the reference path; reads may use the IC.
+    let src = "function build(n) {\n\
+               var a = [];\n\
+               for (var i = 0; i < n; i = i + 1) { a[i] = i * 2; }\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i = i + 1) { s = s + a[i]; }\n\
+               return s;\n\
+             }";
+    assert_eq!(
+        run_both(src, "build", &[JsValue::Num(3000.0)]),
+        JsValue::Num((0..3000).map(|i| (i * 2) as f64).sum())
+    );
+}
+
+#[test]
+fn string_paths_fall_back_and_match() {
+    // String concatenation (allocating Add) and string indexing
+    // (allocating GetIndex) must take the reference path — and still
+    // produce identical measurements.
+    let src = "function weave(n) {\n\
+               var s = '';\n\
+               for (var i = 0; i < n; i = i + 1) { s = s + 'ab'[i % 2]; }\n\
+               return s.length;\n\
+             }";
+    assert_eq!(
+        run_both(src, "weave", &[JsValue::Num(64.0)]),
+        JsValue::Num(64.0)
+    );
+}
+
+#[test]
+fn gc_churn_matches() {
+    // Allocation churn with GC in the middle of fused loops: pause
+    // charges, heap stats and post-GC cache invalidation must all be
+    // measurement-invisible.
+    let src = "function churn(n) {\n\
+               var keep = [];\n\
+               for (var i = 0; i < n; i = i + 1) {\n\
+                 var t = [i, i + 1, i + 2];\n\
+                 if (i % 50 === 0) { keep.push(t); }\n\
+               }\n\
+               var s = 0;\n\
+               for (var j = 0; j < keep.length; j = j + 1) { s = s + keep[j][0]; }\n\
+               return s;\n\
+             }";
+    let mut outcome: Option<(JsValue, JsReport)> = None;
+    for reference_exec in [true, false] {
+        let mut cfg = config(reference_exec, JitMode::Enabled);
+        cfg.profile.gc.trigger_bytes = 16 * 1024;
+        let mut vm = JsVm::new(cfg);
+        vm.load(src).unwrap();
+        let r = vm.call("churn", &[JsValue::Num(4000.0)]).unwrap();
+        let report = vm.report();
+        assert!(report.heap.gc_count > 0, "GC must have run");
+        match &outcome {
+            None => outcome = Some((r, report)),
+            Some((ref_r, ref_report)) => {
+                assert_eq!(*ref_r, r);
+                assert_reports_identical(ref_report, &report);
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_arithmetic_and_compares_match() {
+    let src = "function f(n) {\n\
+               var x = 1.5;\n\
+               var k = 0;\n\
+               for (var i = 1; i <= n; i = i + 1) {\n\
+                 x = (x * 3.0) % 97.0 + i / 7.0 - (i % 5);\n\
+                 if (x > 50.0) { k = k + 1; }\n\
+                 if (x === 12.0) { k = k + 100; }\n\
+               }\n\
+               return k + x;\n\
+             }";
+    run_both(src, "f", &[JsValue::Num(5000.0)]);
+}
+
+// ---- inline-cache behaviour ---------------------------------------------
+
+#[test]
+fn ic_hits_dominate_on_monomorphic_typed_loops() {
+    let src = "function fill(n) {\n\
+               var a = new Float64Array(n);\n\
+               for (var i = 0; i < n; i = i + 1) { a[i] = i; }\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i = i + 1) { s = s + a[i]; }\n\
+               return s;\n\
+             }";
+    let mut vm = JsVm::new(JsVmConfig::reference());
+    vm.load(src).unwrap();
+    vm.call("fill", &[JsValue::Num(10000.0)]).unwrap();
+    let (hits, misses) = vm.ic_stats();
+    assert!(hits > 15000, "expected ~2n hits, got {hits}");
+    assert!(
+        misses <= 4,
+        "monomorphic sites should miss at most once each, got {misses}"
+    );
+}
+
+#[test]
+fn ic_misses_on_receiver_change() {
+    // The same call site alternates between two arrays: each swap is a
+    // miss (monomorphic cache keyed on the receiver reference).
+    let src = "var a = new Float64Array(4);\n\
+             var b = new Float64Array(4);\n\
+             function pick(flag, i) { var t = flag ? a : b; return t[i]; }";
+    let mut vm = JsVm::new(JsVmConfig::reference());
+    vm.load(src).unwrap();
+    for i in 0..10 {
+        let flag = JsValue::Bool(i % 2 == 0);
+        vm.call("pick", &[flag, JsValue::Num(1.0)]).unwrap();
+    }
+    let (_, misses) = vm.ic_stats();
+    assert!(
+        misses >= 10,
+        "alternating receivers must keep missing, got {misses}"
+    );
+}
+
+#[test]
+fn ic_invalidated_by_gc() {
+    // A GC between accesses bumps the heap generation, so the next
+    // access misses even with the same receiver.
+    let src = "var a = new Float64Array(8);\n\
+             function read(i) { return a[i]; }\n\
+             function churn(n) {\n\
+               for (var i = 0; i < n; i = i + 1) { var t = [i, i, i, i]; }\n\
+               return 0;\n\
+             }";
+    let mut cfg = JsVmConfig::reference();
+    cfg.profile.gc.trigger_bytes = 8 * 1024;
+    let mut vm = JsVm::new(cfg);
+    vm.load(src).unwrap();
+
+    vm.call("read", &[JsValue::Num(1.0)]).unwrap(); // fill
+    vm.call("read", &[JsValue::Num(2.0)]).unwrap(); // hit
+    let (hits_before, misses_before) = vm.ic_stats();
+    assert!(hits_before >= 1);
+
+    vm.call("churn", &[JsValue::Num(2000.0)]).unwrap(); // forces GC
+    assert!(vm.report().heap.gc_count > 0, "churn must trigger GC");
+
+    vm.call("read", &[JsValue::Num(3.0)]).unwrap(); // miss: generation moved
+    let (_, misses_after) = vm.ic_stats();
+    assert!(
+        misses_after > misses_before,
+        "GC must invalidate the cache ({misses_before} -> {misses_after})"
+    );
+
+    vm.call("read", &[JsValue::Num(4.0)]).unwrap(); // re-filled: hit again
+    let (hits_final, misses_final) = vm.ic_stats();
+    assert_eq!(misses_final, misses_after, "refill restores hits");
+    assert!(hits_final > hits_before);
+}

@@ -95,7 +95,9 @@ fn eval_ref(e: &NumExpr, vars: &[f64; 3]) -> f64 {
 fn lexer_and_parser_never_panic() {
     // Random printable-ish strings, including multi-byte chars.
     let alphabet: Vec<char> =
-        ("abcXYZ012 \t\n(){};=+-*/<>!&|'\"\\.,:?[]_%#~^\u{e9}\u{3bb}\u{1f600}").chars().collect();
+        ("abcXYZ012 \t\n(){};=+-*/<>!&|'\"\\.,:?[]_%#~^\u{e9}\u{3bb}\u{1f600}")
+            .chars()
+            .collect();
     for seed in 0..128u64 {
         let mut rng = Lcg::new(seed);
         let src: String = (0..rng.index(200))

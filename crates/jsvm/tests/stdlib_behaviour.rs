@@ -20,7 +20,10 @@ fn math_surface() {
         panic!("array expected")
     };
     let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
-    assert_eq!(nums, vec![2.0, 3.0, 3.0, -2.0, 3.0, 2.0, 9.0, 81.0, 131073.0]);
+    assert_eq!(
+        nums,
+        vec![2.0, 3.0, 3.0, -2.0, 3.0, 2.0, 9.0, 81.0, 131073.0]
+    );
 }
 
 #[test]

@@ -612,7 +612,10 @@ impl<'a> Evaluator<'a> {
                         HCmpOp::Ge => x >= y,
                     }
                 } else if operand_ty.unsigned() {
-                    let (x, y) = (to_unsigned(av.as_i(), *operand_ty), to_unsigned(bv.as_i(), *operand_ty));
+                    let (x, y) = (
+                        to_unsigned(av.as_i(), *operand_ty),
+                        to_unsigned(bv.as_i(), *operand_ty),
+                    );
                     match op {
                         HCmpOp::Eq => x == y,
                         HCmpOp::Ne => x != y,
@@ -914,7 +917,11 @@ pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".into()
     } else if v.is_infinite() {
-        if v > 0.0 { "Infinity".into() } else { "-Infinity".into() }
+        if v > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        }
     } else if v == v.trunc() && v.abs() < 1e21 {
         format!("{}", v as i64)
     } else {
@@ -976,9 +983,7 @@ mod tests {
 
     #[test]
     fn unsigned_arithmetic_matches_c() {
-        let p = program(
-            "unsigned int f(unsigned int a, unsigned int b) { return a / b; }",
-        );
+        let p = program("unsigned int f(unsigned int a, unsigned int b) { return a / b; }");
         // 0xFFFFFFFF / 2 = 0x7FFFFFFF under unsigned semantics.
         let out = p.run("f", &[-1, 2]).unwrap();
         assert_eq!(out.result.map(|v| v as i32), Some(0x7fffffff));

@@ -124,11 +124,9 @@ fn substitute_induction(e: &HExpr, slot: LocalId, offset: i64, ty: Ty) -> HExpr 
             Box::new(HExpr::ConstI(offset, ty)),
             *t,
         ),
-        HExpr::Unary(op, a, t) => HExpr::Unary(
-            *op,
-            Box::new(substitute_induction(a, slot, offset, ty)),
-            *t,
-        ),
+        HExpr::Unary(op, a, t) => {
+            HExpr::Unary(*op, Box::new(substitute_induction(a, slot, offset, ty)), *t)
+        }
         HExpr::Binary(op, a, b, t) => HExpr::Binary(
             *op,
             Box::new(substitute_induction(a, slot, offset, ty)),
@@ -174,11 +172,7 @@ fn substitute_induction(e: &HExpr, slot: LocalId, offset: i64, ty: Ty) -> HExpr 
             ty: *t,
             str_arg: *str_arg,
         },
-        HExpr::Elem {
-            array,
-            idx,
-            ty: t,
-        } => HExpr::Elem {
+        HExpr::Elem { array, idx, ty: t } => HExpr::Elem {
             array: *array,
             idx: idx
                 .iter()

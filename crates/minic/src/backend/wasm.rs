@@ -160,7 +160,10 @@ impl<'a> Emitter<'a> {
             Toolchain::Cheerp => {
                 // Static data is mapped up front; the runtime acquires its
                 // stack page and heap arena via memory.grow at startup.
-                (data_pages.max(self.opts.profile.initial_memory_pages as u64), 2u32)
+                (
+                    data_pages.max(self.opts.profile.initial_memory_pages as u64),
+                    2u32,
+                )
             }
             Toolchain::Emscripten => (
                 data_pages.max(self.opts.profile.initial_memory_pages as u64),
@@ -204,9 +207,7 @@ impl<'a> Emitter<'a> {
                         bytes.extend_from_slice(&(v.as_i64() as i32).to_le_bytes())
                     }
                     ElemTy::I64 { .. } => bytes.extend_from_slice(&v.as_i64().to_le_bytes()),
-                    ElemTy::F32 => {
-                        bytes.extend_from_slice(&(v.as_f64() as f32).to_le_bytes())
-                    }
+                    ElemTy::F32 => bytes.extend_from_slice(&(v.as_f64() as f32).to_le_bytes()),
                     ElemTy::F64 => bytes.extend_from_slice(&v.as_f64().to_le_bytes()),
                 }
             }
@@ -252,7 +253,9 @@ impl<'a> Emitter<'a> {
                 body.push(Instr::Drop);
             }
             body.push(Instr::End);
-            let ti = self.module.intern_type(wb_wasm::FuncType::new(vec![], vec![]));
+            let ti = self
+                .module
+                .intern_type(wb_wasm::FuncType::new(vec![], vec![]));
             let start_index = self.module.func_count() as u32;
             self.module.functions.push(wb_wasm::Function {
                 type_index: ti,
@@ -265,7 +268,6 @@ impl<'a> Emitter<'a> {
 
         Ok(())
     }
-
 
     /// Emit the bundled runtime: memcpy/memset/memmove/memcmp, a bump
     /// allocator over a heap-pointer global, and the ctype/dtoa data
@@ -284,7 +286,11 @@ impl<'a> Emitter<'a> {
         });
         let heap_ptr = (self.module.globals.len() - 1) as u32;
 
-        let mut emit = |name: &str, params: Vec<ValType>, results: Vec<ValType>, locals: Vec<ValType>, body: Vec<Instr>| {
+        let mut emit = |name: &str,
+                        params: Vec<ValType>,
+                        results: Vec<ValType>,
+                        locals: Vec<ValType>,
+                        body: Vec<Instr>| {
             let ti = self
                 .module
                 .intern_type(wb_wasm::FuncType::new(params, results));
@@ -305,13 +311,22 @@ impl<'a> Emitter<'a> {
             vec![
                 Block(BlockType::Empty),
                 Loop(BlockType::Empty),
-                LocalGet(3), LocalGet(2), I32GeU, BrIf(1),
-                LocalGet(0), LocalGet(3), I32Add,
+                LocalGet(3),
+                LocalGet(2),
+                I32GeU,
+                BrIf(1),
+                LocalGet(0),
+                LocalGet(3),
+                I32Add,
                 LocalGet(1),
                 I32Store8(MemArg::natural(1)),
-                LocalGet(3), I32Const(1), I32Add, LocalSet(3),
+                LocalGet(3),
+                I32Const(1),
+                I32Add,
+                LocalSet(3),
                 Br(0),
-                End, End,
+                End,
+                End,
                 LocalGet(0),
                 End,
             ],
@@ -325,14 +340,25 @@ impl<'a> Emitter<'a> {
             vec![
                 Block(BlockType::Empty),
                 Loop(BlockType::Empty),
-                LocalGet(3), LocalGet(2), I32GeU, BrIf(1),
-                LocalGet(0), LocalGet(3), I32Add,
-                LocalGet(1), LocalGet(3), I32Add,
+                LocalGet(3),
+                LocalGet(2),
+                I32GeU,
+                BrIf(1),
+                LocalGet(0),
+                LocalGet(3),
+                I32Add,
+                LocalGet(1),
+                LocalGet(3),
+                I32Add,
                 I32Load8U(MemArg::natural(1)),
                 I32Store8(MemArg::natural(1)),
-                LocalGet(3), I32Const(1), I32Add, LocalSet(3),
+                LocalGet(3),
+                I32Const(1),
+                I32Add,
+                LocalSet(3),
                 Br(0),
-                End, End,
+                End,
+                End,
                 LocalGet(0),
                 End,
             ],
@@ -344,17 +370,28 @@ impl<'a> Emitter<'a> {
             vec![ValType::I32],
             vec![ValType::I32],
             vec![
-                LocalGet(2), LocalSet(3),
+                LocalGet(2),
+                LocalSet(3),
                 Block(BlockType::Empty),
                 Loop(BlockType::Empty),
-                LocalGet(3), I32Eqz, BrIf(1),
-                LocalGet(3), I32Const(1), I32Sub, LocalSet(3),
-                LocalGet(0), LocalGet(3), I32Add,
-                LocalGet(1), LocalGet(3), I32Add,
+                LocalGet(3),
+                I32Eqz,
+                BrIf(1),
+                LocalGet(3),
+                I32Const(1),
+                I32Sub,
+                LocalSet(3),
+                LocalGet(0),
+                LocalGet(3),
+                I32Add,
+                LocalGet(1),
+                LocalGet(3),
+                I32Add,
                 I32Load8U(MemArg::natural(1)),
                 I32Store8(MemArg::natural(1)),
                 Br(0),
-                End, End,
+                End,
+                End,
                 LocalGet(0),
                 End,
             ],
@@ -368,19 +405,33 @@ impl<'a> Emitter<'a> {
             vec![
                 Block(BlockType::Empty),
                 Loop(BlockType::Empty),
-                LocalGet(3), LocalGet(2), I32GeU, BrIf(1),
-                LocalGet(0), LocalGet(3), I32Add, I32Load8U(MemArg::natural(1)),
-                LocalGet(1), LocalGet(3), I32Add, I32Load8U(MemArg::natural(1)),
+                LocalGet(3),
+                LocalGet(2),
+                I32GeU,
+                BrIf(1),
+                LocalGet(0),
+                LocalGet(3),
+                I32Add,
+                I32Load8U(MemArg::natural(1)),
+                LocalGet(1),
+                LocalGet(3),
+                I32Add,
+                I32Load8U(MemArg::natural(1)),
                 I32Sub,
                 LocalTee(4),
                 I32Eqz,
                 If(BlockType::Empty),
                 Else,
-                LocalGet(4), Return,
+                LocalGet(4),
+                Return,
                 End,
-                LocalGet(3), I32Const(1), I32Add, LocalSet(3),
+                LocalGet(3),
+                I32Const(1),
+                I32Add,
+                LocalSet(3),
                 Br(0),
-                End, End,
+                End,
+                End,
                 I32Const(0),
                 End,
             ],
@@ -394,11 +445,19 @@ impl<'a> Emitter<'a> {
             vec![
                 Block(BlockType::Empty),
                 Loop(BlockType::Empty),
-                LocalGet(0), LocalGet(1), I32Add, I32Load8U(MemArg::natural(1)),
-                I32Eqz, BrIf(1),
-                LocalGet(1), I32Const(1), I32Add, LocalSet(1),
+                LocalGet(0),
+                LocalGet(1),
+                I32Add,
+                I32Load8U(MemArg::natural(1)),
+                I32Eqz,
+                BrIf(1),
+                LocalGet(1),
+                I32Const(1),
+                I32Add,
+                LocalSet(1),
                 Br(0),
-                End, End,
+                End,
+                End,
                 LocalGet(1),
                 End,
             ],
@@ -410,17 +469,26 @@ impl<'a> Emitter<'a> {
             vec![ValType::I32],
             vec![ValType::I32],
             vec![
-                GlobalGet(heap_ptr), LocalSet(1),
                 GlobalGet(heap_ptr),
-                LocalGet(0), I32Const(7), I32Add, I32Const(-8), I32And,
+                LocalSet(1),
+                GlobalGet(heap_ptr),
+                LocalGet(0),
+                I32Const(7),
+                I32Add,
+                I32Const(-8),
+                I32And,
                 I32Add,
                 GlobalSet(heap_ptr),
                 // Grow if the new break passed the current memory size.
                 GlobalGet(heap_ptr),
-                MemorySize, I32Const(16), I32Shl,
+                MemorySize,
+                I32Const(16),
+                I32Shl,
                 I32GtU,
                 If(BlockType::Empty),
-                I32Const(1), MemoryGrow, Drop,
+                I32Const(1),
+                MemoryGrow,
+                Drop,
                 End,
                 LocalGet(1),
                 End,
@@ -443,14 +511,28 @@ impl<'a> Emitter<'a> {
             vec![
                 Block(BlockType::Empty),
                 Loop(BlockType::Empty),
-                LocalGet(1), LocalGet(2), I32Add,
-                LocalGet(0), I32Const(10), I32RemU, I32Const(48), I32Add,
+                LocalGet(1),
+                LocalGet(2),
+                I32Add,
+                LocalGet(0),
+                I32Const(10),
+                I32RemU,
+                I32Const(48),
+                I32Add,
                 I32Store8(MemArg::natural(1)),
-                LocalGet(2), I32Const(1), I32Add, LocalSet(2),
-                LocalGet(0), I32Const(10), I32DivU, LocalTee(0),
-                I32Eqz, BrIf(1),
+                LocalGet(2),
+                I32Const(1),
+                I32Add,
+                LocalSet(2),
+                LocalGet(0),
+                I32Const(10),
+                I32DivU,
+                LocalTee(0),
+                I32Eqz,
+                BrIf(1),
                 Br(0),
-                End, End,
+                End,
+                End,
                 LocalGet(2),
                 End,
             ],
@@ -463,10 +545,18 @@ impl<'a> Emitter<'a> {
         for c in 0u32..256 {
             let ch = c as u8 as char;
             let mut flags = 0u8;
-            if ch.is_ascii_alphabetic() { flags |= 1; }
-            if ch.is_ascii_digit() { flags |= 2; }
-            if ch.is_ascii_whitespace() { flags |= 4; }
-            if ch.is_ascii_uppercase() { flags |= 8; }
+            if ch.is_ascii_alphabetic() {
+                flags |= 1;
+            }
+            if ch.is_ascii_digit() {
+                flags |= 2;
+            }
+            if ch.is_ascii_whitespace() {
+                flags |= 4;
+            }
+            if ch.is_ascii_uppercase() {
+                flags |= 8;
+            }
             ctype.push(flags);
         }
         self.module.data.push(wb_wasm::Data {
@@ -669,14 +759,11 @@ impl<'a> Emitter<'a> {
                     self.stmt(fx, s)?;
                 }
                 if meta.vector_width > 1 {
-                    if let Some(plan) =
-                        super::unroll::plan(cond, step, body, meta.vector_width)
-                    {
+                    if let Some(plan) = super::unroll::plan(cond, step, body, meta.vector_width) {
                         return self.emit_scalarized_vector_loop(fx, cond, step, body, plan);
                     }
                 }
-                self.emit_scalar_loop(fx, *kind, cond, step, body)
-                    ?;
+                self.emit_scalar_loop(fx, *kind, cond, step, body)?;
             }
             HStmt::Break => {
                 let frame = fx.loops.last().ok_or(CompileError::Codegen {
@@ -1151,19 +1238,17 @@ impl<'a> Emitter<'a> {
                 args,
                 str_arg,
                 ..
-            } => {
-                match callee {
-                    Callee::Func(id) => {
-                        for a in args {
-                            self.expr(fx, a)?;
-                        }
-                        fx.code.push(Instr::Call(fx.import_count + *id));
+            } => match callee {
+                Callee::Func(id) => {
+                    for a in args {
+                        self.expr(fx, a)?;
                     }
-                    Callee::Intrinsic(intr) => {
-                        self.emit_intrinsic(fx, *intr, args, *str_arg)?;
-                    }
+                    fx.code.push(Instr::Call(fx.import_count + *id));
                 }
-            }
+                Callee::Intrinsic(intr) => {
+                    self.emit_intrinsic(fx, *intr, args, *str_arg)?;
+                }
+            },
             HExpr::Cast { to, from, expr } => {
                 self.expr(fx, expr)?;
                 emit_cast(&mut fx.code, *from, *to);

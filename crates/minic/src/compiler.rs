@@ -1,8 +1,8 @@
 //! The top-level compiler driver: source → (transform) → HIR → pipeline →
 //! backend, mirroring the paper's Fig 2 steps 1–2.
 
-use crate::backend::{emit_js, emit_wasm, NativeProgram};
 use crate::backend::wasm::WasmEmitOptions;
+use crate::backend::{emit_js, emit_wasm, NativeProgram};
 use crate::error::CompileError;
 use crate::hir::HProgram;
 use crate::opt::OptLevel;
@@ -115,7 +115,11 @@ impl Compiler {
         Ok((hir, report))
     }
 
-    fn optimized(&self, source: &str, target: TargetKind) -> Result<(HProgram, TransformReport), CompileError> {
+    fn optimized(
+        &self,
+        source: &str,
+        target: TargetKind,
+    ) -> Result<(HProgram, TransformReport), CompileError> {
         let (mut hir, report) = self.frontend(source)?;
         run_pipeline(&mut hir, self.level, target);
         Ok((hir, report))

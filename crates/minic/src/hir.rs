@@ -38,7 +38,10 @@ impl Ty {
 
     /// Unsigned flag (false for floats).
     pub fn unsigned(self) -> bool {
-        matches!(self, Ty::I32 { unsigned: true } | Ty::I64 { unsigned: true })
+        matches!(
+            self,
+            Ty::I32 { unsigned: true } | Ty::I64 { unsigned: true }
+        )
     }
 }
 
@@ -571,7 +574,10 @@ mod tests {
     #[test]
     fn intrinsic_lookup() {
         assert_eq!(Intrinsic::by_name("sqrt"), Some(Intrinsic::Sqrt));
-        assert_eq!(Intrinsic::by_name("print_double"), Some(Intrinsic::PrintF64));
+        assert_eq!(
+            Intrinsic::by_name("print_double"),
+            Some(Intrinsic::PrintF64)
+        );
         assert_eq!(Intrinsic::by_name("nope"), None);
         assert!(Intrinsic::Sqrt.wasm_native());
         assert!(!Intrinsic::Exp.wasm_native());

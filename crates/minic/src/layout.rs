@@ -43,10 +43,8 @@ mod tests {
 
     #[test]
     fn arrays_are_aligned_and_disjoint() {
-        let p = analyze(
-            &parse(lex("char c[3]; double d[4]; int i[5];").unwrap()).unwrap(),
-        )
-        .unwrap();
+        let p =
+            analyze(&parse(lex("char c[3]; double d[4]; int i[5];").unwrap()).unwrap()).unwrap();
         let l = layout(&p);
         assert_eq!(l.array_base.len(), 3);
         assert_eq!(l.base(0), 1024);

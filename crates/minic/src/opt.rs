@@ -25,7 +25,8 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// The four levels the paper evaluates (§3.2).
-    pub const EVALUATED: [OptLevel; 4] = [OptLevel::O1, OptLevel::O2, OptLevel::Ofast, OptLevel::Oz];
+    pub const EVALUATED: [OptLevel; 4] =
+        [OptLevel::O1, OptLevel::O2, OptLevel::Ofast, OptLevel::Oz];
 
     /// All levels.
     pub const ALL: [OptLevel; 7] = [

@@ -698,11 +698,7 @@ impl Parser {
                             idxs.push(idx);
                             Expr::Index(n, idxs)
                         }
-                        other => {
-                            return Err(
-                                self.err(format!("cannot index expression {other:?}"))
-                            )
-                        }
+                        other => return Err(self.err(format!("cannot index expression {other:?}"))),
                     };
                 }
                 Tok::Dot => {
@@ -803,9 +799,13 @@ mod tests {
     #[test]
     fn parses_unsigned_long_long() {
         let u = p("unsigned long long mask;");
-        assert!(
-            matches!(&u.items[0], Item::Global { ty: TypeName::Long { unsigned: true }, .. })
-        );
+        assert!(matches!(
+            &u.items[0],
+            Item::Global {
+                ty: TypeName::Long { unsigned: true },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -834,7 +834,13 @@ mod tests {
             panic!()
         };
         assert!(matches!(&body[0], Stmt::Try(..)));
-        assert!(matches!(&body[1], Stmt::Expr(Expr::Assign { target: Target::Member(..), .. })));
+        assert!(matches!(
+            &body[1],
+            Stmt::Expr(Expr::Assign {
+                target: Target::Member(..),
+                ..
+            })
+        ));
     }
 
     #[test]

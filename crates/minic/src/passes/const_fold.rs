@@ -24,9 +24,7 @@ fn fold_expr(e: &mut HExpr) {
             (_, HExpr::ConstI(1, _)) if matches!(op, HBinOp::Mul | HBinOp::Div) => {
                 Some((**a).clone())
             }
-            (_, HExpr::ConstF(x, _))
-                if *x == 1.0 && matches!(op, HBinOp::Mul | HBinOp::Div) =>
-            {
+            (_, HExpr::ConstF(x, _)) if *x == 1.0 && matches!(op, HBinOp::Mul | HBinOp::Div) => {
                 Some((**a).clone())
             }
             // x * 0 → 0 for integers only (float 0*x can be NaN).
@@ -63,7 +61,11 @@ fn fold_expr(e: &mut HExpr) {
             _ => None,
         },
         HExpr::Ternary(c, a, b, _) => match c.as_ref() {
-            HExpr::ConstI(v, _) => Some(if *v != 0 { (**a).clone() } else { (**b).clone() }),
+            HExpr::ConstI(v, _) => Some(if *v != 0 {
+                (**a).clone()
+            } else {
+                (**b).clone()
+            }),
             _ => None,
         },
         HExpr::Cast { to, expr, .. } => match expr.as_ref() {
@@ -222,9 +224,7 @@ pub(crate) fn has_side_effects(e: &HExpr) -> bool {
         HExpr::Unary(_, a, _) => has_side_effects(a),
         HExpr::Binary(op, a, b, _) => {
             // Division can trap at runtime.
-            matches!(op, HBinOp::Div | HBinOp::Rem)
-                || has_side_effects(a)
-                || has_side_effects(b)
+            matches!(op, HBinOp::Div | HBinOp::Rem) || has_side_effects(a) || has_side_effects(b)
         }
         HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
             has_side_effects(a) || has_side_effects(b)

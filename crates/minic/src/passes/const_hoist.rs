@@ -220,7 +220,9 @@ mod tests {
         let f = &p.funcs[0];
         assert_eq!(f.locals.len(), before_locals + 1);
         // Prologue declares the hoisted constant.
-        assert!(matches!(&f.body[0], HStmt::DeclLocal { init: Some(HExpr::ConstF(v, _)), .. } if *v == 40.0));
+        assert!(
+            matches!(&f.body[0], HStmt::DeclLocal { init: Some(HExpr::ConstF(v, _)), .. } if *v == 40.0)
+        );
         // No ConstF(40.0) remains inside the loop body.
         let text = format!("{:?}", &f.body[1..]);
         assert!(!text.contains("ConstF(40.0"), "{text}");
@@ -240,6 +242,8 @@ mod tests {
         let src = "double d; void k() { d = 40.0; }";
         let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
         const_hoist(&mut p);
-        assert!(matches!(&p.funcs[0].body[0], HStmt::Assign { value: HExpr::ConstF(v, _), .. } if *v == 40.0));
+        assert!(
+            matches!(&p.funcs[0].body[0], HStmt::Assign { value: HExpr::ConstF(v, _), .. } if *v == 40.0)
+        );
     }
 }

@@ -59,8 +59,7 @@ pub fn globalopt(p: &mut HProgram, keep_dead_stores: bool) {
                 _ => false,
             };
             if dead {
-                let HStmt::Assign { value, .. } = std::mem::replace(s, HStmt::Block(vec![]))
-                else {
+                let HStmt::Assign { value, .. } = std::mem::replace(s, HStmt::Block(vec![])) else {
                     unreachable!("matched Assign above")
                 };
                 if super::const_fold::has_side_effects(&value) {
@@ -166,7 +165,10 @@ mod tests {
         let mut p = analyze(&parse(lex(src).unwrap()).unwrap()).unwrap();
         globalopt(&mut p, false);
         assert_eq!(
-            p.globals.iter().map(|g| g.name.as_str()).collect::<Vec<_>>(),
+            p.globals
+                .iter()
+                .map(|g| g.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["kept", "out"]
         );
         // Remaining references must point at the remapped ids, which the

@@ -143,7 +143,10 @@ mod tests {
         let o2 = compiled(OptLevel::O2, TargetKind::Wasm);
         let k2 = o2.funcs.iter().find(|f| f.name == "k").unwrap();
         let text = format!("{:?}", k2.body);
-        assert!(text.contains("ConstF(40.0") || text.contains("ConstF(0.025"), "{text}");
+        assert!(
+            text.contains("ConstF(40.0") || text.contains("ConstF(0.025"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -14,10 +14,7 @@ use std::collections::HashMap;
 ///
 /// External `defines` take precedence over in-file `#define`s (mirroring
 /// `-D` on a C compiler command line).
-pub fn preprocess(
-    source: &str,
-    defines: &HashMap<String, String>,
-) -> Result<String, CompileError> {
+pub fn preprocess(source: &str, defines: &HashMap<String, String>) -> Result<String, CompileError> {
     let mut macros: HashMap<String, String> = HashMap::new();
     let mut body_lines: Vec<String> = Vec::new();
 

@@ -70,13 +70,9 @@ fn common_ty(a: Ty, b: Ty) -> Ty {
     match (a, b) {
         (F64, _) | (_, F64) => F64,
         (F32, _) | (_, F32) => F32,
-        (I64 { unsigned: ua }, I64 { unsigned: ub }) => I64 {
-            unsigned: ua || ub,
-        },
+        (I64 { unsigned: ua }, I64 { unsigned: ub }) => I64 { unsigned: ua || ub },
         (I64 { unsigned }, _) | (_, I64 { unsigned }) => I64 { unsigned },
-        (I32 { unsigned: ua }, I32 { unsigned: ub }) => I32 {
-            unsigned: ua || ub,
-        },
+        (I32 { unsigned: ua }, I32 { unsigned: ub }) => I32 { unsigned: ua || ub },
         _ => Ty::INT,
     }
 }
@@ -344,10 +340,7 @@ impl Sema {
                 let body = self.stmts(&mut ctx, body)?;
                 self.program.funcs.push(HFunc {
                     name: name.clone(),
-                    params: ctx.locals[..params.len()]
-                        .iter()
-                        .map(|(_, t)| *t)
-                        .collect(),
+                    params: ctx.locals[..params.len()].iter().map(|(_, t)| *t).collect(),
                     ret,
                     locals: ctx.locals,
                     body,
@@ -458,10 +451,7 @@ impl Sema {
                     Some(s) => vec![self.stmt(ctx, s)?],
                     None => vec![],
                 };
-                let cond = cond
-                    .as_ref()
-                    .map(|c| self.condition(ctx, c))
-                    .transpose()?;
+                let cond = cond.as_ref().map(|c| self.condition(ctx, c)).transpose()?;
                 let step_stmts = match step {
                     Some(e) => vec![self.stmt(ctx, &Stmt::Expr(e.clone()))?],
                     None => vec![],
@@ -596,9 +586,7 @@ impl Sema {
         match (&e, to) {
             (HExpr::ConstI(v, _), Ty::F64) => return HExpr::ConstF(*v as f64, Ty::F64),
             (HExpr::ConstI(v, _), Ty::F32) => return HExpr::ConstF(*v as f32 as f64, Ty::F32),
-            (HExpr::ConstI(v, _), t @ Ty::I32 { .. }) => {
-                return HExpr::ConstI(*v as i32 as i64, t)
-            }
+            (HExpr::ConstI(v, _), t @ Ty::I32 { .. }) => return HExpr::ConstI(*v as i32 as i64, t),
             (HExpr::ConstI(v, _), t @ Ty::I64 { .. }) => return HExpr::ConstI(*v, t),
             (HExpr::ConstF(v, _), t @ Ty::F32) => return HExpr::ConstF(*v as f32 as f64, t),
             (HExpr::ConstF(v, _), t @ Ty::F64) => return HExpr::ConstF(*v, t),
@@ -626,12 +614,9 @@ impl Sema {
                 }
             }
             Target::Index(n, idxs) => {
-                let &aid = self
-                    .array_ids
-                    .get(n)
-                    .ok_or_else(|| CompileError::Sema {
-                        message: format!("unknown array {n}"),
-                    })?;
+                let &aid = self.array_ids.get(n).ok_or_else(|| CompileError::Sema {
+                    message: format!("unknown array {n}"),
+                })?;
                 let arr = self.program.arrays[aid as usize].clone();
                 if arr.is_const {
                     return self.err(format!("assignment to const array {n}"));
@@ -683,12 +668,9 @@ impl Sema {
                 }
             }
             Expr::Index(n, idxs) => {
-                let &aid = self
-                    .array_ids
-                    .get(n)
-                    .ok_or_else(|| CompileError::Sema {
-                        message: format!("unknown array {n}"),
-                    })?;
+                let &aid = self.array_ids.get(n).ok_or_else(|| CompileError::Sema {
+                    message: format!("unknown array {n}"),
+                })?;
                 let arr = self.program.arrays[aid as usize].clone();
                 if idxs.len() != arr.dims.len() {
                     return self.err(format!(
@@ -796,10 +778,8 @@ impl Sema {
                         } else {
                             common_ty(ha.ty(), hb.ty())
                         };
-                        if matches!(
-                            hop,
-                            HBinOp::BitAnd | HBinOp::BitOr | HBinOp::BitXor
-                        ) && ty.is_float()
+                        if matches!(hop, HBinOp::BitAnd | HBinOp::BitOr | HBinOp::BitXor)
+                            && ty.is_float()
                         {
                             return self.err("bitwise op on float");
                         }
@@ -913,12 +893,7 @@ impl Sema {
         }
     }
 
-    fn call(
-        &mut self,
-        ctx: &mut FnCtx,
-        name: &str,
-        args: &[Expr],
-    ) -> Result<HExpr, CompileError> {
+    fn call(&mut self, ctx: &mut FnCtx, name: &str, args: &[Expr]) -> Result<HExpr, CompileError> {
         if let Some(intr) = Intrinsic::by_name(name) {
             // print_str takes a literal string.
             if intr == Intrinsic::PrintStr {
@@ -1140,7 +1115,10 @@ mod tests {
 
     #[test]
     fn unknown_symbols_error() {
-        assert!(matches!(an_err("void f() { x = 1; }"), CompileError::Sema { .. }));
+        assert!(matches!(
+            an_err("void f() { x = 1; }"),
+            CompileError::Sema { .. }
+        ));
         assert!(matches!(
             an_err("void f() { g(); }"),
             CompileError::Sema { .. }

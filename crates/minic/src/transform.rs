@@ -201,11 +201,7 @@ impl Tx<'_> {
                 let body = self.stmts(body)?;
                 out.push(Stmt::Block(body));
                 let catch = self.stmts(catch)?;
-                out.push(Stmt::If(
-                    Expr::Name("__error".into()),
-                    catch,
-                    Vec::new(),
-                ));
+                out.push(Stmt::If(Expr::Name("__error".into()), catch, Vec::new()));
             }
             Stmt::Throw(e) => {
                 self.report.throws += 1;
@@ -243,11 +239,7 @@ impl Tx<'_> {
                 });
             }
             Stmt::Expr(e) => out.push(Stmt::Expr(self.expr(e)?)),
-            Stmt::If(c, t, e) => out.push(Stmt::If(
-                self.expr(c)?,
-                self.stmts(t)?,
-                self.stmts(e)?,
-            )),
+            Stmt::If(c, t, e) => out.push(Stmt::If(self.expr(c)?, self.stmts(t)?, self.stmts(e)?)),
             Stmt::While(c, b) => out.push(Stmt::While(self.expr(c)?, self.stmts(b)?)),
             Stmt::DoWhile(b, c) => out.push(Stmt::DoWhile(self.stmts(b)?, self.expr(c)?)),
             Stmt::For {
@@ -276,7 +268,9 @@ impl Tx<'_> {
                     body: self.stmts(body)?,
                 });
             }
-            Stmt::Return(e) => out.push(Stmt::Return(e.as_ref().map(|e| self.expr(e)).transpose()?)),
+            Stmt::Return(e) => {
+                out.push(Stmt::Return(e.as_ref().map(|e| self.expr(e)).transpose()?))
+            }
             Stmt::Switch(scrut, arms) => {
                 let mut new_arms = Vec::new();
                 for arm in arms {
@@ -383,29 +377,39 @@ impl Tx<'_> {
 
     /// `u.field` → reinterpret of the storage variable, if needed.
     fn union_read(&mut self, var: &str, field: &str) -> Result<Expr, CompileError> {
-        let tag = self.union_vars.get(var).cloned().ok_or_else(|| {
-            CompileError::Unsupported {
+        let tag = self
+            .union_vars
+            .get(var)
+            .cloned()
+            .ok_or_else(|| CompileError::Unsupported {
                 construct: format!("member access on non-union variable {var}"),
                 hint: "structs are not part of MiniC".into(),
-            }
-        })?;
+            })?;
         let info = self.union_info(&tag)?.clone();
         let field_ty = info.fields.get(field).ok_or_else(|| CompileError::Sema {
             message: format!("union {tag} has no field {field}"),
         })?;
         self.report.union_accesses += 1;
         let base = Expr::Name(var.to_string());
-        Ok(reinterpret(base, &info.storage, field_ty, &info.storage_field, field))
+        Ok(reinterpret(
+            base,
+            &info.storage,
+            field_ty,
+            &info.storage_field,
+            field,
+        ))
     }
 
     /// `u.field = v` → storage assignment via reinterpret, if needed.
     fn union_write(&mut self, var: &str, field: &str, value: Expr) -> Result<Expr, CompileError> {
-        let tag = self.union_vars.get(var).cloned().ok_or_else(|| {
-            CompileError::Unsupported {
+        let tag = self
+            .union_vars
+            .get(var)
+            .cloned()
+            .ok_or_else(|| CompileError::Unsupported {
                 construct: format!("member assignment on non-union variable {var}"),
                 hint: "structs are not part of MiniC".into(),
-            }
-        })?;
+            })?;
         let info = self.union_info(&tag)?.clone();
         let field_ty = info.fields.get(field).ok_or_else(|| CompileError::Sema {
             message: format!("union {tag} has no field {field}"),
@@ -450,9 +454,7 @@ fn has_side_effects(e: &Expr) -> bool {
         Expr::Assign { .. } | Expr::IncDec { .. } | Expr::Call(..) => true,
         Expr::Unary(_, a) | Expr::Cast(_, a) => has_side_effects(a),
         Expr::Binary(_, a, b) => has_side_effects(a) || has_side_effects(b),
-        Expr::Ternary(c, a, b) => {
-            has_side_effects(c) || has_side_effects(a) || has_side_effects(b)
-        }
+        Expr::Ternary(c, a, b) => has_side_effects(c) || has_side_effects(a) || has_side_effects(b),
         Expr::Index(_, idxs) => idxs.iter().any(has_side_effects),
         _ => false,
     }
@@ -470,12 +472,10 @@ mod tests {
 
     #[test]
     fn try_catch_becomes_error_flag() {
-        let (unit, report) = tx(
-            "int ok;\n\
+        let (unit, report) = tx("int ok;\n\
              void f(int x) {\n\
                try { if (x < 0) throw 1; ok = 1; } catch (...) { ok = 0; }\n\
-             }",
-        );
+             }");
         assert_eq!(report.try_blocks, 1);
         assert_eq!(report.throws, 1);
         // A global __error is introduced first.
@@ -500,11 +500,9 @@ mod tests {
 
     #[test]
     fn union_reads_become_reinterprets() {
-        let (unit, report) = tx(
-            "union U { double d; long long ll; };\n\
+        let (unit, report) = tx("union U { double d; long long ll; };\n\
              union U u;\n\
-             long long f() { u.d = 1.5; return u.ll; }",
-        );
+             long long f() { u.d = 1.5; return u.ll; }");
         assert_eq!(report.union_vars, 1);
         assert!(report.union_accesses >= 2);
         // The union variable is now a double global.
@@ -526,11 +524,9 @@ mod tests {
 
     #[test]
     fn same_field_access_is_plain() {
-        let (unit, _) = tx(
-            "union U { double d; long long ll; };\n\
+        let (unit, _) = tx("union U { double d; long long ll; };\n\
              union U u;\n\
-             double g() { return u.d; }",
-        );
+             double g() { return u.d; }");
         let text = format!("{:?}", unit.items);
         assert!(!text.contains("__f64_bits"));
     }

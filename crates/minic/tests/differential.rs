@@ -32,7 +32,11 @@ fn host_imports(strings: Vec<String>) -> HashMap<String, HostFn> {
             let s = if v.is_nan() {
                 "NaN".into()
             } else if v.is_infinite() {
-                if v > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+                if v > 0.0 {
+                    "Infinity".to_string()
+                } else {
+                    "-Infinity".to_string()
+                }
             } else if v == v.trunc() && v.abs() < 1e21 {
                 format!("{}", v as i64)
             } else {
@@ -46,7 +50,8 @@ fn host_imports(strings: Vec<String>) -> HashMap<String, HostFn> {
         "env.print_str".into(),
         Box::new(move |ctx: &mut HostCtx, args: &[Value]| {
             let id = args[0].as_i32() as usize;
-            ctx.output.push(strings.get(id).cloned().unwrap_or_default());
+            ctx.output
+                .push(strings.get(id).cloned().unwrap_or_default());
             Ok(None)
         }),
     );

@@ -62,13 +62,13 @@ pub fn classify(i: &Instr) -> OpClass {
         I32Const(_) | I64Const(_) | F32Const(_) | F64Const(_) => OpClass::Const,
         // Comparisons.
         I32Eqz | I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS
-        | I32GeU | I64Eqz | I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS
-        | I64LeU | I64GeS | I64GeU | F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge | F64Eq
-        | F64Ne | F64Lt | F64Gt | F64Le | F64Ge => OpClass::Compare,
+        | I32GeU | I64Eqz | I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU
+        | I64GeS | I64GeU | F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge | F64Eq | F64Ne
+        | F64Lt | F64Gt | F64Le | F64Ge => OpClass::Compare,
         // Integer ALU.
         I32Clz | I32Ctz | I32Popcnt | I32Add | I32Sub | I32And | I32Or | I32Xor | I32Shl
-        | I32ShrS | I32ShrU | I32Rotl | I32Rotr | I64Clz | I64Ctz | I64Popcnt | I64Add
-        | I64Sub | I64And | I64Or | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => {
+        | I32ShrS | I32ShrU | I32Rotl | I32Rotr | I64Clz | I64Ctz | I64Popcnt | I64Add | I64Sub
+        | I64And | I64Or | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => {
             OpClass::IntAlu
         }
         I32Mul | I64Mul => OpClass::IntMul,
@@ -76,9 +76,9 @@ pub fn classify(i: &Instr) -> OpClass {
             OpClass::IntDiv
         }
         // Float ALU.
-        F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Add | F32Sub
-        | F32Min | F32Max | F32Copysign | F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc
-        | F64Nearest | F64Add | F64Sub | F64Min | F64Max | F64Copysign => OpClass::FloatAlu,
+        F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Add | F32Sub | F32Min
+        | F32Max | F32Copysign | F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest
+        | F64Add | F64Sub | F64Min | F64Max | F64Copysign => OpClass::FloatAlu,
         F32Mul | F64Mul => OpClass::FloatMul,
         F32Div | F32Sqrt | F64Div | F64Sqrt => OpClass::FloatDiv,
         // Conversions.
@@ -114,7 +114,10 @@ mod tests {
         assert_eq!(classify(&Instr::F64Mul), OpClass::FloatMul);
         assert_eq!(classify(&Instr::F64Sqrt), OpClass::FloatDiv);
         assert_eq!(classify(&Instr::F64Load(Default::default())), OpClass::Load);
-        assert_eq!(classify(&Instr::I32Store8(Default::default())), OpClass::Store);
+        assert_eq!(
+            classify(&Instr::I32Store8(Default::default())),
+            OpClass::Store
+        );
         assert_eq!(classify(&Instr::BrIf(0)), OpClass::Branch);
         assert_eq!(classify(&Instr::Call(0)), OpClass::Call);
         assert_eq!(classify(&Instr::LocalGet(0)), OpClass::Local);

@@ -32,6 +32,11 @@ pub struct WasmVmConfig {
     pub max_call_depth: usize,
     /// Maximum retired instructions before [`Trap::StepBudgetExhausted`].
     pub max_steps: u64,
+    /// Execute on the reference (one instruction per dispatch, tagged
+    /// stack) interpreter instead of the fused micro-op engine. Both
+    /// produce bit-identical measurements; this is a debugging escape
+    /// hatch for fusion regressions (`--reference-exec` in the harness).
+    pub reference_exec: bool,
 }
 
 impl WasmVmConfig {
@@ -46,6 +51,7 @@ impl WasmVmConfig {
             exec_overhead: 1.0,
             max_call_depth: 2_048,
             max_steps: u64::MAX,
+            reference_exec: false,
         }
     }
 
@@ -59,6 +65,7 @@ impl WasmVmConfig {
             exec_overhead: 1.0,
             max_call_depth: 2_048,
             max_steps: u64::MAX,
+            reference_exec: false,
         }
     }
 }
@@ -324,7 +331,10 @@ impl Instance {
 
     pub(crate) fn cross_boundary(&mut self) {
         self.context_switches += 1;
-        self.charge_bucket(self.config.profile.context_switch, TimeBucket::ContextSwitch);
+        self.charge_bucket(
+            self.config.profile.context_switch,
+            TimeBucket::ContextSwitch,
+        );
     }
 
     /// Current measurement snapshot, with executed-op cycles converted to
@@ -366,12 +376,16 @@ impl Instance {
 
     /// Look up the numeric value of an exported global (test/IO helper).
     pub fn exported_global(&self, name: &str) -> Option<Value> {
-        self.prepared.module.exports.iter().find_map(|e| match e.kind {
-            wb_wasm::ExportKind::Global(i) if e.name == name => {
-                self.globals.get(i as usize).copied()
-            }
-            _ => None,
-        })
+        self.prepared
+            .module
+            .exports
+            .iter()
+            .find_map(|e| match e.kind {
+                wb_wasm::ExportKind::Global(i) if e.name == name => {
+                    self.globals.get(i as usize).copied()
+                }
+                _ => None,
+            })
     }
 
     /// Read bytes from linear memory (embedder API, like a JS typed-array
@@ -408,4 +422,3 @@ impl Instance {
         Some((ty.params.clone(), ty.results.clone()))
     }
 }
-

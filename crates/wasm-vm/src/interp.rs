@@ -20,7 +20,10 @@ struct Ctrl {
 }
 
 impl Instance {
-    /// Execute defined-or-imported function `func_index` with `args`.
+    /// Execute defined-or-imported function `func_index` with `args`,
+    /// dispatching to the fused engine (default) or the reference
+    /// interpreter (`--reference-exec` escape hatch). Both charge the
+    /// same virtual-cost sequence; see `exec.rs`.
     pub(crate) fn call_function(
         &mut self,
         func_index: u32,
@@ -40,6 +43,36 @@ impl Instance {
         // interrupt in V8/SpiderMonkey).
         self.note_hotness(def_index, 1);
 
+        if self.config.reference_exec {
+            self.run_body_reference(def_index, args, depth)
+        } else {
+            self.run_body_fused(def_index, args, depth)
+        }
+    }
+
+    /// Charge one Table 12 arithmetic operation of kind `kind`.
+    #[inline]
+    pub(crate) fn bump_arith(&mut self, kind: ArithKind) {
+        match kind {
+            ArithKind::Add => self.arith.add += 1,
+            ArithKind::Mul => self.arith.mul += 1,
+            ArithKind::Div => self.arith.div += 1,
+            ArithKind::Rem => self.arith.rem += 1,
+            ArithKind::Shift => self.arith.shift += 1,
+            ArithKind::And => self.arith.and += 1,
+            ArithKind::Or => self.arith.or += 1,
+        }
+    }
+
+    /// The reference execution core: one [`Instr`] per step over a tagged
+    /// [`Value`] stack. This is the semantic baseline the fused engine is
+    /// differentially tested against.
+    pub(crate) fn run_body_reference(
+        &mut self,
+        def_index: usize,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, Trap> {
         let prepared = Arc::clone(&self.prepared);
         let func = &prepared.module.functions[def_index];
         let side = &prepared.side_tables[def_index];
@@ -140,15 +173,7 @@ impl Instance {
             // matches.
             self.tier_counts[tier as usize].bump(side.op_class[pc], 1);
             if let Some(kind) = side.arith[pc] {
-                match kind {
-                    ArithKind::Add => self.arith.add += 1,
-                    ArithKind::Mul => self.arith.mul += 1,
-                    ArithKind::Div => self.arith.div += 1,
-                    ArithKind::Rem => self.arith.rem += 1,
-                    ArithKind::Shift => self.arith.shift += 1,
-                    ArithKind::And => self.arith.and += 1,
-                    ArithKind::Or => self.arith.or += 1,
-                }
+                self.bump_arith(kind);
             }
 
             match instr {
@@ -202,7 +227,11 @@ impl Instance {
                         Some(_frame) => {}
                         None => {
                             // Implicit function frame: return results.
-                            let result = if result_arity == 1 { Some(pop!()) } else { None };
+                            let result = if result_arity == 1 {
+                                Some(pop!())
+                            } else {
+                                None
+                            };
                             return Ok(result);
                         }
                     }
@@ -225,7 +254,11 @@ impl Instance {
                     continue;
                 }
                 Instr::Return => {
-                    let result = if result_arity == 1 { Some(pop!()) } else { None };
+                    let result = if result_arity == 1 {
+                        Some(pop!())
+                    } else {
+                        None
+                    };
                     return Ok(result);
                 }
                 Instr::Call(f) => {
@@ -744,7 +777,7 @@ impl Instance {
     /// Bump a function's hotness; tier up when the threshold is crossed
     /// (Default policy only). Charges the optimizing compile cost for the
     /// function at the moment of tier-up, as browsers do at runtime.
-    fn note_hotness(&mut self, def_index: usize, amount: u64) {
+    pub(crate) fn note_hotness(&mut self, def_index: usize, amount: u64) {
         let state = &mut self.func_state[def_index];
         state.hotness += amount;
         if state.tier == Tier::Baseline
@@ -774,10 +807,12 @@ impl Instance {
             addr,
             width: N as u32,
         })?;
-        let s = mem.read(addr, N as u32).map_err(|_| Trap::MemoryOutOfBounds {
-            addr,
-            width: N as u32,
-        })?;
+        let s = mem
+            .read(addr, N as u32)
+            .map_err(|_| Trap::MemoryOutOfBounds {
+                addr,
+                width: N as u32,
+            })?;
         let mut out = [0u8; N];
         out.copy_from_slice(s);
         Ok(out)
@@ -822,7 +857,7 @@ impl Instance {
     }
 }
 
-fn wasm_min_f32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_min_f32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -839,7 +874,7 @@ fn wasm_min_f32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_max_f32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_max_f32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -855,7 +890,7 @@ fn wasm_max_f32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_min_f64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_min_f64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -871,7 +906,7 @@ fn wasm_min_f64(a: f64, b: f64) -> f64 {
     }
 }
 
-fn wasm_max_f64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_max_f64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -887,7 +922,7 @@ fn wasm_max_f64(a: f64, b: f64) -> f64 {
     }
 }
 
-fn trunc_to_i32(v: f64) -> Result<i32, Trap> {
+pub(crate) fn trunc_to_i32(v: f64) -> Result<i32, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -899,7 +934,7 @@ fn trunc_to_i32(v: f64) -> Result<i32, Trap> {
     }
 }
 
-fn trunc_to_u32(v: f64) -> Result<u32, Trap> {
+pub(crate) fn trunc_to_u32(v: f64) -> Result<u32, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -911,7 +946,7 @@ fn trunc_to_u32(v: f64) -> Result<u32, Trap> {
     }
 }
 
-fn trunc_to_i64(v: f64) -> Result<i64, Trap> {
+pub(crate) fn trunc_to_i64(v: f64) -> Result<i64, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -923,7 +958,7 @@ fn trunc_to_i64(v: f64) -> Result<i64, Trap> {
     }
 }
 
-fn trunc_to_u64(v: f64) -> Result<u64, Trap> {
+pub(crate) fn trunc_to_u64(v: f64) -> Result<u64, Trap> {
     if v.is_nan() {
         return Err(Trap::InvalidConversion);
     }

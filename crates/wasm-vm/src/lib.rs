@@ -24,15 +24,15 @@
 
 mod classify;
 mod engine;
+mod exec;
+mod fuse;
 mod interp;
 mod prep;
 mod trap;
 mod value;
 
 pub use classify::{arith_kind, classify, ArithKind};
-pub use engine::{
-    ExecutionReport, HostCtx, HostFn, Instance, MemoryStats, WasmVmConfig,
-};
+pub use engine::{ExecutionReport, HostCtx, HostFn, Instance, MemoryStats, WasmVmConfig};
 pub use prep::{PreparedModule, SideTable, NO_PC};
 pub use trap::Trap;
 pub use value::Value;

@@ -15,6 +15,8 @@
 //! work between grid cells.
 
 use crate::classify::{arith_kind, classify, ArithKind};
+use crate::fuse::{lower, FusedFunc};
+use std::sync::OnceLock;
 use wb_env::OpClass;
 use wb_wasm::{Instr, Module};
 
@@ -49,6 +51,11 @@ pub struct PreparedModule {
     /// defined functions) — the only pieces of the callee signature the
     /// call sequence needs.
     pub call_sigs: Vec<(u16, bool)>,
+    /// Fused micro-op streams, lowered lazily on first fused execution of
+    /// each function and then shared across instances (and threads, via
+    /// `Arc<PreparedModule>` in the artifact cache) for the lifetime of
+    /// the preparation.
+    fused: Vec<OnceLock<FusedFunc>>,
 }
 
 impl PreparedModule {
@@ -66,11 +73,29 @@ impl PreparedModule {
                 None => (0, false),
             })
             .collect();
+        let fused = (0..module.functions.len())
+            .map(|_| OnceLock::new())
+            .collect();
         PreparedModule {
             module,
             side_tables,
             call_sigs,
+            fused,
         }
+    }
+
+    /// The fused micro-op stream for defined function `def_index`,
+    /// lowering it on first use. Lowering is pure derived data (no
+    /// virtual-time charge): the reference and fused engines charge the
+    /// same compile costs, and fusion itself models no engine work.
+    pub(crate) fn fused(&self, def_index: usize) -> &FusedFunc {
+        self.fused[def_index].get_or_init(|| {
+            lower(
+                &self.module.functions[def_index].body,
+                &self.side_tables[def_index],
+                &self.module,
+            )
+        })
     }
 }
 

@@ -108,7 +108,11 @@ fn division_traps() {
 fn memory_store_load_round_trip() {
     let mut mb = ModuleBuilder::new();
     mb.memory(1, None);
-    let mut f = mb.func("poke_peek", vec![ValType::I32, ValType::F64], vec![ValType::F64]);
+    let mut f = mb.func(
+        "poke_peek",
+        vec![ValType::I32, ValType::F64],
+        vec![ValType::F64],
+    );
     f.ops([
         Instr::LocalGet(0),
         Instr::LocalGet(1),
@@ -152,14 +156,20 @@ fn memory_grow_updates_stats_and_charges_time() {
     let mut inst = instance(mb.build());
     let before = inst.report();
     assert_eq!(before.clock.mem_grow_time.0, 0.0);
-    assert_eq!(inst.invoke("grow", &[Value::I32(4)]), Ok(Some(Value::I32(1))));
+    assert_eq!(
+        inst.invoke("grow", &[Value::I32(4)]),
+        Ok(Some(Value::I32(1)))
+    );
     let after = inst.report();
     assert_eq!(after.memory.linear_bytes, 5 * 64 * 1024);
     assert_eq!(after.memory.grow_count, 1);
     assert_eq!(after.memory.grown_pages, 4);
     assert!(after.clock.mem_grow_time.0 > 0.0);
     // Refused grow returns -1 and charges nothing extra.
-    assert_eq!(inst.invoke("grow", &[Value::I32(100)]), Ok(Some(Value::I32(-1))));
+    assert_eq!(
+        inst.invoke("grow", &[Value::I32(100)]),
+        Ok(Some(Value::I32(-1)))
+    );
     assert_eq!(inst.report().memory.grow_count, 1);
 }
 
@@ -216,8 +226,14 @@ fn call_indirect_dispatches_and_checks_types() {
     f.ops([Instr::LocalGet(0), Instr::CallIndirect(0)]).done();
     mb.finish_func(f, true);
     let mut inst = instance(mb.build());
-    assert_eq!(inst.invoke("pick", &[Value::I32(0)]), Ok(Some(Value::I32(3))));
-    assert_eq!(inst.invoke("pick", &[Value::I32(1)]), Ok(Some(Value::I32(4))));
+    assert_eq!(
+        inst.invoke("pick", &[Value::I32(0)]),
+        Ok(Some(Value::I32(3)))
+    );
+    assert_eq!(
+        inst.invoke("pick", &[Value::I32(1)]),
+        Ok(Some(Value::I32(4)))
+    );
     assert_eq!(
         inst.invoke("pick", &[Value::I32(5)]),
         Err(Trap::TableOutOfBounds)
@@ -246,9 +262,18 @@ fn br_table_selects_arms() {
     .done();
     mb.finish_func(f, true);
     let mut inst = instance(mb.build());
-    assert_eq!(inst.invoke("classify", &[Value::I32(0)]), Ok(Some(Value::I32(100))));
-    assert_eq!(inst.invoke("classify", &[Value::I32(1)]), Ok(Some(Value::I32(200))));
-    assert_eq!(inst.invoke("classify", &[Value::I32(9)]), Ok(Some(Value::I32(300))));
+    assert_eq!(
+        inst.invoke("classify", &[Value::I32(0)]),
+        Ok(Some(Value::I32(100)))
+    );
+    assert_eq!(
+        inst.invoke("classify", &[Value::I32(1)]),
+        Ok(Some(Value::I32(200)))
+    );
+    assert_eq!(
+        inst.invoke("classify", &[Value::I32(9)]),
+        Ok(Some(Value::I32(300)))
+    );
 }
 
 #[test]
@@ -267,12 +292,8 @@ fn stack_overflow_trap() {
 fn step_budget_trap() {
     let mut mb = ModuleBuilder::new();
     let mut f = mb.func("forever", vec![], vec![]);
-    f.ops([
-        Instr::Loop(BlockType::Empty),
-        Instr::Br(0),
-        Instr::End,
-    ])
-    .done();
+    f.ops([Instr::Loop(BlockType::Empty), Instr::Br(0), Instr::End])
+        .done();
     mb.finish_func(f, true);
     let mut cfg = WasmVmConfig::reference();
     cfg.max_steps = 10_000;
@@ -329,7 +350,10 @@ fn tier_up_happens_under_default_policy_only() {
     // Table 7 shape: default beats basic-only; optimizing-only beats
     // default (compile up front, no baseline warm-up) for hot code.
     assert!(default.total.0 < basic.total.0, "default < basic-only");
-    assert!(optimizing.total.0 < default.total.0, "optimizing-only < default");
+    assert!(
+        optimizing.total.0 < default.total.0,
+        "optimizing-only < default"
+    );
 }
 
 #[test]
@@ -360,8 +384,14 @@ fn select_and_globals() {
     .done();
     mb.finish_func(f, true);
     let mut inst = instance(mb.build());
-    assert_eq!(inst.invoke("pick", &[Value::I32(1)]), Ok(Some(Value::I32(17))));
-    assert_eq!(inst.invoke("pick", &[Value::I32(0)]), Ok(Some(Value::I32(99))));
+    assert_eq!(
+        inst.invoke("pick", &[Value::I32(1)]),
+        Ok(Some(Value::I32(17)))
+    );
+    assert_eq!(
+        inst.invoke("pick", &[Value::I32(0)]),
+        Ok(Some(Value::I32(99)))
+    );
 }
 
 #[test]

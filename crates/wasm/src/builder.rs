@@ -83,7 +83,9 @@ impl ModuleBuilder {
     /// Begin a function; returns a [`FuncBuilder`]. The function index it
     /// will occupy is `imports.len() + functions.len()` at `finish` time.
     pub fn func(&mut self, name: &str, params: Vec<ValType>, results: Vec<ValType>) -> FuncBuilder {
-        let type_index = self.module.intern_type(FuncType::new(params.clone(), results));
+        let type_index = self
+            .module
+            .intern_type(FuncType::new(params.clone(), results));
         FuncBuilder {
             type_index,
             param_count: params.len() as u32,

@@ -562,7 +562,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert_eq!(decode_module(b"\0asx\x01\0\0\0"), Err(DecodeError::BadHeader));
+        assert_eq!(
+            decode_module(b"\0asx\x01\0\0\0"),
+            Err(DecodeError::BadHeader)
+        );
         assert!(matches!(
             decode_module(b"\0as"),
             Err(DecodeError::UnexpectedEof { .. })

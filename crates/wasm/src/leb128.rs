@@ -217,7 +217,19 @@ mod tests {
 
     #[test]
     fn i64_round_trips_edge_values() {
-        for v in [0, 1, -1, 63, 64, -64, -65, i64::MAX, i64::MIN, 624485, -123456] {
+        for v in [
+            0,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            i64::MAX,
+            i64::MIN,
+            624485,
+            -123456,
+        ] {
             round_i64(v);
         }
     }

@@ -84,7 +84,11 @@ impl LinearMemory {
         let Some(new_pages) = old_pages.checked_add(delta) else {
             return -1;
         };
-        let cap = self.limits.max.unwrap_or(Self::MAX_PAGES).min(Self::MAX_PAGES);
+        let cap = self
+            .limits
+            .max
+            .unwrap_or(Self::MAX_PAGES)
+            .min(Self::MAX_PAGES);
         if new_pages > cap {
             return -1;
         }
@@ -96,7 +100,9 @@ impl LinearMemory {
 
     /// Read `width` bytes at `addr` (bounds-checked).
     pub fn read(&self, addr: u64, width: u32) -> Result<&[u8], MemoryError> {
-        let end = addr.checked_add(width as u64).filter(|&e| e <= self.bytes.len() as u64);
+        let end = addr
+            .checked_add(width as u64)
+            .filter(|&e| e <= self.bytes.len() as u64);
         match end {
             Some(end) => Ok(&self.bytes[addr as usize..end as usize]),
             None => Err(MemoryError::OutOfBounds {

@@ -200,7 +200,9 @@ impl<'m> FuncValidator<'m> {
                 depth: depth as u32,
             });
         }
-        Ok(self.frames[self.frames.len() - 1 - depth].label_types.clone())
+        Ok(self.frames[self.frames.len() - 1 - depth]
+            .label_types
+            .clone())
     }
 
     fn check_memory(&self) -> Result<(), ValidationError> {
@@ -242,7 +244,12 @@ impl<'m> FuncValidator<'m> {
         Ok(())
     }
 
-    fn load(&mut self, m: &crate::instr::MemArg, natural: u32, result: ValType) -> Result<(), ValidationError> {
+    fn load(
+        &mut self,
+        m: &crate::instr::MemArg,
+        natural: u32,
+        result: ValType,
+    ) -> Result<(), ValidationError> {
         self.check_memory()?;
         self.check_align(m.align, natural)?;
         self.pop_expect(ValType::I32)?;
@@ -250,7 +257,12 @@ impl<'m> FuncValidator<'m> {
         Ok(())
     }
 
-    fn store(&mut self, m: &crate::instr::MemArg, natural: u32, operand: ValType) -> Result<(), ValidationError> {
+    fn store(
+        &mut self,
+        m: &crate::instr::MemArg,
+        natural: u32,
+        operand: ValType,
+    ) -> Result<(), ValidationError> {
         self.check_memory()?;
         self.check_align(m.align, natural)?;
         self.pop_expect(operand)?;
@@ -294,10 +306,13 @@ impl<'m> FuncValidator<'m> {
                 self.push_frame(*bt, true, false);
             }
             Else => {
-                let frame = self.frames.last().ok_or(ValidationError::MalformedControl {
-                    func: self.func_index,
-                    detail: "else outside any frame".into(),
-                })?;
+                let frame = self
+                    .frames
+                    .last()
+                    .ok_or(ValidationError::MalformedControl {
+                        func: self.func_index,
+                        detail: "else outside any frame".into(),
+                    })?;
                 if !frame.is_if {
                     return Err(ValidationError::MalformedControl {
                         func: self.func_index,
@@ -338,10 +353,8 @@ impl<'m> FuncValidator<'m> {
                             Some(Some(got)) if got == *t => popped.push(got),
                             Some(None) => popped.push(*t),
                             other => {
-                                return Err(self.error(format!(
-                                    "block end expected {:?}, got {:?}",
-                                    t, other
-                                )))
+                                return Err(self
+                                    .error(format!("block end expected {:?}, got {:?}", t, other)))
                             }
                         }
                     }
@@ -684,7 +697,10 @@ mod tests {
             vec![],
             vec![
                 Instr::I32Const(0),
-                Instr::I32Load(crate::instr::MemArg { align: 3, offset: 0 }),
+                Instr::I32Load(crate::instr::MemArg {
+                    align: 3,
+                    offset: 0,
+                }),
                 Instr::Drop,
                 Instr::End,
             ],
@@ -746,7 +762,10 @@ mod tests {
             },
             init: Instr::I32Const(0),
         });
-        assert_eq!(validate(&m), Err(ValidationError::ImmutableGlobal { index: 0 }));
+        assert_eq!(
+            validate(&m),
+            Err(ValidationError::ImmutableGlobal { index: 0 })
+        );
     }
 
     #[test]
@@ -756,7 +775,10 @@ mod tests {
             name: "f".into(),
             kind: ExportKind::Func(0),
         });
-        assert!(matches!(validate(&m), Err(ValidationError::BadExport { .. })));
+        assert!(matches!(
+            validate(&m),
+            Err(ValidationError::BadExport { .. })
+        ));
     }
 
     #[test]

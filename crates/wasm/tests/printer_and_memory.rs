@@ -80,12 +80,16 @@ fn memory_never_shrinks_and_tracks_growth() {
 fn data_past_initial_memory_is_reachable_after_growth() {
     let mut mem = LinearMemory::new(Limits::at_least(1));
     let last = (PAGE_SIZE - 8) as u64;
-    mem.write_u64(last, 0xfeed_face_dead_beef).expect("in page one");
+    mem.write_u64(last, 0xfeed_face_dead_beef)
+        .expect("in page one");
     assert!(mem.write_u64(last + PAGE_SIZE as u64, 1).is_err());
     mem.grow(1);
     mem.write_u64(last + PAGE_SIZE as u64, 0xabad_cafe)
         .expect("reachable after grow");
-    assert_eq!(mem.read_u64(last).expect("still intact"), 0xfeed_face_dead_beef);
+    assert_eq!(
+        mem.read_u64(last).expect("still intact"),
+        0xfeed_face_dead_beef
+    );
 }
 
 #[test]

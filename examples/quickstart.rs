@@ -39,7 +39,10 @@ fn main() {
     // JavaScript: same source, same compiler, JS backend.
     let js = run_compiled_js(&JsSpec::new(SOURCE)).expect("js run");
 
-    assert_eq!(wasm.output, js.output, "both backends computed the same result");
+    assert_eq!(
+        wasm.output, js.output,
+        "both backends computed the same result"
+    );
     println!("checksum            : {}", wasm.output[0]);
     println!("wasm   time         : {}", wasm.time);
     println!("js     time         : {}", js.time);
@@ -49,8 +52,12 @@ fn main() {
     println!("wasm   binary size  : {} bytes", wasm.code_size);
     println!("js     source size  : {} bytes", js.code_size);
     println!();
-    println!("wasm time breakdown : load {} + compile {} + exec {}",
-        wasm.clock.load_time, wasm.clock.compile_time, wasm.clock.exec_time);
-    println!("js   time breakdown : parse {} + compile {} + exec {} + gc {}",
-        js.clock.load_time, js.clock.compile_time, js.clock.exec_time, js.clock.gc_time);
+    println!(
+        "wasm time breakdown : load {} + compile {} + exec {}",
+        wasm.clock.load_time, wasm.clock.compile_time, wasm.clock.exec_time
+    );
+    println!(
+        "js   time breakdown : parse {} + compile {} + exec {} + gc {}",
+        js.clock.load_time, js.clock.compile_time, js.clock.exec_time, js.clock.gc_time
+    );
 }

@@ -4,17 +4,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
 echo "== build =="
 cargo build --release
 
 echo "== tests =="
 cargo test -q
 
+echo "== fused-vs-reference differential =="
+cargo test -q -p wb-harness --release --test fused_reference_differential
+
 echo "== quick-grid smoke (fig5 + fig12_13, cached and uncached) =="
 ./target/release/fig5 --quick --out results/quick >/dev/null
 ./target/release/fig12_13 --quick --stats --out results/quick >/dev/null
 # The cache must not change a byte of any emitted table.
 ./target/release/fig12_13 --quick --no-cache --out results/quick >/dev/null
+# Neither may the fused engine: the plain interpreter is the goldens'
+# reference semantics.
+./target/release/fig5 --quick --reference-exec --out results/quick >/dev/null
 
 echo "== golden stability =="
 git diff --exit-code results/

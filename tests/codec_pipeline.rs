@@ -45,12 +45,18 @@ fn toolchain_memory_policies_hold_across_the_corpus() {
             emscripten = emscripten.define(&k, v);
         }
         let c = cheerp.compile_wasm(b.source).expect("cheerp compiles");
-        let e = emscripten.compile_wasm(b.source).expect("emscripten compiles");
+        let e = emscripten
+            .compile_wasm(b.source)
+            .expect("emscripten compiles");
         let c_min = c.module.memory.expect("has memory").limits.min;
         let e_min = e.module.memory.expect("has memory").limits.min;
         assert!(e_min >= 256, "{}: Emscripten starts at ≥16 MiB", b.name);
         assert!(c_min < e_min, "{}: Cheerp starts smaller", b.name);
-        assert!(c.module.start.is_some(), "{}: Cheerp grows at startup", b.name);
+        assert!(
+            c.module.start.is_some(),
+            "{}: Cheerp grows at startup",
+            b.name
+        );
         assert!(e.module.start.is_none(), "{}: Emscripten does not", b.name);
     }
 }

@@ -9,10 +9,18 @@ use wasmbench::env::{Browser, Environment, JitMode, Platform, TierPolicy, Toolch
 use wasmbench::minic::OptLevel;
 
 fn reps() -> Vec<wasmbench::benchmarks::Benchmark> {
-    ["gemm", "jacobi-2d", "durbin", "floyd-warshall", "AES", "DFADD", "SHA"]
-        .iter()
-        .map(|n| suite::find(n).expect("representative exists"))
-        .collect()
+    [
+        "gemm",
+        "jacobi-2d",
+        "durbin",
+        "floyd-warshall",
+        "AES",
+        "DFADD",
+        "SHA",
+    ]
+    .iter()
+    .map(|n| suite::find(n).expect("representative exists"))
+    .collect()
 }
 
 fn wasm_spec(b: &wasmbench::benchmarks::Benchmark, size: InputSize) -> WasmSpec<'_> {
@@ -55,7 +63,10 @@ fn firefox_inverts_the_small_input_result() {
     let mut xs_speedups = Vec::new();
     let mut xl_speedups = Vec::new();
     for b in reps() {
-        for (size, out) in [(InputSize::XS, &mut xs_speedups), (InputSize::XL, &mut xl_speedups)] {
+        for (size, out) in [
+            (InputSize::XS, &mut xs_speedups),
+            (InputSize::XL, &mut xl_speedups),
+        ] {
             let mut ws = wasm_spec(&b, size);
             ws.env = firefox;
             let mut js = js_spec(&b, size);
@@ -154,7 +165,10 @@ fn emscripten_faster_but_bigger_than_cheerp() {
     spec.toolchain = Toolchain::Emscripten;
     let emscripten = run_wasm(&spec).expect("wasm");
     let speed = cheerp.time.0 / emscripten.time.0;
-    assert!(speed > 2.0 && speed < 3.5, "Emscripten ~2.7x faster: {speed}");
+    assert!(
+        speed > 2.0 && speed < 3.5,
+        "Emscripten ~2.7x faster: {speed}"
+    );
     let mem = emscripten.memory_bytes as f64 / cheerp.memory_bytes as f64;
     assert!(mem > 4.0, "Emscripten uses much more memory: {mem}");
 }
