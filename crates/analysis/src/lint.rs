@@ -1,0 +1,370 @@
+//! MiniC corpus lints.
+//!
+//! Three warning-level checks over the typed HIR:
+//!
+//! * **const-index-oob** — an array access whose indices are all compile
+//!   time constants addresses an element outside the declared dimensions.
+//!   Runs on the *const-folded* HIR (after the `-O1` pipeline), where
+//!   `A[N-1]`-style bounds have been reduced to literals.
+//! * **uninitialized-local** — a local is read before any assignment on
+//!   the conservative straight-line walk (assignments inside `if` arms or
+//!   loop bodies count as *maybe* and do suppress the warning).
+//! * **dead-result** — an expression statement computes a value with no
+//!   side effects (no call, no embedded assignment), so the result is
+//!   discarded. Runs on the *unoptimized* HIR, before DCE deletes the
+//!   evidence.
+//!
+//! Lints are advisory: they never fail an analysis run (the corpus is
+//! measured as-is; the lints exist to catch benchmark-porting mistakes).
+
+use wb_minic::hir::{Callee, HExpr, HFunc, HLval, HProgram, HStmt};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Which lint fired.
+    pub lint: &'static str,
+    /// Function the finding is in.
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Run every lint over a program. `folded` should be the same program
+/// after constant folding (the const-index lint runs on it); pass the
+/// unoptimized program twice to skip that distinction.
+pub fn lint_program(raw: &HProgram, folded: &HProgram) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    for f in &folded.funcs {
+        lint_const_index(folded, f, &mut out);
+    }
+    for f in &raw.funcs {
+        lint_uninitialized(f, &mut out);
+        lint_dead_result(f, &mut out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// const-index-oob
+
+fn lint_const_index(p: &HProgram, f: &HFunc, out: &mut Vec<LintFinding>) {
+    walk_exprs(&f.body, &mut |e| {
+        let (array, idx) = match e {
+            HExpr::Elem { array, idx, .. } => (*array, idx),
+            HExpr::AssignExpr { lhs, .. } => match lhs.as_ref() {
+                HLval::Elem { array, idx } => (*array, idx),
+                _ => return,
+            },
+            _ => return,
+        };
+        check_elem(p, f, array, idx, out);
+    });
+    walk_lvals(&f.body, &mut |lv| {
+        if let HLval::Elem { array, idx } = lv {
+            check_elem(p, f, *array, idx, out);
+        }
+    });
+}
+
+fn check_elem(p: &HProgram, f: &HFunc, array: u32, idx: &[HExpr], out: &mut Vec<LintFinding>) {
+    let arr = &p.arrays[array as usize];
+    let consts: Vec<Option<i64>> = idx
+        .iter()
+        .map(|e| match e {
+            HExpr::ConstI(v, _) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    for (k, v) in consts.iter().enumerate() {
+        let Some(v) = v else { continue };
+        let dim = i64::from(arr.dims[k]);
+        if *v < 0 || *v >= dim {
+            out.push(LintFinding {
+                lint: "const-index-oob",
+                func: f.name.clone(),
+                message: format!(
+                    "constant index {v} out of bounds for dimension {k} of '{}' (size {dim})",
+                    arr.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// uninitialized-local
+
+/// Conservative read-before-write: walks the body in program order,
+/// treating branch/loop bodies as *possible* writers (their assignments
+/// mark the local initialized for everything after). Params start
+/// initialized. Only definite straight-line reads before any possible
+/// write are reported.
+fn lint_uninitialized(f: &HFunc, out: &mut Vec<LintFinding>) {
+    let mut maybe_init = vec![false; f.locals.len()];
+    maybe_init[..f.params.len()].fill(true);
+    walk_uninit(&f.body, f, &mut maybe_init, out);
+}
+
+fn walk_uninit(stmts: &[HStmt], f: &HFunc, init: &mut [bool], out: &mut Vec<LintFinding>) {
+    for s in stmts {
+        match s {
+            HStmt::DeclLocal { id, init: rhs } => {
+                if let Some(e) = rhs {
+                    check_reads(e, f, init, out);
+                    init[*id as usize] = true;
+                }
+            }
+            HStmt::Assign { lhs, value } => {
+                check_reads(value, f, init, out);
+                check_lval_reads(lhs, f, init, out);
+                if let HLval::Local(id) = lhs {
+                    init[*id as usize] = true;
+                }
+            }
+            HStmt::Expr(e) => check_reads(e, f, init, out),
+            HStmt::If(c, a, b) => {
+                check_reads(c, f, init, out);
+                walk_uninit(a, f, init, out);
+                walk_uninit(b, f, init, out);
+            }
+            HStmt::Loop {
+                init: li,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                walk_uninit(li, f, init, out);
+                if let Some(c) = cond {
+                    check_reads(c, f, init, out);
+                }
+                walk_uninit(body, f, init, out);
+                walk_uninit(step, f, init, out);
+            }
+            HStmt::Return(e) => {
+                if let Some(e) = e {
+                    check_reads(e, f, init, out);
+                }
+            }
+            HStmt::Break | HStmt::Continue => {}
+            HStmt::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                check_reads(scrut, f, init, out);
+                for (_, body) in cases {
+                    walk_uninit(body, f, init, out);
+                }
+                walk_uninit(default, f, init, out);
+            }
+            HStmt::Block(b) => walk_uninit(b, f, init, out),
+        }
+    }
+}
+
+fn check_reads(e: &HExpr, f: &HFunc, init: &mut [bool], out: &mut Vec<LintFinding>) {
+    each_subexpr(e, &mut |sub| {
+        if let HExpr::Local(id, _) = sub {
+            if !init[*id as usize] {
+                init[*id as usize] = true; // report once per local
+                out.push(LintFinding {
+                    lint: "uninitialized-local",
+                    func: f.name.clone(),
+                    message: format!(
+                        "local '{}' may be read before initialization",
+                        f.locals[*id as usize].0
+                    ),
+                });
+            }
+        }
+        // An embedded assignment initializes from here on.
+        if let HExpr::AssignExpr { lhs, .. } = sub {
+            if let HLval::Local(id) = lhs.as_ref() {
+                init[*id as usize] = true;
+            }
+        }
+    });
+}
+
+fn check_lval_reads(lv: &HLval, f: &HFunc, init: &mut [bool], out: &mut Vec<LintFinding>) {
+    if let HLval::Elem { idx, .. } = lv {
+        for e in idx {
+            check_reads(e, f, init, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// dead-result
+
+fn lint_dead_result(f: &HFunc, out: &mut Vec<LintFinding>) {
+    walk_stmts(&f.body, &mut |s| {
+        if let HStmt::Expr(e) = s {
+            if !has_side_effects(e) {
+                out.push(LintFinding {
+                    lint: "dead-result",
+                    func: f.name.clone(),
+                    message: "expression statement computes an unused value with no side effects"
+                        .into(),
+                });
+            }
+        }
+    });
+}
+
+fn has_side_effects(e: &HExpr) -> bool {
+    let mut found = false;
+    each_subexpr(e, &mut |sub| {
+        if matches!(
+            sub,
+            HExpr::AssignExpr { .. }
+                | HExpr::Call {
+                    callee: Callee::Func(_),
+                    ..
+                }
+                | HExpr::Call {
+                    callee: Callee::Intrinsic(_),
+                    ..
+                }
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+// ---------------------------------------------------------------------
+// Walkers (read-only; the pass helpers in wb-minic are crate-private).
+
+fn walk_stmts(stmts: &[HStmt], f: &mut impl FnMut(&HStmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            HStmt::If(_, a, b) => {
+                walk_stmts(a, f);
+                walk_stmts(b, f);
+            }
+            HStmt::Loop {
+                init, step, body, ..
+            } => {
+                walk_stmts(init, f);
+                walk_stmts(step, f);
+                walk_stmts(body, f);
+            }
+            HStmt::Switch { cases, default, .. } => {
+                for (_, b) in cases {
+                    walk_stmts(b, f);
+                }
+                walk_stmts(default, f);
+            }
+            HStmt::Block(b) => walk_stmts(b, f),
+            _ => {}
+        }
+    }
+}
+
+fn walk_exprs(stmts: &[HStmt], f: &mut impl FnMut(&HExpr)) {
+    walk_stmts(stmts, &mut |s| {
+        let mut on = |e: &HExpr| each_subexpr(e, f);
+        match s {
+            HStmt::DeclLocal { init: Some(e), .. } | HStmt::Expr(e) | HStmt::Return(Some(e)) => {
+                on(e)
+            }
+            HStmt::Assign { value, .. } => on(value),
+            HStmt::If(c, _, _) => on(c),
+            HStmt::Loop { cond: Some(c), .. } => on(c),
+            HStmt::Switch { scrut, .. } => on(scrut),
+            _ => {}
+        }
+    });
+}
+
+fn walk_lvals(stmts: &[HStmt], f: &mut impl FnMut(&HLval)) {
+    walk_stmts(stmts, &mut |s| {
+        if let HStmt::Assign { lhs, .. } = s {
+            f(lhs);
+        }
+    });
+}
+
+fn each_subexpr(e: &HExpr, f: &mut impl FnMut(&HExpr)) {
+    f(e);
+    match e {
+        HExpr::ConstI(..) | HExpr::ConstF(..) | HExpr::Local(..) | HExpr::Global(..) => {}
+        HExpr::Elem { idx, .. } => {
+            for i in idx {
+                each_subexpr(i, f);
+            }
+        }
+        HExpr::Unary(_, a, _) => each_subexpr(a, f),
+        HExpr::Binary(_, a, b, _) | HExpr::Cmp(_, a, b, _) | HExpr::And(a, b) | HExpr::Or(a, b) => {
+            each_subexpr(a, f);
+            each_subexpr(b, f);
+        }
+        HExpr::Ternary(c, a, b, _) => {
+            each_subexpr(c, f);
+            each_subexpr(a, f);
+            each_subexpr(b, f);
+        }
+        HExpr::Call { args, .. } => {
+            for a in args {
+                each_subexpr(a, f);
+            }
+        }
+        HExpr::Cast { expr, .. } => each_subexpr(expr, f),
+        HExpr::AssignExpr { lhs, value, .. } => {
+            if let HLval::Elem { idx, .. } = lhs.as_ref() {
+                for i in idx {
+                    each_subexpr(i, f);
+                }
+            }
+            each_subexpr(value, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_minic::Compiler;
+
+    fn hir(src: &str) -> HProgram {
+        let (h, _) = Compiler::cheerp().frontend(src).unwrap();
+        h
+    }
+
+    #[test]
+    fn flags_constant_oob_index() {
+        let p = hir("int A[4]; int k() { return A[5]; }");
+        let findings = lint_program(&p, &p);
+        assert!(findings
+            .iter()
+            .any(|f| f.lint == "const-index-oob" && f.message.contains("index 5")));
+    }
+
+    #[test]
+    fn flags_uninitialized_read() {
+        let p = hir("int k() { int x; return x; }");
+        let findings = lint_program(&p, &p);
+        assert!(findings
+            .iter()
+            .any(|f| f.lint == "uninitialized-local" && f.message.contains("'x'")));
+    }
+
+    #[test]
+    fn flags_dead_result() {
+        let p = hir("int k() { int x = 1; x + 2; return x; }");
+        let findings = lint_program(&p, &p);
+        assert!(findings.iter().any(|f| f.lint == "dead-result"));
+    }
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let p = hir(
+            "int A[4]; int k() { int s = 0; for (int i = 0; i < 4; i++) s = s + A[i]; return s; }",
+        );
+        assert!(lint_program(&p, &p).is_empty());
+    }
+}

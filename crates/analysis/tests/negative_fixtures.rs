@@ -1,0 +1,214 @@
+//! Negative-fixture corpus for the static verification layer.
+//!
+//! Every fixture here is a deliberately malformed program — MiniC HIR
+//! with a broken invariant, or a Wasm module that must not validate —
+//! paired with the diagnostic the analysis layer is required to produce.
+//! The point is to pin down *which* check fires and *what context* it
+//! carries (pass attribution for IR breaks, function/instruction
+//! context for Wasm breaks), not merely that "an error happens".
+
+use wb_minic::hir::{HExpr, HFunc, HProgram, HStmt, Ty};
+use wb_minic::passes::{run_pipeline_verified, TargetKind};
+use wb_minic::verify::verify_program;
+use wb_minic::{Compiler, OptLevel};
+use wb_wasm::{decode_module, validate, DecodeError, Instr, MemArg, ModuleBuilder, ValType};
+
+fn func(name: &str, ret: Ty, locals: Vec<(String, Ty)>, body: Vec<HStmt>) -> HProgram {
+    HProgram {
+        funcs: vec![HFunc {
+            name: name.into(),
+            params: vec![],
+            ret,
+            locals,
+            body,
+        }],
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// IR verifier fixtures: each names the broken invariant, and the
+// verified pipeline attributes a pre-broken program to "input".
+
+#[test]
+fn ir_break_outside_loop_is_rejected() {
+    let p = func("f", Ty::Void, vec![], vec![HStmt::Break]);
+    let e = verify_program(&p).unwrap_err();
+    assert_eq!(e.func.as_deref(), Some("f"));
+    assert!(e.detail.contains("break"), "{e}");
+}
+
+#[test]
+fn ir_breaks_are_attributed_to_input_by_the_pipeline() {
+    let mut p = func("f", Ty::Void, vec![], vec![HStmt::Continue]);
+    let e = run_pipeline_verified(&mut p, OptLevel::O2, TargetKind::Wasm).unwrap_err();
+    assert_eq!(e.pass, "input");
+    assert!(e.to_string().contains("before pipeline"), "{e}");
+}
+
+#[test]
+fn ir_wrong_cached_binary_type_is_rejected() {
+    // An i32 + i32 node whose cached result type claims f64: exactly the
+    // kind of damage a buggy pass would do.
+    let bad = HExpr::Binary(
+        wb_minic::hir::HBinOp::Add,
+        Box::new(HExpr::ConstI(1, Ty::INT)),
+        Box::new(HExpr::ConstI(2, Ty::INT)),
+        Ty::F64,
+    );
+    let p = func("f", Ty::Void, vec![], vec![HStmt::Expr(bad)]);
+    let e = verify_program(&p).unwrap_err();
+    assert_eq!(e.func.as_deref(), Some("f"));
+}
+
+#[test]
+fn ir_out_of_bounds_local_is_rejected() {
+    let p = func(
+        "f",
+        Ty::INT,
+        vec![],
+        vec![HStmt::Return(Some(HExpr::Local(7, Ty::INT)))],
+    );
+    let e = verify_program(&p).unwrap_err();
+    assert!(e.detail.contains("local"), "{e}");
+}
+
+#[test]
+fn ir_return_arity_mismatch_is_rejected() {
+    // Void function returning a value.
+    let p = func(
+        "f",
+        Ty::Void,
+        vec![],
+        vec![HStmt::Return(Some(HExpr::ConstI(0, Ty::INT)))],
+    );
+    assert!(verify_program(&p).is_err());
+}
+
+#[test]
+fn ir_read_before_def_is_rejected() {
+    let p = func(
+        "f",
+        Ty::INT,
+        vec![("x".into(), Ty::INT)],
+        vec![HStmt::Return(Some(HExpr::Local(0, Ty::INT)))],
+    );
+    let e = verify_program(&p).unwrap_err();
+    assert!(e.detail.contains('x'), "{e}");
+}
+
+// ---------------------------------------------------------------------
+// Frontend fixtures: malformed source never reaches the HIR layer.
+
+#[test]
+fn frontend_rejects_undeclared_identifier() {
+    assert!(Compiler::cheerp()
+        .frontend("int f() { return nope; }")
+        .is_err());
+}
+
+#[test]
+fn frontend_rejects_syntax_error() {
+    assert!(Compiler::cheerp().frontend("int f( { return 0; }").is_err());
+}
+
+// ---------------------------------------------------------------------
+// Wasm validator fixtures: each must fail with the specific variant,
+// and body-level failures must carry function/instruction context.
+
+#[test]
+fn wasm_missing_result_reports_function_context() {
+    let mut b = ModuleBuilder::new();
+    let mut f = b.func("f", vec![], vec![ValType::I32]);
+    f.done(); // close the body without producing the i32 result
+    b.finish_func(f, true);
+    let e = validate(&b.build()).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("func 0"), "no function context: {msg}");
+    assert!(
+        matches!(
+            e.root_cause(),
+            wb_wasm::ValidationError::TypeMismatch { .. }
+        ),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn wasm_bad_local_index_is_rejected() {
+    let mut b = ModuleBuilder::new();
+    let mut f = b.func("f", vec![], vec![]);
+    f.op(Instr::LocalGet(5)).op(Instr::Drop);
+    b.finish_func(f, true);
+    let e = validate(&b.build()).unwrap_err();
+    assert!(
+        matches!(
+            e.root_cause(),
+            wb_wasm::ValidationError::BadLocalIndex { index: 5 }
+        ),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn wasm_branch_past_control_stack_is_rejected() {
+    let mut b = ModuleBuilder::new();
+    let mut f = b.func("f", vec![], vec![]);
+    f.op(Instr::Br(3));
+    b.finish_func(f, true);
+    let e = validate(&b.build()).unwrap_err();
+    assert!(
+        matches!(
+            e.root_cause(),
+            wb_wasm::ValidationError::BadLabel { depth: 3 }
+        ),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn wasm_load_without_memory_is_rejected() {
+    let mut b = ModuleBuilder::new();
+    let mut f = b.func("f", vec![], vec![ValType::I32]);
+    f.op(Instr::I32Const(0))
+        .op(Instr::I32Load(MemArg::natural(4)));
+    b.finish_func(f, true);
+    let e = validate(&b.build()).unwrap_err();
+    assert!(
+        matches!(e.root_cause(), wb_wasm::ValidationError::NoMemory),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn wasm_over_aligned_access_is_rejected() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, None);
+    let mut f = b.func("f", vec![], vec![ValType::I32]);
+    f.op(Instr::I32Const(0)).op(Instr::I32Load(MemArg {
+        align: 3, // 2^3 = 8 > natural 4
+        offset: 0,
+    }));
+    b.finish_func(f, true);
+    let e = validate(&b.build()).unwrap_err();
+    assert!(
+        matches!(e.root_cause(), wb_wasm::ValidationError::BadAlignment),
+        "{e:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Decoder fixtures: malformed binaries never reach validation.
+
+#[test]
+fn decode_rejects_bad_magic() {
+    let e = decode_module(b"\x00msa\x01\x00\x00\x00").unwrap_err();
+    assert_eq!(e, DecodeError::BadHeader);
+}
+
+#[test]
+fn decode_rejects_truncated_module() {
+    // Valid header, then a section id with no size byte.
+    let e = decode_module(b"\x00asm\x01\x00\x00\x00\x0a").unwrap_err();
+    assert!(matches!(e, DecodeError::UnexpectedEof { .. }), "{e:?}");
+}

@@ -68,16 +68,23 @@ fn all_six_environments_resolve_to_sane_profiles() {
 
 #[test]
 fn cycle_time_tracks_platform() {
+    let (mut desktop, mut mobile) = (None, None);
     for env in Environment::all_six() {
         let p = calibration::profile_for(env);
         let expect = match env.platform {
-            Platform::Desktop => DESKTOP_CYCLE_NS,
-            Platform::Mobile => MOBILE_CYCLE_NS,
+            Platform::Desktop => {
+                desktop = Some(p.cycle_time_ns);
+                DESKTOP_CYCLE_NS
+            }
+            Platform::Mobile => {
+                mobile = Some(p.cycle_time_ns);
+                MOBILE_CYCLE_NS
+            }
         };
         assert_eq!(p.cycle_time_ns, expect, "{}", env.label());
     }
     assert!(
-        MOBILE_CYCLE_NS > DESKTOP_CYCLE_NS,
+        mobile.unwrap() > desktop.unwrap(),
         "mobile cores are slower"
     );
 }

@@ -4,8 +4,12 @@
 use wb_benchmarks::InputSize;
 use wb_core::report::{kilobytes, millis, ratio, Table};
 use wb_core::stats::mean;
+use wb_core::Measurement;
 use wb_env::Environment;
 use wb_harness::{Cli, GridEngine, Run};
+
+/// One measured grid cell: (benchmark name, environment, wasm, js).
+type Cell = (&'static str, Environment, Measurement, Measurement);
 
 fn main() {
     let cli = Cli::from_env();
@@ -59,16 +63,7 @@ fn main() {
         "Table 8: arithmetic averages across 41 benchmarks",
         &["metric", "Chrome", "Firefox", "Edge"],
     );
-    let avg = |env: Environment,
-               f: &dyn Fn(
-        &(
-            &str,
-            Environment,
-            wb_core::Measurement,
-            wb_core::Measurement,
-        ),
-    ) -> f64|
-     -> f64 {
+    let avg = |env: Environment, f: &dyn Fn(&Cell) -> f64| -> f64 {
         let vals: Vec<f64> = cells
             .iter()
             .filter(|(_, e, _, _)| *e == env)

@@ -134,6 +134,36 @@ fn main() {
     eprintln!("[wrote {}]", path.display());
 
     vmexec(&dir);
+    analyze_bench(&dir);
+}
+
+/// Wall-clock of the full static-verification sweep (`wb analyze --all`):
+/// IR verification of every kernel at every level for every target, a
+/// type-check of every emitted Wasm module, the fusion audit of both VMs
+/// and the corpus lints. Tracked so the verification layer's cost stays
+/// visible as the corpus and pass pipeline grow.
+fn analyze_bench(dir: &std::path::Path) {
+    let cfg = wb_analysis::AnalysisConfig::full();
+    let t0 = Instant::now();
+    let report = wb_analysis::analyze(&cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    let checks = report.ir.len() + report.wasm.len() + report.fusion.len();
+    assert!(report.ok(), "analysis failures: {:?}", report.failures());
+    eprintln!(
+        "[analyze] {checks} checks, {} lint finding(s), {wall:.3}s",
+        report.lints.len()
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"analyze\",\n  \"checks\": {checks},\n  \"ir_checks\": {},\n  \"wasm_checks\": {},\n  \"fusion_checks\": {},\n  \"lint_findings\": {},\n  \"wall_s\": {wall:.6},\n  \"ok\": {}\n}}\n",
+        report.ir.len(),
+        report.wasm.len(),
+        report.fusion.len(),
+        report.lints.len(),
+        report.ok()
+    );
+    let path = dir.join("BENCH_analyze.json");
+    std::fs::write(&path, json).expect("write json");
+    eprintln!("[wrote {}]", path.display());
 }
 
 /// The exec-dominated slice: kernels whose grid wall-clock is spent

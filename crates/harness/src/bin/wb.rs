@@ -1,0 +1,103 @@
+//! `wb` — the repo's front door for static verification.
+//!
+//! ```text
+//! wb analyze --all                 # full corpus sweep (verify.sh gate)
+//! wb analyze --quick               # 3-kernel smoke subset
+//! wb analyze --kernels gemm,AES    # named kernels only
+//! wb analyze --all --out report.json
+//! ```
+//!
+//! Runs the `wb-analysis` sweep — IR verification between every pass at
+//! every opt level, Wasm type-checking of every emitted module, the
+//! fusion cost-equivalence audit of both VMs, and the corpus lints — and
+//! prints a one-line summary. Failures of the hard checks (everything
+//! but lints) list their diagnostics and set a non-zero exit status.
+//! `--out` additionally writes the machine-readable JSON report.
+
+use wb_analysis::{analyze, AnalysisConfig};
+use wb_benchmarks::InputSize;
+use wb_harness::Cli;
+
+const USAGE: &str =
+    "usage: wb analyze [--all|--quick] [--kernels a,b] [--sizes XS,M] [--no-fusion] [--out report.json]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("analyze") {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    for flag in args[1..].iter().filter_map(|a| a.strip_prefix("--")) {
+        let name = flag.split_once('=').map_or(flag, |(k, _)| k);
+        if !matches!(
+            name,
+            "all" | "quick" | "kernels" | "sizes" | "no-fusion" | "out"
+        ) {
+            eprintln!("unknown flag '--{name}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    let cli = Cli::from_args(args[1..].iter().cloned());
+
+    let mut cfg = if cli.has("quick") {
+        AnalysisConfig::quick()
+    } else {
+        AnalysisConfig::full()
+    };
+    if let Some(list) = cli.get("kernels") {
+        cfg.kernels = list.split(',').map(str::to_string).collect();
+    }
+    if let Some(list) = cli.get("sizes") {
+        cfg.sizes = list
+            .split(',')
+            .map(|s| match s {
+                "XS" => InputSize::XS,
+                "S" => InputSize::S,
+                "M" => InputSize::M,
+                "L" => InputSize::L,
+                "XL" => InputSize::XL,
+                other => {
+                    eprintln!("unknown size '{other}' (use XS,S,M,L,XL)");
+                    std::process::exit(2);
+                }
+            })
+            .collect();
+    }
+    if cli.has("no-fusion") {
+        cfg.fusion = false;
+    }
+
+    let t0 = std::time::Instant::now();
+    let report = analyze(&cfg);
+    let elapsed = t0.elapsed();
+
+    println!(
+        "analyze: {} ({:.2}s)",
+        report.summary(),
+        elapsed.as_secs_f64()
+    );
+    for lint in &report.lints {
+        println!(
+            "  lint [{}] {} ({}, {}): {}",
+            lint.finding.lint, lint.kernel, lint.size, lint.finding.func, lint.finding.message
+        );
+    }
+    for failure in report.failures() {
+        println!(
+            "  FAIL {} {} [{}]: {}",
+            failure.kernel,
+            failure.level,
+            failure.subject,
+            failure.error.as_deref().unwrap_or("?")
+        );
+    }
+
+    if let Some(path) = cli.get("out") {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("[wrote {path}]");
+    }
+
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,444 @@
+//! Static cost-equivalence audit of the MiniJS fusion overlay.
+//!
+//! Mirror of `wb_wasm_vm::audit` for the JS engine: every fused form in
+//! [`fuse`](crate::fuse) is symbolically expanded for every operator it
+//! can carry (all 11 [`BinKind`]s, all 8 [`CmpKind`]s, every inline-cache
+//! shape) and its charge plan — op-class bumps, Table 12 arithmetic
+//! bumps, typed-array-aware index counts — is compared event-for-event
+//! against the plain interpreter's plans for the constituent opcodes.
+//!
+//! Two structural facts make the remaining behavior trivially equivalent
+//! and are therefore *documented* rather than audited per instance:
+//!
+//! * fused guards run **before** any charge, so an IC miss or non-`Num`
+//!   operand falls back with the virtual-cost state untouched and the
+//!   plain loop replays the reference path exactly;
+//! * fused fast paths never allocate, never resize heap objects and never
+//!   note hotness, so GC safe-points and tier transitions coincide with
+//!   the reference at every op boundary. The one permitted divergence is
+//!   step-budget batching per group (checked as a total here).
+//!
+//! Index counts are compared as symbolic `index(load|store)` events:
+//! the fused [`count_cached_index`] and the reference `count_index_op`
+//! route to `ta_counts` vs `tier_counts` by the *same* (typed, tier)
+//! predicate, and the IC guarantees the fused `typed` bit equals what the
+//! reference would recompute from the receiver.
+
+use crate::bytecode::{Chunk, Const, Op};
+use crate::fuse::{match_at, BinKind, CmpKind, FOp};
+use wb_env::OpClass;
+
+/// One audited (family, operator) instance.
+#[derive(Debug, Clone)]
+pub struct FusionAuditEntry {
+    /// Fused family name (e.g. `"LLBinStore"`).
+    pub family: &'static str,
+    /// Instance label (family plus the carried operator).
+    pub instance: String,
+    /// Source opcodes the fused form covers.
+    pub constituents: Vec<String>,
+    /// The fused form's charge plan, one event per line.
+    pub fused_charges: Vec<String>,
+    /// The plain interpreter's concatenated charge plan.
+    pub reference_charges: Vec<String>,
+    /// Whether the plans agree (and the overlay round-trips).
+    pub ok: bool,
+    /// Human-readable reason when `ok` is false.
+    pub detail: Option<String>,
+}
+
+/// A single observable cost event; `Step` totals are compared separately
+/// (budget batching is the documented divergence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    /// One `tier_counts[tier].bump(class, 1)`.
+    Class(OpClass),
+    /// One Table 12 arithmetic-profile bump (field name).
+    Arith(&'static str),
+    /// One typed-array-aware index count (`count_index_op` /
+    /// `count_cached_index` — identical routing on (typed, tier)).
+    Index {
+        /// Whether it counts as a store.
+        store: bool,
+    },
+}
+
+impl Ev {
+    fn render(&self) -> String {
+        match self {
+            Ev::Class(c) => format!("class:{c:?}"),
+            Ev::Arith(field) => format!("arith:{field}"),
+            Ev::Index { store: false } => "index:load".into(),
+            Ev::Index { store: true } => "index:store".into(),
+        }
+    }
+}
+
+/// The source opcode a [`BinKind`] was lifted from. Exhaustive — a new
+/// `BinKind` variant fails to compile until the audit covers it.
+fn op_of_bin(op: BinKind) -> Op {
+    match op {
+        BinKind::Add => Op::Add,
+        BinKind::Sub => Op::Sub,
+        BinKind::Mul => Op::Mul,
+        BinKind::Div => Op::Div,
+        BinKind::Mod => Op::Mod,
+        BinKind::BitAnd => Op::BitAnd,
+        BinKind::BitOr => Op::BitOr,
+        BinKind::BitXor => Op::BitXor,
+        BinKind::Shl => Op::Shl,
+        BinKind::Shr => Op::Shr,
+        BinKind::UShr => Op::UShr,
+    }
+}
+
+/// Exhaustive `CmpKind` → source opcode map.
+fn op_of_cmp(op: CmpKind) -> Op {
+    match op {
+        CmpKind::Lt => Op::Lt,
+        CmpKind::Gt => Op::Gt,
+        CmpKind::Le => Op::Le,
+        CmpKind::Ge => Op::Ge,
+        CmpKind::EqEq => Op::EqEq,
+        CmpKind::NotEq => Op::NotEq,
+        CmpKind::StrictEq => Op::StrictEq,
+        CmpKind::StrictNe => Op::StrictNe,
+    }
+}
+
+const ALL_BINS: [BinKind; 11] = [
+    BinKind::Add,
+    BinKind::Sub,
+    BinKind::Mul,
+    BinKind::Div,
+    BinKind::Mod,
+    BinKind::BitAnd,
+    BinKind::BitOr,
+    BinKind::BitXor,
+    BinKind::Shl,
+    BinKind::Shr,
+    BinKind::UShr,
+];
+
+const ALL_CMPS: [CmpKind; 8] = [
+    CmpKind::Lt,
+    CmpKind::Gt,
+    CmpKind::Le,
+    CmpKind::Ge,
+    CmpKind::EqEq,
+    CmpKind::NotEq,
+    CmpKind::StrictEq,
+    CmpKind::StrictNe,
+];
+
+/// The `run()` loop's Table 12 bump for a source opcode (mirrors the
+/// arith match in `vm.rs`; ops outside that table bump nothing).
+fn ref_arith(op: &Op) -> Option<&'static str> {
+    match op {
+        Op::Add | Op::Sub => Some("add"),
+        Op::Mul => Some("mul"),
+        Op::Div => Some("div"),
+        Op::Mod => Some("rem"),
+        Op::Shl | Op::Shr | Op::UShr => Some("shift"),
+        Op::BitAnd => Some("and"),
+        Op::BitOr | Op::BitXor => Some("or"),
+        _ => None,
+    }
+}
+
+/// `VmState::bump_bin`'s Table 12 field for a fused binary op —
+/// exhaustive so the audit and the VM can't drift silently.
+fn fused_arith(op: BinKind) -> &'static str {
+    match op {
+        BinKind::Add | BinKind::Sub => "add",
+        BinKind::Mul => "mul",
+        BinKind::Div => "div",
+        BinKind::Mod => "rem",
+        BinKind::Shl | BinKind::Shr | BinKind::UShr => "shift",
+        BinKind::BitAnd => "and",
+        BinKind::BitOr | BinKind::BitXor => "or",
+    }
+}
+
+/// The plain interpreter's charge plan: per opcode, one step, then its
+/// class bump (index ops count inside their handler instead), then its
+/// Table 12 bump — the exact order of the `run()` loop.
+fn reference_plan(ops: &[Op]) -> (u64, Vec<Ev>) {
+    let mut evs = Vec::new();
+    for op in ops {
+        match op {
+            Op::GetIndex => evs.push(Ev::Index { store: false }),
+            Op::SetIndex => evs.push(Ev::Index { store: true }),
+            other => {
+                evs.push(Ev::Class(other.class()));
+                if let Some(field) = ref_arith(other) {
+                    evs.push(Ev::Arith(field));
+                }
+            }
+        }
+    }
+    (ops.len() as u64, evs)
+}
+
+/// The fused path's charge plan, transcribing the `exec_fused` arms in
+/// `vm.rs` event-for-event. Wildcard-free: a new `FOp` variant fails to
+/// compile until the audit covers it.
+fn fused_plan(fop: &FOp) -> (u64, Vec<Ev>) {
+    let mut evs = Vec::new();
+    let steps = match fop {
+        FOp::LLBin { op, .. } => {
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(op.class()));
+            evs.push(Ev::Arith(fused_arith(*op)));
+            3
+        }
+        FOp::LLBinStore { op, .. } => {
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(op.class()));
+            evs.push(Ev::Arith(fused_arith(*op)));
+            evs.push(Ev::Class(OpClass::Local));
+            4
+        }
+        FOp::LCBin { op, .. } => {
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Const));
+            evs.push(Ev::Class(op.class()));
+            evs.push(Ev::Arith(fused_arith(*op)));
+            3
+        }
+        FOp::LCBinStore { op, .. } => {
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Const));
+            evs.push(Ev::Class(op.class()));
+            evs.push(Ev::Arith(fused_arith(*op)));
+            evs.push(Ev::Class(OpClass::Local));
+            4
+        }
+        FOp::CStore { .. } => {
+            evs.push(Ev::Class(OpClass::Const));
+            evs.push(Ev::Class(OpClass::Local));
+            2
+        }
+        FOp::CmpJf { .. } => {
+            evs.push(Ev::Class(OpClass::Compare));
+            evs.push(Ev::Class(OpClass::Branch));
+            2
+        }
+        FOp::LLCmpJf { .. } => {
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Compare));
+            evs.push(Ev::Class(OpClass::Branch));
+            4
+        }
+        FOp::LCCmpJf { .. } => {
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Const));
+            evs.push(Ev::Class(OpClass::Compare));
+            evs.push(Ev::Class(OpClass::Branch));
+            4
+        }
+        FOp::LLGetIndex { .. } => {
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Class(OpClass::Local));
+            evs.push(Ev::Index { store: false });
+            3
+        }
+        FOp::GetIndexIc { .. } => {
+            evs.push(Ev::Index { store: false });
+            1
+        }
+        FOp::SetIndexIc { pop, .. } => {
+            evs.push(Ev::Index { store: true });
+            if *pop {
+                evs.push(Ev::Class(OpClass::Other));
+            }
+            1 + *pop as u64
+        }
+    };
+    (steps, evs)
+}
+
+/// Family name of a fused form (wildcard-free on purpose).
+fn family_of(fop: &FOp) -> &'static str {
+    match fop {
+        FOp::LLBin { .. } => "LLBin",
+        FOp::LLBinStore { .. } => "LLBinStore",
+        FOp::LCBin { .. } => "LCBin",
+        FOp::LCBinStore { .. } => "LCBinStore",
+        FOp::CStore { .. } => "CStore",
+        FOp::CmpJf { .. } => "CmpJf",
+        FOp::LLCmpJf { .. } => "LLCmpJf",
+        FOp::LCCmpJf { .. } => "LCCmpJf",
+        FOp::LLGetIndex { .. } => "LLGetIndex",
+        FOp::GetIndexIc { .. } => "GetIndexIc",
+        FOp::SetIndexIc { pop: false, .. } => "SetIndexIc",
+        FOp::SetIndexIc { pop: true, .. } => "SetIndexPopIc",
+    }
+}
+
+/// Every (family, constituent-sequence) instance the overlay builder can
+/// produce. Numeric-constant pools and jump offsets are placeholders —
+/// charge plans do not depend on them.
+fn enumerate_instances() -> Vec<(&'static str, String, Vec<Op>)> {
+    let mut out = Vec::new();
+    let ll = |i| Op::LoadLocal(i);
+    for &bin in &ALL_BINS {
+        let b = op_of_bin(bin);
+        let label = format!("{bin:?}");
+        out.push(("LLBin", label.clone(), vec![ll(0), ll(1), b.clone()]));
+        out.push((
+            "LLBinStore",
+            label.clone(),
+            vec![ll(0), ll(1), b.clone(), Op::StoreLocal(2)],
+        ));
+        out.push(("LCBin", label.clone(), vec![ll(0), Op::Const(0), b.clone()]));
+        out.push((
+            "LCBinStore",
+            label,
+            vec![ll(0), Op::Const(0), b, Op::StoreLocal(2)],
+        ));
+    }
+    for &cmp in &ALL_CMPS {
+        let c = op_of_cmp(cmp);
+        let label = format!("{cmp:?}");
+        out.push(("CmpJf", label.clone(), vec![c.clone(), Op::JumpIfFalse(1)]));
+        out.push((
+            "LLCmpJf",
+            label.clone(),
+            vec![ll(0), ll(1), c.clone(), Op::JumpIfFalse(1)],
+        ));
+        out.push((
+            "LCCmpJf",
+            label,
+            vec![ll(0), Op::Const(0), c, Op::JumpIfFalse(1)],
+        ));
+    }
+    out.push((
+        "CStore",
+        "Num".into(),
+        vec![Op::Const(0), Op::StoreLocal(2)],
+    ));
+    out.push(("LLGetIndex", "ic".into(), vec![ll(0), ll(1), Op::GetIndex]));
+    out.push(("GetIndexIc", "ic".into(), vec![Op::GetIndex]));
+    out.push(("SetIndexIc", "ic".into(), vec![Op::SetIndex]));
+    out.push(("SetIndexPopIc", "ic".into(), vec![Op::SetIndex, Op::Pop]));
+    out
+}
+
+/// Audit every fused form the MiniJS overlay can emit. An entry is `ok`
+/// when the overlay builder recognizes the constituents as the expected
+/// family at the full width and the fused charge plan equals the plain
+/// interpreter's concatenation event-for-event.
+pub fn audit_fusion_table() -> Vec<FusionAuditEntry> {
+    let mut entries = Vec::new();
+    for (family, label, ops) in enumerate_instances() {
+        let chunk = Chunk {
+            code: ops.clone(),
+            consts: vec![Const::Num(1.0)],
+            ..Default::default()
+        };
+        let mut next_ic = 0u32;
+        let mut detail = None;
+        let mut fused_rendered = Vec::new();
+        let (ref_steps, ref_evs) = reference_plan(&ops);
+
+        match match_at(&chunk, 0, &mut next_ic) {
+            Some(fop) if fop.width() == ops.len() && family_of(&fop) == family => {
+                let (steps, evs) = fused_plan(&fop);
+                fused_rendered = evs.iter().map(Ev::render).collect();
+                if steps != ref_steps {
+                    detail = Some(format!("step total {steps} != reference {ref_steps}"));
+                } else if evs != ref_evs {
+                    detail = Some("charge plans differ".into());
+                }
+            }
+            Some(fop) => {
+                detail = Some(format!(
+                    "overlay mismatch: got {} at width {}, expected {family} at width {}",
+                    family_of(&fop),
+                    fop.width(),
+                    ops.len()
+                ));
+            }
+            None => detail = Some("constituents did not fuse".into()),
+        }
+
+        entries.push(FusionAuditEntry {
+            family,
+            instance: format!("{family}[{label}]"),
+            constituents: ops.iter().map(|o| format!("{o:?}")).collect(),
+            fused_charges: fused_rendered,
+            reference_charges: ref_evs.iter().map(Ev::render).collect(),
+            ok: detail.is_none(),
+            detail,
+        });
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_instance_is_cost_equivalent() {
+        let entries = audit_fusion_table();
+        let bad: Vec<_> = entries.iter().filter(|e| !e.ok).collect();
+        assert!(
+            bad.is_empty(),
+            "{} non-equivalent instances, first: {:?}",
+            bad.len(),
+            bad.first()
+        );
+    }
+
+    #[test]
+    fn covers_every_family_and_operator() {
+        let entries = audit_fusion_table();
+        // 11 bins × 4 families + 8 cmps × 3 families + CStore +
+        // LLGetIndex + GetIndexIc + SetIndexIc ± pop.
+        let expected = ALL_BINS.len() * 4 + ALL_CMPS.len() * 3 + 1 + 4;
+        assert_eq!(entries.len(), expected);
+        let families: std::collections::BTreeSet<_> = entries.iter().map(|e| e.family).collect();
+        assert_eq!(
+            families.into_iter().collect::<Vec<_>>(),
+            vec![
+                "CStore",
+                "CmpJf",
+                "GetIndexIc",
+                "LCBin",
+                "LCBinStore",
+                "LCCmpJf",
+                "LLBin",
+                "LLBinStore",
+                "LLCmpJf",
+                "LLGetIndex",
+                "SetIndexIc",
+                "SetIndexPopIc"
+            ]
+        );
+    }
+
+    #[test]
+    fn arith_follows_reference_table() {
+        let entries = audit_fusion_table();
+        let div = entries
+            .iter()
+            .find(|e| e.instance == "LLBinStore[Div]")
+            .unwrap();
+        assert_eq!(
+            div.fused_charges,
+            vec![
+                "class:Local",
+                "class:Local",
+                "class:FloatDiv",
+                "arith:div",
+                "class:Local"
+            ]
+        );
+        assert_eq!(div.fused_charges, div.reference_charges);
+    }
+}

@@ -554,10 +554,8 @@ fn add_const(chunk: &mut Chunk, c: Const) -> u32 {
 fn hoist(body: &[Stmt], locals: &mut Vec<String>) {
     for s in body {
         match s {
-            Stmt::Decl(name, _) | Stmt::Function { name, .. } => {
-                if !locals.contains(name) {
-                    locals.push(name.clone());
-                }
+            Stmt::Decl(name, _) | Stmt::Function { name, .. } if !locals.contains(name) => {
+                locals.push(name.clone());
             }
             Stmt::If(_, a, b) => {
                 hoist(a, locals);

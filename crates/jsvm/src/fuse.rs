@@ -299,7 +299,7 @@ fn alloc_ic(next_ic: &mut u32) -> u32 {
 }
 
 /// Greedy longest-pattern match at `pc`.
-fn match_at(chunk: &Chunk, pc: usize, next_ic: &mut u32) -> Option<FOp> {
+pub(crate) fn match_at(chunk: &Chunk, pc: usize, next_ic: &mut u32) -> Option<FOp> {
     let code = &chunk.code;
     let at = |i: usize| code.get(pc + i);
 

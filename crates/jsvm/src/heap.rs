@@ -16,7 +16,7 @@ pub enum Obj {
     Arr(Vec<Value>),
     /// A plain object: insertion-ordered (name-index, value) pairs.
     /// MiniJS objects are small; linear lookup is deterministic and cheap.
-    Obj(Vec<(u32, Value)>),
+    Dict(Vec<(u32, Value)>),
     /// A string.
     Str(String),
     /// `Float64Array` (backing store counted as external bytes).
@@ -34,7 +34,7 @@ impl Obj {
         const HEADER: u64 = 32;
         match self {
             Obj::Arr(v) => HEADER + 16 * v.len() as u64,
-            Obj::Obj(fields) => HEADER + 32 * fields.len() as u64,
+            Obj::Dict(fields) => HEADER + 32 * fields.len() as u64,
             Obj::Str(s) => HEADER + s.len() as u64,
             Obj::F64(_) | Obj::I32(_) | Obj::U8(_) => HEADER,
         }
@@ -177,7 +177,7 @@ impl Heap {
                         }
                     }
                 }
-                Obj::Obj(fields) => {
+                Obj::Dict(fields) => {
                     for (_, v) in fields {
                         if let Value::Ref(child) = v {
                             worklist.push(*child);

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod audit;
 mod bytecode;
 mod compile;
 mod error;

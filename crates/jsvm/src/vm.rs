@@ -325,7 +325,7 @@ impl JsVm {
                 Obj::U8(items) => {
                     JsValue::Array(items.iter().map(|v| JsValue::Num(*v as f64)).collect())
                 }
-                Obj::Obj(_) => JsValue::Undefined,
+                Obj::Dict(_) => JsValue::Undefined,
             },
         }
     }
@@ -467,7 +467,7 @@ impl JsVm {
                     let parts: Vec<String> = items.iter().map(|v| v.to_string()).collect();
                     parts.join(",")
                 }
-                Obj::Obj(_) => "[object Object]".into(),
+                Obj::Dict(_) => "[object Object]".into(),
             },
         }
     }
@@ -790,7 +790,7 @@ impl JsVm {
                         let keys = &chunk.object_shapes[*shape as usize];
                         let values = self.stack.split_off(self.stack.len() - keys.len());
                         let fields: Vec<(u32, Value)> = keys.iter().copied().zip(values).collect();
-                        let r = self.alloc(Obj::Obj(fields));
+                        let r = self.alloc(Obj::Dict(fields));
                         self.stack.push(Value::Ref(r));
                     }
                     Op::NewTyped(kind) => {
@@ -1199,7 +1199,7 @@ impl JsVm {
             Obj::F64(_) => IcKind::F64,
             Obj::I32(_) => IcKind::I32,
             Obj::U8(_) => IcKind::U8,
-            Obj::Str(_) | Obj::Obj(_) => return,
+            Obj::Str(_) | Obj::Dict(_) => return,
         };
         self.ic_state[ic as usize] = IcEntry {
             generation: self.heap.generation(),
@@ -1260,7 +1260,7 @@ impl JsVm {
                 }
                 None => Value::Undefined,
             },
-            Obj::Obj(_) => Value::Undefined,
+            Obj::Dict(_) => Value::Undefined,
         })
     }
 
@@ -1302,7 +1302,7 @@ impl JsVm {
                     *slot = (vi & 0xff) as u8;
                 }
             }
-            Obj::Str(_) | Obj::Obj(_) => return Ok(()),
+            Obj::Str(_) | Obj::Dict(_) => return Ok(()),
         }
         self.heap.note_resize(oh, oe, r);
         Ok(())
@@ -1349,7 +1349,7 @@ impl JsVm {
                 } else {
                     Value::Undefined
                 }),
-                Obj::Obj(fields) => Ok(fields
+                Obj::Dict(fields) => Ok(fields
                     .iter()
                     .find(|(k, _)| *k == ni)
                     .map(|(_, v)| *v)
@@ -1371,7 +1371,7 @@ impl JsVm {
             (o.heap_bytes(), o.external_bytes())
         };
         match self.heap.get_mut(r) {
-            Obj::Obj(fields) => match fields.iter_mut().find(|(k, _)| *k == ni) {
+            Obj::Dict(fields) => match fields.iter_mut().find(|(k, _)| *k == ni) {
                 Some((_, slot)) => *slot = val,
                 None => fields.push((ni, val)),
             },
@@ -1535,7 +1535,7 @@ impl JsVm {
             Value::Ref(r) => {
                 let obj_data = self.heap.get(r).clone();
                 match obj_data {
-                    Obj::Obj(fields) => {
+                    Obj::Dict(fields) => {
                         // A closure-valued property: a "method" on a plain
                         // object (how the mathjs-style library is built).
                         let f = fields.iter().find(|(k, _)| *k == ni).map(|(_, v)| *v);

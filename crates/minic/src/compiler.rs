@@ -6,7 +6,7 @@ use crate::backend::{emit_js, emit_wasm, NativeProgram};
 use crate::error::CompileError;
 use crate::hir::HProgram;
 use crate::opt::OptLevel;
-use crate::passes::{run_pipeline, TargetKind};
+use crate::passes::{run_pipeline, run_pipeline_verified, TargetKind};
 use crate::transform::{transform_unit, TransformReport};
 use std::collections::HashMap;
 use wb_env::{CompilerProfile, Toolchain};
@@ -58,6 +58,7 @@ pub struct Compiler {
     level: OptLevel,
     defines: HashMap<String, String>,
     heap_limit: Option<u64>,
+    verify_ir: bool,
 }
 
 impl Compiler {
@@ -68,6 +69,9 @@ impl Compiler {
             level: OptLevel::O2,
             defines: HashMap::new(),
             heap_limit: None,
+            // Debug builds always verify the IR between passes; release
+            // builds opt in via `--verify-ir` / `.verify_ir(true)`.
+            verify_ir: cfg!(debug_assertions),
         }
     }
 
@@ -99,6 +103,13 @@ impl Compiler {
         self
     }
 
+    /// Verify IR invariants between every optimization pass
+    /// (`--verify-ir`). On by default in debug builds.
+    pub fn verify_ir(mut self, on: bool) -> Self {
+        self.verify_ir = on;
+        self
+    }
+
     /// The configured level.
     pub fn level(&self) -> OptLevel {
         self.level
@@ -121,7 +132,16 @@ impl Compiler {
         target: TargetKind,
     ) -> Result<(HProgram, TransformReport), CompileError> {
         let (mut hir, report) = self.frontend(source)?;
-        run_pipeline(&mut hir, self.level, target);
+        if self.verify_ir {
+            run_pipeline_verified(&mut hir, self.level, target).map_err(|e| {
+                CompileError::Verify {
+                    pass: e.pass.to_string(),
+                    message: e.error.to_string(),
+                }
+            })?;
+        } else {
+            run_pipeline(&mut hir, self.level, target);
+        }
         Ok((hir, report))
     }
 

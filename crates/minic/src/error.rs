@@ -40,6 +40,13 @@ pub enum CompileError {
         /// Description.
         message: String,
     },
+    /// An optimization pass broke an IR invariant (`--verify-ir`).
+    Verify {
+        /// The pass that broke the invariant.
+        pass: String,
+        /// Description of the broken invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -54,6 +61,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::Sema { message } => write!(f, "semantic error: {message}"),
             CompileError::Codegen { message } => write!(f, "codegen error: {message}"),
+            CompileError::Verify { pass, message } => {
+                write!(f, "IR verification failed (pass '{pass}'): {message}")
+            }
         }
     }
 }

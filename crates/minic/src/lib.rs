@@ -49,6 +49,7 @@ pub mod passes;
 mod preprocess;
 mod sema;
 pub mod transform;
+pub mod verify;
 
 pub use compiler::{CompileOutput, Compiler, JsOutput, WasmOutput};
 pub use error::CompileError;

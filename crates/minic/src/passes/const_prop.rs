@@ -13,11 +13,9 @@ pub fn const_prop(p: &mut HProgram) {
     for f in &mut p.funcs {
         // Which locals are ever reassigned (params count as assigned).
         let mut reassigned = vec![false; f.locals.len()];
-        for i in 0..f.params.len() {
-            reassigned[i] = true;
-        }
+        reassigned[..f.params.len()].fill(true);
         let mut decl_const: HashMap<LocalId, HExpr> = HashMap::new();
-        collect(&f.body, &mut reassigned, &mut decl_const, &mut 0);
+        collect(&f.body, &mut reassigned, &mut decl_const);
         // A local declared more than once in different scopes is skipped
         // (`collect` drops duplicates), as is anything reassigned.
         let subst: HashMap<LocalId, HExpr> = decl_const
@@ -39,12 +37,7 @@ pub fn const_prop(p: &mut HProgram) {
     }
 }
 
-fn collect(
-    stmts: &[HStmt],
-    reassigned: &mut [bool],
-    decl_const: &mut HashMap<LocalId, HExpr>,
-    depth: &mut u32,
-) {
+fn collect(stmts: &[HStmt], reassigned: &mut [bool], decl_const: &mut HashMap<LocalId, HExpr>) {
     for s in stmts {
         match s {
             HStmt::DeclLocal { id, init } => {
@@ -60,16 +53,16 @@ fn collect(
                     _ => reassigned[*id as usize] = true,
                 }
             }
-            HStmt::Assign { lhs, value: _ } => {
-                if let HLval::Local(id) = lhs {
-                    reassigned[*id as usize] = true;
-                }
-            }
+            HStmt::Assign {
+                lhs: HLval::Local(id),
+                ..
+            } => reassigned[*id as usize] = true,
+            HStmt::Assign { .. } => {}
             HStmt::Expr(e) | HStmt::Return(Some(e)) => mark_expr(e, reassigned),
             HStmt::If(c, a, b) => {
                 mark_expr(c, reassigned);
-                collect(a, reassigned, decl_const, depth);
-                collect(b, reassigned, decl_const, depth);
+                collect(a, reassigned, decl_const);
+                collect(b, reassigned, decl_const);
             }
             HStmt::Loop {
                 init,
@@ -78,12 +71,12 @@ fn collect(
                 body,
                 ..
             } => {
-                collect(init, reassigned, decl_const, depth);
+                collect(init, reassigned, decl_const);
                 if let Some(c) = cond {
                     mark_expr(c, reassigned);
                 }
-                collect(step, reassigned, decl_const, depth);
-                collect(body, reassigned, decl_const, depth);
+                collect(step, reassigned, decl_const);
+                collect(body, reassigned, decl_const);
             }
             HStmt::Switch {
                 scrut,
@@ -92,11 +85,11 @@ fn collect(
             } => {
                 mark_expr(scrut, reassigned);
                 for (_, b) in cases {
-                    collect(b, reassigned, decl_const, depth);
+                    collect(b, reassigned, decl_const);
                 }
-                collect(default, reassigned, decl_const, depth);
+                collect(default, reassigned, decl_const);
             }
-            HStmt::Block(b) => collect(b, reassigned, decl_const, depth),
+            HStmt::Block(b) => collect(b, reassigned, decl_const),
             _ => {}
         }
     }

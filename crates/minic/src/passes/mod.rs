@@ -22,14 +22,14 @@ pub use dce::dce;
 pub use fast_math::fast_math;
 pub use globalopt::globalopt;
 pub use inline::inline;
-pub use pipeline::{run_pipeline, TargetKind};
+pub use pipeline::{run_pipeline, run_pipeline_verified, PassError, TargetKind};
 pub use shrinkwrap::shrinkwrap;
 pub use vectorize::vectorize_loops;
 
 use crate::hir::{HExpr, HStmt};
 
 /// Walk every statement in a body, depth-first, with a mutable visitor.
-pub(crate) fn visit_stmts_mut(stmts: &mut Vec<HStmt>, f: &mut impl FnMut(&mut HStmt)) {
+pub(crate) fn visit_stmts_mut(stmts: &mut [HStmt], f: &mut impl FnMut(&mut HStmt)) {
     for s in stmts.iter_mut() {
         match s {
             HStmt::If(_, a, b) => {

@@ -4,6 +4,8 @@
 use super::*;
 use crate::hir::HProgram;
 use crate::opt::OptLevel;
+use crate::verify::{verify_program, VerifyError};
+use std::fmt;
 
 /// Compilation target, as far as the pass pipeline cares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,67 +18,147 @@ pub enum TargetKind {
     Native,
 }
 
-/// Run the `-O` pipeline for `level` against `target`.
-pub fn run_pipeline(p: &mut HProgram, level: OptLevel, target: TargetKind) {
+/// An IR invariant broken by a specific pass, with pass attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// The pass that broke the invariant (`"input"` if the program was
+    /// already malformed before the pipeline ran).
+    pub pass: &'static str,
+    /// The broken invariant.
+    pub error: VerifyError,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pass == "input" {
+            write!(f, "IR invalid before pipeline: {}", self.error)
+        } else {
+            write!(f, "pass '{}' broke IR invariant: {}", self.pass, self.error)
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// One named pass application, for attribution in verified runs.
+struct Pass {
+    name: &'static str,
+    run: Box<dyn Fn(&mut HProgram)>,
+}
+
+impl Pass {
+    fn new(name: &'static str, run: impl Fn(&mut HProgram) + 'static) -> Self {
+        Pass {
+            name,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// The exact pass sequence `run_pipeline` executes for `level`/`target`.
+fn pass_plan(level: OptLevel, target: TargetKind) -> Vec<Pass> {
     use OptLevel::*;
     if level == O0 {
-        return;
+        return Vec::new();
     }
 
     // Everything from -O1 up folds and propagates constants and removes
     // dead code.
-    const_fold(p);
-    const_prop(p);
-    const_fold(p);
-    dce(p);
+    let mut plan = vec![
+        Pass::new("const-fold", const_fold),
+        Pass::new("const-prop", const_prop),
+        Pass::new("const-fold", const_fold),
+        Pass::new("dce", dce),
+    ];
 
     // -globalopt runs at every level ≥ O1… except that -Ofast targeting
     // Wasm skips the transform — bug emulation of the Fig 7 / ADPCM
     // miscompile (see crate docs). The analysis still runs; the rewrite
     // does not.
     let keep_dead_stores = level == Ofast && target == TargetKind::Wasm;
-    globalopt(p, keep_dead_stores);
+    plan.push(Pass::new("globalopt", move |p| {
+        globalopt(p, keep_dead_stores)
+    }));
 
     match level {
         O0 => unreachable!("handled above"),
         O1 => {
             // O1 hoists loop constants into locals (Fig 8(b)); higher
             // levels prefer rematerialization.
-            const_hoist(p);
+            plan.push(Pass::new("const-hoist", const_hoist));
         }
         O2 => {
-            inline(p, 12);
-            vectorize_loops(p);
-            shrinkwrap(p);
+            plan.push(Pass::new("inline", |p| inline(p, 12)));
+            plan.push(Pass::new("vectorize-loops", vectorize_loops));
+            plan.push(Pass::new("shrinkwrap", shrinkwrap));
         }
         O3 => {
-            inline(p, 32);
-            vectorize_loops(p);
-            shrinkwrap(p);
+            plan.push(Pass::new("inline", |p| inline(p, 32)));
+            plan.push(Pass::new("vectorize-loops", vectorize_loops));
+            plan.push(Pass::new("shrinkwrap", shrinkwrap));
         }
         Ofast => {
-            inline(p, 32);
-            vectorize_loops(p);
-            shrinkwrap(p);
-            fast_math(p);
+            plan.push(Pass::new("inline", |p| inline(p, 32)));
+            plan.push(Pass::new("vectorize-loops", vectorize_loops));
+            plan.push(Pass::new("shrinkwrap", shrinkwrap));
+            plan.push(Pass::new("fast-math", fast_math));
         }
         Os => {
             // Size-leaning: keep inlining + vectorization off the table?
             // Per §2.1.2, -Os is -O2 minus size-increasing passes
             // (shrink-wrapping); vectorization survives at reduced scope.
-            inline(p, 8);
-            vectorize_loops(p);
+            plan.push(Pass::new("inline", |p| inline(p, 8)));
+            plan.push(Pass::new("vectorize-loops", vectorize_loops));
         }
         Oz => {
             // Smallest code: no vectorization (§2.1.2's example), no
             // shrink-wrapping, minimal inlining.
-            inline(p, 4);
+            plan.push(Pass::new("inline", |p| inline(p, 4)));
         }
     }
 
     // Clean up after structural passes.
-    const_fold(p);
-    dce(p);
+    plan.push(Pass::new("const-fold", const_fold));
+    plan.push(Pass::new("dce", dce));
+    plan
+}
+
+/// Run the `-O` pipeline for `level` against `target`.
+///
+/// In debug builds every pass boundary is verified (`debug_assert!`); use
+/// [`run_pipeline_verified`] to get the same checking in release builds
+/// with a recoverable error.
+pub fn run_pipeline(p: &mut HProgram, level: OptLevel, target: TargetKind) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = run_pipeline_verified(p, level, target) {
+            panic!("{e}");
+        }
+    } else {
+        for pass in pass_plan(level, target) {
+            (pass.run)(p);
+        }
+    }
+}
+
+/// Run the pipeline with the IR verifier between every pass, attributing
+/// a broken invariant to the pass that introduced it.
+pub fn run_pipeline_verified(
+    p: &mut HProgram,
+    level: OptLevel,
+    target: TargetKind,
+) -> Result<(), PassError> {
+    verify_program(p).map_err(|error| PassError {
+        pass: "input",
+        error,
+    })?;
+    for pass in pass_plan(level, target) {
+        (pass.run)(p);
+        verify_program(p).map_err(|error| PassError {
+            pass: pass.name,
+            error,
+        })?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -172,5 +254,35 @@ mod tests {
         let before = p.clone();
         run_pipeline(&mut p, OptLevel::O0, TargetKind::Wasm);
         assert_eq!(p, before);
+    }
+
+    #[test]
+    fn verified_pipeline_attributes_broken_pass() {
+        // A malformed input program is attributed to "input".
+        let mut p = HProgram {
+            funcs: vec![crate::hir::HFunc {
+                name: "f".into(),
+                params: vec![],
+                ret: crate::hir::Ty::Void,
+                locals: vec![],
+                body: vec![crate::hir::HStmt::Break],
+            }],
+            ..Default::default()
+        };
+        let e = run_pipeline_verified(&mut p, OptLevel::O2, TargetKind::Wasm).unwrap_err();
+        assert_eq!(e.pass, "input");
+        assert!(e.to_string().contains("before pipeline"), "{e}");
+    }
+
+    #[test]
+    fn verified_pipeline_accepts_all_levels() {
+        use OptLevel::*;
+        for level in [O0, O1, O2, O3, Ofast, Os, Oz] {
+            for target in [TargetKind::Wasm, TargetKind::Js, TargetKind::Native] {
+                let mut p = analyze(&parse(lex(KERNEL).unwrap()).unwrap()).unwrap();
+                run_pipeline_verified(&mut p, level, target)
+                    .unwrap_or_else(|e| panic!("{level:?}/{target:?}: {e}"));
+            }
+        }
     }
 }

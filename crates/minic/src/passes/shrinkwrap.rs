@@ -12,7 +12,7 @@ pub fn shrinkwrap(p: &mut HProgram) {
     }
 }
 
-fn wrap(stmts: &mut Vec<HStmt>) {
+fn wrap(stmts: &mut [HStmt]) {
     for s in stmts.iter_mut() {
         match s {
             HStmt::If(_, a, b) => {

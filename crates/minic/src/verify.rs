@@ -1,0 +1,769 @@
+//! Static IR verifier: structural and type invariants the optimization
+//! passes must preserve.
+//!
+//! Sema establishes these invariants once; every pass in the pipeline is
+//! required to keep them. The pipeline runner re-verifies the program
+//! after each pass (always in debug builds, and in release builds under
+//! `--verify-ir`), so a broken invariant names the pass that introduced
+//! it instead of surfacing later as a backend panic or a miscompiled
+//! module.
+//!
+//! Checked invariants:
+//!
+//! * **Layout sanity** — every local/global/array/function/string index
+//!   is in bounds; parameter slots prefix the local table with matching
+//!   types; array index lists match the array's dimensionality; no
+//!   `void`-typed storage.
+//! * **Type agreement** — every expression node's cached type agrees
+//!   with its operands exactly as sema constructed it: binary operands
+//!   share the node type, comparisons share the annotated operand type,
+//!   casts record the operand's type as `from`, calls match the callee
+//!   signature, assignments store a value of the destination's type.
+//! * **Terminator discipline** — `break` only inside a loop or switch,
+//!   `continue` only inside a loop, `return` arity matching the function
+//!   signature.
+//! * **Def-before-use** — a non-parameter local is never read unless
+//!   some earlier statement (in evaluation order, or anywhere in an
+//!   enclosing loop, which covers loop-carried values) defined it.
+
+use crate::hir::{Callee, HBinOp, HExpr, HFunc, HLval, HProgram, HStmt, HUnOp, Intrinsic, Ty};
+use std::fmt;
+
+/// A broken IR invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function the invariant broke in (`None` for program-level
+    /// layout problems).
+    pub func: Option<String>,
+    /// What was violated.
+    pub detail: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in function '{name}': {}", self.detail),
+            None => write!(f, "{}", self.detail),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole program. Returns the first broken invariant found.
+pub fn verify_program(p: &HProgram) -> Result<(), VerifyError> {
+    let program_err = |detail: String| VerifyError { func: None, detail };
+    for (i, g) in p.globals.iter().enumerate() {
+        if g.ty == Ty::Void {
+            return Err(program_err(format!(
+                "global {i} '{}' has void type",
+                g.name
+            )));
+        }
+    }
+    for (i, a) in p.arrays.iter().enumerate() {
+        if a.dims.is_empty() {
+            return Err(program_err(format!(
+                "array {i} '{}' has no dimensions",
+                a.name
+            )));
+        }
+        if let Some(init) = &a.init {
+            if init.len() as u64 > a.len() {
+                return Err(program_err(format!(
+                    "array {i} '{}' initializer has {} elements for {} slots",
+                    a.name,
+                    init.len(),
+                    a.len()
+                )));
+            }
+        }
+    }
+    for f in &p.funcs {
+        FuncVerifier::new(p, f).run()?;
+    }
+    Ok(())
+}
+
+struct FuncVerifier<'a> {
+    p: &'a HProgram,
+    f: &'a HFunc,
+    /// Per-slot "a definition has been seen on some earlier evaluation
+    /// path" flags (parameters start defined).
+    defined: Vec<bool>,
+    loop_depth: usize,
+    switch_depth: usize,
+}
+
+impl<'a> FuncVerifier<'a> {
+    fn new(p: &'a HProgram, f: &'a HFunc) -> Self {
+        let mut defined = vec![false; f.locals.len()];
+        for d in defined.iter_mut().take(f.params.len()) {
+            *d = true;
+        }
+        FuncVerifier {
+            p,
+            f,
+            defined,
+            loop_depth: 0,
+            switch_depth: 0,
+        }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> VerifyError {
+        VerifyError {
+            func: Some(self.f.name.clone()),
+            detail: detail.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<(), VerifyError> {
+        if self.f.params.len() > self.f.locals.len() {
+            return Err(self.err(format!(
+                "{} params but only {} local slots",
+                self.f.params.len(),
+                self.f.locals.len()
+            )));
+        }
+        for (i, pt) in self.f.params.iter().enumerate() {
+            if *pt != self.f.locals[i].1 {
+                return Err(self.err(format!(
+                    "param {i} type {:?} disagrees with local slot type {:?}",
+                    pt, self.f.locals[i].1
+                )));
+            }
+        }
+        for (i, (name, ty)) in self.f.locals.iter().enumerate() {
+            if *ty == Ty::Void {
+                return Err(self.err(format!("local {i} '{name}' has void type")));
+            }
+        }
+        self.stmts(&self.f.body.clone())
+    }
+
+    fn stmts(&mut self, body: &[HStmt]) -> Result<(), VerifyError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &HStmt) -> Result<(), VerifyError> {
+        match s {
+            HStmt::DeclLocal { id, init } => {
+                let slot_ty = self.local_ty(*id)?;
+                if let Some(e) = init {
+                    self.expr(e)?;
+                    if e.ty() != slot_ty {
+                        return Err(self.err(format!(
+                            "local {id} declared {slot_ty:?} but initialized with {:?}",
+                            e.ty()
+                        )));
+                    }
+                }
+                self.defined[*id as usize] = true;
+            }
+            HStmt::Assign { lhs, value } => {
+                let lty = self.lval(lhs)?;
+                self.expr(value)?;
+                if value.ty() != lty {
+                    return Err(self.err(format!(
+                        "assignment stores {:?} into {lty:?} destination",
+                        value.ty()
+                    )));
+                }
+                if let HLval::Local(id) = lhs {
+                    self.defined[*id as usize] = true;
+                }
+            }
+            HStmt::Expr(e) => self.expr(e)?,
+            HStmt::If(c, then_b, else_b) => {
+                self.expr(c)?;
+                if c.ty() == Ty::Void {
+                    return Err(self.err("if condition has void type"));
+                }
+                // Definitions in one arm count for reads in the other:
+                // the def-before-use check only rejects reads with *no*
+                // preceding definition on any path.
+                self.stmts(then_b)?;
+                self.stmts(else_b)?;
+            }
+            HStmt::Loop {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                // Loop-carried locals are defined on a previous iteration
+                // of the body/step, which precedes the read in evaluation
+                // order — so collect every definition inside the loop
+                // before checking its reads.
+                self.predefine(init);
+                self.predefine(step);
+                self.predefine(body);
+                self.loop_depth += 1;
+                self.stmts(init)?;
+                if let Some(c) = cond {
+                    self.expr(c)?;
+                    if c.ty() == Ty::Void {
+                        return Err(self.err("loop condition has void type"));
+                    }
+                }
+                self.stmts(body)?;
+                self.stmts(step)?;
+                self.loop_depth -= 1;
+            }
+            HStmt::Return(e) => match (e, self.f.ret) {
+                (None, Ty::Void) => {}
+                (None, ret) => {
+                    return Err(self.err(format!("bare return in function returning {ret:?}")))
+                }
+                (Some(_), Ty::Void) => return Err(self.err("return with value in void function")),
+                (Some(e), ret) => {
+                    self.expr(e)?;
+                    if e.ty() != ret {
+                        return Err(self.err(format!(
+                            "return of {:?} in function returning {ret:?}",
+                            e.ty()
+                        )));
+                    }
+                }
+            },
+            HStmt::Break => {
+                if self.loop_depth == 0 && self.switch_depth == 0 {
+                    return Err(self.err("break outside loop or switch"));
+                }
+            }
+            HStmt::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(self.err("continue outside loop"));
+                }
+            }
+            HStmt::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                self.expr(scrut)?;
+                if !scrut.ty().is_int() {
+                    return Err(self.err(format!(
+                        "switch scrutinee has non-integer type {:?}",
+                        scrut.ty()
+                    )));
+                }
+                self.switch_depth += 1;
+                for (_, arm) in cases {
+                    self.stmts(arm)?;
+                }
+                self.stmts(default)?;
+                self.switch_depth -= 1;
+            }
+            HStmt::Block(b) => self.stmts(b)?,
+        }
+        Ok(())
+    }
+
+    /// Mark every local defined anywhere inside `body` (pre-pass for
+    /// loop-carried definitions).
+    fn predefine(&mut self, body: &[HStmt]) {
+        for s in body {
+            match s {
+                HStmt::DeclLocal { id, .. } if (*id as usize) < self.defined.len() => {
+                    self.defined[*id as usize] = true;
+                }
+                HStmt::Assign {
+                    lhs: HLval::Local(id),
+                    ..
+                } if (*id as usize) < self.defined.len() => {
+                    self.defined[*id as usize] = true;
+                }
+                HStmt::If(_, a, b) => {
+                    self.predefine(a);
+                    self.predefine(b);
+                }
+                HStmt::Loop {
+                    init, step, body, ..
+                } => {
+                    self.predefine(init);
+                    self.predefine(step);
+                    self.predefine(body);
+                }
+                HStmt::Switch { cases, default, .. } => {
+                    for (_, arm) in cases {
+                        self.predefine(arm);
+                    }
+                    self.predefine(default);
+                }
+                HStmt::Block(b) => self.predefine(b),
+                _ => {}
+            }
+        }
+        // AssignExpr nested in expressions also defines locals.
+        let mut body_vec = body.to_vec();
+        let defined = &mut self.defined;
+        crate::passes::visit_exprs_mut(&mut body_vec, &mut |e| {
+            if let HExpr::AssignExpr { lhs, .. } = e {
+                if let HLval::Local(id) = lhs.as_ref() {
+                    if (*id as usize) < defined.len() {
+                        defined[*id as usize] = true;
+                    }
+                }
+            }
+        });
+    }
+
+    fn local_ty(&self, id: u32) -> Result<Ty, VerifyError> {
+        self.f
+            .locals
+            .get(id as usize)
+            .map(|(_, t)| *t)
+            .ok_or_else(|| self.err(format!("local index {id} out of range")))
+    }
+
+    fn lval(&mut self, l: &HLval) -> Result<Ty, VerifyError> {
+        match l {
+            HLval::Local(id) => self.local_ty(*id),
+            HLval::Global(id) => self
+                .p
+                .globals
+                .get(*id as usize)
+                .map(|g| g.ty)
+                .ok_or_else(|| self.err(format!("global index {id} out of range"))),
+            HLval::Elem { array, idx } => self.elem(*array, idx),
+        }
+    }
+
+    /// Check an array access (shared by loads and stores); returns the
+    /// promoted element type.
+    fn elem(&mut self, array: u32, idx: &[HExpr]) -> Result<Ty, VerifyError> {
+        let a = self
+            .p
+            .arrays
+            .get(array as usize)
+            .ok_or_else(|| self.err(format!("array index {array} out of range")))?;
+        if idx.len() != a.dims.len() {
+            return Err(self.err(format!(
+                "array '{}' has {} dimensions but {} indices",
+                a.name,
+                a.dims.len(),
+                idx.len()
+            )));
+        }
+        for e in idx {
+            self.expr(e)?;
+            if !matches!(e.ty(), Ty::I32 { .. }) {
+                return Err(self.err(format!(
+                    "array '{}' indexed with non-i32 type {:?}",
+                    a.name,
+                    e.ty()
+                )));
+            }
+        }
+        Ok(a.elem.loaded_ty())
+    }
+
+    fn expr(&mut self, e: &HExpr) -> Result<(), VerifyError> {
+        match e {
+            HExpr::ConstI(_, t) => {
+                if !t.is_int() {
+                    return Err(self.err(format!("integer constant typed {t:?}")));
+                }
+            }
+            HExpr::ConstF(_, t) => {
+                if !t.is_float() {
+                    return Err(self.err(format!("float constant typed {t:?}")));
+                }
+            }
+            HExpr::Local(id, t) => {
+                let slot_ty = self.local_ty(*id)?;
+                if *t != slot_ty {
+                    return Err(
+                        self.err(format!("local {id} read as {t:?} but declared {slot_ty:?}"))
+                    );
+                }
+                if !self.defined[*id as usize] {
+                    return Err(self.err(format!(
+                        "local {id} '{}' read before any definition",
+                        self.f.locals[*id as usize].0
+                    )));
+                }
+            }
+            HExpr::Global(id, t) => {
+                let g = self
+                    .p
+                    .globals
+                    .get(*id as usize)
+                    .ok_or_else(|| self.err(format!("global index {id} out of range")))?;
+                if *t != g.ty {
+                    return Err(self.err(format!(
+                        "global '{}' read as {t:?} but declared {:?}",
+                        g.name, g.ty
+                    )));
+                }
+            }
+            HExpr::Elem { array, idx, ty } => {
+                let loaded = self.elem(*array, idx)?;
+                if *ty != loaded {
+                    return Err(self.err(format!(
+                        "array element load typed {ty:?} but elements promote to {loaded:?}"
+                    )));
+                }
+            }
+            HExpr::Unary(op, a, t) => {
+                self.expr(a)?;
+                match op {
+                    HUnOp::Neg => {
+                        if a.ty() != *t {
+                            return Err(self.err(format!("negation of {:?} typed {t:?}", a.ty())));
+                        }
+                    }
+                    HUnOp::Not => {
+                        if *t != Ty::INT {
+                            return Err(self.err(format!("logical not typed {t:?}, not int")));
+                        }
+                        if a.ty() == Ty::Void {
+                            return Err(self.err("logical not of void"));
+                        }
+                    }
+                    HUnOp::BitNot => {
+                        if !t.is_int() || a.ty() != *t {
+                            return Err(
+                                self.err(format!("bitwise not of {:?} typed {t:?}", a.ty()))
+                            );
+                        }
+                    }
+                }
+            }
+            HExpr::Binary(op, a, b, t) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                if *t == Ty::Void {
+                    return Err(self.err("binary op typed void"));
+                }
+                // Shifts keep the left operand's type; sema coerces the
+                // shift amount to plain int (C semantics).
+                let expect_b = if matches!(op, HBinOp::Shl | HBinOp::Shr) {
+                    Ty::INT
+                } else {
+                    *t
+                };
+                if a.ty() != *t || b.ty() != expect_b {
+                    return Err(self.err(format!(
+                        "binary {op:?} typed {t:?} with operands {:?} and {:?}",
+                        a.ty(),
+                        b.ty()
+                    )));
+                }
+                let int_only = matches!(
+                    op,
+                    HBinOp::Rem
+                        | HBinOp::BitAnd
+                        | HBinOp::BitOr
+                        | HBinOp::BitXor
+                        | HBinOp::Shl
+                        | HBinOp::Shr
+                );
+                if int_only && !t.is_int() {
+                    return Err(self.err(format!("integer-only op {op:?} typed {t:?}")));
+                }
+            }
+            HExpr::Cmp(_, a, b, t) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                if *t == Ty::Void {
+                    return Err(self.err("comparison of void operands"));
+                }
+                if a.ty() != *t || b.ty() != *t {
+                    return Err(self.err(format!(
+                        "comparison annotated {t:?} with operands {:?} and {:?}",
+                        a.ty(),
+                        b.ty()
+                    )));
+                }
+            }
+            HExpr::And(a, b) | HExpr::Or(a, b) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                if a.ty() == Ty::Void || b.ty() == Ty::Void {
+                    return Err(self.err("short-circuit operand has void type"));
+                }
+            }
+            HExpr::Ternary(c, a, b, t) => {
+                self.expr(c)?;
+                self.expr(a)?;
+                self.expr(b)?;
+                if c.ty() == Ty::Void {
+                    return Err(self.err("ternary condition has void type"));
+                }
+                if a.ty() != *t || b.ty() != *t {
+                    return Err(self.err(format!(
+                        "ternary typed {t:?} with arms {:?} and {:?}",
+                        a.ty(),
+                        b.ty()
+                    )));
+                }
+            }
+            HExpr::Call {
+                callee,
+                args,
+                ty,
+                str_arg,
+            } => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                match callee {
+                    Callee::Func(id) => {
+                        let callee =
+                            self.p.funcs.get(*id as usize).ok_or_else(|| {
+                                self.err(format!("function index {id} out of range"))
+                            })?;
+                        if args.len() != callee.params.len() {
+                            return Err(self.err(format!(
+                                "call of '{}' with {} args for {} params",
+                                callee.name,
+                                args.len(),
+                                callee.params.len()
+                            )));
+                        }
+                        for (i, (a, pt)) in args.iter().zip(&callee.params).enumerate() {
+                            if a.ty() != *pt {
+                                return Err(self.err(format!(
+                                    "call of '{}': arg {i} is {:?}, param is {pt:?}",
+                                    callee.name,
+                                    a.ty()
+                                )));
+                            }
+                        }
+                        if *ty != callee.ret {
+                            return Err(self.err(format!(
+                                "call of '{}' typed {ty:?} but it returns {:?}",
+                                callee.name, callee.ret
+                            )));
+                        }
+                    }
+                    Callee::Intrinsic(intr) => {
+                        if *ty != intr.ret_ty() {
+                            return Err(self.err(format!(
+                                "intrinsic {intr:?} call typed {ty:?}, returns {:?}",
+                                intr.ret_ty()
+                            )));
+                        }
+                        if *intr == Intrinsic::PrintStr {
+                            match str_arg {
+                                Some(sid) if (*sid as usize) < self.p.strings.len() => {}
+                                Some(sid) => {
+                                    return Err(self
+                                        .err(format!("print_str string index {sid} out of range")))
+                                }
+                                None => return Err(self.err("print_str call without a string")),
+                            }
+                        }
+                    }
+                }
+            }
+            HExpr::Cast { to, from, expr } => {
+                self.expr(expr)?;
+                if *to == Ty::Void || *from == Ty::Void {
+                    return Err(self.err("cast to or from void"));
+                }
+                if expr.ty() != *from {
+                    return Err(self.err(format!(
+                        "cast records source {from:?} but operand is {:?}",
+                        expr.ty()
+                    )));
+                }
+            }
+            HExpr::AssignExpr { lhs, value, ty } => {
+                let lty = self.lval(lhs)?;
+                self.expr(value)?;
+                if value.ty() != lty {
+                    return Err(self.err(format!(
+                        "assignment expression stores {:?} into {lty:?} destination",
+                        value.ty()
+                    )));
+                }
+                if *ty != lty {
+                    return Err(self.err(format!(
+                        "assignment expression typed {ty:?}, destination is {lty:?}"
+                    )));
+                }
+                if let HLval::Local(id) = lhs.as_ref() {
+                    self.defined[*id as usize] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hir::{ConstVal, HGlobal};
+
+    fn func(name: &str, ret: Ty, locals: Vec<(String, Ty)>, body: Vec<HStmt>) -> HFunc {
+        HFunc {
+            name: name.into(),
+            params: vec![],
+            ret,
+            locals,
+            body,
+        }
+    }
+
+    fn prog(funcs: Vec<HFunc>) -> HProgram {
+        HProgram {
+            funcs,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn accepts_real_program() {
+        let src = "double A[8]; int n;\n\
+                   double k(int m) {\n\
+                     double s = 0.0;\n\
+                     for (int i = 0; i < m; i++) { s = s + A[i]; }\n\
+                     return s;\n\
+                   }";
+        let p = crate::analyze(&crate::parse(crate::lex(src).unwrap()).unwrap()).unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_local_out_of_range() {
+        let p = prog(vec![func(
+            "f",
+            Ty::Void,
+            vec![],
+            vec![HStmt::Expr(HExpr::Local(3, Ty::INT))],
+        )]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_disagreement() {
+        let p = prog(vec![func(
+            "f",
+            Ty::Void,
+            vec![("x".into(), Ty::F64)],
+            vec![
+                HStmt::DeclLocal {
+                    id: 0,
+                    init: Some(HExpr::ConstF(0.0, Ty::F64)),
+                },
+                HStmt::Expr(HExpr::Local(0, Ty::INT)),
+            ],
+        )]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("declared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_read_before_def() {
+        let p = prog(vec![func(
+            "f",
+            Ty::INT,
+            vec![("x".into(), Ty::INT)],
+            vec![HStmt::Return(Some(HExpr::Local(0, Ty::INT)))],
+        )]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("before any definition"), "{e}");
+    }
+
+    #[test]
+    fn accepts_loop_carried_def() {
+        // x is read at the top of the body, assigned at the bottom and
+        // before the loop — the pre-pass must not flag the body read.
+        let p = prog(vec![func(
+            "f",
+            Ty::Void,
+            vec![("x".into(), Ty::INT)],
+            vec![
+                HStmt::DeclLocal {
+                    id: 0,
+                    init: Some(HExpr::ConstI(0, Ty::INT)),
+                },
+                HStmt::Loop {
+                    kind: crate::hir::LoopKind::PreTest,
+                    init: vec![],
+                    cond: Some(HExpr::ConstI(0, Ty::INT)),
+                    step: vec![],
+                    body: vec![HStmt::Assign {
+                        lhs: HLval::Local(0),
+                        value: HExpr::Local(0, Ty::INT),
+                    }],
+                    meta: Default::default(),
+                },
+            ],
+        )]);
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let p = prog(vec![func("f", Ty::Void, vec![], vec![HStmt::Break])]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("break"), "{e}");
+    }
+
+    #[test]
+    fn rejects_return_arity_mismatch() {
+        let p = prog(vec![func("f", Ty::INT, vec![], vec![HStmt::Return(None)])]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("bare return"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_global_read_type() {
+        let mut p = prog(vec![func(
+            "f",
+            Ty::Void,
+            vec![],
+            vec![HStmt::Expr(HExpr::Global(0, Ty::INT))],
+        )]);
+        p.globals.push(HGlobal {
+            name: "g".into(),
+            ty: Ty::F64,
+            init: ConstVal::F(0.0),
+        });
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("declared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_binary_operand_mismatch() {
+        let p = prog(vec![func(
+            "f",
+            Ty::Void,
+            vec![],
+            vec![HStmt::Expr(HExpr::Binary(
+                HBinOp::Add,
+                Box::new(HExpr::ConstI(1, Ty::INT)),
+                Box::new(HExpr::ConstF(1.0, Ty::F64)),
+                Ty::F64,
+            ))],
+        )]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("binary"), "{e}");
+    }
+
+    #[test]
+    fn rejects_cast_with_wrong_from() {
+        let p = prog(vec![func(
+            "f",
+            Ty::Void,
+            vec![],
+            vec![HStmt::Expr(HExpr::Cast {
+                to: Ty::F64,
+                from: Ty::F32,
+                expr: Box::new(HExpr::ConstI(0, Ty::INT)),
+            })],
+        )]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.detail.contains("cast"), "{e}");
+    }
+}

@@ -49,7 +49,7 @@ impl Instance {
 
         let mut locals: Vec<u64> = Vec::with_capacity(args.len() + func.locals.len());
         locals.extend(args.iter().map(|v| value_bits(*v)));
-        locals.extend(std::iter::repeat(0u64).take(func.locals.len()));
+        locals.extend(std::iter::repeat_n(0u64, func.locals.len()));
 
         let mut stack: Vec<u64> = Vec::with_capacity(16);
         let mut ctrl: Vec<FCtrl> = Vec::with_capacity(8);
@@ -315,7 +315,7 @@ impl Instance {
                     steps!(1);
                     bump!(OpClass::Other, 1);
                     let pages = self.memory.as_ref().map(|m| m.size_pages()).unwrap_or(0);
-                    stack.push(pages as u32 as u64);
+                    stack.push(u64::from(pages));
                 }
                 Mop::MemoryGrow => {
                     steps!(1);

@@ -1044,7 +1044,7 @@ pub(crate) struct FusedFunc {
 
 /// Try to recognize a fused pattern starting at `w[0]`; returns the fused
 /// op and the number of source instructions consumed.
-fn match_fused(w: &[Instr]) -> Option<(Mop, usize)> {
+pub(crate) fn match_fused(w: &[Instr]) -> Option<(Mop, usize)> {
     // Longest patterns first. Every constituent past the first is a
     // data/branch instruction, never a control opener/closer, so no group
     // can swallow a branch target (see module docs).

@@ -1,5 +1,5 @@
-//! One `PreparedModule`, many instances: preparation (decode + validate
-//! + side tables) is done once and shared via `Arc`, and every instance
+//! One `PreparedModule`, many instances: preparation (decode, validate,
+//! side tables) is done once and shared via `Arc`, and every instance
 //! built over it reports exactly the same virtual numbers as a fresh
 //! `Instance::instantiate` over the same bytes.
 

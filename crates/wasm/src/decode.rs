@@ -172,7 +172,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
                             });
                         }
                         let ty = decode_val_type(&mut b)?;
-                        locals.extend(std::iter::repeat(ty).take(count as usize));
+                        locals.extend(std::iter::repeat_n(ty, count as usize));
                     }
                     let mut body = Vec::new();
                     while !b.is_empty() {

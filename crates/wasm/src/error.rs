@@ -105,8 +105,6 @@ pub enum ValidationError {
     },
     /// A local index referred past params + locals.
     BadLocalIndex {
-        /// Function being validated.
-        func: usize,
         /// The offending index.
         index: u32,
     },
@@ -122,15 +120,11 @@ pub enum ValidationError {
     },
     /// A branch label was deeper than the current control stack.
     BadLabel {
-        /// Function being validated.
-        func: usize,
         /// The offending relative depth.
         depth: u32,
     },
     /// Operand stack underflow or type mismatch.
     TypeMismatch {
-        /// Function being validated.
-        func: usize,
         /// Description of the expected/actual situation.
         detail: String,
     },
@@ -139,14 +133,9 @@ pub enum ValidationError {
     /// `call_indirect` used without a table.
     NoTable,
     /// Misaligned memarg (alignment exceeds natural alignment).
-    BadAlignment {
-        /// Function being validated.
-        func: usize,
-    },
+    BadAlignment,
     /// Control-frame nesting was broken (e.g. `else` without `if`).
     MalformedControl {
-        /// Function being validated.
-        func: usize,
         /// Description of the problem.
         detail: String,
     },
@@ -160,6 +149,39 @@ pub enum ValidationError {
         /// Description of the problem.
         detail: String,
     },
+    /// An error inside a function body, with the function index and the
+    /// offending instruction's position in the body.
+    InFunction {
+        /// Function index (import space).
+        func: usize,
+        /// Instruction offset within the body.
+        at: usize,
+        /// The underlying error.
+        source: Box<ValidationError>,
+    },
+}
+
+impl ValidationError {
+    /// Wrap this error with function/instruction context. Already-wrapped
+    /// errors are left untouched so the innermost location wins.
+    pub fn in_function(self, func: usize, at: usize) -> Self {
+        match self {
+            e @ ValidationError::InFunction { .. } => e,
+            source => ValidationError::InFunction {
+                func,
+                at,
+                source: Box::new(source),
+            },
+        }
+    }
+
+    /// The underlying error, stripped of any function/instruction context.
+    pub fn root_cause(&self) -> &ValidationError {
+        match self {
+            ValidationError::InFunction { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ValidationError {
@@ -169,8 +191,8 @@ impl fmt::Display for ValidationError {
             ValidationError::BadFuncIndex { index } => {
                 write!(f, "function index {index} out of range")
             }
-            ValidationError::BadLocalIndex { func, index } => {
-                write!(f, "func {func}: local index {index} out of range")
+            ValidationError::BadLocalIndex { index } => {
+                write!(f, "local index {index} out of range")
             }
             ValidationError::BadGlobalIndex { index } => {
                 write!(f, "global index {index} out of range")
@@ -178,22 +200,25 @@ impl fmt::Display for ValidationError {
             ValidationError::ImmutableGlobal { index } => {
                 write!(f, "global {index} is immutable")
             }
-            ValidationError::BadLabel { func, depth } => {
-                write!(f, "func {func}: branch depth {depth} out of range")
+            ValidationError::BadLabel { depth } => {
+                write!(f, "branch depth {depth} out of range")
             }
-            ValidationError::TypeMismatch { func, detail } => {
-                write!(f, "func {func}: type mismatch: {detail}")
+            ValidationError::TypeMismatch { detail } => {
+                write!(f, "type mismatch: {detail}")
             }
             ValidationError::NoMemory => write!(f, "memory instruction without memory"),
             ValidationError::NoTable => write!(f, "call_indirect without table"),
-            ValidationError::BadAlignment { func } => {
-                write!(f, "func {func}: alignment exceeds natural alignment")
+            ValidationError::BadAlignment => {
+                write!(f, "alignment exceeds natural alignment")
             }
-            ValidationError::MalformedControl { func, detail } => {
-                write!(f, "func {func}: malformed control flow: {detail}")
+            ValidationError::MalformedControl { detail } => {
+                write!(f, "malformed control flow: {detail}")
             }
             ValidationError::BadExport { name } => write!(f, "export '{name}' is dangling"),
             ValidationError::BadModuleField { detail } => write!(f, "bad module field: {detail}"),
+            ValidationError::InFunction { func, at, source } => {
+                write!(f, "func {func}, instr {at}: {source}")
+            }
         }
     }
 }

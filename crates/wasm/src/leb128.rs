@@ -168,7 +168,7 @@ impl<'a> Reader<'a> {
             if shift >= bits {
                 return Err(DecodeError::IntegerTooLong { at: self.pos });
             }
-            result |= (((byte & 0x7f) as i64) << shift) as i64;
+            result |= ((byte & 0x7f) as i64) << shift;
             shift += 7;
             if byte & 0x80 == 0 {
                 if shift < 64 && byte & 0x40 != 0 {

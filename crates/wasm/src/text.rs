@@ -182,10 +182,7 @@ pub(crate) fn instr_text(i: &Instr) -> String {
                 }
                 idx += 1;
             }
-            // Fix up spec spellings that are not plain snake-case splits.
-            text.replace("load8_", "load8_")
-                .replace(".trunc_f", ".trunc_f")
-                .replace("i32.wrap_i64", "i32.wrap_i64")
+            text
         }
     }
 }

@@ -140,7 +140,6 @@ impl<'m> FuncValidator<'m> {
 
     fn error(&self, detail: impl Into<String>) -> ValidationError {
         ValidationError::TypeMismatch {
-            func: self.func_index,
             detail: detail.into(),
         }
     }
@@ -154,7 +153,12 @@ impl<'m> FuncValidator<'m> {
     }
 
     fn pop_any(&mut self) -> Result<Operand, ValidationError> {
-        let frame = self.frames.last().expect("frame always present");
+        let frame = self
+            .frames
+            .last()
+            .ok_or(ValidationError::MalformedControl {
+                detail: "operand popped outside any frame".into(),
+            })?;
         if self.operands.len() == frame.height {
             if frame.unreachable {
                 return Ok(None);
@@ -196,7 +200,6 @@ impl<'m> FuncValidator<'m> {
         let depth = depth as usize;
         if depth >= self.frames.len() {
             return Err(ValidationError::BadLabel {
-                func: self.func_index,
                 depth: depth as u32,
             });
         }
@@ -214,9 +217,7 @@ impl<'m> FuncValidator<'m> {
 
     fn check_align(&self, align: u32, natural: u32) -> Result<(), ValidationError> {
         if align > natural {
-            return Err(ValidationError::BadAlignment {
-                func: self.func_index,
-            });
+            return Err(ValidationError::BadAlignment);
         }
         Ok(())
     }
@@ -225,10 +226,7 @@ impl<'m> FuncValidator<'m> {
         self.locals
             .get(index as usize)
             .copied()
-            .ok_or(ValidationError::BadLocalIndex {
-                func: self.func_index,
-                index,
-            })
+            .ok_or(ValidationError::BadLocalIndex { index })
     }
 
     fn binary(&mut self, operand: ValType, result: ValType) -> Result<(), ValidationError> {
@@ -280,15 +278,16 @@ impl<'m> FuncValidator<'m> {
             is_if: false,
         });
 
-        for instr in body {
-            self.step(instr)?;
+        for (pc, instr) in body.iter().enumerate() {
+            self.step(instr)
+                .map_err(|e| e.in_function(self.func_index, pc))?;
         }
 
         if !self.frames.is_empty() {
             return Err(ValidationError::MalformedControl {
-                func: self.func_index,
                 detail: format!("{} unclosed frame(s) at end of body", self.frames.len()),
-            });
+            }
+            .in_function(self.func_index, body.len()));
         }
         Ok(())
     }
@@ -296,6 +295,13 @@ impl<'m> FuncValidator<'m> {
     fn step(&mut self, instr: &Instr) -> Result<(), ValidationError> {
         use Instr::*;
         use ValType::*;
+        // The final `End` pops the implicit function frame; nothing may
+        // follow it.
+        if self.frames.is_empty() {
+            return Err(ValidationError::MalformedControl {
+                detail: "instruction after end of function body".into(),
+            });
+        }
         match instr {
             Unreachable => self.set_unreachable(),
             Nop => {}
@@ -310,12 +316,10 @@ impl<'m> FuncValidator<'m> {
                     .frames
                     .last()
                     .ok_or(ValidationError::MalformedControl {
-                        func: self.func_index,
                         detail: "else outside any frame".into(),
                     })?;
                 if !frame.is_if {
                     return Err(ValidationError::MalformedControl {
-                        func: self.func_index,
                         detail: "else without if".into(),
                     });
                 }
@@ -335,14 +339,12 @@ impl<'m> FuncValidator<'m> {
             }
             End => {
                 let frame = self.frames.pop().ok_or(ValidationError::MalformedControl {
-                    func: self.func_index,
                     detail: "end outside any frame".into(),
                 })?;
                 // An `if` without `else` must have empty results (the
                 // skipped else-arm yields nothing).
                 if frame.is_if && !frame.end_types.is_empty() {
                     return Err(ValidationError::MalformedControl {
-                        func: self.func_index,
                         detail: "if with result type requires an else arm".into(),
                     });
                 }
@@ -606,9 +608,10 @@ mod tests {
             vec![ValType::I32],
             vec![Instr::LocalGet(0), Instr::End],
         );
+        let e = validate(&m).unwrap_err();
         assert!(matches!(
-            validate(&m),
-            Err(ValidationError::TypeMismatch { .. })
+            e.root_cause(),
+            ValidationError::TypeMismatch { .. }
         ));
     }
 
@@ -641,9 +644,10 @@ mod tests {
     #[test]
     fn rejects_branch_depth_out_of_range() {
         let m = module_with_body(vec![], vec![], vec![Instr::Br(3), Instr::End]);
+        let e = validate(&m).unwrap_err();
         assert!(matches!(
-            validate(&m),
-            Err(ValidationError::BadLabel { depth: 3, .. })
+            e.root_cause(),
+            ValidationError::BadLabel { depth: 3 }
         ));
     }
 
@@ -669,7 +673,8 @@ mod tests {
                 Instr::End,
             ],
         );
-        assert_eq!(validate(&m), Err(ValidationError::NoMemory));
+        let e = validate(&m).unwrap_err();
+        assert_eq!(e.root_cause(), &ValidationError::NoMemory);
     }
 
     #[test]
@@ -708,10 +713,8 @@ mod tests {
         m.memory = Some(MemorySpec {
             limits: Limits::at_least(1),
         });
-        assert!(matches!(
-            validate(&m),
-            Err(ValidationError::BadAlignment { .. })
-        ));
+        let e = validate(&m).unwrap_err();
+        assert!(matches!(e.root_cause(), ValidationError::BadAlignment));
     }
 
     #[test]
@@ -762,9 +765,10 @@ mod tests {
             },
             init: Instr::I32Const(0),
         });
+        let e = validate(&m).unwrap_err();
         assert_eq!(
-            validate(&m),
-            Err(ValidationError::ImmutableGlobal { index: 0 })
+            e.root_cause(),
+            &ValidationError::ImmutableGlobal { index: 0 }
         );
     }
 
@@ -784,9 +788,10 @@ mod tests {
     #[test]
     fn rejects_call_of_missing_function() {
         let m = module_with_body(vec![], vec![], vec![Instr::Call(9), Instr::End]);
+        let e = validate(&m).unwrap_err();
         assert!(matches!(
-            validate(&m),
-            Err(ValidationError::BadFuncIndex { index: 9 })
+            e.root_cause(),
+            ValidationError::BadFuncIndex { index: 9 }
         ));
     }
 
@@ -797,7 +802,48 @@ mod tests {
             vec![],
             vec![Instr::I32Const(0), Instr::CallIndirect(0), Instr::End],
         );
-        assert_eq!(validate(&m), Err(ValidationError::NoTable));
+        let e = validate(&m).unwrap_err();
+        assert_eq!(e.root_cause(), &ValidationError::NoTable);
+    }
+
+    #[test]
+    fn errors_carry_function_and_instruction_context() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![
+                Instr::Nop,
+                Instr::I32Const(1),
+                Instr::LocalSet(7),
+                Instr::End,
+            ],
+        );
+        match validate(&m).unwrap_err() {
+            ValidationError::InFunction { func, at, source } => {
+                assert_eq!(func, 0);
+                assert_eq!(at, 2);
+                assert_eq!(*source, ValidationError::BadLocalIndex { index: 7 });
+            }
+            other => panic!("expected InFunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_instruction_after_final_end() {
+        let m = module_with_body(vec![], vec![], vec![Instr::End, Instr::Nop]);
+        let e = validate(&m).unwrap_err();
+        assert!(
+            matches!(e.root_cause(), ValidationError::MalformedControl { detail }
+                if detail.contains("after end")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_pop_after_final_end() {
+        // A pop with no frames must error, not panic.
+        let m = module_with_body(vec![], vec![], vec![Instr::End, Instr::Drop]);
+        assert!(validate(&m).is_err());
     }
 
     #[test]

@@ -7,11 +7,17 @@ cd "$(dirname "$0")/.."
 echo "== format =="
 cargo fmt --check
 
+echo "== clippy =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
 echo "== build =="
-cargo build --release
+cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q
+
+echo "== static analysis (wb analyze) =="
+./target/release/wb analyze --all
 
 echo "== fused-vs-reference differential =="
 cargo test -q -p wb-harness --release --test fused_reference_differential
