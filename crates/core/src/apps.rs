@@ -103,6 +103,7 @@ pub fn hyphen_wasm(lang: hyphen::Lang, env: Environment) -> Result<Measurement, 
         tier_policy: TierPolicy::Default,
         heap_limit: Some(256 << 20),
         reference_exec: false,
+        limits: wb_env::ResourceLimits::default(),
         entry: "bench_main",
     };
     crate::measure::run_wasm(&spec)
@@ -118,6 +119,8 @@ pub fn hyphen_js(lang: hyphen::Lang, env: Environment) -> Result<Measurement, Ru
         env,
         jit: JitMode::Enabled,
         reference_exec: false,
+        limits: wb_env::ResourceLimits::default(),
+        trap_checks: false,
         entry: match lang {
             hyphen::Lang::EnUs => "bench_main",
             hyphen::Lang::Fr => "bench_fr",
@@ -189,6 +192,8 @@ pub fn ffmpeg_js(env: Environment) -> Result<Measurement, RunError> {
         env,
         jit: JitMode::Enabled,
         reference_exec: false,
+        limits: wb_env::ResourceLimits::default(),
+        trap_checks: false,
         entry: "bench_main",
     };
     crate::measure::run_manual_js(&spec)

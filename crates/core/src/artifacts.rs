@@ -72,6 +72,7 @@ impl ArtifactKey {
         level: OptLevel,
         toolchain: Toolchain,
         heap_limit: Option<u64>,
+        trap_checks: bool,
     ) -> ArtifactKey {
         let mut h = Fnv128::new();
         h.write(&[match kind {
@@ -94,6 +95,9 @@ impl ArtifactKey {
             }
             None => h.write(&[0]),
         }
+        // Trap-checks builds emit different JS (checked div / bounds
+        // helpers), so they must never share a slot with plain builds.
+        h.write(&[trap_checks as u8]);
         ArtifactKey(h.0)
     }
 }
@@ -299,6 +303,7 @@ mod tests {
             level,
             tc,
             Some(1 << 20),
+            false,
         )
     }
 
@@ -345,8 +350,26 @@ mod tests {
     #[test]
     fn kind_heap_limit_and_boundaries_are_part_of_the_key() {
         let mk = |kind, heap| {
-            ArtifactKey::compute(kind, "int x;", &[], OptLevel::O2, Toolchain::Cheerp, heap)
+            ArtifactKey::compute(
+                kind,
+                "int x;",
+                &[],
+                OptLevel::O2,
+                Toolchain::Cheerp,
+                heap,
+                false,
+            )
         };
+        let trapped = ArtifactKey::compute(
+            ArtifactKind::Js,
+            "int x;",
+            &[],
+            OptLevel::O2,
+            Toolchain::Cheerp,
+            None,
+            true,
+        );
+        assert_ne!(mk(ArtifactKind::Js, None), trapped, "trap-checks flag");
         assert_ne!(mk(ArtifactKind::Wasm, None), mk(ArtifactKind::Js, None));
         assert_ne!(mk(ArtifactKind::Js, None), mk(ArtifactKind::Native, None));
         assert_ne!(
@@ -366,6 +389,7 @@ mod tests {
             OptLevel::O2,
             Toolchain::Cheerp,
             None,
+            false,
         );
         let b = ArtifactKey::compute(
             ArtifactKind::Wasm,
@@ -374,6 +398,7 @@ mod tests {
             OptLevel::O2,
             Toolchain::Cheerp,
             None,
+            false,
         );
         assert_ne!(a, b);
     }

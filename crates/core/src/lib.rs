@@ -34,5 +34,6 @@ pub mod stats;
 pub use artifacts::{ArtifactCache, ArtifactKey, ArtifactKind, CacheStats};
 pub use measure::{
     run_compiled_js, run_compiled_js_with, run_manual_js, run_native, run_native_with, run_wasm,
-    run_wasm_with, JsSpec, Measurement, RunError, WasmSpec,
+    run_wasm_with, try_run_compiled_js_with, try_run_manual_js, try_run_native_with,
+    try_run_wasm_with, JsSpec, Measurement, RunError, RunFailure, TrapKind, WasmSpec,
 };

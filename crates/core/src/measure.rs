@@ -8,10 +8,11 @@ use crate::artifacts::{
 use crate::host::standard_imports;
 use std::sync::Arc;
 use wb_env::{
-    calibration, ArithCounts, Environment, JitMode, Nanos, OpCounts, TierPolicy, Toolchain,
-    VirtualClock,
+    calibration, ArithCounts, Environment, JitMode, Nanos, OpCounts, ResourceLimits, TierPolicy,
+    Toolchain, VirtualClock,
 };
-use wb_jsvm::{JsVm, JsVmConfig};
+use wb_jsvm::{JsError, JsVm, JsVmConfig};
+use wb_minic::backend::native::NativeTrap;
 use wb_minic::{CompileError, Compiler, OptLevel};
 use wb_wasm_vm::{Instance, PreparedModule, Trap, WasmVmConfig};
 
@@ -49,6 +50,10 @@ pub enum RunError {
     Js(wb_jsvm::JsError),
     /// The native evaluator trapped.
     Native(wb_minic::backend::native::NativeTrap),
+    /// The worker executing the cell panicked; the payload is the panic
+    /// message recovered at the isolation boundary
+    /// (`catch_unwind` in the grid engine).
+    Panic(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -58,11 +63,151 @@ impl std::fmt::Display for RunError {
             RunError::Trap(e) => write!(f, "wasm trap: {e}"),
             RunError::Js(e) => write!(f, "js error: {e}"),
             RunError::Native(e) => write!(f, "native trap: {e}"),
+            RunError::Panic(msg) => write!(f, "worker panic: {msg}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Coarse, backend-independent classification of a failed run — the
+/// vocabulary of the trap-parity tests and the grid's partial-results
+/// CSV. Each backend reports faults in its own enum ([`Trap`],
+/// [`JsError`], [`NativeTrap`]); `TrapKind` is the projection under
+/// which equivalent faults compare equal across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Out-of-bounds memory / array / table access.
+    OutOfBounds,
+    /// `INT_MIN / -1` style integer overflow.
+    IntegerOverflow,
+    /// Call-stack depth limit exceeded.
+    StackOverflow,
+    /// Fuel (step budget, [`ResourceLimits::fuel`]) exhausted.
+    FuelExhausted,
+    /// Memory ceiling ([`ResourceLimits::max_memory_bytes`]) exceeded.
+    MemoryLimit,
+    /// Compilation (front end or backend) failed.
+    Compile,
+    /// A worker panicked (caught at the isolation boundary).
+    Panic,
+    /// Anything else: host errors, missing exports, unreachable, ….
+    Other,
+}
+
+impl TrapKind {
+    /// Stable kebab-case name, used in CSV annotations.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrapKind::DivByZero => "div-by-zero",
+            TrapKind::OutOfBounds => "out-of-bounds",
+            TrapKind::IntegerOverflow => "integer-overflow",
+            TrapKind::StackOverflow => "stack-overflow",
+            TrapKind::FuelExhausted => "fuel-exhausted",
+            TrapKind::MemoryLimit => "memory-limit",
+            TrapKind::Compile => "compile-error",
+            TrapKind::Panic => "panic",
+            TrapKind::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl RunError {
+    /// The backend-independent fault class. The trap-parity suite
+    /// asserts that the same program faults with the same `TrapKind` on
+    /// every backend that can express the fault.
+    pub fn kind(&self) -> TrapKind {
+        match self {
+            RunError::Compile(_) => TrapKind::Compile,
+            RunError::Panic(_) => TrapKind::Panic,
+            RunError::Trap(t) => match t {
+                Trap::DivByZero => TrapKind::DivByZero,
+                Trap::MemoryOutOfBounds { .. } | Trap::TableOutOfBounds => TrapKind::OutOfBounds,
+                Trap::IntegerOverflow => TrapKind::IntegerOverflow,
+                Trap::StackOverflow => TrapKind::StackOverflow,
+                Trap::StepBudgetExhausted => TrapKind::FuelExhausted,
+                Trap::MemoryLimitExceeded { .. } => TrapKind::MemoryLimit,
+                _ => TrapKind::Other,
+            },
+            RunError::Js(e) => match e {
+                JsError::DivByZero => TrapKind::DivByZero,
+                JsError::OutOfBounds { .. } => TrapKind::OutOfBounds,
+                JsError::StackOverflow => TrapKind::StackOverflow,
+                JsError::StepBudgetExhausted => TrapKind::FuelExhausted,
+                JsError::MemoryLimitExceeded { .. } => TrapKind::MemoryLimit,
+                JsError::Lex { .. } | JsError::Parse { .. } | JsError::Compile { .. } => {
+                    TrapKind::Compile
+                }
+                _ => TrapKind::Other,
+            },
+            RunError::Native(e) => match e {
+                NativeTrap::DivByZero => TrapKind::DivByZero,
+                NativeTrap::OutOfBounds { .. } => TrapKind::OutOfBounds,
+                NativeTrap::StackOverflow => TrapKind::StackOverflow,
+                NativeTrap::StepBudget => TrapKind::FuelExhausted,
+                NativeTrap::MemoryLimit { .. } => TrapKind::MemoryLimit,
+                _ => TrapKind::Other,
+            },
+        }
+    }
+}
+
+/// A failed run plus whatever was measured before the fault.
+///
+/// `error` says what went wrong; `partial` carries the virtual-cost
+/// state the VM had accumulated up to the trap, when it got far enough
+/// to have any (compile errors and panics report nothing). The grid's
+/// `--keep-going` mode annotates failed cells from this.
+#[derive(Debug)]
+pub struct RunFailure {
+    /// What went wrong.
+    pub error: RunError,
+    /// Measurement state at the point of failure, if the VM was running.
+    pub partial: Option<Box<Measurement>>,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+impl From<RunError> for RunFailure {
+    fn from(error: RunError) -> Self {
+        RunFailure {
+            error,
+            partial: None,
+        }
+    }
+}
+
+impl From<CompileError> for RunFailure {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e).into()
+    }
+}
+
+impl From<Trap> for RunFailure {
+    fn from(e: Trap) -> Self {
+        RunError::Trap(e).into()
+    }
+}
+
+impl From<JsError> for RunFailure {
+    fn from(e: JsError) -> Self {
+        RunError::Js(e).into()
+    }
+}
 
 impl From<CompileError> for RunError {
     fn from(e: CompileError) -> Self {
@@ -104,6 +249,11 @@ pub struct WasmSpec<'a> {
     /// micro-op engine (`--reference-exec`). Measurements are identical
     /// either way; this is the escape hatch that proves it.
     pub reference_exec: bool,
+    /// Resource ceilings (fuel, memory, call depth). The default is
+    /// unlimited fuel/memory, so default-limit runs are bit-identical to
+    /// runs from before the limit layer existed — limits are *checked*
+    /// on existing virtual-cost events, never charged.
+    pub limits: ResourceLimits,
     /// Entry function.
     pub entry: &'a str,
 }
@@ -120,6 +270,7 @@ impl<'a> WasmSpec<'a> {
             tier_policy: TierPolicy::Default,
             heap_limit: Some(256 << 20),
             reference_exec: false,
+            limits: ResourceLimits::default(),
             entry: "bench_main",
         }
     }
@@ -144,6 +295,15 @@ pub struct JsSpec<'a> {
     /// Run without the fused-op overlay and inline caches
     /// (`--reference-exec`); measurement-invisible by construction.
     pub reference_exec: bool,
+    /// Resource ceilings (fuel, live-heap memory, call depth); the
+    /// default is unlimited fuel/memory, bit-identical to the pre-limit
+    /// engine.
+    pub limits: ResourceLimits,
+    /// Compile with wasm-parity trap checks (checked integer division
+    /// and typed-array bounds). Changes generated code — part of the
+    /// artifact cache key — and exists for the trap-parity fixtures;
+    /// study runs never set it.
+    pub trap_checks: bool,
     /// Entry function.
     pub entry: &'a str,
 }
@@ -159,6 +319,8 @@ impl<'a> JsSpec<'a> {
             env: Environment::desktop_chrome(),
             jit: JitMode::Enabled,
             reference_exec: false,
+            limits: ResourceLimits::default(),
+            trap_checks: false,
             entry: "bench_main",
         }
     }
@@ -201,20 +363,16 @@ pub fn reported_wasm_memory(env: Environment, linear_bytes: u64) -> u64 {
 fn wasm_artifact(
     spec: &WasmSpec<'_>,
     cache: Option<&ArtifactCache>,
-) -> Result<Arc<CachedWasm>, RunError> {
-    let build = || -> Result<CachedWasm, RunError> {
+) -> Result<Arc<CachedWasm>, RunFailure> {
+    let build = || -> Result<CachedWasm, RunFailure> {
         let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, spec.heap_limit);
         let out = compiler.compile_wasm(spec.source)?;
         let bytes = wb_wasm::encode_module(&out.module);
-        let module = wb_wasm::decode_module(&bytes).map_err(|e| {
-            RunError::Trap(Trap::Host {
-                message: format!("decode failed: {e}"),
-            })
+        let module = wb_wasm::decode_module(&bytes).map_err(|e| Trap::Host {
+            message: format!("decode failed: {e}"),
         })?;
-        wb_wasm::validate(&module).map_err(|e| {
-            RunError::Trap(Trap::Host {
-                message: format!("validation failed: {e}"),
-            })
+        wb_wasm::validate(&module).map_err(|e| Trap::Host {
+            message: format!("validation failed: {e}"),
         })?;
         Ok(CachedWasm {
             bytes,
@@ -231,6 +389,7 @@ fn wasm_artifact(
                 spec.level,
                 spec.toolchain,
                 spec.heap_limit,
+                false,
             );
             cache.wasm(key, build)
         }
@@ -251,12 +410,22 @@ pub fn run_wasm_with(
     spec: &WasmSpec<'_>,
     cache: Option<&ArtifactCache>,
 ) -> Result<Measurement, RunError> {
+    try_run_wasm_with(spec, cache).map_err(|f| f.error)
+}
+
+/// [`run_wasm_with`], but a failed run also reports the measurement
+/// state at the point of failure (see [`RunFailure`]).
+pub fn try_run_wasm_with(
+    spec: &WasmSpec<'_>,
+    cache: Option<&ArtifactCache>,
+) -> Result<Measurement, RunFailure> {
     let artifact = wasm_artifact(spec, cache)?;
     let profile = spec.env.profile();
     let mut config = WasmVmConfig::for_env(&profile);
     config.tier_policy = spec.tier_policy;
     config.reference_exec = spec.reference_exec;
     config.exec_overhead = calibration::toolchain_exec_overhead(spec.toolchain);
+    config.limits = spec.limits;
 
     // Deployment (§3.3): the page fetches the binary and instantiates it —
     // decode + validate + baseline compile are charged exactly as
@@ -267,10 +436,9 @@ pub fn run_wasm_with(
         config,
         standard_imports(artifact.strings.clone()),
     )?;
-    inst.invoke(spec.entry, &[])?;
+    let run = inst.invoke(spec.entry, &[]);
     let report = inst.report();
-
-    Ok(Measurement {
+    let measurement = Measurement {
         time: report.total,
         clock: report.clock.clone(),
         memory_bytes: reported_wasm_memory(spec.env, report.memory.linear_bytes),
@@ -279,7 +447,14 @@ pub fn run_wasm_with(
         arith: report.arith,
         output: inst.output.clone(),
         context_switches: report.context_switches,
-    })
+    };
+    match run {
+        Ok(_) => Ok(measurement),
+        Err(trap) => Err(RunFailure {
+            error: RunError::Trap(trap),
+            partial: Some(Box::new(measurement)),
+        }),
+    }
 }
 
 /// Run a compiled-to-JavaScript benchmark end to end.
@@ -293,8 +468,18 @@ pub fn run_compiled_js_with(
     spec: &JsSpec<'_>,
     cache: Option<&ArtifactCache>,
 ) -> Result<Measurement, RunError> {
-    let build = || -> Result<CachedJs, RunError> {
-        let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, None);
+    try_run_compiled_js_with(spec, cache).map_err(|f| f.error)
+}
+
+/// [`run_compiled_js_with`], but a failed run also reports the
+/// measurement state at the point of failure (see [`RunFailure`]).
+pub fn try_run_compiled_js_with(
+    spec: &JsSpec<'_>,
+    cache: Option<&ArtifactCache>,
+) -> Result<Measurement, RunFailure> {
+    let build = || -> Result<CachedJs, RunFailure> {
+        let compiler = compiler_for(&spec.defines, spec.level, spec.toolchain, None)
+            .trap_checks(spec.trap_checks);
         let out = compiler.compile_js(spec.source)?;
         Ok(CachedJs { source: out.source })
     };
@@ -307,6 +492,7 @@ pub fn run_compiled_js_with(
                 spec.level,
                 spec.toolchain,
                 None,
+                spec.trap_checks,
             );
             cache.js(key, build)?
         }
@@ -317,19 +503,26 @@ pub fn run_compiled_js_with(
 
 /// Run a manually-written MiniJS program (§4.1.2).
 pub fn run_manual_js(spec: &JsSpec<'_>) -> Result<Measurement, RunError> {
+    try_run_manual_js(spec).map_err(|f| f.error)
+}
+
+/// [`run_manual_js`], but a failed run also reports the measurement
+/// state at the point of failure (see [`RunFailure`]).
+pub fn try_run_manual_js(spec: &JsSpec<'_>) -> Result<Measurement, RunFailure> {
     run_js_source(spec.source, spec)
 }
 
-fn run_js_source(js_source: &str, spec: &JsSpec<'_>) -> Result<Measurement, RunError> {
+fn run_js_source(js_source: &str, spec: &JsSpec<'_>) -> Result<Measurement, RunFailure> {
     let profile = spec.env.profile();
     let mut config = JsVmConfig::for_env(&profile);
     config.jit = spec.jit;
     config.reference_exec = spec.reference_exec;
+    config.limits = spec.limits;
     let mut vm = JsVm::new(config);
     vm.load(js_source)?;
-    vm.call(spec.entry, &[])?;
+    let run = vm.call(spec.entry, &[]);
     let report = vm.report();
-    Ok(Measurement {
+    let measurement = Measurement {
         time: report.total,
         clock: report.clock.clone(),
         memory_bytes: profile.js.baseline_memory_bytes + report.heap.peak_live_bytes,
@@ -338,7 +531,14 @@ fn run_js_source(js_source: &str, spec: &JsSpec<'_>) -> Result<Measurement, RunE
         arith: report.arith,
         output: vm.output.clone(),
         context_switches: 0,
-    })
+    };
+    match run {
+        Ok(_) => Ok(measurement),
+        Err(e) => Err(RunFailure {
+            error: RunError::Js(e),
+            partial: Some(Box::new(measurement)),
+        }),
+    }
 }
 
 /// Run the native (x86 control) build, Fig 6.
@@ -360,7 +560,30 @@ pub fn run_native_with(
     entry: &str,
     cache: Option<&ArtifactCache>,
 ) -> Result<Measurement, RunError> {
-    let build = || -> Result<CachedNative, RunError> {
+    try_run_native_with(
+        source,
+        defines,
+        level,
+        entry,
+        ResourceLimits::default(),
+        cache,
+    )
+    .map_err(|f| f.error)
+}
+
+/// [`run_native_with`] under explicit resource limits. Limits apply at
+/// *run* time ([`wb_minic::backend::native::NativeProgram::run_with_limits`]),
+/// so the compiled program is still shared through the cache across
+/// cells with different limits.
+pub fn try_run_native_with(
+    source: &str,
+    defines: &[(String, String)],
+    level: OptLevel,
+    entry: &str,
+    limits: ResourceLimits,
+    cache: Option<&ArtifactCache>,
+) -> Result<Measurement, RunFailure> {
+    let build = || -> Result<CachedNative, RunFailure> {
         let compiler = compiler_for(defines, level, Toolchain::Cheerp, Some(1 << 30));
         Ok(CachedNative {
             prog: compiler.compile_native(source)?,
@@ -375,13 +598,16 @@ pub fn run_native_with(
                 level,
                 Toolchain::Cheerp,
                 Some(1 << 30),
+                false,
             );
             cache.native(key, build)?
         }
         None => Arc::new(build()?),
     };
     let prog = &artifact.prog;
-    let out = prog.run(entry, &[]).map_err(RunError::Native)?;
+    let out = prog
+        .run_with_limits(entry, &[], limits)
+        .map_err(|e| RunFailure::from(RunError::Native(e)))?;
     let mut clock = VirtualClock::new();
     clock.advance(out.exec_time, wb_env::TimeBucket::Exec);
     Ok(Measurement {

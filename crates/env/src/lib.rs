@@ -28,6 +28,7 @@ mod compiler;
 mod cost;
 mod engine;
 mod environment;
+mod limits;
 pub mod rng;
 mod time;
 
@@ -35,4 +36,5 @@ pub use compiler::{CompilerProfile, JsTarget, Toolchain};
 pub use cost::{ArithCounts, CostTable, OpClass, OpCounts, OP_CLASS_COUNT};
 pub use engine::{GcParams, JitMode, JsEngineProfile, TierParams, TierPolicy, WasmEngineProfile};
 pub use environment::{Browser, EnvProfile, Environment, Platform};
+pub use limits::{ResourceLimits, DEFAULT_MAX_CALL_DEPTH};
 pub use time::{Nanos, TimeBucket, VirtualClock};

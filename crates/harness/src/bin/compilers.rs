@@ -59,5 +59,5 @@ fn main() {
         ),
     ]);
     cli.emit("compilers", &t);
-    engine.finish();
+    engine.finish_with(&cli, "compilers");
 }

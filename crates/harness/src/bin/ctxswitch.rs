@@ -4,7 +4,7 @@
 use wb_core::apps::context_switch_bench;
 use wb_core::report::{ratio, Table};
 use wb_env::{Browser, Environment, Platform};
-use wb_harness::Cli;
+use wb_harness::{run_or_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
@@ -13,11 +13,13 @@ fn main() {
         "§4.5: JS↔Wasm context-switch cost (desktop)",
         &["browser", "ns per boundary crossing", "relative to Chrome"],
     );
-    let chrome =
-        context_switch_bench(Environment::desktop_chrome(), calls).expect("microbench runs");
+    let chrome = run_or_exit(
+        "ctxswitch/Chrome",
+        context_switch_bench(Environment::desktop_chrome(), calls),
+    );
     for browser in Browser::ALL {
         let env = Environment::new(browser, Platform::Desktop);
-        let ns = context_switch_bench(env, calls).expect("microbench runs");
+        let ns = run_or_exit(browser.name(), context_switch_bench(env, calls));
         t.row(vec![
             browser.name().into(),
             format!("{:.1}", ns.0),

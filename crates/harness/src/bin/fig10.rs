@@ -72,5 +72,5 @@ fn main() {
         cli.emit(&format!("fig10_js_{tag}"), &js_table);
         cli.emit(&format!("fig10_wasm_{tag}"), &wasm_table);
     }
-    engine.finish();
+    engine.finish_with(&cli, "fig10");
 }

@@ -69,5 +69,5 @@ fn main() {
         }
     }
     cli.emit("fig11", &t);
-    engine.finish();
+    engine.finish_with(&cli, "fig11");
 }

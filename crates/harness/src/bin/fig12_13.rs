@@ -124,5 +124,5 @@ fn main() {
         }
     }
     cli.emit("table8_relative", &rel);
-    engine.finish();
+    engine.finish_with(&cli, "fig12_13");
 }

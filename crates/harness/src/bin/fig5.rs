@@ -99,5 +99,5 @@ fn main() {
         census.row(vec![level.to_string(), fastest[i].to_string()]);
     }
     cli.emit("fig5_fastest_census", &census);
-    engine.finish();
+    engine.finish_with(&cli, "fig5");
 }

@@ -48,5 +48,5 @@ fn main() {
     }
     cli.emit("fig6_time", &time_table);
     cli.emit("fig6_code_size", &size_table);
-    engine.finish();
+    engine.finish_with(&cli, "fig6");
 }

@@ -116,5 +116,5 @@ fn main() {
         ]);
     }
     cli.emit(&format!("table4_6_{}", browser.to_lowercase()), &memory);
-    engine.finish();
+    engine.finish_with(&cli, "fig9");
 }

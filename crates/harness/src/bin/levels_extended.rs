@@ -64,5 +64,5 @@ fn main() {
     }
     cli.emit("levels_extended_time", &time_table);
     cli.emit("levels_extended_size", &size_table);
-    engine.finish();
+    engine.finish_with(&cli, "levels_extended");
 }

@@ -5,7 +5,7 @@ use wb_benchmarks::apps::{ffmpeg, hyphen, longjs};
 use wb_core::apps;
 use wb_core::report::{millis, Table};
 use wb_env::Environment;
-use wb_harness::Cli;
+use wb_harness::{run_or_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
@@ -22,8 +22,14 @@ fn main() {
     );
 
     for op in longjs::LongOp::ALL {
-        let w = apps::longjs_wasm(op, env).expect("longjs wasm");
-        let j = apps::longjs_js(op, env).expect("longjs js");
+        let w = run_or_exit(
+            &format!("longjs-{}/wasm", op.name()),
+            apps::longjs_wasm(op, env),
+        );
+        let j = run_or_exit(
+            &format!("longjs-{}/js", op.name()),
+            apps::longjs_js(op, env),
+        );
         t.row(vec![
             format!("Long.js {}", op.name()),
             op.input_desc().into(),
@@ -33,8 +39,14 @@ fn main() {
         ]);
     }
     for lang in hyphen::Lang::ALL {
-        let w = apps::hyphen_wasm(lang, env).expect("hyphen wasm");
-        let j = apps::hyphen_js(lang, env).expect("hyphen js");
+        let w = run_or_exit(
+            &format!("hyphen-{}/wasm", lang.name()),
+            apps::hyphen_wasm(lang, env),
+        );
+        let j = run_or_exit(
+            &format!("hyphen-{}/js", lang.name()),
+            apps::hyphen_js(lang, env),
+        );
         assert_eq!(w.output, j.output, "hyphenation must agree");
         t.row(vec![
             format!("Hyphenopoly {}", lang.name()),
@@ -45,8 +57,8 @@ fn main() {
         ]);
     }
     {
-        let w = apps::ffmpeg_wasm(env).expect("ffmpeg wasm");
-        let j = apps::ffmpeg_js(env).expect("ffmpeg js");
+        let w = run_or_exit("ffmpeg/wasm", apps::ffmpeg_wasm(env));
+        let j = run_or_exit("ffmpeg/js", apps::ffmpeg_js(env));
         t.row(vec![
             "FFmpeg mp4 to avi".into(),
             format!(

@@ -5,7 +5,7 @@ use wb_benchmarks::apps::longjs::LongOp;
 use wb_core::apps::{longjs_js, longjs_wasm};
 use wb_core::report::Table;
 use wb_env::{ArithCounts, Environment};
-use wb_harness::Cli;
+use wb_harness::{run_or_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
@@ -33,8 +33,8 @@ fn main() {
             .collect()
     };
     for op in LongOp::ALL {
-        let j = longjs_js(op, env).expect("js");
-        let w = longjs_wasm(op, env).expect("wasm");
+        let j = run_or_exit(&format!("longjs-{}/js", op.name()), longjs_js(op, env));
+        let w = run_or_exit(&format!("longjs-{}/wasm", op.name()), longjs_wasm(op, env));
         let mut row = vec![op.name().to_string(), "JS".into()];
         row.extend(fmt(&j.arith));
         t.row(row);

@@ -117,5 +117,5 @@ fn main() {
         ]);
     }
     cli.emit("table2", &t);
-    engine.finish();
+    engine.finish_with(&cli, "table2");
 }

@@ -84,5 +84,5 @@ fn main() {
     }
     cli.emit("table7", &t);
     let _ = overall;
-    engine.finish();
+    engine.finish_with(&cli, "table7");
 }

@@ -16,11 +16,16 @@ fn main() {
         let src = m.full_source();
         let mut spec = JsSpec::new(&src);
         spec.entry = "bench_main";
-        let manual = run_manual_js(&spec).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        let manual = run_manual_js(&spec).unwrap_or_else(|e| {
+            eprintln!("error: {}/manual-js [{}]: {e}", m.name, e.kind());
+            std::process::exit(1);
+        });
         // Counterpart compiled versions at the manual benchmark's scale
         // (XS-ish fixed sizes; the paper used the default inputs).
-        let counterpart = wb_benchmarks::suite::find(m.counterpart)
-            .unwrap_or_else(|| panic!("counterpart {}", m.counterpart));
+        let counterpart = wb_benchmarks::suite::find(m.counterpart).unwrap_or_else(|| {
+            eprintln!("error: {}: unknown counterpart '{}'", m.name, m.counterpart);
+            std::process::exit(2);
+        });
         let run = Run::new(counterpart, InputSize::S);
         let cheerp = engine.js(&run);
         let wasm = engine.wasm(&run);
@@ -53,5 +58,5 @@ fn main() {
         ]);
     }
     cli.emit("table9", &t);
-    engine.finish();
+    engine.finish_with(&cli, "table9");
 }

@@ -1,31 +1,89 @@
-//! `wb` — the repo's front door for static verification.
+//! `wb` — the repo's front door for static verification and fault
+//! injection.
 //!
 //! ```text
 //! wb analyze --all                 # full corpus sweep (verify.sh gate)
 //! wb analyze --quick               # 3-kernel smoke subset
 //! wb analyze --kernels gemm,AES    # named kernels only
 //! wb analyze --all --out report.json
+//! wb inject --all                  # every fault family (verify.sh gate)
+//! wb inject --fault decode --quick # one family, reduced corpus
 //! ```
 //!
-//! Runs the `wb-analysis` sweep — IR verification between every pass at
-//! every opt level, Wasm type-checking of every emitted module, the
-//! fusion cost-equivalence audit of both VMs, and the corpus lints — and
-//! prints a one-line summary. Failures of the hard checks (everything
-//! but lints) list their diagnostics and set a non-zero exit status.
-//! `--out` additionally writes the machine-readable JSON report.
+//! `analyze` runs the `wb-analysis` sweep — IR verification between
+//! every pass at every opt level, Wasm type-checking of every emitted
+//! module, the fusion cost-equivalence audit of both VMs, and the
+//! corpus lints — and prints a one-line summary. Failures of the hard
+//! checks (everything but lints) list their diagnostics and set a
+//! non-zero exit status. `--out` additionally writes the
+//! machine-readable JSON report.
+//!
+//! `inject` runs the fault-injection harness ([`wb_harness::inject`]):
+//! decode corruption, fuel/memory/stack exhaustion and forced worker
+//! panics, asserting every fault surfaces as a structured error with
+//! zero uncaught panics.
 
 use wb_analysis::{analyze, AnalysisConfig};
 use wb_benchmarks::InputSize;
 use wb_harness::Cli;
 
-const USAGE: &str =
-    "usage: wb analyze [--all|--quick] [--kernels a,b] [--sizes XS,M] [--no-fusion] [--out report.json]";
+const USAGE: &str = "usage: wb analyze [--all|--quick] [--kernels a,b] [--sizes XS,M] [--no-fusion] [--out report.json]\n       wb inject [--all|--fault <name>] [--quick]";
+
+fn inject_main(args: &[String]) {
+    for flag in args.iter().filter_map(|a| a.strip_prefix("--")) {
+        let name = flag.split_once('=').map_or(flag, |(k, _)| k);
+        if !matches!(name, "all" | "fault" | "quick") {
+            eprintln!("unknown flag '--{name}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    let cli = Cli::from_args(args.iter().cloned());
+    let quick = cli.has("quick");
+    let reports = match cli.get("fault") {
+        Some(name) => match wb_harness::inject::run_fault(name, quick) {
+            Some(r) => vec![r],
+            None => {
+                eprintln!(
+                    "unknown fault '{name}' (known: {})",
+                    wb_harness::inject::ALL_FAULTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        None => wb_harness::inject::run_all(quick),
+    };
+    let mut uncaught = 0usize;
+    let mut unexpected = 0usize;
+    println!("fault     probes  expected  unexpected  uncaught-panics");
+    for r in &reports {
+        println!(
+            "{:<8}  {:>6}  {:>8}  {:>10}  {:>15}",
+            r.fault, r.probes, r.expected, r.unexpected, r.uncaught_panics
+        );
+        for d in &r.diagnostics {
+            eprintln!("  {}: {d}", r.fault);
+        }
+        uncaught += r.uncaught_panics;
+        unexpected += r.unexpected;
+    }
+    println!("inject: {uncaught} uncaught panics, {unexpected} unexpected outcomes");
+    if uncaught + unexpected > 0 {
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("analyze") {
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+    match args.first().map(String::as_str) {
+        Some("analyze") => {}
+        Some("inject") => {
+            inject_main(&args[1..]);
+            return;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
     }
     for flag in args[1..].iter().filter_map(|a| a.strip_prefix("--")) {
         let name = flag.split_once('=').map_or(flag, |(k, _)| k);

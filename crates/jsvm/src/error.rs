@@ -43,6 +43,29 @@ pub enum JsError {
     StepBudgetExhausted,
     /// Call-stack depth limit exceeded.
     StackOverflow,
+    /// The JS heap exceeded the configured resource-limit ceiling
+    /// ([`wb_env::ResourceLimits::max_memory_bytes`]). Checked at the GC
+    /// safe point *after* collection, so only truly-live data counts —
+    /// the deterministic analogue of a tab's OOM kill.
+    MemoryLimitExceeded {
+        /// Live + external heap bytes after collection.
+        requested_bytes: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// Integer division or remainder by zero, reported by compiled code
+    /// built with trap checks (`wasm`-parity mode; plain JS numeric
+    /// division never traps).
+    DivByZero,
+    /// Out-of-bounds typed-array access, reported by compiled code built
+    /// with trap checks (plain JS reads yield `undefined` / writes are
+    /// ignored).
+    OutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        len: u32,
+    },
 }
 
 impl fmt::Display for JsError {
@@ -56,6 +79,17 @@ impl fmt::Display for JsError {
             JsError::Range { message } => write!(f, "RangeError: {message}"),
             JsError::StepBudgetExhausted => write!(f, "step budget exhausted"),
             JsError::StackOverflow => write!(f, "RangeError: maximum call stack size exceeded"),
+            JsError::MemoryLimitExceeded {
+                requested_bytes,
+                limit,
+            } => write!(
+                f,
+                "memory limit exceeded ({requested_bytes} live bytes, limit {limit})"
+            ),
+            JsError::DivByZero => write!(f, "integer divide by zero"),
+            JsError::OutOfBounds { index, len } => {
+                write!(f, "out-of-bounds access (index {index}, length {len})")
+            }
         }
     }
 }

@@ -15,6 +15,10 @@ pub enum Builtin {
     StringCls,
     /// `Number` — `isInteger`, `MAX_SAFE_INTEGER`.
     NumberCls,
+    /// `__wb` — embedder harness object through which compiled code built
+    /// with trap checks raises wasm-parity traps (`div0`, `oob`). Not
+    /// referenced by normal programs.
+    WbHarness,
 }
 
 /// An internal MiniJS value. Heap data lives behind [`Value::Ref`].
@@ -81,11 +85,11 @@ pub enum JsValue {
 }
 
 impl JsValue {
-    /// Unwrap a number, panicking otherwise (test convenience).
-    pub fn as_num(&self) -> f64 {
+    /// The numeric payload, if this is a number (test convenience).
+    pub fn as_num(&self) -> Option<f64> {
         match self {
-            JsValue::Num(n) => *n,
-            other => panic!("expected number, got {other:?}"),
+            JsValue::Num(n) => Some(*n),
+            _ => None,
         }
     }
 }

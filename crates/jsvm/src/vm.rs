@@ -24,10 +24,13 @@ pub struct JsVmConfig {
     pub cost: CostTable,
     /// Nanoseconds per abstract cycle (platform speed).
     pub cycle_time_ns: f64,
-    /// Maximum retired ops before [`JsError::StepBudgetExhausted`].
-    pub max_steps: u64,
-    /// Maximum frame depth before [`JsError::StackOverflow`].
-    pub max_call_depth: usize,
+    /// Resource ceilings: fuel (retired-op budget →
+    /// [`JsError::StepBudgetExhausted`]), heap ceiling
+    /// ([`JsError::MemoryLimitExceeded`], checked at the GC safe point)
+    /// and frame depth ([`JsError::StackOverflow`]). Limits are checked
+    /// on existing virtual-cost events and never add charges, so
+    /// default-limit runs are bit-identical to unlimited ones.
+    pub limits: wb_env::ResourceLimits,
     /// Execute without the fused-op overlay and inline caches (one
     /// bytecode op per dispatch). Both modes produce bit-identical
     /// measurements; this is a debugging escape hatch for fusion
@@ -43,8 +46,7 @@ impl JsVmConfig {
             jit: JitMode::Enabled,
             cost: CostTable::reference(),
             cycle_time_ns: wb_env::calibration::DESKTOP_CYCLE_NS,
-            max_steps: u64::MAX,
-            max_call_depth: 2_048,
+            limits: wb_env::ResourceLimits::default(),
             reference_exec: false,
         }
     }
@@ -56,8 +58,7 @@ impl JsVmConfig {
             jit: JitMode::Enabled,
             cost: CostTable::reference(),
             cycle_time_ns: env.cycle_time_ns,
-            max_steps: u64::MAX,
-            max_call_depth: 2_048,
+            limits: wb_env::ResourceLimits::default(),
             reference_exec: false,
         }
     }
@@ -195,6 +196,7 @@ impl JsVm {
             ("crypto", Builtin::Crypto),
             ("String", Builtin::StringCls),
             ("Number", Builtin::NumberCls),
+            ("__wb", Builtin::WbHarness),
         ] {
             if let Some(&idx) = self.name_index.get(name) {
                 self.globals[idx as usize] = Some(Value::Builtin(builtin));
@@ -340,12 +342,24 @@ impl JsVm {
         self.heap.alloc(obj)
     }
 
-    fn maybe_gc(&mut self) {
+    fn maybe_gc(&mut self) -> Result<(), JsError> {
+        let limit = self.config.limits.memory_budget();
+        let usage = {
+            let s = self.heap.stats();
+            s.live_bytes + s.external_bytes
+        };
+        // The heap ceiling forces a collection even below the pressure
+        // trigger: only truly-live bytes may kill the run, like a real
+        // engine's last-ditch GC before raising OOM. With no ceiling
+        // configured (`limit == u64::MAX`, the grid default) this branch
+        // never fires and GC scheduling is untouched.
+        let over_limit = usage > limit;
         if !self
             .heap
             .should_collect(self.config.profile.gc.trigger_bytes)
+            && !over_limit
         {
-            return;
+            return Ok(());
         }
         let roots = self
             .globals
@@ -360,10 +374,21 @@ impl JsVm {
             gc.pause_base + gc.pause_per_live_byte * live as f64,
             TimeBucket::Gc,
         );
+        let after = {
+            let s = self.heap.stats();
+            s.live_bytes + s.external_bytes
+        };
+        if after > limit {
+            return Err(JsError::MemoryLimitExceeded {
+                requested_bytes: after,
+                limit,
+            });
+        }
+        Ok(())
     }
 
     fn push_frame(&mut self, chunk: u32, args: &[Value]) -> Result<(), JsError> {
-        if self.frames.len() >= self.config.max_call_depth {
+        if self.frames.len() >= self.config.limits.max_call_depth {
             return Err(JsError::StackOverflow);
         }
         self.note_hotness(chunk as usize);
@@ -553,7 +578,7 @@ impl JsVm {
             loop {
                 // Instruction boundary: a GC-safe point (all live values
                 // are reachable from stack/locals/globals).
-                self.maybe_gc();
+                self.maybe_gc()?;
                 // Fused dispatch: at a pattern head, try the fused form.
                 // Guards run before any charge, so a fallback (`None`)
                 // leaves the virtual-cost state untouched and the plain
@@ -568,7 +593,7 @@ impl JsVm {
                 }
                 let op = &chunk.code[pc];
                 self.steps += 1;
-                if self.steps > self.config.max_steps {
+                if self.steps > self.config.limits.fuel_budget() {
                     return Err(JsError::StepBudgetExhausted);
                 }
                 // Typed-array index ops are counted inside their handler;
@@ -914,7 +939,7 @@ impl JsVm {
         macro_rules! steps {
             ($n:expr) => {
                 self.steps += $n;
-                if self.steps > self.config.max_steps {
+                if self.steps > self.config.limits.fuel_budget() {
                     return Err(JsError::StepBudgetExhausted);
                 }
             };
@@ -1435,6 +1460,17 @@ impl JsVm {
                 self.tier_counts[1].bump(wb_env::OpClass::FloatDiv, 1);
                 Ok(MethodOutcome::Value(Value::Num(v)))
             }
+            Value::Builtin(Builtin::WbHarness) => match name.as_str() {
+                // Trap-check helpers compiled in by the wasm-parity JS
+                // backend: reaching one of these *is* the trap.
+                "div0" => Err(JsError::DivByZero),
+                "oob" => {
+                    let index = arg_num(self, 0) as i64;
+                    let len = arg_num(self, 1) as u32;
+                    Err(JsError::OutOfBounds { index, len })
+                }
+                _ => self.type_error(format!("__wb.{name} is not a function")),
+            },
             Value::Builtin(Builtin::Console) => {
                 let parts: Vec<String> = args.iter().map(|a| self.stringify(*a)).collect();
                 self.output.push(parts.join(" "));
@@ -1876,8 +1912,8 @@ mod tests {
              console.log('answer', 42, true);\n\
              var t1 = performance.now();");
         assert_eq!(v.output, vec!["answer 42 true"]);
-        let t0 = v.global("t0").unwrap().as_num();
-        let t1 = v.global("t1").unwrap().as_num();
+        let t0 = v.global("t0").unwrap().as_num().expect("number");
+        let t1 = v.global("t1").unwrap().as_num().expect("number");
         assert!(t1 >= t0);
     }
 
@@ -1913,7 +1949,11 @@ mod tests {
     #[test]
     fn math_methods() {
         let mut v = vm("function f(x) { return Math.sqrt(x) + Math.max(1, 2, 3) + Math.PI; }");
-        let r = v.call("f", &[JsValue::Num(16.0)]).unwrap().as_num();
+        let r = v
+            .call("f", &[JsValue::Num(16.0)])
+            .unwrap()
+            .as_num()
+            .expect("number");
         assert!((r - (4.0 + 3.0 + std::f64::consts::PI)).abs() < 1e-12);
     }
 
@@ -1932,7 +1972,7 @@ mod tests {
     #[test]
     fn recursion_depth_limit() {
         let mut cfg = JsVmConfig::reference();
-        cfg.max_call_depth = 64;
+        cfg.limits.max_call_depth = 64;
         let mut v = JsVm::new(cfg);
         v.load("function f(n) { return f(n + 1); }").unwrap();
         assert_eq!(

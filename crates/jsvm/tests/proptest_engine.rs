@@ -182,7 +182,11 @@ fn gc_never_frees_reachable_data() {
         cfg.profile.gc.trigger_bytes = trigger;
         let mut vm = JsVm::new(cfg);
         vm.load(&src).expect("loads");
-        let got = vm.call("churn", &[]).expect("runs").as_num();
+        let got = vm
+            .call("churn", &[])
+            .expect("runs")
+            .as_num()
+            .expect("number");
         let want: f64 = (0..n)
             .filter(|i| i % keep_every == 0)
             .map(|i| (i * 2) as f64)
@@ -197,7 +201,7 @@ fn step_budget_always_terminates() {
         let mut rng = Lcg::new(4000 + seed);
         let budget = 1000 + rng.below(99_000);
         let mut cfg = JsVmConfig::reference();
-        cfg.max_steps = budget;
+        cfg.limits.fuel = Some(budget);
         let mut vm = JsVm::new(cfg);
         vm.load("function spin() { while (1) { } }").expect("loads");
         let r = vm.call("spin", &[]);

@@ -19,7 +19,7 @@ fn math_surface() {
     let JsValue::Array(v) = eval(src, "f", &[]) else {
         panic!("array expected")
     };
-    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num().expect("number")).collect();
     assert_eq!(
         nums,
         vec![2.0, 3.0, 3.0, -2.0, 3.0, 2.0, 9.0, 81.0, 131073.0]
@@ -60,7 +60,7 @@ fn string_methods_used_by_benchmarks() {
     let JsValue::Array(v) = eval(src, "f", &[JsValue::Str("hello".into())]) else {
         panic!("array expected")
     };
-    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num().expect("number")).collect();
     assert_eq!(nums, vec![5.0, 104.0, 2.0, 2.0, 3.0]);
 }
 
@@ -76,7 +76,7 @@ fn array_methods_used_by_benchmarks() {
     let JsValue::Array(v) = eval(src, "f", &[]) else {
         panic!("array expected")
     };
-    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num().expect("number")).collect();
     assert_eq!(nums, vec![4.0, 2.0, 5.0, 7.0]);
 }
 
@@ -95,7 +95,7 @@ fn typed_arrays_clamp_and_wrap_like_js() {
     let JsValue::Array(v) = eval(src, "f", &[]) else {
         panic!("array expected")
     };
-    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num().expect("number")).collect();
     assert_eq!(nums, vec![44.0, 255.0, 7.0, 0.5]);
 }
 
@@ -115,9 +115,9 @@ fn crypto_digest_is_32_bytes_and_stable() {
         panic!("array expected")
     };
     // sha256 of the pangram starts d7a8... ends ...3592.
-    assert_eq!(v[0].as_num(), 32.0);
-    assert_eq!(v[1].as_num(), 0xd7 as f64);
-    assert_eq!(v[2].as_num(), 0x92 as f64);
+    assert_eq!(v[0].as_num().expect("number"), 32.0);
+    assert_eq!(v[1].as_num().expect("number"), 0xd7 as f64);
+    assert_eq!(v[2].as_num().expect("number"), 0x92 as f64);
 }
 
 #[test]
@@ -146,6 +146,6 @@ fn typeof_and_equality_corners() {
     let JsValue::Array(v) = eval(src, "f", &[]) else {
         panic!("array expected")
     };
-    let nums: Vec<f64> = v.iter().map(|x| x.as_num()).collect();
+    let nums: Vec<f64> = v.iter().map(|x| x.as_num().expect("number")).collect();
     assert_eq!(nums, vec![1.0, 1.0, 1.0, 1.0, 0.0, 1.0, 0.0]);
 }

@@ -5,6 +5,6 @@ pub mod native;
 pub mod unroll;
 pub mod wasm;
 
-pub use js::emit_js;
+pub use js::{emit_js, emit_js_with, JsEmitOptions};
 pub use native::{NativeOutcome, NativeProgram};
 pub use wasm::emit_wasm;

@@ -6,7 +6,7 @@
 //! discounts float ops.
 
 use crate::hir::*;
-use wb_env::{CostTable, Nanos, OpClass, OpCounts};
+use wb_env::{CostTable, Nanos, OpClass, OpCounts, ResourceLimits};
 
 /// How much one 4-wide vector operation costs relative to one scalar op.
 /// Real auto-vectorization rarely achieves the ideal 4×: memory-bound
@@ -28,8 +28,11 @@ pub struct NativeProgram {
     hir: HProgram,
     cost: CostTable,
     cycle_time_ns: f64,
-    /// Execution step limit (runaway guard).
-    pub max_steps: u64,
+    /// Resource ceilings: fuel ([`NativeTrap::StepBudget`]), static-data
+    /// memory ceiling ([`NativeTrap::MemoryLimit`]) and call depth
+    /// ([`NativeTrap::StackOverflow`]). Defaults match the other two
+    /// backends so trap-parity fixtures agree across all three.
+    pub limits: ResourceLimits,
 }
 
 /// Everything measured about a native run.
@@ -61,6 +64,15 @@ pub enum NativeTrap {
     },
     /// Step budget exhausted.
     StepBudget,
+    /// Call depth limit exceeded.
+    StackOverflow,
+    /// Static data footprint exceeds the configured memory ceiling.
+    MemoryLimit {
+        /// Bytes the program's arrays occupy.
+        requested_bytes: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
     /// Missing entry function.
     NoSuchFunction(String),
     /// Argument count mismatch.
@@ -75,6 +87,14 @@ impl std::fmt::Display for NativeTrap {
                 write!(f, "index {index} out of bounds for array {array}")
             }
             NativeTrap::StepBudget => write!(f, "step budget exhausted"),
+            NativeTrap::StackOverflow => write!(f, "call stack exhausted"),
+            NativeTrap::MemoryLimit {
+                requested_bytes,
+                limit,
+            } => write!(
+                f,
+                "memory limit exceeded ({requested_bytes} bytes requested, limit {limit})"
+            ),
             NativeTrap::NoSuchFunction(n) => write!(f, "no function named {n}"),
             NativeTrap::BadArgs(n) => write!(f, "bad argument count for {n}"),
         }
@@ -137,7 +157,7 @@ impl NativeProgram {
             hir,
             cost: CostTable::reference(),
             cycle_time_ns: wb_env::calibration::DESKTOP_CYCLE_NS,
-            max_steps: u64::MAX,
+            limits: ResourceLimits::default(),
         }
     }
 
@@ -164,14 +184,36 @@ impl NativeProgram {
         (ops * BYTES_PER_OP * fast_math_factor) as u64 + data
     }
 
-    /// Run `entry(args…)` and collect the outcome.
+    /// Run `entry(args…)` and collect the outcome, under the program's
+    /// own [`ResourceLimits`].
     pub fn run(&self, entry: &str, args: &[i64]) -> Result<NativeOutcome, NativeTrap> {
+        self.run_with_limits(entry, args, self.limits)
+    }
+
+    /// Run `entry(args…)` under explicit resource limits. Programs are
+    /// shared immutably through the artifact cache, so per-run limits are
+    /// passed here rather than by mutating the program.
+    pub fn run_with_limits(
+        &self,
+        entry: &str,
+        args: &[i64],
+        limits: ResourceLimits,
+    ) -> Result<NativeOutcome, NativeTrap> {
         let (fid, f) = self
             .hir
             .func(entry)
             .ok_or_else(|| NativeTrap::NoSuchFunction(entry.into()))?;
         if f.params.len() != args.len() {
             return Err(NativeTrap::BadArgs(entry.into()));
+        }
+        if let Some(limit) = limits.max_memory_bytes {
+            let requested_bytes = self.hir.static_data_bytes();
+            if requested_bytes > limit {
+                return Err(NativeTrap::MemoryLimit {
+                    requested_bytes,
+                    limit,
+                });
+            }
         }
         let mut st = Evaluator {
             p: &self.hir,
@@ -190,7 +232,9 @@ impl NativeProgram {
             counts: OpCounts::new(),
             cycles: 0.0,
             steps: 0,
-            max_steps: self.max_steps,
+            max_steps: limits.fuel_budget(),
+            depth: 0,
+            max_depth: limits.max_call_depth,
             scale: 1.0,
             fast_math: self.hir.fast_math,
         };
@@ -313,6 +357,8 @@ struct Evaluator<'a> {
     cycles: f64,
     steps: u64,
     max_steps: u64,
+    depth: usize,
+    max_depth: usize,
     /// Current cost scale (vector bodies run discounted).
     scale: f64,
     fast_math: bool,
@@ -339,6 +385,13 @@ impl<'a> Evaluator<'a> {
     }
 
     fn call(&mut self, fid: FuncId, args: &[NVal]) -> Result<Option<NVal>, NativeTrap> {
+        // Depth guard matching the two VMs' frame limit, so deep-recursion
+        // fixtures trap identically across backends (and the host Rust
+        // stack — this evaluator recurses — is never at risk).
+        if self.depth >= self.max_depth {
+            return Err(NativeTrap::StackOverflow);
+        }
+        self.depth += 1;
         self.charge(OpClass::Call)?;
         let f = &self.p.funcs[fid as usize];
         let mut locals: Vec<NVal> = f
@@ -350,7 +403,9 @@ impl<'a> Evaluator<'a> {
             })
             .collect();
         locals[..args.len()].copy_from_slice(args);
-        match self.block(&f.body, &mut locals)? {
+        let flow = self.block(&f.body, &mut locals)?;
+        self.depth -= 1;
+        match flow {
             Flow::Return(v) => Ok(v),
             _ => Ok(None),
         }

@@ -2,7 +2,7 @@
 //! backend, mirroring the paper's Fig 2 steps 1–2.
 
 use crate::backend::wasm::WasmEmitOptions;
-use crate::backend::{emit_js, emit_wasm, NativeProgram};
+use crate::backend::{emit_js_with, emit_wasm, JsEmitOptions, NativeProgram};
 use crate::error::CompileError;
 use crate::hir::HProgram;
 use crate::opt::OptLevel;
@@ -59,6 +59,7 @@ pub struct Compiler {
     defines: HashMap<String, String>,
     heap_limit: Option<u64>,
     verify_ir: bool,
+    trap_checks: bool,
 }
 
 impl Compiler {
@@ -72,6 +73,7 @@ impl Compiler {
             // Debug builds always verify the IR between passes; release
             // builds opt in via `--verify-ir` / `.verify_ir(true)`.
             verify_ir: cfg!(debug_assertions),
+            trap_checks: false,
         }
     }
 
@@ -107,6 +109,16 @@ impl Compiler {
     /// (`--verify-ir`). On by default in debug builds.
     pub fn verify_ir(mut self, on: bool) -> Self {
         self.verify_ir = on;
+        self
+    }
+
+    /// Emit wasm-parity trap checks in the JS backend (checked integer
+    /// division and typed-array bounds; see
+    /// [`crate::backend::JsEmitOptions`]). Off by default — this changes
+    /// generated code, so it is part of the artifact cache key and is
+    /// only enabled by the trap-parity fixtures.
+    pub fn trap_checks(mut self, on: bool) -> Self {
+        self.trap_checks = on;
         self
     }
 
@@ -177,7 +189,12 @@ impl Compiler {
     /// Compile to JavaScript (MiniJS source).
     pub fn compile_js(&self, source: &str) -> Result<JsOutput, CompileError> {
         let (hir, transform) = self.optimized(source, TargetKind::Js)?;
-        let js = emit_js(&hir)?;
+        let js = emit_js_with(
+            &hir,
+            &JsEmitOptions {
+                trap_checks: self.trap_checks,
+            },
+        )?;
         Ok(JsOutput {
             code_size: js.len(),
             info: CompileOutput {

@@ -8,7 +8,7 @@ use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
 use wb_env::{
-    ArithCounts, CostTable, Nanos, OpCounts, TierPolicy, TimeBucket, VirtualClock,
+    ArithCounts, CostTable, Nanos, OpCounts, ResourceLimits, TierPolicy, TimeBucket, VirtualClock,
     WasmEngineProfile,
 };
 use wb_wasm::{decode_module, validate, LinearMemory, Module, ValType};
@@ -28,10 +28,13 @@ pub struct WasmVmConfig {
     /// instruction cycles (Cheerp vs Emscripten, §4.2.2). 1.0 for
     /// hand-written modules.
     pub exec_overhead: f64,
-    /// Maximum call depth before [`Trap::StackOverflow`].
-    pub max_call_depth: usize,
-    /// Maximum retired instructions before [`Trap::StepBudgetExhausted`].
-    pub max_steps: u64,
+    /// Resource ceilings: fuel (retired-instruction budget →
+    /// [`Trap::StepBudgetExhausted`]), linear-memory ceiling
+    /// ([`Trap::MemoryLimitExceeded`]) and call depth
+    /// ([`Trap::StackOverflow`]). Limits are checked on existing
+    /// virtual-cost events and never add charges, so default-limit runs
+    /// are bit-identical to unlimited ones.
+    pub limits: ResourceLimits,
     /// Execute on the reference (one instruction per dispatch, tagged
     /// stack) interpreter instead of the fused micro-op engine. Both
     /// produce bit-identical measurements; this is a debugging escape
@@ -49,8 +52,7 @@ impl WasmVmConfig {
             cost: CostTable::reference(),
             cycle_time_ns: wb_env::calibration::DESKTOP_CYCLE_NS,
             exec_overhead: 1.0,
-            max_call_depth: 2_048,
-            max_steps: u64::MAX,
+            limits: ResourceLimits::default(),
             reference_exec: false,
         }
     }
@@ -63,8 +65,7 @@ impl WasmVmConfig {
             cost: CostTable::reference(),
             cycle_time_ns: env.cycle_time_ns,
             exec_overhead: 1.0,
-            max_call_depth: 2_048,
-            max_steps: u64::MAX,
+            limits: ResourceLimits::default(),
             reference_exec: false,
         }
     }
@@ -217,6 +218,18 @@ impl Instance {
             .memory
             .as_ref()
             .map(|spec| LinearMemory::new(spec.limits));
+        // The embedder memory ceiling applies to the *initial* allocation
+        // too: a module whose declared minimum already exceeds the limit
+        // fails instantiation, as a browser tab would under a memory cap.
+        if let (Some(mem), Some(limit)) = (memory.as_ref(), config.limits.max_memory_bytes) {
+            let requested_bytes = mem.size_bytes() as u64;
+            if requested_bytes > limit {
+                return Err(Trap::MemoryLimitExceeded {
+                    requested_bytes,
+                    limit,
+                });
+            }
+        }
         let globals = module
             .globals
             .iter()
@@ -274,6 +287,26 @@ impl Instance {
             context_switches: 0,
             output: Vec::new(),
         })
+    }
+
+    /// Check the embedder memory ceiling before a `memory.grow` of
+    /// `delta` pages. Called identically (same program point, before the
+    /// grow is attempted) by the reference and fused engines so limited
+    /// runs stay bit-identical between them. With no ceiling configured
+    /// this is a no-op.
+    #[inline]
+    pub(crate) fn check_grow_limit(&self, delta: u32) -> Result<(), Trap> {
+        if let Some(limit) = self.config.limits.max_memory_bytes {
+            let current = self.memory.as_ref().map_or(0, |m| m.size_bytes() as u64);
+            let requested_bytes = current + u64::from(delta) * wb_wasm::PAGE_SIZE as u64;
+            if requested_bytes > limit {
+                return Err(Trap::MemoryLimitExceeded {
+                    requested_bytes,
+                    limit,
+                });
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn charge_bucket(&mut self, cycles: f64, bucket: TimeBucket) {

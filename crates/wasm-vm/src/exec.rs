@@ -66,7 +66,7 @@ impl Instance {
         macro_rules! steps {
             ($n:expr) => {
                 self.steps += $n;
-                if self.steps > self.config.max_steps {
+                if self.steps > self.config.limits.fuel_budget() {
                     return Err(Trap::StepBudgetExhausted);
                 }
             };
@@ -321,6 +321,7 @@ impl Instance {
                     steps!(1);
                     bump!(OpClass::Other, 1);
                     let delta = pop!() as u32;
+                    self.check_grow_limit(delta)?;
                     let (result, grew) = match self.memory.as_mut() {
                         Some(mem) => {
                             let r = mem.grow(delta);
@@ -543,25 +544,34 @@ impl Instance {
     /// Bounds-checked load returning untagged bits (extension baked into
     /// `kind`); trap payload matches the reference `load_bytes`.
     fn load_u64(&self, kind: LoadKind, addr: u64) -> Result<u64, Trap> {
+        // `mem.read` returns exactly `width` bytes, so the zero-pad in
+        // `arr` never fires; it exists to keep this path panic-free.
+        fn arr<const N: usize>(s: &[u8]) -> [u8; N] {
+            let mut b = [0u8; N];
+            for (d, x) in b.iter_mut().zip(s) {
+                *d = *x;
+            }
+            b
+        }
         let width = kind.width();
         let oob = Trap::MemoryOutOfBounds { addr, width };
         let mem = self.memory.as_ref().ok_or(oob.clone())?;
         let s = mem.read(addr, width).map_err(|_| oob)?;
         Ok(match kind {
-            LoadKind::I32 => u32::from_le_bytes(s.try_into().unwrap()) as u64,
-            LoadKind::I64 => u64::from_le_bytes(s.try_into().unwrap()),
-            LoadKind::F32 => u32::from_le_bytes(s.try_into().unwrap()) as u64,
-            LoadKind::F64 => u64::from_le_bytes(s.try_into().unwrap()),
+            LoadKind::I32 => u32::from_le_bytes(arr(s)) as u64,
+            LoadKind::I64 => u64::from_le_bytes(arr(s)),
+            LoadKind::F32 => u32::from_le_bytes(arr(s)) as u64,
+            LoadKind::F64 => u64::from_le_bytes(arr(s)),
             LoadKind::I32S8 => (s[0] as i8 as i32) as u32 as u64,
             LoadKind::I32U8 => s[0] as u64,
-            LoadKind::I32S16 => (i16::from_le_bytes(s.try_into().unwrap()) as i32) as u32 as u64,
-            LoadKind::I32U16 => u16::from_le_bytes(s.try_into().unwrap()) as u64,
+            LoadKind::I32S16 => (i16::from_le_bytes(arr(s)) as i32) as u32 as u64,
+            LoadKind::I32U16 => u16::from_le_bytes(arr(s)) as u64,
             LoadKind::I64S8 => (s[0] as i8 as i64) as u64,
             LoadKind::I64U8 => s[0] as u64,
-            LoadKind::I64S16 => (i16::from_le_bytes(s.try_into().unwrap()) as i64) as u64,
-            LoadKind::I64U16 => u16::from_le_bytes(s.try_into().unwrap()) as u64,
-            LoadKind::I64S32 => (i32::from_le_bytes(s.try_into().unwrap()) as i64) as u64,
-            LoadKind::I64U32 => u32::from_le_bytes(s.try_into().unwrap()) as u64,
+            LoadKind::I64S16 => (i16::from_le_bytes(arr(s)) as i64) as u64,
+            LoadKind::I64U16 => u16::from_le_bytes(arr(s)) as u64,
+            LoadKind::I64S32 => (i32::from_le_bytes(arr(s)) as i64) as u64,
+            LoadKind::I64U32 => u32::from_le_bytes(arr(s)) as u64,
         })
     }
 

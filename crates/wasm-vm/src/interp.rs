@@ -30,7 +30,7 @@ impl Instance {
         args: Vec<Value>,
         depth: usize,
     ) -> Result<Option<Value>, Trap> {
-        if depth >= self.config.max_call_depth {
+        if depth >= self.config.limits.max_call_depth {
             return Err(Trap::StackOverflow);
         }
         let import_count = self.prepared.module.imports.len();
@@ -165,7 +165,7 @@ impl Instance {
         loop {
             let instr = &body[pc];
             self.steps += 1;
-            if self.steps > self.config.max_steps {
+            if self.steps > self.config.limits.fuel_budget() {
                 return Err(Trap::StepBudgetExhausted);
             }
             // Per-pc accounting metadata is precomputed at preparation, so
@@ -415,6 +415,7 @@ impl Instance {
                 }
                 Instr::MemoryGrow => {
                     let delta = pop!().as_i32() as u32;
+                    self.check_grow_limit(delta)?;
                     let (result, grew) = match self.memory.as_mut() {
                         Some(mem) => {
                             let r = mem.grow(delta);

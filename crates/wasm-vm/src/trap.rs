@@ -30,6 +30,17 @@ pub enum Trap {
     TableOutOfBounds,
     /// Execution exceeded the configured step budget.
     StepBudgetExhausted,
+    /// Linear memory would exceed the configured resource-limit ceiling
+    /// ([`wb_env::ResourceLimits::max_memory_bytes`]). Unlike growth past
+    /// the module's declared maximum (which politely returns `-1` from
+    /// `memory.grow`), the embedder ceiling is a hard stop, like an OS
+    /// OOM kill — but deterministic.
+    MemoryLimitExceeded {
+        /// Bytes the memory would have occupied.
+        requested_bytes: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
     /// The requested export does not exist or is not a function.
     NoSuchExport {
         /// The looked-up name.
@@ -71,6 +82,13 @@ impl fmt::Display for Trap {
             Trap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
             Trap::TableOutOfBounds => write!(f, "undefined table element"),
             Trap::StepBudgetExhausted => write!(f, "step budget exhausted"),
+            Trap::MemoryLimitExceeded {
+                requested_bytes,
+                limit,
+            } => write!(
+                f,
+                "memory limit exceeded ({requested_bytes} bytes requested, limit {limit})"
+            ),
             Trap::NoSuchExport { name } => write!(f, "no exported function '{name}'"),
             Trap::BadInvokeArgs { detail } => write!(f, "bad invoke arguments: {detail}"),
             Trap::MissingImport { name } => write!(f, "missing host import '{name}'"),

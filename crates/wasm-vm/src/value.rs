@@ -40,7 +40,7 @@ impl Value {
     pub fn as_i32(self) -> i32 {
         match self {
             Value::I32(v) => v,
-            other => panic!("expected i32, got {other:?}"),
+            other => unreachable!("expected i32, got {other:?}"),
         }
     }
 
@@ -48,7 +48,7 @@ impl Value {
     pub fn as_i64(self) -> i64 {
         match self {
             Value::I64(v) => v,
-            other => panic!("expected i64, got {other:?}"),
+            other => unreachable!("expected i64, got {other:?}"),
         }
     }
 
@@ -56,7 +56,7 @@ impl Value {
     pub fn as_f32(self) -> f32 {
         match self {
             Value::F32(v) => v,
-            other => panic!("expected f32, got {other:?}"),
+            other => unreachable!("expected f32, got {other:?}"),
         }
     }
 
@@ -64,7 +64,7 @@ impl Value {
     pub fn as_f64(self) -> f64 {
         match self {
             Value::F64(v) => v,
-            other => panic!("expected f64, got {other:?}"),
+            other => unreachable!("expected f64, got {other:?}"),
         }
     }
 }

@@ -187,7 +187,7 @@ fn step_budget_always_terminates() {
         .done();
         mb.finish_func(f, true);
         let mut cfg = WasmVmConfig::reference();
-        cfg.max_steps = budget;
+        cfg.limits.fuel = Some(budget);
         let mut inst =
             Instance::from_module(mb.build(), cfg, HashMap::new()).expect("instantiates");
         let r = inst.invoke("spin", &[]);

@@ -283,7 +283,7 @@ fn stack_overflow_trap() {
     f.ops([Instr::Call(0)]).done();
     mb.finish_func(f, true);
     let mut cfg = WasmVmConfig::reference();
-    cfg.max_call_depth = 64;
+    cfg.limits.max_call_depth = 64;
     let mut inst = Instance::from_module(mb.build(), cfg, HashMap::new()).unwrap();
     assert_eq!(inst.invoke("spin", &[]), Err(Trap::StackOverflow));
 }
@@ -296,7 +296,7 @@ fn step_budget_trap() {
         .done();
     mb.finish_func(f, true);
     let mut cfg = WasmVmConfig::reference();
-    cfg.max_steps = 10_000;
+    cfg.limits.fuel = Some(10_000);
     let mut inst = Instance::from_module(mb.build(), cfg, HashMap::new()).unwrap();
     assert_eq!(inst.invoke("forever", &[]), Err(Trap::StepBudgetExhausted));
 }

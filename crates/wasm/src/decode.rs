@@ -9,6 +9,15 @@ use crate::module::{
 };
 use crate::types::{FuncType, GlobalType, Limits, ValType};
 
+/// Pre-allocation guard: a corrupted LEB128 count can claim up to
+/// `u32::MAX` entries, but every entry consumes at least one input byte,
+/// so capacity is clamped to the bytes actually remaining. The
+/// per-element reads then hit `UnexpectedEof` long before a malformed
+/// module can force a multi-GB allocation.
+fn clamped_capacity(count: u32, s: &Reader<'_>) -> usize {
+    (count as usize).min(s.remaining())
+}
+
 /// Decode a binary module.
 pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
     let mut r = Reader::new(bytes);
@@ -143,7 +152,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
                     }
                     let offset = const_i32(&mut s)?;
                     let count = s.u32()?;
-                    let mut funcs = Vec::with_capacity(count as usize);
+                    let mut funcs = Vec::with_capacity(clamped_capacity(count, &s));
                     for _ in 0..count {
                         funcs.push(s.u32()?);
                     }
@@ -265,12 +274,12 @@ fn decode_func_type(s: &mut Reader<'_>) -> Result<FuncType, DecodeError> {
         });
     }
     let np = s.u32()?;
-    let mut params = Vec::with_capacity(np as usize);
+    let mut params = Vec::with_capacity(clamped_capacity(np, s));
     for _ in 0..np {
         params.push(decode_val_type(s)?);
     }
     let nr = s.u32()?;
-    let mut results = Vec::with_capacity(nr as usize);
+    let mut results = Vec::with_capacity(clamped_capacity(nr, s));
     for _ in 0..nr {
         results.push(decode_val_type(s)?);
     }
@@ -368,7 +377,7 @@ fn decode_instr(s: &mut Reader<'_>) -> Result<Instr, DecodeError> {
         0x0d => BrIf(s.u32()?),
         0x0e => {
             let n = s.u32()?;
-            let mut targets = Vec::with_capacity(n as usize);
+            let mut targets = Vec::with_capacity(clamped_capacity(n, s));
             for _ in 0..n {
                 targets.push(s.u32()?);
             }

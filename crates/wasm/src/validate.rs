@@ -326,16 +326,18 @@ impl<'m> FuncValidator<'m> {
                 // End of then-arm: results must be on the stack.
                 let end_types = frame.end_types.clone();
                 let height = frame.height;
+                let was_unreachable = frame.unreachable;
                 for t in end_types.iter().rev() {
                     self.pop_expect(*t)?;
                 }
-                if self.operands.len() != height && !self.frames.last().unwrap().unreachable {
+                if self.operands.len() != height && !was_unreachable {
                     return Err(self.error("leftover operands before else"));
                 }
                 self.operands.truncate(height);
-                let frame = self.frames.last_mut().unwrap();
-                frame.unreachable = false;
-                frame.is_if = false;
+                if let Some(frame) = self.frames.last_mut() {
+                    frame.unreachable = false;
+                    frame.is_if = false;
+                }
             }
             End => {
                 let frame = self.frames.pop().ok_or(ValidationError::MalformedControl {

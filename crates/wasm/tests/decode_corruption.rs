@@ -1,0 +1,204 @@
+//! Seeded random-corruption suite (ISSUE 5, satellite a): 10,000
+//! mutated modules through [`decode_module`], asserting the decoder
+//! returns [`DecodeError`] — never panics, never over-allocates — on
+//! truncated or over-long LEB128s and malformed sections. Every case
+//! prints its round number on failure so it replays deterministically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use wb_env::rng::Lcg;
+use wb_wasm::{
+    decode_module, encode_module, Data, Element, Export, ExportKind, FuncImport, FuncType,
+    Function, Global, GlobalType, Instr, Limits, MemArg, MemorySpec, Module, TableSpec, ValType,
+};
+
+/// A fixed, well-formed module exercising every section the decoder
+/// knows: types, imports, functions, table, memory, globals, exports,
+/// elements, data and the `name` custom section (via `Function::name`).
+fn base_module() -> Module {
+    let ft0 = FuncType {
+        params: vec![ValType::I32, ValType::I32],
+        results: vec![ValType::I32],
+    };
+    let ft1 = FuncType {
+        params: vec![],
+        results: vec![],
+    };
+    let body = vec![
+        Instr::LocalGet(0),
+        Instr::LocalGet(1),
+        Instr::I32Add,
+        Instr::LocalTee(2),
+        Instr::I32Const(7),
+        Instr::I32Store(MemArg {
+            align: 2,
+            offset: 16,
+        }),
+        Instr::LocalGet(2),
+        Instr::End,
+    ];
+    let f0 = Function {
+        type_index: 0,
+        locals: vec![ValType::I32],
+        body,
+        name: Some("adder".into()),
+    };
+    let f1 = Function {
+        type_index: 1,
+        locals: vec![],
+        body: vec![
+            Instr::Block(wb_wasm::BlockType::Empty),
+            Instr::I32Const(1),
+            Instr::BrTable(vec![0, 0], 0),
+            Instr::End,
+            Instr::End,
+        ],
+        name: Some("brancher".into()),
+    };
+    Module {
+        types: vec![ft0, ft1],
+        imports: vec![FuncImport {
+            module: "env".into(),
+            field: "print_int".into(),
+            type_index: 1,
+        }],
+        functions: vec![f0, f1],
+        table: Some(TableSpec {
+            limits: Limits::at_least(4),
+        }),
+        memory: Some(MemorySpec {
+            limits: Limits {
+                min: 1,
+                max: Some(4),
+            },
+        }),
+        globals: vec![Global {
+            ty: GlobalType {
+                ty: ValType::I32,
+                mutable: true,
+            },
+            init: Instr::I32Const(42),
+        }],
+        exports: vec![Export {
+            name: "adder".into(),
+            kind: ExportKind::Func(1),
+        }],
+        start: None,
+        elements: vec![Element {
+            offset: 0,
+            funcs: vec![1, 2],
+        }],
+        data: vec![Data {
+            offset: 64,
+            bytes: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        }],
+    }
+}
+
+/// Apply one random mutation. The families are chosen to hit the
+/// decoder's hard paths: bit flips corrupt opcodes and section ids,
+/// truncation forces EOF mid-integer, splices desynchronize section
+/// sizes, and 0xFF runs manufacture over-long / over-wide LEB128s.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut Lcg) {
+    match rng.index(5) {
+        // Flip 1..=8 random bits.
+        0 => {
+            for _ in 0..1 + rng.index(8) {
+                if bytes.is_empty() {
+                    return;
+                }
+                let i = rng.index(bytes.len());
+                bytes[i] ^= 1 << rng.index(8);
+            }
+        }
+        // Truncate at a random point (possibly mid-LEB128).
+        1 => {
+            let keep = rng.index(bytes.len() + 1);
+            bytes.truncate(keep);
+        }
+        // Splice random garbage into a random offset.
+        2 => {
+            let at = rng.index(bytes.len() + 1);
+            let insert: Vec<u8> = (0..1 + rng.index(16))
+                .map(|_| rng.next_u32() as u8)
+                .collect();
+            bytes.splice(at..at, insert);
+        }
+        // Remove a random slice (section-size desync).
+        3 => {
+            if bytes.is_empty() {
+                return;
+            }
+            let start = rng.index(bytes.len());
+            let len = 1 + rng.index((bytes.len() - start).min(16));
+            bytes.drain(start..start + len);
+        }
+        // Overwrite a run with 0xFF: continuation bits all set, which
+        // yields over-long LEB128s and absurd counts/capacities.
+        _ => {
+            if bytes.is_empty() {
+                return;
+            }
+            let start = rng.index(bytes.len());
+            let len = 1 + rng.index((bytes.len() - start).min(10));
+            for b in &mut bytes[start..start + len] {
+                *b = 0xff;
+            }
+        }
+    }
+}
+
+#[test]
+fn ten_thousand_corrupted_modules_never_panic() {
+    let pristine = encode_module(&base_module());
+    decode_module(&pristine).expect("base module must decode");
+    let mut rng = Lcg::new(0x7761_736d); // "wasm"
+    let mut panics = 0usize;
+    let mut first: Option<usize> = None;
+    for round in 0..10_000 {
+        let mut bytes = pristine.clone();
+        // 1..=3 stacked mutations per round.
+        for _ in 0..1 + rng.index(3) {
+            mutate(&mut bytes, &mut rng);
+        }
+        let input = bytes.clone();
+        if catch_unwind(AssertUnwindSafe(|| {
+            let _ = decode_module(&input);
+        }))
+        .is_err()
+        {
+            panics += 1;
+            first.get_or_insert(round);
+        }
+    }
+    assert_eq!(
+        panics, 0,
+        "decoder panicked on {panics}/10000 corrupted modules (first at round {:?})",
+        first
+    );
+}
+
+#[test]
+fn huge_claimed_counts_fail_without_allocating() {
+    // An element segment claiming u32::MAX function indices with only a
+    // few payload bytes behind it must fail with a decode error instead
+    // of reserving gigabytes up front. Completing at all (quickly, and
+    // without aborting on OOM) is the property under test.
+    let pristine = encode_module(&base_module());
+    let mut rng = Lcg::new(0xbad_c0de);
+    for _ in 0..200 {
+        let mut bytes = pristine.clone();
+        // Plant a maximal LEB128 u32 (0xFF 0xFF 0xFF 0xFF 0x0F) at a
+        // random offset, then truncate shortly after it, so whatever
+        // count field it lands on claims ~4G entries with no payload.
+        let at = rng.index(bytes.len());
+        let huge = [0xffu8, 0xff, 0xff, 0xff, 0x0f];
+        let end = (at + 5).min(bytes.len());
+        bytes.splice(at..end, huge);
+        let keep = (at + 5 + rng.index(8)).min(bytes.len());
+        bytes.truncate(keep);
+        assert!(
+            decode_module(&bytes).is_err(),
+            "a module truncated right after a 4G count cannot be valid"
+        );
+    }
+}

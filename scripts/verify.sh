@@ -10,6 +10,12 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "== clippy panic-freedom gate (VM + codec libraries) =="
+# The decoder and both VMs must surface faults as structured errors,
+# never panics (tests are exempt: --lib skips #[cfg(test)] code).
+cargo clippy -p wb-wasm -p wb-wasm-vm -p wb-jsvm --lib -q -- \
+  -D warnings -D clippy::panic -D clippy::unwrap_used
+
 echo "== build =="
 cargo build --release --workspace
 
@@ -21,6 +27,12 @@ echo "== static analysis (wb analyze) =="
 
 echo "== fused-vs-reference differential =="
 cargo test -q -p wb-harness --release --test fused_reference_differential
+
+echo "== trap parity (wasm vs js vs native, all levels) =="
+cargo test -q -p wb-harness --release --test trap_parity
+
+echo "== fault injection (wb inject) =="
+./target/release/wb inject --all
 
 echo "== quick-grid smoke (fig5 + fig12_13, cached and uncached) =="
 ./target/release/fig5 --quick --out results/quick >/dev/null
